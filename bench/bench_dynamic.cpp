@@ -1,0 +1,59 @@
+// Extension bench: fully dynamic PRTR with right-sized regions vs the
+// paper's fixed layouts. Realizes section 5's "partitions must be so fine
+// grained to match the task time requirements ... and to increase the
+// system density": per-module regions let the whole 8-core library reside
+// at once and shrink each configuration to the module's own width.
+#include <iostream>
+
+#include "runtime/dynamic_executor.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/workload.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace prtr;
+  const auto registry = tasks::makeExtendedFunctions();
+
+  std::cout << "=== Right-sized dynamic regions vs fixed PRRs (8-module "
+               "round-robin, steady state after the initial full config) "
+               "===\n\n";
+  util::Table table{{"task bytes", "fixed dual", "fixed quad",
+                     "dynamic", "dyn configs", "dyn mean cols"}};
+  for (const std::uint64_t bytes :
+       {50'000ull, 500'000ull, 5'000'000ull, 50'000'000ull}) {
+    const auto workload =
+        tasks::makeRoundRobinWorkload(registry, 96, util::Bytes{bytes});
+
+    auto fixedSteady = [&](xd1::Layout layout) {
+      runtime::ScenarioOptions so;
+      so.layout = layout;
+      so.forceMiss = false;
+      so.prepare = runtime::PrepareSource::kNone;
+      const auto report = runtime::runPrtrOnly(registry, workload, so);
+      return report.total - report.initialConfig;
+    };
+    const util::Time dual = fixedSteady(xd1::Layout::kDualPrr);
+    const util::Time quad = fixedSteady(xd1::Layout::kQuadPrr);
+
+    sim::Simulator sim;
+    xd1::Node node{sim};
+    runtime::DynamicPrtrExecutor dynamic{node, registry};
+    const runtime::DynamicReport report = dynamic.run(workload);
+    const util::Time dyn = report.base.total - report.base.initialConfig;
+
+    table.row()
+        .cell(util::Bytes{bytes}.toString())
+        .cell(dual.toString())
+        .cell(quad.toString())
+        .cell(dyn.toString())
+        .cell(report.base.configurations)
+        .cell(util::formatDouble(report.meanOccupiedColumns, 4));
+  }
+  table.print(std::cout);
+  std::cout << "\nWith 8 modules over 2 or 4 fixed regions every call "
+               "reconfigures a full-size region; right-sized regions hold "
+               "the whole library (23 of 34 columns) so steady state has "
+               "zero reconfigurations. The advantage shrinks as tasks grow "
+               "(the 2x cap reasserts itself).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 5 of the paper: asymptotic performance of PRTR
+// (equation 7) vs the normalized task time requirement, for a family of
+// pre-fetching hit ratios, at X_decision = X_control = 0.
+#include <iostream>
+
+#include "analysis/figures.hpp"
+#include "model/bounds.hpp"
+
+int main() {
+  using namespace prtr;
+
+  const std::vector<double> hitRatios{0.0, 0.25, 0.5, 0.75, 1.0};
+  // The three X_PRTR values of Table 2's normalized column:
+  // 0.37 (single PRR est.), 0.17 (dual PRR est.), 0.012 (dual PRR meas.).
+  for (const double xPrtr : {0.37, 0.17, 0.012}) {
+    std::cout << "=== Figure 5: asymptotic speedup S_inf vs X_task, X_PRTR = "
+              << xPrtr << " ===\n";
+    const auto series = analysis::makeFig5Series(xPrtr, hitRatios, 161);
+    util::PlotOptions po;
+    po.logX = true;
+    po.logY = true;
+    po.xLabel = "X_task";
+    po.yLabel = "S_inf";
+    std::cout << util::renderAsciiPlot(series, po) << '\n';
+
+    const model::Peak h0 = model::peakSpeedup(0.0, xPrtr);
+    std::cout << "H=0 peak: S_inf = " << h0.speedup
+              << " at X_task = X_PRTR = " << h0.xTask << '\n';
+    std::cout << "X_task >= 1 cap: S_inf <= 2 for every H (e.g. at X_task=1: "
+              << model::idealAsymptote(1.0, xPrtr, 0.0) << ")\n\n";
+  }
+
+  std::cout << "CSV (X_PRTR=0.17):\nxTask";
+  const auto csvSeries = analysis::makeFig5Series(0.17, hitRatios, 31);
+  for (const auto& s : csvSeries) std::cout << ',' << s.name;
+  std::cout << '\n';
+  for (std::size_t i = 0; i < csvSeries.front().x.size(); ++i) {
+    std::cout << csvSeries.front().x[i];
+    for (const auto& s : csvSeries) std::cout << ',' << s.y[i];
+    std::cout << '\n';
+  }
+  return 0;
+}

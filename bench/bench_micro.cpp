@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark): throughput of the load-bearing
+// substrate pieces -- the DES kernel, bitstream build/parse, image kernels,
+// and a full PRTR scenario end to end.
+#include <benchmark/benchmark.h>
+
+#include "bitstream/builder.hpp"
+#include "bitstream/parser.hpp"
+#include "fabric/floorplan.hpp"
+#include "runtime/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "tasks/kernels.hpp"
+#include "tasks/workload.hpp"
+
+namespace {
+
+using namespace prtr;
+
+sim::Process pingPong(sim::Simulator& sim, std::int64_t hops) {
+  for (std::int64_t i = 0; i < hops; ++i) {
+    co_await sim.delay(util::Time::nanoseconds(1));
+  }
+}
+
+void BM_SimKernelEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(pingPong(sim, state.range(0)));
+    sim.run();
+    benchmark::DoNotOptimize(sim.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimKernelEvents)->Arg(1'000)->Arg(100'000);
+
+void BM_BitstreamBuildPartial(benchmark::State& state) {
+  const fabric::Floorplan plan = fabric::makeDualPrrLayout();
+  const bitstream::Builder builder{plan.device()};
+  for (auto _ : state) {
+    const auto stream = builder.buildModulePartial(plan.prr(0), 7);
+    benchmark::DoNotOptimize(stream.size());
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(
+          plan.prr(0).partialBitstreamBytes(plan.device()).count()));
+}
+BENCHMARK(BM_BitstreamBuildPartial);
+
+void BM_BitstreamParsePartial(benchmark::State& state) {
+  const fabric::Floorplan plan = fabric::makeDualPrrLayout();
+  const bitstream::Builder builder{plan.device()};
+  const auto stream = builder.buildModulePartial(plan.prr(0), 7);
+  for (auto _ : state) {
+    const auto parsed = bitstream::parse(stream, plan.device());
+    benchmark::DoNotOptimize(parsed.writes.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size().count()));
+}
+BENCHMARK(BM_BitstreamParsePartial);
+
+void BM_MedianFilter(benchmark::State& state) {
+  util::Rng rng{5};
+  const tasks::Image img = tasks::makeNoiseImage(256, 256, rng);
+  for (auto _ : state) {
+    const auto out = tasks::kernels::medianFilter3x3(img);
+    benchmark::DoNotOptimize(out.pixels().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(img.pixelCount()));
+}
+BENCHMARK(BM_MedianFilter);
+
+void BM_SobelFilter(benchmark::State& state) {
+  util::Rng rng{5};
+  const tasks::Image img = tasks::makeNoiseImage(256, 256, rng);
+  for (auto _ : state) {
+    const auto out = tasks::kernels::sobelFilter(img);
+    benchmark::DoNotOptimize(out.pixels().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(img.pixelCount()));
+}
+BENCHMARK(BM_SobelFilter);
+
+void BM_PrtrScenarioEndToEnd(benchmark::State& state) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload = tasks::makeRoundRobinWorkload(
+      registry, static_cast<std::size_t>(state.range(0)),
+      util::Bytes{1'000'000});
+  runtime::ScenarioOptions so;
+  so.forceMiss = true;
+  for (auto _ : state) {
+    const auto report = runtime::runPrtrOnly(registry, workload, so);
+    benchmark::DoNotOptimize(report.total);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PrtrScenarioEndToEnd)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Bounds explorer: an interactive-style CLI over the bound analysis.
+//
+//   ./examples/bounds_explorer [xTask] [xPrtr] [hitRatio] [xControl] [xDecision]
+//
+// Prints the regime classification, the asymptotic speedup, the universal
+// bound, the peak analysis, and the hit ratio required for a set of target
+// speedups -- everything a system designer needs to decide whether PRTR
+// pays off on their platform.
+#include <cstdlib>
+#include <iostream>
+
+#include "model/bounds.hpp"
+#include "model/insights.hpp"
+#include "model/model.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prtr;
+
+  model::Params p;
+  p.nCalls = 10'000;
+  p.xTask = argc > 1 ? std::atof(argv[1]) : 0.1;
+  p.xPrtr = argc > 2 ? std::atof(argv[2]) : 0.012;
+  p.hitRatio = argc > 3 ? std::atof(argv[3]) : 0.0;
+  p.xControl = argc > 4 ? std::atof(argv[4]) : 0.0;
+  p.xDecision = argc > 5 ? std::atof(argv[5]) : 0.0;
+
+  std::cout << "Parameters: X_task=" << p.xTask << " X_PRTR=" << p.xPrtr
+            << " H=" << p.hitRatio << " X_control=" << p.xControl
+            << " X_decision=" << p.xDecision << " n=" << p.nCalls << "\n\n";
+  std::cout << model::describeBounds(p) << '\n';
+  std::cout << "Finite-run speedup S(n=" << p.nCalls
+            << ") = " << model::speedup(p) << "\n";
+  if (const auto breakEven = model::breakEvenCalls(p)) {
+    std::cout << "Break-even: PRTR beats FRTR from call " << *breakEven
+              << " onward (the initial full configuration amortizes).\n";
+  } else {
+    std::cout << "Break-even: never -- the per-call PRTR cost exceeds FRTR's "
+                 "at these overheads.\n";
+  }
+
+  model::Perturbation sigma;
+  sigma.xTask = 0.1;
+  sigma.xPrtr = 0.1;
+  const auto sens = model::sensitivity(p, sigma, 10'000, 1);
+  std::cout << "Under 10% parameter jitter: S_inf = " << sens.p50 << " [p05 "
+            << sens.p05 << ", p95 " << sens.p95 << "]\n\n";
+
+  std::cout << "Hit ratio required for target speedups at this (X_task, "
+               "X_PRTR):\n";
+  util::Table targets{{"target S", "required H"}};
+  for (const double target : {1.5, 2.0, 5.0, 10.0, 25.0, 50.0}) {
+    const double h = model::requiredHitRatio(p.xTask, p.xPrtr, target);
+    targets.row()
+        .cell(util::formatDouble(target, 3))
+        .cell(h > 1.0 ? "unattainable" : util::formatDouble(h, 4));
+  }
+  targets.print(std::cout);
+
+  std::cout << "\nSpeedup across the task-size axis at this configuration:\n";
+  util::Table sweep{{"X_task", "S_inf", "regime"}};
+  for (const double xTask : {0.001, 0.01, p.xPrtr, 0.1, 0.5, 1.0, 5.0, 50.0}) {
+    model::Params q = p;
+    q.xTask = xTask;
+    sweep.row()
+        .cell(util::formatDouble(xTask, 4))
+        .cell(util::formatDouble(model::asymptoticSpeedup(q), 4))
+        .cell(toString(model::classifyRegime(xTask, p.xPrtr)));
+  }
+  sweep.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// prtrsim: command-line driver over the whole library — build a workload,
+// pick a layout/basis/policy, run FRTR vs PRTR on the simulated XD1, and
+// print the report with the model cross-check. The "adopt me" entry point
+// for users who want numbers for their own parameters without writing C++.
+//
+// Usage:
+//   prtrsim_cli [--layout single|dual|quad] [--basis estimated|measured]
+//               [--calls N] [--bytes B] [--workload roundrobin|uniform|
+//               markov|phased] [--locality P] [--registry paper|extended]
+//               [--cache lru|lfu|fifo|random|belady] [--prefetch none|
+//               queue|markov|association] [--force-miss 0|1]
+//               [--control-us U] [--decision-us U] [--seed S] [--timeline]
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "runtime/scenario.hpp"
+#include "tasks/workload.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace prtr;
+
+std::map<std::string, std::string> parseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw util::DomainError{"prtrsim: options start with --, got " + key};
+    }
+    key = key.substr(2);
+    if (key == "timeline" || key == "help") {
+      args[key] = "1";
+      continue;
+    }
+    util::require(i + 1 < argc, "prtrsim: missing value for --" + key);
+    args[key] = argv[++i];
+  }
+  return args;
+}
+
+std::string get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = parseArgs(argc, argv);
+    if (args.count("help")) {
+      std::cout << "see the header comment of examples/prtrsim_cli.cpp\n";
+      return 0;
+    }
+
+    const auto registry = get(args, "registry", "paper") == "extended"
+                              ? tasks::makeExtendedFunctions()
+                              : tasks::makePaperFunctions();
+
+    const auto calls = static_cast<std::size_t>(
+        std::stoull(get(args, "calls", "100")));
+    const util::Bytes bytes{std::stoull(get(args, "bytes", "10000000"))};
+    const double locality = std::stod(get(args, "locality", "0.7"));
+    util::Rng rng{std::stoull(get(args, "seed", "1"))};
+
+    tasks::Workload workload;
+    const std::string kind = get(args, "workload", "roundrobin");
+    if (kind == "roundrobin") {
+      workload = tasks::makeRoundRobinWorkload(registry, calls, bytes);
+    } else if (kind == "uniform") {
+      workload = tasks::makeUniformWorkload(registry, calls, bytes, rng);
+    } else if (kind == "markov") {
+      workload = tasks::makeMarkovWorkload(registry, calls, bytes, locality, rng);
+    } else if (kind == "phased") {
+      workload = tasks::makePhasedWorkload(
+          registry, calls, bytes, std::max<std::size_t>(calls / 10, 1),
+          std::min<std::size_t>(3, registry.size()), rng);
+    } else {
+      throw util::DomainError{"prtrsim: unknown workload '" + kind + "'"};
+    }
+
+    runtime::ScenarioOptions options;
+    const std::string layout = get(args, "layout", "dual");
+    options.layout = layout == "single" ? xd1::Layout::kSinglePrr
+                     : layout == "quad" ? xd1::Layout::kQuadPrr
+                                        : xd1::Layout::kDualPrr;
+    options.basis = get(args, "basis", "measured") == "estimated"
+                        ? model::ConfigTimeBasis::kEstimated
+                        : model::ConfigTimeBasis::kMeasured;
+    options.cachePolicy = get(args, "cache", "lru");
+    const std::string prefetch = get(args, "prefetch", "queue");
+    options.prepare = prefetch == "none" ? runtime::PrepareSource::kNone
+                      : prefetch == "queue"
+                          ? runtime::PrepareSource::kQueue
+                          : runtime::PrepareSource::kPrefetcher;
+    if (options.prepare == runtime::PrepareSource::kPrefetcher) {
+      options.prefetcherKind = prefetch;
+    }
+    options.forceMiss = get(args, "force-miss", "0") == "1";
+    options.tControl = util::Time::microseconds(
+        std::stoll(get(args, "control-us", "10")));
+    options.decisionLatency = util::Time::microseconds(
+        std::stoll(get(args, "decision-us", "0")));
+
+    sim::Timeline timeline;
+    if (args.count("timeline")) options.prtrTimeline = &timeline;
+
+    std::cout << "prtrsim: " << workload.callCount() << " calls x "
+              << bytes.toString() << " (" << kind << "), layout " << layout
+              << ", basis " << toString(options.basis) << ", cache "
+              << options.cachePolicy << ", prefetch " << prefetch
+              << (options.forceMiss ? ", force-miss" : "") << "\n\n";
+
+    const runtime::ScenarioResult result =
+        runtime::runScenario(registry, workload, options);
+    std::cout << result.toString();
+    if (args.count("timeline")) {
+      std::cout << "\nPRTR timeline:\n" << timeline.renderGantt(110);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "prtrsim: " << error.what() << '\n';
+    return 1;
+  }
+}

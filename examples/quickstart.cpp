@@ -1,0 +1,55 @@
+// Quickstart: the five-minute tour of the library.
+//
+//  1. Evaluate the paper's analytical model (equations 6/7) directly.
+//  2. Spin up a simulated Cray XD1 and read its Table-2 calibration.
+//  3. Run one workload under FRTR and PRTR and compare with the model.
+//
+// Build & run:  ./examples/quickstart
+#include <iostream>
+
+#include "model/bounds.hpp"
+#include "model/calibration.hpp"
+#include "model/model.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/workload.hpp"
+
+int main() {
+  using namespace prtr;
+
+  // --- 1. Pure model -----------------------------------------------------
+  model::Params p;
+  p.nCalls = 1000;
+  p.xTask = 0.1;    // task takes 10% of a full configuration
+  p.xPrtr = 0.012;  // measured dual-PRR partial configuration (Table 2)
+  p.hitRatio = 0.0; // no pre-fetching (the paper's experimental setting)
+  std::cout << "Analytical model (eq. 6/7):\n"
+            << "  S(n=1000) = " << model::speedup(p)
+            << ", S_inf = " << model::asymptoticSpeedup(p) << "\n\n"
+            << model::describeBounds(p) << '\n';
+
+  // --- 2. Simulated platform ---------------------------------------------
+  sim::Simulator sim;
+  xd1::Node node{sim};  // Cray XD1 blade, dual-PRR layout
+  const model::ConfigTimes times = model::configTimes(node);
+  std::cout << "Simulated Cray XD1 (" << node.device().name() << ", "
+            << toString(node.config().layout) << "):\n"
+            << "  full bitstream  = " << times.fullBytes.toString()
+            << "  (config: est " << times.fullEstimated.toString() << ", meas "
+            << times.fullMeasured.toString() << ")\n"
+            << "  PRR bitstream   = " << times.partialBytes.toString()
+            << "  (config: est " << times.partialEstimated.toString()
+            << ", meas " << times.partialMeasured.toString() << ")\n"
+            << "  X_PRTR measured = "
+            << times.xPrtr(model::ConfigTimeBasis::kMeasured) << "\n\n";
+
+  // --- 3. Measured vs model ----------------------------------------------
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 100, util::Bytes{20'000'000});
+  runtime::ScenarioOptions options;
+  options.forceMiss = true;  // H = 0, as in the paper's experiments
+  const runtime::ScenarioResult result =
+      runtime::runScenario(registry, workload, options);
+  std::cout << "One workload, both executors:\n" << result.toString();
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+/// \file parallel.hpp
+/// Thread-pooled helpers for parameter sweeps. Each sweep point runs a
+/// fully independent Simulator instance, so points parallelize perfectly
+/// across hardware threads.
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace prtr::analysis {
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// at least 1).
+[[nodiscard]] std::size_t defaultThreadCount() noexcept;
+
+/// Applies `fn(index)` for every index in [0, count) across `threads`
+/// workers. Exceptions from workers are rethrown (first one wins).
+void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
+                 std::size_t threads = 0);
+
+/// Maps `fn` over `inputs` in parallel, preserving order.
+template <typename T, typename Fn>
+auto parallelMap(const std::vector<T>& inputs, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<decltype(fn(inputs.front()))> {
+  using R = decltype(fn(inputs.front()));
+  std::vector<R> results(inputs.size());
+  parallelFor(
+      inputs.size(),
+      [&](std::size_t i) { results[i] = fn(inputs[i]); }, threads);
+  return results;
+}
+
+}  // namespace prtr::analysis

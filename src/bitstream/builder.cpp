@@ -1,0 +1,181 @@
+#include "bitstream/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prtr::bitstream {
+namespace {
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  putU32(out, static_cast<std::uint32_t>(v));
+  putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Emits the fixed-size header block (overhead minus the 4-byte CRC trailer).
+void emitHeader(std::vector<std::uint8_t>& out, const Header& header,
+                std::uint32_t overheadBytes) {
+  const std::size_t begin = out.size();
+  putU32(out, Header::kMagic);
+  out.push_back(static_cast<std::uint8_t>(header.type));
+  out.push_back(0);  // version
+  out.push_back(0);
+  out.push_back(0);
+  putU32(out, header.deviceTag);
+  putU32(out, header.firstFrame);
+  putU32(out, header.frameCount);
+  putU32(out, header.frameBytes);
+  putU64(out, header.moduleId);
+  const std::size_t fieldBytes = out.size() - begin;
+  util::require(overheadBytes >= fieldBytes + 4,
+                "Builder: overhead too small for header fields");
+  out.resize(begin + overheadBytes - 4, 0);  // command-preamble padding
+}
+
+void appendCrc(std::vector<std::uint8_t>& out) {
+  const std::uint32_t crc = util::Crc32::of(out);
+  putU32(out, crc);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> framePayload(ModuleId module,
+                                       std::uint32_t regionFirstFrame,
+                                       std::uint32_t framesUsed,
+                                       std::uint32_t frame,
+                                       std::uint32_t frameBytes) {
+  // Frames inside the module's footprint take module-specific content;
+  // frames beyond it take the region baseline (module 0 = erased fabric,
+  // all zeros). This makes difference-based streams variable-sized, as in
+  // the real flow.
+  //
+  // Occupied frames are *sparse*: real configuration frames are mostly
+  // zero bits (unused routing/LUT entries), which is what makes bitstream
+  // compression work. ~25% of bytes carry module-specific content.
+  const bool occupied = frame - regionFirstFrame < framesUsed;
+  std::vector<std::uint8_t> payload(frameBytes, 0);
+  if (!occupied || module == 0) return payload;
+  util::Rng rng{module * 0x100000001b3ULL ^ frame};
+  for (auto& byte : payload) {
+    if (rng.chance(0.25)) {
+      byte = static_cast<std::uint8_t>(rng() | 1);  // non-zero content byte
+    }
+  }
+  return payload;
+}
+
+std::uint32_t Builder::usedFrames(const fabric::Region& region,
+                                  double occupancy) const {
+  util::require(occupancy > 0.0 && occupancy <= 1.0,
+                "Builder: occupancy must be in (0, 1]");
+  const std::uint32_t total = region.frames(*device_).count;
+  const auto used = static_cast<std::uint32_t>(
+      std::ceil(occupancy * static_cast<double>(total)));
+  return std::clamp<std::uint32_t>(used, 1, total);
+}
+
+Bitstream Builder::buildFull(ModuleId designId) const {
+  const auto& geometry = device_->geometry();
+  const auto& enc = geometry.encoding();
+  Header header;
+  header.type = StreamType::kFull;
+  header.deviceTag = deviceTag(device_->name());
+  header.firstFrame = 0;
+  header.frameCount = geometry.totalFrames();
+  header.frameBytes = enc.frameBytes;
+  header.moduleId = designId;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(geometry.fullBitstreamBytes().count());
+  emitHeader(bytes, header, enc.fullOverheadBytes);
+  for (std::uint32_t frame = 0; frame < header.frameCount; ++frame) {
+    const auto payload =
+        framePayload(designId, 0, header.frameCount, frame, enc.frameBytes);
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  }
+  appendCrc(bytes);
+  util::require(bytes.size() == geometry.fullBitstreamBytes().count(),
+                "Builder: full stream size mismatch");
+  return Bitstream{header, std::move(bytes)};
+}
+
+Bitstream Builder::buildModulePartial(const fabric::Region& region,
+                                      ModuleId module, double occupancy) const {
+  const auto& enc = device_->geometry().encoding();
+  const fabric::FrameRange range = region.frames(*device_);
+  const std::uint32_t used = usedFrames(region, occupancy);
+
+  Header header;
+  header.type = StreamType::kPartial;
+  header.deviceTag = deviceTag(device_->name());
+  header.firstFrame = range.first;
+  header.frameCount = range.count;
+  header.frameBytes = enc.frameBytes;
+  header.moduleId = module;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(region.partialBitstreamBytes(*device_).count());
+  emitHeader(bytes, header, enc.partialOverheadBytes);
+  for (std::uint32_t frame = range.first; frame < range.end(); ++frame) {
+    putU32(bytes, frame);
+    const auto payload =
+        framePayload(module, range.first, used, frame, enc.frameBytes);
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  }
+  appendCrc(bytes);
+  util::require(bytes.size() == region.partialBitstreamBytes(*device_).count(),
+                "Builder: module partial size mismatch");
+  return Bitstream{header, std::move(bytes)};
+}
+
+Bitstream Builder::buildDifferencePartial(const fabric::Region& region,
+                                          ModuleId fromModule,
+                                          double fromOccupancy,
+                                          ModuleId toModule,
+                                          double toOccupancy) const {
+  const auto& enc = device_->geometry().encoding();
+  const fabric::FrameRange range = region.frames(*device_);
+  const std::uint32_t fromUsed = usedFrames(region, fromOccupancy);
+  const std::uint32_t toUsed = usedFrames(region, toOccupancy);
+
+  // Collect only the frames whose payload changes.
+  std::vector<std::uint32_t> changed;
+  for (std::uint32_t frame = range.first; frame < range.end(); ++frame) {
+    const auto before =
+        framePayload(fromModule, range.first, fromUsed, frame, enc.frameBytes);
+    const auto after =
+        framePayload(toModule, range.first, toUsed, frame, enc.frameBytes);
+    if (before != after) changed.push_back(frame);
+  }
+
+  Header header;
+  header.type = StreamType::kPartial;
+  header.deviceTag = deviceTag(device_->name());
+  header.firstFrame = changed.empty() ? range.first : changed.front();
+  header.frameCount = static_cast<std::uint32_t>(changed.size());
+  header.frameBytes = enc.frameBytes;
+  header.moduleId = toModule;
+
+  std::vector<std::uint8_t> bytes;
+  emitHeader(bytes, header, enc.partialOverheadBytes);
+  for (const std::uint32_t frame : changed) {
+    putU32(bytes, frame);
+    const auto payload =
+        framePayload(toModule, range.first, toUsed, frame, enc.frameBytes);
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  }
+  appendCrc(bytes);
+  return Bitstream{header, std::move(bytes)};
+}
+
+}  // namespace prtr::bitstream

@@ -1,0 +1,61 @@
+#pragma once
+/// \file builder.hpp
+/// Bitstream generation: full-device streams, module-based partial streams
+/// (all frames of a region, fixed size), and difference-based partial
+/// streams (only the frames that differ between two module images, variable
+/// size) — the two Xilinx flows compared in paper section 2.2.
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/format.hpp"
+#include "fabric/device.hpp"
+#include "fabric/region.hpp"
+
+namespace prtr::bitstream {
+
+/// Identifies a module implementation placed into a region. `moduleId` 0 is
+/// reserved for the empty/baseline image of a region.
+using ModuleId = std::uint64_t;
+
+/// Deterministic synthetic payload of frame `frame` when module `module`
+/// (with `framesUsed` occupied frames starting at the region base) is
+/// placed into a region beginning at `regionFirstFrame`.
+[[nodiscard]] std::vector<std::uint8_t> framePayload(ModuleId module,
+                                                     std::uint32_t regionFirstFrame,
+                                                     std::uint32_t framesUsed,
+                                                     std::uint32_t frame,
+                                                     std::uint32_t frameBytes);
+
+/// Builds bitstreams against one device's geometry.
+class Builder {
+ public:
+  explicit Builder(const fabric::Device& device) : device_(&device) {}
+
+  /// Full-device stream configuring every frame; `designId` identifies the
+  /// overall design (static + initial modules).
+  [[nodiscard]] Bitstream buildFull(ModuleId designId) const;
+
+  /// Module-based partial stream: every frame of `region`, regardless of
+  /// how much of the region the module occupies (fixed size per region).
+  /// `occupancy` in (0,1] scales the frames whose payload is non-baseline.
+  [[nodiscard]] Bitstream buildModulePartial(const fabric::Region& region,
+                                             ModuleId module,
+                                             double occupancy = 1.0) const;
+
+  /// Difference-based partial stream from `fromModule` to `toModule` in
+  /// `region`: only frames whose payload differs (variable size).
+  [[nodiscard]] Bitstream buildDifferencePartial(const fabric::Region& region,
+                                                 ModuleId fromModule,
+                                                 double fromOccupancy,
+                                                 ModuleId toModule,
+                                                 double toOccupancy) const;
+
+ private:
+  [[nodiscard]] std::uint32_t usedFrames(const fabric::Region& region,
+                                         double occupancy) const;
+
+  const fabric::Device* device_;
+};
+
+}  // namespace prtr::bitstream

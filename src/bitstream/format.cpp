@@ -1,0 +1,22 @@
+#include "bitstream/format.hpp"
+
+#include <span>
+
+#include "util/crc32.hpp"
+
+namespace prtr::bitstream {
+
+const char* toString(StreamType type) noexcept {
+  switch (type) {
+    case StreamType::kFull: return "full";
+    case StreamType::kPartial: return "partial";
+  }
+  return "?";
+}
+
+std::uint32_t deviceTag(const std::string& deviceName) noexcept {
+  return util::Crc32::of(std::span{
+      reinterpret_cast<const std::uint8_t*>(deviceName.data()), deviceName.size()});
+}
+
+}  // namespace prtr::bitstream

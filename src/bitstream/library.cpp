@@ -1,0 +1,94 @@
+#include "bitstream/library.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::bitstream {
+namespace {
+
+void accumulate(FlowStats& stats, const Bitstream& stream) {
+  const util::Bytes size = stream.size();
+  if (stats.streamCount == 0) {
+    stats.minBytes = stats.maxBytes = size;
+  } else {
+    stats.minBytes = std::min(stats.minBytes, size);
+    stats.maxBytes = std::max(stats.maxBytes, size);
+  }
+  ++stats.streamCount;
+  stats.totalBytes += size;
+}
+
+}  // namespace
+
+Library::Library(const fabric::Floorplan& floorplan, std::vector<ModuleSpec> modules)
+    : floorplan_(&floorplan),
+      modules_(std::move(modules)),
+      builder_(floorplan.device()) {
+  util::require(!modules_.empty(), "Library: need at least one module");
+  for (const ModuleSpec& m : modules_) {
+    util::require(m.id != 0, "Library: module id 0 is reserved for the baseline");
+  }
+}
+
+const Library::ModuleSpec& Library::spec(ModuleId module) const {
+  const auto it = std::find_if(modules_.begin(), modules_.end(),
+                               [&](const ModuleSpec& m) { return m.id == module; });
+  util::require(it != modules_.end(), "Library: unknown module id");
+  return *it;
+}
+
+FlowStats Library::buildModuleFlow() {
+  FlowStats stats;
+  for (std::size_t prr = 0; prr < floorplan_->prrCount(); ++prr) {
+    for (const ModuleSpec& m : modules_) {
+      accumulate(stats, modulePartial(prr, m.id));
+    }
+  }
+  return stats;
+}
+
+FlowStats Library::buildDifferenceFlow() {
+  FlowStats stats;
+  for (std::size_t prr = 0; prr < floorplan_->prrCount(); ++prr) {
+    const fabric::Region& region = floorplan_->prr(prr);
+    for (const ModuleSpec& from : modules_) {
+      for (const ModuleSpec& to : modules_) {
+        if (from.id == to.id) continue;
+        const auto key = std::make_tuple(prr, from.id, to.id);
+        auto it = diffPartials_.find(key);
+        if (it == diffPartials_.end()) {
+          it = diffPartials_
+                   .emplace(key, builder_.buildDifferencePartial(
+                                     region, from.id, from.occupancy, to.id,
+                                     to.occupancy))
+                   .first;
+        }
+        accumulate(stats, it->second);
+      }
+    }
+  }
+  return stats;
+}
+
+const Bitstream& Library::modulePartial(std::size_t prrIndex, ModuleId module) {
+  const auto key = std::make_pair(prrIndex, module);
+  auto it = modulePartials_.find(key);
+  if (it == modulePartials_.end()) {
+    const ModuleSpec& m = spec(module);
+    it = modulePartials_
+             .emplace(key, builder_.buildModulePartial(floorplan_->prr(prrIndex),
+                                                       m.id, m.occupancy))
+             .first;
+  }
+  return it->second;
+}
+
+const Bitstream& Library::full() {
+  if (!full_) {
+    full_ = std::make_unique<Bitstream>(builder_.buildFull(/*designId=*/1));
+  }
+  return *full_;
+}
+
+}  // namespace prtr::bitstream

@@ -1,0 +1,79 @@
+#pragma once
+/// \file library.hpp
+/// Bitstream library: caches generated streams per (region, module) and
+/// accounts for the flow cost comparison of paper section 2.2 — a module-
+/// based flow needs n fixed-size bitstreams per region, a difference-based
+/// flow needs n(n-1) variable-size bitstreams.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitstream/builder.hpp"
+#include "fabric/floorplan.hpp"
+
+namespace prtr::bitstream {
+
+/// Per-flow bitstream inventory statistics.
+struct FlowStats {
+  std::size_t streamCount = 0;
+  util::Bytes totalBytes{};
+  util::Bytes minBytes{};
+  util::Bytes maxBytes{};
+};
+
+/// Owns every bitstream needed to run a module set on a floorplan.
+class Library {
+ public:
+  /// A module to be made loadable into PRRs.
+  struct ModuleSpec {
+    ModuleId id = 0;
+    std::string name;
+    double occupancy = 1.0;  ///< fraction of region frames carrying content
+  };
+
+  Library(const fabric::Floorplan& floorplan, std::vector<ModuleSpec> modules);
+
+  /// Module-based flow: builds one stream per (PRR, module).
+  /// Returns aggregate stats; streams are retained for lookup.
+  FlowStats buildModuleFlow();
+
+  /// Difference-based flow: builds one stream per (PRR, from, to), from != to.
+  FlowStats buildDifferenceFlow();
+
+  /// Module-based stream for `module` in PRR `prrIndex` (built on demand).
+  [[nodiscard]] const Bitstream& modulePartial(std::size_t prrIndex, ModuleId module);
+
+  /// The full-device stream (static design + baseline PRR contents).
+  [[nodiscard]] const Bitstream& full();
+
+  [[nodiscard]] const std::vector<ModuleSpec>& modules() const noexcept {
+    return modules_;
+  }
+  [[nodiscard]] const fabric::Floorplan& floorplan() const noexcept {
+    return *floorplan_;
+  }
+
+  /// Streams a module-based flow must hold for n modules (= n per region).
+  [[nodiscard]] static std::size_t moduleFlowStreams(std::size_t nModules) noexcept {
+    return nModules;
+  }
+  /// Streams a difference-based flow must hold for n modules (= n(n-1)).
+  [[nodiscard]] static std::size_t differenceFlowStreams(std::size_t nModules) noexcept {
+    return nModules * (nModules - 1);
+  }
+
+ private:
+  [[nodiscard]] const ModuleSpec& spec(ModuleId module) const;
+
+  const fabric::Floorplan* floorplan_;
+  std::vector<ModuleSpec> modules_;
+  Builder builder_;
+  std::unique_ptr<Bitstream> full_;
+  std::map<std::pair<std::size_t, ModuleId>, Bitstream> modulePartials_;
+  std::map<std::tuple<std::size_t, ModuleId, ModuleId>, Bitstream> diffPartials_;
+};
+
+}  // namespace prtr::bitstream

@@ -1,0 +1,45 @@
+#pragma once
+/// \file parser.hpp
+/// Structural validation and decoding of XBF streams. The configuration
+/// engine parses every stream before applying it, mirroring the checks a
+/// real configuration controller performs (and the ones the Cray API layers
+/// on top — see config/vendor_api.hpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitstream/format.hpp"
+#include "fabric/device.hpp"
+
+namespace prtr::bitstream {
+
+/// A decoded frame write.
+struct FrameWrite {
+  std::uint32_t frame = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Parsed view over a validated stream. Non-owning: the underlying byte
+/// buffer must outlive the view.
+struct ParsedStream {
+  Header header;
+  std::vector<FrameWrite> writes;
+};
+
+/// Parses and validates `bytes` against `device`'s geometry.
+/// Throws BitstreamError on: bad magic, unknown type, device mismatch,
+/// truncated data, out-of-range frame addresses, or CRC failure.
+[[nodiscard]] ParsedStream parse(std::span<const std::uint8_t> bytes,
+                                 const fabric::Device& device);
+
+/// Convenience overload.
+[[nodiscard]] inline ParsedStream parse(const Bitstream& stream,
+                                        const fabric::Device& device) {
+  return parse(std::span{stream.bytes()}, device);
+}
+
+/// Cheap header-only peek (no CRC walk); used by size/type checks.
+[[nodiscard]] Header peekHeader(std::span<const std::uint8_t> bytes);
+
+}  // namespace prtr::bitstream

@@ -1,0 +1,87 @@
+#include "bitstream/relocate.hpp"
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace prtr::bitstream {
+
+bool regionsCompatible(const fabric::Device& device, const fabric::Region& a,
+                       const fabric::Region& b) {
+  if (a.columnCount() != b.columnCount()) return false;
+  const auto columns = device.geometry().columns();
+  for (std::size_t i = 0; i < a.columnCount(); ++i) {
+    if (columns[a.firstColumn() + i].kind != columns[b.firstColumn() + i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Bitstream relocate(const Bitstream& stream, const fabric::Device& device,
+                   const fabric::Region& from, const fabric::Region& to) {
+  util::require(regionsCompatible(device, from, to),
+                "relocate: regions have different column signatures");
+  if (!stream.isPartial()) {
+    throw util::BitstreamError{"relocate: only partial streams relocate"};
+  }
+  const fabric::FrameRange fromFrames = from.frames(device);
+  const fabric::FrameRange toFrames = to.frames(device);
+  if (stream.header().firstFrame < fromFrames.first ||
+      stream.header().firstFrame + stream.header().frameCount >
+          fromFrames.end()) {
+    throw util::BitstreamError{
+        "relocate: stream does not target the source region"};
+  }
+
+  // The byte layout is header | {addr, payload}... | crc (format.hpp).
+  const auto& enc = device.geometry().encoding();
+  std::vector<std::uint8_t> bytes = stream.bytes();
+  const std::int64_t offset = static_cast<std::int64_t>(toFrames.first) -
+                              static_cast<std::int64_t>(fromFrames.first);
+
+  auto rewriteU32 = [&bytes](std::size_t at, std::uint32_t v) {
+    bytes[at] = static_cast<std::uint8_t>(v);
+    bytes[at + 1] = static_cast<std::uint8_t>(v >> 8);
+    bytes[at + 2] = static_cast<std::uint8_t>(v >> 16);
+    bytes[at + 3] = static_cast<std::uint8_t>(v >> 24);
+  };
+  auto readU32 = [&bytes](std::size_t at) {
+    return static_cast<std::uint32_t>(bytes[at]) |
+           static_cast<std::uint32_t>(bytes[at + 1]) << 8 |
+           static_cast<std::uint32_t>(bytes[at + 2]) << 16 |
+           static_cast<std::uint32_t>(bytes[at + 3]) << 24;
+  };
+
+  Header header = stream.header();
+  header.firstFrame =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(header.firstFrame) +
+                                 offset);
+  rewriteU32(12, header.firstFrame);  // firstFrame field (see builder)
+
+  std::size_t at = enc.partialOverheadBytes - 4;
+  for (std::uint32_t i = 0; i < header.frameCount; ++i) {
+    const std::uint32_t frame = readU32(at);
+    rewriteU32(at, static_cast<std::uint32_t>(
+                       static_cast<std::int64_t>(frame) + offset));
+    at += enc.frameAddressBytes + enc.frameBytes;
+  }
+
+  // Recompute the trailing CRC.
+  const std::uint32_t crc = util::Crc32::of(
+      std::span{bytes.data(), bytes.size() - 4});
+  rewriteU32(bytes.size() - 4, crc);
+
+  return Bitstream{header, std::move(bytes)};
+}
+
+RelocationSavings relocationSavings(util::Bytes streamBytes,
+                                    std::size_t nModules,
+                                    std::size_t nCompatibleRegions) {
+  RelocationSavings savings;
+  savings.withoutRelocation =
+      streamBytes * static_cast<std::uint64_t>(nModules * nCompatibleRegions);
+  savings.withRelocation = streamBytes * static_cast<std::uint64_t>(nModules);
+  return savings;
+}
+
+}  // namespace prtr::bitstream

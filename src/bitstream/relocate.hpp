@@ -1,0 +1,56 @@
+#pragma once
+/// \file relocate.hpp
+/// Module relocation — the capability behind the paper's reference [24]
+/// ("Configuration Prefetching Techniques for Partial Reconfigurable
+/// Coprocessor with Relocation and Defragmentation"): retargeting a
+/// module-based partial bitstream from one PRR to another *without*
+/// re-implementing the module, by rewriting its frame addresses.
+///
+/// Relocation is only legal between regions with identical column
+/// signatures (same kinds in the same order), because frame contents are
+/// column-kind specific. With relocation, a library needs only one stream
+/// per module instead of one per (module, PRR) pair — halving storage on
+/// the dual-PRR layout.
+
+#include "bitstream/format.hpp"
+#include "bitstream/parser.hpp"
+#include "fabric/region.hpp"
+
+namespace prtr::bitstream {
+
+/// True when `a` and `b` have identical column-kind signatures (and hence
+/// identical frame counts), making relocation between them lossless.
+[[nodiscard]] bool regionsCompatible(const fabric::Device& device,
+                                     const fabric::Region& a,
+                                     const fabric::Region& b);
+
+/// Rewrites `stream` (a module-based partial for region `from`) so it
+/// targets region `to`. Frame payloads are preserved; addresses shift by
+/// the region offset and the CRC is recomputed.
+/// Throws DomainError when the regions are incompatible and BitstreamError
+/// when `stream` is not a partial for `from`.
+[[nodiscard]] Bitstream relocate(const Bitstream& stream,
+                                 const fabric::Device& device,
+                                 const fabric::Region& from,
+                                 const fabric::Region& to);
+
+/// Storage accounting: bytes held by a per-(module, PRR) library versus a
+/// relocatable one-stream-per-module library, for `nModules` modules and
+/// `nCompatibleRegions` mutually compatible PRRs.
+struct RelocationSavings {
+  util::Bytes withoutRelocation;
+  util::Bytes withRelocation;
+
+  [[nodiscard]] double ratio() const noexcept {
+    return withRelocation.count()
+               ? static_cast<double>(withoutRelocation.count()) /
+                     static_cast<double>(withRelocation.count())
+               : 0.0;
+  }
+};
+
+[[nodiscard]] RelocationSavings relocationSavings(util::Bytes streamBytes,
+                                                  std::size_t nModules,
+                                                  std::size_t nCompatibleRegions);
+
+}  // namespace prtr::bitstream

@@ -1,0 +1,64 @@
+#include "config/manager.hpp"
+
+#include "util/error.hpp"
+
+namespace prtr::config {
+
+Manager::Manager(sim::Simulator& sim, const fabric::Floorplan& floorplan,
+                 VendorApi& api, IcapController& icap)
+    : sim_(&sim),
+      floorplan_(&floorplan),
+      api_(&api),
+      icap_(&icap),
+      loaded_(floorplan.prrCount()),
+      busy_(floorplan.prrCount(), false) {}
+
+sim::Process Manager::fullConfigure(const bitstream::Bitstream& stream) {
+  ApiStatus status = ApiStatus::kOk;
+  co_await api_->load(stream, status);
+  if (status != ApiStatus::kOk) {
+    throw util::ConfigError{std::string{"Manager: vendor API refused load: "} +
+                            toString(status)};
+  }
+  loaded_.assign(loaded_.size(), std::nullopt);
+  ++nFull_;
+}
+
+sim::Process Manager::loadModule(std::size_t prrIndex,
+                                 bitstream::ModuleId module,
+                                 const bitstream::Bitstream& stream) {
+  util::require(prrIndex < loaded_.size(), "Manager: PRR index out of range");
+  const fabric::FrameRange prrFrames =
+      floorplan_->prr(prrIndex).frames(floorplan_->device());
+  if (stream.header().firstFrame < prrFrames.first ||
+      stream.header().firstFrame + stream.header().frameCount > prrFrames.end()) {
+    throw util::ConfigError{
+        "Manager: stream frames fall outside the target PRR"};
+  }
+  busy_[prrIndex] = true;
+  loaded_[prrIndex] = std::nullopt;  // region contents undefined during load
+  co_await icap_->load(stream);
+  loaded_[prrIndex] = module;
+  busy_[prrIndex] = false;
+  ++nPartial_;
+}
+
+std::optional<bitstream::ModuleId> Manager::loadedModule(
+    std::size_t prrIndex) const {
+  util::require(prrIndex < loaded_.size(), "Manager: PRR index out of range");
+  return loaded_[prrIndex];
+}
+
+std::optional<std::size_t> Manager::findModule(bitstream::ModuleId module) const {
+  for (std::size_t i = 0; i < loaded_.size(); ++i) {
+    if (loaded_[i] == module) return i;
+  }
+  return std::nullopt;
+}
+
+bool Manager::reconfiguring(std::size_t prrIndex) const {
+  util::require(prrIndex < busy_.size(), "Manager: PRR index out of range");
+  return busy_[prrIndex];
+}
+
+}  // namespace prtr::config

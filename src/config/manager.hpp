@@ -1,0 +1,66 @@
+#pragma once
+/// \file manager.hpp
+/// Configuration manager: tracks which module is loaded in each PRR and
+/// routes load requests to the right mechanism — the vendor API for full
+/// streams, the ICAP controller for partial streams.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitstream/library.hpp"
+#include "config/icap_controller.hpp"
+#include "config/vendor_api.hpp"
+#include "fabric/floorplan.hpp"
+
+namespace prtr::config {
+
+/// Per-PRR loaded-module bookkeeping plus load routing.
+class Manager {
+ public:
+  Manager(sim::Simulator& sim, const fabric::Floorplan& floorplan,
+          VendorApi& api, IcapController& icap);
+
+  /// Coroutine: full configuration through the vendor API. Resets PRR
+  /// bookkeeping (every region now holds the initial design). Throws
+  /// ConfigError when the API rejects the stream.
+  [[nodiscard]] sim::Process fullConfigure(const bitstream::Bitstream& stream);
+
+  /// Coroutine: loads `module`'s stream into PRR `prrIndex` via ICAP.
+  [[nodiscard]] sim::Process loadModule(std::size_t prrIndex,
+                                        bitstream::ModuleId module,
+                                        const bitstream::Bitstream& stream);
+
+  /// Module currently loaded in PRR `prrIndex` (nullopt = baseline/initial).
+  [[nodiscard]] std::optional<bitstream::ModuleId> loadedModule(
+      std::size_t prrIndex) const;
+
+  /// PRR currently holding `module`, if any.
+  [[nodiscard]] std::optional<std::size_t> findModule(
+      bitstream::ModuleId module) const;
+
+  /// True while a partial load into `prrIndex` is in flight; logic in that
+  /// region must not be used (only *other* regions keep running — that is
+  /// the point of PRTR).
+  [[nodiscard]] bool reconfiguring(std::size_t prrIndex) const;
+
+  [[nodiscard]] std::uint64_t fullConfigCount() const noexcept { return nFull_; }
+  [[nodiscard]] std::uint64_t partialConfigCount() const noexcept {
+    return nPartial_;
+  }
+  [[nodiscard]] const fabric::Floorplan& floorplan() const noexcept {
+    return *floorplan_;
+  }
+
+ private:
+  sim::Simulator* sim_;
+  const fabric::Floorplan* floorplan_;
+  VendorApi* api_;
+  IcapController* icap_;
+  std::vector<std::optional<bitstream::ModuleId>> loaded_;
+  std::vector<bool> busy_;
+  std::uint64_t nFull_ = 0;
+  std::uint64_t nPartial_ = 0;
+};
+
+}  // namespace prtr::config

@@ -1,0 +1,101 @@
+#include "config/memory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::config {
+
+ConfigMemory::ConfigMemory(const fabric::Device& device)
+    : device_(&device), frameOwner_(device.geometry().totalFrames(), 0) {}
+
+std::uint64_t ConfigMemory::frameOwner(std::uint32_t frame) const {
+  util::require(frame < frameOwner_.size(), "ConfigMemory: frame out of range");
+  return frameOwner_[frame];
+}
+
+void ConfigMemory::retainPayloads(const bitstream::ParsedStream& stream) {
+  if (image_.empty()) return;
+  const std::uint32_t frameBytes = device_->geometry().encoding().frameBytes;
+  for (const auto& write : stream.writes) {
+    std::copy(write.payload.begin(), write.payload.end(),
+              image_.begin() + static_cast<std::ptrdiff_t>(
+                                   std::uint64_t{write.frame} * frameBytes));
+  }
+}
+
+void ConfigMemory::applyFull(const bitstream::ParsedStream& stream) {
+  if (stream.header.type != bitstream::StreamType::kFull) {
+    throw util::ConfigError{"ConfigMemory: applyFull needs a full stream"};
+  }
+  for (const auto& write : stream.writes) {
+    frameOwner_.at(write.frame) = stream.header.moduleId;
+  }
+  retainPayloads(stream);
+  framesWritten_ += stream.writes.size();
+  done_ = true;
+}
+
+void ConfigMemory::applyPartial(const bitstream::ParsedStream& stream) {
+  if (stream.header.type != bitstream::StreamType::kPartial) {
+    throw util::ConfigError{"ConfigMemory: applyPartial needs a partial stream"};
+  }
+  if (!done_) {
+    throw util::ConfigError{
+        "ConfigMemory: dynamic partial reconfiguration requires an operating "
+        "(fully configured) device"};
+  }
+  for (const auto& write : stream.writes) {
+    frameOwner_.at(write.frame) = stream.header.moduleId;
+  }
+  retainPayloads(stream);
+  framesWritten_ += stream.writes.size();
+}
+
+void ConfigMemory::enableReadback() {
+  if (!image_.empty()) return;
+  image_.assign(std::uint64_t{device_->geometry().totalFrames()} *
+                    device_->geometry().encoding().frameBytes,
+                0);
+}
+
+std::span<const std::uint8_t> ConfigMemory::frameContent(
+    std::uint32_t frame) const {
+  util::require(!image_.empty(),
+                "ConfigMemory: enableReadback() before reading content");
+  util::require(frame < frameOwner_.size(), "ConfigMemory: frame out of range");
+  const std::uint32_t frameBytes = device_->geometry().encoding().frameBytes;
+  return std::span{image_.data() + std::uint64_t{frame} * frameBytes,
+                   frameBytes};
+}
+
+void ConfigMemory::injectUpset(std::uint32_t frame, std::uint32_t offset,
+                               std::uint8_t mask) {
+  util::require(!image_.empty(),
+                "ConfigMemory: enableReadback() before injecting upsets");
+  util::require(frame < frameOwner_.size(), "ConfigMemory: frame out of range");
+  const std::uint32_t frameBytes = device_->geometry().encoding().frameBytes;
+  util::require(offset < frameBytes, "ConfigMemory: offset out of range");
+  util::require(mask != 0, "ConfigMemory: empty upset mask");
+  image_[std::uint64_t{frame} * frameBytes + offset] ^= mask;
+  ++upsets_;
+}
+
+void ConfigMemory::reset() noexcept {
+  frameOwner_.assign(frameOwner_.size(), 0);
+  done_ = false;
+  framesWritten_ = 0;
+  upsets_ = 0;
+  if (!image_.empty()) image_.assign(image_.size(), 0);
+  parseCache_.clear();
+}
+
+const bitstream::ParsedStream& ConfigMemory::parsedFor(
+    const bitstream::Bitstream& stream) {
+  const auto it = parseCache_.find(&stream);
+  if (it != parseCache_.end()) return it->second;
+  return parseCache_.emplace(&stream, bitstream::parse(stream, *device_))
+      .first->second;
+}
+
+}  // namespace prtr::config

@@ -1,0 +1,86 @@
+#pragma once
+/// \file memory.hpp
+/// Configuration-memory state of one FPGA: which module owns each frame and
+/// the DONE pin. Partial streams may only be applied while the device is
+/// operating (dynamic/active partial reconfiguration, paper section 2.2);
+/// a full stream resets the whole array.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "bitstream/parser.hpp"
+#include "fabric/device.hpp"
+
+namespace prtr::config {
+
+/// Tracks frame ownership and the DONE signal.
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(const fabric::Device& device);
+
+  [[nodiscard]] const fabric::Device& device() const noexcept { return *device_; }
+
+  /// DONE pin: asserted once the device has been fully configured.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Owner (moduleId) of `frame`; 0 before any configuration.
+  [[nodiscard]] std::uint64_t frameOwner(std::uint32_t frame) const;
+
+  /// Number of frames written since power-up.
+  [[nodiscard]] std::uint64_t framesWritten() const noexcept { return framesWritten_; }
+
+  /// Applies a parsed full stream: every frame rewritten, DONE asserted.
+  void applyFull(const bitstream::ParsedStream& stream);
+
+  /// Applies a parsed partial stream. Throws ConfigError when DONE is low
+  /// (the device must be operating for dynamic partial reconfiguration).
+  void applyPartial(const bitstream::ParsedStream& stream);
+
+  /// Power-cycle: clears all state.
+  void reset() noexcept;
+
+  // ---- readback support (configuration scrubbing, SEU repair) ----------
+
+  /// Enables frame-payload retention. Costs totalFrames x frameBytes of
+  /// host memory per device, so it is opt-in; must be called before the
+  /// streams whose content should be readable are applied.
+  void enableReadback();
+  [[nodiscard]] bool readbackEnabled() const noexcept { return !image_.empty(); }
+
+  /// Copy of the current configuration content of `frame`.
+  /// Requires enableReadback() beforehand.
+  [[nodiscard]] std::span<const std::uint8_t> frameContent(
+      std::uint32_t frame) const;
+
+  /// Flips `mask` bits of byte `offset` within `frame` — a single-event
+  /// upset (SEU) injection for scrubbing studies. Does not change the
+  /// frame's owner bookkeeping (the upset is silent, as in hardware).
+  void injectUpset(std::uint32_t frame, std::uint32_t offset,
+                   std::uint8_t mask);
+
+  [[nodiscard]] std::uint64_t upsetsInjected() const noexcept {
+    return upsets_;
+  }
+
+  /// Parses `stream` once and caches the result by identity, so repeated
+  /// loads of the same library stream do not re-walk megabytes of CRC.
+  /// The stream must outlive this ConfigMemory (the bitstream::Library
+  /// used by the runtime guarantees that).
+  [[nodiscard]] const bitstream::ParsedStream& parsedFor(
+      const bitstream::Bitstream& stream);
+
+ private:
+  void retainPayloads(const bitstream::ParsedStream& stream);
+
+  const fabric::Device* device_;
+  std::vector<std::uint64_t> frameOwner_;
+  bool done_ = false;
+  std::uint64_t framesWritten_ = 0;
+  std::uint64_t upsets_ = 0;
+  std::vector<std::uint8_t> image_;  ///< empty unless readback is enabled
+  std::map<const bitstream::Bitstream*, bitstream::ParsedStream> parseCache_;
+};
+
+}  // namespace prtr::config

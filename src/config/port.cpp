@@ -1,0 +1,50 @@
+#include "config/port.hpp"
+
+#include "util/error.hpp"
+
+namespace prtr::config {
+
+const char* toString(PortKind kind) noexcept {
+  switch (kind) {
+    case PortKind::kJtag: return "JTAG";
+    case PortKind::kSelectMap: return "SelectMap";
+    case PortKind::kIcap: return "ICAP";
+  }
+  return "?";
+}
+
+Port::Port(PortKind kind, std::string name, std::uint32_t widthBits,
+           util::Frequency clock, bool internal, bool supportsPartial)
+    : kind_(kind),
+      name_(std::move(name)),
+      widthBits_(widthBits),
+      clock_(clock),
+      internal_(internal),
+      supportsPartial_(supportsPartial) {
+  util::require(widthBits_ == 1 || widthBits_ % 8 == 0,
+                "Port: width must be serial or byte-aligned");
+  util::require(clock_.hertz() > 0.0, "Port: clock must be positive");
+}
+
+Port makeSelectMap() {
+  return Port{PortKind::kSelectMap, "SelectMap", 8,
+              util::Frequency::megahertz(66), /*internal=*/false,
+              /*supportsPartial=*/true};
+}
+
+Port makeJtag() {
+  return Port{PortKind::kJtag, "JTAG", 1, util::Frequency::megahertz(33),
+              /*internal=*/false, /*supportsPartial=*/true};
+}
+
+Port makeIcapV2() {
+  return Port{PortKind::kIcap, "ICAP(V2P)", 8, util::Frequency::megahertz(66),
+              /*internal=*/true, /*supportsPartial=*/true};
+}
+
+Port makeIcapV4() {
+  return Port{PortKind::kIcap, "ICAP(V4)", 32, util::Frequency::megahertz(100),
+              /*internal=*/true, /*supportsPartial=*/true};
+}
+
+}  // namespace prtr::config

@@ -1,0 +1,67 @@
+#pragma once
+/// \file port.hpp
+/// FPGA configuration interfaces. Xilinx parts expose JTAG (serial) and
+/// SelectMap (8-bit parallel) externally; Virtex-II-Pro-and-later parts add
+/// the Internal Configuration Access Port (ICAP), an internal copy of the
+/// parallel interface used for self-reconfiguration (paper section 4.1).
+/// Only SelectMap/JTAG/ICAP support partial reconfiguration.
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace prtr::config {
+
+/// Port families.
+enum class PortKind : std::uint8_t { kJtag, kSelectMap, kIcap };
+
+[[nodiscard]] const char* toString(PortKind kind) noexcept;
+
+/// Static description of one configuration interface.
+class Port {
+ public:
+  Port(PortKind kind, std::string name, std::uint32_t widthBits,
+       util::Frequency clock, bool internal, bool supportsPartial);
+
+  [[nodiscard]] PortKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t widthBits() const noexcept { return widthBits_; }
+  [[nodiscard]] util::Frequency clock() const noexcept { return clock_; }
+  /// True for ICAP: reachable only from inside the fabric.
+  [[nodiscard]] bool internal() const noexcept { return internal_; }
+  [[nodiscard]] bool supportsPartial() const noexcept { return supportsPartial_; }
+
+  /// Peak throughput: width/8 bytes per clock.
+  [[nodiscard]] util::DataRate rawThroughput() const noexcept {
+    return util::DataRate::bytesPerSecond(clock_.hertz() *
+                                          static_cast<double>(widthBits_) / 8.0);
+  }
+
+  /// Best-case (estimated) time to push `size` bytes through the port.
+  /// This is the "Estimated" column of the paper's Table 2.
+  [[nodiscard]] util::Time transferTime(util::Bytes size) const noexcept {
+    return rawThroughput().transferTime(size);
+  }
+
+ private:
+  PortKind kind_;
+  std::string name_;
+  std::uint32_t widthBits_;
+  util::Frequency clock_;
+  bool internal_;
+  bool supportsPartial_;
+};
+
+/// The external 8-bit parallel port, 66 MHz on Virtex-II Pro (66 MB/s).
+[[nodiscard]] Port makeSelectMap();
+
+/// The serial JTAG port (33 MHz, 1 bit).
+[[nodiscard]] Port makeJtag();
+
+/// The internal parallel port: 8-bit at 66 MHz on Virtex-II Pro.
+[[nodiscard]] Port makeIcapV2();
+
+/// Virtex-4 ICAP: 32-bit at 100 MHz (for what-if studies).
+[[nodiscard]] Port makeIcapV4();
+
+}  // namespace prtr::config

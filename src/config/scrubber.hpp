@@ -1,0 +1,89 @@
+#pragma once
+/// \file scrubber.hpp
+/// Configuration readback and SEU scrubbing — the reliability application
+/// of partial reconfiguration. Radiation-induced single-event upsets (SEUs)
+/// silently flip configuration bits; a scrubber periodically reads regions
+/// back through the configuration port, compares them against their golden
+/// streams, and repairs corrupted frames with a partial reconfiguration.
+/// Readback and repair both cost configuration-port time, so scrubbing is
+/// one more consumer of the bandwidth the paper's model prices.
+
+#include <cstdint>
+#include <vector>
+
+#include "bitstream/format.hpp"
+#include "config/icap_controller.hpp"
+#include "config/memory.hpp"
+#include "fabric/region.hpp"
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace prtr::config {
+
+/// Frames of `region` whose current content differs from `golden`
+/// (the stream that configured it). Requires readback-enabled memory.
+[[nodiscard]] std::vector<std::uint32_t> verifyRegion(
+    ConfigMemory& memory, const bitstream::Bitstream& golden);
+
+/// Scrubbing statistics.
+struct ScrubStats {
+  std::uint64_t scrubPasses = 0;
+  std::uint64_t framesChecked = 0;
+  std::uint64_t upsetsDetected = 0;
+  std::uint64_t repairs = 0;
+  util::Time readbackTime;
+  util::Time repairTime;
+  /// Accumulated exposure: sum over detected upsets of (detection time -
+  /// nothing-known injection time is unavailable) -- approximated as one
+  /// half scrub period per detected upset by the caller.
+  util::Time busyTime() const noexcept { return readbackTime + repairTime; }
+};
+
+/// Periodic scrubber over one region; runs as a simulator process.
+class Scrubber {
+ public:
+  /// `golden` must outlive the scrubber and match `region`.
+  Scrubber(sim::Simulator& sim, ConfigMemory& memory, IcapController& icap,
+           const fabric::Device& device, const bitstream::Bitstream& golden,
+           util::Time period);
+
+  /// Coroutine: scrub every `period` for `passes` passes — read back the
+  /// region (port time), compare, and repair via a partial reload when
+  /// any frame is corrupted.
+  [[nodiscard]] sim::Process run(std::uint64_t passes);
+
+  [[nodiscard]] const ScrubStats& stats() const noexcept { return stats_; }
+
+ private:
+  sim::Simulator* sim_;
+  ConfigMemory* memory_;
+  IcapController* icap_;
+  const fabric::Device* device_;
+  const bitstream::Bitstream* golden_;
+  util::Time period_;
+  ScrubStats stats_;
+};
+
+/// Poisson SEU injector over a frame range; runs as a simulator process.
+class UpsetInjector {
+ public:
+  UpsetInjector(sim::Simulator& sim, ConfigMemory& memory,
+                fabric::FrameRange range, util::Time meanInterArrival,
+                std::uint64_t seed);
+
+  /// Coroutine: injects upsets until `horizon` (absolute sim time).
+  [[nodiscard]] sim::Process run(util::Time horizon);
+
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+
+ private:
+  sim::Simulator* sim_;
+  ConfigMemory* memory_;
+  fabric::FrameRange range_;
+  util::Time meanInterArrival_;
+  util::Rng rng_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace prtr::config

@@ -1,0 +1,82 @@
+#pragma once
+/// \file vendor_api.hpp
+/// Emulation of the closed-source vendor configuration API on the Cray XD1
+/// (the `fpga_load`-style call of paper section 4.1). The stock API:
+///
+///  * rejects any stream whose size differs from the full bitstream size
+///    ("a simple check on the size of the bitstream"), and
+///  * rejects loads when the DONE signal does not behave as expected for a
+///    full configuration — which is always the case for partial streams,
+///    because the device is already configured and DONE stays asserted.
+///
+/// Hence partial reconfiguration is *not natively supported*; the paper's
+/// work-around is the ICAP controller (icap_controller.hpp). A "modified
+/// loader" mode removes both checks, modelling the hypothetical vendor fix.
+///
+/// Timing calibration (DESIGN.md): the measured full configuration takes
+/// 1678.04 ms for 2,381,764 bytes — a fixed 12 ms software overhead plus
+/// 699.5 ns/byte of driver-mediated writes, far from the 66 MB/s the raw
+/// SelectMap port could sustain.
+
+#include <cstdint>
+
+#include "bitstream/format.hpp"
+#include "config/memory.hpp"
+#include "config/port.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace prtr::config {
+
+/// Result codes returned by the emulated API.
+enum class ApiStatus : std::uint8_t {
+  kOk,
+  kRejectedSize,  ///< bitstream size != full bitstream size
+  kRejectedDone,  ///< DONE signal check failed (already-configured device)
+};
+
+[[nodiscard]] const char* toString(ApiStatus status) noexcept;
+
+/// Timing of the driver path.
+struct ApiTiming {
+  util::Time fixedOverhead = util::Time::microseconds(12'000);
+  util::Time perByte = util::Time::picoseconds(699'500);  // 699.5 ns/byte
+};
+
+/// The emulated vendor configuration function.
+class VendorApi {
+ public:
+  VendorApi(sim::Simulator& sim, ConfigMemory& memory, ApiTiming timing = {},
+            bool modifiedLoader = false)
+      : sim_(&sim), memory_(&memory), timing_(timing),
+        modifiedLoader_(modifiedLoader) {}
+
+  /// The stock API's admission checks, without side effects.
+  [[nodiscard]] ApiStatus check(const bitstream::Bitstream& stream) const;
+
+  /// Wall-clock cost of a successful load of `size` bytes.
+  [[nodiscard]] util::Time loadTime(util::Bytes size) const noexcept {
+    return timing_.fixedOverhead + timing_.perByte * static_cast<std::int64_t>(
+                                                         size.count());
+  }
+
+  /// Coroutine: runs the checks, then (if admitted) spends loadTime() and
+  /// applies the stream. The outcome is written to `*status`; rejected
+  /// streams cost only the fixed overhead and change nothing.
+  [[nodiscard]] sim::Process load(const bitstream::Bitstream& stream,
+                                  ApiStatus& status);
+
+  [[nodiscard]] bool modifiedLoader() const noexcept { return modifiedLoader_; }
+  [[nodiscard]] const ApiTiming& timing() const noexcept { return timing_; }
+  [[nodiscard]] std::uint64_t loadsPerformed() const noexcept { return loads_; }
+
+ private:
+  sim::Simulator* sim_;
+  ConfigMemory* memory_;
+  ApiTiming timing_;
+  bool modifiedLoader_;
+  std::uint64_t loads_ = 0;
+};
+
+}  // namespace prtr::config

@@ -1,0 +1,166 @@
+#include "fabric/allocator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::fabric {
+
+const char* toString(FitPolicy policy) noexcept {
+  switch (policy) {
+    case FitPolicy::kFirstFit: return "first-fit";
+    case FitPolicy::kBestFit: return "best-fit";
+    case FitPolicy::kWorstFit: return "worst-fit";
+  }
+  return "?";
+}
+
+ColumnAllocator::ColumnAllocator(const Device& device, std::size_t firstColumn,
+                                 std::size_t columnCount)
+    : device_(&device),
+      first_(firstColumn),
+      count_(columnCount),
+      used_(columnCount, false) {
+  util::require(columnCount > 0, "ColumnAllocator: empty managed range");
+  util::require(firstColumn + columnCount <= device.geometry().columnCount(),
+                "ColumnAllocator: managed range outside the device");
+}
+
+bool ColumnAllocator::rangeFree(std::size_t first, std::size_t width) const {
+  if (first < first_ || first + width > first_ + count_) return false;
+  for (std::size_t c = first; c < first + width; ++c) {
+    if (used_[c - first_]) return false;
+  }
+  return true;
+}
+
+void ColumnAllocator::occupy(const Allocation& allocation, bool value) {
+  for (std::size_t c = allocation.firstColumn; c < allocation.endColumn(); ++c) {
+    used_[c - first_] = value;
+  }
+}
+
+std::optional<Allocation> ColumnAllocator::allocate(std::size_t width,
+                                                    FitPolicy policy,
+                                                    std::string name) {
+  util::require(width > 0, "ColumnAllocator: zero-width allocation");
+
+  // Enumerate maximal free holes as (start, length).
+  std::optional<std::size_t> chosen;
+  std::size_t chosenLength = 0;
+  std::size_t c = 0;
+  while (c < count_) {
+    if (used_[c]) {
+      ++c;
+      continue;
+    }
+    std::size_t length = 0;
+    while (c + length < count_ && !used_[c + length]) ++length;
+    if (length >= width) {
+      const bool better = !chosen ||
+                          (policy == FitPolicy::kBestFit && length < chosenLength) ||
+                          (policy == FitPolicy::kWorstFit && length > chosenLength);
+      if (policy == FitPolicy::kFirstFit) {
+        if (!chosen) {
+          chosen = c;
+          chosenLength = length;
+        }
+      } else if (better) {
+        chosen = c;
+        chosenLength = length;
+      }
+    }
+    c += length;
+  }
+  if (!chosen) return std::nullopt;
+
+  Allocation allocation;
+  allocation.id = nextId_++;
+  allocation.name = std::move(name);
+  allocation.firstColumn = first_ + *chosen;
+  allocation.width = width;
+  occupy(allocation, true);
+  live_.emplace(allocation.id, allocation);
+  return allocation;
+}
+
+void ColumnAllocator::release(std::uint64_t id) {
+  const auto it = live_.find(id);
+  util::require(it != live_.end(), "ColumnAllocator: unknown allocation id");
+  occupy(it->second, false);
+  live_.erase(it);
+}
+
+std::size_t ColumnAllocator::freeColumns() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(used_.begin(), used_.end(), false));
+}
+
+std::size_t ColumnAllocator::largestFreeBlock() const noexcept {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (const bool used : used_) {
+    run = used ? 0 : run + 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+double ColumnAllocator::fragmentation() const noexcept {
+  const std::size_t free = freeColumns();
+  if (free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largestFreeBlock()) /
+                   static_cast<double>(free);
+}
+
+bool ColumnAllocator::signaturesMatch(std::size_t fromColumn,
+                                      std::size_t toColumn,
+                                      std::size_t width) const {
+  const auto columns = device_->geometry().columns();
+  for (std::size_t i = 0; i < width; ++i) {
+    if (columns[fromColumn + i].kind != columns[toColumn + i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Move> ColumnAllocator::defragment() {
+  // Process live allocations left to right, sliding each as far left as
+  // the write pointer and its column signature allow.
+  std::vector<Allocation*> order;
+  order.reserve(live_.size());
+  for (auto& [id, allocation] : live_) order.push_back(&allocation);
+  std::sort(order.begin(), order.end(), [](const Allocation* a, const Allocation* b) {
+    return a->firstColumn < b->firstColumn;
+  });
+
+  std::vector<Move> moves;
+  std::size_t writePointer = first_;
+  for (Allocation* allocation : order) {
+    if (allocation->firstColumn > writePointer &&
+        signaturesMatch(allocation->firstColumn, writePointer,
+                        allocation->width)) {
+      Move move;
+      move.id = allocation->id;
+      move.fromColumn = allocation->firstColumn;
+      move.toColumn = writePointer;
+      move.width = allocation->width;
+
+      occupy(*allocation, false);
+      allocation->firstColumn = writePointer;
+      occupy(*allocation, true);
+      moves.push_back(move);
+    }
+    writePointer = allocation->endColumn();
+  }
+  return moves;
+}
+
+util::Bytes ColumnAllocator::moveCost(const Move& move) const {
+  const fabric::FrameRange frames =
+      device_->geometry().columnRangeFrames(move.toColumn, move.width);
+  return device_->geometry().partialBitstreamBytes(frames.count);
+}
+
+}  // namespace prtr::fabric

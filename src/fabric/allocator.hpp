@@ -1,0 +1,105 @@
+#pragma once
+/// \file allocator.hpp
+/// Dynamic region allocation with defragmentation — the substrate behind
+/// the paper's reference [24] ("... Partial Reconfigurable Coprocessor
+/// with Relocation and Defragmentation"). Instead of fixed PRRs, a managed
+/// stretch of device columns is allocated to variable-width modules at run
+/// time. External fragmentation accumulates as modules come and go; the
+/// defragmenter compacts live modules to one end (each move costing one
+/// partial reconfiguration of the module's width, performed via the
+/// relocation engine's column-signature rules).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "fabric/region.hpp"
+
+namespace prtr::fabric {
+
+/// Placement heuristics for allocate().
+enum class FitPolicy : std::uint8_t { kFirstFit, kBestFit, kWorstFit };
+
+[[nodiscard]] const char* toString(FitPolicy policy) noexcept;
+
+/// A live allocation inside the managed range.
+struct Allocation {
+  std::uint64_t id = 0;
+  std::string name;
+  std::size_t firstColumn = 0;
+  std::size_t width = 0;
+
+  [[nodiscard]] std::size_t endColumn() const noexcept {
+    return firstColumn + width;
+  }
+  [[nodiscard]] Region region() const {
+    return Region{name, RegionRole::kPrr, firstColumn, width};
+  }
+};
+
+/// One relocation step produced by defragment().
+struct Move {
+  std::uint64_t id = 0;
+  std::size_t fromColumn = 0;
+  std::size_t toColumn = 0;
+  std::size_t width = 0;
+};
+
+/// First-fit/best-fit/worst-fit contiguous column allocator.
+class ColumnAllocator {
+ public:
+  /// Manages the half-open column range [firstColumn, firstColumn+count)
+  /// of `device`. The device reference must outlive the allocator.
+  ColumnAllocator(const Device& device, std::size_t firstColumn,
+                  std::size_t columnCount);
+
+  /// Allocates `width` contiguous columns; nullopt when no hole fits.
+  [[nodiscard]] std::optional<Allocation> allocate(std::size_t width,
+                                                   FitPolicy policy,
+                                                   std::string name);
+
+  /// Releases a live allocation. Throws DomainError for unknown ids.
+  void release(std::uint64_t id);
+
+  [[nodiscard]] std::size_t managedColumns() const noexcept { return count_; }
+  [[nodiscard]] std::size_t freeColumns() const noexcept;
+  [[nodiscard]] std::size_t largestFreeBlock() const noexcept;
+
+  /// External fragmentation: 1 - largestFreeBlock/freeColumns (0 when all
+  /// free space is contiguous or there is no free space).
+  [[nodiscard]] double fragmentation() const noexcept;
+
+  [[nodiscard]] const std::map<std::uint64_t, Allocation>& allocations()
+      const noexcept {
+    return live_;
+  }
+
+  /// Compacts live allocations towards the low end. Only moves between
+  /// column-signature-compatible locations are planned (a CLB-only
+  /// managed range is always compatible). Returns the executed moves in
+  /// order; the allocator state reflects them.
+  [[nodiscard]] std::vector<Move> defragment();
+
+  /// Reconfiguration bytes one move costs (a module-based partial stream
+  /// of the allocation's width at its destination).
+  [[nodiscard]] util::Bytes moveCost(const Move& move) const;
+
+ private:
+  [[nodiscard]] bool rangeFree(std::size_t first, std::size_t width) const;
+  [[nodiscard]] bool signaturesMatch(std::size_t fromColumn,
+                                     std::size_t toColumn,
+                                     std::size_t width) const;
+  void occupy(const Allocation& allocation, bool value);
+
+  const Device* device_;
+  std::size_t first_;
+  std::size_t count_;
+  std::vector<bool> used_;  ///< per managed column
+  std::map<std::uint64_t, Allocation> live_;
+  std::uint64_t nextId_ = 1;
+};
+
+}  // namespace prtr::fabric

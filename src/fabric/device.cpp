@@ -1,0 +1,227 @@
+#include "fabric/device.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::fabric {
+namespace {
+
+// Per-column frame counts in the Virtex-II style (CLB column: 22 frames,
+// BRAM content+interconnect: 64+22, IOB: 4, GCLK: 4). The PPC region is
+// modelled as one 20-frame column so the full-device frame count lands on
+// the calibration target.
+constexpr std::uint32_t kClbFrames = 22;
+constexpr std::uint32_t kBramPairFrames = 86;
+constexpr std::uint32_t kIobFrames = 4;
+constexpr std::uint32_t kGclkFrames = 4;
+constexpr std::uint32_t kPpcFrames = 20;
+
+// XC2VP50 fabric: 88 CLB rows; a CLB column holds 88 CLBs x 4 slices x
+// 2 LUTs/FFs = 704 each. A BRAM column holds 29 BRAM18 + 29 MULT18
+// (8 columns -> 232 of each, the documented XC2VP50 totals).
+constexpr ResourceVec kClbColumn{704, 704, 0, 0, 0};
+constexpr ResourceVec kBramColumn{0, 0, 29, 29, 0};
+// The two PPC405 hard cores displace fabric worth 1344 LUT/FF pairs, which
+// brings the usable LUT total from 69*704 = 48,576 down to the documented
+// 47,232.
+constexpr std::uint32_t kPpcFabricPenalty = 1344;
+
+void appendColumns(std::vector<ColumnSpec>& cols, ColumnKind kind,
+                   std::uint32_t frames, ResourceVec res, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) cols.push_back(ColumnSpec{kind, frames, res});
+}
+
+}  // namespace
+
+Device::Device(DeviceGeometry geometry, ResourceVec usable, std::string notes)
+    : geometry_(std::move(geometry)), usable_(usable), notes_(std::move(notes)) {}
+
+Device makeXc2vp50() {
+  // Column order (left to right), chosen so that the layouts used by the
+  // paper exist as contiguous column ranges:
+  //   [0..15]   IOB,IOB + 13 CLB + BRAM            -> dual-PRR region A (380 frames)
+  //   [16..50]  34 CLB + BRAM                      -> single-PRR region (834 frames)
+  //   [51..64]  (2 CLB + BRAM) x4 + 1 CLB + BRAM   -> centre fabric
+  //   [65..66]  PPC, GCLK
+  //   [67..82]  BRAM + 13 CLB + IOB,IOB            -> dual-PRR region B (380 frames)
+  std::vector<ColumnSpec> cols;
+  appendColumns(cols, ColumnKind::kIob, kIobFrames, {}, 2);
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, kClbColumn, 13);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, kBramColumn, 1);
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, kClbColumn, 34);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, kBramColumn, 1);
+  for (int group = 0; group < 4; ++group) {
+    appendColumns(cols, ColumnKind::kClb, kClbFrames, kClbColumn, 2);
+    appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, kBramColumn, 1);
+  }
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, kClbColumn, 1);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, kBramColumn, 1);
+  appendColumns(cols, ColumnKind::kPpc, kPpcFrames, ResourceVec{0, 0, 0, 0, 2}, 1);
+  appendColumns(cols, ColumnKind::kGclk, kGclkFrames, {}, 1);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, kBramColumn, 1);
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, kClbColumn, 13);
+  appendColumns(cols, ColumnKind::kIob, kIobFrames, {}, 2);
+
+  DeviceGeometry geometry{"xc2vp50", 88, std::move(cols), DeviceGeometry::Encoding{}};
+
+  ResourceVec usable{};
+  for (const ColumnSpec& c : geometry.columns()) usable += c.resources;
+  usable.luts -= kPpcFabricPenalty;
+  usable.ffs -= kPpcFabricPenalty;
+
+  return Device{std::move(geometry), usable,
+                "Virtex-II Pro XC2VP50-7 as on the Cray XD1 AAP; geometry "
+                "calibrated to the paper's Table 2 bitstream sizes"};
+}
+
+namespace {
+
+/// Generic Virtex-II-Pro-style part: symmetric layout with `clbCols` CLB
+/// columns split around a PPC/GCLK centre and `bramCols` BRAM pairs.
+Device makeV2ProLike(const std::string& name, std::uint32_t rows,
+                     std::size_t clbCols, std::size_t bramCols,
+                     std::uint32_t bramPerColumn, std::uint32_t ppcCount,
+                     std::uint32_t ppcPenalty, const std::string& notes) {
+  const auto lutsPerColumn = rows * 4 * 2;
+  const ResourceVec clbColumn{lutsPerColumn, lutsPerColumn, 0, 0, 0};
+  const ResourceVec bramColumn{0, 0, bramPerColumn, bramPerColumn, 0};
+
+  std::vector<ColumnSpec> cols;
+  const std::size_t halfClb = clbCols / 2;
+  const std::size_t halfBram = bramCols / 2;
+  appendColumns(cols, ColumnKind::kIob, kIobFrames, {}, 2);
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, clbColumn, halfClb);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, bramColumn,
+                halfBram);
+  if (ppcCount > 0) {
+    appendColumns(cols, ColumnKind::kPpc, kPpcFrames,
+                  ResourceVec{0, 0, 0, 0, ppcCount}, 1);
+  }
+  appendColumns(cols, ColumnKind::kGclk, kGclkFrames, {}, 1);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, bramColumn,
+                bramCols - halfBram);
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, clbColumn,
+                clbCols - halfClb);
+  appendColumns(cols, ColumnKind::kIob, kIobFrames, {}, 2);
+
+  DeviceGeometry geometry{name, rows, std::move(cols),
+                          DeviceGeometry::Encoding{}};
+  ResourceVec usable{};
+  for (const ColumnSpec& c : geometry.columns()) usable += c.resources;
+  usable.luts -= ppcPenalty;
+  usable.ffs -= ppcPenalty;
+  return Device{std::move(geometry), usable, notes};
+}
+
+/// Generic Virtex-4/5-style part: short frames, no hard PPC by default.
+Device makeV4V5Like(const std::string& name, std::uint32_t rows,
+                    std::size_t clbCols, std::size_t bramCols,
+                    const ResourceVec& clbColumn, const ResourceVec& bramColumn,
+                    const DeviceGeometry::Encoding& enc,
+                    const std::string& notes) {
+  std::vector<ColumnSpec> cols;
+  appendColumns(cols, ColumnKind::kIob, 30, {}, 3);
+  appendColumns(cols, ColumnKind::kClb, 132, clbColumn, clbCols);
+  appendColumns(cols, ColumnKind::kBramPair, 148, bramColumn, bramCols);
+  appendColumns(cols, ColumnKind::kGclk, 24, {}, 1);
+  DeviceGeometry geometry{name, rows, std::move(cols), enc};
+  ResourceVec usable{};
+  for (const ColumnSpec& c : geometry.columns()) usable += c.resources;
+  return Device{std::move(geometry), usable, notes};
+}
+
+}  // namespace
+
+Device makeXc2vp20() {
+  return makeV2ProLike("xc2vp20", 56, 46, 5, 18, 2, 1088,
+                       "Virtex-II Pro XC2VP20 (family scaling)");
+}
+
+Device makeXc2vp70() {
+  return makeV2ProLike("xc2vp70", 104, 82, 10, 33, 2, 1600,
+                       "Virtex-II Pro XC2VP70 (family scaling)");
+}
+
+Device makeXc2vp100() {
+  return makeV2ProLike("xc2vp100", 120, 94, 12, 37, 2, 1856,
+                       "Virtex-II Pro XC2VP100 (family scaling)");
+}
+
+Device makeXc2vp30() {
+  std::vector<ColumnSpec> cols;
+  appendColumns(cols, ColumnKind::kIob, kIobFrames, {}, 2);
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, {560, 560, 0, 0, 0}, 23);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, {0, 0, 23, 23, 0}, 3);
+  appendColumns(cols, ColumnKind::kPpc, kPpcFrames, ResourceVec{0, 0, 0, 0, 2}, 1);
+  appendColumns(cols, ColumnKind::kGclk, kGclkFrames, {}, 1);
+  appendColumns(cols, ColumnKind::kClb, kClbFrames, {560, 560, 0, 0, 0}, 23);
+  appendColumns(cols, ColumnKind::kBramPair, kBramPairFrames, {0, 0, 23, 23, 0}, 3);
+  appendColumns(cols, ColumnKind::kIob, kIobFrames, {}, 2);
+  DeviceGeometry geometry{"xc2vp30", 80, std::move(cols), DeviceGeometry::Encoding{}};
+  ResourceVec usable{};
+  for (const ColumnSpec& c : geometry.columns()) usable += c.resources;
+  usable.luts -= 1088;
+  usable.ffs -= 1088;
+  return Device{std::move(geometry), usable, "Virtex-II Pro XC2VP30"};
+}
+
+Device makeXc4vlx60() {
+  // Virtex-4 frames are shorter (41 words) but more numerous; the encoding
+  // reflects that, and the part has no PPC hard cores.
+  DeviceGeometry::Encoding enc;
+  enc.frameBytes = 164;
+  enc.fullOverheadBytes = 1312;
+  enc.partialOverheadBytes = 96;
+  enc.frameAddressBytes = 4;
+  std::vector<ColumnSpec> cols;
+  appendColumns(cols, ColumnKind::kIob, 30, {}, 3);
+  appendColumns(cols, ColumnKind::kClb, 132, {464, 464, 0, 0, 0}, 52);
+  appendColumns(cols, ColumnKind::kBramPair, 148, {0, 0, 20, 16, 0}, 8);
+  appendColumns(cols, ColumnKind::kGclk, 24, {}, 1);
+  DeviceGeometry geometry{"xc4vlx60", 128, std::move(cols), enc};
+  ResourceVec usable{};
+  for (const ColumnSpec& c : geometry.columns()) usable += c.resources;
+  return Device{std::move(geometry), usable, "Virtex-4 LX60 (what-if studies)"};
+}
+
+Device makeXc4vlx100() {
+  DeviceGeometry::Encoding enc;
+  enc.frameBytes = 164;
+  enc.fullOverheadBytes = 1312;
+  enc.partialOverheadBytes = 96;
+  enc.frameAddressBytes = 4;
+  return makeV4V5Like("xc4vlx100", 160, 88, 12, {556, 556, 0, 0, 0},
+                      {0, 0, 20, 16, 0}, enc, "Virtex-4 LX100");
+}
+
+Device makeXc5vlx110() {
+  // Virtex-5: 36-kbit BRAMs (counted as 2x 18k here), 6-input LUTs modelled
+  // as equivalent 4-LUT capacity, 32-bit ICAP at 100 MHz.
+  DeviceGeometry::Encoding enc;
+  enc.frameBytes = 164;
+  enc.fullOverheadBytes = 1536;
+  enc.partialOverheadBytes = 112;
+  enc.frameAddressBytes = 4;
+  return makeV4V5Like("xc5vlx110", 160, 108, 10, {640, 640, 0, 0, 0},
+                      {0, 0, 26, 13, 0}, enc, "Virtex-5 LX110");
+}
+
+Device makeDevice(const std::string& name) {
+  if (name == "xc2vp20") return makeXc2vp20();
+  if (name == "xc2vp30") return makeXc2vp30();
+  if (name == "xc2vp50") return makeXc2vp50();
+  if (name == "xc2vp70") return makeXc2vp70();
+  if (name == "xc2vp100") return makeXc2vp100();
+  if (name == "xc4vlx60") return makeXc4vlx60();
+  if (name == "xc4vlx100") return makeXc4vlx100();
+  if (name == "xc5vlx110") return makeXc5vlx110();
+  throw util::DomainError{"makeDevice: unknown device '" + name + "'"};
+}
+
+std::vector<std::string> deviceCatalog() {
+  return {"xc2vp20",  "xc2vp30",   "xc2vp50",  "xc2vp70",
+          "xc2vp100", "xc4vlx60",  "xc4vlx100", "xc5vlx110"};
+}
+
+}  // namespace prtr::fabric

@@ -1,0 +1,62 @@
+#pragma once
+/// \file device.hpp
+/// Device catalog. The primary part is the XC2VP50 found on the Cray XD1
+/// application accelerator; its geometry is calibrated so that bitstream
+/// sizes reproduce the paper's Table 2 (full: 2,381,764 B exactly; the PRR
+/// partial sizes within 0.06%).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/geometry.hpp"
+#include "util/units.hpp"
+
+namespace prtr::fabric {
+
+/// An FPGA device: geometry plus usable-fabric bookkeeping.
+class Device {
+ public:
+  Device(DeviceGeometry geometry, ResourceVec usable, std::string notes);
+
+  [[nodiscard]] const DeviceGeometry& geometry() const noexcept { return geometry_; }
+  [[nodiscard]] const std::string& name() const noexcept { return geometry_.name(); }
+
+  /// Fabric available to user logic (hard-core area already subtracted;
+  /// paper section 4.2: "the two PowerPC hard cores occupy a fair amount of
+  /// the FPGA fabric resources").
+  [[nodiscard]] const ResourceVec& usableResources() const noexcept { return usable_; }
+
+  [[nodiscard]] const std::string& notes() const noexcept { return notes_; }
+
+ private:
+  DeviceGeometry geometry_;
+  ResourceVec usable_;
+  std::string notes_;
+};
+
+/// Xilinx Virtex-II Pro XC2VP50 (the Cray XD1 AAP device).
+[[nodiscard]] Device makeXc2vp50();
+
+/// Xilinx Virtex-II Pro XC2VP30 (smaller sibling, for scaling studies).
+[[nodiscard]] Device makeXc2vp30();
+
+/// Virtex-II Pro family extremes (device-size scaling studies).
+[[nodiscard]] Device makeXc2vp20();
+[[nodiscard]] Device makeXc2vp70();
+[[nodiscard]] Device makeXc2vp100();
+
+/// Xilinx Virtex-4 LX60/LX100 (newer family; faster ICAP, what-if studies).
+[[nodiscard]] Device makeXc4vlx60();
+[[nodiscard]] Device makeXc4vlx100();
+
+/// Xilinx Virtex-5 LX110 (32-bit ICAP at 100 MHz).
+[[nodiscard]] Device makeXc5vlx110();
+
+/// Looks a device up by name (see deviceCatalog() for the names).
+[[nodiscard]] Device makeDevice(const std::string& name);
+
+/// Every part the catalog knows, smallest to largest per family.
+[[nodiscard]] std::vector<std::string> deviceCatalog();
+
+}  // namespace prtr::fabric

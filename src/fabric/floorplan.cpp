@@ -1,0 +1,151 @@
+#include "fabric/floorplan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::fabric {
+
+Floorplan::Floorplan(Device device, std::vector<Region> prrs,
+                     std::vector<BusMacro> busMacros)
+    : device_(std::move(device)),
+      prrs_(std::move(prrs)),
+      busMacros_(std::move(busMacros)) {
+  validate();
+}
+
+void Floorplan::validate() const {
+  const auto& geometry = device_.geometry();
+  for (std::size_t i = 0; i < prrs_.size(); ++i) {
+    const Region& prr = prrs_[i];
+    if (prr.role() != RegionRole::kPrr) {
+      throw util::PlacementError{"Floorplan: region '" + prr.name() +
+                                 "' is not a PRR"};
+    }
+    if (prr.endColumn() > geometry.columnCount()) {
+      throw util::PlacementError{"Floorplan: PRR '" + prr.name() +
+                                 "' extends beyond the device"};
+    }
+    for (std::size_t c = prr.firstColumn(); c < prr.endColumn(); ++c) {
+      const ColumnKind kind = geometry.columns()[c].kind;
+      if (kind == ColumnKind::kPpc || kind == ColumnKind::kGclk) {
+        throw util::PlacementError{
+            "Floorplan: PRR '" + prr.name() +
+            "' claims a hard-core/clock column, which cannot be reconfigured"};
+      }
+    }
+    for (std::size_t j = i + 1; j < prrs_.size(); ++j) {
+      if (prr.overlaps(prrs_[j])) {
+        throw util::PlacementError{"Floorplan: PRRs '" + prr.name() + "' and '" +
+                                   prrs_[j].name() + "' overlap"};
+      }
+    }
+  }
+  for (const BusMacro& macro : busMacros_) {
+    const Region& prr = prrByName(macro.prrName);
+    const bool onBoundary = macro.boundaryColumn == prr.firstColumn() ||
+                            macro.boundaryColumn == prr.endColumn();
+    if (!onBoundary) {
+      throw util::PlacementError{"Floorplan: bus macro for '" + macro.prrName +
+                                 "' is not on the region boundary"};
+    }
+  }
+}
+
+const Region& Floorplan::prrByName(const std::string& name) const {
+  const auto it = std::find_if(prrs_.begin(), prrs_.end(),
+                               [&](const Region& r) { return r.name() == name; });
+  util::require(it != prrs_.end(), "Floorplan: no PRR named '" + name + "'");
+  return *it;
+}
+
+ResourceVec Floorplan::staticResources() const {
+  ResourceVec total = device_.usableResources();
+  for (const Region& prr : prrs_) total = total - prr.resources(device_);
+  for (const BusMacro& macro : busMacros_) total = total - macro.resourceCost();
+  return total;
+}
+
+std::uint32_t Floorplan::staticFrames() const {
+  std::uint32_t inPrrs = 0;
+  for (const Region& prr : prrs_) inPrrs += prr.frames(device_).count;
+  return device_.geometry().totalFrames() - inPrrs;
+}
+
+bool Floorplan::frameInPrr(std::size_t index, std::uint32_t frame) const {
+  return prrs_.at(index).frames(device_).contains(frame);
+}
+
+std::string Floorplan::columnMap() const {
+  std::string map(device_.geometry().columnCount(), '.');
+  for (std::size_t i = 0; i < prrs_.size(); ++i) {
+    const char mark = static_cast<char>('A' + (i % 26));
+    for (std::size_t c = prrs_[i].firstColumn(); c < prrs_[i].endColumn(); ++c) {
+      map[c] = mark;
+    }
+  }
+  return map;
+}
+
+namespace {
+
+std::vector<BusMacro> macrosFor(const Region& prr, std::uint32_t pairs) {
+  // Each PRR gets `pairs` 8-bit macros in each direction, pinned to the
+  // boundary column nearer the device centre.
+  std::vector<BusMacro> macros;
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    macros.push_back(BusMacro{prr.name(), BusMacro::Direction::kLeftToRight, 8,
+                              prr.firstColumn() == 0 ? prr.endColumn()
+                                                     : prr.firstColumn()});
+    macros.push_back(BusMacro{prr.name(), BusMacro::Direction::kRightToLeft, 8,
+                              prr.firstColumn() == 0 ? prr.endColumn()
+                                                     : prr.firstColumn()});
+  }
+  return macros;
+}
+
+}  // namespace
+
+Floorplan makeSinglePrrLayout(Device device) {
+  util::require(device.name() == "xc2vp50",
+                "makeSinglePrrLayout: calibrated for the xc2vp50 only");
+  Region prr{"PRR0", RegionRole::kPrr, 16, 35};  // 34 CLB + 1 BRAM = 834 frames
+  auto macros = macrosFor(prr, 4);
+  return Floorplan{std::move(device), {std::move(prr)}, std::move(macros)};
+}
+
+Floorplan makeDualPrrLayout(Device device) {
+  util::require(device.name() == "xc2vp50",
+                "makeDualPrrLayout: calibrated for the xc2vp50 only");
+  Region prrA{"PRR0", RegionRole::kPrr, 0, 16};   // 2 IOB + 13 CLB + BRAM = 380
+  Region prrB{"PRR1", RegionRole::kPrr, 67, 16};  // BRAM + 13 CLB + 2 IOB = 380
+  std::vector<BusMacro> macros = macrosFor(prrA, 4);
+  auto macrosB = macrosFor(prrB, 4);
+  macros.insert(macros.end(), macrosB.begin(), macrosB.end());
+  return Floorplan{std::move(device), {std::move(prrA), std::move(prrB)},
+                   std::move(macros)};
+}
+
+Floorplan makeQuadPrrLayout(Device device) {
+  util::require(device.name() == "xc2vp50",
+                "makeQuadPrrLayout: calibrated for the xc2vp50 only");
+  // Four CLB-only regions: the left and right 13-column blocks plus two
+  // 13-column slices of the central 34-CLB stretch. 286 frames each.
+  std::vector<Region> prrs;
+  prrs.emplace_back("PRR0", RegionRole::kPrr, 2, 13);
+  prrs.emplace_back("PRR1", RegionRole::kPrr, 16, 13);
+  prrs.emplace_back("PRR2", RegionRole::kPrr, 30, 13);
+  prrs.emplace_back("PRR3", RegionRole::kPrr, 68, 13);
+  std::vector<BusMacro> macros;
+  for (const Region& prr : prrs) {
+    auto m = macrosFor(prr, 4);
+    macros.insert(macros.end(), m.begin(), m.end());
+  }
+  return Floorplan{std::move(device), std::move(prrs), std::move(macros)};
+}
+
+Floorplan makeSinglePrrLayout() { return makeSinglePrrLayout(makeXc2vp50()); }
+Floorplan makeDualPrrLayout() { return makeDualPrrLayout(makeXc2vp50()); }
+Floorplan makeQuadPrrLayout() { return makeQuadPrrLayout(makeXc2vp50()); }
+
+}  // namespace prtr::fabric

@@ -1,0 +1,75 @@
+#pragma once
+/// \file floorplan.hpp
+/// A floorplan assigns every device column to the static region or to one of
+/// the partially reconfigurable regions (PRRs), and records the bus macros
+/// bridging each PRR boundary. Factory functions build the two layouts used
+/// in the paper's experiments (Figure 8): single PRR and dual PRR.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "fabric/region.hpp"
+
+namespace prtr::fabric {
+
+/// Validated floorplan over one device.
+class Floorplan {
+ public:
+  /// Builds and validates. Throws PlacementError when PRRs overlap each
+  /// other, fall outside the device, or claim the PPC/GCLK columns.
+  Floorplan(Device device, std::vector<Region> prrs, std::vector<BusMacro> busMacros);
+
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
+  [[nodiscard]] const std::vector<Region>& prrs() const noexcept { return prrs_; }
+  [[nodiscard]] const std::vector<BusMacro>& busMacros() const noexcept {
+    return busMacros_;
+  }
+
+  [[nodiscard]] std::size_t prrCount() const noexcept { return prrs_.size(); }
+  [[nodiscard]] const Region& prr(std::size_t index) const { return prrs_.at(index); }
+  [[nodiscard]] const Region& prrByName(const std::string& name) const;
+
+  /// Fabric left to the static design (device usable minus all PRRs minus
+  /// bus-macro overhead).
+  [[nodiscard]] ResourceVec staticResources() const;
+
+  /// Frames belonging to no PRR (configured only by a full bitstream).
+  [[nodiscard]] std::uint32_t staticFrames() const;
+
+  /// True when `frame` lies inside PRR `index`.
+  [[nodiscard]] bool frameInPrr(std::size_t index, std::uint32_t frame) const;
+
+  /// Human-readable column map (one char per column), e.g. for logs:
+  /// "AAAAAAAAAAAAAAAA...........BBBB".
+  [[nodiscard]] std::string columnMap() const;
+
+ private:
+  void validate() const;
+
+  Device device_;
+  std::vector<Region> prrs_;
+  std::vector<BusMacro> busMacros_;
+};
+
+/// Paper Figure 8 layouts on the XC2VP50.
+/// Single PRR: one 34-CLB + 1-BRAM region (834 frames, ~887.4 kB partial);
+/// all four memory banks available to the PRR.
+[[nodiscard]] Floorplan makeSinglePrrLayout(Device device);
+
+/// Dual PRR: two 380-frame edge regions (~404.4 kB partial each); two
+/// memory banks per PRR.
+[[nodiscard]] Floorplan makeDualPrrLayout(Device device);
+
+/// Hypothetical finer-grained layout (beyond the paper's experiments, for
+/// the granularity and cache-policy ablations): four 13-CLB-column PRRs of
+/// 286 frames each, one memory bank per PRR.
+[[nodiscard]] Floorplan makeQuadPrrLayout(Device device);
+
+/// Convenience overloads on the default XD1 device (XC2VP50).
+[[nodiscard]] Floorplan makeSinglePrrLayout();
+[[nodiscard]] Floorplan makeDualPrrLayout();
+[[nodiscard]] Floorplan makeQuadPrrLayout();
+
+}  // namespace prtr::fabric

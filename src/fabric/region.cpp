@@ -1,0 +1,17 @@
+#include "fabric/region.hpp"
+
+#include "util/error.hpp"
+
+namespace prtr::fabric {
+
+Region::Region(std::string name, RegionRole role, std::size_t firstColumn,
+               std::size_t columnCount)
+    : name_(std::move(name)),
+      role_(role),
+      firstColumn_(firstColumn),
+      columnCount_(columnCount) {
+  util::require(!name_.empty(), "Region: name must not be empty");
+  util::require(columnCount_ > 0, "Region: must span at least one column");
+}
+
+}  // namespace prtr::fabric

@@ -1,0 +1,78 @@
+#pragma once
+/// \file region.hpp
+/// Rectangular reconfiguration regions. Because Virtex-II frames span whole
+/// device columns (paper section 4.2: "a frame includes a whole column of
+/// logic resources"), a region is a contiguous run of configuration columns
+/// spanning the full device height.
+
+#include <string>
+
+#include "fabric/device.hpp"
+#include "fabric/geometry.hpp"
+
+namespace prtr::fabric {
+
+/// Role of a region within a floorplan.
+enum class RegionRole : std::uint8_t {
+  kStatic,  ///< fixed logic: interface services, PR controller, FIFOs
+  kPrr,     ///< partially reconfigurable region
+};
+
+/// A column-aligned region of one device.
+class Region {
+ public:
+  Region(std::string name, RegionRole role, std::size_t firstColumn,
+         std::size_t columnCount);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] RegionRole role() const noexcept { return role_; }
+  [[nodiscard]] std::size_t firstColumn() const noexcept { return firstColumn_; }
+  [[nodiscard]] std::size_t columnCount() const noexcept { return columnCount_; }
+  [[nodiscard]] std::size_t endColumn() const noexcept {
+    return firstColumn_ + columnCount_;
+  }
+
+  [[nodiscard]] bool overlaps(const Region& other) const noexcept {
+    return firstColumn_ < other.endColumn() && other.firstColumn_ < endColumn();
+  }
+
+  /// Frames configured when this region is (re)loaded.
+  [[nodiscard]] FrameRange frames(const Device& device) const {
+    return device.geometry().columnRangeFrames(firstColumn_, columnCount_);
+  }
+
+  /// User fabric available inside the region.
+  [[nodiscard]] ResourceVec resources(const Device& device) const {
+    return device.geometry().columnRangeResources(firstColumn_, columnCount_);
+  }
+
+  /// Module-based partial bitstream size for this region (fixed for every
+  /// module targeting the region; paper section 2.2).
+  [[nodiscard]] util::Bytes partialBitstreamBytes(const Device& device) const {
+    return device.geometry().partialBitstreamBytes(frames(device).count);
+  }
+
+ private:
+  std::string name_;
+  RegionRole role_;
+  std::size_t firstColumn_;
+  std::size_t columnCount_;
+};
+
+/// A fixed routing bridge crossing a PRR boundary (pairs of LUTs, one on
+/// each side; paper section 2.2 "bus macro"). Bus macros pin the interface
+/// so re-implementing a module cannot move the crossing routes.
+struct BusMacro {
+  enum class Direction : std::uint8_t { kLeftToRight, kRightToLeft };
+  std::string prrName;     ///< PRR whose boundary this macro crosses
+  Direction direction = Direction::kLeftToRight;
+  std::uint32_t widthBits = 8;  ///< signals carried
+  std::size_t boundaryColumn = 0;  ///< column index of the crossing
+
+  /// Fabric cost: one LUT per bit on each side of the boundary.
+  [[nodiscard]] ResourceVec resourceCost() const noexcept {
+    return ResourceVec{widthBits * 2, 0, 0, 0, 0};
+  }
+};
+
+}  // namespace prtr::fabric

@@ -1,0 +1,36 @@
+#include "fabric/resources.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace prtr::fabric {
+
+double ResourceVec::utilization(ResourceVec used) const noexcept {
+  double worst = 0.0;
+  auto consider = [&worst](std::uint32_t demand, std::uint32_t capacity) {
+    if (capacity == 0) {
+      if (demand > 0) worst = std::max(worst, 1e9);  // infeasible marker
+      return;
+    }
+    worst = std::max(worst, static_cast<double>(demand) / static_cast<double>(capacity));
+  };
+  consider(used.luts, luts);
+  consider(used.ffs, ffs);
+  consider(used.bram18, bram18);
+  consider(used.mult18, mult18);
+  consider(used.ppc, ppc);
+  return worst;
+}
+
+std::string ResourceVec::toString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "{luts=%u, ffs=%u, bram=%u, mult=%u, ppc=%u}",
+                luts, ffs, bram18, mult18, ppc);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceVec& r) {
+  return os << r.toString();
+}
+
+}  // namespace prtr::fabric

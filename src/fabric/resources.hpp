@@ -1,0 +1,56 @@
+#pragma once
+/// \file resources.hpp
+/// FPGA fabric resource accounting (LUTs, flip-flops, BRAM, multipliers,
+/// hard processor cores), used for Table 1 of the paper and for placement
+/// feasibility checks when mapping hardware functions onto PRRs.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace prtr::fabric {
+
+/// A vector of fabric resource quantities.
+struct ResourceVec {
+  std::uint32_t luts = 0;     ///< 4-input look-up tables
+  std::uint32_t ffs = 0;      ///< flip-flops
+  std::uint32_t bram18 = 0;   ///< 18-kbit block RAMs
+  std::uint32_t mult18 = 0;   ///< 18x18 multipliers
+  std::uint32_t ppc = 0;      ///< PowerPC hard cores
+
+  friend constexpr ResourceVec operator+(ResourceVec a, ResourceVec b) noexcept {
+    return {a.luts + b.luts, a.ffs + b.ffs, a.bram18 + b.bram18,
+            a.mult18 + b.mult18, a.ppc + b.ppc};
+  }
+  constexpr ResourceVec& operator+=(ResourceVec b) noexcept {
+    *this = *this + b;
+    return *this;
+  }
+  /// Saturating subtraction (never wraps below zero).
+  friend constexpr ResourceVec operator-(ResourceVec a, ResourceVec b) noexcept {
+    auto sub = [](std::uint32_t x, std::uint32_t y) { return x > y ? x - y : 0u; };
+    return {sub(a.luts, b.luts), sub(a.ffs, b.ffs), sub(a.bram18, b.bram18),
+            sub(a.mult18, b.mult18), sub(a.ppc, b.ppc)};
+  }
+  friend constexpr bool operator==(ResourceVec, ResourceVec) noexcept = default;
+
+  /// True when `need` fits within this vector, component-wise.
+  [[nodiscard]] constexpr bool fits(ResourceVec need) const noexcept {
+    return need.luts <= luts && need.ffs <= ffs && need.bram18 <= bram18 &&
+           need.mult18 <= mult18 && need.ppc <= ppc;
+  }
+
+  [[nodiscard]] constexpr bool isZero() const noexcept {
+    return *this == ResourceVec{};
+  }
+
+  /// Largest component-wise utilization fraction of `used` against this
+  /// capacity; components with zero capacity and zero demand are skipped.
+  [[nodiscard]] double utilization(ResourceVec used) const noexcept;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceVec& r);
+
+}  // namespace prtr::fabric

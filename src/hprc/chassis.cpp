@@ -1,0 +1,87 @@
+#include "hprc/chassis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/parallel.hpp"
+#include "util/error.hpp"
+
+namespace prtr::hprc {
+
+const char* toString(Partition partition) noexcept {
+  switch (partition) {
+    case Partition::kBlock: return "block";
+    case Partition::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+double ChassisReport::balance() const noexcept {
+  if (blades.empty() || makespan == util::Time::zero()) return 0.0;
+  const double avg =
+      totalBladeTime.toSeconds() / static_cast<double>(blades.size());
+  return avg / makespan.toSeconds();
+}
+
+std::string ChassisReport::toString() const {
+  std::ostringstream os;
+  os << "chassis: " << blades.size() << " blades, makespan "
+     << makespan.toString() << ", balance " << balance() << ", "
+     << configurations << " reconfigurations\n";
+  for (std::size_t i = 0; i < blades.size(); ++i) {
+    os << "  blade" << i << ": " << blades[i].calls << " calls, "
+       << blades[i].total.toString() << ", H=" << blades[i].hitRatio() << '\n';
+  }
+  return os.str();
+}
+
+std::vector<tasks::Workload> partitionWorkload(const tasks::Workload& workload,
+                                               std::size_t blades,
+                                               Partition partition) {
+  util::require(blades >= 1, "partitionWorkload: need at least one blade");
+  std::vector<tasks::Workload> shares(blades);
+  for (std::size_t b = 0; b < blades; ++b) {
+    shares[b].name = workload.name + "/blade" + std::to_string(b);
+  }
+  if (partition == Partition::kRoundRobin) {
+    for (std::size_t i = 0; i < workload.calls.size(); ++i) {
+      shares[i % blades].calls.push_back(workload.calls[i]);
+    }
+  } else {
+    const std::size_t per = (workload.calls.size() + blades - 1) / blades;
+    for (std::size_t b = 0; b < blades; ++b) {
+      const std::size_t begin = std::min(b * per, workload.calls.size());
+      const std::size_t end = std::min(begin + per, workload.calls.size());
+      shares[b].calls.assign(workload.calls.begin() + static_cast<std::ptrdiff_t>(begin),
+                             workload.calls.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  return shares;
+}
+
+ChassisReport runChassis(const tasks::FunctionRegistry& registry,
+                         const tasks::Workload& workload,
+                         const ChassisOptions& options) {
+  util::require(options.blades >= 1 && options.blades <= 6,
+                "runChassis: an XD1 chassis holds 1..6 blades");
+  const auto shares =
+      partitionWorkload(workload, options.blades, options.partition);
+
+  ChassisReport report;
+  report.blades = analysis::parallelMap(
+      shares,
+      [&](const tasks::Workload& share) {
+        if (share.calls.empty()) return runtime::ExecutionReport{};
+        return runtime::runPrtrOnly(registry, share, options.scenario);
+      },
+      options.threads);
+
+  for (const auto& blade : report.blades) {
+    report.makespan = std::max(report.makespan, blade.total);
+    report.totalBladeTime += blade.total;
+    report.configurations += blade.configurations;
+  }
+  return report;
+}
+
+}  // namespace prtr::hprc

@@ -1,0 +1,133 @@
+#include "model/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "model/model.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace prtr::model {
+
+const char* toString(Regime regime) noexcept {
+  switch (regime) {
+    case Regime::kConfigDominant: return "config-dominant (X_task <= X_PRTR)";
+    case Regime::kMidRange: return "mid-range (X_PRTR < X_task < 1)";
+    case Regime::kTaskDominant: return "task-dominant (X_task >= 1)";
+  }
+  return "?";
+}
+
+Regime classifyRegime(double xTask, double xPrtr) {
+  util::require(xTask > 0.0 && xPrtr > 0.0 && xPrtr <= 1.0,
+                "classifyRegime: invalid sizes");
+  if (xTask >= 1.0) return Regime::kTaskDominant;
+  if (xTask > xPrtr) return Regime::kMidRange;
+  return Regime::kConfigDominant;
+}
+
+double upperBoundForTask(double xTask) {
+  util::require(xTask > 0.0, "upperBoundForTask: xTask must be positive");
+  return (1.0 + xTask) / xTask;
+}
+
+double idealAsymptote(double xTask, double xPrtr, double hitRatio) {
+  Params p;
+  p.xTask = xTask;
+  p.xPrtr = xPrtr;
+  p.hitRatio = hitRatio;
+  p.xControl = 0.0;
+  p.xDecision = 0.0;
+  return asymptoticSpeedup(p);
+}
+
+Peak peakSpeedup(double hitRatio, double xPrtr) {
+  util::require(hitRatio >= 0.0 && hitRatio <= 1.0,
+                "peakSpeedup: hit ratio outside [0,1]");
+  util::require(xPrtr > 0.0 && xPrtr <= 1.0, "peakSpeedup: invalid xPrtr");
+  const double miss = 1.0 - hitRatio;
+  if (miss == 0.0) {
+    // Every call hits: S_inf = (1 + X_task)/X_task, unbounded as X_task -> 0.
+    return Peak{0.0, std::numeric_limits<double>::infinity(), true};
+  }
+  const double atMatch = (1.0 + xPrtr) / xPrtr;  // value at X_task = X_PRTR
+  // Below the match point S = (1+X)/(M*X_PRTR + H*X); its slope has the
+  // sign of M*X_PRTR - H.
+  if (miss * xPrtr >= hitRatio) {
+    return Peak{xPrtr, atMatch, false};
+  }
+  // Supremum approached as X_task -> 0: 1 / (M * X_PRTR).
+  return Peak{0.0, 1.0 / (miss * xPrtr), false};
+}
+
+bool prtrBeneficial(const Params& p) { return asymptoticSpeedup(p) > 1.0; }
+
+double requiredHitRatio(double xTask, double xPrtr, double target) {
+  util::require(target > 0.0, "requiredHitRatio: target must be positive");
+  util::require(xTask > 0.0 && xPrtr > 0.0 && xPrtr <= 1.0,
+                "requiredHitRatio: invalid sizes");
+  if (xTask >= xPrtr) {
+    // H has no effect: max(X_task, X_PRTR) = X_task for misses too.
+    return upperBoundForTask(xTask) >= target ? 0.0 : 2.0;
+  }
+  // Solve (1+Xt) / (Xp - H(Xp - Xt)) = target for H.
+  const double h = (xPrtr - (1.0 + xTask) / target) / (xPrtr - xTask);
+  return std::max(0.0, h);
+}
+
+double crossoverTaskSize(double h1, double xPrtr1, double h2, double xPrtr2,
+                         double lo, double hi) {
+  util::require(lo > 0.0 && hi > lo, "crossoverTaskSize: invalid bracket");
+  auto diff = [&](double x) {
+    return idealAsymptote(x, xPrtr1, h1) - idealAsymptote(x, xPrtr2, h2);
+  };
+  double flo = diff(lo);
+  const double fhi = diff(hi);
+  util::require(flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+                "crossoverTaskSize: no sign change on the bracket");
+  double a = lo;
+  double b = hi;
+  for (int iter = 0; iter < 200 && (b - a) / a > 1e-12; ++iter) {
+    const double mid = std::sqrt(a * b);  // geometric: X_task spans decades
+    if ((diff(mid) < 0.0) == (flo < 0.0)) {
+      a = mid;
+      flo = diff(mid);
+    } else {
+      b = mid;
+    }
+  }
+  return std::sqrt(a * b);
+}
+
+std::string describeBounds(const Params& p) {
+  p.validate();
+  std::ostringstream os;
+  const Regime regime = classifyRegime(p.xTask, p.xPrtr);
+  const double sInf = asymptoticSpeedup(p);
+  os << "Regime: " << toString(regime) << "\n";
+  os << "S_inf(eq.7) = " << sInf << " at H = " << p.hitRatio << "\n";
+  os << "Universal bound over H (ideal overheads): (1+X_task)/X_task = "
+     << upperBoundForTask(p.xTask) << "\n";
+  if (regime == Regime::kTaskDominant) {
+    os << "Task-dominant: PRTR cannot exceed 2x FRTR no matter how good the "
+          "pre-fetching is (paper section 3.1).\n";
+  }
+  const Peak peak = peakSpeedup(p.hitRatio, p.xPrtr);
+  if (peak.unbounded) {
+    os << "Perfect pre-fetching: speedup grows without bound as X_task -> 0.\n";
+  } else {
+    os << "Best achievable at this H: " << peak.speedup
+       << (peak.xTask > 0.0
+               ? " at X_task = X_PRTR = " + util::formatDouble(peak.xTask)
+               : " approached as X_task -> 0")
+       << " (fine-grained partitions should match the task time, section 5).\n";
+  }
+  os << (prtrBeneficial(p) ? "PRTR is beneficial here."
+                           : "PRTR does not pay off here.");
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace prtr::model

@@ -1,0 +1,69 @@
+#pragma once
+/// \file bounds.hpp
+/// Performance-bound analysis derived from equation (7) — the paper's
+/// headline results (Figure 5 and section 5):
+///
+///  * For X_task >= 1, S_inf = 1 + 1/X_task <= 2 regardless of the
+///    pre-fetching quality ("can not exceed twice that of FRTR").
+///  * For H ~ 0 the asymptote peaks exactly at X_task = X_PRTR with value
+///    (1 + X_PRTR)/X_PRTR ("partitions must be so fine grained to match
+///    the task time requirements").
+///  * For H ~ 1 the asymptote is (1 + X_task)/X_task, monotonically
+///    decreasing in the task time requirement.
+///
+/// All bound helpers assume the ideal-overhead setting of Figure 5
+/// (X_control = X_decision = 0) unless a full Params is supplied.
+
+#include <string>
+
+#include "model/params.hpp"
+
+namespace prtr::model {
+
+/// Operating regimes of Figure 5.
+enum class Regime : std::uint8_t {
+  kConfigDominant,  ///< 0 < X_task <= X_PRTR: partial config dominates
+  kMidRange,        ///< X_PRTR < X_task < 1: pre-fetch quality matters most
+  kTaskDominant,    ///< X_task >= 1: task execution dominates, S_inf <= 2
+};
+
+[[nodiscard]] const char* toString(Regime regime) noexcept;
+
+[[nodiscard]] Regime classifyRegime(double xTask, double xPrtr);
+
+/// Universal upper bound on S_inf over all H in [0,1] for a given task
+/// size (X_control = X_decision = 0): (1 + X_task) / X_task.
+[[nodiscard]] double upperBoundForTask(double xTask);
+
+/// S_inf at the ideal-overhead setting for explicit (xTask, xPrtr, H).
+[[nodiscard]] double idealAsymptote(double xTask, double xPrtr, double hitRatio);
+
+/// Location and value of the S_inf peak over X_task for fixed (H, X_PRTR),
+/// still at ideal overheads. For H = 0 the peak is at X_task = X_PRTR with
+/// value (1 + X_PRTR)/X_PRTR; for H towards 1 the curve grows without bound
+/// as X_task -> 0 (hits cost nothing but the task itself).
+struct Peak {
+  double xTask = 0.0;      ///< argmax (0 means "at the X_task -> 0 limit")
+  double speedup = 0.0;    ///< sup value (may be +inf for H = 1)
+  bool unbounded = false;  ///< true when the sup is only approached
+};
+[[nodiscard]] Peak peakSpeedup(double hitRatio, double xPrtr);
+
+/// True when PRTR beats FRTR asymptotically for these parameters.
+[[nodiscard]] bool prtrBeneficial(const Params& p);
+
+/// Smallest hit ratio for which S_inf >= `target` at the given task/config
+/// sizes (ideal overheads); returns > 1 when unattainable with any H.
+[[nodiscard]] double requiredHitRatio(double xTask, double xPrtr, double target);
+
+/// X_task at which two ideal-overhead asymptote curves (different
+/// (H, X_PRTR) configurations) cross, found by bisection on [lo, hi].
+/// Throws DomainError when no sign change exists on the bracket.
+[[nodiscard]] double crossoverTaskSize(double h1, double xPrtr1, double h2,
+                                       double xPrtr2, double lo, double hi);
+
+/// One-paragraph textual bound report for a parameter set (used by the
+/// bounds_explorer example).
+[[nodiscard]] std::string describeBounds(const Params& p);
+
+}  // namespace prtr::model

@@ -1,0 +1,77 @@
+#include "model/calibration.hpp"
+
+#include <cmath>
+
+#include "config/port.hpp"
+#include "util/error.hpp"
+
+namespace prtr::model {
+
+const char* toString(ConfigTimeBasis basis) noexcept {
+  switch (basis) {
+    case ConfigTimeBasis::kEstimated: return "estimated";
+    case ConfigTimeBasis::kMeasured: return "measured";
+  }
+  return "?";
+}
+
+ConfigTimes configTimes(const xd1::Node& node) {
+  const auto& floorplan = node.floorplan();
+  const auto& device = floorplan.device();
+  const config::Port selectMap = config::makeSelectMap();
+
+  ConfigTimes times;
+  times.fullBytes = device.geometry().fullBitstreamBytes();
+  times.partialBytes = floorplan.prr(0).partialBitstreamBytes(device);
+  times.fullEstimated = selectMap.transferTime(times.fullBytes);
+  times.partialEstimated = selectMap.transferTime(times.partialBytes);
+
+  // Measured paths: the vendor-API driver for the full stream; the ICAP
+  // drain FSM for partials (the host->BRAM transfer overlaps the drain and
+  // is ~70x faster, so the drain dominates).
+  times.fullMeasured = node.vendorApi().loadTime(times.fullBytes);
+  times.partialMeasured = node.icap().drainTime(times.partialBytes);
+  return times;
+}
+
+util::Time taskTime(const xd1::Node& node, const tasks::HwFunction& fn,
+                    util::Bytes input) {
+  const util::Time in = node.linkIn().occupancy(input);
+  const util::Time compute = fn.computeTime(input);
+  const util::Time out = node.linkOut().occupancy(fn.outputBytes(input));
+  return in + compute + out;
+}
+
+util::Bytes bytesForTaskTime(const xd1::Node& node, const tasks::HwFunction& fn,
+                             util::Time target) {
+  // taskTime(b) = latIn + latOut + b * perByte, with
+  // perByte = 1/rateIn + cycles/f + outRatio/rateOut.
+  const double fixed =
+      node.linkIn().latency().toSeconds() + node.linkOut().latency().toSeconds();
+  const double perByte =
+      1.0 / node.linkIn().rate().bytesPerSecond() +
+      fn.cyclesPerPixel / fn.fabricClock.hertz() +
+      fn.outputBytesPerInputByte / node.linkOut().rate().bytesPerSecond();
+  const double seconds = target.toSeconds() - fixed;
+  util::require(seconds > 0.0,
+                "bytesForTaskTime: target below the fixed link latency");
+  return util::Bytes{static_cast<std::uint64_t>(std::llround(seconds / perByte))};
+}
+
+AbsoluteParams absoluteParams(const xd1::Node& node, const tasks::HwFunction& fn,
+                              util::Bytes input, std::uint64_t nCalls,
+                              ConfigTimeBasis basis, double hitRatio,
+                              util::Time tDecision, util::Time tControl) {
+  const ConfigTimes times = configTimes(node);
+  AbsoluteParams p;
+  p.nCalls = nCalls;
+  p.tFrtr = times.full(basis);
+  p.tPrtr = times.partial(basis);
+  p.tTask = taskTime(node, fn, input);
+  p.tControl = tControl;
+  p.tDecision = tDecision;
+  p.hitRatio = hitRatio;
+  return p;
+}
+
+}  // namespace prtr::model

@@ -1,0 +1,73 @@
+#pragma once
+/// \file calibration.hpp
+/// The bridge between the simulated Cray XD1 platform and the analytical
+/// model: computes the configuration times of Table 2 (estimated = raw
+/// SelectMap throughput; measured = vendor-API / ICAP-controller paths) and
+/// task time requirements, and assembles AbsoluteParams from them.
+
+#include <vector>
+
+#include "model/params.hpp"
+#include "tasks/hwfunction.hpp"
+#include "xd1/node.hpp"
+
+namespace prtr::model {
+
+/// Which Table 2 column to base configuration times on.
+enum class ConfigTimeBasis : std::uint8_t {
+  kEstimated,  ///< bitstream size / 66 MB/s (best case, Fig. 9a)
+  kMeasured,   ///< vendor-API full path + ICAP partial path (Fig. 9b)
+};
+
+[[nodiscard]] const char* toString(ConfigTimeBasis basis) noexcept;
+
+/// Configuration times of one floorplan (one row pair of Table 2).
+struct ConfigTimes {
+  util::Bytes fullBytes;
+  util::Bytes partialBytes;   ///< per PRR (module-based flow: fixed)
+  util::Time fullEstimated;   ///< fullBytes / SelectMap raw
+  util::Time fullMeasured;    ///< vendor API path
+  util::Time partialEstimated;///< partialBytes / SelectMap raw
+  util::Time partialMeasured; ///< ICAP controller path
+
+  [[nodiscard]] util::Time full(ConfigTimeBasis basis) const noexcept {
+    return basis == ConfigTimeBasis::kEstimated ? fullEstimated : fullMeasured;
+  }
+  [[nodiscard]] util::Time partial(ConfigTimeBasis basis) const noexcept {
+    return basis == ConfigTimeBasis::kEstimated ? partialEstimated
+                                                : partialMeasured;
+  }
+  /// Normalized partial configuration time X_PRTR for the chosen basis.
+  [[nodiscard]] double xPrtr(ConfigTimeBasis basis) const noexcept {
+    return partial(basis).toSeconds() / full(basis).toSeconds();
+  }
+};
+
+/// Computes Table 2 quantities for `node`'s floorplan.
+[[nodiscard]] ConfigTimes configTimes(const xd1::Node& node);
+
+/// Task time requirement of `fn` on `node` for `input` bytes: data-in +
+/// compute + data-out, serialized (the model folds any I/O/compute overlap
+/// into T_task; paper section 3.1).
+[[nodiscard]] util::Time taskTime(const xd1::Node& node,
+                                  const tasks::HwFunction& fn,
+                                  util::Bytes input);
+
+/// Input size whose task time equals `target` for `fn` on `node` (inverse
+/// of taskTime; exact because taskTime is linear in bytes).
+[[nodiscard]] util::Bytes bytesForTaskTime(const xd1::Node& node,
+                                           const tasks::HwFunction& fn,
+                                           util::Time target);
+
+/// Assembles model parameters for a homogeneous workload of `nCalls` calls
+/// of `fn` on `input` bytes, with the given caching behaviour.
+[[nodiscard]] AbsoluteParams absoluteParams(const xd1::Node& node,
+                                            const tasks::HwFunction& fn,
+                                            util::Bytes input,
+                                            std::uint64_t nCalls,
+                                            ConfigTimeBasis basis,
+                                            double hitRatio,
+                                            util::Time tDecision,
+                                            util::Time tControl);
+
+}  // namespace prtr::model

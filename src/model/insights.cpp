@@ -1,0 +1,123 @@
+#include "model/insights.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prtr::model {
+
+std::optional<std::uint64_t> breakEvenCalls(const Params& p) {
+  p.validate();
+  // FRTR(n) = n*(1+Xc+Xt); PRTR(n) = 1+Xd + n*perCall.
+  const double perCallFrtr = 1.0 + p.xControl + p.xTask;
+  const double perCallPrtr = prtrPerCallNormalized(p);
+  const double gainPerCall = perCallFrtr - perCallPrtr;
+  if (gainPerCall <= 0.0) return std::nullopt;
+  const double n = (1.0 + p.xDecision) / gainPerCall;
+  return static_cast<std::uint64_t>(std::floor(n)) + 1;
+}
+
+void MixedParams::validate() const {
+  util::require(nCalls >= 1, "MixedParams: nCalls must be at least 1");
+  util::require(xPrtr > 0.0 && xPrtr <= 1.0, "MixedParams: xPrtr in (0,1]");
+  util::require(xControl >= 0.0 && xDecision >= 0.0,
+                "MixedParams: overheads must be non-negative");
+  util::require(!classes.empty(), "MixedParams: need at least one class");
+  for (const TaskClass& c : classes) {
+    util::require(c.weight > 0.0, "MixedParams: class weight must be positive");
+    util::require(c.xTask > 0.0, "MixedParams: class xTask must be positive");
+    util::require(c.hitRatio >= 0.0 && c.hitRatio <= 1.0,
+                  "MixedParams: class hit ratio in [0,1]");
+  }
+}
+
+namespace {
+
+double totalWeight(const MixedParams& p) {
+  double w = 0.0;
+  for (const TaskClass& c : p.classes) w += c.weight;
+  return w;
+}
+
+/// Weighted per-call FRTR cost: sum w_i (1 + Xc + Xt_i).
+double mixedFrtrPerCall(const MixedParams& p) {
+  const double w = totalWeight(p);
+  double acc = 0.0;
+  for (const TaskClass& c : p.classes) {
+    acc += c.weight / w * (1.0 + p.xControl + c.xTask);
+  }
+  return acc;
+}
+
+/// Weighted per-call PRTR cost (the bracket of eq. 5 per class).
+double mixedPrtrPerCall(const MixedParams& p) {
+  const double w = totalWeight(p);
+  double acc = 0.0;
+  for (const TaskClass& c : p.classes) {
+    const double missed = std::max(c.xTask + p.xDecision, p.xPrtr);
+    const double hit = c.xTask + p.xDecision;
+    acc += c.weight / w *
+           (p.xControl + (1.0 - c.hitRatio) * missed + c.hitRatio * hit);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double mixedFrtrTotalNormalized(const MixedParams& p) {
+  p.validate();
+  return static_cast<double>(p.nCalls) * mixedFrtrPerCall(p);
+}
+
+double mixedPrtrTotalNormalized(const MixedParams& p) {
+  p.validate();
+  return 1.0 + p.xDecision + static_cast<double>(p.nCalls) * mixedPrtrPerCall(p);
+}
+
+double mixedSpeedup(const MixedParams& p) {
+  return mixedFrtrTotalNormalized(p) / mixedPrtrTotalNormalized(p);
+}
+
+double mixedAsymptoticSpeedup(const MixedParams& p) {
+  p.validate();
+  return mixedFrtrPerCall(p) / mixedPrtrPerCall(p);
+}
+
+SensitivityResult sensitivity(const Params& base, const Perturbation& sigma,
+                              std::size_t samples, std::uint64_t seed) {
+  base.validate();
+  util::require(samples >= 2, "sensitivity: need at least two samples");
+  util::Rng rng{seed};
+  // Box-Muller standard normals from the deterministic generator.
+  auto gaussian = [&rng] {
+    const double u1 = std::max(rng.uniform(), 1e-300);
+    const double u2 = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  };
+
+  SensitivityResult result;
+  std::vector<double> values;
+  values.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    Params p = base;
+    p.xTask = std::max(1e-12, base.xTask * (1.0 + sigma.xTask * gaussian()));
+    p.xPrtr = std::clamp(base.xPrtr * (1.0 + sigma.xPrtr * gaussian()), 1e-12,
+                         1.0);
+    p.xControl = std::max(0.0, base.xControl * (1.0 + sigma.xControl * gaussian()));
+    p.xDecision =
+        std::max(0.0, base.xDecision * (1.0 + sigma.xDecision * gaussian()));
+    p.hitRatio = std::clamp(base.hitRatio + sigma.hitRatio * gaussian(), 0.0, 1.0);
+    const double s = asymptoticSpeedup(p);
+    result.speedup.add(s);
+    values.push_back(s);
+  }
+  result.p05 = util::exactQuantile(values, 0.05);
+  result.p50 = util::exactQuantile(values, 0.50);
+  result.p95 = util::exactQuantile(values, 0.95);
+  return result;
+}
+
+}  // namespace prtr::model

@@ -1,0 +1,77 @@
+#pragma once
+/// \file insights.hpp
+/// Second-order analyses on top of the core model:
+///
+///  * break-even call count — how many calls amortize PRTR's leading full
+///    configuration (the "1 + X_decision" of eq. 5);
+///  * heterogeneous workload mixes — eq. (5)/(6) generalized from a single
+///    average task to weighted task classes (the paper folds everything
+///    into one average T_task; the class-weighted form is exact for mixes
+///    and validated against the simulator);
+///  * Monte-Carlo sensitivity — how parameter uncertainty propagates to
+///    the speedup (error bars for Figure-9-style plots).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/params.hpp"
+#include "util/stats.hpp"
+
+namespace prtr::model {
+
+/// Smallest call count for which PRTR's total beats FRTR's, or nullopt
+/// when PRTR never catches up (per-call PRTR cost >= per-call FRTR cost).
+[[nodiscard]] std::optional<std::uint64_t> breakEvenCalls(const Params& p);
+
+/// One task class of a heterogeneous mix.
+struct TaskClass {
+  double weight = 1.0;    ///< fraction of calls (> 0; normalized internally)
+  double xTask = 1.0;     ///< normalized task time of this class
+  double hitRatio = 0.0;  ///< class-specific hit ratio
+};
+
+/// Shared parameters of a mixed workload (per-class values live in the
+/// TaskClass entries).
+struct MixedParams {
+  std::uint64_t nCalls = 1;
+  double xPrtr = 0.1;
+  double xControl = 0.0;
+  double xDecision = 0.0;
+  std::vector<TaskClass> classes;
+
+  void validate() const;
+};
+
+/// Class-weighted totals and speedups (exact generalizations of eq. 2/5/6/7).
+[[nodiscard]] double mixedFrtrTotalNormalized(const MixedParams& p);
+[[nodiscard]] double mixedPrtrTotalNormalized(const MixedParams& p);
+[[nodiscard]] double mixedSpeedup(const MixedParams& p);
+[[nodiscard]] double mixedAsymptoticSpeedup(const MixedParams& p);
+
+/// Relative (one-sigma, Gaussian) uncertainty on each parameter for the
+/// sensitivity analysis; zero entries stay fixed.
+struct Perturbation {
+  double xTask = 0.0;
+  double xPrtr = 0.0;
+  double xControl = 0.0;
+  double xDecision = 0.0;
+  double hitRatio = 0.0;  ///< absolute sigma (H lives in [0,1])
+};
+
+/// Distribution summary of the asymptotic speedup under perturbation.
+struct SensitivityResult {
+  util::RunningStats speedup;
+  double p05 = 0.0;  ///< 5th percentile
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Samples eq. (7) `samples` times with Gaussian-perturbed parameters
+/// (clamped to their domains). Deterministic for a given seed.
+[[nodiscard]] SensitivityResult sensitivity(const Params& base,
+                                            const Perturbation& sigma,
+                                            std::size_t samples,
+                                            std::uint64_t seed);
+
+}  // namespace prtr::model

@@ -1,0 +1,43 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+
+namespace prtr::model {
+
+double frtrTotalNormalized(const Params& p) {
+  p.validate();
+  return static_cast<double>(p.nCalls) * (1.0 + p.xControl + p.xTask);
+}
+
+double prtrPerCallNormalized(const Params& p) {
+  const double missed = std::max(p.xTask + p.xDecision, p.xPrtr);
+  const double hit = p.xTask + p.xDecision;
+  return p.xControl + p.missRatio() * missed + p.hitRatio * hit;
+}
+
+double prtrTotalNormalized(const Params& p) {
+  p.validate();
+  return 1.0 + p.xDecision +
+         static_cast<double>(p.nCalls) * prtrPerCallNormalized(p);
+}
+
+double speedup(const Params& p) {
+  return frtrTotalNormalized(p) / prtrTotalNormalized(p);
+}
+
+double asymptoticSpeedup(const Params& p) {
+  p.validate();
+  return (1.0 + p.xControl + p.xTask) / prtrPerCallNormalized(p);
+}
+
+util::Time frtrTotalTime(const AbsoluteParams& p) {
+  return util::Time::seconds(frtrTotalNormalized(p.normalized()) *
+                             p.tFrtr.toSeconds());
+}
+
+util::Time prtrTotalTime(const AbsoluteParams& p) {
+  return util::Time::seconds(prtrTotalNormalized(p.normalized()) *
+                             p.tFrtr.toSeconds());
+}
+
+}  // namespace prtr::model

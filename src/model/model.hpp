@@ -1,0 +1,47 @@
+#pragma once
+/// \file model.hpp
+/// The paper's analytical execution model, equations (1) through (7).
+///
+/// FRTR baseline (every call pays a full configuration), eq. (1)/(2):
+///     X_total^FRTR = n_calls * (1 + X_control + X_task)
+///
+/// PRTR (initial full configuration; missed calls pay a partial
+/// configuration that overlaps the previous task's execution; hit calls pay
+/// none), eq. (3)-(5) with M = n_config/n_calls and H = 1 - M:
+///     X_total^PRTR = 1 + X_decision + n_calls * ( X_control
+///                    + M * max(X_task + X_decision, X_PRTR)
+///                    + H * (X_task + X_decision) )
+///
+/// Speedup, eq. (6):  S = X_total^FRTR / X_total^PRTR
+/// Asymptote (n_calls -> inf), eq. (7):
+///     S_inf = (1 + X_control + X_task)
+///           / ( X_control + M * max(X_task + X_decision, X_PRTR)
+///               + H * (X_task + X_decision) )
+
+#include "model/params.hpp"
+#include "util/units.hpp"
+
+namespace prtr::model {
+
+/// Normalized FRTR total execution time, eq. (2).
+[[nodiscard]] double frtrTotalNormalized(const Params& p);
+
+/// Normalized PRTR total execution time, eq. (5).
+[[nodiscard]] double prtrTotalNormalized(const Params& p);
+
+/// Finite-call speedup of PRTR over FRTR, eq. (6).
+[[nodiscard]] double speedup(const Params& p);
+
+/// Asymptotic speedup as n_calls -> infinity, eq. (7).
+[[nodiscard]] double asymptoticSpeedup(const Params& p);
+
+/// Absolute total times (seconds domain), eq. (1)/(3): the normalized
+/// totals scaled back by tFrtr.
+[[nodiscard]] util::Time frtrTotalTime(const AbsoluteParams& p);
+[[nodiscard]] util::Time prtrTotalTime(const AbsoluteParams& p);
+
+/// Per-call expected PRTR cost (normalized): the bracketed per-call term of
+/// eq. (5). Useful for validating the simulator call-by-call.
+[[nodiscard]] double prtrPerCallNormalized(const Params& p);
+
+}  // namespace prtr::model

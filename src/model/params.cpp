@@ -1,0 +1,34 @@
+#include "model/params.hpp"
+
+#include "util/error.hpp"
+
+namespace prtr::model {
+
+void Params::validate() const {
+  util::require(nCalls >= 1, "Params: nCalls must be at least 1");
+  util::require(xTask > 0.0, "Params: xTask must be positive");
+  util::require(xPrtr > 0.0 && xPrtr <= 1.0,
+                "Params: xPrtr must be in (0, 1] (a partial configuration "
+                "cannot exceed the full configuration)");
+  util::require(xControl >= 0.0, "Params: xControl must be non-negative");
+  util::require(xDecision >= 0.0, "Params: xDecision must be non-negative");
+  util::require(hitRatio >= 0.0 && hitRatio <= 1.0,
+                "Params: hitRatio must be in [0, 1]");
+}
+
+Params AbsoluteParams::normalized() const {
+  util::require(tFrtr > util::Time::zero(),
+                "AbsoluteParams: tFrtr must be positive");
+  const double denom = tFrtr.toSeconds();
+  Params p;
+  p.nCalls = nCalls;
+  p.xTask = tTask.toSeconds() / denom;
+  p.xPrtr = tPrtr.toSeconds() / denom;
+  p.xControl = tControl.toSeconds() / denom;
+  p.xDecision = tDecision.toSeconds() / denom;
+  p.hitRatio = hitRatio;
+  p.validate();
+  return p;
+}
+
+}  // namespace prtr::model

@@ -1,0 +1,43 @@
+#pragma once
+/// \file params.hpp
+/// Parameters of the paper's analytical execution model (section 3.1).
+/// Every time quantity is normalized by the full configuration time T_FRTR,
+/// written X_y = T_y / T_FRTR as in equation (2).
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace prtr::model {
+
+/// Normalized model parameters.
+struct Params {
+  std::uint64_t nCalls = 1;  ///< total number of function (task) calls
+  double xTask = 1.0;        ///< X_task  = T_task / T_FRTR (> 0)
+  double xPrtr = 0.1;        ///< X_PRTR  = T_PRTR / T_FRTR, in (0, 1]
+  double xControl = 0.0;     ///< X_control  = T_control / T_FRTR (>= 0)
+  double xDecision = 0.0;    ///< X_decision = T_decision / T_FRTR (>= 0)
+  double hitRatio = 0.0;     ///< H in [0, 1]; the paper's experiment: H = 0
+
+  [[nodiscard]] double missRatio() const noexcept { return 1.0 - hitRatio; }
+
+  /// Throws DomainError when a parameter is outside its documented domain.
+  void validate() const;
+};
+
+/// Absolute (seconds-domain) quantities, converted to Params by dividing
+/// through by tFrtr. This is the bridge from platform measurements
+/// (Table 2) to the model.
+struct AbsoluteParams {
+  std::uint64_t nCalls = 1;
+  util::Time tFrtr;      ///< full configuration time
+  util::Time tPrtr;      ///< average partial configuration time
+  util::Time tTask;      ///< average task time requirement
+  util::Time tControl;   ///< average transfer-of-control time
+  util::Time tDecision;  ///< average pre-fetch decision latency
+  double hitRatio = 0.0;
+
+  [[nodiscard]] Params normalized() const;
+};
+
+}  // namespace prtr::model

@@ -1,0 +1,94 @@
+#pragma once
+/// \file dynamic_executor.hpp
+/// Fully dynamic PRTR — the operational form of the paper's section-5
+/// recommendation: "the partitions (PRRs) must be so fine grained to match
+/// the task time requirements ... so as to reduce the configuration
+/// overhead and to increase the system density."
+///
+/// Instead of fixed PRRs, each hardware function gets a region exactly as
+/// wide as its resource footprint, allocated on demand from a managed
+/// column range (fabric/allocator.hpp). Partial configuration time scales
+/// with the module's own width, not with a worst-case region; eviction and
+/// on-demand defragmentation (relocation moves, each costing a partial
+/// reconfiguration) keep the fabric dense.
+
+#include <map>
+#include <optional>
+
+#include "bitstream/builder.hpp"
+#include "fabric/allocator.hpp"
+#include "runtime/report.hpp"
+#include "tasks/workload.hpp"
+#include "xd1/node.hpp"
+
+namespace prtr::runtime {
+
+/// Options for the dynamic executor.
+struct DynamicOptions {
+  /// Managed column range (default: the XC2VP50's homogeneous 34-CLB
+  /// stretch, columns 16..49).
+  std::size_t firstColumn = 16;
+  std::size_t columnCount = 34;
+  fabric::FitPolicy fitPolicy = fabric::FitPolicy::kBestFit;
+  util::Time tControl = util::Time::microseconds(10);
+  /// Compact the fabric (relocation moves through the ICAP, each paid as
+  /// a partial reconfiguration) when an allocation fails.
+  bool defragOnDemand = true;
+};
+
+/// ExecutionReport plus allocation telemetry.
+struct DynamicReport {
+  ExecutionReport base;
+  std::uint64_t evictions = 0;
+  std::uint64_t defragRuns = 0;
+  std::uint64_t defragMoves = 0;
+  util::Time defragTime;
+  double meanOccupiedColumns = 0.0;  ///< density over the call stream
+};
+
+/// PRTR executor with per-module right-sized dynamic regions.
+class DynamicPrtrExecutor {
+ public:
+  DynamicPrtrExecutor(xd1::Node& node, const tasks::FunctionRegistry& registry,
+                      DynamicOptions options = {});
+
+  [[nodiscard]] DynamicReport run(const tasks::Workload& workload);
+
+  /// Columns a function needs (its worst LUT/FF demand over one CLB
+  /// column's capacity, at least 1).
+  [[nodiscard]] std::size_t widthFor(const tasks::HwFunction& fn) const;
+
+ private:
+  struct Placement {
+    std::uint64_t allocationId = 0;
+    fabric::Allocation allocation;
+    std::uint64_t lastUse = 0;
+  };
+
+  sim::Process execute(const tasks::Workload& workload);
+  sim::Process fullLoad();
+  sim::Process configure(const fabric::Region& region,
+                         const tasks::HwFunction& fn);
+  sim::Process defragWithCost();
+  /// Frees LRU placements until `width` columns can be allocated.
+  void evictUntilFits(std::size_t width);
+
+  [[nodiscard]] const bitstream::Bitstream& streamFor(
+      const fabric::Region& region, const tasks::HwFunction& fn);
+
+  xd1::Node* node_;
+  const tasks::FunctionRegistry* registry_;
+  DynamicOptions options_;
+  fabric::ColumnAllocator allocator_;
+  bitstream::Builder builder_;
+  std::unique_ptr<bitstream::Bitstream> fullStream_;
+  std::map<bitstream::ModuleId, Placement> placements_;
+  /// Built streams keyed by (module, firstColumn, width).
+  std::map<std::tuple<bitstream::ModuleId, std::size_t, std::size_t>,
+           bitstream::Bitstream>
+      streamCache_;
+  DynamicReport report_;
+  std::uint64_t useClock_ = 0;
+};
+
+}  // namespace prtr::runtime

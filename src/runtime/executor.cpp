@@ -1,0 +1,320 @@
+#include "runtime/executor.hpp"
+
+#include "config/port.hpp"
+#include "util/error.hpp"
+
+namespace prtr::runtime {
+namespace {
+
+/// Estimated-basis configuration times go through the raw external port.
+util::Time estimatedFullTime(const xd1::Node& node) {
+  return config::makeSelectMap().transferTime(
+      node.device().geometry().fullBitstreamBytes());
+}
+
+util::Time estimatedPartialTime(const xd1::Node& node, std::size_t prr) {
+  return config::makeSelectMap().transferTime(
+      node.floorplan().prr(prr).partialBitstreamBytes(node.device()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FRTR --
+
+FrtrExecutor::FrtrExecutor(xd1::Node& node,
+                           const tasks::FunctionRegistry& registry,
+                           bitstream::Library& library, ExecutorOptions options)
+    : node_(&node),
+      registry_(&registry),
+      library_(&library),
+      options_(options) {}
+
+sim::Process FrtrExecutor::fullLoad() {
+  auto& sim = node_->sim();
+  const util::Time start = sim.now();
+  if (options_.basis == model::ConfigTimeBasis::kEstimated) {
+    co_await sim.delay(estimatedFullTime(*node_));
+  } else {
+    co_await node_->manager().fullConfigure(library_->full());
+  }
+  ++report_.configurations;
+  report_.configStall += sim.now() - start;
+  if (options_.timeline) {
+    options_.timeline->record("config", "full-config", 'F', start, sim.now());
+  }
+}
+
+sim::Process FrtrExecutor::execute(const tasks::Workload& workload) {
+  auto& sim = node_->sim();
+  for (const tasks::TaskCall& call : workload.calls) {
+    const tasks::HwFunction& fn = registry_->at(call.functionIndex);
+    // FRTR reloads the whole device for every task (Figure 3).
+    co_await fullLoad();
+
+    util::Time mark = sim.now();
+    co_await sim.delay(options_.tControl);
+    report_.controlTime += sim.now() - mark;
+
+    mark = sim.now();
+    co_await node_->linkIn().transfer(call.dataBytes);
+    report_.inputTime += sim.now() - mark;
+
+    mark = sim.now();
+    co_await sim.delay(fn.computeTime(call.dataBytes));
+    report_.computeTime += sim.now() - mark;
+    if (options_.timeline) {
+      options_.timeline->record("FPGA", fn.name, '#', mark, sim.now());
+    }
+
+    mark = sim.now();
+    co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
+    report_.outputTime += sim.now() - mark;
+
+    ++report_.calls;
+  }
+}
+
+ExecutionReport FrtrExecutor::run(const tasks::Workload& workload) {
+  report_ = ExecutionReport{};
+  report_.executor = "FRTR";
+  auto& sim = node_->sim();
+  const util::Time start = sim.now();
+  sim.spawn(execute(workload));
+  sim.run();
+  report_.total = sim.now() - start;
+  return report_;
+}
+
+// ---------------------------------------------------------------- PRTR --
+
+PrtrExecutor::PrtrExecutor(xd1::Node& node,
+                           const tasks::FunctionRegistry& registry,
+                           bitstream::Library& library, ConfigCache& cache,
+                           Prefetcher& prefetcher, ExecutorOptions options)
+    : node_(&node),
+      registry_(&registry),
+      library_(&library),
+      cache_(&cache),
+      prefetcher_(&prefetcher),
+      options_(options) {
+  util::require(cache.slotCount() == node.floorplan().prrCount(),
+                "PrtrExecutor: cache slots must match the PRR count");
+}
+
+sim::Process PrtrExecutor::fullLoad() {
+  auto& sim = node_->sim();
+  const util::Time start = sim.now();
+  if (options_.basis == model::ConfigTimeBasis::kEstimated) {
+    co_await sim.delay(estimatedFullTime(*node_));
+  } else {
+    co_await node_->manager().fullConfigure(library_->full());
+  }
+  cache_->invalidateAll();
+  report_.initialConfig += sim.now() - start;
+  if (options_.timeline) {
+    options_.timeline->record("config", "initial-full-config", 'F', start,
+                              sim.now());
+  }
+}
+
+sim::Process PrtrExecutor::partialLoad(std::size_t prr,
+                                       const tasks::HwFunction& fn) {
+  auto& sim = node_->sim();
+  const util::Time start = sim.now();
+  if (options_.basis == model::ConfigTimeBasis::kEstimated) {
+    co_await sim.delay(estimatedPartialTime(*node_, prr));
+  } else {
+    co_await node_->manager().loadModule(prr, fn.id,
+                                         library_->modulePartial(prr, fn.id));
+  }
+  if (options_.timeline) {
+    options_.timeline->record("config", "partial(" + fn.name + ")", 'P', start,
+                              sim.now());
+  }
+}
+
+sim::Process PrtrExecutor::prepareProcess(std::size_t callIndex,
+                                          ModuleId module) {
+  auto& sim = node_->sim();
+  Prep* prep = prep_.get();
+  const util::Time decisionStart = sim.now();
+  co_await sim.delay(prefetcher_->decisionLatency());
+  report_.decisionTime += sim.now() - decisionStart;
+
+  const bool resident = cache_->lookup(module).has_value();
+  if (!options_.forceMiss && resident) {
+    prep->finished = true;
+    prep->done->notifyAll();
+    co_return;
+  }
+
+  std::optional<std::size_t> slot;
+  if (options_.forceMiss) {
+    // Rotate over PRRs, skipping the one executing the current task.
+    for (std::size_t attempt = 0; attempt < cache_->slotCount(); ++attempt) {
+      const std::size_t candidate = roundRobinSlot_ % cache_->slotCount();
+      roundRobinSlot_ = candidate + 1;
+      if (candidate != executingPrr_) {
+        slot = candidate;
+        break;
+      }
+    }
+  } else {
+    slot = cache_->chooseSlot(module, executingPrr_);
+  }
+  if (!slot) {
+    // No safe PRR (e.g. single-PRR layout while a task runs): fall back to
+    // on-demand configuration when the call is admitted.
+    prep->finished = true;
+    prep->done->notifyAll();
+    co_return;
+  }
+
+  prep->slot = slot;
+  prep->configIssued = true;
+  ++report_.prefetchIssued;
+  co_await partialLoad(*slot, registry_->byId(module));
+  cache_->install(*slot, module);
+  prep->finished = true;
+  prep->done->notifyAll();
+  (void)callIndex;
+}
+
+void PrtrExecutor::startPrepare(std::size_t nextCallIndex,
+                                const tasks::Workload& workload) {
+  std::optional<ModuleId> predicted;
+  switch (options_.prepare) {
+    case PrepareSource::kNone:
+      return;
+    case PrepareSource::kQueue:
+      predicted = registry_->at(workload.calls[nextCallIndex].functionIndex).id;
+      break;
+    case PrepareSource::kPrefetcher:
+      predicted = prefetcher_->predictNext();
+      break;
+  }
+  if (!predicted) return;
+  prep_ = std::make_unique<Prep>();
+  prep_->callIndex = nextCallIndex;
+  prep_->module = *predicted;
+  prep_->done = std::make_unique<sim::Condition>(node_->sim());
+  node_->sim().spawn(prepareProcess(nextCallIndex, *predicted));
+}
+
+sim::Process PrtrExecutor::ensureResident(std::size_t callIndex,
+                                          const tasks::HwFunction& fn) {
+  auto& sim = node_->sim();
+
+  bool satisfied = false;
+  bool configured = false;
+  if (prep_ && prep_->callIndex == callIndex) {
+    // Wait for the in-flight preparation (even a wrong guess: it owns the
+    // configuration port and possibly the slot we need).
+    while (!prep_->finished) {
+      const util::Time waitStart = sim.now();
+      co_await prep_->done->wait();
+      report_.configStall += sim.now() - waitStart;
+    }
+    if (prep_->module == fn.id) {
+      satisfied = prep_->slot.has_value() ||
+                  (!options_.forceMiss && cache_->lookup(fn.id).has_value());
+      configured = prep_->configIssued;
+    } else if (prep_->configIssued) {
+      ++report_.prefetchWrong;
+    }
+    prep_.reset();
+  }
+
+  if (!satisfied) {
+    // On-demand path: decision, then configure if (still) not resident.
+    const util::Time decisionStart = sim.now();
+    co_await sim.delay(prefetcher_->decisionLatency());
+    report_.decisionTime += sim.now() - decisionStart;
+
+    if (!options_.forceMiss && cache_->lookup(fn.id).has_value()) {
+      satisfied = true;
+    } else {
+      std::optional<std::size_t> slot;
+      if (options_.forceMiss) {
+        slot = roundRobinSlot_ % cache_->slotCount();
+        roundRobinSlot_ = *slot + 1;
+      } else {
+        slot = cache_->chooseSlot(fn.id, std::nullopt);
+      }
+      util::require(slot.has_value(),
+                    "PrtrExecutor: no PRR available for on-demand load");
+      const util::Time stallStart = sim.now();
+      co_await partialLoad(*slot, fn);
+      cache_->install(*slot, fn.id);
+      report_.configStall += sim.now() - stallStart;
+      configured = true;
+    }
+  }
+
+  if (configured) ++report_.configurations;
+  // Cache stats (hit ratio bookkeeping) track residency at admission.
+  if (!options_.forceMiss) {
+    (void)cache_->access(fn.id);
+  }
+}
+
+sim::Process PrtrExecutor::execute(const tasks::Workload& workload) {
+  auto& sim = node_->sim();
+  co_await fullLoad();  // the leading "1" of equation (5)
+
+  for (std::size_t i = 0; i < workload.calls.size(); ++i) {
+    const tasks::TaskCall& call = workload.calls[i];
+    const tasks::HwFunction& fn = registry_->at(call.functionIndex);
+
+    cache_->onCallBoundary(i);
+    co_await ensureResident(i, fn);
+    prefetcher_->observe(fn.id);
+    // Slot contents are updated by install() in every mode, so the lookup
+    // also resolves the executing PRR under forceMiss.
+    executingPrr_ = cache_->lookup(fn.id);
+
+    util::Time mark = sim.now();
+    co_await sim.delay(options_.tControl);
+    report_.controlTime += sim.now() - mark;
+
+    mark = sim.now();
+    co_await node_->linkIn().transfer(call.dataBytes);
+    report_.inputTime += sim.now() - mark;
+
+    // Input channel now free: overlap the next call's configuration with
+    // the remainder of this task (paper section 4.1).
+    if (i + 1 < workload.calls.size()) startPrepare(i + 1, workload);
+
+    mark = sim.now();
+    co_await sim.delay(fn.computeTime(call.dataBytes));
+    report_.computeTime += sim.now() - mark;
+    if (options_.timeline) {
+      const std::string lane =
+          "PRR" + std::to_string(executingPrr_.value_or(0));
+      options_.timeline->record(lane, fn.name, '#', mark, sim.now());
+    }
+
+    mark = sim.now();
+    co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
+    report_.outputTime += sim.now() - mark;
+
+    executingPrr_.reset();
+    ++report_.calls;
+  }
+}
+
+ExecutionReport PrtrExecutor::run(const tasks::Workload& workload) {
+  report_ = ExecutionReport{};
+  report_.executor = "PRTR";
+  roundRobinSlot_ = 0;
+  executingPrr_.reset();
+  prep_.reset();
+  auto& sim = node_->sim();
+  const util::Time start = sim.now();
+  sim.spawn(execute(workload));
+  sim.run();
+  report_.total = sim.now() - start;
+  return report_;
+}
+
+}  // namespace prtr::runtime

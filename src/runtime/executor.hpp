@@ -1,0 +1,108 @@
+#pragma once
+/// \file executor.hpp
+/// Workload executors on the simulated XD1.
+///
+/// FrtrExecutor reproduces the Figure-3 profile: every call pays a full
+/// reconfiguration, then transfer of control, data in, compute, data out.
+///
+/// PrtrExecutor reproduces the Figure-4 profiles: one initial full
+/// configuration, then per call either a hit (module already resident in a
+/// PRR — no configuration) or a miss (a partial reconfiguration that
+/// overlaps the previous task's execution when look-ahead/prefetching
+/// identified it in time). Partial bitstreams share the host->FPGA channel
+/// with payload data, so a pending configuration may only start once the
+/// current call's input transfer has finished (paper section 4.1).
+
+#include <memory>
+#include <optional>
+
+#include "bitstream/library.hpp"
+#include "model/calibration.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/prefetch.hpp"
+#include "runtime/report.hpp"
+#include "sim/trace.hpp"
+#include "tasks/workload.hpp"
+#include "xd1/node.hpp"
+
+namespace prtr::runtime {
+
+/// How the PRTR executor learns what to configure ahead of time.
+enum class PrepareSource : std::uint8_t {
+  kNone,        ///< configure strictly on demand (no overlap)
+  kQueue,       ///< peek at the next queued call (perfect knowledge)
+  kPrefetcher,  ///< ask the Prefetcher (may guess wrong)
+};
+
+/// Options shared by both executors.
+struct ExecutorOptions {
+  model::ConfigTimeBasis basis = model::ConfigTimeBasis::kMeasured;
+  util::Time tControl = util::Time::microseconds(10);
+  /// Paper experiment mode: "always reconfigures the called tasks"
+  /// (H = 0, M = 1) even when the module is still resident.
+  bool forceMiss = false;
+  PrepareSource prepare = PrepareSource::kQueue;
+  sim::Timeline* timeline = nullptr;  ///< optional Gantt tracing
+};
+
+/// Full run-time reconfiguration baseline (Figure 3).
+class FrtrExecutor {
+ public:
+  FrtrExecutor(xd1::Node& node, const tasks::FunctionRegistry& registry,
+               bitstream::Library& library, ExecutorOptions options);
+
+  /// Executes `workload` to completion on the node's simulator and returns
+  /// the report. Expects a fresh simulator/node per run.
+  [[nodiscard]] ExecutionReport run(const tasks::Workload& workload);
+
+ private:
+  sim::Process execute(const tasks::Workload& workload);
+  sim::Process fullLoad();
+
+  xd1::Node* node_;
+  const tasks::FunctionRegistry* registry_;
+  bitstream::Library* library_;
+  ExecutorOptions options_;
+  ExecutionReport report_;
+};
+
+/// Partial run-time reconfiguration executor (Figure 4).
+class PrtrExecutor {
+ public:
+  PrtrExecutor(xd1::Node& node, const tasks::FunctionRegistry& registry,
+               bitstream::Library& library, ConfigCache& cache,
+               Prefetcher& prefetcher, ExecutorOptions options);
+
+  [[nodiscard]] ExecutionReport run(const tasks::Workload& workload);
+
+ private:
+  /// In-flight ahead-of-time preparation for one upcoming call.
+  struct Prep {
+    std::size_t callIndex = 0;
+    ModuleId module = 0;       ///< module being prepared
+    bool finished = false;
+    bool configIssued = false; ///< a partial configuration was performed
+    std::optional<std::size_t> slot;
+    std::unique_ptr<sim::Condition> done;
+  };
+
+  sim::Process execute(const tasks::Workload& workload);
+  sim::Process fullLoad();
+  sim::Process partialLoad(std::size_t prr, const tasks::HwFunction& fn);
+  sim::Process prepareProcess(std::size_t callIndex, ModuleId module);
+  sim::Process ensureResident(std::size_t callIndex, const tasks::HwFunction& fn);
+  void startPrepare(std::size_t nextCallIndex, const tasks::Workload& workload);
+
+  xd1::Node* node_;
+  const tasks::FunctionRegistry* registry_;
+  bitstream::Library* library_;
+  ConfigCache* cache_;
+  Prefetcher* prefetcher_;
+  ExecutorOptions options_;
+  ExecutionReport report_;
+  std::optional<std::size_t> executingPrr_;
+  std::unique_ptr<Prep> prep_;
+  std::size_t roundRobinSlot_ = 0;  ///< forceMiss slot rotation
+};
+
+}  // namespace prtr::runtime

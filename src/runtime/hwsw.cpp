@@ -1,0 +1,147 @@
+#include "runtime/hwsw.hpp"
+
+#include "model/calibration.hpp"
+#include "util/error.hpp"
+
+namespace prtr::runtime {
+
+const char* toString(Partitioning policy) noexcept {
+  switch (policy) {
+    case Partitioning::kAlwaysHardware: return "always-hw";
+    case Partitioning::kAlwaysSoftware: return "always-sw";
+    case Partitioning::kStaticThreshold: return "static-threshold";
+    case Partitioning::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+HwSwExecutor::HwSwExecutor(xd1::Node& node,
+                           const tasks::FunctionRegistry& registry,
+                           bitstream::Library& library, ConfigCache& cache,
+                           HwSwOptions options)
+    : node_(&node),
+      registry_(&registry),
+      library_(&library),
+      cache_(&cache),
+      options_(options) {
+  util::require(cache.slotCount() == node.floorplan().prrCount(),
+                "HwSwExecutor: cache slots must match the PRR count");
+}
+
+util::Time HwSwExecutor::hardwareCost(const tasks::TaskCall& call,
+                                      bool resident) const {
+  const tasks::HwFunction& fn = registry_->at(call.functionIndex);
+  util::Time cost = options_.tControl +
+                    model::taskTime(*node_, fn, call.dataBytes);
+  if (!resident) {
+    cost += node_->icap().drainTime(
+        node_->floorplan().prr(0).partialBitstreamBytes(node_->device()));
+  }
+  return cost;
+}
+
+util::Time HwSwExecutor::softwareCost(const tasks::TaskCall& call) const {
+  return options_.cpu.computeTime(call.dataBytes);
+}
+
+bool HwSwExecutor::placeInHardware(const tasks::TaskCall& call) const {
+  const tasks::HwFunction& fn = registry_->at(call.functionIndex);
+  switch (options_.policy) {
+    case Partitioning::kAlwaysHardware:
+      return true;
+    case Partitioning::kAlwaysSoftware:
+      return false;
+    case Partitioning::kStaticThreshold:
+      // Hardware only when it wins even while paying a configuration.
+      return hardwareCost(call, /*resident=*/false) < softwareCost(call);
+    case Partitioning::kAdaptive: {
+      const bool resident = cache_->lookup(fn.id).has_value();
+      return hardwareCost(call, resident) < softwareCost(call);
+    }
+  }
+  return true;
+}
+
+sim::Process HwSwExecutor::fullLoad() {
+  const util::Time start = node_->sim().now();
+  co_await node_->manager().fullConfigure(library_->full());
+  cache_->invalidateAll();
+  report_.base.initialConfig += node_->sim().now() - start;
+}
+
+sim::Process HwSwExecutor::configureInto(std::size_t slot,
+                                         const tasks::HwFunction& fn) {
+  co_await node_->manager().loadModule(slot, fn.id,
+                                       library_->modulePartial(slot, fn.id));
+  cache_->install(slot, fn.id);
+}
+
+sim::Process HwSwExecutor::execute(const tasks::Workload& workload) {
+  auto& sim = node_->sim();
+  // The accelerator powers up lazily: the initial full configuration is
+  // paid before the first call actually placed in hardware.
+  bool deviceReady = false;
+
+  for (std::size_t i = 0; i < workload.calls.size(); ++i) {
+    const tasks::TaskCall& call = workload.calls[i];
+    const tasks::HwFunction& fn = registry_->at(call.functionIndex);
+    cache_->onCallBoundary(i);
+
+    if (!placeInHardware(call)) {
+      // Software path: data stays in host memory; the CPU crunches it.
+      const util::Time start = sim.now();
+      co_await sim.delay(softwareCost(call));
+      report_.softwareTime += sim.now() - start;
+      ++report_.softwareCalls;
+      ++report_.base.calls;
+      continue;
+    }
+
+    // Hardware path: configure on miss, then the Figure-2 sequence.
+    if (!deviceReady) {
+      co_await fullLoad();
+      deviceReady = true;
+    }
+    if (!cache_->lookup(fn.id).has_value()) {
+      const auto slot = cache_->chooseSlot(fn.id, std::nullopt);
+      util::require(slot.has_value(), "HwSwExecutor: no PRR available");
+      const util::Time stallStart = sim.now();
+      co_await configureInto(*slot, fn);
+      report_.base.configStall += sim.now() - stallStart;
+      ++report_.base.configurations;
+    }
+    (void)cache_->access(fn.id);
+
+    util::Time mark = sim.now();
+    co_await sim.delay(options_.tControl);
+    report_.base.controlTime += sim.now() - mark;
+
+    mark = sim.now();
+    co_await node_->linkIn().transfer(call.dataBytes);
+    report_.base.inputTime += sim.now() - mark;
+
+    mark = sim.now();
+    co_await sim.delay(fn.computeTime(call.dataBytes));
+    report_.base.computeTime += sim.now() - mark;
+
+    mark = sim.now();
+    co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
+    report_.base.outputTime += sim.now() - mark;
+
+    ++report_.hardwareCalls;
+    ++report_.base.calls;
+  }
+}
+
+HwSwReport HwSwExecutor::run(const tasks::Workload& workload) {
+  report_ = HwSwReport{};
+  report_.base.executor = "HW/SW(" + std::string{toString(options_.policy)} + ")";
+  auto& sim = node_->sim();
+  const util::Time start = sim.now();
+  sim.spawn(execute(workload));
+  sim.run();
+  report_.base.total = sim.now() - start;
+  return report_;
+}
+
+}  // namespace prtr::runtime

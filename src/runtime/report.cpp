@@ -1,0 +1,34 @@
+#include "runtime/report.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace prtr::runtime {
+
+std::string ExecutionReport::toString() const {
+  std::ostringstream os;
+  os << executor << " report: calls=" << calls
+     << " configs=" << configurations << " H=" << hitRatio()
+     << " total=" << total.toString() << "\n";
+  os << "  initialConfig=" << initialConfig.toString()
+     << " configStall=" << configStall.toString()
+     << " decision=" << decisionTime.toString()
+     << " control=" << controlTime.toString() << "\n";
+  os << "  in=" << inputTime.toString() << " compute=" << computeTime.toString()
+     << " out=" << outputTime.toString()
+     << " configOverhead=" << configOverheadFraction() * 100.0 << "%";
+  if (prefetchIssued > 0) {
+    os << " prefetch=" << prefetchIssued << " (wrong " << prefetchWrong << ")";
+  }
+  os << "\n";
+  return os.str();
+}
+
+double measuredSpeedup(const ExecutionReport& frtr, const ExecutionReport& prtr) {
+  util::require(prtr.total > util::Time::zero(),
+                "measuredSpeedup: PRTR total must be positive");
+  return frtr.total / prtr.total;
+}
+
+}  // namespace prtr::runtime

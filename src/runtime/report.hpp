@@ -1,0 +1,55 @@
+#pragma once
+/// \file report.hpp
+/// Execution reports produced by the FRTR/PRTR executors: total time, the
+/// per-category breakdown of Figure 2 (configuration, transfer of control,
+/// I/O, computation, pre-fetch decision), and cache statistics. These are
+/// the observables the model-vs-simulation validator consumes.
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace prtr::runtime {
+
+/// Result of executing one workload on one executor.
+struct ExecutionReport {
+  std::string executor;        ///< "FRTR" or "PRTR"
+  std::uint64_t calls = 0;
+  std::uint64_t configurations = 0;  ///< n_config (partial or full reloads)
+  std::uint64_t prefetchIssued = 0;  ///< speculative configurations started
+  std::uint64_t prefetchWrong = 0;   ///< speculative loads never used
+
+  util::Time total;         ///< end-to-end simulated time
+  util::Time initialConfig; ///< the leading full configuration (PRTR)
+  util::Time configStall;   ///< time calls spent waiting on configuration
+  util::Time decisionTime;  ///< accumulated T_decision
+  util::Time controlTime;   ///< accumulated T_control
+  util::Time inputTime;     ///< host->FPGA payload time on the critical path
+  util::Time computeTime;   ///< fabric execution time
+  util::Time outputTime;    ///< FPGA->host payload time
+
+  /// Measured hit ratio: calls that found their module resident.
+  [[nodiscard]] double hitRatio() const noexcept {
+    if (calls == 0) return 0.0;
+    const std::uint64_t missed =
+        configurations < calls ? configurations : calls;
+    return static_cast<double>(calls - missed) / static_cast<double>(calls);
+  }
+
+  /// Fraction of total time spent on (re)configuration stalls — the
+  /// "25% to 98.5%" overhead figure of the paper's introduction.
+  [[nodiscard]] double configOverheadFraction() const noexcept {
+    return total > util::Time::zero()
+               ? (configStall + initialConfig) / total
+               : 0.0;
+  }
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Speedup of `prtr` relative to `frtr` (the paper's S).
+[[nodiscard]] double measuredSpeedup(const ExecutionReport& frtr,
+                                     const ExecutionReport& prtr);
+
+}  // namespace prtr::runtime

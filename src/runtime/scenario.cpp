@@ -1,0 +1,131 @@
+#include "runtime/scenario.hpp"
+
+#include <sstream>
+
+#include "model/calibration.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace prtr::runtime {
+namespace {
+
+/// Module-id sequence of a workload (for Belady / oracle construction).
+std::vector<ModuleId> moduleSequence(const tasks::FunctionRegistry& registry,
+                                     const tasks::Workload& workload) {
+  std::vector<ModuleId> seq;
+  seq.reserve(workload.calls.size());
+  for (const tasks::TaskCall& call : workload.calls) {
+    seq.push_back(registry.at(call.functionIndex).id);
+  }
+  return seq;
+}
+
+/// Average task time requirement across the workload on `node`.
+util::Time averageTaskTime(const xd1::Node& node,
+                           const tasks::FunctionRegistry& registry,
+                           const tasks::Workload& workload) {
+  util::require(!workload.calls.empty(), "averageTaskTime: empty workload");
+  double sum = 0.0;
+  for (const tasks::TaskCall& call : workload.calls) {
+    sum += model::taskTime(node, registry.at(call.functionIndex), call.dataBytes)
+               .toSeconds();
+  }
+  return util::Time::seconds(sum / static_cast<double>(workload.calls.size()));
+}
+
+ExecutorOptions executorOptions(const ScenarioOptions& options,
+                                sim::Timeline* timeline) {
+  ExecutorOptions eo;
+  eo.basis = options.basis;
+  eo.tControl = options.tControl;
+  eo.forceMiss = options.forceMiss;
+  eo.prepare = options.prepare;
+  eo.timeline = timeline;
+  return eo;
+}
+
+}  // namespace
+
+std::string ScenarioResult::toString() const {
+  std::ostringstream os;
+  os << "measured S = " << speedup << ", model S = " << modelSpeedup
+     << " (error " << modelError * 100.0 << "%)\n";
+  os << frtr.toString() << prtr.toString();
+  return os.str();
+}
+
+ExecutionReport runPrtrOnly(const tasks::FunctionRegistry& registry,
+                            const tasks::Workload& workload,
+                            const ScenarioOptions& options) {
+  sim::Simulator sim;
+  xd1::NodeConfig nodeConfig;
+  nodeConfig.layout = options.layout;
+  nodeConfig.icapTiming.multiFrameWrite = options.mfwCompression;
+  xd1::Node node{sim, nodeConfig};
+  bitstream::Library library{
+      node.floorplan(),
+      registry.moduleSpecs(node.floorplan().prr(0).resources(node.device()))};
+
+  const auto sequence = moduleSequence(registry, workload);
+  auto cache = makeCache(options.cachePolicy, node.floorplan().prrCount(),
+                         sequence);
+  auto prefetcher = makePrefetcher(options.prefetcherKind,
+                                   options.decisionLatency, sequence,
+                                   options.associationWindow);
+  PrtrExecutor executor{node,  registry,    library,
+                        *cache, *prefetcher, executorOptions(options,
+                                                             options.prtrTimeline)};
+  return executor.run(workload);
+}
+
+model::Params deriveModelParams(const tasks::FunctionRegistry& registry,
+                                const tasks::Workload& workload,
+                                const ScenarioOptions& options, double hitRatio) {
+  sim::Simulator sim;
+  xd1::NodeConfig nodeConfig;
+  nodeConfig.layout = options.layout;
+  const xd1::Node node{sim, nodeConfig};
+
+  model::AbsoluteParams abs;
+  const model::ConfigTimes times = model::configTimes(node);
+  abs.nCalls = workload.callCount();
+  abs.tFrtr = times.full(options.basis);
+  abs.tPrtr = times.partial(options.basis);
+  abs.tTask = averageTaskTime(node, registry, workload);
+  abs.tControl = options.tControl;
+  abs.tDecision = options.decisionLatency;
+  abs.hitRatio = hitRatio;
+  return abs.normalized();
+}
+
+ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
+                           const tasks::Workload& workload,
+                           const ScenarioOptions& options) {
+  ScenarioResult result;
+
+  {
+    sim::Simulator sim;
+    xd1::NodeConfig nodeConfig;
+    nodeConfig.layout = options.layout;
+    xd1::Node node{sim, nodeConfig};
+    bitstream::Library library{
+        node.floorplan(),
+        registry.moduleSpecs(node.floorplan().prr(0).resources(node.device()))};
+    FrtrExecutor frtr{node, registry, library,
+                      executorOptions(options, options.frtrTimeline)};
+    result.frtr = frtr.run(workload);
+  }
+
+  result.prtr = runPrtrOnly(registry, workload, options);
+  result.speedup = measuredSpeedup(result.frtr, result.prtr);
+
+  const double hitRatio =
+      options.forceMiss ? 0.0 : result.prtr.hitRatio();
+  result.modelParams = deriveModelParams(registry, workload, options, hitRatio);
+  result.modelSpeedup = model::speedup(result.modelParams);
+  result.modelError =
+      util::relativeError(result.speedup, result.modelSpeedup);
+  return result;
+}
+
+}  // namespace prtr::runtime

@@ -1,0 +1,61 @@
+#pragma once
+/// \file scenario.hpp
+/// The library's top-level entry point: run one workload under both FRTR
+/// and PRTR on freshly instantiated simulated XD1 nodes, measure the
+/// speedup, and validate it against the analytical model (equations 6/7).
+/// This is what the examples and the figure-reproduction benches drive.
+
+#include <string>
+
+#include "model/model.hpp"
+#include "runtime/executor.hpp"
+
+namespace prtr::runtime {
+
+/// Everything a scenario needs besides the workload itself.
+struct ScenarioOptions {
+  xd1::Layout layout = xd1::Layout::kDualPrr;
+  model::ConfigTimeBasis basis = model::ConfigTimeBasis::kMeasured;
+  util::Time tControl = util::Time::microseconds(10);
+  /// Paper experiment mode (H = 0): reconfigure on every call.
+  bool forceMiss = true;
+  PrepareSource prepare = PrepareSource::kQueue;
+  std::string cachePolicy = "lru";
+  std::string prefetcherKind = "none";
+  util::Time decisionLatency = util::Time::zero();
+  /// Multi-frame-write compression in the ICAP controller (extension;
+  /// affects the measured basis only).
+  bool mfwCompression = false;
+  std::size_t associationWindow = 8;
+  sim::Timeline* frtrTimeline = nullptr;
+  sim::Timeline* prtrTimeline = nullptr;
+};
+
+/// Measurements plus the model's prediction for the same parameters.
+struct ScenarioResult {
+  ExecutionReport frtr;
+  ExecutionReport prtr;
+  double speedup = 0.0;       ///< measured S = T_FRTR_total / T_PRTR_total
+  model::Params modelParams;  ///< derived from the platform + measured H
+  double modelSpeedup = 0.0;  ///< eq. (6) at those parameters
+  double modelError = 0.0;    ///< |measured - model| / model
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Runs `workload` under FRTR and PRTR and validates against the model.
+[[nodiscard]] ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
+                                         const tasks::Workload& workload,
+                                         const ScenarioOptions& options);
+
+/// Runs only the PRTR side (used when the FRTR side is analytic anyway).
+[[nodiscard]] ExecutionReport runPrtrOnly(const tasks::FunctionRegistry& registry,
+                                          const tasks::Workload& workload,
+                                          const ScenarioOptions& options);
+
+/// Derives the model parameters a scenario implies (without running it).
+[[nodiscard]] model::Params deriveModelParams(
+    const tasks::FunctionRegistry& registry, const tasks::Workload& workload,
+    const ScenarioOptions& options, double hitRatio);
+
+}  // namespace prtr::runtime

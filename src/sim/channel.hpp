@@ -1,0 +1,135 @@
+#pragma once
+/// \file channel.hpp
+/// Bounded FIFO channel between simulator processes. Models hardware FIFOs
+/// (e.g. the BRAM buffer between the HyperTransport link and the ICAP port):
+/// `put` suspends when the buffer is full, `get` suspends when it is empty.
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace prtr::sim {
+
+/// Bounded single-simulator channel carrying values of type T.
+/// Capacity must be >= 1 (no rendezvous channels).
+template <typename T>
+class Channel {
+ public:
+  Channel(Simulator& sim, std::size_t capacity) : sim_(&sim), capacity_(capacity) {
+    util::require(capacity >= 1, "Channel: capacity must be >= 1");
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Awaitable producing side. Suspends while the buffer is full.
+  [[nodiscard]] auto put(T value) noexcept {
+    struct Awaiter {
+      Channel* ch;
+      T value;
+      bool await_ready() noexcept {
+        if (ch->buffer_.size() < ch->capacity_) {
+          ch->commitPut(std::move(value));
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->pendingPuts_.push_back(PendingPut{h, std::move(value)});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, std::move(value)};
+  }
+
+  /// Awaitable consuming side. Suspends while the buffer is empty.
+  [[nodiscard]] auto get() noexcept {
+    struct Awaiter {
+      Channel* ch;
+      std::optional<T> slot;
+      bool await_ready() noexcept {
+        if (!ch->buffer_.empty()) {
+          slot = ch->commitGet();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->pendingGets_.push_back(PendingGet{h, &slot});
+      }
+      T await_resume() {
+        util::require(slot.has_value(), "Channel: get resumed without a value");
+        return std::move(*slot);
+      }
+    };
+    return Awaiter{this, std::nullopt};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return buffer_.empty(); }
+  [[nodiscard]] std::size_t blockedProducers() const noexcept {
+    return pendingPuts_.size();
+  }
+  [[nodiscard]] std::size_t blockedConsumers() const noexcept {
+    return pendingGets_.size();
+  }
+
+ private:
+  struct PendingPut {
+    std::coroutine_handle<> handle;
+    T value;
+  };
+  struct PendingGet {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  /// Inserts a value; if a consumer is blocked, hands the oldest buffered
+  /// value over and wakes it.
+  void commitPut(T value) {
+    buffer_.push_back(std::move(value));
+    drainToConsumers();
+  }
+
+  /// Removes the oldest value; if a producer is blocked, admits its value
+  /// into the freed slot and wakes it.
+  T commitGet() {
+    T value = std::move(buffer_.front());
+    buffer_.pop_front();
+    admitBlockedProducer();
+    return value;
+  }
+
+  void drainToConsumers() {
+    while (!pendingGets_.empty() && !buffer_.empty()) {
+      PendingGet waiter = pendingGets_.front();
+      pendingGets_.pop_front();
+      *waiter.slot = std::move(buffer_.front());
+      buffer_.pop_front();
+      admitBlockedProducer();
+      sim_->scheduleAfter(util::Time::zero(), waiter.handle);
+    }
+  }
+
+  void admitBlockedProducer() {
+    if (!pendingPuts_.empty() && buffer_.size() < capacity_) {
+      PendingPut producer = std::move(pendingPuts_.front());
+      pendingPuts_.pop_front();
+      buffer_.push_back(std::move(producer.value));
+      sim_->scheduleAfter(util::Time::zero(), producer.handle);
+    }
+  }
+
+  Simulator* sim_;
+  std::size_t capacity_;
+  std::deque<T> buffer_;
+  std::deque<PendingPut> pendingPuts_;
+  std::deque<PendingGet> pendingGets_;
+};
+
+}  // namespace prtr::sim

@@ -1,0 +1,61 @@
+#pragma once
+/// \file link.hpp
+/// A simplex communication link with finite bandwidth, modelled as a
+/// serially-reusable resource: one transfer occupies the link for
+/// latency + size/rate. Used for the XD1 RapidArray/HyperTransport channels
+/// (one instance per direction — the "dual channel link" of paper §4.1).
+
+#include <string>
+
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "util/units.hpp"
+
+namespace prtr::sim {
+
+/// One-direction link; transfers serialize FIFO.
+class SimplexLink {
+ public:
+  SimplexLink(Simulator& sim, std::string name, util::DataRate rate,
+              util::Time latency = util::Time::zero())
+      : sim_(&sim),
+        name_(std::move(name)),
+        rate_(rate),
+        latency_(latency),
+        busy_(sim, 1) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] util::DataRate rate() const noexcept { return rate_; }
+  [[nodiscard]] util::Time latency() const noexcept { return latency_; }
+
+  /// Time the wire is occupied by a `size`-byte transfer.
+  [[nodiscard]] util::Time occupancy(util::Bytes size) const noexcept {
+    return latency_ + rate_.transferTime(size);
+  }
+
+  /// Coroutine: waits for the link, holds it for `occupancy(size)`.
+  [[nodiscard]] Process transfer(util::Bytes size) {
+    co_await busy_.acquire();
+    ScopedPermit permit{busy_};
+    co_await sim_->delay(occupancy(size));
+    totalBytes_ += size;
+    ++totalTransfers_;
+  }
+
+  [[nodiscard]] util::Bytes totalBytes() const noexcept { return totalBytes_; }
+  [[nodiscard]] std::uint64_t totalTransfers() const noexcept {
+    return totalTransfers_;
+  }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  util::DataRate rate_;
+  util::Time latency_;
+  Semaphore busy_;
+  util::Bytes totalBytes_{};
+  std::uint64_t totalTransfers_ = 0;
+};
+
+}  // namespace prtr::sim

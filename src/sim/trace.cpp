@@ -1,0 +1,81 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace prtr::sim {
+
+void Timeline::record(Span span) {
+  util::require(span.end >= span.start, "Timeline: span ends before it starts");
+  spans_.push_back(std::move(span));
+}
+
+void Timeline::record(const std::string& lane, const std::string& label,
+                      char glyph, util::Time start, util::Time end) {
+  record(Span{lane, label, glyph, start, end});
+}
+
+util::Time Timeline::laneBusy(const std::string& lane) const noexcept {
+  util::Time total;
+  for (const Span& s : spans_) {
+    if (s.lane == lane) total += s.end - s.start;
+  }
+  return total;
+}
+
+util::Time Timeline::horizon() const noexcept {
+  util::Time latest;
+  for (const Span& s : spans_) latest = std::max(latest, s.end);
+  return latest;
+}
+
+std::string Timeline::renderGantt(int width) const {
+  util::require(width >= 20, "Timeline: Gantt width too small");
+  if (spans_.empty()) return "(empty timeline)\n";
+
+  std::vector<std::string> laneOrder;
+  for (const Span& s : spans_) {
+    if (std::find(laneOrder.begin(), laneOrder.end(), s.lane) == laneOrder.end()) {
+      laneOrder.push_back(s.lane);
+    }
+  }
+  std::size_t laneWidth = 0;
+  for (const auto& lane : laneOrder) laneWidth = std::max(laneWidth, lane.size());
+
+  const util::Time end = horizon();
+  const double endSec = std::max(end.toSeconds(), 1e-15);
+  const auto cols = static_cast<std::size_t>(width);
+  auto column = [&](util::Time t) {
+    const double frac = t.toSeconds() / endSec;
+    return std::min(cols - 1,
+                    static_cast<std::size_t>(frac * static_cast<double>(cols)));
+  };
+
+  std::ostringstream os;
+  std::map<char, std::set<std::string>> legend;
+  for (const auto& lane : laneOrder) {
+    std::string row(cols, '.');
+    for (const Span& s : spans_) {
+      if (s.lane != lane) continue;
+      const std::size_t a = column(s.start);
+      const std::size_t b = std::max(a, column(s.end));
+      for (std::size_t c = a; c <= b && c < cols; ++c) row[c] = s.glyph;
+      legend[s.glyph].insert(s.label);
+    }
+    os << lane << std::string(laneWidth - lane.size(), ' ') << " |" << row << "|\n";
+  }
+  os << std::string(laneWidth, ' ') << " 0" << std::string(cols - 1, ' ')
+     << end.toString() << '\n';
+  for (const auto& [glyph, labels] : legend) {
+    os << "  [" << glyph << "]";
+    for (const auto& label : labels) os << ' ' << label;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace prtr::sim

@@ -1,0 +1,53 @@
+#pragma once
+/// \file trace.hpp
+/// Timeline tracing: records named spans on named lanes and renders an
+/// ASCII Gantt chart. Used to reproduce the execution profiles of the
+/// paper's Figures 2-4 (task anatomy, FRTR timeline, PRTR hit/miss
+/// timelines) directly from simulator activity.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace prtr::sim {
+
+/// One traced activity interval.
+struct Span {
+  std::string lane;      ///< e.g. "PRR0", "config-port", "HT-in"
+  std::string label;     ///< e.g. "config(sobel)", "compute", "data-in"
+  char glyph = '#';      ///< fill character in the Gantt rendering
+  util::Time start;
+  util::Time end;
+};
+
+/// Collects spans; processes call `begin`/`endSpan` or record complete spans.
+class Timeline {
+ public:
+  /// Records a complete span.
+  void record(Span span);
+
+  /// Convenience: records [start, end) on `lane` with `label`.
+  void record(const std::string& lane, const std::string& label, char glyph,
+              util::Time start, util::Time end);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept { return spans_; }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+  void clear() noexcept { spans_.clear(); }
+
+  /// Total busy time on one lane (sum of span lengths; overlaps not merged).
+  [[nodiscard]] util::Time laneBusy(const std::string& lane) const noexcept;
+
+  /// Latest end time across all spans.
+  [[nodiscard]] util::Time horizon() const noexcept;
+
+  /// Renders an ASCII Gantt: one row per lane (in first-seen order), time
+  /// scaled to `width` columns; a legend lists span labels with glyphs.
+  [[nodiscard]] std::string renderGantt(int width = 100) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace prtr::sim

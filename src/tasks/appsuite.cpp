@@ -1,0 +1,119 @@
+#include "tasks/appsuite.hpp"
+
+#include "util/error.hpp"
+
+namespace prtr::tasks {
+namespace {
+
+/// Index of `name` in `registry` (throws when the library lacks it).
+std::size_t fn(const FunctionRegistry& registry, const char* name) {
+  const auto index = registry.indexOf(registry.byName(name).id);
+  util::require(index.has_value(), "appsuite: function not in registry");
+  return *index;
+}
+
+}  // namespace
+
+Application makeRemoteSensingApp(const FunctionRegistry& registry,
+                                 std::size_t scenes, util::Bytes sceneBytes,
+                                 util::Rng& rng) {
+  Application app;
+  app.name = "remote-sensing";
+  app.domain = "on-board cloud-cover assessment (ACCA-style)";
+  app.workload.name = app.name;
+
+  const std::size_t smoothing = fn(registry, "smoothing");
+  const std::size_t gaussian = fn(registry, "gaussian5x5");
+  const std::size_t threshold = fn(registry, "threshold");
+  const std::size_t erode = fn(registry, "erode");
+  const std::size_t dilate = fn(registry, "dilate");
+
+  for (std::size_t scene = 0; scene < scenes; ++scene) {
+    // Radiometric conditioning, two threshold cascades, morphological
+    // cleanup; a second cleanup round on hazy scenes.
+    app.workload.calls.push_back(TaskCall{smoothing, sceneBytes});
+    app.workload.calls.push_back(TaskCall{gaussian, sceneBytes});
+    app.workload.calls.push_back(TaskCall{threshold, sceneBytes});
+    app.workload.calls.push_back(TaskCall{threshold, sceneBytes});
+    app.workload.calls.push_back(TaskCall{erode, sceneBytes});
+    app.workload.calls.push_back(TaskCall{dilate, sceneBytes});
+    if (rng.chance(0.3)) {
+      app.workload.calls.push_back(TaskCall{erode, sceneBytes});
+      app.workload.calls.push_back(TaskCall{dilate, sceneBytes});
+    }
+  }
+  return app;
+}
+
+Application makeHyperspectralApp(const FunctionRegistry& registry,
+                                 std::size_t cubes, std::size_t bandsPerCube,
+                                 util::Bytes bandBytes, util::Rng& rng) {
+  Application app;
+  app.name = "hyperspectral";
+  app.domain = "wavelet spectral dimension reduction";
+  app.workload.name = app.name;
+
+  const std::size_t smoothing = fn(registry, "smoothing");
+  const std::size_t gaussian = fn(registry, "gaussian5x5");
+  const std::size_t histeq = fn(registry, "histeq");
+
+  for (std::size_t cube = 0; cube < cubes; ++cube) {
+    for (std::size_t band = 0; band < bandsPerCube; ++band) {
+      // Two-level pyramid per band; occasional normalization.
+      app.workload.calls.push_back(TaskCall{smoothing, bandBytes});
+      app.workload.calls.push_back(
+          TaskCall{gaussian, util::Bytes{bandBytes.count() / 4}});
+      if (rng.chance(0.15)) {
+        app.workload.calls.push_back(TaskCall{histeq, bandBytes});
+      }
+    }
+  }
+  return app;
+}
+
+Application makeTargetRecognitionApp(const FunctionRegistry& registry,
+                                     std::size_t frames,
+                                     util::Bytes frameBytes,
+                                     double hitProbability, util::Rng& rng) {
+  util::require(hitProbability >= 0.0 && hitProbability <= 1.0,
+                "makeTargetRecognitionApp: hit probability in [0,1]");
+  Application app;
+  app.name = "target-recognition";
+  app.domain = "ATR front end with data-dependent branching";
+  app.workload.name = app.name;
+
+  const std::size_t median = fn(registry, "median");
+  const std::size_t sobel = fn(registry, "sobel");
+  const std::size_t threshold = fn(registry, "threshold");
+  const std::size_t dilate = fn(registry, "dilate");
+  const std::size_t histeq = fn(registry, "histeq");
+
+  for (std::size_t frame = 0; frame < frames; ++frame) {
+    // Detection runs on every frame.
+    app.workload.calls.push_back(TaskCall{sobel, frameBytes});
+    app.workload.calls.push_back(TaskCall{threshold, frameBytes});
+    if (rng.chance(hitProbability)) {
+      // Candidate confirmation: the expensive chain, only on hits. This
+      // is the "change the course of processing in a non-deterministic
+      // fashion based on data" case the paper quotes from ref [27].
+      app.workload.calls.push_back(TaskCall{median, frameBytes});
+      app.workload.calls.push_back(TaskCall{histeq, frameBytes});
+      app.workload.calls.push_back(TaskCall{dilate, frameBytes});
+    }
+  }
+  return app;
+}
+
+std::vector<Application> makeApplicationSuite(const FunctionRegistry& registry,
+                                              util::Rng& rng) {
+  std::vector<Application> suite;
+  suite.push_back(
+      makeRemoteSensingApp(registry, 12, util::Bytes{30'000'000}, rng));
+  suite.push_back(
+      makeHyperspectralApp(registry, 4, 16, util::Bytes{4'000'000}, rng));
+  suite.push_back(makeTargetRecognitionApp(registry, 40,
+                                           util::Bytes{12'000'000}, 0.25, rng));
+  return suite;
+}
+
+}  // namespace prtr::tasks

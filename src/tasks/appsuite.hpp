@@ -1,0 +1,54 @@
+#pragma once
+/// \file appsuite.hpp
+/// Synthetic application suite modelled on the HPRC application studies the
+/// paper cites in its introduction ([4]-[13]): multi-phase workloads with
+/// the call mixes and data volumes of those domains, built from the
+/// extended hardware library. These give the executors realistic
+/// *structured* call streams (phases, pipelines, data-dependent branches)
+/// rather than synthetic stationary mixes.
+
+#include <string>
+#include <vector>
+
+#include "tasks/hwfunction.hpp"
+#include "tasks/workload.hpp"
+#include "util/rng.hpp"
+
+namespace prtr::tasks {
+
+/// A named application workload plus the registry slice it exercises.
+struct Application {
+  std::string name;
+  std::string domain;
+  Workload workload;
+};
+
+/// Remote-sensing on-board processing (ACCA-style cloud assessment, paper
+/// ref [7]): per scene a fixed pipeline of radiometric smoothing,
+/// thresholding cascades, and morphological cleanup over large frames.
+[[nodiscard]] Application makeRemoteSensingApp(const FunctionRegistry& registry,
+                                               std::size_t scenes,
+                                               util::Bytes sceneBytes,
+                                               util::Rng& rng);
+
+/// Hyperspectral dimension reduction (wavelet spectral reduction, paper
+/// ref [9]): many medium-size band images through smoothing/gaussian
+/// pyramids with occasional histogram normalization.
+[[nodiscard]] Application makeHyperspectralApp(const FunctionRegistry& registry,
+                                               std::size_t cubes,
+                                               std::size_t bandsPerCube,
+                                               util::Bytes bandBytes,
+                                               util::Rng& rng);
+
+/// Target-recognition front end (ATR, paper ref [15]): data-dependent
+/// branching — detection (Sobel+threshold) on every frame, the heavy
+/// cleanup chain only on frames that "hit" (probability `hitProbability`).
+[[nodiscard]] Application makeTargetRecognitionApp(
+    const FunctionRegistry& registry, std::size_t frames,
+    util::Bytes frameBytes, double hitProbability, util::Rng& rng);
+
+/// The full suite with default sizing.
+[[nodiscard]] std::vector<Application> makeApplicationSuite(
+    const FunctionRegistry& registry, util::Rng& rng);
+
+}  // namespace prtr::tasks

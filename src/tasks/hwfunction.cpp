@@ -1,0 +1,120 @@
+#include "tasks/hwfunction.hpp"
+
+#include <algorithm>
+
+#include "tasks/kernels.hpp"
+#include "util/error.hpp"
+
+namespace prtr::tasks {
+
+FunctionRegistry::FunctionRegistry(std::vector<HwFunction> functions)
+    : functions_(std::move(functions)) {
+  util::require(!functions_.empty(), "FunctionRegistry: empty library");
+  for (const HwFunction& f : functions_) {
+    util::require(f.id != 0, "FunctionRegistry: module id 0 is reserved");
+    util::require(f.cyclesPerPixel > 0.0,
+                  "FunctionRegistry: cyclesPerPixel must be positive");
+  }
+}
+
+const HwFunction& FunctionRegistry::at(std::size_t index) const {
+  util::require(index < functions_.size(), "FunctionRegistry: index out of range");
+  return functions_[index];
+}
+
+const HwFunction& FunctionRegistry::byId(bitstream::ModuleId id) const {
+  const auto it = std::find_if(functions_.begin(), functions_.end(),
+                               [&](const HwFunction& f) { return f.id == id; });
+  util::require(it != functions_.end(), "FunctionRegistry: unknown module id");
+  return *it;
+}
+
+const HwFunction& FunctionRegistry::byName(const std::string& name) const {
+  const auto it = std::find_if(functions_.begin(), functions_.end(),
+                               [&](const HwFunction& f) { return f.name == name; });
+  util::require(it != functions_.end(),
+                "FunctionRegistry: no function named '" + name + "'");
+  return *it;
+}
+
+std::optional<std::size_t> FunctionRegistry::indexOf(bitstream::ModuleId id) const {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].id == id) return i;
+  }
+  return std::nullopt;
+}
+
+double FunctionRegistry::occupancy(std::size_t index,
+                                   const fabric::ResourceVec& regionCapacity) const {
+  const double used = regionCapacity.utilization(at(index).resources);
+  return std::clamp(used, 0.05, 1.0);
+}
+
+std::vector<bitstream::Library::ModuleSpec> FunctionRegistry::moduleSpecs(
+    const fabric::ResourceVec& regionCapacity) const {
+  std::vector<bitstream::Library::ModuleSpec> specs;
+  specs.reserve(functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    specs.push_back(bitstream::Library::ModuleSpec{
+        functions_[i].id, functions_[i].name, occupancy(i, regionCapacity)});
+  }
+  return specs;
+}
+
+FunctionRegistry makePaperFunctions() {
+  std::vector<HwFunction> fns;
+  fns.push_back(HwFunction{
+      /*id=*/1001, "median",
+      fabric::ResourceVec{3141, 3270, 0, 0, 0},
+      util::Frequency::megahertz(200), /*cyclesPerPixel=*/1.0,
+      /*outputBytesPerInputByte=*/1.0, kernels::medianFilter3x3});
+  fns.push_back(HwFunction{
+      /*id=*/1002, "sobel",
+      fabric::ResourceVec{1159, 1060, 0, 0, 0},
+      util::Frequency::megahertz(200), 1.0, 1.0, kernels::sobelFilter});
+  fns.push_back(HwFunction{
+      /*id=*/1003, "smoothing",
+      fabric::ResourceVec{2053, 1601, 0, 0, 0},
+      util::Frequency::megahertz(200), 1.0, 1.0, kernels::smoothingFilter3x3});
+  return FunctionRegistry{std::move(fns)};
+}
+
+FunctionRegistry makeExtendedFunctions() {
+  auto base = makePaperFunctions().all();
+  base.push_back(HwFunction{1004, "gaussian5x5",
+                            fabric::ResourceVec{2890, 2410, 4, 4, 0},
+                            util::Frequency::megahertz(180), 1.0, 1.0,
+                            kernels::gaussianBlur5x5});
+  base.push_back(HwFunction{1005, "threshold",
+                            fabric::ResourceVec{240, 180, 0, 0, 0},
+                            util::Frequency::megahertz(220), 1.0, 1.0,
+                            [](const Image& in) { return kernels::threshold(in, 128); }});
+  base.push_back(HwFunction{1006, "histeq",
+                            fabric::ResourceVec{1480, 1220, 2, 0, 0},
+                            util::Frequency::megahertz(200), 2.0, 1.0,
+                            kernels::histogramEqualize});
+  base.push_back(HwFunction{1007, "erode",
+                            fabric::ResourceVec{980, 860, 0, 0, 0},
+                            util::Frequency::megahertz(200), 1.0, 1.0,
+                            kernels::erode3x3});
+  base.push_back(HwFunction{1008, "dilate",
+                            fabric::ResourceVec{985, 865, 0, 0, 0},
+                            util::Frequency::megahertz(200), 1.0, 1.0,
+                            kernels::dilate3x3});
+  return FunctionRegistry{std::move(base)};
+}
+
+FunctionRegistry makeSyntheticFunctions(std::size_t count, double cyclesPerPixel) {
+  util::require(count > 0, "makeSyntheticFunctions: count must be positive");
+  std::vector<HwFunction> fns;
+  fns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    fns.push_back(HwFunction{2000 + i, "synthetic" + std::to_string(i),
+                             fabric::ResourceVec{1000, 1000, 0, 0, 0},
+                             util::Frequency::megahertz(200), cyclesPerPixel,
+                             1.0, nullptr});
+  }
+  return FunctionRegistry{std::move(fns)};
+}
+
+}  // namespace prtr::tasks

@@ -1,0 +1,87 @@
+#pragma once
+/// \file hwfunction.hpp
+/// Hardware-function descriptors: each entry couples a behavioural kernel
+/// with the synthesis characteristics a real core would have (resources,
+/// clock, pipeline rate). Resource figures for the first three functions
+/// are the paper's Table 1; the extended set scales from them.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/library.hpp"
+#include "fabric/resources.hpp"
+#include "tasks/image.hpp"
+#include "util/units.hpp"
+
+namespace prtr::tasks {
+
+/// One entry of the common hardware library.
+struct HwFunction {
+  bitstream::ModuleId id = 0;   ///< bitstream module identity (non-zero)
+  std::string name;
+  fabric::ResourceVec resources{};
+  util::Frequency fabricClock = util::Frequency::megahertz(200);
+  double cyclesPerPixel = 1.0;  ///< pipelined throughput (II of the core)
+  double outputBytesPerInputByte = 1.0;
+  /// Behavioural model; may be empty for purely synthetic functions.
+  std::function<Image(const Image&)> behaviour;
+
+  /// Compute time for `input` bytes of data at the core's pipeline rate.
+  [[nodiscard]] util::Time computeTime(util::Bytes input) const noexcept {
+    const double cycles = static_cast<double>(input.count()) * cyclesPerPixel;
+    return util::Time::seconds(cycles / fabricClock.hertz());
+  }
+
+  [[nodiscard]] util::Bytes outputBytes(util::Bytes input) const noexcept {
+    return util::Bytes{static_cast<std::uint64_t>(
+        static_cast<double>(input.count()) * outputBytesPerInputByte)};
+  }
+};
+
+/// The common hardware library applications are designed around (paper
+/// section 3.1). Also computes per-PRR occupancies for bitstream content.
+class FunctionRegistry {
+ public:
+  explicit FunctionRegistry(std::vector<HwFunction> functions);
+
+  [[nodiscard]] std::size_t size() const noexcept { return functions_.size(); }
+  [[nodiscard]] const HwFunction& at(std::size_t index) const;
+  [[nodiscard]] const HwFunction& byId(bitstream::ModuleId id) const;
+  [[nodiscard]] const HwFunction& byName(const std::string& name) const;
+  [[nodiscard]] std::optional<std::size_t> indexOf(bitstream::ModuleId id) const;
+  [[nodiscard]] const std::vector<HwFunction>& all() const noexcept {
+    return functions_;
+  }
+
+  /// Fraction of `regionCapacity` a function occupies (for module-based
+  /// bitstream content generation); clamped to (0, 1].
+  [[nodiscard]] double occupancy(std::size_t index,
+                                 const fabric::ResourceVec& regionCapacity) const;
+
+  /// Library::ModuleSpec list for a floorplan whose PRRs all have
+  /// `regionCapacity` resources.
+  [[nodiscard]] std::vector<bitstream::Library::ModuleSpec> moduleSpecs(
+      const fabric::ResourceVec& regionCapacity) const;
+
+ private:
+  std::vector<HwFunction> functions_;
+};
+
+/// The paper's three image-processing cores (Table 1): median filter,
+/// Sobel filter, smoothing filter.
+[[nodiscard]] FunctionRegistry makePaperFunctions();
+
+/// Extended 8-core library (paper cores + Gaussian, threshold, histogram
+/// equalization, erode, dilate) for virtualization studies.
+[[nodiscard]] FunctionRegistry makeExtendedFunctions();
+
+/// A synthetic library of `count` cores whose task-time requirement can be
+/// tuned freely (used by model-validation sweeps). All cores share
+/// `cyclesPerPixel` and a small footprint.
+[[nodiscard]] FunctionRegistry makeSyntheticFunctions(std::size_t count,
+                                                      double cyclesPerPixel);
+
+}  // namespace prtr::tasks

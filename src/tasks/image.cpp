@@ -1,0 +1,90 @@
+#include "tasks/image.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::tasks {
+
+Image::Image(std::size_t width, std::size_t height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  util::require(width > 0 && height > 0, "Image: dimensions must be positive");
+}
+
+std::uint8_t Image::at(std::size_t x, std::size_t y) const {
+  util::require(x < width_ && y < height_, "Image: access out of bounds");
+  return pixels_[y * width_ + x];
+}
+
+std::uint8_t& Image::at(std::size_t x, std::size_t y) {
+  util::require(x < width_ && y < height_, "Image: access out of bounds");
+  return pixels_[y * width_ + x];
+}
+
+std::uint8_t Image::atClamped(std::ptrdiff_t x, std::ptrdiff_t y) const noexcept {
+  const auto cx = static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(x, 0, static_cast<std::ptrdiff_t>(width_) - 1));
+  const auto cy = static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(y, 0, static_cast<std::ptrdiff_t>(height_) - 1));
+  return pixels_[cy * width_ + cx];
+}
+
+double Image::meanIntensity() const noexcept {
+  if (pixels_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto p : pixels_) sum += p;
+  return sum / static_cast<double>(pixels_.size());
+}
+
+double Image::variance() const noexcept {
+  if (pixels_.empty()) return 0.0;
+  const double mean = meanIntensity();
+  double acc = 0.0;
+  for (const auto p : pixels_) {
+    const double d = static_cast<double>(p) - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pixels_.size());
+}
+
+Image makeNoiseImage(std::size_t width, std::size_t height, util::Rng& rng) {
+  Image img{width, height};
+  for (auto& p : img.pixels()) p = static_cast<std::uint8_t>(rng.below(256));
+  return img;
+}
+
+Image makeGradientImage(std::size_t width, std::size_t height) {
+  Image img{width, height};
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      img.at(x, y) = static_cast<std::uint8_t>(
+          width > 1 ? 255 * x / (width - 1) : 0);
+    }
+  }
+  return img;
+}
+
+Image makeSaltPepperImage(std::size_t width, std::size_t height,
+                          std::uint8_t base, double density, util::Rng& rng) {
+  util::require(density >= 0.0 && density <= 1.0,
+                "makeSaltPepperImage: density outside [0,1]");
+  Image img{width, height, base};
+  for (auto& p : img.pixels()) {
+    if (rng.chance(density)) p = rng.chance(0.5) ? 255 : 0;
+  }
+  return img;
+}
+
+Image makeCheckerboardImage(std::size_t width, std::size_t height,
+                            std::size_t tile) {
+  util::require(tile > 0, "makeCheckerboardImage: tile must be positive");
+  Image img{width, height};
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      img.at(x, y) = ((x / tile + y / tile) % 2 == 0) ? 255 : 0;
+    }
+  }
+  return img;
+}
+
+}  // namespace prtr::tasks

@@ -1,0 +1,67 @@
+#pragma once
+/// \file image.hpp
+/// 8-bit grayscale images: the data the paper's hardware functions (image
+/// processing cores, Table 1) operate on. The kernels in kernels.hpp are
+/// behavioural models of those cores — functionally real so that tests can
+/// assert on outputs, while the simulator only consumes their timing.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace prtr::tasks {
+
+/// Row-major 8-bit grayscale image.
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, std::uint8_t fill = 0);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pixelCount() const noexcept { return width_ * height_; }
+  [[nodiscard]] util::Bytes sizeBytes() const noexcept {
+    return util::Bytes{pixelCount()};
+  }
+
+  [[nodiscard]] std::uint8_t at(std::size_t x, std::size_t y) const;
+  [[nodiscard]] std::uint8_t& at(std::size_t x, std::size_t y);
+
+  /// Clamped access: coordinates outside the image replicate the border.
+  [[nodiscard]] std::uint8_t atClamped(std::ptrdiff_t x, std::ptrdiff_t y) const noexcept;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return pixels_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t>& pixels() noexcept { return pixels_; }
+
+  [[nodiscard]] double meanIntensity() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Uniform random noise image.
+[[nodiscard]] Image makeNoiseImage(std::size_t width, std::size_t height,
+                                   util::Rng& rng);
+
+/// Horizontal intensity gradient (0 at left edge to 255 at right edge).
+[[nodiscard]] Image makeGradientImage(std::size_t width, std::size_t height);
+
+/// Flat image with salt-and-pepper impulses at the given density.
+[[nodiscard]] Image makeSaltPepperImage(std::size_t width, std::size_t height,
+                                        std::uint8_t base, double density,
+                                        util::Rng& rng);
+
+/// Checkerboard with the given tile size (strong edges for Sobel tests).
+[[nodiscard]] Image makeCheckerboardImage(std::size_t width, std::size_t height,
+                                          std::size_t tile);
+
+}  // namespace prtr::tasks

@@ -1,0 +1,140 @@
+#include "tasks/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace prtr::tasks::kernels {
+namespace {
+
+/// Applies a 3x3 neighbourhood reducer with border replication.
+template <typename Reducer>
+Image apply3x3(const Image& in, Reducer reduce) {
+  Image out{in.width(), in.height()};
+  for (std::size_t y = 0; y < in.height(); ++y) {
+    for (std::size_t x = 0; x < in.width(); ++x) {
+      std::array<std::uint8_t, 9> window;
+      std::size_t k = 0;
+      for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+        for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+          window[k++] = in.atClamped(static_cast<std::ptrdiff_t>(x) + dx,
+                                     static_cast<std::ptrdiff_t>(y) + dy);
+        }
+      }
+      out.at(x, y) = reduce(window);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image medianFilter3x3(const Image& in) {
+  return apply3x3(in, [](std::array<std::uint8_t, 9> w) {
+    std::nth_element(w.begin(), w.begin() + 4, w.end());
+    return w[4];
+  });
+}
+
+Image sobelFilter(const Image& in) {
+  Image out{in.width(), in.height()};
+  for (std::size_t y = 0; y < in.height(); ++y) {
+    for (std::size_t x = 0; x < in.width(); ++x) {
+      const auto px = static_cast<std::ptrdiff_t>(x);
+      const auto py = static_cast<std::ptrdiff_t>(y);
+      auto p = [&](std::ptrdiff_t dx, std::ptrdiff_t dy) {
+        return static_cast<int>(in.atClamped(px + dx, py + dy));
+      };
+      const int gx = -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) +
+                     2 * p(1, 0) + p(1, 1);
+      const int gy = -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) +
+                     2 * p(0, 1) + p(1, 1);
+      const int mag = static_cast<int>(
+          std::lround(std::sqrt(static_cast<double>(gx * gx + gy * gy))));
+      out.at(x, y) = static_cast<std::uint8_t>(std::clamp(mag, 0, 255));
+    }
+  }
+  return out;
+}
+
+Image smoothingFilter3x3(const Image& in) {
+  return apply3x3(in, [](const std::array<std::uint8_t, 9>& w) {
+    int sum = 0;
+    for (const auto v : w) sum += v;
+    return static_cast<std::uint8_t>((sum + 4) / 9);
+  });
+}
+
+Image gaussianBlur5x5(const Image& in) {
+  // Binomial 5-tap kernel outer product: [1 4 6 4 1]^T [1 4 6 4 1] / 256.
+  static constexpr std::array<int, 5> kTap{1, 4, 6, 4, 1};
+  Image out{in.width(), in.height()};
+  for (std::size_t y = 0; y < in.height(); ++y) {
+    for (std::size_t x = 0; x < in.width(); ++x) {
+      int acc = 0;
+      for (std::ptrdiff_t dy = -2; dy <= 2; ++dy) {
+        for (std::ptrdiff_t dx = -2; dx <= 2; ++dx) {
+          const int weight = kTap[static_cast<std::size_t>(dy + 2)] *
+                             kTap[static_cast<std::size_t>(dx + 2)];
+          acc += weight * in.atClamped(static_cast<std::ptrdiff_t>(x) + dx,
+                                       static_cast<std::ptrdiff_t>(y) + dy);
+        }
+      }
+      out.at(x, y) = static_cast<std::uint8_t>((acc + 128) / 256);
+    }
+  }
+  return out;
+}
+
+Image threshold(const Image& in, std::uint8_t level) {
+  Image out{in.width(), in.height()};
+  for (std::size_t i = 0; i < in.pixels().size(); ++i) {
+    out.pixels()[i] = in.pixels()[i] >= level ? 255 : 0;
+  }
+  return out;
+}
+
+Image histogramEqualize(const Image& in) {
+  std::array<std::uint64_t, 256> histogram{};
+  for (const auto p : in.pixels()) ++histogram[p];
+  std::array<std::uint64_t, 256> cdf{};
+  std::uint64_t acc = 0;
+  std::uint64_t cdfMin = 0;
+  for (std::size_t v = 0; v < 256; ++v) {
+    acc += histogram[v];
+    cdf[v] = acc;
+    if (cdfMin == 0 && acc > 0) cdfMin = acc;
+  }
+  const std::uint64_t total = in.pixels().size();
+  Image out{in.width(), in.height()};
+  if (total == cdfMin) return in;  // constant image: equalization is identity
+  for (std::size_t i = 0; i < in.pixels().size(); ++i) {
+    const std::uint64_t c = cdf[in.pixels()[i]];
+    out.pixels()[i] = static_cast<std::uint8_t>(
+        (c - cdfMin) * 255 / (total - cdfMin));
+  }
+  return out;
+}
+
+Image erode3x3(const Image& in) {
+  return apply3x3(in, [](const std::array<std::uint8_t, 9>& w) {
+    return *std::min_element(w.begin(), w.end());
+  });
+}
+
+Image dilate3x3(const Image& in) {
+  return apply3x3(in, [](const std::array<std::uint8_t, 9>& w) {
+    return *std::max_element(w.begin(), w.end());
+  });
+}
+
+Image invert(const Image& in) {
+  Image out{in.width(), in.height()};
+  for (std::size_t i = 0; i < in.pixels().size(); ++i) {
+    out.pixels()[i] = static_cast<std::uint8_t>(255 - in.pixels()[i]);
+  }
+  return out;
+}
+
+}  // namespace prtr::tasks::kernels

@@ -1,0 +1,39 @@
+#pragma once
+/// \file kernels.hpp
+/// Behavioural models of the hardware image-processing cores. The first
+/// three (median, Sobel, smoothing) are the functions of the paper's
+/// Table 1; the rest extend the common hardware library so that
+/// virtualization/prefetching experiments have more modules than PRRs.
+
+#include "tasks/image.hpp"
+
+namespace prtr::tasks::kernels {
+
+/// 3x3 median filter (removes salt-and-pepper impulses).
+[[nodiscard]] Image medianFilter3x3(const Image& in);
+
+/// Sobel gradient magnitude, clamped to [0, 255].
+[[nodiscard]] Image sobelFilter(const Image& in);
+
+/// 3x3 box smoothing filter.
+[[nodiscard]] Image smoothingFilter3x3(const Image& in);
+
+/// 5x5 Gaussian blur (integer kernel, sum 256).
+[[nodiscard]] Image gaussianBlur5x5(const Image& in);
+
+/// Fixed-level binary threshold.
+[[nodiscard]] Image threshold(const Image& in, std::uint8_t level);
+
+/// Global histogram equalization.
+[[nodiscard]] Image histogramEqualize(const Image& in);
+
+/// 3x3 grayscale erosion (minimum filter).
+[[nodiscard]] Image erode3x3(const Image& in);
+
+/// 3x3 grayscale dilation (maximum filter).
+[[nodiscard]] Image dilate3x3(const Image& in);
+
+/// Photographic negative.
+[[nodiscard]] Image invert(const Image& in);
+
+}  // namespace prtr::tasks::kernels

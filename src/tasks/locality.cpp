@@ -1,0 +1,103 @@
+#include "tasks/locality.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::tasks {
+
+std::vector<std::size_t> stackDistances(const Workload& workload) {
+  std::vector<std::size_t> distances;
+  distances.reserve(workload.calls.size());
+  // LRU stack: most recent at the front. Function counts are small (a
+  // hardware library has tens of entries), so linear scans win over
+  // asymptotically better structures.
+  std::vector<std::size_t> stack;
+  for (const TaskCall& call : workload.calls) {
+    const auto it = std::find(stack.begin(), stack.end(), call.functionIndex);
+    if (it == stack.end()) {
+      distances.push_back(kColdAccess);
+    } else {
+      distances.push_back(static_cast<std::size_t>(it - stack.begin()));
+      stack.erase(it);
+    }
+    stack.insert(stack.begin(), call.functionIndex);
+  }
+  return distances;
+}
+
+double lruHitRatio(const Workload& workload, std::size_t slots) {
+  util::require(slots >= 1, "lruHitRatio: need at least one slot");
+  if (workload.calls.empty()) return 0.0;
+  const auto distances = stackDistances(workload);
+  std::uint64_t hits = 0;
+  for (const std::size_t d : distances) {
+    if (d != kColdAccess && d < slots) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(distances.size());
+}
+
+std::vector<double> lruHitRatioCurve(const Workload& workload,
+                                     std::size_t maxSlots) {
+  util::require(maxSlots >= 1, "lruHitRatioCurve: need at least one slot");
+  const auto distances = stackDistances(workload);
+  std::vector<std::uint64_t> hitsAtDistance(maxSlots, 0);
+  for (const std::size_t d : distances) {
+    if (d != kColdAccess && d < maxSlots) ++hitsAtDistance[d];
+  }
+  std::vector<double> curve(maxSlots, 0.0);
+  std::uint64_t cumulative = 0;
+  const auto total = static_cast<double>(
+      std::max<std::size_t>(distances.size(), 1));
+  for (std::size_t k = 0; k < maxSlots; ++k) {
+    cumulative += hitsAtDistance[k];
+    curve[k] = static_cast<double>(cumulative) / total;
+  }
+  return curve;
+}
+
+std::size_t slotsForHitRatio(const Workload& workload, double targetHitRatio) {
+  util::require(targetHitRatio >= 0.0 && targetHitRatio <= 1.0,
+                "slotsForHitRatio: target in [0,1]");
+  const std::size_t distinct = workload.distinctFunctions();
+  if (distinct == 0) return 0;
+  const auto curve = lruHitRatioCurve(workload, distinct);
+  for (std::size_t k = 0; k < curve.size(); ++k) {
+    if (curve[k] >= targetHitRatio) return k + 1;
+  }
+  return 0;  // unattainable: cold misses dominate
+}
+
+LocalityProfile profileLocality(const Workload& workload) {
+  LocalityProfile profile;
+  profile.distinctFunctions = workload.distinctFunctions();
+  const auto distances = stackDistances(workload);
+  double finiteSum = 0.0;
+  std::uint64_t finiteCount = 0;
+  for (const std::size_t d : distances) {
+    if (d == kColdAccess) {
+      ++profile.coldMisses;
+    } else {
+      finiteSum += static_cast<double>(d);
+      ++finiteCount;
+    }
+  }
+  if (finiteCount > 0) {
+    profile.meanFiniteStackDistance =
+        finiteSum / static_cast<double>(finiteCount);
+  }
+  std::uint64_t repeats = 0;
+  for (std::size_t i = 1; i < workload.calls.size(); ++i) {
+    if (workload.calls[i].functionIndex == workload.calls[i - 1].functionIndex) {
+      ++repeats;
+    }
+  }
+  if (workload.calls.size() > 1) {
+    profile.selfTransitionRate =
+        static_cast<double>(repeats) /
+        static_cast<double>(workload.calls.size() - 1);
+  }
+  return profile;
+}
+
+}  // namespace prtr::tasks

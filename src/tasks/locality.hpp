@@ -1,0 +1,50 @@
+#pragma once
+/// \file locality.hpp
+/// Workload locality analysis. The model's H (hit ratio) is a property of
+/// the workload crossed with the cache size; Mattson's stack-distance
+/// algorithm computes, in one pass, the exact LRU hit ratio for *every*
+/// possible PRR count simultaneously. That turns "how many PRRs do I
+/// need?" into a table lookup — the quantitative form of the paper's
+/// section-2.1 "processing spatial locality" argument.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tasks/workload.hpp"
+
+namespace prtr::tasks {
+
+/// Sentinel for first-touch (cold) accesses.
+inline constexpr std::size_t kColdAccess = std::numeric_limits<std::size_t>::max();
+
+/// LRU stack distance of every call: the number of *distinct* functions
+/// referenced since the previous access to the same function
+/// (kColdAccess for first touches). distance d hits in any LRU cache with
+/// more than d slots.
+[[nodiscard]] std::vector<std::size_t> stackDistances(const Workload& workload);
+
+/// Exact LRU hit ratio of `workload` on a fully-associative cache with
+/// `slots` slots (derived from the stack distances; Mattson inclusion).
+[[nodiscard]] double lruHitRatio(const Workload& workload, std::size_t slots);
+
+/// Hit-ratio curve for slot counts 1..maxSlots (non-decreasing).
+[[nodiscard]] std::vector<double> lruHitRatioCurve(const Workload& workload,
+                                                   std::size_t maxSlots);
+
+/// Smallest slot count achieving at least `targetHitRatio`, or 0 when even
+/// holding every function misses too often (cold misses are unavoidable).
+[[nodiscard]] std::size_t slotsForHitRatio(const Workload& workload,
+                                           double targetHitRatio);
+
+/// Locality summary statistics.
+struct LocalityProfile {
+  std::size_t distinctFunctions = 0;
+  std::uint64_t coldMisses = 0;
+  double meanFiniteStackDistance = 0.0;  ///< over re-references only
+  double selfTransitionRate = 0.0;       ///< immediate-repeat fraction
+};
+
+[[nodiscard]] LocalityProfile profileLocality(const Workload& workload);
+
+}  // namespace prtr::tasks

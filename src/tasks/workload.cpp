@@ -1,0 +1,112 @@
+#include "tasks/workload.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace prtr::tasks {
+
+util::Bytes Workload::totalBytes() const noexcept {
+  util::Bytes total{};
+  for (const TaskCall& call : calls) total += call.dataBytes;
+  return total;
+}
+
+std::size_t Workload::distinctFunctions() const {
+  std::set<std::size_t> seen;
+  for (const TaskCall& call : calls) seen.insert(call.functionIndex);
+  return seen.size();
+}
+
+Workload makeRoundRobinWorkload(const FunctionRegistry& registry,
+                                std::size_t callCount, util::Bytes dataBytes) {
+  Workload w{"round-robin", {}};
+  w.calls.reserve(callCount);
+  for (std::size_t i = 0; i < callCount; ++i) {
+    w.calls.push_back(TaskCall{i % registry.size(), dataBytes});
+  }
+  return w;
+}
+
+Workload makeUniformWorkload(const FunctionRegistry& registry,
+                             std::size_t callCount, util::Bytes dataBytes,
+                             util::Rng& rng) {
+  Workload w{"uniform", {}};
+  w.calls.reserve(callCount);
+  for (std::size_t i = 0; i < callCount; ++i) {
+    w.calls.push_back(TaskCall{rng.below(registry.size()), dataBytes});
+  }
+  return w;
+}
+
+Workload makeMarkovWorkload(const FunctionRegistry& registry,
+                            std::size_t callCount, util::Bytes dataBytes,
+                            double selfBias, util::Rng& rng) {
+  util::require(selfBias >= 0.0 && selfBias <= 1.0,
+                "makeMarkovWorkload: selfBias outside [0,1]");
+  Workload w{"markov", {}};
+  w.calls.reserve(callCount);
+  std::size_t current = rng.below(registry.size());
+  for (std::size_t i = 0; i < callCount; ++i) {
+    if (i > 0 && !rng.chance(selfBias)) current = rng.below(registry.size());
+    w.calls.push_back(TaskCall{current, dataBytes});
+  }
+  return w;
+}
+
+Workload makePhasedWorkload(const FunctionRegistry& registry,
+                            std::size_t callCount, util::Bytes dataBytes,
+                            std::size_t phaseLength, std::size_t workingSet,
+                            util::Rng& rng) {
+  util::require(phaseLength > 0, "makePhasedWorkload: phaseLength must be > 0");
+  util::require(workingSet > 0 && workingSet <= registry.size(),
+                "makePhasedWorkload: workingSet outside [1, registry size]");
+  Workload w{"phased", {}};
+  w.calls.reserve(callCount);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < callCount; ++i) {
+    if (i % phaseLength == 0) {
+      // Draw a fresh working set for the new phase.
+      std::set<std::size_t> chosen;
+      while (chosen.size() < workingSet) chosen.insert(rng.below(registry.size()));
+      active.assign(chosen.begin(), chosen.end());
+    }
+    w.calls.push_back(TaskCall{active[rng.below(active.size())], dataBytes});
+  }
+  return w;
+}
+
+std::string toCsv(const Workload& workload) {
+  std::ostringstream os;
+  os << "functionIndex,dataBytes\n";
+  for (const TaskCall& call : workload.calls) {
+    os << call.functionIndex << ',' << call.dataBytes.count() << '\n';
+  }
+  return os.str();
+}
+
+Workload workloadFromCsv(const std::string& name, const std::string& csv,
+                         const FunctionRegistry& registry) {
+  Workload w{name, {}};
+  std::istringstream is{csv};
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    const auto comma = line.find(',');
+    util::require(comma != std::string::npos, "workloadFromCsv: malformed row");
+    const auto index = static_cast<std::size_t>(std::stoull(line.substr(0, comma)));
+    const auto bytes = std::stoull(line.substr(comma + 1));
+    util::require(index < registry.size(),
+                  "workloadFromCsv: function index out of range");
+    w.calls.push_back(TaskCall{index, util::Bytes{bytes}});
+  }
+  return w;
+}
+
+}  // namespace prtr::tasks

@@ -1,0 +1,71 @@
+#pragma once
+/// \file workload.hpp
+/// Task-call sequences. A workload is the list of function calls an
+/// application issues against the reconfigurable coprocessor (paper
+/// section 3.1: "each application requires on the average a few hardware
+/// functions (tasks)"). Generators produce sequences with controlled
+/// temporal locality so prefetching hit ratios can be dialled in.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tasks/hwfunction.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace prtr::tasks {
+
+/// One function call: which core to run and how much data it processes.
+struct TaskCall {
+  std::size_t functionIndex = 0;  ///< index into the FunctionRegistry
+  util::Bytes dataBytes{};        ///< input payload size
+
+  friend bool operator==(const TaskCall&, const TaskCall&) = default;
+};
+
+/// A named call sequence over one registry.
+struct Workload {
+  std::string name;
+  std::vector<TaskCall> calls;
+
+  [[nodiscard]] std::size_t callCount() const noexcept { return calls.size(); }
+  [[nodiscard]] util::Bytes totalBytes() const noexcept;
+  /// Number of distinct functions referenced.
+  [[nodiscard]] std::size_t distinctFunctions() const;
+};
+
+/// Round-robin over all functions with a fixed payload.
+[[nodiscard]] Workload makeRoundRobinWorkload(const FunctionRegistry& registry,
+                                              std::size_t callCount,
+                                              util::Bytes dataBytes);
+
+/// Uniformly random function choice.
+[[nodiscard]] Workload makeUniformWorkload(const FunctionRegistry& registry,
+                                           std::size_t callCount,
+                                           util::Bytes dataBytes, util::Rng& rng);
+
+/// First-order Markov sequence: with probability `selfBias` the next call
+/// repeats the previous function, otherwise it is drawn uniformly. High
+/// selfBias = strong processing locality (paper section 2.1).
+[[nodiscard]] Workload makeMarkovWorkload(const FunctionRegistry& registry,
+                                          std::size_t callCount,
+                                          util::Bytes dataBytes, double selfBias,
+                                          util::Rng& rng);
+
+/// Phased sequence: the call stream is divided into phases of `phaseLength`
+/// calls; within a phase only a working set of `workingSet` functions
+/// (chosen per phase) is used.
+[[nodiscard]] Workload makePhasedWorkload(const FunctionRegistry& registry,
+                                          std::size_t callCount,
+                                          util::Bytes dataBytes,
+                                          std::size_t phaseLength,
+                                          std::size_t workingSet, util::Rng& rng);
+
+/// Serializes to / parses from a simple CSV (`functionIndex,dataBytes`).
+[[nodiscard]] std::string toCsv(const Workload& workload);
+[[nodiscard]] Workload workloadFromCsv(const std::string& name,
+                                       const std::string& csv,
+                                       const FunctionRegistry& registry);
+
+}  // namespace prtr::tasks

@@ -1,0 +1,30 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace prtr::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> makeTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = makeTable();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) noexcept {
+  for (const std::uint8_t byte : data) {
+    crc_ = kTable[(crc_ ^ byte) & 0xFFu] ^ (crc_ >> 8);
+  }
+}
+
+}  // namespace prtr::util

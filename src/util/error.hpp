@@ -1,0 +1,57 @@
+#pragma once
+/// \file error.hpp
+/// Exception hierarchy for the prtr library.
+///
+/// Per the project guidelines, failures to perform a required task are
+/// signalled with exceptions; recoverable protocol-level outcomes (e.g. a
+/// vendor API rejecting a partial bitstream) are modelled as status values
+/// at the call site and only become exceptions when the caller demands
+/// success.
+
+#include <stdexcept>
+#include <string>
+
+namespace prtr::util {
+
+/// Base class for all prtr errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An argument or model parameter outside its documented domain.
+class DomainError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A bitstream failed structural validation (bad magic, CRC, addresses).
+class BitstreamError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A configuration operation was rejected or failed.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A floorplan or placement constraint was violated.
+class PlacementError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation in the simulation kernel.
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws DomainError with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw DomainError{message};
+}
+
+}  // namespace prtr::util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+namespace prtr::util {
+namespace {
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < threshold()) return;
+  const std::scoped_lock lock{sinkMutex()};
+  std::clog << "[prtr:" << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace prtr::util

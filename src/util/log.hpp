@@ -1,0 +1,58 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Quiet by default so test and bench output stays
+/// clean; raise the level when debugging simulator schedules.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace prtr::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static void setLevel(LogLevel level) noexcept { threshold() = level; }
+  [[nodiscard]] static LogLevel level() noexcept { return threshold(); }
+
+  /// Emits one line if `level` passes the threshold. Thread-safe.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel& threshold() noexcept {
+    static LogLevel value = LogLevel::kWarn;
+    return value;
+  }
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void logDebug(Args&&... args) {
+  if (Log::level() <= LogLevel::kDebug)
+    Log::write(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logInfo(Args&&... args) {
+  if (Log::level() <= LogLevel::kInfo)
+    Log::write(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logWarn(Args&&... args) {
+  if (Log::level() <= LogLevel::kWarn)
+    Log::write(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace prtr::util

@@ -1,0 +1,139 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace prtr::util {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+double axisTransform(double v, bool log) { return log ? std::log10(v) : v; }
+
+}  // namespace
+
+std::string renderAsciiPlot(const std::vector<Series>& series,
+                            const PlotOptions& options) {
+  require(!series.empty(), "renderAsciiPlot: no series");
+  require(options.width >= 10 && options.height >= 4,
+          "renderAsciiPlot: plot area too small");
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : series) {
+    require(s.x.size() == s.y.size(), "renderAsciiPlot: x/y size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (options.logX && s.x[i] <= 0.0) continue;
+      if (options.logY && s.y[i] <= 0.0) continue;
+      const double tx = axisTransform(s.x[i], options.logX);
+      const double ty = axisTransform(s.y[i], options.logY);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+    }
+  }
+  require(std::isfinite(xmin) && std::isfinite(ymin),
+          "renderAsciiPlot: no plottable points");
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  const auto w = static_cast<std::size_t>(options.width);
+  const auto h = static_cast<std::size_t>(options.height);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (options.logX && s.x[i] <= 0.0) continue;
+      if (options.logY && s.y[i] <= 0.0) continue;
+      const double tx = axisTransform(s.x[i], options.logX);
+      const double ty = axisTransform(s.y[i], options.logY);
+      const double fx = (tx - xmin) / (xmax - xmin);
+      const double fy = (ty - ymin) / (ymax - ymin);
+      const auto cx = std::min(w - 1, static_cast<std::size_t>(fx * static_cast<double>(w - 1) + 0.5));
+      const auto cy = std::min(h - 1, static_cast<std::size_t>(fy * static_cast<double>(h - 1) + 0.5));
+      grid[h - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  auto axisValue = [](double t, bool log) { return log ? std::pow(10.0, t) : t; };
+  char label[32];
+  for (std::size_t r = 0; r < h; ++r) {
+    if (r == 0) {
+      std::snprintf(label, sizeof label, "%10.3g", axisValue(ymax, options.logY));
+      os << label;
+    } else if (r == h - 1) {
+      std::snprintf(label, sizeof label, "%10.3g", axisValue(ymin, options.logY));
+      os << label;
+    } else {
+      os << std::string(10, ' ');
+    }
+    os << " |" << grid[r] << "|\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(w, '-') << "+\n";
+  std::snprintf(label, sizeof label, "%-12.3g", axisValue(xmin, options.logX));
+  os << std::string(12, ' ') << label;
+  os << std::string(w > 36 ? w - 36 : 1, ' ');
+  std::snprintf(label, sizeof label, "%12.3g", axisValue(xmax, options.logX));
+  os << label << '\n';
+  os << "  x: " << options.xLabel << (options.logX ? " (log)" : "")
+     << "    y: " << options.yLabel << (options.logY ? " (log)" : "") << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  [" << kGlyphs[si % sizeof kGlyphs] << "] " << series[si].name << '\n';
+  }
+  return os.str();
+}
+
+std::string renderHeatmap(const std::vector<std::vector<double>>& rows,
+                          const HeatmapOptions& options) {
+  require(!rows.empty() && !rows.front().empty(), "renderHeatmap: empty grid");
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kRampSize = sizeof kRamp - 1;
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& row : rows) {
+    require(row.size() == rows.front().size(),
+            "renderHeatmap: ragged grid");
+    for (double v : row) {
+      const double t = options.logScale ? std::log10(std::max(v, 1e-300)) : v;
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (const auto& row : rows) {
+    os << '|';
+    for (double v : row) {
+      const double t = options.logScale ? std::log10(std::max(v, 1e-300)) : v;
+      const double frac = (t - lo) / (hi - lo);
+      const auto idx = std::min(
+          kRampSize - 1, static_cast<std::size_t>(frac * static_cast<double>(kRampSize)));
+      os << kRamp[idx];
+    }
+    os << "|\n";
+  }
+  os << "x: " << options.xLabel << "   y: " << options.yLabel << "   scale "
+     << (options.logScale ? "log10 " : "") << '[' << formatDouble(lo, 3) << ", "
+     << formatDouble(hi, 3) << "] over ' ";
+  os << std::string_view{kRamp + 1, kRampSize - 1} << "'\n";
+  return os.str();
+}
+
+}  // namespace prtr::util

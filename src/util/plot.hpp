@@ -1,0 +1,47 @@
+#pragma once
+/// \file plot.hpp
+/// Terminal line plots used by the figure-reproduction benches so that the
+/// shape of each paper figure is visible without external tooling.
+
+#include <string>
+#include <vector>
+
+namespace prtr::util {
+
+/// One named data series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Axis scaling options for AsciiPlot.
+struct PlotOptions {
+  int width = 100;      ///< character columns of the plotting area
+  int height = 28;      ///< character rows of the plotting area
+  bool logX = false;    ///< log10 x axis (all x must be > 0)
+  bool logY = false;    ///< log10 y axis (all y must be > 0)
+  std::string xLabel = "x";
+  std::string yLabel = "y";
+  std::string title;
+};
+
+/// Renders up to 8 series as a character-grid scatter/line plot.
+/// Each series uses a distinct glyph; a legend maps glyphs to names.
+[[nodiscard]] std::string renderAsciiPlot(const std::vector<Series>& series,
+                                          const PlotOptions& options);
+
+/// Options for renderHeatmap.
+struct HeatmapOptions {
+  std::string title;
+  std::string xLabel = "x";
+  std::string yLabel = "y";
+  bool logScale = false;  ///< map log10(value) to the glyph ramp
+};
+
+/// Renders a dense 2D grid as a character heatmap (rows[0] is the top
+/// row). Values map linearly (or log10) onto the ramp " .:-=+*#%@".
+[[nodiscard]] std::string renderHeatmap(
+    const std::vector<std::vector<double>>& rows, const HeatmapOptions& options);
+
+}  // namespace prtr::util

@@ -1,0 +1,12 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace prtr::util {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; uniform() < 1 so the log argument is > 0.
+  return -mean * std::log(1.0 - uniform());
+}
+
+}  // namespace prtr::util

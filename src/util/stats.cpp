@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace prtr::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  require(hi > lo, "Histogram: hi must exceed lo");
+  require(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  std::size_t idx = 0;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    const double frac = (x - lo_) / (hi_ - lo_);
+    idx = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>(frac * static_cast<double>(counts_.size())));
+  }
+  ++counts_[idx];
+}
+
+double Histogram::binLow(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return binLow(i) + width / 2.0;
+  }
+  return hi_;
+}
+
+std::string Histogram::toString() const {
+  std::string out;
+  const std::uint64_t peak = *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char line[96];
+    const int bars =
+        peak == 0 ? 0
+                  : static_cast<int>(40.0 * static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak));
+    std::snprintf(line, sizeof line, "%12.4g | %-40.*s %llu\n", binLow(i), bars,
+                  "########################################",
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+double exactQuantile(std::vector<double> samples, double q) {
+  require(!samples.empty(), "exactQuantile: empty sample");
+  require(q >= 0.0 && q <= 1.0, "exactQuantile: q outside [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double relativeError(double a, double b) noexcept {
+  const double scale = std::max(std::abs(b), 1e-300);
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace prtr::util

@@ -1,0 +1,73 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics and fixed-bin histograms for experiment reporting.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prtr::util {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< Sample variance (n-1).
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel sweep reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp
+/// into the first/last bin and are counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double binLow(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Approximate quantile (q in [0,1]) from bin midpoints.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Compact one-line-per-bin ASCII rendering.
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Exact quantile of a sample vector (copies and sorts; for small samples).
+[[nodiscard]] double exactQuantile(std::vector<double> samples, double q);
+
+/// Relative error |a-b| / max(|b|, eps); used by model-vs-simulation checks.
+[[nodiscard]] double relativeError(double a, double b) noexcept;
+
+}  // namespace prtr::util

@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace prtr::util {
+
+std::string formatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  require(!rows_.empty(), "Table: call row() before cell()");
+  require(rows_.back().size() < header_.size(), "Table: too many cells in row");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(formatDouble(value, precision));
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const { os << toString(); }
+
+std::string Table::toString() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << (c == 0 ? "| " : " | ");
+      os << text << std::string(width[c] - text.size(), ' ');
+    }
+    os << " |\n";
+  };
+  emitRow(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& r : rows_) emitRow(r);
+  return os.str();
+}
+
+namespace {
+
+std::string csvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::toCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csvEscape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::writeCsv(const std::string& path) const {
+  std::ofstream file{path};
+  if (!file) throw Error{"Table: cannot open " + path + " for writing"};
+  file << toCsv();
+}
+
+}  // namespace prtr::util

@@ -1,0 +1,48 @@
+#pragma once
+/// \file table.hpp
+/// Aligned text tables and CSV emission for benchmark/report output.
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prtr::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with a consistent precision so reproduced paper tables line up.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& rowAt(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string toString() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string toCsv() const;
+  void writeCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` significant digits.
+[[nodiscard]] std::string formatDouble(double value, int precision = 4);
+
+}  // namespace prtr::util

@@ -1,0 +1,50 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace prtr::util {
+namespace {
+
+std::string formatWithUnit(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.4g %s", value, unit);
+  return std::string{buf.data()};
+}
+
+}  // namespace
+
+std::string Time::toString() const {
+  const double s = toSeconds();
+  const double mag = std::abs(s);
+  if (mag >= 1.0) return formatWithUnit(s, "s");
+  if (mag >= 1e-3) return formatWithUnit(s * 1e3, "ms");
+  if (mag >= 1e-6) return formatWithUnit(s * 1e6, "us");
+  if (mag >= 1e-9) return formatWithUnit(s * 1e9, "ns");
+  return formatWithUnit(s * 1e12, "ps");
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.toString(); }
+
+std::string Bytes::toString() const {
+  const auto n = static_cast<double>(n_);
+  if (n >= 1e9) return formatWithUnit(n * 1e-9, "GB");
+  if (n >= 1e6) return formatWithUnit(n * 1e-6, "MB");
+  if (n >= 1e3) return formatWithUnit(n * 1e-3, "kB");
+  return formatWithUnit(n, "B");
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) { return os << b.toString(); }
+
+std::string DataRate::toString() const {
+  if (bps_ >= 1e9) return formatWithUnit(bps_ * 1e-9, "GB/s");
+  return formatWithUnit(bps_ * 1e-6, "MB/s");
+}
+
+std::ostream& operator<<(std::ostream& os, DataRate r) { return os << r.toString(); }
+
+std::string Frequency::toString() const { return formatWithUnit(hz_ * 1e-6, "MHz"); }
+
+std::ostream& operator<<(std::ostream& os, Frequency f) { return os << f.toString(); }
+
+}  // namespace prtr::util

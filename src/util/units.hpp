@@ -1,0 +1,188 @@
+#pragma once
+/// \file units.hpp
+/// Strongly typed physical quantities used throughout the library.
+///
+/// Simulated time is kept as an integer number of picoseconds so that
+/// event ordering in the discrete-event kernel is exact and platform
+/// independent; analytic-model code converts to double seconds at the edge.
+
+#include <cmath>
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace prtr::util {
+
+/// Simulated time point / duration with picosecond resolution.
+///
+/// The range of int64 picoseconds is roughly +/- 106 days, far beyond any
+/// workload this library simulates (the longest paper experiment is seconds).
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+
+  [[nodiscard]] static constexpr Time picoseconds(std::int64_t ps) noexcept {
+    return Time{ps};
+  }
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t ns) noexcept {
+    return Time{ns * 1'000};
+  }
+  [[nodiscard]] static constexpr Time microseconds(std::int64_t us) noexcept {
+    return Time{us * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Time milliseconds(std::int64_t ms) noexcept {
+    return Time{ms * 1'000'000'000};
+  }
+  /// Converts from floating-point seconds, rounding to the nearest picosecond.
+  [[nodiscard]] static Time seconds(double s) noexcept {
+    return Time{static_cast<std::int64_t>(std::llround(s * 1e12))};
+  }
+  [[nodiscard]] static constexpr Time zero() noexcept { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() noexcept {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ps() const noexcept { return ps_; }
+  [[nodiscard]] constexpr double toSeconds() const noexcept {
+    return static_cast<double>(ps_) * 1e-12;
+  }
+  [[nodiscard]] constexpr double toMilliseconds() const noexcept {
+    return static_cast<double>(ps_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double toMicroseconds() const noexcept {
+    return static_cast<double>(ps_) * 1e-6;
+  }
+
+  constexpr Time& operator+=(Time rhs) noexcept { ps_ += rhs.ps_; return *this; }
+  constexpr Time& operator-=(Time rhs) noexcept { ps_ -= rhs.ps_; return *this; }
+
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) noexcept { return Time{a.ps_ - b.ps_}; }
+  template <std::integral I>
+  friend constexpr Time operator*(Time a, I k) noexcept {
+    return Time{a.ps_ * static_cast<std::int64_t>(k)};
+  }
+  template <std::integral I>
+  friend constexpr Time operator*(I k, Time a) noexcept {
+    return a * k;
+  }
+  friend Time operator*(Time a, double k) noexcept {
+    return Time{static_cast<std::int64_t>(std::llround(static_cast<double>(a.ps_) * k))};
+  }
+  friend constexpr double operator/(Time a, Time b) noexcept {
+    return static_cast<double>(a.ps_) / static_cast<double>(b.ps_);
+  }
+  friend constexpr auto operator<=>(Time, Time) noexcept = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "36.09 ms".
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ps) noexcept : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+/// A byte count (sizes of bitstreams, transfers, images).
+class Bytes {
+ public:
+  constexpr Bytes() noexcept = default;
+  constexpr explicit Bytes(std::uint64_t n) noexcept : n_(n) {}
+
+  [[nodiscard]] static constexpr Bytes kibi(std::uint64_t k) noexcept { return Bytes{k * 1024}; }
+  [[nodiscard]] static constexpr Bytes mebi(std::uint64_t m) noexcept { return Bytes{m * 1024 * 1024}; }
+
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] constexpr double toMegabytes() const noexcept {
+    return static_cast<double>(n_) * 1e-6;
+  }
+
+  constexpr Bytes& operator+=(Bytes rhs) noexcept { n_ += rhs.n_; return *this; }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) noexcept { return Bytes{a.n_ + b.n_}; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) noexcept { return Bytes{a.n_ - b.n_}; }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) noexcept { return Bytes{a.n_ * k}; }
+  friend constexpr auto operator<=>(Bytes, Bytes) noexcept = default;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::uint64_t n_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Bytes b);
+
+/// Data transfer rate in bytes per second.
+class DataRate {
+ public:
+  constexpr DataRate() noexcept = default;
+
+  [[nodiscard]] static constexpr DataRate bytesPerSecond(double bps) noexcept {
+    return DataRate{bps};
+  }
+  [[nodiscard]] static constexpr DataRate megabytesPerSecond(double mbps) noexcept {
+    return DataRate{mbps * 1e6};
+  }
+  [[nodiscard]] static constexpr DataRate gigabytesPerSecond(double gbps) noexcept {
+    return DataRate{gbps * 1e9};
+  }
+
+  [[nodiscard]] constexpr double bytesPerSecond() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double toMegabytesPerSecond() const noexcept { return bps_ * 1e-6; }
+
+  /// Time to move `size` bytes at this rate (rounded to picoseconds).
+  [[nodiscard]] Time transferTime(Bytes size) const noexcept {
+    return Time::seconds(static_cast<double>(size.count()) / bps_);
+  }
+
+  /// Rate scaled by an efficiency factor in (0, 1].
+  [[nodiscard]] constexpr DataRate scaled(double efficiency) const noexcept {
+    return DataRate{bps_ * efficiency};
+  }
+
+  friend constexpr auto operator<=>(DataRate, DataRate) noexcept = default;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  constexpr explicit DataRate(double bps) noexcept : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, DataRate r);
+
+/// A clock frequency; used for FPGA fabric clocks and configuration ports.
+class Frequency {
+ public:
+  constexpr Frequency() noexcept = default;
+
+  [[nodiscard]] static constexpr Frequency hertz(double hz) noexcept { return Frequency{hz}; }
+  [[nodiscard]] static constexpr Frequency megahertz(double mhz) noexcept {
+    return Frequency{mhz * 1e6};
+  }
+
+  [[nodiscard]] constexpr double hertz() const noexcept { return hz_; }
+  [[nodiscard]] constexpr double toMegahertz() const noexcept { return hz_ * 1e-6; }
+
+  /// Duration of one clock period.
+  [[nodiscard]] Time period() const noexcept { return Time::seconds(1.0 / hz_); }
+  /// Duration of `n` clock cycles.
+  [[nodiscard]] Time cycles(std::uint64_t n) const noexcept {
+    return Time::seconds(static_cast<double>(n) / hz_);
+  }
+
+  friend constexpr auto operator<=>(Frequency, Frequency) noexcept = default;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  constexpr explicit Frequency(double hz) noexcept : hz_(hz) {}
+  double hz_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, Frequency f);
+
+}  // namespace prtr::util

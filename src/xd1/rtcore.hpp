@@ -1,0 +1,38 @@
+#pragma once
+/// \file rtcore.hpp
+/// Cray's interface services block ("RT core", paper section 4.2): manages
+/// host communication and memory-bank access, and — together with the
+/// per-bank FIFOs required by the partial-reconfiguration flow — makes up
+/// the static region of Table 1 (3,372 LUTs / 5,503 FFs / 25 BRAMs @ 200 MHz).
+
+#include "fabric/resources.hpp"
+#include "util/units.hpp"
+
+namespace prtr::xd1 {
+
+/// Static-design resource constants (see Table 1 of the paper).
+struct StaticDesign {
+  /// The RT core proper (services block).
+  [[nodiscard]] static fabric::ResourceVec rtCoreFootprint() noexcept {
+    return fabric::ResourceVec{2596, 4639, 17, 0, 0};
+  }
+  /// One bank<->PRR FIFO (section 4.2: FIFOs decouple bus-macro placement
+  /// and guarantee data availability). Four are instantiated.
+  [[nodiscard]] static fabric::ResourceVec fifoFootprint() noexcept {
+    return fabric::ResourceVec{194, 216, 2, 0, 0};
+  }
+  static constexpr int kFifoCount = 4;
+
+  /// RT core + FIFOs = the paper's "Static Region" row.
+  [[nodiscard]] static fabric::ResourceVec staticRegionFootprint() noexcept {
+    fabric::ResourceVec total = rtCoreFootprint();
+    for (int i = 0; i < kFifoCount; ++i) total += fifoFootprint();
+    return total;
+  }
+
+  [[nodiscard]] static util::Frequency fabricClock() noexcept {
+    return util::Frequency::megahertz(200);
+  }
+};
+
+}  // namespace prtr::xd1

@@ -1,0 +1,81 @@
+// Tests for the analysis helpers: parallel sweeps and figure emitters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "analysis/figures.hpp"
+#include "analysis/parallel.hpp"
+#include "util/error.hpp"
+
+namespace prtr::analysis {
+namespace {
+
+TEST(ParallelTest, ForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallelFor(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, MapPreservesOrder) {
+  std::vector<int> inputs(100);
+  for (int i = 0; i < 100; ++i) inputs[static_cast<std::size_t>(i)] = i;
+  const auto out = parallelMap(inputs, [](int x) { return x * x; });
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ParallelTest, ExceptionsPropagate) {
+  EXPECT_THROW(parallelFor(64,
+                           [](std::size_t i) {
+                             if (i == 13) throw util::DomainError{"unlucky"};
+                           }),
+               util::DomainError);
+}
+
+TEST(ParallelTest, SingleThreadFallback) {
+  int sum = 0;
+  parallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(LogGridTest, EndpointsAndMonotonicity) {
+  const auto grid = logGrid(1e-3, 100.0, 26);
+  ASSERT_EQ(grid.size(), 26u);
+  EXPECT_NEAR(grid.front(), 1e-3, 1e-9);
+  EXPECT_NEAR(grid.back(), 100.0, 1e-6);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(Fig5Test, SeriesNamesEncodeHitRatio) {
+  const auto series = makeFig5Series(0.1, {0.0, 0.25}, 11);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].name, "H=0");
+  EXPECT_EQ(series[1].name, "H=0.25");
+}
+
+TEST(Fig9Test, SmallSweepProducesConsistentPoints) {
+  Fig9Options opts;
+  opts.basis = model::ConfigTimeBasis::kEstimated;
+  opts.points = 5;
+  opts.xTaskLo = 0.05;
+  opts.xTaskHi = 5.0;
+  opts.nCalls = 30;
+  const auto points = makeFig9(opts);
+  ASSERT_EQ(points.size(), 5u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.simSpeedup, 0.9);
+    EXPECT_GT(p.modelSpeedup, 0.9);
+    // Simulation and finite-call model agree (shape reproduction).
+    EXPECT_NEAR(p.simSpeedup, p.modelSpeedup, p.modelSpeedup * 0.1);
+    // eq.7 bounds eq.6 from above (initial config only hurts finite runs).
+    EXPECT_GE(p.modelAsymptote, p.modelSpeedup - 1e-9);
+  }
+  const auto table = fig9Table(points);
+  EXPECT_EQ(table.rowCount(), 5u);
+  const std::string plot = fig9Plot(points, "test");
+  EXPECT_NE(plot.find("simulated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prtr::analysis

@@ -1,0 +1,153 @@
+// Tests for bitstream generation, parsing, and the module- vs
+// difference-based flow accounting of paper section 2.2.
+#include <gtest/gtest.h>
+
+#include "bitstream/builder.hpp"
+#include "bitstream/library.hpp"
+#include "bitstream/parser.hpp"
+#include "fabric/floorplan.hpp"
+#include "util/error.hpp"
+
+namespace prtr::bitstream {
+namespace {
+
+class BitstreamTest : public ::testing::Test {
+ protected:
+  fabric::Floorplan plan_ = fabric::makeDualPrrLayout();
+  Builder builder_{plan_.device()};
+};
+
+TEST_F(BitstreamTest, FullStreamHasExactCalibratedSize) {
+  const Bitstream full = builder_.buildFull(1);
+  EXPECT_EQ(full.size().count(), 2'381'764u);
+  EXPECT_FALSE(full.isPartial());
+  EXPECT_EQ(full.header().frameCount, 2246u);
+}
+
+TEST_F(BitstreamTest, ModulePartialSizeIsFixedPerRegion) {
+  const Bitstream a = builder_.buildModulePartial(plan_.prr(0), 7, 0.3);
+  const Bitstream b = builder_.buildModulePartial(plan_.prr(0), 8, 0.9);
+  // Module-based flow: same region => same size, regardless of occupancy.
+  EXPECT_EQ(a.size().count(), b.size().count());
+  EXPECT_EQ(a.size(), plan_.prr(0).partialBitstreamBytes(plan_.device()));
+  EXPECT_TRUE(a.isPartial());
+}
+
+TEST_F(BitstreamTest, DifferencePartialVariesWithOccupancy) {
+  const Bitstream small =
+      builder_.buildDifferencePartial(plan_.prr(0), 7, 0.2, 8, 0.2);
+  const Bitstream large =
+      builder_.buildDifferencePartial(plan_.prr(0), 7, 0.2, 9, 0.95);
+  EXPECT_LT(small.size().count(), large.size().count());
+  // Difference streams never exceed the module-based fixed size by more
+  // than the per-frame addressing they share.
+  EXPECT_LE(large.size().count(),
+            plan_.prr(0).partialBitstreamBytes(plan_.device()).count());
+}
+
+TEST_F(BitstreamTest, DifferenceOfIdenticalModulesIsEmpty) {
+  const Bitstream none =
+      builder_.buildDifferencePartial(plan_.prr(0), 7, 0.5, 7, 0.5);
+  EXPECT_EQ(none.header().frameCount, 0u);
+}
+
+TEST_F(BitstreamTest, ParseRoundTripsFull) {
+  const Bitstream full = builder_.buildFull(3);
+  const ParsedStream parsed = parse(full, plan_.device());
+  EXPECT_EQ(parsed.header.moduleId, 3u);
+  EXPECT_EQ(parsed.writes.size(), 2246u);
+  EXPECT_EQ(parsed.writes.front().frame, 0u);
+  EXPECT_EQ(parsed.writes.back().frame, 2245u);
+}
+
+TEST_F(BitstreamTest, ParseRoundTripsPartialWithRegionAddresses) {
+  const Bitstream part = builder_.buildModulePartial(plan_.prr(1), 5);
+  const ParsedStream parsed = parse(part, plan_.device());
+  const fabric::FrameRange range = plan_.prr(1).frames(plan_.device());
+  EXPECT_EQ(parsed.writes.size(), range.count);
+  for (const FrameWrite& w : parsed.writes) {
+    EXPECT_TRUE(range.contains(w.frame));
+    EXPECT_EQ(w.payload.size(),
+              plan_.device().geometry().encoding().frameBytes);
+  }
+}
+
+TEST_F(BitstreamTest, ParseRejectsCorruptedPayload) {
+  Bitstream part = builder_.buildModulePartial(plan_.prr(0), 5);
+  auto bytes = part.bytes();
+  bytes[bytes.size() / 2] ^= 0xFF;
+  EXPECT_THROW(parse(std::span{bytes}, plan_.device()), util::BitstreamError);
+}
+
+TEST_F(BitstreamTest, ParseRejectsWrongDevice) {
+  const Bitstream part = builder_.buildModulePartial(plan_.prr(0), 5);
+  const fabric::Device other = fabric::makeXc2vp30();
+  EXPECT_THROW(parse(part, other), util::BitstreamError);
+}
+
+TEST_F(BitstreamTest, ParseRejectsBadMagic) {
+  std::vector<std::uint8_t> junk(64, 0);
+  EXPECT_THROW(parse(std::span{junk}, plan_.device()), util::BitstreamError);
+  std::vector<std::uint8_t> tiny(8, 0);
+  EXPECT_THROW(parse(std::span{tiny}, plan_.device()), util::BitstreamError);
+}
+
+TEST_F(BitstreamTest, PayloadsAreDeterministic) {
+  const auto a = framePayload(9, 100, 50, 120, 64);
+  const auto b = framePayload(9, 100, 50, 120, 64);
+  EXPECT_EQ(a, b);
+  const auto c = framePayload(10, 100, 50, 120, 64);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(BitstreamTest, UnoccupiedFramesCarryBaselineContent) {
+  // Frame beyond the module footprint equals the baseline (module 0).
+  const auto outside = framePayload(9, 100, 10, 115, 64);
+  const auto baseline = framePayload(0, 100, 10, 115, 64);
+  EXPECT_EQ(outside, baseline);
+}
+
+TEST(LibraryTest, ModuleFlowBuildsNStreamsPerRegion) {
+  fabric::Floorplan plan = fabric::makeDualPrrLayout();
+  std::vector<Library::ModuleSpec> specs{
+      {11, "a", 0.3}, {12, "b", 0.5}, {13, "c", 0.8}};
+  Library lib{plan, specs};
+  const FlowStats stats = lib.buildModuleFlow();
+  // Paper section 2.2: n bitstreams per region for n modules.
+  EXPECT_EQ(stats.streamCount, 2u * 3u);
+  EXPECT_EQ(stats.minBytes, stats.maxBytes);  // all the same size
+}
+
+TEST(LibraryTest, DifferenceFlowBuildsNTimesNMinusOne) {
+  fabric::Floorplan plan = fabric::makeDualPrrLayout();
+  std::vector<Library::ModuleSpec> specs{
+      {11, "a", 0.3}, {12, "b", 0.5}, {13, "c", 0.8}};
+  Library lib{plan, specs};
+  const FlowStats stats = lib.buildDifferenceFlow();
+  EXPECT_EQ(stats.streamCount, 2u * 3u * 2u);  // n(n-1) per region
+  EXPECT_LT(stats.minBytes, stats.maxBytes);   // variable sizes
+}
+
+TEST(LibraryTest, FlowStreamCountFormulas) {
+  EXPECT_EQ(Library::moduleFlowStreams(5), 5u);
+  EXPECT_EQ(Library::differenceFlowStreams(5), 20u);
+}
+
+TEST(LibraryTest, RejectsReservedModuleId) {
+  fabric::Floorplan plan = fabric::makeDualPrrLayout();
+  std::vector<Library::ModuleSpec> specs{{0, "bad", 0.5}};
+  EXPECT_THROW((Library{plan, specs}), util::DomainError);
+}
+
+TEST(LibraryTest, CachesStreams) {
+  fabric::Floorplan plan = fabric::makeDualPrrLayout();
+  std::vector<Library::ModuleSpec> specs{{11, "a", 0.3}};
+  Library lib{plan, specs};
+  const Bitstream& first = lib.modulePartial(0, 11);
+  const Bitstream& second = lib.modulePartial(0, 11);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(&lib.full(), &lib.full());
+}
+
+}  // namespace
+}  // namespace prtr::bitstream

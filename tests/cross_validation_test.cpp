@@ -1,0 +1,105 @@
+// Cross-module validation: three independent implementations of the same
+// quantities must agree exactly or within documented bounds —
+//   (a) the PRTR executor's measured hit ratio vs the Mattson stack-
+//       distance prediction (analytic, one pass over the trace),
+//   (b) equation (6) fed with that H vs the simulated speedup,
+//   (c) the finite-n speedup's convergence to the eq.-7 asymptote.
+#include <gtest/gtest.h>
+
+#include "model/model.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/locality.hpp"
+#include "tasks/workload.hpp"
+
+namespace prtr {
+namespace {
+
+class HitRatioAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(HitRatioAgreement, ExecutorMatchesMattsonExactly) {
+  // On-demand configuration (no look-ahead) with an LRU cache is exactly
+  // the reference model Mattson analyzes, so the executor's measured hit
+  // ratio must equal the analytic prediction bit for bit.
+  const double bias = GetParam();
+  const auto registry = tasks::makeExtendedFunctions();
+  util::Rng rng{2025};
+  const auto workload =
+      tasks::makeMarkovWorkload(registry, 300, util::Bytes{1'000'000}, bias, rng);
+
+  runtime::ScenarioOptions so;
+  so.forceMiss = false;
+  so.prepare = runtime::PrepareSource::kNone;
+  so.cachePolicy = "lru";
+  const auto report = runtime::runPrtrOnly(registry, workload, so);
+  EXPECT_DOUBLE_EQ(report.hitRatio(), tasks::lruHitRatio(workload, 2))
+      << "bias=" << bias;
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasSweep, HitRatioAgreement,
+                         ::testing::Values(0.0, 0.4, 0.8));
+
+TEST(HitRatioAgreement, QuadLayoutUsesFourSlotCurve) {
+  const auto registry = tasks::makeExtendedFunctions();
+  util::Rng rng{31};
+  const auto workload = tasks::makePhasedWorkload(
+      registry, 300, util::Bytes{500'000}, 25, 4, rng);
+  runtime::ScenarioOptions so;
+  so.layout = xd1::Layout::kQuadPrr;
+  so.forceMiss = false;
+  so.prepare = runtime::PrepareSource::kNone;
+  so.cachePolicy = "lru";
+  const auto report = runtime::runPrtrOnly(registry, workload, so);
+  EXPECT_DOUBLE_EQ(report.hitRatio(), tasks::lruHitRatio(workload, 4));
+}
+
+TEST(ModelAgreement, MattsonHFeedsEquationSixPredictively) {
+  // Fully analytic prediction (no simulation in the loop): Mattson H +
+  // platform calibration + eq. (6) vs the measured speedup.
+  const auto registry = tasks::makeExtendedFunctions();
+  util::Rng rng{77};
+  const auto workload = tasks::makeMarkovWorkload(
+      registry, 200, util::Bytes{25'000'000}, 0.7, rng);
+
+  runtime::ScenarioOptions so;
+  so.forceMiss = false;
+  so.prepare = runtime::PrepareSource::kNone;
+  so.cachePolicy = "lru";
+
+  const double predictedH = tasks::lruHitRatio(workload, 2);
+  const model::Params params =
+      runtime::deriveModelParams(registry, workload, so, predictedH);
+  const double predictedSpeedup = model::speedup(params);
+
+  const auto result = runtime::runScenario(registry, workload, so);
+  // Without look-ahead the executor serializes miss configurations after
+  // the previous task, so it runs a little slower than the overlapping
+  // model; the prediction still lands within ~15%.
+  EXPECT_LE(result.speedup, predictedSpeedup * 1.01);
+  EXPECT_NEAR(result.speedup, predictedSpeedup, predictedSpeedup * 0.15);
+}
+
+TEST(ConvergenceTest, FiniteNApproachesAsymptoteAtRateOneOverN) {
+  // |S(n) - S_inf| <= S_inf * (1 + X_d) / (n * perCall): the leading full
+  // configuration is the only finite-n term. Verify across the grid.
+  for (const double xTask : {0.01, 0.1, 1.0, 10.0}) {
+    for (const double h : {0.0, 0.5}) {
+      model::Params p;
+      p.xTask = xTask;
+      p.xPrtr = 0.012;
+      p.hitRatio = h;
+      const double sInf = model::asymptoticSpeedup(p);
+      const double perCall = model::prtrPerCallNormalized(p);
+      for (const std::uint64_t n : {10ull, 100ull, 10'000ull}) {
+        p.nCalls = n;
+        const double bound =
+            sInf * (1.0 + p.xDecision) / (static_cast<double>(n) * perCall);
+        EXPECT_LE(sInf - model::speedup(p), bound * 1.0000001)
+            << "xTask=" << xTask << " h=" << h << " n=" << n;
+        EXPECT_GE(sInf, model::speedup(p));  // approach from below
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prtr

@@ -1,0 +1,201 @@
+// Tests for the dynamic column allocator and defragmenter.
+#include <gtest/gtest.h>
+
+#include "fabric/allocator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prtr::fabric {
+namespace {
+
+// The XC2VP50's central 34-CLB stretch (columns 16..49) is homogeneous,
+// so every defrag move is signature-compatible there.
+class AllocatorFixture : public ::testing::Test {
+ protected:
+  Device device_ = makeXc2vp50();
+  ColumnAllocator alloc_{device_, 16, 34};
+};
+
+TEST_F(AllocatorFixture, AllocateAndRelease) {
+  const auto a = alloc_.allocate(10, FitPolicy::kFirstFit, "a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->firstColumn, 16u);
+  EXPECT_EQ(a->width, 10u);
+  EXPECT_EQ(alloc_.freeColumns(), 24u);
+  alloc_.release(a->id);
+  EXPECT_EQ(alloc_.freeColumns(), 34u);
+  EXPECT_THROW(alloc_.release(a->id), util::DomainError);
+}
+
+TEST_F(AllocatorFixture, FailsWhenNoHoleFits) {
+  ASSERT_TRUE(alloc_.allocate(30, FitPolicy::kFirstFit, "big").has_value());
+  EXPECT_FALSE(alloc_.allocate(5, FitPolicy::kFirstFit, "no").has_value());
+  EXPECT_TRUE(alloc_.allocate(4, FitPolicy::kFirstFit, "yes").has_value());
+}
+
+TEST_F(AllocatorFixture, RejectsZeroWidth) {
+  EXPECT_THROW(alloc_.allocate(0, FitPolicy::kFirstFit, "zero"),
+               util::DomainError);
+}
+
+TEST_F(AllocatorFixture, BestFitPicksTightestHole) {
+  // Fill the whole range, then carve holes of width 6 and 3:
+  // [a:10][hole 6][b:10][hole 3][c:5].
+  const auto a = alloc_.allocate(10, FitPolicy::kFirstFit, "a");
+  const auto hole6 = alloc_.allocate(6, FitPolicy::kFirstFit, "h6");
+  const auto b = alloc_.allocate(10, FitPolicy::kFirstFit, "b");
+  const auto hole3 = alloc_.allocate(3, FitPolicy::kFirstFit, "h3");
+  const auto c = alloc_.allocate(5, FitPolicy::kFirstFit, "c");
+  ASSERT_TRUE(a && hole6 && b && hole3 && c);
+  alloc_.release(hole6->id);
+  alloc_.release(hole3->id);
+
+  const auto best = alloc_.allocate(3, FitPolicy::kBestFit, "best");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->firstColumn, hole3->firstColumn);  // 3-wide hole preferred
+
+  const auto worst = alloc_.allocate(3, FitPolicy::kWorstFit, "worst");
+  ASSERT_TRUE(worst.has_value());
+  EXPECT_EQ(worst->firstColumn, hole6->firstColumn);  // 6-wide hole preferred
+}
+
+TEST_F(AllocatorFixture, FragmentationMetric) {
+  EXPECT_DOUBLE_EQ(alloc_.fragmentation(), 0.0);  // one big hole
+  const auto a = alloc_.allocate(8, FitPolicy::kFirstFit, "a");
+  const auto b = alloc_.allocate(8, FitPolicy::kFirstFit, "b");
+  const auto c = alloc_.allocate(8, FitPolicy::kFirstFit, "c");
+  ASSERT_TRUE(a && b && c);
+  alloc_.release(b->id);
+  // Free: middle 8 + tail 10; largest 10 of 18.
+  EXPECT_EQ(alloc_.freeColumns(), 18u);
+  EXPECT_EQ(alloc_.largestFreeBlock(), 10u);
+  EXPECT_NEAR(alloc_.fragmentation(), 1.0 - 10.0 / 18.0, 1e-12);
+}
+
+TEST_F(AllocatorFixture, DefragmentCompactsAndEnablesAllocation) {
+  const auto a = alloc_.allocate(8, FitPolicy::kFirstFit, "a");
+  const auto b = alloc_.allocate(8, FitPolicy::kFirstFit, "b");
+  const auto c = alloc_.allocate(8, FitPolicy::kFirstFit, "c");
+  ASSERT_TRUE(a && b && c);
+  alloc_.release(a->id);
+  alloc_.release(c->id);
+  // Free 8 + 18 split by b: a 19-wide request fails...
+  EXPECT_FALSE(alloc_.allocate(19, FitPolicy::kFirstFit, "x").has_value());
+
+  const auto moves = alloc_.defragment();
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].id, b->id);
+  EXPECT_EQ(moves[0].toColumn, 16u);
+  EXPECT_EQ(alloc_.largestFreeBlock(), 26u);
+  EXPECT_DOUBLE_EQ(alloc_.fragmentation(), 0.0);
+  // ...and succeeds afterwards.
+  EXPECT_TRUE(alloc_.allocate(19, FitPolicy::kFirstFit, "x").has_value());
+}
+
+TEST_F(AllocatorFixture, DefragmentIsIdempotent) {
+  (void)alloc_.allocate(5, FitPolicy::kFirstFit, "a");
+  const auto b = alloc_.allocate(5, FitPolicy::kFirstFit, "b");
+  ASSERT_TRUE(b);
+  alloc_.release(b->id);
+  (void)alloc_.allocate(5, FitPolicy::kFirstFit, "c");
+  (void)alloc_.defragment();
+  EXPECT_TRUE(alloc_.defragment().empty());
+}
+
+TEST_F(AllocatorFixture, MoveCostIsPartialBitstreamOfWidth) {
+  const auto a = alloc_.allocate(4, FitPolicy::kFirstFit, "a");
+  ASSERT_TRUE(a);
+  Move move;
+  move.id = a->id;
+  move.fromColumn = a->firstColumn;
+  move.toColumn = 20;
+  move.width = 4;
+  // 4 CLB columns = 88 frames.
+  EXPECT_EQ(alloc_.moveCost(move),
+            device_.geometry().partialBitstreamBytes(88));
+}
+
+TEST(AllocatorSignatureTest, HeterogeneousRangeBlocksIncompatibleMoves) {
+  // Manage columns 14..17 of the XC2VP50: CLB, BRAM(15), CLB..., so a
+  // module sitting on the BRAM column cannot slide onto a CLB column.
+  const Device device = makeXc2vp50();
+  ColumnAllocator alloc{device, 14, 4};  // kinds: CLB, BRAM, CLB, CLB
+  const auto a = alloc.allocate(1, FitPolicy::kFirstFit, "a");  // col 14
+  const auto b = alloc.allocate(1, FitPolicy::kFirstFit, "b");  // col 15 BRAM
+  ASSERT_TRUE(a && b);
+  alloc.release(a->id);
+  // Defrag wants to move b from 15 to 14, but CLB != BRAM: no move.
+  EXPECT_TRUE(alloc.defragment().empty());
+}
+
+TEST(AllocatorChurnTest, RandomChurnStaysConsistent) {
+  const Device device = makeXc2vp50();
+  ColumnAllocator alloc{device, 16, 34};
+  util::Rng rng{404};
+  std::vector<std::uint64_t> ids;
+  std::size_t failures = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (!ids.empty() && rng.chance(0.45)) {
+      const std::size_t pick = rng.below(ids.size());
+      alloc.release(ids[pick]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto width = static_cast<std::size_t>(rng.range(2, 9));
+      if (const auto got = alloc.allocate(width, FitPolicy::kFirstFit, "m")) {
+        ids.push_back(got->id);
+      } else {
+        ++failures;
+        if (rng.chance(0.5)) (void)alloc.defragment();
+      }
+    }
+    // Invariants: accounting is exact, allocations are disjoint.
+    std::size_t usedColumns = 0;
+    for (const auto& [id, allocation] : alloc.allocations()) {
+      usedColumns += allocation.width;
+    }
+    ASSERT_EQ(usedColumns + alloc.freeColumns(), alloc.managedColumns());
+    ASSERT_LE(alloc.largestFreeBlock(), alloc.freeColumns());
+  }
+  EXPECT_GT(failures, 0u);  // the churn actually stressed the allocator
+}
+
+TEST(AllocatorChurnTest, DefragReducesFailureRate) {
+  const Device device = makeXc2vp50();
+  util::Rng rngA{77};
+  util::Rng rngB{77};
+
+  auto churn = [&device](util::Rng& rng, bool defrag) {
+    ColumnAllocator alloc{device, 16, 34};
+    std::vector<std::uint64_t> ids;
+    std::size_t failures = 0;
+    for (int step = 0; step < 4000; ++step) {
+      if (!ids.empty() && rng.chance(0.48)) {
+        const std::size_t pick = rng.below(ids.size());
+        alloc.release(ids[pick]);
+        ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        const auto width = static_cast<std::size_t>(rng.range(3, 10));
+        if (const auto got = alloc.allocate(width, FitPolicy::kFirstFit, "m")) {
+          ids.push_back(got->id);
+        } else {
+          ++failures;
+        }
+      }
+      if (defrag && step % 50 == 0) (void)alloc.defragment();
+    }
+    return failures;
+  };
+
+  const std::size_t without = churn(rngA, false);
+  const std::size_t with = churn(rngB, true);
+  EXPECT_LT(with, without);
+}
+
+TEST(FitPolicyTest, Names) {
+  EXPECT_STREQ(toString(FitPolicy::kFirstFit), "first-fit");
+  EXPECT_STREQ(toString(FitPolicy::kBestFit), "best-fit");
+  EXPECT_STREQ(toString(FitPolicy::kWorstFit), "worst-fit");
+}
+
+}  // namespace
+}  // namespace prtr::fabric

@@ -1,0 +1,240 @@
+// Tests for the fabric model: resources, geometry, devices, regions,
+// floorplans — including the Table 2 size calibration.
+#include <gtest/gtest.h>
+
+#include "fabric/device.hpp"
+#include "fabric/floorplan.hpp"
+#include "fabric/geometry.hpp"
+#include "fabric/region.hpp"
+#include "fabric/resources.hpp"
+#include "util/error.hpp"
+
+namespace prtr::fabric {
+namespace {
+
+TEST(ResourceVecTest, ArithmeticAndFits) {
+  const ResourceVec a{100, 200, 4, 2, 0};
+  const ResourceVec b{50, 50, 1, 1, 0};
+  EXPECT_EQ((a + b).luts, 150u);
+  EXPECT_EQ((a - b).ffs, 150u);
+  EXPECT_TRUE(a.fits(b));
+  EXPECT_FALSE(b.fits(a));
+  EXPECT_TRUE(ResourceVec{}.isZero());
+}
+
+TEST(ResourceVecTest, SubtractionSaturates) {
+  const ResourceVec a{10, 10, 0, 0, 0};
+  const ResourceVec b{20, 5, 1, 0, 0};
+  const ResourceVec d = a - b;
+  EXPECT_EQ(d.luts, 0u);
+  EXPECT_EQ(d.ffs, 5u);
+  EXPECT_EQ(d.bram18, 0u);
+}
+
+TEST(ResourceVecTest, UtilizationIsWorstComponent) {
+  const ResourceVec cap{1000, 1000, 10, 10, 0};
+  EXPECT_DOUBLE_EQ(cap.utilization({100, 500, 1, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(cap.utilization({}), 0.0);
+  // Demand on a zero-capacity component is flagged as infeasible.
+  EXPECT_GT(cap.utilization({0, 0, 0, 0, 1}), 1.0);
+}
+
+TEST(GeometryTest, FrameIndexingIsContiguous) {
+  const Device dev = makeXc2vp50();
+  const auto& g = dev.geometry();
+  std::uint32_t acc = 0;
+  for (std::size_t c = 0; c < g.columnCount(); ++c) {
+    const FrameRange r = g.columnFrames(c);
+    EXPECT_EQ(r.first, acc);
+    acc += r.count;
+  }
+  EXPECT_EQ(acc, g.totalFrames());
+}
+
+TEST(GeometryTest, FrameRangePredicates) {
+  const FrameRange r{10, 5};
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(14));
+  EXPECT_FALSE(r.contains(15));
+  EXPECT_TRUE(r.overlaps(FrameRange{14, 3}));
+  EXPECT_FALSE(r.overlaps(FrameRange{15, 3}));
+}
+
+TEST(Xc2vp50Test, CalibratedFullBitstreamSizeMatchesPaper) {
+  const Device dev = makeXc2vp50();
+  // Table 2: full configuration bitstream = 2,381,764 bytes, exactly.
+  EXPECT_EQ(dev.geometry().fullBitstreamBytes().count(), 2'381'764u);
+  EXPECT_EQ(dev.geometry().totalFrames(), 2246u);
+}
+
+TEST(Xc2vp50Test, UsableResourcesMatchDatasheet) {
+  const Device dev = makeXc2vp50();
+  const ResourceVec usable = dev.usableResources();
+  EXPECT_EQ(usable.luts, 47'232u);
+  EXPECT_EQ(usable.ffs, 47'232u);
+  EXPECT_EQ(usable.bram18, 232u);
+  EXPECT_EQ(usable.mult18, 232u);
+  EXPECT_EQ(usable.ppc, 2u);
+}
+
+TEST(DeviceCatalogTest, LookupByName) {
+  EXPECT_EQ(makeDevice("xc2vp50").name(), "xc2vp50");
+  EXPECT_EQ(makeDevice("xc2vp30").name(), "xc2vp30");
+  EXPECT_EQ(makeDevice("xc4vlx60").name(), "xc4vlx60");
+  EXPECT_THROW(makeDevice("xc7z020"), util::DomainError);
+}
+
+TEST(DeviceCatalogTest, EveryCatalogEntryBuilds) {
+  for (const std::string& name : deviceCatalog()) {
+    const Device dev = makeDevice(name);
+    EXPECT_EQ(dev.name(), name);
+    EXPECT_GT(dev.geometry().totalFrames(), 0u);
+    EXPECT_GT(dev.usableResources().luts, 0u);
+    EXPECT_GT(dev.geometry().fullBitstreamBytes().count(),
+              dev.geometry().totalFrames());  // frames carry payload
+  }
+}
+
+TEST(DeviceCatalogTest, V2ProFamilySizesAreMonotone) {
+  const std::uint64_t sizes[] = {
+      makeXc2vp20().geometry().fullBitstreamBytes().count(),
+      makeXc2vp30().geometry().fullBitstreamBytes().count(),
+      makeXc2vp50().geometry().fullBitstreamBytes().count(),
+      makeXc2vp70().geometry().fullBitstreamBytes().count(),
+      makeXc2vp100().geometry().fullBitstreamBytes().count()};
+  for (std::size_t i = 1; i < std::size(sizes); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]) << "index " << i;
+  }
+  const std::uint32_t luts[] = {
+      makeXc2vp20().usableResources().luts, makeXc2vp30().usableResources().luts,
+      makeXc2vp50().usableResources().luts, makeXc2vp70().usableResources().luts,
+      makeXc2vp100().usableResources().luts};
+  for (std::size_t i = 1; i < std::size(luts); ++i) {
+    EXPECT_GT(luts[i], luts[i - 1]) << "index " << i;
+  }
+}
+
+TEST(DeviceCatalogTest, NewerFamiliesHaveNoPpcHoles) {
+  EXPECT_EQ(makeXc4vlx100().usableResources().ppc, 0u);
+  EXPECT_EQ(makeXc5vlx110().usableResources().ppc, 0u);
+  EXPECT_EQ(makeXc2vp100().usableResources().ppc, 2u);
+}
+
+TEST(DeviceCatalogTest, Virtex4HasNoHardCores) {
+  const Device dev = makeXc4vlx60();
+  EXPECT_EQ(dev.usableResources().ppc, 0u);
+}
+
+TEST(RegionTest, SinglePrrMatchesPaperSize) {
+  const Floorplan plan = makeSinglePrrLayout();
+  ASSERT_EQ(plan.prrCount(), 1u);
+  const Region& prr = plan.prr(0);
+  EXPECT_EQ(prr.frames(plan.device()).count, 834u);
+  // Paper: 887,784 B; frame-quantized flow gives 887,444 B (-0.04%).
+  EXPECT_NEAR(static_cast<double>(prr.partialBitstreamBytes(plan.device()).count()),
+              887'784.0, 887'784.0 * 0.001);
+}
+
+TEST(RegionTest, DualPrrMatchesPaperSize) {
+  const Floorplan plan = makeDualPrrLayout();
+  ASSERT_EQ(plan.prrCount(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(plan.prr(i).frames(plan.device()).count, 380u);
+    // Paper: 404,168 B; ours 404,388 B (+0.05%).
+    EXPECT_NEAR(
+        static_cast<double>(plan.prr(i).partialBitstreamBytes(plan.device()).count()),
+        404'168.0, 404'168.0 * 0.001);
+  }
+}
+
+TEST(RegionTest, DualPrrsDoNotOverlapAndFitFilters) {
+  const Floorplan plan = makeDualPrrLayout();
+  EXPECT_FALSE(plan.prr(0).overlaps(plan.prr(1)));
+  // Each PRR must fit the largest paper filter (median: 3141 LUT, 3270 FF).
+  const ResourceVec need{3141, 3270, 0, 0, 0};
+  EXPECT_TRUE(plan.prr(0).resources(plan.device()).fits(need));
+  EXPECT_TRUE(plan.prr(1).resources(plan.device()).fits(need));
+}
+
+TEST(FloorplanTest, StaticRegionAccounting) {
+  const Floorplan plan = makeDualPrrLayout();
+  const ResourceVec staticRes = plan.staticResources();
+  // Static fabric must fit the RT core + FIFOs + PR controller
+  // (Table 1 static rows).
+  const ResourceVec staticNeed{3372 + 418, 5503 + 432, 25 + 8, 0, 0};
+  EXPECT_TRUE(staticRes.fits(staticNeed));
+  EXPECT_EQ(plan.staticFrames() +
+                plan.prr(0).frames(plan.device()).count +
+                plan.prr(1).frames(plan.device()).count,
+            plan.device().geometry().totalFrames());
+}
+
+TEST(FloorplanTest, FrameInPrrQueries) {
+  const Floorplan plan = makeDualPrrLayout();
+  const FrameRange r0 = plan.prr(0).frames(plan.device());
+  EXPECT_TRUE(plan.frameInPrr(0, r0.first));
+  EXPECT_FALSE(plan.frameInPrr(1, r0.first));
+  EXPECT_FALSE(plan.frameInPrr(0, r0.end()));
+}
+
+TEST(FloorplanTest, ColumnMapShowsBothRegions) {
+  const Floorplan plan = makeDualPrrLayout();
+  const std::string map = plan.columnMap();
+  EXPECT_EQ(map.size(), plan.device().geometry().columnCount());
+  EXPECT_NE(map.find('A'), std::string::npos);
+  EXPECT_NE(map.find('B'), std::string::npos);
+  EXPECT_NE(map.find('.'), std::string::npos);
+}
+
+TEST(FloorplanTest, RejectsOverlappingPrrs) {
+  Device dev = makeXc2vp50();
+  std::vector<Region> prrs;
+  prrs.emplace_back("A", RegionRole::kPrr, 2, 10);
+  prrs.emplace_back("B", RegionRole::kPrr, 8, 10);
+  EXPECT_THROW((Floorplan{std::move(dev), std::move(prrs), {}}),
+               util::PlacementError);
+}
+
+TEST(FloorplanTest, RejectsPrrOverHardCores) {
+  Device dev = makeXc2vp50();
+  // Columns 65/66 are the PPC and GCLK columns.
+  std::vector<Region> prrs;
+  prrs.emplace_back("bad", RegionRole::kPrr, 64, 4);
+  EXPECT_THROW((Floorplan{std::move(dev), std::move(prrs), {}}),
+               util::PlacementError);
+}
+
+TEST(FloorplanTest, RejectsPrrBeyondDevice) {
+  Device dev = makeXc2vp50();
+  std::vector<Region> prrs;
+  prrs.emplace_back("off", RegionRole::kPrr, 80, 10);
+  EXPECT_THROW((Floorplan{std::move(dev), std::move(prrs), {}}),
+               util::PlacementError);
+}
+
+TEST(FloorplanTest, RejectsMisplacedBusMacro) {
+  Device dev = makeXc2vp50();
+  std::vector<Region> prrs;
+  prrs.emplace_back("PRR0", RegionRole::kPrr, 0, 16);
+  std::vector<BusMacro> macros{
+      BusMacro{"PRR0", BusMacro::Direction::kLeftToRight, 8, 5}};
+  EXPECT_THROW((Floorplan{std::move(dev), std::move(prrs), std::move(macros)}),
+               util::PlacementError);
+}
+
+TEST(BusMacroTest, ResourceCostIsLutPairs) {
+  const BusMacro macro{"PRR0", BusMacro::Direction::kRightToLeft, 8, 16};
+  EXPECT_EQ(macro.resourceCost().luts, 16u);
+  EXPECT_EQ(macro.resourceCost().ffs, 0u);
+}
+
+TEST(PartialBitstreamBytesTest, FormulaMatchesEncoding) {
+  const Device dev = makeXc2vp50();
+  const auto& enc = dev.geometry().encoding();
+  const util::Bytes one = dev.geometry().partialBitstreamBytes(1);
+  EXPECT_EQ(one.count(),
+            enc.partialOverheadBytes + enc.frameBytes + enc.frameAddressBytes);
+}
+
+}  // namespace
+}  // namespace prtr::fabric

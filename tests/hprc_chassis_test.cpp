@@ -1,0 +1,139 @@
+// Tests for the multi-blade chassis layer.
+#include <gtest/gtest.h>
+
+#include "hprc/chassis.hpp"
+#include "util/error.hpp"
+
+namespace prtr::hprc {
+namespace {
+
+TEST(PartitionTest, BlockPreservesOrderAndCoversAll) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 10, util::Bytes{100});
+  const auto shares = partitionWorkload(workload, 3, Partition::kBlock);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0].callCount(), 4u);
+  EXPECT_EQ(shares[1].callCount(), 4u);
+  EXPECT_EQ(shares[2].callCount(), 2u);
+  EXPECT_EQ(shares[0].calls[0], workload.calls[0]);
+  EXPECT_EQ(shares[2].calls[1], workload.calls[9]);
+}
+
+TEST(PartitionTest, RoundRobinInterleaves) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 9, util::Bytes{100});
+  const auto shares = partitionWorkload(workload, 3, Partition::kRoundRobin);
+  for (std::size_t b = 0; b < 3; ++b) {
+    ASSERT_EQ(shares[b].callCount(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(shares[b].calls[i], workload.calls[i * 3 + b]);
+    }
+  }
+}
+
+TEST(PartitionTest, Validation) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{100});
+  EXPECT_THROW(partitionWorkload(workload, 0, Partition::kBlock),
+               util::DomainError);
+}
+
+TEST(ChassisTest, MoreBladesShrinkMakespan) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 60, util::Bytes{10'000'000});
+
+  ChassisOptions one;
+  one.blades = 1;
+  one.scenario.forceMiss = true;
+  one.scenario.basis = model::ConfigTimeBasis::kEstimated;
+  const ChassisReport r1 = runChassis(registry, workload, one);
+
+  ChassisOptions four = one;
+  four.blades = 4;
+  const ChassisReport r4 = runChassis(registry, workload, four);
+
+  EXPECT_EQ(r1.bladeCount(), 1u);
+  EXPECT_EQ(r4.bladeCount(), 4u);
+  EXPECT_LT(r4.makespan.toSeconds(), r1.makespan.toSeconds());
+  // Near-linear scaling for a homogeneous workload (the 36 ms initial
+  // full configuration per blade costs a little).
+  const double scaling = r1.makespan.toSeconds() / r4.makespan.toSeconds();
+  EXPECT_GT(scaling, 3.0);
+  EXPECT_LE(scaling, 4.1);
+  EXPECT_GT(r4.balance(), 0.95);
+}
+
+TEST(ChassisTest, PerBladeFullConfigIsTheAmdahlTerm) {
+  // On the measured basis each blade pays 1.678 s of vendor-API full
+  // configuration before its first call, which caps the scaling of short
+  // workloads -- a system-level consequence of the paper's Table 2.
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 60, util::Bytes{10'000'000});
+  ChassisOptions one;
+  one.blades = 1;
+  one.scenario.forceMiss = true;
+  one.scenario.basis = model::ConfigTimeBasis::kMeasured;
+  const ChassisReport r1 = runChassis(registry, workload, one);
+  ChassisOptions four = one;
+  four.blades = 4;
+  const ChassisReport r4 = runChassis(registry, workload, four);
+  const double scaling = r1.makespan.toSeconds() / r4.makespan.toSeconds();
+  EXPECT_LT(scaling, 3.0);  // well below linear
+  // And the gap is explained by the initial configuration term.
+  const double serialShare =
+      r4.blades[0].initialConfig.toSeconds() / r4.makespan.toSeconds();
+  EXPECT_GT(serialShare, 0.3);
+}
+
+TEST(ChassisTest, RejectsOverfullChassis) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{100});
+  ChassisOptions options;
+  options.blades = 7;  // an XD1 chassis holds six blades
+  EXPECT_THROW(runChassis(registry, workload, options), util::DomainError);
+}
+
+TEST(ChassisTest, BlockBeatsRoundRobinOnPhasedLocality) {
+  // Phased workloads have temporal locality; block partitioning keeps each
+  // phase on one blade (fewer reconfigurations), round-robin shreds it.
+  const auto registry = tasks::makeExtendedFunctions();
+  util::Rng rng{33};
+  const auto workload = tasks::makePhasedWorkload(
+      registry, 240, util::Bytes{1'000'000}, 40, 2, rng);
+
+  ChassisOptions block;
+  block.blades = 3;
+  block.partition = Partition::kBlock;
+  block.scenario.forceMiss = false;
+  const ChassisReport rBlock = runChassis(registry, workload, block);
+
+  ChassisOptions rr = block;
+  rr.partition = Partition::kRoundRobin;
+  const ChassisReport rRr = runChassis(registry, workload, rr);
+
+  EXPECT_LE(rBlock.configurations, rRr.configurations);
+}
+
+TEST(ChassisTest, ReportAggregatesAndPrints) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 12, util::Bytes{1'000'000});
+  ChassisOptions options;
+  options.blades = 2;
+  options.scenario.forceMiss = true;
+  const ChassisReport report = runChassis(registry, workload, options);
+  EXPECT_EQ(report.blades[0].calls + report.blades[1].calls, 12u);
+  EXPECT_GE(report.totalBladeTime.toSeconds(), report.makespan.toSeconds());
+  const std::string text = report.toString();
+  EXPECT_NE(text.find("blade0"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prtr::hprc

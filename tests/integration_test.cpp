@@ -1,0 +1,181 @@
+// End-to-end reproduction checks: the simulated platform + executors must
+// reproduce the paper's Figure 9 shape and the bound claims of section 5.
+#include <gtest/gtest.h>
+
+#include "analysis/figures.hpp"
+#include "model/bounds.hpp"
+#include "model/model.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/workload.hpp"
+
+namespace prtr {
+namespace {
+
+using model::ConfigTimeBasis;
+
+runtime::ScenarioOptions paperOptions(ConfigTimeBasis basis) {
+  runtime::ScenarioOptions so;
+  so.layout = xd1::Layout::kDualPrr;
+  so.basis = basis;
+  so.tControl = util::Time::microseconds(10);
+  so.forceMiss = true;  // H = 0, M = 1
+  so.prepare = runtime::PrepareSource::kQueue;
+  return so;
+}
+
+tasks::Workload workloadForXTask(const tasks::FunctionRegistry& registry,
+                                 double xTask, ConfigTimeBasis basis,
+                                 std::size_t calls) {
+  sim::Simulator sim;
+  const xd1::Node node{sim};
+  const model::ConfigTimes times = model::configTimes(node);
+  const util::Time target =
+      util::Time::seconds(xTask * times.full(basis).toSeconds());
+  const util::Bytes bytes =
+      model::bytesForTaskTime(node, registry.byName("median"), target);
+  return tasks::makeRoundRobinWorkload(registry, calls, bytes);
+}
+
+TEST(Fig9Integration, MeasuredBasisTracksModelAcrossDecades) {
+  const auto registry = tasks::makePaperFunctions();
+  for (const double xTask : {0.005, 0.0118, 0.12, 1.0, 8.0}) {
+    const auto workload =
+        workloadForXTask(registry, xTask, ConfigTimeBasis::kMeasured, 60);
+    const auto result = runtime::runScenario(
+        registry, workload, paperOptions(ConfigTimeBasis::kMeasured));
+    EXPECT_LT(result.modelError, 0.08)
+        << "xTask=" << xTask << " sim=" << result.speedup
+        << " model=" << result.modelSpeedup;
+  }
+}
+
+TEST(Fig9Integration, EstimatedBasisTracksModel) {
+  // Near the peak (X_task ~ X_PRTR) the simulator sits up to ~12% below
+  // the ideal model: the dual-channel constraint (config only after data
+  // input, paper section 4.1) costs the input share of the overlap. The
+  // paper reports the same effect: "the experimental results are slightly
+  // deviated from the theoretical expectations".
+  const auto registry = tasks::makePaperFunctions();
+  for (const double xTask : {0.05, 0.17, 1.0, 5.0}) {
+    const auto workload =
+        workloadForXTask(registry, xTask, ConfigTimeBasis::kEstimated, 60);
+    const auto result = runtime::runScenario(
+        registry, workload, paperOptions(ConfigTimeBasis::kEstimated));
+    EXPECT_LT(result.modelError, 0.13) << "xTask=" << xTask;
+    EXPECT_LE(result.speedup, result.modelSpeedup * 1.001)
+        << "the model is an upper bound on the implementable overlap";
+  }
+}
+
+TEST(Fig9Integration, SpeedupCappedAtTwoForTaskDominantCalls) {
+  // Paper: for X_task > 1 PRTR cannot exceed twice FRTR.
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      workloadForXTask(registry, 2.0, ConfigTimeBasis::kMeasured, 40);
+  const auto result = runtime::runScenario(
+      registry, workload, paperOptions(ConfigTimeBasis::kMeasured));
+  EXPECT_LT(result.speedup, 2.0);
+  EXPECT_GT(result.speedup, 1.0);
+}
+
+TEST(Fig9Integration, LargeWinsConcentrateAtSmallTasksOnMeasuredBasis) {
+  // The big PRTR wins live at and below X_task = X_PRTR ~ 0.0119 (the
+  // paper's "up to 87x" region); the curve then falls off towards the 2x
+  // cap. The simulated peak sits slightly left of X_PRTR because the
+  // configuration cannot overlap the data-input share of the previous
+  // task (section 4.1), while eq. (7)'s peak is exactly at X_PRTR.
+  const auto registry = tasks::makePaperFunctions();
+  const auto opts = paperOptions(ConfigTimeBasis::kMeasured);
+
+  auto speedupAt = [&](double xTask) {
+    const auto workload =
+        workloadForXTask(registry, xTask, ConfigTimeBasis::kMeasured, 200);
+    return runtime::runScenario(registry, workload, opts).speedup;
+  };
+  const double tiny = speedupAt(0.002);
+  const double atMatch = speedupAt(0.0119);
+  const double mid = speedupAt(0.15);
+  const double large = speedupAt(2.0);
+  EXPECT_GT(atMatch, 30.0);  // paper: ~87x asymptotically; finite runs lower
+  EXPECT_GT(tiny, 30.0);
+  EXPECT_GT(atMatch, mid);
+  EXPECT_GT(mid, large);
+  EXPECT_LT(large, 2.0);  // the 2x cap for task-dominant calls
+}
+
+TEST(Fig5Integration, SeriesMatchAnalyticBounds) {
+  const auto series = analysis::makeFig5Series(0.17, {0.0, 0.5, 1.0}, 41);
+  ASSERT_EQ(series.size(), 3u);
+  for (const auto& s : series) {
+    ASSERT_EQ(s.x.size(), 41u);
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (s.x[i] >= 1.0) {
+        EXPECT_LE(s.y[i], 2.0 + 1e-9);  // the 2x cap
+      }
+      EXPECT_LE(s.y[i], model::upperBoundForTask(s.x[i]) + 1e-9);
+    }
+  }
+}
+
+TEST(Table2Integration, TableReproducesPaperColumns) {
+  const util::Table table = analysis::makeTable2();
+  ASSERT_EQ(table.rowCount(), 3u);
+  // Row 0: full configuration, exact byte match.
+  EXPECT_EQ(table.rowAt(0).at(1), "2381764");
+  // Normalized measured dual-PRR X_PRTR ~ 0.012 (paper Table 2).
+  EXPECT_EQ(table.rowAt(2).at(0), "Dual PRR");
+  const double xMeas = std::stod(table.rowAt(2).at(8));
+  EXPECT_NEAR(xMeas, 0.012, 0.0005);
+}
+
+TEST(Table1Integration, TableListsAllFiveRows) {
+  const util::Table table = analysis::makeTable1();
+  ASSERT_EQ(table.rowCount(), 5u);
+  EXPECT_EQ(table.rowAt(0).at(0), "Static Region");
+  EXPECT_EQ(table.rowAt(1).at(0), "PR Controller");
+  EXPECT_EQ(table.rowAt(2).at(0), "Median Filter");
+  // Table 1 quotes median at ~6% LUTs of the device (3141/47232 = 6.7%).
+  EXPECT_NE(table.rowAt(2).at(1).find("3141"), std::string::npos);
+  EXPECT_NE(table.rowAt(2).at(1).find("6.7"), std::string::npos);
+}
+
+TEST(PrefetchIntegration, OracleBeatsNoneOnLocalityWorkload) {
+  const auto registry = tasks::makeExtendedFunctions();
+  util::Rng rng{2026};
+  const auto workload =
+      tasks::makeMarkovWorkload(registry, 150, util::Bytes{2'000'000}, 0.6, rng);
+
+  runtime::ScenarioOptions none;
+  none.forceMiss = false;
+  none.prepare = runtime::PrepareSource::kNone;
+  const auto noneReport = runtime::runPrtrOnly(registry, workload, none);
+
+  runtime::ScenarioOptions oracle = none;
+  oracle.prepare = runtime::PrepareSource::kQueue;
+  const auto oracleReport = runtime::runPrtrOnly(registry, workload, oracle);
+
+  // Same miss pattern (residency-driven), but the oracle overlaps the
+  // configurations with execution, so it must finish no later.
+  EXPECT_LE(oracleReport.total.toSeconds(),
+            noneReport.total.toSeconds() * 1.0001);
+  EXPECT_GT(noneReport.configStall.toSeconds(),
+            oracleReport.configStall.toSeconds());
+}
+
+TEST(ModelValidation, MeasuredHitRatioFeedsEquationSix) {
+  // Free-running (no forceMiss) scenario: the measured H plugged into
+  // eq. (6) should predict the measured speedup.
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload = tasks::makeRoundRobinWorkload(
+      registry, 90, util::Bytes{30'000'000});
+  runtime::ScenarioOptions so;
+  so.forceMiss = false;
+  so.prepare = runtime::PrepareSource::kQueue;
+  const auto result = runtime::runScenario(registry, workload, so);
+  // 3 modules round-robin over 2 PRRs: every call misses under LRU.
+  EXPECT_NEAR(result.modelParams.hitRatio, 0.0, 1e-12);
+  EXPECT_LT(result.modelError, 0.08);
+}
+
+}  // namespace
+}  // namespace prtr

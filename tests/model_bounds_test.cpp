@@ -1,0 +1,163 @@
+// Tests for the bound analysis (Figure 5 structure, section-5 claims) with
+// parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/bounds.hpp"
+#include "model/model.hpp"
+#include "util/error.hpp"
+
+namespace prtr::model {
+namespace {
+
+TEST(RegimeTest, Classification) {
+  EXPECT_EQ(classifyRegime(0.05, 0.1), Regime::kConfigDominant);
+  EXPECT_EQ(classifyRegime(0.5, 0.1), Regime::kMidRange);
+  EXPECT_EQ(classifyRegime(1.0, 0.1), Regime::kTaskDominant);
+  EXPECT_EQ(classifyRegime(10.0, 0.1), Regime::kTaskDominant);
+  EXPECT_THROW((void)classifyRegime(-1.0, 0.1), util::DomainError);
+}
+
+TEST(UpperBoundTest, NoAsymptoteExceedsIt) {
+  for (double xTask = 0.001; xTask < 100.0; xTask *= 1.9) {
+    const double bound = upperBoundForTask(xTask);
+    for (const double xPrtr : {0.012, 0.17, 0.37, 0.9}) {
+      for (double h = 0.0; h <= 1.0; h += 0.25) {
+        EXPECT_LE(idealAsymptote(xTask, xPrtr, h), bound + 1e-9)
+            << "xTask=" << xTask << " xPrtr=" << xPrtr << " h=" << h;
+      }
+    }
+  }
+}
+
+TEST(UpperBoundTest, BoundIsTightAtFullHits) {
+  // H = 1 attains the bound exactly.
+  for (double xTask = 0.01; xTask < 50.0; xTask *= 2.3) {
+    EXPECT_NEAR(idealAsymptote(xTask, 0.1, 1.0), upperBoundForTask(xTask),
+                1e-12);
+  }
+}
+
+TEST(PeakTest, ZeroHitPeakAtMatchPoint) {
+  const Peak peak = peakSpeedup(0.0, 0.17);
+  EXPECT_DOUBLE_EQ(peak.xTask, 0.17);
+  EXPECT_NEAR(peak.speedup, (1.0 + 0.17) / 0.17, 1e-12);
+  EXPECT_FALSE(peak.unbounded);
+}
+
+TEST(PeakTest, MeasuredDualPrrPeak) {
+  const double xPrtr = 19.77 / 1678.04;
+  const Peak peak = peakSpeedup(0.0, xPrtr);
+  EXPECT_NEAR(peak.speedup, 85.9, 0.5);  // the paper rounds to "87x"
+}
+
+TEST(PeakTest, PerfectPrefetchIsUnbounded) {
+  const Peak peak = peakSpeedup(1.0, 0.1);
+  EXPECT_TRUE(peak.unbounded);
+  EXPECT_TRUE(std::isinf(peak.speedup));
+}
+
+TEST(PeakTest, HighHitRatioMovesSupremumToSmallTasks) {
+  // With M*X_PRTR < H the supremum 1/(M*X_PRTR) is approached as
+  // X_task -> 0.
+  const Peak peak = peakSpeedup(0.9, 0.1);
+  EXPECT_DOUBLE_EQ(peak.xTask, 0.0);
+  EXPECT_NEAR(peak.speedup, 1.0 / (0.1 * 0.1), 1e-9);
+  EXPECT_FALSE(peak.unbounded);
+}
+
+TEST(PeakTest, PeakValueDominatesSampledCurve) {
+  for (const double h : {0.0, 0.3, 0.6, 0.9}) {
+    for (const double xPrtr : {0.05, 0.17, 0.5}) {
+      const Peak peak = peakSpeedup(h, xPrtr);
+      for (double xTask = 1e-4; xTask < 100.0; xTask *= 1.3) {
+        EXPECT_LE(idealAsymptote(xTask, xPrtr, h), peak.speedup + 1e-9)
+            << "h=" << h << " xPrtr=" << xPrtr << " xTask=" << xTask;
+      }
+    }
+  }
+}
+
+TEST(BeneficialTest, PrtrAlwaysBeatsFrtrAtIdealOverheads) {
+  // With zero control/decision overheads PRTR can only remove
+  // configuration work, so S_inf > 1 everywhere.
+  for (double xTask = 0.001; xTask < 100.0; xTask *= 2.7) {
+    Params p;
+    p.xTask = xTask;
+    p.xPrtr = 0.1;
+    p.hitRatio = 0.0;
+    EXPECT_TRUE(prtrBeneficial(p));
+  }
+}
+
+TEST(BeneficialTest, LargeControlOverheadCanKillTheGain) {
+  Params p;
+  p.xTask = 10.0;
+  p.xPrtr = 0.5;
+  p.hitRatio = 0.0;
+  p.xControl = 0.0;
+  EXPECT_TRUE(prtrBeneficial(p));
+  // A pathological decision overhead makes PRTR lose.
+  p.xDecision = 5.0;
+  EXPECT_FALSE(prtrBeneficial(p));
+}
+
+TEST(RequiredHitRatioTest, NoHelpNeededAboveXPrtr) {
+  // For X_task >= X_PRTR, H is irrelevant: achievable iff the universal
+  // bound reaches the target.
+  EXPECT_DOUBLE_EQ(requiredHitRatio(0.5, 0.1, 2.0), 0.0);
+  EXPECT_GT(requiredHitRatio(1.0, 0.1, 3.0), 1.0);  // unattainable
+}
+
+TEST(RequiredHitRatioTest, SolvesForHBelowXPrtr) {
+  const double xTask = 0.02;
+  const double xPrtr = 0.17;
+  const double target = 10.0;
+  const double h = requiredHitRatio(xTask, xPrtr, target);
+  ASSERT_GT(h, 0.0);
+  ASSERT_LE(h, 1.0);
+  EXPECT_NEAR(idealAsymptote(xTask, xPrtr, h), target, 1e-9);
+}
+
+TEST(CrossoverTest, FindsWhereTwoConfigurationsTie) {
+  // A coarse-grained system with good prefetching (H=0.9, X_PRTR=0.3)
+  // beats a fine-grained prefetch-less one (H=0, X_PRTR=0.05) for tiny
+  // tasks and loses for mid-sized ones; the crossover is where they tie.
+  const double x = crossoverTaskSize(0.9, 0.3, 0.0, 0.05, 0.01, 0.1);
+  EXPECT_NEAR(idealAsymptote(x, 0.3, 0.9), idealAsymptote(x, 0.05, 0.0), 1e-6);
+  EXPECT_GT(x, 0.01);
+  EXPECT_LT(x, 0.1);
+}
+
+TEST(CrossoverTest, RejectsBracketsWithoutSignChange) {
+  // Identical configurations never cross with a strict sign change -> the
+  // difference is zero everywhere; distinct ones may simply not cross.
+  EXPECT_THROW((void)crossoverTaskSize(0.0, 0.1, 0.0, 0.2, 1e-3, 0.05),
+               util::DomainError);
+}
+
+TEST(DescribeBoundsTest, MentionsRegimeAndNumbers) {
+  Params p;
+  p.xTask = 2.0;
+  p.xPrtr = 0.1;
+  p.hitRatio = 0.0;
+  const std::string text = describeBounds(p);
+  EXPECT_NE(text.find("task-dominant"), std::string::npos);
+  EXPECT_NE(text.find("cannot exceed 2x"), std::string::npos);
+  EXPECT_NE(text.find("beneficial"), std::string::npos);
+}
+
+TEST(Figure5StructureTest, CurvesOrderedByHitRatioLeftOfXPrtr) {
+  // Left of X_PRTR, higher H strictly helps; right of it all curves merge.
+  const double xPrtr = 0.17;
+  const double left = 0.02;
+  EXPECT_LT(idealAsymptote(left, xPrtr, 0.0), idealAsymptote(left, xPrtr, 0.5));
+  EXPECT_LT(idealAsymptote(left, xPrtr, 0.5), idealAsymptote(left, xPrtr, 1.0));
+  const double right = 0.5;
+  EXPECT_NEAR(idealAsymptote(right, xPrtr, 0.0),
+              idealAsymptote(right, xPrtr, 1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace prtr::model

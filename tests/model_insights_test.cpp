@@ -1,0 +1,197 @@
+// Tests for break-even, mixed-workload, and sensitivity analyses.
+#include <gtest/gtest.h>
+
+#include "model/insights.hpp"
+#include "model/model.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/workload.hpp"
+#include "util/error.hpp"
+
+namespace prtr::model {
+namespace {
+
+Params baseParams() {
+  Params p;
+  p.nCalls = 100;
+  p.xTask = 0.5;
+  p.xPrtr = 0.1;
+  p.hitRatio = 0.0;
+  return p;
+}
+
+TEST(BreakEvenTest, HandComputed) {
+  Params p = baseParams();
+  // FRTR per call 1.5; PRTR per call max(0.5, 0.1) = 0.5; gain 1.0/call;
+  // leading cost 1.0 -> break-even at 2 calls.
+  const auto n = breakEvenCalls(p);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 2u);
+
+  // Verify against the totals directly.
+  p.nCalls = *n;
+  EXPECT_LT(prtrTotalNormalized(p), frtrTotalNormalized(p));
+  p.nCalls = *n - 1;
+  EXPECT_GE(prtrTotalNormalized(p), frtrTotalNormalized(p));
+}
+
+TEST(BreakEvenTest, NeverWhenOverheadsSwamp) {
+  Params p = baseParams();
+  p.xDecision = 5.0;  // decision slower than a full configuration
+  p.xTask = 10.0;
+  // per-call PRTR = max(15, 0.1) = 15 > per-call FRTR = 11.
+  EXPECT_EQ(breakEvenCalls(p), std::nullopt);
+}
+
+TEST(BreakEvenTest, TinyTasksAmortizeSlowly) {
+  Params p = baseParams();
+  p.xTask = 0.001;
+  p.xPrtr = 0.012;
+  // gain/call ~ 1.001 - 0.012 = 0.989 -> break-even at 2.
+  const auto fast = breakEvenCalls(p);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, 2u);
+  // With a big decision overhead the leading term grows.
+  p.xDecision = 0.5;
+  const auto slow = breakEvenCalls(p);
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_GT(*slow, *fast);
+}
+
+TEST(MixedTest, SingleClassReducesToCoreModel) {
+  MixedParams mixed;
+  mixed.nCalls = 100;
+  mixed.xPrtr = 0.1;
+  mixed.classes = {TaskClass{1.0, 0.5, 0.0}};
+  const Params p = baseParams();
+  EXPECT_DOUBLE_EQ(mixedFrtrTotalNormalized(mixed), frtrTotalNormalized(p));
+  EXPECT_DOUBLE_EQ(mixedPrtrTotalNormalized(mixed), prtrTotalNormalized(p));
+  EXPECT_DOUBLE_EQ(mixedSpeedup(mixed), speedup(p));
+  EXPECT_DOUBLE_EQ(mixedAsymptoticSpeedup(mixed), asymptoticSpeedup(p));
+}
+
+TEST(MixedTest, WeightsNormalizeAndMatter) {
+  MixedParams mixed;
+  mixed.nCalls = 1000;
+  mixed.xPrtr = 0.1;
+  mixed.classes = {TaskClass{3.0, 0.05, 0.0}, TaskClass{1.0, 2.0, 0.0}};
+  // Scaling all weights together changes nothing.
+  MixedParams scaled = mixed;
+  scaled.classes[0].weight = 30.0;
+  scaled.classes[1].weight = 10.0;
+  EXPECT_DOUBLE_EQ(mixedSpeedup(mixed), mixedSpeedup(scaled));
+  // The heavy-small-task mix beats a pure large-task workload.
+  MixedParams pureLarge = mixed;
+  pureLarge.classes = {TaskClass{1.0, 2.0, 0.0}};
+  EXPECT_GT(mixedAsymptoticSpeedup(mixed), mixedAsymptoticSpeedup(pureLarge));
+}
+
+TEST(MixedTest, MixIsNotTheModelOfTheMeanTask) {
+  // Folding a bimodal mix into its average task size (as the paper's
+  // single-average model must) misestimates the speedup; the class-
+  // weighted form is the exact one. This quantifies the modelling gap.
+  MixedParams mixed;
+  mixed.nCalls = 1000;
+  mixed.xPrtr = 0.1;
+  mixed.classes = {TaskClass{0.5, 0.01, 0.0}, TaskClass{0.5, 1.99, 0.0}};
+  Params averaged = baseParams();
+  averaged.nCalls = 1000;
+  averaged.xTask = 1.0;  // mean of 0.01 and 1.99
+  averaged.xPrtr = 0.1;
+  EXPECT_NE(mixedAsymptoticSpeedup(mixed), asymptoticSpeedup(averaged));
+}
+
+TEST(MixedTest, ValidatesInput) {
+  MixedParams bad;
+  bad.classes = {};
+  EXPECT_THROW(bad.validate(), util::DomainError);
+  bad.classes = {TaskClass{0.0, 1.0, 0.0}};
+  EXPECT_THROW(bad.validate(), util::DomainError);
+  bad.classes = {TaskClass{1.0, 1.0, 2.0}};
+  EXPECT_THROW(bad.validate(), util::DomainError);
+}
+
+TEST(MixedTest, MatchesSimulatorOnBimodalWorkload) {
+  // End-to-end: a 50/50 bimodal workload on the simulated XD1; the class-
+  // weighted model predicts the measured speedup.
+  const auto registry = tasks::makePaperFunctions();
+  tasks::Workload workload{"bimodal", {}};
+  const util::Bytes small{2'000'000};
+  const util::Bytes large{120'000'000};
+  for (int i = 0; i < 60; ++i) {
+    workload.calls.push_back(tasks::TaskCall{
+        static_cast<std::size_t>(i % 3), (i % 2 == 0) ? small : large});
+  }
+  runtime::ScenarioOptions so;
+  so.forceMiss = true;
+  const auto result = runtime::runScenario(registry, workload, so);
+
+  // Build the mixed model from the same platform calibration.
+  sim::Simulator sim;
+  const xd1::Node node{sim};
+  const ConfigTimes times = configTimes(node);
+  const double tFrtr = times.fullMeasured.toSeconds();
+  MixedParams mixed;
+  mixed.nCalls = workload.callCount();
+  mixed.xPrtr = times.partialMeasured.toSeconds() / tFrtr;
+  mixed.xControl = 10e-6 / tFrtr;
+  mixed.classes = {
+      TaskClass{0.5, taskTime(node, registry.at(0), small).toSeconds() / tFrtr,
+                0.0},
+      TaskClass{0.5, taskTime(node, registry.at(0), large).toSeconds() / tFrtr,
+                0.0}};
+  const double predicted = mixedSpeedup(mixed);
+  EXPECT_NEAR(result.speedup, predicted, predicted * 0.06);
+}
+
+TEST(SensitivityTest, ZeroSigmaIsDeterministic) {
+  const Params p = baseParams();
+  const SensitivityResult r = sensitivity(p, Perturbation{}, 100, 5);
+  EXPECT_NEAR(r.speedup.stddev(), 0.0, 1e-12);
+  EXPECT_NEAR(r.p50, asymptoticSpeedup(p), 1e-12);
+}
+
+TEST(SensitivityTest, SpreadGrowsWithSigma) {
+  const Params p = baseParams();
+  Perturbation narrow;
+  narrow.xTask = 0.05;
+  Perturbation wide;
+  wide.xTask = 0.3;
+  const auto rNarrow = sensitivity(p, narrow, 4000, 7);
+  const auto rWide = sensitivity(p, wide, 4000, 7);
+  EXPECT_LT(rNarrow.speedup.stddev(), rWide.speedup.stddev());
+  EXPECT_LE(rWide.p05, rWide.p50);
+  EXPECT_LE(rWide.p50, rWide.p95);
+}
+
+TEST(SensitivityTest, DeterministicForSeed) {
+  const Params p = baseParams();
+  Perturbation sigma;
+  sigma.xTask = 0.1;
+  sigma.hitRatio = 0.05;
+  const auto a = sensitivity(p, sigma, 500, 42);
+  const auto b = sensitivity(p, sigma, 500, 42);
+  EXPECT_DOUBLE_EQ(a.speedup.mean(), b.speedup.mean());
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+}
+
+TEST(SensitivityTest, MedianTracksBaseValueAwayFromThePeak) {
+  // On a smooth monotone stretch of the curve the median follows the base
+  // value. (At the X_task = X_PRTR peak it cannot: every perturbation
+  // moves downhill, so the whole distribution sits below the base --
+  // exactly why error bars matter near the optimum.)
+  Params p = baseParams();  // xTask = 0.5, well right of the 0.1 peak
+  Perturbation sigma;
+  sigma.xTask = 0.1;
+  sigma.xPrtr = 0.1;
+  const auto r = sensitivity(p, sigma, 8000, 11);
+  EXPECT_NEAR(r.p50, asymptoticSpeedup(p), asymptoticSpeedup(p) * 0.05);
+
+  // And at the peak the median falls below the base value.
+  Params atPeak = baseParams();
+  atPeak.xTask = 0.1;
+  const auto rPeak = sensitivity(atPeak, sigma, 8000, 11);
+  EXPECT_LT(rPeak.p50, asymptoticSpeedup(atPeak));
+}
+
+}  // namespace
+}  // namespace prtr::model

@@ -1,0 +1,210 @@
+// Tests for equations (1)-(7): hand-computed values, limits, and the
+// paper's headline numbers (7x estimated / ~86x measured peaks, 2x cap).
+#include <gtest/gtest.h>
+
+#include "model/model.hpp"
+#include "util/error.hpp"
+
+namespace prtr::model {
+namespace {
+
+Params baseParams() {
+  Params p;
+  p.nCalls = 100;
+  p.xTask = 0.5;
+  p.xPrtr = 0.1;
+  p.xControl = 0.0;
+  p.xDecision = 0.0;
+  p.hitRatio = 0.0;
+  return p;
+}
+
+TEST(ParamsTest, ValidationRejectsBadDomains) {
+  Params p = baseParams();
+  p.xTask = 0.0;
+  EXPECT_THROW(p.validate(), util::DomainError);
+  p = baseParams();
+  p.xPrtr = 1.5;  // a partial config cannot exceed the full config
+  EXPECT_THROW(p.validate(), util::DomainError);
+  p = baseParams();
+  p.hitRatio = -0.1;
+  EXPECT_THROW(p.validate(), util::DomainError);
+  p = baseParams();
+  p.nCalls = 0;
+  EXPECT_THROW(p.validate(), util::DomainError);
+  EXPECT_NO_THROW(baseParams().validate());
+}
+
+TEST(AbsoluteParamsTest, NormalizationDividesByTFrtr) {
+  AbsoluteParams abs;
+  abs.nCalls = 10;
+  abs.tFrtr = util::Time::milliseconds(100);
+  abs.tPrtr = util::Time::milliseconds(10);
+  abs.tTask = util::Time::milliseconds(50);
+  abs.tControl = util::Time::microseconds(100);
+  abs.tDecision = util::Time::microseconds(50);
+  abs.hitRatio = 0.25;
+  const Params p = abs.normalized();
+  EXPECT_DOUBLE_EQ(p.xPrtr, 0.1);
+  EXPECT_DOUBLE_EQ(p.xTask, 0.5);
+  EXPECT_DOUBLE_EQ(p.xControl, 1e-3);
+  EXPECT_DOUBLE_EQ(p.xDecision, 5e-4);
+  EXPECT_DOUBLE_EQ(p.missRatio(), 0.75);
+}
+
+TEST(Eq2Test, FrtrTotalHandComputed) {
+  Params p = baseParams();
+  p.nCalls = 100;
+  p.xTask = 0.5;
+  p.xControl = 0.01;
+  // X_total = n (1 + Xc + Xt) = 100 * 1.51 = 151.
+  EXPECT_DOUBLE_EQ(frtrTotalNormalized(p), 151.0);
+}
+
+TEST(Eq5Test, PrtrTotalHandComputedAllMisses) {
+  Params p = baseParams();  // H = 0
+  // X_total = 1 + 0 + 100 * (0 + 1*max(0.5, 0.1)) = 1 + 50 = 51.
+  EXPECT_DOUBLE_EQ(prtrTotalNormalized(p), 51.0);
+}
+
+TEST(Eq5Test, PrtrTotalHandComputedMixed) {
+  Params p = baseParams();
+  p.hitRatio = 0.6;
+  p.xControl = 0.01;
+  p.xDecision = 0.02;
+  // per call: 0.01 + 0.4*max(0.52, 0.1) + 0.6*0.52 = 0.01+0.208+0.312 = 0.53
+  // total: 1 + 0.02 + 100*0.53 = 54.02
+  EXPECT_NEAR(prtrTotalNormalized(p), 54.02, 1e-12);
+}
+
+TEST(Eq5Test, ConfigDominantMissesPayXPrtr) {
+  Params p = baseParams();
+  p.xTask = 0.05;  // below X_PRTR = 0.1
+  // per call: max(0.05, 0.1) = 0.1; total = 1 + 100*0.1 = 11.
+  EXPECT_DOUBLE_EQ(prtrTotalNormalized(p), 11.0);
+}
+
+TEST(Eq6Test, SpeedupRatio) {
+  Params p = baseParams();
+  // S = 100*1.5 / 51.
+  EXPECT_NEAR(speedup(p), 150.0 / 51.0, 1e-12);
+}
+
+TEST(Eq7Test, AsymptoteIsLimitOfEq6) {
+  Params p = baseParams();
+  const double sInf = asymptoticSpeedup(p);
+  p.nCalls = 100'000'000;
+  EXPECT_NEAR(speedup(p), sInf, 1e-5);
+  // And the finite-call speedup approaches it from below (the initial full
+  // configuration penalizes short runs).
+  p.nCalls = 10;
+  EXPECT_LT(speedup(p), sInf);
+}
+
+TEST(Eq7Test, TaskDominantCapsAtTwo) {
+  // Paper section 3.1: for X_task > 1, S cannot exceed 2 for any H.
+  for (const double h : {0.0, 0.3, 0.7, 1.0}) {
+    for (const double xTask : {1.0, 2.0, 10.0, 100.0}) {
+      Params p = baseParams();
+      p.xTask = xTask;
+      p.hitRatio = h;
+      const double s = asymptoticSpeedup(p);
+      EXPECT_LE(s, 2.0 + 1e-12) << "h=" << h << " xTask=" << xTask;
+      EXPECT_NEAR(s, 1.0 + 1.0 / xTask, 1e-12);
+    }
+  }
+}
+
+TEST(Eq7Test, PerfectHitRatioIsTaskOnly) {
+  Params p = baseParams();
+  p.hitRatio = 1.0;
+  // S_inf = (1 + Xt) / Xt, independent of X_PRTR.
+  for (const double xPrtr : {0.01, 0.1, 0.9}) {
+    p.xPrtr = xPrtr;
+    EXPECT_NEAR(asymptoticSpeedup(p), (1.0 + p.xTask) / p.xTask, 1e-12);
+  }
+}
+
+TEST(Eq7Test, ZeroHitPeaksAtXPrtr) {
+  // H = 0: the peak sits exactly at X_task = X_PRTR (paper Figure 5).
+  Params p = baseParams();
+  p.xPrtr = 0.17;  // estimated dual-PRR (Table 2)
+  p.xTask = 0.17;
+  const double peak = asymptoticSpeedup(p);
+  EXPECT_NEAR(peak, (1.0 + 0.17) / 0.17, 1e-12);  // ~6.88 ("7 times")
+  EXPECT_NEAR(peak, 6.88, 0.01);
+  for (const double xTask : {0.05, 0.1, 0.3, 0.9}) {
+    p.xTask = xTask;
+    EXPECT_LT(asymptoticSpeedup(p), peak);
+  }
+}
+
+TEST(Eq7Test, MeasuredDualPrrPeakNear87x) {
+  // Paper section 5: "the peak performance ... can reach up to 87x".
+  Params p = baseParams();
+  p.xPrtr = 19.77 / 1678.04;  // measured dual-PRR normalization
+  p.xTask = p.xPrtr;
+  const double peak = asymptoticSpeedup(p);
+  EXPECT_GT(peak, 80.0);
+  EXPECT_LT(peak, 90.0);
+}
+
+TEST(Eq7Test, OverheadsReduceSpeedup) {
+  // Paper: "These overheads will reduce the final performance if non-zero
+  // values are considered."
+  Params ideal = baseParams();
+  Params withControl = ideal;
+  withControl.xControl = 0.05;
+  Params withDecision = ideal;
+  withDecision.xDecision = 0.05;
+  EXPECT_LT(asymptoticSpeedup(withControl), asymptoticSpeedup(ideal));
+  EXPECT_LT(asymptoticSpeedup(withDecision), asymptoticSpeedup(ideal));
+}
+
+TEST(Eq7Test, MonotonicallyDecreasingForHighH) {
+  Params p = baseParams();
+  p.hitRatio = 0.99;
+  double prev = 1e300;
+  for (double xTask = 0.001; xTask < 100.0; xTask *= 1.5) {
+    p.xTask = xTask;
+    const double s = asymptoticSpeedup(p);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(AbsoluteTimesTest, ScaleBackByTFrtr) {
+  AbsoluteParams abs;
+  abs.nCalls = 10;
+  abs.tFrtr = util::Time::milliseconds(100);
+  abs.tPrtr = util::Time::milliseconds(10);
+  abs.tTask = util::Time::milliseconds(50);
+  const util::Time frtr = frtrTotalTime(abs);
+  // 10 * (100 + 0 + 50) ms = 1.5 s.
+  EXPECT_NEAR(frtr.toSeconds(), 1.5, 1e-9);
+  const util::Time prtr = prtrTotalTime(abs);
+  // 100 ms + 10 * max(50, 10) ms = 0.6 s.
+  EXPECT_NEAR(prtr.toSeconds(), 0.6, 1e-9);
+}
+
+TEST(SpeedupMonotonicityTest, MoreHitsNeverHurt) {
+  // Property: S_inf is non-decreasing in H whenever X_task < X_PRTR... and
+  // exactly flat when X_task >= X_PRTR (misses already pay only the task).
+  for (const double xPrtr : {0.05, 0.2, 0.6}) {
+    for (double xTask = 0.01; xTask < 2.0; xTask *= 1.7) {
+      double prev = -1.0;
+      for (double h = 0.0; h <= 1.0; h += 0.1) {
+        Params p = baseParams();
+        p.xPrtr = xPrtr;
+        p.xTask = xTask;
+        p.hitRatio = h;
+        const double s = asymptoticSpeedup(p);
+        EXPECT_GE(s, prev - 1e-12);
+        prev = s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prtr::model

@@ -1,0 +1,191 @@
+// Parameterized property sweeps over the executors: across bases, layouts,
+// and task sizes, the simulation must (a) never beat the analytical model,
+// (b) stay within a documented tolerance of it, (c) conserve its own time
+// breakdown, and (d) be bit-deterministic.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/model.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/workload.hpp"
+
+namespace prtr::runtime {
+namespace {
+
+using model::ConfigTimeBasis;
+
+using SweepParam = std::tuple<ConfigTimeBasis, double /*xTask*/>;
+
+class ExecutorSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static tasks::Workload workloadFor(const tasks::FunctionRegistry& registry,
+                                     ConfigTimeBasis basis, double xTask,
+                                     std::size_t calls) {
+    sim::Simulator sim;
+    const xd1::Node node{sim};
+    const model::ConfigTimes times = model::configTimes(node);
+    const util::Bytes bytes = model::bytesForTaskTime(
+        node, registry.byName("median"),
+        util::Time::seconds(xTask * times.full(basis).toSeconds()));
+    return tasks::makeRoundRobinWorkload(registry, calls, bytes);
+  }
+};
+
+TEST_P(ExecutorSweep, SimulationBoundedByAndNearModel) {
+  const auto [basis, xTask] = GetParam();
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload = workloadFor(registry, basis, xTask, 50);
+
+  ScenarioOptions so;
+  so.basis = basis;
+  so.forceMiss = true;
+  const ScenarioResult result = runScenario(registry, workload, so);
+
+  // The model's overlap is an upper bound on what the dual-channel
+  // hardware can implement.
+  EXPECT_LE(result.speedup, result.modelSpeedup * 1.002);
+  // And the simulator tracks it within the documented tolerance.
+  EXPECT_LT(result.modelError, 0.13) << "basis=" << toString(basis)
+                                     << " xTask=" << xTask;
+  EXPECT_GE(result.speedup, 1.0);
+}
+
+TEST_P(ExecutorSweep, BreakdownConservation) {
+  const auto [basis, xTask] = GetParam();
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload = workloadFor(registry, basis, xTask, 25);
+
+  ScenarioOptions so;
+  so.basis = basis;
+  so.forceMiss = true;
+  const ExecutionReport report = runPrtrOnly(registry, workload, so);
+
+  // Categories never exceed the total (some phases overlap configs).
+  const double categories =
+      (report.initialConfig + report.configStall + report.decisionTime +
+       report.controlTime + report.inputTime + report.computeTime +
+       report.outputTime)
+          .toSeconds();
+  EXPECT_LE(categories, report.total.toSeconds() * 1.000001);
+  EXPECT_EQ(report.calls, workload.callCount());
+  EXPECT_GE(report.hitRatio(), 0.0);
+  EXPECT_LE(report.hitRatio(), 1.0);
+}
+
+TEST_P(ExecutorSweep, Determinism) {
+  const auto [basis, xTask] = GetParam();
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload = workloadFor(registry, basis, xTask, 20);
+
+  ScenarioOptions so;
+  so.basis = basis;
+  so.forceMiss = true;
+  const ExecutionReport a = runPrtrOnly(registry, workload, so);
+  const ExecutionReport b = runPrtrOnly(registry, workload, so);
+  EXPECT_EQ(a.total, b.total);  // exact, integer picoseconds
+  EXPECT_EQ(a.configurations, b.configurations);
+  EXPECT_EQ(a.configStall, b.configStall);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasisTimesTask, ExecutorSweep,
+    ::testing::Combine(::testing::Values(ConfigTimeBasis::kEstimated,
+                                         ConfigTimeBasis::kMeasured),
+                       ::testing::Values(0.01, 0.1, 0.5, 2.0, 10.0)),
+    [](const ::testing::TestParamInfo<SweepParam>& paramInfo) {
+      std::string name = std::get<0>(paramInfo.param) == ConfigTimeBasis::kEstimated
+                             ? "est"
+                             : "meas";
+      name += "_x";
+      for (const char c : std::to_string(std::get<1>(paramInfo.param))) {
+        name += (c == '.') ? 'p' : c;
+      }
+      return name;
+    });
+
+class FrtrLinearity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrtrLinearity, TotalScalesLinearlyWithCalls) {
+  // FRTR has no cross-call state: T(n) = n * T(1) exactly (modulo the
+  // fixed per-run bookkeeping, which is zero here).
+  const std::size_t n = GetParam();
+  const auto registry = tasks::makePaperFunctions();
+  tasks::Workload one{"one", {tasks::TaskCall{0, util::Bytes{5'000'000}}}};
+  tasks::Workload many{"many", {}};
+  for (std::size_t i = 0; i < n; ++i) many.calls.push_back(one.calls[0]);
+
+  ScenarioOptions so;
+  so.forceMiss = true;
+
+  auto runFrtr = [&](const tasks::Workload& w) {
+    sim::Simulator sim;
+    xd1::Node node{sim};
+    bitstream::Library library{
+        node.floorplan(),
+        registry.moduleSpecs(node.floorplan().prr(0).resources(node.device()))};
+    ExecutorOptions eo;
+    eo.forceMiss = true;
+    FrtrExecutor frtr{node, registry, library, eo};
+    return frtr.run(w);
+  };
+  const auto tOne = runFrtr(one).total;
+  const auto tMany = runFrtr(many).total;
+  EXPECT_EQ(tMany.ps(), tOne.ps() * static_cast<std::int64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(CallCounts, FrtrLinearity,
+                         ::testing::Values(2, 7, 31));
+
+class LayoutSweep : public ::testing::TestWithParam<xd1::Layout> {};
+
+TEST_P(LayoutSweep, PrtrBeatsFrtrOnEveryLayout) {
+  const xd1::Layout layout = GetParam();
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 30, util::Bytes{20'000'000});
+  ScenarioOptions so;
+  so.layout = layout;
+  so.forceMiss = true;
+  const ScenarioResult result = runScenario(registry, workload, so);
+  EXPECT_GT(result.speedup, 1.0) << toString(layout);
+}
+
+TEST_P(LayoutSweep, FinerLayoutsConfigureFaster) {
+  // Partial bitstream size, and hence configuration time, shrinks with
+  // the region: single > dual > quad.
+  sim::Simulator sim;
+  xd1::NodeConfig cfg;
+  cfg.layout = GetParam();
+  const xd1::Node node{sim, cfg};
+  const util::Bytes partial =
+      node.floorplan().prr(0).partialBitstreamBytes(node.device());
+  switch (GetParam()) {
+    case xd1::Layout::kSinglePrr:
+      EXPECT_GT(partial.count(), 800'000u);
+      break;
+    case xd1::Layout::kDualPrr:
+      EXPECT_GT(partial.count(), 390'000u);
+      EXPECT_LT(partial.count(), 420'000u);
+      break;
+    case xd1::Layout::kQuadPrr:
+      EXPECT_LT(partial.count(), 320'000u);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, LayoutSweep,
+                         ::testing::Values(xd1::Layout::kSinglePrr,
+                                           xd1::Layout::kDualPrr,
+                                           xd1::Layout::kQuadPrr),
+                         [](const auto& paramInfo) {
+                           switch (paramInfo.param) {
+                             case xd1::Layout::kSinglePrr: return "single";
+                             case xd1::Layout::kDualPrr: return "dual";
+                             case xd1::Layout::kQuadPrr: return "quad";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace prtr::runtime

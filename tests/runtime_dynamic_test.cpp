@@ -1,0 +1,154 @@
+// Tests for the dynamic (right-sized region) PRTR executor.
+#include <gtest/gtest.h>
+
+#include "runtime/dynamic_executor.hpp"
+#include "runtime/executor.hpp"
+#include "util/error.hpp"
+
+namespace prtr::runtime {
+namespace {
+
+struct DynHarness {
+  sim::Simulator sim;
+  xd1::Node node{sim};
+  tasks::FunctionRegistry registry = tasks::makeExtendedFunctions();
+};
+
+TEST(DynamicExecutorTest, WidthsTrackFootprints) {
+  DynHarness h;
+  DynamicPrtrExecutor executor{h.node, h.registry};
+  // A CLB column holds 704 LUT/FF pairs.
+  EXPECT_EQ(executor.widthFor(h.registry.byName("median")), 5u);   // 3270/704
+  EXPECT_EQ(executor.widthFor(h.registry.byName("sobel")), 2u);    // 1159/704
+  EXPECT_EQ(executor.widthFor(h.registry.byName("threshold")), 1u);
+}
+
+TEST(DynamicExecutorTest, RejectsHeterogeneousRange) {
+  DynHarness h;
+  DynamicOptions options;
+  options.firstColumn = 14;  // includes the BRAM column at 15
+  options.columnCount = 4;
+  EXPECT_THROW((DynamicPrtrExecutor{h.node, h.registry, options}),
+               util::DomainError);
+}
+
+TEST(DynamicExecutorTest, WholeLibraryStaysResident) {
+  // All 8 extended functions need 5+2+3+5+1+3+2+2 = 23 columns < 34: the
+  // entire hardware library fits at once, so after warm-up there are no
+  // reconfigurations at all -- the "system density" argument of section 5.
+  DynHarness h;
+  DynamicPrtrExecutor executor{h.node, h.registry};
+  const auto w =
+      tasks::makeRoundRobinWorkload(h.registry, 80, util::Bytes{1'000'000});
+  const DynamicReport report = executor.run(w);
+  EXPECT_EQ(report.base.configurations, h.registry.size());
+  EXPECT_EQ(report.evictions, 0u);
+  EXPECT_NEAR(report.base.hitRatio(),
+              1.0 - static_cast<double>(h.registry.size()) / 80.0, 1e-12);
+}
+
+TEST(DynamicExecutorTest, ConfigurationCostScalesWithModuleWidth) {
+  // sobel (2 columns, 44 frames) must configure much faster than a fixed
+  // 380-frame dual PRR would.
+  DynHarness h;
+  DynamicPrtrExecutor executor{h.node, h.registry};
+  tasks::Workload w{"sobel-once", {tasks::TaskCall{1, util::Bytes{1'000}}}};
+  const DynamicReport report = executor.run(w);
+  // 44-frame stream ~ 46.9 kB at 20.31 MB/s ~ 2.3 ms, far below the
+  // 19.9 ms of the fixed dual-PRR stream.
+  EXPECT_LT(report.base.configStall.toMilliseconds(), 4.0);
+  EXPECT_GT(report.base.configStall.toMilliseconds(), 1.0);
+}
+
+TEST(DynamicExecutorTest, EvictionWhenLibraryExceedsFabric) {
+  // Shrink the managed range so the library cannot fully co-reside.
+  DynHarness h;
+  DynamicOptions options;
+  options.columnCount = 8;  // columns 16..23 only
+  DynamicPrtrExecutor executor{h.node, h.registry, options};
+  // Cycle the three widest paper filters (5+3+5 = 13 > 8 columns).
+  tasks::Workload w{"wide", {}};
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t fns[] = {0, 2, 3};  // median, smoothing, gaussian
+    w.calls.push_back(tasks::TaskCall{fns[i % 3], util::Bytes{500'000}});
+  }
+  const DynamicReport report = executor.run(w);
+  EXPECT_GT(report.evictions, 0u);
+  EXPECT_GT(report.base.configurations, 10u);
+}
+
+TEST(DynamicExecutorTest, DefragRescuesFragmentedFabric) {
+  DynHarness h;
+  DynamicOptions options;
+  options.columnCount = 12;
+  options.defragOnDemand = true;
+  DynamicPrtrExecutor executor{h.node, h.registry, options};
+  // Alternate narrow and wide modules to fragment the 12-column range.
+  tasks::Workload w{"frag", {}};
+  const std::size_t seq[] = {4, 1, 5, 0, 4, 2, 0, 7, 3, 1, 0, 6};
+  for (int round = 0; round < 4; ++round) {
+    for (const std::size_t f : seq) {
+      w.calls.push_back(tasks::TaskCall{f, util::Bytes{300'000}});
+    }
+  }
+  const DynamicReport report = executor.run(w);
+  EXPECT_EQ(report.base.calls, 48u);
+  // The run completes (no "wider than fabric" throw) and compactions ran.
+  EXPECT_GT(report.defragRuns + report.evictions, 0u);
+}
+
+TEST(DynamicExecutorTest, BeatsFixedDualPrrOnConfigDominatedMix) {
+  // Small-data calls over 5 distinct modules: the fixed dual-PRR layout
+  // thrashes 380-frame reconfigurations; right-sized regions keep all
+  // five modules resident and configure 5-9x less data when they do load.
+  const auto registry = tasks::makeExtendedFunctions();
+  tasks::Workload w{"mix", {}};
+  for (int i = 0; i < 60; ++i) {
+    w.calls.push_back(
+        tasks::TaskCall{static_cast<std::size_t>(i % 5), util::Bytes{200'000}});
+  }
+
+  double fixedSteadyState = 0.0;
+  {
+    sim::Simulator sim;
+    xd1::Node node{sim};
+    bitstream::Library library{
+        node.floorplan(),
+        registry.moduleSpecs(node.floorplan().prr(0).resources(node.device()))};
+    LruCache cache{2};
+    NonePrefetcher prefetcher;
+    ExecutorOptions eo;
+    eo.forceMiss = false;
+    eo.prepare = PrepareSource::kNone;  // both sides unoverlapped
+    PrtrExecutor fixed{node, registry, library, cache, prefetcher, eo};
+    const ExecutionReport fixedReport = fixed.run(w);
+    fixedSteadyState =
+        (fixedReport.total - fixedReport.initialConfig).toSeconds();
+  }
+
+  DynHarness h;
+  DynamicPrtrExecutor dynamic{h.node, h.registry};
+  const DynamicReport report = dynamic.run(w);
+  // Both pay the same 1.678 s initial full configuration; the steady state
+  // is where right-sizing wins (resident library, 5-9x smaller streams).
+  const double dynamicSteadyState =
+      (report.base.total - report.base.initialConfig).toSeconds();
+  EXPECT_LT(dynamicSteadyState, fixedSteadyState * 0.25);
+}
+
+TEST(DynamicExecutorTest, DeterministicAcrossRuns) {
+  const auto run = [] {
+    DynHarness h;
+    DynamicPrtrExecutor executor{h.node, h.registry};
+    const auto w =
+        tasks::makeRoundRobinWorkload(h.registry, 40, util::Bytes{750'000});
+    return executor.run(w);
+  };
+  const DynamicReport a = run();
+  const DynamicReport b = run();
+  EXPECT_EQ(a.base.total, b.base.total);
+  EXPECT_EQ(a.base.configurations, b.base.configurations);
+}
+
+}  // namespace
+}  // namespace prtr::runtime

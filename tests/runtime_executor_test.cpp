@@ -1,0 +1,291 @@
+// Tests for the FRTR and PRTR executors against hand-computed timing and
+// the analytical model.
+#include <gtest/gtest.h>
+
+#include "bitstream/library.hpp"
+#include "model/calibration.hpp"
+#include "model/model.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/hwfunction.hpp"
+#include "tasks/workload.hpp"
+#include "util/stats.hpp"
+#include "xd1/node.hpp"
+
+namespace prtr::runtime {
+namespace {
+
+using model::ConfigTimeBasis;
+
+struct Harness {
+  sim::Simulator sim;
+  xd1::Node node;
+  tasks::FunctionRegistry registry;
+  bitstream::Library library;
+
+  explicit Harness(xd1::Layout layout = xd1::Layout::kDualPrr)
+      : node(sim,
+             [&] {
+               xd1::NodeConfig c;
+               c.layout = layout;
+               return c;
+             }()),
+        registry(tasks::makePaperFunctions()),
+        library(node.floorplan(),
+                registry.moduleSpecs(
+                    node.floorplan().prr(0).resources(node.device()))) {}
+};
+
+TEST(FrtrExecutorTest, TotalTimeMatchesEquation1) {
+  Harness h;
+  ExecutorOptions opts;
+  opts.basis = ConfigTimeBasis::kMeasured;
+  opts.tControl = util::Time::microseconds(10);
+  FrtrExecutor executor{h.node, h.registry, h.library, opts};
+
+  const util::Bytes data{10'000'000};
+  const auto workload = tasks::makeRoundRobinWorkload(h.registry, 12, data);
+  const ExecutionReport report = executor.run(workload);
+
+  EXPECT_EQ(report.calls, 12u);
+  EXPECT_EQ(report.configurations, 12u);  // one full config per call
+
+  model::AbsoluteParams abs;
+  abs.nCalls = 12;
+  const model::ConfigTimes times = model::configTimes(h.node);
+  abs.tFrtr = times.fullMeasured;
+  abs.tPrtr = times.partialMeasured;
+  abs.tTask = model::taskTime(h.node, h.registry.at(0), data);
+  abs.tControl = opts.tControl;
+  const double expected = model::frtrTotalTime(abs).toSeconds();
+  EXPECT_NEAR(report.total.toSeconds(), expected, expected * 0.01);
+}
+
+TEST(FrtrExecutorTest, EstimatedBasisUsesRawSelectMap) {
+  Harness h;
+  ExecutorOptions opts;
+  opts.basis = ConfigTimeBasis::kEstimated;
+  opts.tControl = util::Time::zero();
+  FrtrExecutor executor{h.node, h.registry, h.library, opts};
+  const auto workload =
+      tasks::makeRoundRobinWorkload(h.registry, 3, util::Bytes{1000});
+  const ExecutionReport report = executor.run(workload);
+  // Dominated by 3 x 36.09 ms estimated full configurations.
+  EXPECT_NEAR(report.total.toMilliseconds(), 3 * 36.09, 1.0);
+}
+
+TEST(FrtrExecutorTest, BreakdownAddsUp) {
+  Harness h;
+  ExecutorOptions opts;
+  FrtrExecutor executor{h.node, h.registry, h.library, opts};
+  const auto workload =
+      tasks::makeRoundRobinWorkload(h.registry, 5, util::Bytes{1'000'000});
+  const ExecutionReport r = executor.run(workload);
+  const double parts = (r.configStall + r.controlTime + r.inputTime +
+                        r.computeTime + r.outputTime)
+                           .toSeconds();
+  EXPECT_NEAR(parts, r.total.toSeconds(), r.total.toSeconds() * 1e-6);
+  EXPECT_GT(r.configOverheadFraction(), 0.9);  // FRTR overhead dominates here
+}
+
+TEST(PrtrExecutorTest, ForceMissMatchesEquation5) {
+  // The paper's experimental setting: dual PRR, H = 0, queue look-ahead.
+  Harness h;
+  ExecutorOptions opts;
+  opts.basis = ConfigTimeBasis::kMeasured;
+  opts.tControl = util::Time::microseconds(10);
+  opts.forceMiss = true;
+  opts.prepare = PrepareSource::kQueue;
+  LruCache cache{2};
+  NonePrefetcher prefetcher;
+  PrtrExecutor executor{h.node, h.registry, h.library, cache, prefetcher, opts};
+
+  const util::Bytes data{30'000'000};  // X_task ~ 0.1 (mid-range)
+  const auto workload = tasks::makeRoundRobinWorkload(h.registry, 50, data);
+  const ExecutionReport report = executor.run(workload);
+
+  EXPECT_EQ(report.calls, 50u);
+  EXPECT_EQ(report.configurations, 50u);  // always reconfigures
+  EXPECT_DOUBLE_EQ(report.hitRatio(), 0.0);
+
+  model::AbsoluteParams abs;
+  abs.nCalls = 50;
+  const model::ConfigTimes times = model::configTimes(h.node);
+  abs.tFrtr = times.fullMeasured;
+  abs.tPrtr = times.partialMeasured;
+  abs.tTask = model::taskTime(h.node, h.registry.at(0), data);
+  abs.tControl = opts.tControl;
+  abs.hitRatio = 0.0;
+  const double expected = model::prtrTotalTime(abs).toSeconds();
+  // The simulator can only overlap configuration with the post-input part
+  // of the previous task, so it runs slightly above the model.
+  EXPECT_NEAR(report.total.toSeconds(), expected, expected * 0.05);
+  EXPECT_GE(report.total.toSeconds(), expected * 0.999);
+}
+
+TEST(PrtrExecutorTest, RepeatedModuleHitsWithoutForceMiss) {
+  Harness h;
+  ExecutorOptions opts;
+  opts.forceMiss = false;
+  opts.prepare = PrepareSource::kQueue;
+  LruCache cache{2};
+  NonePrefetcher prefetcher;
+  PrtrExecutor executor{h.node, h.registry, h.library, cache, prefetcher, opts};
+
+  // 20 calls of the same function: 1 miss then 19 hits.
+  tasks::Workload w{"same", {}};
+  for (int i = 0; i < 20; ++i) {
+    w.calls.push_back(tasks::TaskCall{0, util::Bytes{1'000'000}});
+  }
+  const ExecutionReport report = executor.run(w);
+  EXPECT_EQ(report.configurations, 1u);
+  EXPECT_NEAR(report.hitRatio(), 19.0 / 20.0, 1e-12);
+}
+
+TEST(PrtrExecutorTest, TwoModulesFitTwoPrrsAfterWarmup) {
+  Harness h;
+  ExecutorOptions opts;
+  opts.forceMiss = false;
+  opts.prepare = PrepareSource::kQueue;
+  LruCache cache{2};
+  NonePrefetcher prefetcher;
+  PrtrExecutor executor{h.node, h.registry, h.library, cache, prefetcher, opts};
+
+  // Alternating median/sobel: both stay resident after the first two loads.
+  tasks::Workload w{"alt", {}};
+  for (int i = 0; i < 30; ++i) {
+    w.calls.push_back(
+        tasks::TaskCall{static_cast<std::size_t>(i % 2), util::Bytes{500'000}});
+  }
+  const ExecutionReport report = executor.run(w);
+  EXPECT_EQ(report.configurations, 2u);
+  EXPECT_NEAR(report.hitRatio(), 28.0 / 30.0, 1e-12);
+}
+
+TEST(PrtrExecutorTest, ThreeModulesThrashTwoPrrs) {
+  Harness h;
+  ExecutorOptions opts;
+  opts.forceMiss = false;
+  opts.prepare = PrepareSource::kQueue;
+  LruCache cache{2};
+  NonePrefetcher prefetcher;
+  PrtrExecutor executor{h.node, h.registry, h.library, cache, prefetcher, opts};
+
+  // Round-robin over 3 modules with 2 slots: mostly misses (classic LRU
+  // pathological case), but the look-ahead still overlaps the loads.
+  const auto w = tasks::makeRoundRobinWorkload(h.registry, 30, util::Bytes{500'000});
+  const ExecutionReport report = executor.run(w);
+  EXPECT_GT(report.configurations, 25u);
+}
+
+TEST(PrtrExecutorTest, SinglePrrFallsBackToOnDemand) {
+  Harness h{xd1::Layout::kSinglePrr};
+  ExecutorOptions opts;
+  opts.forceMiss = true;
+  opts.prepare = PrepareSource::kQueue;
+  LruCache cache{1};
+  NonePrefetcher prefetcher;
+  PrtrExecutor executor{h.node, h.registry, h.library, cache, prefetcher, opts};
+
+  const util::Bytes data{10'000'000};
+  const auto w = tasks::makeRoundRobinWorkload(h.registry, 10, data);
+  const ExecutionReport report = executor.run(w);
+  EXPECT_EQ(report.configurations, 10u);
+  // With one PRR nothing can overlap: config stall is roughly
+  // n * T_PRTR(single) = 10 * ~43.5 ms.
+  EXPECT_GT(report.configStall.toMilliseconds(), 10 * 43.0);
+}
+
+TEST(PrtrExecutorTest, CacheSlotMismatchRejected) {
+  Harness h;  // dual PRR
+  ExecutorOptions opts;
+  LruCache cache{3};
+  NonePrefetcher prefetcher;
+  EXPECT_THROW(
+      (PrtrExecutor{h.node, h.registry, h.library, cache, prefetcher, opts}),
+      util::DomainError);
+}
+
+TEST(PrtrExecutorTest, MarkovPrefetcherOverlapsCyclicWorkload) {
+  // A deterministic 3-cycle over 2 PRRs: every call misses, but a trained
+  // Markov predictor knows the next module and overlaps its configuration.
+  auto runCycle = [](PrepareSource prepare) {
+    Harness h;
+    ExecutorOptions opts;
+    opts.forceMiss = false;
+    opts.prepare = prepare;
+    LruCache cache{2};
+    MarkovPrefetcher prefetcher{util::Time::zero()};
+    PrtrExecutor executor{h.node, h.registry, h.library, cache, prefetcher,
+                          opts};
+    const auto w =
+        tasks::makeRoundRobinWorkload(h.registry, 120, util::Bytes{8'000'000});
+    return executor.run(w);
+  };
+  const ExecutionReport with = runCycle(PrepareSource::kPrefetcher);
+  const ExecutionReport without = runCycle(PrepareSource::kNone);
+  EXPECT_GT(with.prefetchIssued, 100u);
+  EXPECT_LT(with.prefetchWrong, 5u);  // the cycle is perfectly learnable
+  // Overlap shrinks the configuration stall versus on-demand loading.
+  EXPECT_LT(with.configStall.toSeconds(), without.configStall.toSeconds());
+  EXPECT_LT(with.total.toSeconds(), without.total.toSeconds());
+}
+
+TEST(PrtrExecutorTest, MarkovPrefetcherSelfBiasedWorkloadHitsOften) {
+  Harness h;
+  ExecutorOptions opts;
+  opts.forceMiss = false;
+  opts.prepare = PrepareSource::kPrefetcher;
+  LruCache cache{2};
+  MarkovPrefetcher prefetcher{util::Time::zero()};
+  PrtrExecutor executor{h.node, h.registry, h.library, cache, prefetcher, opts};
+
+  util::Rng rng{5};
+  const auto w =
+      tasks::makeMarkovWorkload(h.registry, 200, util::Bytes{500'000}, 0.8, rng);
+  const ExecutionReport report = executor.run(w);
+  EXPECT_GT(report.hitRatio(), 0.5);  // locality + 2 slots keep modules hot
+}
+
+TEST(ScenarioTest, MeasuredSpeedupTracksModel) {
+  const auto registry = tasks::makePaperFunctions();
+  ScenarioOptions so;
+  so.basis = ConfigTimeBasis::kMeasured;
+  so.forceMiss = true;
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 60, util::Bytes{50'000'000});
+  const ScenarioResult result = runScenario(registry, workload, so);
+  EXPECT_GT(result.speedup, 1.0);
+  EXPECT_LT(result.modelError, 0.06);
+}
+
+TEST(ScenarioTest, TimelineCapturesProfiles) {
+  const auto registry = tasks::makePaperFunctions();
+  sim::Timeline frtrTl;
+  sim::Timeline prtrTl;
+  ScenarioOptions so;
+  so.forceMiss = true;
+  so.frtrTimeline = &frtrTl;
+  so.prtrTimeline = &prtrTl;
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{20'000'000});
+  (void)runScenario(registry, workload, so);
+  EXPECT_FALSE(frtrTl.empty());
+  EXPECT_FALSE(prtrTl.empty());
+  // PRTR used both PRR lanes.
+  EXPECT_GT(prtrTl.laneBusy("PRR0").toSeconds(), 0.0);
+  EXPECT_GT(prtrTl.laneBusy("PRR1").toSeconds(), 0.0);
+}
+
+TEST(ReportTest, MeasuredSpeedupGuardsZero) {
+  ExecutionReport a;
+  ExecutionReport b;
+  a.total = util::Time::milliseconds(100);
+  b.total = util::Time::zero();
+  EXPECT_THROW((void)measuredSpeedup(a, b), util::DomainError);
+  b.total = util::Time::milliseconds(50);
+  EXPECT_DOUBLE_EQ(measuredSpeedup(a, b), 2.0);
+}
+
+}  // namespace
+}  // namespace prtr::runtime

@@ -1,0 +1,324 @@
+// Tests for the discrete-event kernel: scheduling, coroutine processes,
+// synchronization primitives, channels, links, and the timeline tracer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+
+namespace prtr::sim {
+namespace {
+
+using util::Time;
+
+Process delayAndMark(Simulator& sim, Time delay, std::vector<int>& order,
+                     int tag) {
+  co_await sim.delay(delay);
+  order.push_back(tag);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.spawn(delayAndMark(sim, Time::microseconds(30), order, 3));
+  sim.spawn(delayAndMark(sim, Time::microseconds(10), order, 1));
+  sim.spawn(delayAndMark(sim, Time::microseconds(20), order, 2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::microseconds(30));
+}
+
+TEST(SimulatorTest, TiesBreakInSpawnOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn(delayAndMark(sim, Time::microseconds(7), order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ZeroDelayDoesNotSuspend) {
+  Simulator sim;
+  bool ran = false;
+  auto proc = [](Simulator& s, bool& flag) -> Process {
+    co_await s.delay(Time::zero());
+    flag = true;
+  };
+  sim.spawn(proc(sim, ran));
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), Time::zero());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.spawn(delayAndMark(sim, Time::milliseconds(1), order, 1));
+  sim.spawn(delayAndMark(sim, Time::milliseconds(5), order, 5));
+  sim.runUntil(Time::milliseconds(2));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), Time::milliseconds(2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(SimulatorTest, ChildProcessesComposeSequentially) {
+  Simulator sim;
+  auto child = [](Simulator& s) -> Process {
+    co_await s.delay(Time::microseconds(5));
+  };
+  Time finished;
+  auto parent = [&](Simulator& s) -> Process {
+    co_await child(s);
+    co_await child(s);
+    finished = s.now();
+  };
+  sim.spawn(parent(sim));
+  sim.run();
+  EXPECT_EQ(finished, Time::microseconds(10));
+}
+
+TEST(SimulatorTest, ChildExceptionPropagatesToParent) {
+  Simulator sim;
+  auto thrower = [](Simulator& s) -> Process {
+    co_await s.delay(Time::microseconds(1));
+    throw util::SimulationError{"boom"};
+  };
+  bool caught = false;
+  auto parent = [&](Simulator& s) -> Process {
+    try {
+      co_await thrower(s);
+    } catch (const util::SimulationError&) {
+      caught = true;
+    }
+  };
+  sim.spawn(parent(sim));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(SimulatorTest, RootExceptionSurfacesFromRun) {
+  Simulator sim;
+  auto thrower = [](Simulator& s) -> Process {
+    co_await s.delay(Time::microseconds(1));
+    throw util::SimulationError{"root boom"};
+  };
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), util::SimulationError);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  auto late = [](Simulator& s) -> Process {
+    co_await s.delay(Time::microseconds(5));
+    s.scheduleAt(Time::microseconds(1), std::noop_coroutine());
+  };
+  sim.spawn(late(sim));
+  EXPECT_THROW(sim.run(), util::SimulationError);
+}
+
+TEST(SimulatorTest, ManyShortProcessesAreReaped) {
+  Simulator sim;
+  auto quick = [](Simulator& s) -> Process { co_await s.delay(Time::zero()); };
+  auto spawner = [&](Simulator& s) -> Process {
+    for (int i = 0; i < 10000; ++i) {
+      s.spawn(quick(s));
+      co_await s.delay(Time::nanoseconds(1));
+    }
+  };
+  sim.spawn(spawner(sim));
+  sim.run();
+  // Finished roots must have been reclaimed along the way.
+  EXPECT_LT(sim.rootCount(), 10001u);
+  EXPECT_GT(sim.eventsProcessed(), 10000u);
+}
+
+TEST(ConditionTest, NotifyAllWakesEveryWaiter) {
+  Simulator sim;
+  Condition cond{sim};
+  int woken = 0;
+  auto waiter = [&](Simulator&) -> Process {
+    co_await cond.wait();
+    ++woken;
+  };
+  auto notifier = [&](Simulator& s) -> Process {
+    co_await s.delay(Time::microseconds(3));
+    cond.notifyAll();
+  };
+  sim.spawn(waiter(sim));
+  sim.spawn(waiter(sim));
+  sim.spawn(notifier(sim));
+  sim.run();
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(SemaphoreTest, MutualExclusionSerializes) {
+  Simulator sim;
+  Semaphore sem{sim, 1};
+  std::vector<Time> entries;
+  auto worker = [&](Simulator& s) -> Process {
+    co_await sem.acquire();
+    entries.push_back(s.now());
+    co_await s.delay(Time::microseconds(10));
+    sem.release();
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(worker(sim));
+  sim.run();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], Time::zero());
+  EXPECT_EQ(entries[1], Time::microseconds(10));
+  EXPECT_EQ(entries[2], Time::microseconds(20));
+}
+
+TEST(SemaphoreTest, CountingAllowsParallelism) {
+  Simulator sim;
+  Semaphore sem{sim, 2};
+  std::vector<Time> entries;
+  auto worker = [&](Simulator& s) -> Process {
+    co_await sem.acquire();
+    entries.push_back(s.now());
+    co_await s.delay(Time::microseconds(10));
+    sem.release();
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(worker(sim));
+  sim.run();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], Time::zero());
+  EXPECT_EQ(entries[1], Time::zero());
+  EXPECT_EQ(entries[2], Time::microseconds(10));
+}
+
+TEST(WaitGroupTest, WaitsForAllWork) {
+  Simulator sim;
+  WaitGroup wg{sim};
+  wg.add(2);
+  auto worker = [&](Simulator& s, Time d) -> Process {
+    co_await s.delay(d);
+    wg.done();
+  };
+  Time joined;
+  auto joiner = [&](Simulator& s) -> Process {
+    co_await wg.wait();
+    joined = s.now();
+  };
+  sim.spawn(worker(sim, Time::microseconds(5)));
+  sim.spawn(worker(sim, Time::microseconds(9)));
+  sim.spawn(joiner(sim));
+  sim.run();
+  EXPECT_EQ(joined, Time::microseconds(9));
+  EXPECT_EQ(wg.pending(), 0);
+}
+
+TEST(ChannelTest, BackpressureThrottlesProducer) {
+  Simulator sim;
+  auto ch = std::make_unique<Channel<int>>(sim, 2);
+  long sum = 0;
+  auto producer = [&](Simulator& s) -> Process {
+    for (int i = 0; i < 10; ++i) {
+      co_await s.delay(Time::microseconds(1));
+      co_await ch->put(i);
+    }
+  };
+  auto consumer = [&](Simulator& s) -> Process {
+    for (int i = 0; i < 10; ++i) {
+      const int v = co_await ch->get();
+      sum += v;
+      co_await s.delay(Time::microseconds(3));
+    }
+  };
+  sim.spawn(producer(sim));
+  sim.spawn(consumer(sim));
+  sim.run();
+  EXPECT_EQ(sum, 45);
+  // Consumer paced at 3 us/item: last item consumed at ~31 us.
+  EXPECT_EQ(sim.now(), Time::microseconds(31));
+  EXPECT_TRUE(ch->empty());
+}
+
+TEST(ChannelTest, ConsumerBlocksOnEmpty) {
+  Simulator sim;
+  auto ch = std::make_unique<Channel<int>>(sim, 4);
+  Time got;
+  auto consumer = [&](Simulator& s) -> Process {
+    (void)co_await ch->get();
+    got = s.now();
+  };
+  auto producer = [&](Simulator& s) -> Process {
+    co_await s.delay(Time::microseconds(8));
+    co_await ch->put(1);
+  };
+  sim.spawn(consumer(sim));
+  sim.spawn(producer(sim));
+  sim.run();
+  EXPECT_EQ(got, Time::microseconds(8));
+}
+
+TEST(ChannelTest, RejectsZeroCapacity) {
+  Simulator sim;
+  EXPECT_THROW((Channel<int>{sim, 0}), util::DomainError);
+}
+
+TEST(LinkTest, TransferTimeMatchesRate) {
+  Simulator sim;
+  SimplexLink link{sim, "test", util::DataRate::megabytesPerSecond(100)};
+  auto xfer = [&](Simulator&) -> Process {
+    co_await link.transfer(util::Bytes{1'000'000});
+  };
+  sim.spawn(xfer(sim));
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::milliseconds(10));
+  EXPECT_EQ(link.totalBytes().count(), 1'000'000u);
+  EXPECT_EQ(link.totalTransfers(), 1u);
+}
+
+TEST(LinkTest, ConcurrentTransfersSerialize) {
+  Simulator sim;
+  SimplexLink link{sim, "test", util::DataRate::megabytesPerSecond(100)};
+  auto xfer = [&](Simulator&) -> Process {
+    co_await link.transfer(util::Bytes{500'000});
+  };
+  sim.spawn(xfer(sim));
+  sim.spawn(xfer(sim));
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::milliseconds(10));  // 2 x 5 ms, serialized
+}
+
+TEST(LinkTest, LatencyAddsPerTransfer) {
+  Simulator sim;
+  SimplexLink link{sim, "lat", util::DataRate::megabytesPerSecond(100),
+                   Time::microseconds(2)};
+  EXPECT_EQ(link.occupancy(util::Bytes{100'000}),
+            Time::microseconds(1002));
+}
+
+TEST(TimelineTest, RecordsAndRenders) {
+  Timeline tl;
+  tl.record("PRR0", "median", '#', Time::zero(), Time::milliseconds(5));
+  tl.record("config", "partial", 'P', Time::milliseconds(1),
+            Time::milliseconds(3));
+  EXPECT_EQ(tl.spans().size(), 2u);
+  EXPECT_EQ(tl.laneBusy("PRR0"), Time::milliseconds(5));
+  EXPECT_EQ(tl.horizon(), Time::milliseconds(5));
+  const std::string gantt = tl.renderGantt(60);
+  EXPECT_NE(gantt.find("PRR0"), std::string::npos);
+  EXPECT_NE(gantt.find("config"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('P'), std::string::npos);
+}
+
+TEST(TimelineTest, RejectsNegativeSpan) {
+  Timeline tl;
+  EXPECT_THROW(
+      tl.record("x", "y", '#', Time::milliseconds(2), Time::milliseconds(1)),
+      util::DomainError);
+}
+
+}  // namespace
+}  // namespace prtr::sim

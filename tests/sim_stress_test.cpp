@@ -1,0 +1,156 @@
+// Stress/property tests for the discrete-event kernel: randomized
+// schedules must fire in exact time order, channels must conserve tokens
+// under arbitrary producer/consumer topologies, and semaphores must stay
+// fair under churn.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "util/rng.hpp"
+
+namespace prtr::sim {
+namespace {
+
+using util::Time;
+
+TEST(SimStressTest, RandomDelaysFireInNondecreasingTimeOrder) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulator sim;
+    util::Rng rng{seed};
+    std::vector<std::int64_t> fireTimes;
+    auto proc = [&](Simulator& s, Time delay) -> Process {
+      co_await s.delay(delay);
+      fireTimes.push_back(s.now().ps());
+    };
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+      sim.spawn(proc(sim, Time::picoseconds(rng.range(0, 1'000'000))));
+    }
+    sim.run();
+    ASSERT_EQ(fireTimes.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 1; i < fireTimes.size(); ++i) {
+      ASSERT_GE(fireTimes[i], fireTimes[i - 1]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SimStressTest, NestedChildrenCompose) {
+  // A chain of nested child awaits 64 deep: total time is the sum.
+  Simulator sim;
+  struct Chain {
+    static Process step(Simulator& s, int depth) {
+      co_await s.delay(Time::nanoseconds(1));
+      if (depth > 0) co_await step(s, depth - 1);
+    }
+  };
+  sim.spawn(Chain::step(sim, 63));
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::nanoseconds(64));
+}
+
+TEST(SimStressTest, ChannelConservesTokensManyProducersConsumers) {
+  for (const std::size_t capacity : {1u, 3u, 16u}) {
+    Simulator sim;
+    auto channel = std::make_unique<Channel<std::uint64_t>>(sim, capacity);
+    util::Rng rng{capacity};
+    const int producers = 4;
+    const int consumers = 3;
+    const int perProducer = 120;
+    std::uint64_t produced = 0;
+    std::uint64_t consumed = 0;
+
+    auto producer = [&](Simulator& s, std::uint64_t base) -> Process {
+      for (int i = 0; i < perProducer; ++i) {
+        co_await s.delay(Time::picoseconds(rng.range(1, 500)));
+        co_await channel->put(base + static_cast<std::uint64_t>(i));
+        produced += base + static_cast<std::uint64_t>(i);
+      }
+    };
+    const int total = producers * perProducer;
+    // Consumers split the items: 160 + 160 + 160.
+    auto consumer = [&](Simulator& s, int count) -> Process {
+      for (int i = 0; i < count; ++i) {
+        const std::uint64_t v = co_await channel->get();
+        consumed += v;
+        co_await s.delay(Time::picoseconds(rng.range(1, 700)));
+      }
+    };
+    for (int p = 0; p < producers; ++p) {
+      sim.spawn(producer(sim, static_cast<std::uint64_t>(p) * 1'000'000));
+    }
+    for (int c = 0; c < consumers; ++c) {
+      sim.spawn(consumer(sim, total / consumers));
+    }
+    sim.run();
+    EXPECT_EQ(consumed, produced) << "capacity " << capacity;
+    EXPECT_TRUE(channel->empty());
+    EXPECT_EQ(channel->blockedProducers(), 0u);
+    EXPECT_EQ(channel->blockedConsumers(), 0u);
+  }
+}
+
+TEST(SimStressTest, SemaphoreNeverOversubscribed) {
+  Simulator sim;
+  Semaphore sem{sim, 3};
+  util::Rng rng{99};
+  int inSection = 0;
+  int peak = 0;
+  auto worker = [&](Simulator& s) -> Process {
+    co_await s.delay(Time::picoseconds(rng.range(0, 2'000)));
+    co_await sem.acquire();
+    ++inSection;
+    peak = std::max(peak, inSection);
+    co_await s.delay(Time::picoseconds(rng.range(1, 1'000)));
+    --inSection;
+    sem.release();
+  };
+  for (int i = 0; i < 200; ++i) sim.spawn(worker(sim));
+  sim.run();
+  EXPECT_EQ(inSection, 0);
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(sem.available(), 3);
+}
+
+TEST(SimStressTest, WaitGroupUnderChurn) {
+  Simulator sim;
+  WaitGroup wg{sim};
+  util::Rng rng{7};
+  int completed = 0;
+  auto worker = [&](Simulator& s) -> Process {
+    co_await s.delay(Time::picoseconds(rng.range(1, 10'000)));
+    ++completed;
+    wg.done();
+  };
+  bool joined = false;
+  auto joiner = [&](Simulator&) -> Process {
+    co_await wg.wait();
+    joined = true;
+    EXPECT_EQ(completed, 300);
+  };
+  wg.add(300);
+  for (int i = 0; i < 300; ++i) sim.spawn(worker(sim));
+  sim.spawn(joiner(sim));
+  sim.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(SimStressTest, DeterministicEventCountsAcrossRuns) {
+  auto run = [] {
+    Simulator sim;
+    util::Rng rng{321};
+    auto proc = [&](Simulator& s, Time d) -> Process { co_await s.delay(d); };
+    for (int i = 0; i < 1000; ++i) {
+      sim.spawn(proc(sim, Time::picoseconds(rng.range(0, 1'000'000))));
+    }
+    sim.run();
+    return std::make_pair(sim.now().ps(), sim.eventsProcessed());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace prtr::sim

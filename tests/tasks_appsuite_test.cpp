@@ -1,0 +1,110 @@
+// Tests for the application-suite workload builders.
+#include <gtest/gtest.h>
+
+#include "runtime/scenario.hpp"
+#include "tasks/appsuite.hpp"
+#include "util/error.hpp"
+
+namespace prtr::tasks {
+namespace {
+
+TEST(AppSuiteTest, RemoteSensingPipelineStructure) {
+  const auto registry = makeExtendedFunctions();
+  util::Rng rng{1};
+  const Application app =
+      makeRemoteSensingApp(registry, 10, util::Bytes{1'000'000}, rng);
+  // Six fixed stages per scene plus optional second cleanup (2 more).
+  EXPECT_GE(app.workload.callCount(), 60u);
+  EXPECT_LE(app.workload.callCount(), 80u);
+  // The pipeline starts with smoothing on every scene.
+  EXPECT_EQ(app.workload.calls[0].functionIndex,
+            *registry.indexOf(registry.byName("smoothing").id));
+  EXPECT_EQ(app.workload.calls[0].dataBytes.count(), 1'000'000u);
+}
+
+TEST(AppSuiteTest, HyperspectralBandCounts) {
+  const auto registry = makeExtendedFunctions();
+  util::Rng rng{2};
+  const Application app =
+      makeHyperspectralApp(registry, 3, 8, util::Bytes{400'000}, rng);
+  // 2 calls per band minimum, 3*8 = 24 bands.
+  EXPECT_GE(app.workload.callCount(), 48u);
+  // Pyramid level 2 runs on quarter-size data.
+  bool sawQuarter = false;
+  for (const TaskCall& call : app.workload.calls) {
+    if (call.dataBytes.count() == 100'000u) sawQuarter = true;
+  }
+  EXPECT_TRUE(sawQuarter);
+}
+
+TEST(AppSuiteTest, TargetRecognitionBranchingRate) {
+  const auto registry = makeExtendedFunctions();
+  util::Rng rng{3};
+  const Application app = makeTargetRecognitionApp(
+      registry, 1000, util::Bytes{100'000}, 0.25, rng);
+  // 2 calls/frame + 3 extra on ~25% of frames: expect ~2750 +- noise.
+  const double perFrame = static_cast<double>(app.workload.callCount()) / 1000.0;
+  EXPECT_NEAR(perFrame, 2.75, 0.15);
+  EXPECT_THROW(
+      makeTargetRecognitionApp(registry, 10, util::Bytes{1}, 1.5, rng),
+      util::DomainError);
+}
+
+TEST(AppSuiteTest, SuiteIsDeterministicPerSeed) {
+  const auto registry = makeExtendedFunctions();
+  util::Rng a{77};
+  util::Rng b{77};
+  const auto suiteA = makeApplicationSuite(registry, a);
+  const auto suiteB = makeApplicationSuite(registry, b);
+  ASSERT_EQ(suiteA.size(), suiteB.size());
+  for (std::size_t i = 0; i < suiteA.size(); ++i) {
+    EXPECT_EQ(suiteA[i].workload.calls, suiteB[i].workload.calls);
+  }
+}
+
+TEST(AppSuiteTest, RequiresExtendedLibrary) {
+  // The paper-only library lacks gaussian/threshold/morphology.
+  const auto paperOnly = makePaperFunctions();
+  util::Rng rng{4};
+  EXPECT_THROW(makeRemoteSensingApp(paperOnly, 1, util::Bytes{100}, rng),
+               util::DomainError);
+}
+
+TEST(AppSuiteTest, PipelinedAppsGetHighHitRatios) {
+  // Hyperspectral processing uses a 3-module working set; on the quad
+  // layout everything stays resident after warm-up.
+  const auto registry = makeExtendedFunctions();
+  util::Rng rng{5};
+  const Application app =
+      makeHyperspectralApp(registry, 3, 10, util::Bytes{2'000'000}, rng);
+  runtime::ScenarioOptions so;
+  so.layout = xd1::Layout::kQuadPrr;
+  so.forceMiss = false;
+  so.prepare = runtime::PrepareSource::kQueue;
+  const auto report = runtime::runPrtrOnly(registry, app.workload, so);
+  EXPECT_GT(report.hitRatio(), 0.8);
+  EXPECT_LE(report.configurations, 3u);
+}
+
+TEST(AppSuiteTest, WideWorkingSetThrashesSmallCaches) {
+  // Remote sensing cycles 5 modules: over 4 slots LRU degenerates (the
+  // classic cyclic pathology), so the hit ratio stays low -- exactly why
+  // the paper's section-5 granularity recommendation matters.
+  const auto registry = makeExtendedFunctions();
+  util::Rng rng{5};
+  const Application app =
+      makeRemoteSensingApp(registry, 8, util::Bytes{5'000'000}, rng);
+  runtime::ScenarioOptions so;
+  so.layout = xd1::Layout::kQuadPrr;
+  so.forceMiss = false;
+  so.prepare = runtime::PrepareSource::kQueue;
+  const auto lru = runtime::runPrtrOnly(registry, app.workload, so);
+  EXPECT_LT(lru.hitRatio(), 0.5);
+  // Belady sidesteps the pathology.
+  so.cachePolicy = "belady";
+  const auto belady = runtime::runPrtrOnly(registry, app.workload, so);
+  EXPECT_GT(belady.hitRatio(), lru.hitRatio());
+}
+
+}  // namespace
+}  // namespace prtr::tasks

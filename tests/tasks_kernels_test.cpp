@@ -1,0 +1,211 @@
+// Behavioural tests for the image kernels (the hardware-function models).
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "tasks/hwfunction.hpp"
+#include "tasks/image.hpp"
+#include "tasks/kernels.hpp"
+
+namespace prtr::tasks {
+namespace {
+
+TEST(ImageTest, ConstructionAndAccess) {
+  Image img{8, 4, 7};
+  EXPECT_EQ(img.width(), 8u);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.pixelCount(), 32u);
+  EXPECT_EQ(img.sizeBytes().count(), 32u);
+  EXPECT_EQ(img.at(3, 2), 7);
+  img.at(3, 2) = 99;
+  EXPECT_EQ(img.at(3, 2), 99);
+  EXPECT_THROW((void)img.at(8, 0), util::DomainError);
+}
+
+TEST(ImageTest, ClampedAccessReplicatesBorder) {
+  Image img = makeGradientImage(10, 10);
+  EXPECT_EQ(img.atClamped(-5, 3), img.at(0, 3));
+  EXPECT_EQ(img.atClamped(50, 3), img.at(9, 3));
+  EXPECT_EQ(img.atClamped(4, -1), img.at(4, 0));
+}
+
+TEST(ImageTest, GeneratorsProduceExpectedStatistics) {
+  util::Rng rng{5};
+  const Image noise = makeNoiseImage(64, 64, rng);
+  EXPECT_NEAR(noise.meanIntensity(), 127.5, 5.0);
+  const Image grad = makeGradientImage(256, 4);
+  EXPECT_EQ(grad.at(0, 0), 0);
+  EXPECT_EQ(grad.at(255, 0), 255);
+  const Image checker = makeCheckerboardImage(16, 16, 4);
+  EXPECT_EQ(checker.at(0, 0), 255);
+  EXPECT_EQ(checker.at(4, 0), 0);
+}
+
+TEST(MedianTest, RemovesSaltAndPepperNoise) {
+  util::Rng rng{17};
+  const Image noisy = makeSaltPepperImage(64, 64, 128, 0.05, rng);
+  const Image filtered = kernels::medianFilter3x3(noisy);
+  // Sparse impulses vanish: every pixel returns to the base level.
+  int clean = 0;
+  for (const auto p : filtered.pixels()) {
+    if (p == 128) ++clean;
+  }
+  EXPECT_GT(static_cast<double>(clean) /
+                static_cast<double>(filtered.pixelCount()),
+            0.99);
+}
+
+TEST(MedianTest, ConstantImageIsFixedPoint) {
+  const Image flat{32, 32, 42};
+  EXPECT_EQ(kernels::medianFilter3x3(flat), flat);
+}
+
+TEST(SobelTest, ZeroOnConstantImage) {
+  const Image flat{32, 32, 200};
+  const Image edges = kernels::sobelFilter(flat);
+  for (const auto p : edges.pixels()) EXPECT_EQ(p, 0);
+}
+
+TEST(SobelTest, DetectsVerticalEdge) {
+  Image img{32, 32, 0};
+  for (std::size_t y = 0; y < 32; ++y) {
+    for (std::size_t x = 16; x < 32; ++x) img.at(x, y) = 255;
+  }
+  const Image edges = kernels::sobelFilter(img);
+  // Strong response along the edge column, none far away.
+  EXPECT_GT(edges.at(16, 16), 200);
+  EXPECT_EQ(edges.at(4, 16), 0);
+  EXPECT_EQ(edges.at(28, 16), 0);
+}
+
+TEST(SmoothingTest, ReducesVariance) {
+  util::Rng rng{23};
+  const Image noise = makeNoiseImage(64, 64, rng);
+  const Image smooth = kernels::smoothingFilter3x3(noise);
+  EXPECT_LT(smooth.variance(), noise.variance() * 0.4);
+  EXPECT_NEAR(smooth.meanIntensity(), noise.meanIntensity(), 3.0);
+}
+
+TEST(SmoothingTest, ConstantImageIsFixedPoint) {
+  const Image flat{16, 16, 99};
+  EXPECT_EQ(kernels::smoothingFilter3x3(flat), flat);
+}
+
+TEST(GaussianTest, PreservesMeanAndReducesVariance) {
+  util::Rng rng{29};
+  const Image noise = makeNoiseImage(64, 64, rng);
+  const Image blurred = kernels::gaussianBlur5x5(noise);
+  EXPECT_LT(blurred.variance(), noise.variance() * 0.3);
+  EXPECT_NEAR(blurred.meanIntensity(), noise.meanIntensity(), 3.0);
+}
+
+TEST(ThresholdTest, Binarizes) {
+  const Image grad = makeGradientImage(256, 2);
+  const Image bin = kernels::threshold(grad, 128);
+  for (const auto p : bin.pixels()) EXPECT_TRUE(p == 0 || p == 255);
+  EXPECT_EQ(bin.at(0, 0), 0);
+  EXPECT_EQ(bin.at(255, 0), 255);
+}
+
+TEST(HistogramEqualizeTest, SpreadsGradientToFullRange) {
+  const Image grad = makeGradientImage(64, 64);
+  const Image eq = kernels::histogramEqualize(grad);
+  std::uint8_t lo = 255;
+  std::uint8_t hi = 0;
+  for (const auto p : eq.pixels()) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 255);
+}
+
+TEST(HistogramEqualizeTest, ConstantImageUnchanged) {
+  const Image flat{16, 16, 55};
+  EXPECT_EQ(kernels::histogramEqualize(flat), flat);
+}
+
+TEST(MorphologyTest, ErodeDilateDuality) {
+  util::Rng rng{31};
+  const Image img = makeNoiseImage(32, 32, rng);
+  const Image eroded = kernels::erode3x3(img);
+  const Image dilated = kernels::dilate3x3(img);
+  for (std::size_t i = 0; i < img.pixels().size(); ++i) {
+    EXPECT_LE(eroded.pixels()[i], img.pixels()[i]);
+    EXPECT_GE(dilated.pixels()[i], img.pixels()[i]);
+  }
+  // Duality: erode(img) == 255 - dilate(255 - img).
+  const Image dual = kernels::invert(kernels::dilate3x3(kernels::invert(img)));
+  EXPECT_EQ(eroded, dual);
+}
+
+TEST(InvertTest, IsInvolution) {
+  util::Rng rng{37};
+  const Image img = makeNoiseImage(16, 16, rng);
+  EXPECT_EQ(kernels::invert(kernels::invert(img)), img);
+}
+
+TEST(RegistryTest, PaperFunctionsMatchTable1) {
+  const FunctionRegistry registry = makePaperFunctions();
+  ASSERT_EQ(registry.size(), 3u);
+  const HwFunction& median = registry.byName("median");
+  EXPECT_EQ(median.resources.luts, 3141u);
+  EXPECT_EQ(median.resources.ffs, 3270u);
+  const HwFunction& sobel = registry.byName("sobel");
+  EXPECT_EQ(sobel.resources.luts, 1159u);
+  EXPECT_EQ(sobel.resources.ffs, 1060u);
+  const HwFunction& smoothing = registry.byName("smoothing");
+  EXPECT_EQ(smoothing.resources.luts, 2053u);
+  EXPECT_EQ(smoothing.resources.ffs, 1601u);
+  for (const HwFunction& fn : registry.all()) {
+    EXPECT_NEAR(fn.fabricClock.toMegahertz(), 200.0, 1e-9);
+  }
+}
+
+TEST(RegistryTest, LookupsAndErrors) {
+  const FunctionRegistry registry = makeExtendedFunctions();
+  EXPECT_EQ(registry.size(), 8u);
+  EXPECT_EQ(registry.byId(1002).name, "sobel");
+  EXPECT_EQ(registry.indexOf(1003), std::optional<std::size_t>{2});
+  EXPECT_EQ(registry.indexOf(9999), std::nullopt);
+  EXPECT_THROW((void)registry.byName("missing"), util::DomainError);
+  EXPECT_THROW((void)registry.at(99), util::DomainError);
+}
+
+TEST(RegistryTest, ComputeTimeAtPipelineRate) {
+  const FunctionRegistry registry = makePaperFunctions();
+  const HwFunction& fn = registry.at(0);
+  // 200 M pixels at 1 cycle/pixel and 200 MHz = 1 s.
+  EXPECT_NEAR(fn.computeTime(util::Bytes{200'000'000}).toSeconds(), 1.0, 1e-9);
+}
+
+TEST(RegistryTest, OccupancyReflectsRegionPressure) {
+  const FunctionRegistry registry = makePaperFunctions();
+  const fabric::ResourceVec small{4000, 4000, 10, 10, 0};
+  const fabric::ResourceVec large{40000, 40000, 100, 100, 0};
+  const double tight = registry.occupancy(0, small);
+  const double loose = registry.occupancy(0, large);
+  EXPECT_GT(tight, loose);
+  EXPECT_LE(tight, 1.0);
+  EXPECT_GE(loose, 0.05);
+}
+
+TEST(RegistryTest, BehaviouralModelsAreWired) {
+  const FunctionRegistry registry = makePaperFunctions();
+  const Image flat{8, 8, 100};
+  for (const HwFunction& fn : registry.all()) {
+    ASSERT_TRUE(fn.behaviour);
+    const Image out = fn.behaviour(flat);
+    EXPECT_EQ(out.width(), flat.width());
+  }
+}
+
+TEST(RegistryTest, SyntheticFunctionsForModelSweeps) {
+  const FunctionRegistry registry = makeSyntheticFunctions(5, 2.0);
+  EXPECT_EQ(registry.size(), 5u);
+  EXPECT_NEAR(registry.at(0).computeTime(util::Bytes{100}).toSeconds(),
+              200.0 / 200e6, 1e-12);
+  EXPECT_FALSE(registry.at(0).behaviour);
+}
+
+}  // namespace
+}  // namespace prtr::tasks

@@ -1,0 +1,130 @@
+// Tests for the Mattson stack-distance locality analysis, including the
+// exactness property: the predicted LRU hit ratio must equal what the
+// actual LRU ConfigCache measures, for every slot count.
+#include <gtest/gtest.h>
+
+#include "runtime/cache.hpp"
+#include "tasks/hwfunction.hpp"
+#include "tasks/locality.hpp"
+#include "util/error.hpp"
+
+namespace prtr::tasks {
+namespace {
+
+Workload fromIndices(std::initializer_list<std::size_t> indices) {
+  Workload w{"manual", {}};
+  for (const std::size_t i : indices) {
+    w.calls.push_back(TaskCall{i, util::Bytes{1}});
+  }
+  return w;
+}
+
+TEST(StackDistanceTest, HandComputedSequence) {
+  // Sequence: A B A C B A  -> distances: cold, cold, 1, cold, 2, 2.
+  const Workload w = fromIndices({0, 1, 0, 2, 1, 0});
+  const auto d = stackDistances(w);
+  ASSERT_EQ(d.size(), 6u);
+  EXPECT_EQ(d[0], kColdAccess);
+  EXPECT_EQ(d[1], kColdAccess);
+  EXPECT_EQ(d[2], 1u);
+  EXPECT_EQ(d[3], kColdAccess);
+  EXPECT_EQ(d[4], 2u);
+  EXPECT_EQ(d[5], 2u);
+}
+
+TEST(StackDistanceTest, ImmediateRepeatIsDistanceZero) {
+  const Workload w = fromIndices({3, 3, 3});
+  const auto d = stackDistances(w);
+  EXPECT_EQ(d[1], 0u);
+  EXPECT_EQ(d[2], 0u);
+}
+
+TEST(LruHitRatioTest, HandComputed) {
+  const Workload w = fromIndices({0, 1, 0, 2, 1, 0});
+  // slots=2: hits are the distance<2 accesses: only d=1 (1 of 6).
+  EXPECT_DOUBLE_EQ(lruHitRatio(w, 2), 1.0 / 6.0);
+  // slots=3: d=1 and the two d=2 accesses hit (3 of 6).
+  EXPECT_DOUBLE_EQ(lruHitRatio(w, 3), 3.0 / 6.0);
+  EXPECT_THROW((void)lruHitRatio(w, 0), util::DomainError);
+}
+
+TEST(LruHitRatioTest, CurveIsMonotoneAndMatchesPointQueries) {
+  const auto registry = makeExtendedFunctions();
+  util::Rng rng{5};
+  const Workload w = makeMarkovWorkload(registry, 2000, util::Bytes{1}, 0.6, rng);
+  const auto curve = lruHitRatioCurve(w, 8);
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_GE(curve[k], curve[k - 1]);
+  }
+  for (std::size_t k = 1; k <= 8; ++k) {
+    EXPECT_DOUBLE_EQ(curve[k - 1], lruHitRatio(w, k));
+  }
+}
+
+TEST(LruHitRatioTest, MattsonPredictsTheActualLruCacheExactly) {
+  // The headline property: replay through the real LRU ConfigCache and
+  // compare with the one-pass prediction, for every slot count.
+  const auto registry = makeExtendedFunctions();
+  for (const double bias : {0.0, 0.5, 0.9}) {
+    util::Rng rng{17};
+    const Workload w =
+        makeMarkovWorkload(registry, 1500, util::Bytes{1}, bias, rng);
+    for (std::size_t slots = 1; slots <= 6; ++slots) {
+      runtime::LruCache cache{slots};
+      for (const TaskCall& call : w.calls) {
+        const auto module = registry.at(call.functionIndex).id;
+        if (!cache.access(module)) {
+          const auto slot = cache.chooseSlot(module, std::nullopt);
+          cache.install(*slot, module);
+        }
+      }
+      EXPECT_DOUBLE_EQ(cache.stats().hitRatio(), lruHitRatio(w, slots))
+          << "bias=" << bias << " slots=" << slots;
+    }
+  }
+}
+
+TEST(SlotsForHitRatioTest, FindsMinimalPrrCount) {
+  const Workload w = fromIndices({0, 1, 0, 2, 1, 0, 1, 2, 0, 1});
+  const std::size_t k = slotsForHitRatio(w, 0.5);
+  ASSERT_GT(k, 0u);
+  EXPECT_GE(lruHitRatio(w, k), 0.5);
+  if (k > 1) {
+    EXPECT_LT(lruHitRatio(w, k - 1), 0.5);
+  }
+}
+
+TEST(SlotsForHitRatioTest, UnattainableTargetsReturnZero) {
+  // Every access is cold: no cache size helps.
+  const Workload w = fromIndices({0, 1, 2, 3, 4});
+  EXPECT_EQ(slotsForHitRatio(w, 0.5), 0u);
+  EXPECT_THROW((void)slotsForHitRatio(w, 1.5), util::DomainError);
+}
+
+TEST(ProfileTest, SummariesMatchConstruction) {
+  const auto registry = makeExtendedFunctions();
+  util::Rng rng{11};
+  const Workload w =
+      makeMarkovWorkload(registry, 10'000, util::Bytes{1}, 0.8, rng);
+  const LocalityProfile profile = profileLocality(w);
+  EXPECT_EQ(profile.distinctFunctions, registry.size());
+  EXPECT_EQ(profile.coldMisses, registry.size());
+  // Self-transition rate ~ bias + (1-bias)/n.
+  EXPECT_NEAR(profile.selfTransitionRate, 0.8 + 0.2 / 8.0, 0.02);
+  EXPECT_GE(profile.meanFiniteStackDistance, 0.0);
+}
+
+TEST(ProfileTest, RoundRobinHasMaximalStackDistance) {
+  const auto registry = makeExtendedFunctions();
+  const Workload w = makeRoundRobinWorkload(registry, 80, util::Bytes{1});
+  const LocalityProfile profile = profileLocality(w);
+  // Every re-reference has distance n-1 = 7 under round-robin.
+  EXPECT_DOUBLE_EQ(profile.meanFiniteStackDistance, 7.0);
+  EXPECT_DOUBLE_EQ(profile.selfTransitionRate, 0.0);
+  // Hence LRU with fewer than 8 slots never hits.
+  EXPECT_DOUBLE_EQ(lruHitRatio(w, 7), 0.0);
+  EXPECT_GT(lruHitRatio(w, 8), 0.85);
+}
+
+}  // namespace
+}  // namespace prtr::tasks

@@ -1,0 +1,107 @@
+// Tests for workload generation, locality properties, and CSV round-trips.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "tasks/workload.hpp"
+
+namespace prtr::tasks {
+namespace {
+
+FunctionRegistry registry() { return makeExtendedFunctions(); }
+
+TEST(WorkloadTest, RoundRobinCyclesAllFunctions) {
+  const auto reg = registry();
+  const Workload w = makeRoundRobinWorkload(reg, 24, util::Bytes{100});
+  EXPECT_EQ(w.callCount(), 24u);
+  EXPECT_EQ(w.distinctFunctions(), reg.size());
+  for (std::size_t i = 0; i < w.calls.size(); ++i) {
+    EXPECT_EQ(w.calls[i].functionIndex, i % reg.size());
+  }
+  EXPECT_EQ(w.totalBytes().count(), 2400u);
+}
+
+TEST(WorkloadTest, UniformCoversFunctions) {
+  const auto reg = registry();
+  util::Rng rng{3};
+  const Workload w = makeUniformWorkload(reg, 2000, util::Bytes{64}, rng);
+  EXPECT_EQ(w.distinctFunctions(), reg.size());
+}
+
+TEST(WorkloadTest, MarkovSelfBiasControlsRepeatRate) {
+  const auto reg = registry();
+  for (const double bias : {0.0, 0.5, 0.9}) {
+    util::Rng rng{11};
+    const Workload w = makeMarkovWorkload(reg, 20000, util::Bytes{64}, bias, rng);
+    std::size_t repeats = 0;
+    for (std::size_t i = 1; i < w.calls.size(); ++i) {
+      if (w.calls[i].functionIndex == w.calls[i - 1].functionIndex) ++repeats;
+    }
+    const double repeatRate =
+        static_cast<double>(repeats) / static_cast<double>(w.callCount() - 1);
+    // Expected repeat rate: bias + (1-bias)/n.
+    const double expected =
+        bias + (1.0 - bias) / static_cast<double>(reg.size());
+    EXPECT_NEAR(repeatRate, expected, 0.02) << "bias=" << bias;
+  }
+}
+
+TEST(WorkloadTest, PhasedRestrictsWorkingSet) {
+  const auto reg = registry();
+  util::Rng rng{7};
+  const Workload w =
+      makePhasedWorkload(reg, 1000, util::Bytes{64}, 100, 2, rng);
+  for (std::size_t phase = 0; phase < 10; ++phase) {
+    std::set<std::size_t> used;
+    for (std::size_t i = phase * 100; i < (phase + 1) * 100; ++i) {
+      used.insert(w.calls[i].functionIndex);
+    }
+    EXPECT_LE(used.size(), 2u);
+  }
+}
+
+TEST(WorkloadTest, PhasedValidatesArguments) {
+  const auto reg = registry();
+  util::Rng rng{7};
+  EXPECT_THROW(makePhasedWorkload(reg, 10, util::Bytes{1}, 0, 2, rng),
+               util::DomainError);
+  EXPECT_THROW(makePhasedWorkload(reg, 10, util::Bytes{1}, 5, 99, rng),
+               util::DomainError);
+}
+
+TEST(WorkloadTest, MarkovValidatesBias) {
+  const auto reg = registry();
+  util::Rng rng{7};
+  EXPECT_THROW(makeMarkovWorkload(reg, 10, util::Bytes{1}, 1.5, rng),
+               util::DomainError);
+}
+
+TEST(WorkloadTest, CsvRoundTrip) {
+  const auto reg = registry();
+  util::Rng rng{13};
+  const Workload w = makeUniformWorkload(reg, 50, util::Bytes{4096}, rng);
+  const std::string csv = toCsv(w);
+  const Workload back = workloadFromCsv("restored", csv, reg);
+  EXPECT_EQ(back.calls, w.calls);
+  EXPECT_EQ(back.name, "restored");
+}
+
+TEST(WorkloadTest, CsvRejectsOutOfRangeFunction) {
+  const auto reg = registry();
+  EXPECT_THROW(
+      workloadFromCsv("bad", "functionIndex,dataBytes\n99,100\n", reg),
+      util::DomainError);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const auto reg = registry();
+  util::Rng a{99};
+  util::Rng b{99};
+  const Workload wa = makeMarkovWorkload(reg, 500, util::Bytes{1}, 0.7, a);
+  const Workload wb = makeMarkovWorkload(reg, 500, util::Bytes{1}, 0.7, b);
+  EXPECT_EQ(wa.calls, wb.calls);
+}
+
+}  // namespace
+}  // namespace prtr::tasks

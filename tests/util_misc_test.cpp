@@ -1,0 +1,214 @@
+// Tests for CRC-32, the deterministic RNG, statistics, tables, and plots.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/plot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace prtr::util {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string s = "123456789";
+  const auto crc = Crc32::of(
+      std::span{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(1000);
+  Rng rng{42};
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  Crc32 inc;
+  inc.update(std::span{data.data(), 400});
+  inc.update(std::span{data.data() + 400, 600});
+  EXPECT_EQ(inc.value(), Crc32::of(data));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const auto before = Crc32::of(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(before, Crc32::of(data));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a{7};
+  Rng b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng{13};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng{17};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng{23};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng{31};
+  RunningStats whole;
+  RunningStats partA;
+  RunningStats partB;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    whole.add(x);
+    (i % 2 == 0 ? partA : partB).add(x);
+  }
+  partA.merge(partB);
+  EXPECT_EQ(partA.count(), whole.count());
+  EXPECT_NEAR(partA.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(partA.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(partA.min(), whole.min());
+  EXPECT_DOUBLE_EQ(partA.max(), whole.max());
+}
+
+TEST(HistogramTest, BinningAndQuantiles) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.binCount(0), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(ExactQuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(exactQuantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(exactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exactQuantile(v, 1.0), 5.0);
+  EXPECT_THROW((void)exactQuantile({}, 0.5), DomainError);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_NEAR(relativeError(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relativeError(1.0, 1.0), 0.0);
+}
+
+TEST(TableTest, AlignmentAndCsv) {
+  Table t{{"name", "value"}};
+  t.row().cell("alpha").cell(3.14159, 3);
+  t.row().cell("a,b").cell(std::uint64_t{42});
+  const std::string text = t.toString();
+  EXPECT_NE(text.find("| alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  const std::string csv = t.toCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableTest, RejectsOverfullRow) {
+  Table t{{"only"}};
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), DomainError);
+}
+
+TEST(PlotTest, RendersSeriesAndLegend) {
+  Series s{"line", {1.0, 2.0, 3.0}, {1.0, 4.0, 9.0}};
+  PlotOptions opts;
+  opts.width = 40;
+  opts.height = 10;
+  opts.title = "squares";
+  const std::string out = renderAsciiPlot({s}, opts);
+  EXPECT_NE(out.find("squares"), std::string::npos);
+  EXPECT_NE(out.find("[*] line"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(PlotTest, LogAxesSkipNonPositive) {
+  Series s{"log", {0.0, 1.0, 10.0, 100.0}, {1.0, 1.0, 2.0, 3.0}};
+  PlotOptions opts;
+  opts.logX = true;
+  EXPECT_NO_THROW(renderAsciiPlot({s}, opts));
+}
+
+TEST(PlotTest, RejectsEmpty) {
+  EXPECT_THROW(renderAsciiPlot({}, PlotOptions{}), DomainError);
+}
+
+TEST(HeatmapTest, RendersRampAndBounds) {
+  std::vector<std::vector<double>> grid{{0.0, 0.5, 1.0}, {1.0, 0.5, 0.0}};
+  HeatmapOptions opts;
+  opts.title = "ramp";
+  const std::string out = renderHeatmap(grid, opts);
+  EXPECT_NE(out.find("ramp"), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);  // max value glyph
+  EXPECT_NE(out.find(' '), std::string::npos);  // min value glyph
+  EXPECT_NE(out.find("[0, 1]"), std::string::npos);
+}
+
+TEST(HeatmapTest, LogScaleAndValidation) {
+  std::vector<std::vector<double>> grid{{1.0, 10.0, 100.0}};
+  HeatmapOptions opts;
+  opts.logScale = true;
+  const std::string out = renderHeatmap(grid, opts);
+  EXPECT_NE(out.find("log10"), std::string::npos);
+  EXPECT_THROW(renderHeatmap({}, opts), DomainError);
+  EXPECT_THROW(renderHeatmap({{1.0, 2.0}, {1.0}}, opts), DomainError);
+}
+
+}  // namespace
+}  // namespace prtr::util

@@ -1,0 +1,79 @@
+// Unit tests for the strongly typed quantities in util/units.hpp.
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prtr::util {
+namespace {
+
+TEST(TimeTest, ConstructionAndConversion) {
+  EXPECT_EQ(Time::zero().ps(), 0);
+  EXPECT_EQ(Time::nanoseconds(3).ps(), 3'000);
+  EXPECT_EQ(Time::microseconds(2).ps(), 2'000'000);
+  EXPECT_EQ(Time::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::milliseconds(36).toSeconds(), 0.036);
+  EXPECT_DOUBLE_EQ(Time::milliseconds(36).toMilliseconds(), 36.0);
+}
+
+TEST(TimeTest, SecondsRoundTripIsExactToPicosecond) {
+  const Time t = Time::seconds(1.6780425);
+  EXPECT_NEAR(t.toSeconds(), 1.6780425, 1e-12);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::milliseconds(10);
+  const Time b = Time::milliseconds(4);
+  EXPECT_EQ((a + b).ps(), Time::milliseconds(14).ps());
+  EXPECT_EQ((a - b).ps(), Time::milliseconds(6).ps());
+  EXPECT_EQ((a * 3).ps(), Time::milliseconds(30).ps());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+  EXPECT_EQ((a * 0.5).ps(), Time::milliseconds(5).ps());
+}
+
+TEST(TimeTest, ToStringPicksSensibleUnits) {
+  EXPECT_EQ(Time::seconds(2.0).toString(), "2 s");
+  EXPECT_EQ(Time::milliseconds(36).toString(), "36 ms");
+  EXPECT_EQ(Time::microseconds(10).toString(), "10 us");
+  EXPECT_EQ(Time::nanoseconds(500).toString(), "500 ns");
+  EXPECT_EQ(Time::picoseconds(7).toString(), "7 ps");
+}
+
+TEST(BytesTest, BasicsAndUnits) {
+  EXPECT_EQ(Bytes::kibi(2).count(), 2048u);
+  EXPECT_EQ(Bytes::mebi(4).count(), 4u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(Bytes{2'381'764}.toMegabytes(), 2.381764);
+  EXPECT_EQ((Bytes{100} + Bytes{28}).count(), 128u);
+  EXPECT_EQ((Bytes{100} - Bytes{28}).count(), 72u);
+  EXPECT_EQ((Bytes{3} * 4).count(), 12u);
+  EXPECT_LT(Bytes{1}, Bytes{2});
+}
+
+TEST(DataRateTest, TransferTimeMatchesPaperEstimates) {
+  // Table 2: 2,381,764 bytes through 66 MB/s SelectMap = 36.09 ms.
+  const DataRate selectMap = DataRate::megabytesPerSecond(66);
+  const Time t = selectMap.transferTime(Bytes{2'381'764});
+  EXPECT_NEAR(t.toMilliseconds(), 36.09, 0.01);
+}
+
+TEST(DataRateTest, ScaledEfficiency) {
+  const DataRate raw = DataRate::gigabytesPerSecond(1.6);
+  EXPECT_NEAR(raw.scaled(0.875).toMegabytesPerSecond(), 1400.0, 1e-9);
+}
+
+TEST(FrequencyTest, PeriodAndCycles) {
+  const Frequency f = Frequency::megahertz(200);
+  EXPECT_NEAR(f.period().toSeconds(), 5e-9, 1e-15);
+  EXPECT_NEAR(f.cycles(200'000'000).toSeconds(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.toMegahertz(), 200.0);
+}
+
+TEST(FrequencyTest, IcapByteRate) {
+  // 8-bit ICAP at 66 MHz: 66 MB/s raw.
+  const Frequency icap = Frequency::megahertz(66);
+  const double bytesPerSecond = icap.hertz();
+  EXPECT_NEAR(bytesPerSecond, 66e6, 1.0);
+}
+
+}  // namespace
+}  // namespace prtr::util

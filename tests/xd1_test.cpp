@@ -1,0 +1,155 @@
+// Tests for the Cray XD1 platform model and the model calibration bridge
+// (Table 2 reproduction).
+#include <gtest/gtest.h>
+
+#include "model/calibration.hpp"
+#include "tasks/hwfunction.hpp"
+#include "xd1/node.hpp"
+#include "xd1/rtcore.hpp"
+
+namespace prtr::xd1 {
+namespace {
+
+TEST(NodeTest, DefaultsMatchPaperPlatform) {
+  sim::Simulator sim;
+  const Node node{sim};
+  EXPECT_EQ(node.device().name(), "xc2vp50");
+  EXPECT_EQ(node.floorplan().prrCount(), 2u);  // dual PRR default
+  EXPECT_EQ(node.bankCount(), 4u);
+  // Paper section 5: I/O bandwidth 1400 MB/s.
+  EXPECT_NEAR(node.ioBandwidth().toMegabytesPerSecond(), 1400.0, 1e-6);
+}
+
+TEST(NodeTest, SinglePrrLayoutGetsAllBanks) {
+  sim::Simulator sim;
+  NodeConfig cfg;
+  cfg.layout = Layout::kSinglePrr;
+  const Node node{sim, cfg};
+  EXPECT_EQ(node.floorplan().prrCount(), 1u);
+  EXPECT_EQ(node.banksFor(0), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(NodeTest, DualPrrLayoutSplitsBanks) {
+  sim::Simulator sim;
+  const Node node{sim};
+  EXPECT_EQ(node.banksFor(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(node.banksFor(1), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(NodeTest, BanksTotal16MB) {
+  sim::Simulator sim;
+  Node node{sim};
+  util::Bytes total{};
+  for (std::size_t i = 0; i < node.bankCount(); ++i) {
+    total += node.bank(i).capacity();
+  }
+  EXPECT_EQ(total, util::Bytes::mebi(16));
+}
+
+TEST(QdrBankTest, ReadAndWritePortsAreIndependent) {
+  sim::Simulator sim;
+  QdrBank bank{sim, "b0", util::Bytes::mebi(4),
+               util::DataRate::megabytesPerSecond(100)};
+  auto both = [&](sim::Simulator& s) -> sim::Process {
+    sim::WaitGroup wg{s};
+    wg.add(2);
+    auto reader = [](QdrBank& b, sim::WaitGroup& w) -> sim::Process {
+      co_await b.read(util::Bytes{1'000'000});
+      w.done();
+    };
+    auto writer = [](QdrBank& b, sim::WaitGroup& w) -> sim::Process {
+      co_await b.write(util::Bytes{1'000'000});
+      w.done();
+    };
+    s.spawn(reader(bank, wg));
+    s.spawn(writer(bank, wg));
+    co_await wg.wait();
+  };
+  sim.spawn(both(sim));
+  sim.run();
+  // Dual-ported QDR: read and write overlap fully -> 10 ms, not 20 ms.
+  EXPECT_EQ(sim.now(), util::Time::milliseconds(10));
+}
+
+TEST(StaticDesignTest, Table1StaticRegionRow) {
+  const fabric::ResourceVec staticRegion =
+      StaticDesign::staticRegionFootprint();
+  EXPECT_EQ(staticRegion.luts, 3372u);
+  EXPECT_EQ(staticRegion.ffs, 5503u);
+  EXPECT_EQ(staticRegion.bram18, 25u);
+  EXPECT_NEAR(StaticDesign::fabricClock().toMegahertz(), 200.0, 1e-9);
+}
+
+TEST(CalibrationTest, Table2EstimatedColumn) {
+  sim::Simulator sim;
+  const Node node{sim};
+  const model::ConfigTimes times = model::configTimes(node);
+  EXPECT_NEAR(times.fullEstimated.toMilliseconds(), 36.09, 0.01);
+  EXPECT_NEAR(times.partialEstimated.toMilliseconds(), 6.12, 0.02);
+}
+
+TEST(CalibrationTest, Table2MeasuredColumn) {
+  sim::Simulator sim;
+  const Node node{sim};
+  const model::ConfigTimes times = model::configTimes(node);
+  EXPECT_NEAR(times.fullMeasured.toMilliseconds(), 1678.04, 1678.04 * 0.001);
+  EXPECT_NEAR(times.partialMeasured.toMilliseconds(), 19.77, 19.77 * 0.011);
+}
+
+TEST(CalibrationTest, NormalizedXPrtrMatchesPaper) {
+  sim::Simulator sim;
+  const Node node{sim};
+  const model::ConfigTimes times = model::configTimes(node);
+  // Table 2 normalized column: 0.17 estimated, 0.012 measured (dual PRR).
+  EXPECT_NEAR(times.xPrtr(model::ConfigTimeBasis::kEstimated), 0.17, 0.005);
+  EXPECT_NEAR(times.xPrtr(model::ConfigTimeBasis::kMeasured), 0.012, 0.0005);
+}
+
+TEST(CalibrationTest, SinglePrrNormalized) {
+  sim::Simulator sim;
+  NodeConfig cfg;
+  cfg.layout = Layout::kSinglePrr;
+  const Node node{sim, cfg};
+  const model::ConfigTimes times = model::configTimes(node);
+  // Table 2: 0.37 estimated, 0.026 measured (single PRR).
+  EXPECT_NEAR(times.xPrtr(model::ConfigTimeBasis::kEstimated), 0.37, 0.01);
+  EXPECT_NEAR(times.xPrtr(model::ConfigTimeBasis::kMeasured), 0.026, 0.001);
+}
+
+TEST(CalibrationTest, TaskTimeIsLinkPlusComputePlusLink) {
+  sim::Simulator sim;
+  const Node node{sim};
+  const auto registry = tasks::makePaperFunctions();
+  const tasks::HwFunction& median = registry.byName("median");
+  const util::Bytes data{1'400'000};  // 1 ms inbound at 1400 MB/s
+  const util::Time t = model::taskTime(node, median, data);
+  // in: 1 ms (+0.5 us latency), compute: 1.4e6 px / 200 MHz = 7 ms,
+  // out: 1 ms (+0.5 us latency).
+  EXPECT_NEAR(t.toMilliseconds(), 9.001, 0.01);
+}
+
+TEST(CalibrationTest, BytesForTaskTimeInvertsTaskTime) {
+  sim::Simulator sim;
+  const Node node{sim};
+  const auto registry = tasks::makePaperFunctions();
+  const tasks::HwFunction& sobel = registry.byName("sobel");
+  for (const double ms : {0.5, 5.0, 50.0, 500.0}) {
+    const util::Time target = util::Time::seconds(ms * 1e-3);
+    const util::Bytes bytes = model::bytesForTaskTime(node, sobel, target);
+    const util::Time actual = model::taskTime(node, sobel, bytes);
+    EXPECT_NEAR(actual.toSeconds(), target.toSeconds(),
+                target.toSeconds() * 1e-6 + 1e-8);
+  }
+}
+
+TEST(CalibrationTest, RejectsTargetBelowLatency) {
+  sim::Simulator sim;
+  const Node node{sim};
+  const auto registry = tasks::makePaperFunctions();
+  EXPECT_THROW((void)model::bytesForTaskTime(node, registry.at(0),
+                                       util::Time::nanoseconds(100)),
+               util::DomainError);
+}
+
+}  // namespace
+}  // namespace prtr::xd1
