@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_appsuite.cpp" "bench-build/CMakeFiles/bench_appsuite.dir/bench_appsuite.cpp.o" "gcc" "bench-build/CMakeFiles/bench_appsuite.dir/bench_appsuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hprc/CMakeFiles/prtr_hprc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/prtr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/prtr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/prtr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xd1/CMakeFiles/prtr_xd1.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/prtr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prtr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/prtr_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/prtr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/prtr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appsuite"
+  "../bench/bench_appsuite.pdb"
+  "CMakeFiles/bench_appsuite.dir/bench_appsuite.cpp.o"
+  "CMakeFiles/bench_appsuite.dir/bench_appsuite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_defrag"
+  "../bench/bench_defrag.pdb"
+  "CMakeFiles/bench_defrag.dir/bench_defrag.cpp.o"
+  "CMakeFiles/bench_defrag.dir/bench_defrag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

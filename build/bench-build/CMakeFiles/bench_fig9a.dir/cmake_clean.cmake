@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9a"
+  "../bench/bench_fig9a.pdb"
+  "CMakeFiles/bench_fig9a.dir/bench_fig9a.cpp.o"
+  "CMakeFiles/bench_fig9a.dir/bench_fig9a.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

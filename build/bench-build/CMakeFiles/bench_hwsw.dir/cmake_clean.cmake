@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hwsw"
+  "../bench/bench_hwsw.pdb"
+  "CMakeFiles/bench_hwsw.dir/bench_hwsw.cpp.o"
+  "CMakeFiles/bench_hwsw.dir/bench_hwsw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hwsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multitask"
+  "../bench/bench_multitask.pdb"
+  "CMakeFiles/bench_multitask.dir/bench_multitask.cpp.o"
+  "CMakeFiles/bench_multitask.dir/bench_multitask.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overheads"
+  "../bench/bench_overheads.pdb"
+  "CMakeFiles/bench_overheads.dir/bench_overheads.cpp.o"
+  "CMakeFiles/bench_overheads.dir/bench_overheads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

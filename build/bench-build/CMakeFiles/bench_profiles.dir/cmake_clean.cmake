@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_profiles"
+  "../bench/bench_profiles.pdb"
+  "CMakeFiles/bench_profiles.dir/bench_profiles.cpp.o"
+  "CMakeFiles/bench_profiles.dir/bench_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scrubbing"
+  "../bench/bench_scrubbing.pdb"
+  "CMakeFiles/bench_scrubbing.dir/bench_scrubbing.cpp.o"
+  "CMakeFiles/bench_scrubbing.dir/bench_scrubbing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwsw_codesign.dir/hwsw_codesign.cpp.o"
+  "CMakeFiles/hwsw_codesign.dir/hwsw_codesign.cpp.o.d"
+  "hwsw_codesign"
+  "hwsw_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwsw_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtrsim_cli.dir/prtrsim_cli.cpp.o"
+  "CMakeFiles/prtrsim_cli.dir/prtrsim_cli.cpp.o.d"
+  "prtrsim_cli"
+  "prtrsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtrsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_analysis.dir/figures.cpp.o"
+  "CMakeFiles/prtr_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/prtr_analysis.dir/parallel.cpp.o"
+  "CMakeFiles/prtr_analysis.dir/parallel.cpp.o.d"
+  "libprtr_analysis.a"
+  "libprtr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/builder.cpp" "src/bitstream/CMakeFiles/prtr_bitstream.dir/builder.cpp.o" "gcc" "src/bitstream/CMakeFiles/prtr_bitstream.dir/builder.cpp.o.d"
+  "/root/repo/src/bitstream/compress.cpp" "src/bitstream/CMakeFiles/prtr_bitstream.dir/compress.cpp.o" "gcc" "src/bitstream/CMakeFiles/prtr_bitstream.dir/compress.cpp.o.d"
+  "/root/repo/src/bitstream/format.cpp" "src/bitstream/CMakeFiles/prtr_bitstream.dir/format.cpp.o" "gcc" "src/bitstream/CMakeFiles/prtr_bitstream.dir/format.cpp.o.d"
+  "/root/repo/src/bitstream/library.cpp" "src/bitstream/CMakeFiles/prtr_bitstream.dir/library.cpp.o" "gcc" "src/bitstream/CMakeFiles/prtr_bitstream.dir/library.cpp.o.d"
+  "/root/repo/src/bitstream/parser.cpp" "src/bitstream/CMakeFiles/prtr_bitstream.dir/parser.cpp.o" "gcc" "src/bitstream/CMakeFiles/prtr_bitstream.dir/parser.cpp.o.d"
+  "/root/repo/src/bitstream/relocate.cpp" "src/bitstream/CMakeFiles/prtr_bitstream.dir/relocate.cpp.o" "gcc" "src/bitstream/CMakeFiles/prtr_bitstream.dir/relocate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/prtr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

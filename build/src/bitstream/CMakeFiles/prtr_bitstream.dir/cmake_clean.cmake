@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_bitstream.dir/builder.cpp.o"
+  "CMakeFiles/prtr_bitstream.dir/builder.cpp.o.d"
+  "CMakeFiles/prtr_bitstream.dir/compress.cpp.o"
+  "CMakeFiles/prtr_bitstream.dir/compress.cpp.o.d"
+  "CMakeFiles/prtr_bitstream.dir/format.cpp.o"
+  "CMakeFiles/prtr_bitstream.dir/format.cpp.o.d"
+  "CMakeFiles/prtr_bitstream.dir/library.cpp.o"
+  "CMakeFiles/prtr_bitstream.dir/library.cpp.o.d"
+  "CMakeFiles/prtr_bitstream.dir/parser.cpp.o"
+  "CMakeFiles/prtr_bitstream.dir/parser.cpp.o.d"
+  "CMakeFiles/prtr_bitstream.dir/relocate.cpp.o"
+  "CMakeFiles/prtr_bitstream.dir/relocate.cpp.o.d"
+  "libprtr_bitstream.a"
+  "libprtr_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/icap_controller.cpp" "src/config/CMakeFiles/prtr_config.dir/icap_controller.cpp.o" "gcc" "src/config/CMakeFiles/prtr_config.dir/icap_controller.cpp.o.d"
+  "/root/repo/src/config/manager.cpp" "src/config/CMakeFiles/prtr_config.dir/manager.cpp.o" "gcc" "src/config/CMakeFiles/prtr_config.dir/manager.cpp.o.d"
+  "/root/repo/src/config/memory.cpp" "src/config/CMakeFiles/prtr_config.dir/memory.cpp.o" "gcc" "src/config/CMakeFiles/prtr_config.dir/memory.cpp.o.d"
+  "/root/repo/src/config/port.cpp" "src/config/CMakeFiles/prtr_config.dir/port.cpp.o" "gcc" "src/config/CMakeFiles/prtr_config.dir/port.cpp.o.d"
+  "/root/repo/src/config/scrubber.cpp" "src/config/CMakeFiles/prtr_config.dir/scrubber.cpp.o" "gcc" "src/config/CMakeFiles/prtr_config.dir/scrubber.cpp.o.d"
+  "/root/repo/src/config/vendor_api.cpp" "src/config/CMakeFiles/prtr_config.dir/vendor_api.cpp.o" "gcc" "src/config/CMakeFiles/prtr_config.dir/vendor_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitstream/CMakeFiles/prtr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/prtr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prtr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_config.dir/icap_controller.cpp.o"
+  "CMakeFiles/prtr_config.dir/icap_controller.cpp.o.d"
+  "CMakeFiles/prtr_config.dir/manager.cpp.o"
+  "CMakeFiles/prtr_config.dir/manager.cpp.o.d"
+  "CMakeFiles/prtr_config.dir/memory.cpp.o"
+  "CMakeFiles/prtr_config.dir/memory.cpp.o.d"
+  "CMakeFiles/prtr_config.dir/port.cpp.o"
+  "CMakeFiles/prtr_config.dir/port.cpp.o.d"
+  "CMakeFiles/prtr_config.dir/scrubber.cpp.o"
+  "CMakeFiles/prtr_config.dir/scrubber.cpp.o.d"
+  "CMakeFiles/prtr_config.dir/vendor_api.cpp.o"
+  "CMakeFiles/prtr_config.dir/vendor_api.cpp.o.d"
+  "libprtr_config.a"
+  "libprtr_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

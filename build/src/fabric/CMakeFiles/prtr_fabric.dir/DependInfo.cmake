@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/allocator.cpp" "src/fabric/CMakeFiles/prtr_fabric.dir/allocator.cpp.o" "gcc" "src/fabric/CMakeFiles/prtr_fabric.dir/allocator.cpp.o.d"
+  "/root/repo/src/fabric/device.cpp" "src/fabric/CMakeFiles/prtr_fabric.dir/device.cpp.o" "gcc" "src/fabric/CMakeFiles/prtr_fabric.dir/device.cpp.o.d"
+  "/root/repo/src/fabric/floorplan.cpp" "src/fabric/CMakeFiles/prtr_fabric.dir/floorplan.cpp.o" "gcc" "src/fabric/CMakeFiles/prtr_fabric.dir/floorplan.cpp.o.d"
+  "/root/repo/src/fabric/geometry.cpp" "src/fabric/CMakeFiles/prtr_fabric.dir/geometry.cpp.o" "gcc" "src/fabric/CMakeFiles/prtr_fabric.dir/geometry.cpp.o.d"
+  "/root/repo/src/fabric/region.cpp" "src/fabric/CMakeFiles/prtr_fabric.dir/region.cpp.o" "gcc" "src/fabric/CMakeFiles/prtr_fabric.dir/region.cpp.o.d"
+  "/root/repo/src/fabric/resources.cpp" "src/fabric/CMakeFiles/prtr_fabric.dir/resources.cpp.o" "gcc" "src/fabric/CMakeFiles/prtr_fabric.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_fabric.dir/allocator.cpp.o"
+  "CMakeFiles/prtr_fabric.dir/allocator.cpp.o.d"
+  "CMakeFiles/prtr_fabric.dir/device.cpp.o"
+  "CMakeFiles/prtr_fabric.dir/device.cpp.o.d"
+  "CMakeFiles/prtr_fabric.dir/floorplan.cpp.o"
+  "CMakeFiles/prtr_fabric.dir/floorplan.cpp.o.d"
+  "CMakeFiles/prtr_fabric.dir/geometry.cpp.o"
+  "CMakeFiles/prtr_fabric.dir/geometry.cpp.o.d"
+  "CMakeFiles/prtr_fabric.dir/region.cpp.o"
+  "CMakeFiles/prtr_fabric.dir/region.cpp.o.d"
+  "CMakeFiles/prtr_fabric.dir/resources.cpp.o"
+  "CMakeFiles/prtr_fabric.dir/resources.cpp.o.d"
+  "libprtr_fabric.a"
+  "libprtr_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_hprc.dir/chassis.cpp.o"
+  "CMakeFiles/prtr_hprc.dir/chassis.cpp.o.d"
+  "libprtr_hprc.a"
+  "libprtr_hprc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_hprc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/bounds.cpp" "src/model/CMakeFiles/prtr_model.dir/bounds.cpp.o" "gcc" "src/model/CMakeFiles/prtr_model.dir/bounds.cpp.o.d"
+  "/root/repo/src/model/calibration.cpp" "src/model/CMakeFiles/prtr_model.dir/calibration.cpp.o" "gcc" "src/model/CMakeFiles/prtr_model.dir/calibration.cpp.o.d"
+  "/root/repo/src/model/insights.cpp" "src/model/CMakeFiles/prtr_model.dir/insights.cpp.o" "gcc" "src/model/CMakeFiles/prtr_model.dir/insights.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/prtr_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/prtr_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/prtr_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/prtr_model.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xd1/CMakeFiles/prtr_xd1.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/prtr_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/prtr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prtr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prtr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/prtr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/prtr_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

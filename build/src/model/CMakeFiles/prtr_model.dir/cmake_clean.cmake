@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_model.dir/bounds.cpp.o"
+  "CMakeFiles/prtr_model.dir/bounds.cpp.o.d"
+  "CMakeFiles/prtr_model.dir/calibration.cpp.o"
+  "CMakeFiles/prtr_model.dir/calibration.cpp.o.d"
+  "CMakeFiles/prtr_model.dir/insights.cpp.o"
+  "CMakeFiles/prtr_model.dir/insights.cpp.o.d"
+  "CMakeFiles/prtr_model.dir/model.cpp.o"
+  "CMakeFiles/prtr_model.dir/model.cpp.o.d"
+  "CMakeFiles/prtr_model.dir/params.cpp.o"
+  "CMakeFiles/prtr_model.dir/params.cpp.o.d"
+  "libprtr_model.a"
+  "libprtr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

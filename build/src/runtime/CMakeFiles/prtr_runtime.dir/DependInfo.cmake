@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cache.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/cache.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/cache.cpp.o.d"
+  "/root/repo/src/runtime/dynamic_executor.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/dynamic_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/dynamic_executor.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/hwsw.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/hwsw.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/hwsw.cpp.o.d"
+  "/root/repo/src/runtime/multitask.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/multitask.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/multitask.cpp.o.d"
+  "/root/repo/src/runtime/prefetch.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/prefetch.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/prefetch.cpp.o.d"
+  "/root/repo/src/runtime/report.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/report.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/report.cpp.o.d"
+  "/root/repo/src/runtime/scenario.cpp" "src/runtime/CMakeFiles/prtr_runtime.dir/scenario.cpp.o" "gcc" "src/runtime/CMakeFiles/prtr_runtime.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/prtr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/xd1/CMakeFiles/prtr_xd1.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/prtr_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/prtr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/prtr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prtr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prtr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/prtr_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_runtime.dir/cache.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/cache.cpp.o.d"
+  "CMakeFiles/prtr_runtime.dir/dynamic_executor.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/dynamic_executor.cpp.o.d"
+  "CMakeFiles/prtr_runtime.dir/executor.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/prtr_runtime.dir/hwsw.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/hwsw.cpp.o.d"
+  "CMakeFiles/prtr_runtime.dir/multitask.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/multitask.cpp.o.d"
+  "CMakeFiles/prtr_runtime.dir/prefetch.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/prefetch.cpp.o.d"
+  "CMakeFiles/prtr_runtime.dir/report.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/report.cpp.o.d"
+  "CMakeFiles/prtr_runtime.dir/scenario.cpp.o"
+  "CMakeFiles/prtr_runtime.dir/scenario.cpp.o.d"
+  "libprtr_runtime.a"
+  "libprtr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

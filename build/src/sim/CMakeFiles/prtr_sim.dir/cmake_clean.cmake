@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/prtr_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/prtr_sim.dir/trace.cpp.o"
+  "CMakeFiles/prtr_sim.dir/trace.cpp.o.d"
+  "libprtr_sim.a"
+  "libprtr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/appsuite.cpp" "src/tasks/CMakeFiles/prtr_tasks.dir/appsuite.cpp.o" "gcc" "src/tasks/CMakeFiles/prtr_tasks.dir/appsuite.cpp.o.d"
+  "/root/repo/src/tasks/hwfunction.cpp" "src/tasks/CMakeFiles/prtr_tasks.dir/hwfunction.cpp.o" "gcc" "src/tasks/CMakeFiles/prtr_tasks.dir/hwfunction.cpp.o.d"
+  "/root/repo/src/tasks/image.cpp" "src/tasks/CMakeFiles/prtr_tasks.dir/image.cpp.o" "gcc" "src/tasks/CMakeFiles/prtr_tasks.dir/image.cpp.o.d"
+  "/root/repo/src/tasks/kernels.cpp" "src/tasks/CMakeFiles/prtr_tasks.dir/kernels.cpp.o" "gcc" "src/tasks/CMakeFiles/prtr_tasks.dir/kernels.cpp.o.d"
+  "/root/repo/src/tasks/locality.cpp" "src/tasks/CMakeFiles/prtr_tasks.dir/locality.cpp.o" "gcc" "src/tasks/CMakeFiles/prtr_tasks.dir/locality.cpp.o.d"
+  "/root/repo/src/tasks/workload.cpp" "src/tasks/CMakeFiles/prtr_tasks.dir/workload.cpp.o" "gcc" "src/tasks/CMakeFiles/prtr_tasks.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitstream/CMakeFiles/prtr_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/prtr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_tasks.dir/appsuite.cpp.o"
+  "CMakeFiles/prtr_tasks.dir/appsuite.cpp.o.d"
+  "CMakeFiles/prtr_tasks.dir/hwfunction.cpp.o"
+  "CMakeFiles/prtr_tasks.dir/hwfunction.cpp.o.d"
+  "CMakeFiles/prtr_tasks.dir/image.cpp.o"
+  "CMakeFiles/prtr_tasks.dir/image.cpp.o.d"
+  "CMakeFiles/prtr_tasks.dir/kernels.cpp.o"
+  "CMakeFiles/prtr_tasks.dir/kernels.cpp.o.d"
+  "CMakeFiles/prtr_tasks.dir/locality.cpp.o"
+  "CMakeFiles/prtr_tasks.dir/locality.cpp.o.d"
+  "CMakeFiles/prtr_tasks.dir/workload.cpp.o"
+  "CMakeFiles/prtr_tasks.dir/workload.cpp.o.d"
+  "libprtr_tasks.a"
+  "libprtr_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

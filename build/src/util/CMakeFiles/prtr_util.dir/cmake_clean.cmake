@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_util.dir/crc32.cpp.o"
+  "CMakeFiles/prtr_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/prtr_util.dir/log.cpp.o"
+  "CMakeFiles/prtr_util.dir/log.cpp.o.d"
+  "CMakeFiles/prtr_util.dir/plot.cpp.o"
+  "CMakeFiles/prtr_util.dir/plot.cpp.o.d"
+  "CMakeFiles/prtr_util.dir/rng.cpp.o"
+  "CMakeFiles/prtr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/prtr_util.dir/stats.cpp.o"
+  "CMakeFiles/prtr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/prtr_util.dir/table.cpp.o"
+  "CMakeFiles/prtr_util.dir/table.cpp.o.d"
+  "CMakeFiles/prtr_util.dir/units.cpp.o"
+  "CMakeFiles/prtr_util.dir/units.cpp.o.d"
+  "libprtr_util.a"
+  "libprtr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

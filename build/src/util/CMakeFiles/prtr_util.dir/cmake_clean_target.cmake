@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprtr_util.a"
+)

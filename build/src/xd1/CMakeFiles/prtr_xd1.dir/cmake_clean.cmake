@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prtr_xd1.dir/node.cpp.o"
+  "CMakeFiles/prtr_xd1.dir/node.cpp.o.d"
+  "libprtr_xd1.a"
+  "libprtr_xd1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prtr_xd1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

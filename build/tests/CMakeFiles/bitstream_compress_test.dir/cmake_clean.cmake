@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_compress_test.dir/bitstream_compress_test.cpp.o"
+  "CMakeFiles/bitstream_compress_test.dir/bitstream_compress_test.cpp.o.d"
+  "bitstream_compress_test"
+  "bitstream_compress_test.pdb"
+  "bitstream_compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_relocate_test.dir/bitstream_relocate_test.cpp.o"
+  "CMakeFiles/bitstream_relocate_test.dir/bitstream_relocate_test.cpp.o.d"
+  "bitstream_relocate_test"
+  "bitstream_relocate_test.pdb"
+  "bitstream_relocate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_relocate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_scrubber_test.dir/config_scrubber_test.cpp.o"
+  "CMakeFiles/config_scrubber_test.dir/config_scrubber_test.cpp.o.d"
+  "config_scrubber_test"
+  "config_scrubber_test.pdb"
+  "config_scrubber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_scrubber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

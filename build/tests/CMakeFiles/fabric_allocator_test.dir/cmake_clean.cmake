@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_allocator_test.dir/fabric_allocator_test.cpp.o"
+  "CMakeFiles/fabric_allocator_test.dir/fabric_allocator_test.cpp.o.d"
+  "fabric_allocator_test"
+  "fabric_allocator_test.pdb"
+  "fabric_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hprc_chassis_test.dir/hprc_chassis_test.cpp.o"
+  "CMakeFiles/hprc_chassis_test.dir/hprc_chassis_test.cpp.o.d"
+  "hprc_chassis_test"
+  "hprc_chassis_test.pdb"
+  "hprc_chassis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hprc_chassis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_bounds_test.dir/model_bounds_test.cpp.o"
+  "CMakeFiles/model_bounds_test.dir/model_bounds_test.cpp.o.d"
+  "model_bounds_test"
+  "model_bounds_test.pdb"
+  "model_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

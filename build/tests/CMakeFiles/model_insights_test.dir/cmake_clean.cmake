@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_insights_test.dir/model_insights_test.cpp.o"
+  "CMakeFiles/model_insights_test.dir/model_insights_test.cpp.o.d"
+  "model_insights_test"
+  "model_insights_test.pdb"
+  "model_insights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_insights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_executor_test.dir/property_executor_test.cpp.o"
+  "CMakeFiles/property_executor_test.dir/property_executor_test.cpp.o.d"
+  "property_executor_test"
+  "property_executor_test.pdb"
+  "property_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_cache_test.dir/runtime_cache_test.cpp.o"
+  "CMakeFiles/runtime_cache_test.dir/runtime_cache_test.cpp.o.d"
+  "runtime_cache_test"
+  "runtime_cache_test.pdb"
+  "runtime_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

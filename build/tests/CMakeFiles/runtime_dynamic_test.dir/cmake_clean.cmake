@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_dynamic_test.dir/runtime_dynamic_test.cpp.o"
+  "CMakeFiles/runtime_dynamic_test.dir/runtime_dynamic_test.cpp.o.d"
+  "runtime_dynamic_test"
+  "runtime_dynamic_test.pdb"
+  "runtime_dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

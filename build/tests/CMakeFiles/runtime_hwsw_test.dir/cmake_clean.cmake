@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_hwsw_test.dir/runtime_hwsw_test.cpp.o"
+  "CMakeFiles/runtime_hwsw_test.dir/runtime_hwsw_test.cpp.o.d"
+  "runtime_hwsw_test"
+  "runtime_hwsw_test.pdb"
+  "runtime_hwsw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_hwsw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

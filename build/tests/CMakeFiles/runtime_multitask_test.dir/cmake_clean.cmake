@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_multitask_test.dir/runtime_multitask_test.cpp.o"
+  "CMakeFiles/runtime_multitask_test.dir/runtime_multitask_test.cpp.o.d"
+  "runtime_multitask_test"
+  "runtime_multitask_test.pdb"
+  "runtime_multitask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_multitask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_prefetch_test.dir/runtime_prefetch_test.cpp.o"
+  "CMakeFiles/runtime_prefetch_test.dir/runtime_prefetch_test.cpp.o.d"
+  "runtime_prefetch_test"
+  "runtime_prefetch_test.pdb"
+  "runtime_prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

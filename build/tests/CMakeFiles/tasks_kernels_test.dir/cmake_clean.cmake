@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasks_kernels_test.dir/tasks_kernels_test.cpp.o"
+  "CMakeFiles/tasks_kernels_test.dir/tasks_kernels_test.cpp.o.d"
+  "tasks_kernels_test"
+  "tasks_kernels_test.pdb"
+  "tasks_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasks_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

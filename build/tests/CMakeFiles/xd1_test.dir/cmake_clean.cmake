@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xd1_test.dir/xd1_test.cpp.o"
+  "CMakeFiles/xd1_test.dir/xd1_test.cpp.o.d"
+  "xd1_test"
+  "xd1_test.pdb"
+  "xd1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xd1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
