@@ -1,0 +1,22 @@
+# Paper Figure 8, dual-PRR layout on the XC2VP50 (fabric::makeDualPrrLayout).
+# Two 380-frame edge regions; macros pinned to the boundary column nearer
+# the device centre.
+device xc2vp50
+prr PRR0 0 16
+prr PRR1 67 16
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16
+busmacro PRR1 l2r 8 67
+busmacro PRR1 r2l 8 67
+busmacro PRR1 l2r 8 67
+busmacro PRR1 r2l 8 67
+busmacro PRR1 l2r 8 67
+busmacro PRR1 r2l 8 67
+busmacro PRR1 l2r 8 67
+busmacro PRR1 r2l 8 67

@@ -1,0 +1,39 @@
+# Hypothetical quad-PRR layout (fabric::makeQuadPrrLayout): four 13-CLB
+# regions of 286 frames each, for the granularity ablations.
+device xc2vp50
+prr PRR0 2 13
+prr PRR1 16 13
+prr PRR2 30 13
+prr PRR3 68 13
+busmacro PRR0 l2r 8 2
+busmacro PRR0 r2l 8 2
+busmacro PRR0 l2r 8 2
+busmacro PRR0 r2l 8 2
+busmacro PRR0 l2r 8 2
+busmacro PRR0 r2l 8 2
+busmacro PRR0 l2r 8 2
+busmacro PRR0 r2l 8 2
+busmacro PRR1 l2r 8 16
+busmacro PRR1 r2l 8 16
+busmacro PRR1 l2r 8 16
+busmacro PRR1 r2l 8 16
+busmacro PRR1 l2r 8 16
+busmacro PRR1 r2l 8 16
+busmacro PRR1 l2r 8 16
+busmacro PRR1 r2l 8 16
+busmacro PRR2 l2r 8 30
+busmacro PRR2 r2l 8 30
+busmacro PRR2 l2r 8 30
+busmacro PRR2 r2l 8 30
+busmacro PRR2 l2r 8 30
+busmacro PRR2 r2l 8 30
+busmacro PRR2 l2r 8 30
+busmacro PRR2 r2l 8 30
+busmacro PRR3 l2r 8 68
+busmacro PRR3 r2l 8 68
+busmacro PRR3 l2r 8 68
+busmacro PRR3 r2l 8 68
+busmacro PRR3 l2r 8 68
+busmacro PRR3 r2l 8 68
+busmacro PRR3 l2r 8 68
+busmacro PRR3 r2l 8 68

@@ -1,0 +1,13 @@
+# Paper Figure 8, single-PRR layout on the XC2VP50 (fabric::makeSinglePrrLayout).
+# One 34-CLB + 1-BRAM region, 834 frames; four bus-macro pairs on the left
+# boundary (the PRR does not touch column 0, so the boundary is firstColumn).
+device xc2vp50
+prr PRR0 16 35
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16
+busmacro PRR0 l2r 8 16
+busmacro PRR0 r2l 8 16

@@ -1,0 +1,181 @@
+#include "analyze/checks_bitstream.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/crc32.hpp"
+
+namespace prtr::analyze {
+namespace {
+
+using bitstream::Header;
+using bitstream::StreamType;
+
+std::string at(std::size_t offset) {
+  return "byte " + std::to_string(offset);
+}
+
+std::optional<std::uint32_t> readU32(std::span<const std::uint8_t> bytes,
+                                     std::size_t offset) {
+  if (offset + 4 > bytes.size()) return std::nullopt;
+  return static_cast<std::uint32_t>(bytes[offset]) |
+         static_cast<std::uint32_t>(bytes[offset + 1]) << 8 |
+         static_cast<std::uint32_t>(bytes[offset + 2]) << 16 |
+         static_cast<std::uint32_t>(bytes[offset + 3]) << 24;
+}
+
+}  // namespace
+
+std::optional<Header> scanHeader(std::span<const std::uint8_t> bytes,
+                                 DiagnosticSink& sink) {
+  if (bytes.size() < 32) {
+    sink.emit("BS001", at(bytes.size()),
+              "stream is " + std::to_string(bytes.size()) +
+                  " bytes, shorter than the 32-byte XBF header");
+    return std::nullopt;
+  }
+  if (*readU32(bytes, 0) != Header::kMagic) {
+    sink.emit("BS002", at(0), "magic word is not 'XBF1'");
+    return std::nullopt;
+  }
+  const std::uint8_t type = bytes[4];
+  if (type != static_cast<std::uint8_t>(StreamType::kFull) &&
+      type != static_cast<std::uint8_t>(StreamType::kPartial)) {
+    sink.emit("BS003", at(4),
+              "stream type " + std::to_string(type) + " is neither full (1) "
+              "nor partial (2)");
+    return std::nullopt;
+  }
+  Header header;
+  header.type = static_cast<StreamType>(type);
+  header.deviceTag = *readU32(bytes, 8);
+  header.firstFrame = *readU32(bytes, 12);
+  header.frameCount = *readU32(bytes, 16);
+  header.frameBytes = *readU32(bytes, 20);
+  header.moduleId = static_cast<std::uint64_t>(*readU32(bytes, 24)) |
+                    static_cast<std::uint64_t>(*readU32(bytes, 28)) << 32;
+  return header;
+}
+
+StreamScan scanStream(std::span<const std::uint8_t> bytes,
+                      const fabric::Device& device, DiagnosticSink& sink) {
+  StreamScan scan;
+  const std::optional<Header> header = scanHeader(bytes, sink);
+  if (!header) return scan;
+  scan.headerValid = true;
+  scan.header = *header;
+
+  const auto& geometry = device.geometry();
+  const auto& enc = geometry.encoding();
+
+  if (header->deviceTag != bitstream::deviceTag(device.name())) {
+    sink.emit("BS004", at(8),
+              "stream was built for a different device than '" +
+                  device.name() + "'");
+  }
+  // CRC over everything but the 4-byte trailer (header scan guaranteed >= 32
+  // bytes, so the trailer read cannot fail).
+  const std::uint32_t expected = *readU32(bytes, bytes.size() - 4);
+  const std::uint32_t actual =
+      util::Crc32::of(bytes.subspan(0, bytes.size() - 4));
+  if (expected != actual) {
+    sink.emit("BS006", at(bytes.size() - 4),
+              "stored CRC does not match the stream contents");
+  }
+  if (header->frameBytes != enc.frameBytes) {
+    sink.emit("BS005", at(20),
+              "stream carries " + std::to_string(header->frameBytes) +
+                  "-byte frames but device '" + device.name() + "' uses " +
+                  std::to_string(enc.frameBytes) + "-byte frames");
+    return scan;  // the payload stride is unknown; the walk would misread
+  }
+
+  std::size_t offset = 0;
+  scan.writes.reserve(header->frameCount);
+  if (header->type == StreamType::kFull) {
+    if (header->frameCount != geometry.totalFrames()) {
+      sink.emit("BS007", at(16),
+                "full stream carries " + std::to_string(header->frameCount) +
+                    " frames but the device has " +
+                    std::to_string(geometry.totalFrames()));
+      return scan;
+    }
+    offset = enc.fullOverheadBytes - 4;
+    for (std::uint32_t frame = 0; frame < header->frameCount; ++frame) {
+      if (offset + enc.frameBytes + 4 > bytes.size()) {
+        sink.emit("BS001", at(offset),
+                  "full stream truncated at frame " + std::to_string(frame) +
+                      " of " + std::to_string(header->frameCount));
+        return scan;
+      }
+      scan.writes.push_back(
+          bitstream::FrameWrite{frame, bytes.subspan(offset, enc.frameBytes)});
+      offset += enc.frameBytes;
+    }
+  } else {
+    offset = enc.partialOverheadBytes - 4;
+    bool monotone = true;
+    std::uint32_t previous = 0;
+    for (std::uint32_t i = 0; i < header->frameCount; ++i) {
+      const std::optional<std::uint32_t> frame = readU32(bytes, offset);
+      if (!frame || offset + enc.frameAddressBytes + enc.frameBytes + 4 >
+                        bytes.size()) {
+        sink.emit("BS001", at(offset),
+                  "partial stream truncated at frame write " +
+                      std::to_string(i) + " of " +
+                      std::to_string(header->frameCount));
+        return scan;
+      }
+      offset += enc.frameAddressBytes;
+      if (*frame >= geometry.totalFrames()) {
+        sink.emit("BS008", at(offset - enc.frameAddressBytes),
+                  "frame address " + std::to_string(*frame) +
+                      " exceeds the device's " +
+                      std::to_string(geometry.totalFrames()) + " frames");
+      }
+      if (i > 0 && monotone && *frame <= previous) {
+        monotone = false;
+        sink.emit("BS009", at(offset - enc.frameAddressBytes),
+                  "frame address " + std::to_string(*frame) +
+                      " follows frame " + std::to_string(previous));
+      }
+      previous = *frame;
+      scan.writes.push_back(
+          bitstream::FrameWrite{*frame, bytes.subspan(offset, enc.frameBytes)});
+      offset += enc.frameBytes;
+    }
+  }
+  if (offset + 4 != bytes.size()) {
+    sink.emit("BS010", at(offset),
+              "stream is " + std::to_string(bytes.size()) + " bytes but the "
+              "frame math expects " + std::to_string(offset + 4));
+  }
+  return scan;
+}
+
+void checkStreamFitsFloorplan(const StreamScan& scan,
+                              const fabric::Floorplan& floorplan,
+                              DiagnosticSink& sink) {
+  if (!scan.headerValid || scan.header.type != StreamType::kPartial ||
+      scan.writes.empty()) {
+    return;
+  }
+  auto [lowest, highest] = std::minmax_element(
+      scan.writes.begin(), scan.writes.end(),
+      [](const bitstream::FrameWrite& a, const bitstream::FrameWrite& b) {
+        return a.frame < b.frame;
+      });
+  const fabric::Device& device = floorplan.device();
+  for (const fabric::Region& prr : floorplan.prrs()) {
+    const fabric::FrameRange range = prr.frames(device);
+    if (range.contains(lowest->frame) && range.contains(highest->frame)) {
+      return;
+    }
+  }
+  sink.emit("BS011", "frames [" + std::to_string(lowest->frame) + ", " +
+                         std::to_string(highest->frame) + "]",
+            "partial stream touches frames outside every PRR of the "
+            "floorplan");
+}
+
+}  // namespace prtr::analyze

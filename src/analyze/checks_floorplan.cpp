@@ -1,0 +1,125 @@
+#include "analyze/checks_floorplan.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace prtr::analyze {
+namespace {
+
+std::string prrLoc(const fabric::Region& prr) {
+  return "PRR '" + prr.name() + "'";
+}
+
+}  // namespace
+
+void checkFloorplan(const fabric::Device& device,
+                    const std::vector<fabric::Region>& prrs,
+                    const std::vector<fabric::BusMacro>& busMacros,
+                    DiagnosticSink& sink) {
+  const auto& geometry = device.geometry();
+
+  for (std::size_t i = 0; i < prrs.size(); ++i) {
+    const fabric::Region& prr = prrs[i];
+    if (prr.role() != fabric::RegionRole::kPrr) {
+      sink.emit("FP001", prrLoc(prr),
+                "region '" + prr.name() + "' is listed as a PRR but has the "
+                "static role");
+    }
+    if (prr.endColumn() > geometry.columnCount()) {
+      sink.emit("FP002", prrLoc(prr),
+                "columns [" + std::to_string(prr.firstColumn()) + ", " +
+                    std::to_string(prr.endColumn()) + ") extend beyond the " +
+                    std::to_string(geometry.columnCount()) + "-column device");
+    } else {
+      for (std::size_t c = prr.firstColumn(); c < prr.endColumn(); ++c) {
+        const fabric::ColumnKind kind = geometry.columns()[c].kind;
+        if (kind == fabric::ColumnKind::kPpc ||
+            kind == fabric::ColumnKind::kGclk) {
+          sink.emit("FP003", prrLoc(prr),
+                    "column " + std::to_string(c) + " is a " +
+                        std::string{fabric::toString(kind)} +
+                        " column and cannot be reconfigured");
+          break;
+        }
+      }
+    }
+    for (std::size_t j = i + 1; j < prrs.size(); ++j) {
+      if (prr.name() == prrs[j].name()) {
+        sink.emit("FP010", prrLoc(prr),
+                  "two PRRs share the name '" + prr.name() + "'");
+      }
+      if (prr.overlaps(prrs[j])) {
+        sink.emit("FP004", prrLoc(prr),
+                  "PRRs '" + prr.name() + "' and '" + prrs[j].name() +
+                      "' overlap");
+      }
+    }
+  }
+
+  for (const fabric::BusMacro& macro : busMacros) {
+    const auto it = std::find_if(
+        prrs.begin(), prrs.end(),
+        [&](const fabric::Region& r) { return r.name() == macro.prrName; });
+    if (it == prrs.end()) {
+      sink.emit("FP005", "bus macro '" + macro.prrName + "'",
+                "bus macro references unknown PRR '" + macro.prrName + "'");
+      continue;
+    }
+    const bool onBoundary = macro.boundaryColumn == it->firstColumn() ||
+                            macro.boundaryColumn == it->endColumn();
+    if (!onBoundary) {
+      sink.emit("FP006", "bus macro '" + macro.prrName + "'",
+                "boundary column " + std::to_string(macro.boundaryColumn) +
+                    " is not on PRR '" + macro.prrName + "' boundary (" +
+                    std::to_string(it->firstColumn()) + " or " +
+                    std::to_string(it->endColumn()) + ")");
+    }
+  }
+
+  // Per-PRR macro inventory: FP007 (none at all) and FP008 (unbalanced
+  // directions make one direction of the interface unroutable).
+  for (const fabric::Region& prr : prrs) {
+    std::uint32_t l2r = 0;
+    std::uint32_t r2l = 0;
+    for (const fabric::BusMacro& macro : busMacros) {
+      if (macro.prrName != prr.name()) continue;
+      if (macro.direction == fabric::BusMacro::Direction::kLeftToRight) {
+        ++l2r;
+      } else {
+        ++r2l;
+      }
+    }
+    if (l2r + r2l == 0) {
+      sink.emit("FP007", prrLoc(prr),
+                "PRR '" + prr.name() + "' has no bus macros");
+    } else if (l2r != r2l) {
+      sink.emit("FP008", prrLoc(prr),
+                "PRR '" + prr.name() + "' has " + std::to_string(l2r) +
+                    " left-to-right but " + std::to_string(r2l) +
+                    " right-to-left macros");
+    }
+  }
+
+  // FP009: degenerate static region. Mirrors Floorplan::staticResources()
+  // (saturating arithmetic) without requiring a constructed Floorplan.
+  if (!prrs.empty()) {
+    fabric::ResourceVec remaining = device.usableResources();
+    for (const fabric::Region& prr : prrs) {
+      if (prr.endColumn() <= geometry.columnCount()) {
+        remaining = remaining - prr.resources(device);
+      }
+    }
+    for (const fabric::BusMacro& macro : busMacros) {
+      remaining = remaining - macro.resourceCost();
+    }
+    if (remaining.luts == 0) {
+      sink.emit("FP009", "static region",
+                "PRRs and bus-macro overhead consume every usable LUT; the "
+                "static design (interface services, PR controller) cannot "
+                "be placed");
+    }
+  }
+}
+
+}  // namespace prtr::analyze

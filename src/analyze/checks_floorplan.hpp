@@ -1,0 +1,23 @@
+#pragma once
+/// \file checks_floorplan.hpp
+/// Floorplan design rules (codes FP001..FP010). This is the single home of
+/// the rule logic: `fabric::Floorplan`'s constructor routes its validation
+/// through checkFloorplan(), so a floorplan that constructs successfully
+/// can never lint with errors and vice versa.
+
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "fabric/device.hpp"
+#include "fabric/region.hpp"
+
+namespace prtr::analyze {
+
+/// Runs every floorplan rule over the would-be floorplan
+/// (device, PRRs, bus macros), emitting into `sink`.
+void checkFloorplan(const fabric::Device& device,
+                    const std::vector<fabric::Region>& prrs,
+                    const std::vector<fabric::BusMacro>& busMacros,
+                    DiagnosticSink& sink);
+
+}  // namespace prtr::analyze

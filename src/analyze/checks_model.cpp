@@ -1,0 +1,81 @@
+#include "analyze/checks_model.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "model/bounds.hpp"
+#include "model/model.hpp"
+#include "util/table.hpp"
+
+namespace prtr::analyze {
+
+void checkParams(const model::Params& params, DiagnosticSink& sink) {
+  // Gate the derived checks on the domain errors *this* call emits, not on
+  // whatever an earlier checker left in the sink (lintAll shares one sink
+  // across artifacts).
+  const std::size_t errorsBefore = sink.errorCount();
+  if (params.nCalls < 1) {
+    sink.emit("MD001", "nCalls", "nCalls is 0; the model needs at least one "
+              "task call");
+  }
+  if (!(params.xTask > 0.0) || !std::isfinite(params.xTask)) {
+    sink.emit("MD002", "xTask",
+              "xTask = " + util::formatDouble(params.xTask) +
+                  " is outside (0, inf)");
+  }
+  if (!(params.xPrtr > 0.0 && params.xPrtr <= 1.0)) {
+    sink.emit("MD003", "xPrtr",
+              "xPrtr = " + util::formatDouble(params.xPrtr) +
+                  " is outside (0, 1]");
+  }
+  if (!(params.xControl >= 0.0)) {
+    sink.emit("MD004", "xControl",
+              "xControl = " + util::formatDouble(params.xControl) +
+                  " is negative");
+  }
+  if (!(params.xDecision >= 0.0)) {
+    sink.emit("MD005", "xDecision",
+              "xDecision = " + util::formatDouble(params.xDecision) +
+                  " is negative");
+  }
+  if (!(params.hitRatio >= 0.0 && params.hitRatio <= 1.0)) {
+    sink.emit("MD006", "hitRatio",
+              "hitRatio = " + util::formatDouble(params.hitRatio) +
+                  " is outside [0, 1]");
+  }
+  if (sink.errorCount() == errorsBefore) {
+    // Eq. 7 asymptote computed from the validate-free per-call cost:
+    // model::asymptoticSpeedup() re-validates its Params, and Params::
+    // validate() routes through this checker, so calling it here would
+    // recurse without bound.
+    const double sInf = (1.0 + params.xControl + params.xTask) /
+                        model::prtrPerCallNormalized(params);
+    if (sInf <= 1.0) {
+      sink.emit("MD007", "params",
+                "asymptotic speedup is " + util::formatDouble(sInf) +
+                    " <= 1: PRTR is provably unprofitable here");
+    }
+  }
+}
+
+void checkSpeedupTarget(const model::Params& params, double targetSpeedup,
+                        DiagnosticSink& sink) {
+  if (targetSpeedup <= 1.0) return;
+  // Only evaluate the bound when its inputs are in-domain (MD002/MD003
+  // already flag the violation; recomputing from bad inputs would throw).
+  if (!(params.xTask > 0.0 && std::isfinite(params.xTask)) ||
+      !(params.xPrtr > 0.0 && params.xPrtr <= 1.0)) {
+    return;
+  }
+  const double neededH =
+      model::requiredHitRatio(params.xTask, params.xPrtr, targetSpeedup);
+  if (neededH > 1.0) {
+    sink.emit("MD008", "target",
+              "speedup target " + util::formatDouble(targetSpeedup) +
+                  " exceeds the bound " +
+                  util::formatDouble(model::upperBoundForTask(params.xTask)) +
+                  " reachable at xTask = " + util::formatDouble(params.xTask));
+  }
+}
+
+}  // namespace prtr::analyze

@@ -1,0 +1,29 @@
+#pragma once
+/// \file checks_model.hpp
+/// Model-parameter rules (codes MD001..MD008). This is the single home of
+/// the rule logic: `model::Params::validate()` routes its domain checks
+/// through checkParams(), so parameters the model accepts can never lint
+/// with errors. Scenario-option coherence lives in checks_scenario.hpp to
+/// keep this header free of runtime includes.
+///
+/// Beyond pure domain checks, the feasibility rules apply the paper's
+/// bounds: MD007 flags parameter sets where equation (7) proves PRTR can
+/// never beat FRTR, and MD008 flags speedup targets above the universal
+/// bound (1 + X_task)/X_task — both provable without running a cycle.
+
+#include "analyze/diagnostic.hpp"
+#include "model/params.hpp"
+
+namespace prtr::analyze {
+
+/// Domain checks (MD001..MD006) plus the equation-(7) profitability check
+/// (MD007) when the domain checks pass.
+void checkParams(const model::Params& params, DiagnosticSink& sink);
+
+/// MD008: is `targetSpeedup` reachable at any hit ratio for these task and
+/// configuration sizes? No-op for targets <= 1 (trivially reachable) and
+/// when `sink` already holds domain errors.
+void checkSpeedupTarget(const model::Params& params, double targetSpeedup,
+                        DiagnosticSink& sink);
+
+}  // namespace prtr::analyze

@@ -1,0 +1,69 @@
+#include "analyze/checks_scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace prtr::analyze {
+namespace {
+
+constexpr std::array kCachePolicies{"lru", "lfu", "fifo", "random", "belady"};
+constexpr std::array kPrefetcherKinds{"none", "oracle", "markov",
+                                      "association"};
+
+bool contains(std::span<const char* const> names, const std::string& name) {
+  return std::any_of(names.begin(), names.end(),
+                     [&](const char* n) { return name == n; });
+}
+
+std::string joined(std::span<const char* const> names) {
+  std::string out;
+  for (const char* name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const char* const> knownCachePolicies() noexcept {
+  return kCachePolicies;
+}
+
+std::span<const char* const> knownPrefetcherKinds() noexcept {
+  return kPrefetcherKinds;
+}
+
+void checkScenarioOptions(const runtime::ScenarioOptions& options,
+                          DiagnosticSink& sink) {
+  if (!contains(kCachePolicies, options.cachePolicy)) {
+    sink.emit("MD011", "cachePolicy",
+              "unknown cache policy '" + options.cachePolicy + "' (known: " +
+                  joined(kCachePolicies) + ")");
+  }
+  if (!contains(kPrefetcherKinds, options.prefetcherKind)) {
+    sink.emit("MD012", "prefetcherKind",
+              "unknown prefetcher kind '" + options.prefetcherKind +
+                  "' (known: " + joined(kPrefetcherKinds) + ")");
+  }
+  if (options.forceMiss && options.cachePolicy != "lru") {
+    sink.emit("MD009", "cachePolicy",
+              "forceMiss reconfigures on every call, so cache policy '" +
+                  options.cachePolicy + "' never influences the run");
+  }
+  const bool prefetcherSet = options.prefetcherKind != "none";
+  const bool prefetcherUsed =
+      options.prepare == runtime::PrepareSource::kPrefetcher;
+  if (prefetcherSet && !prefetcherUsed) {
+    sink.emit("MD010", "prefetcherKind",
+              "prefetcher '" + options.prefetcherKind + "' is configured "
+              "but prepare is not PrepareSource::kPrefetcher");
+  } else if (!prefetcherSet && prefetcherUsed) {
+    sink.emit("MD010", "prepare",
+              "prepare is PrepareSource::kPrefetcher but prefetcherKind is "
+              "'none': every look-ahead will come back empty");
+  }
+}
+
+}  // namespace prtr::analyze

@@ -1,0 +1,26 @@
+#pragma once
+/// \file checks_scenario.hpp
+/// Scenario-option coherence rules (codes MD009..MD012), applied by
+/// `runtime::runScenario()` before executing anything (strict mode) and by
+/// `prtr-lint scenario`. Split from checks_model.hpp so the model library
+/// does not pull in runtime headers.
+
+#include <span>
+
+#include "analyze/diagnostic.hpp"
+#include "runtime/scenario.hpp"
+
+namespace prtr::analyze {
+
+/// Contradictory option combinations (MD009, MD010) and unknown
+/// policy/prefetcher names (MD011, MD012).
+void checkScenarioOptions(const runtime::ScenarioOptions& options,
+                          DiagnosticSink& sink);
+
+/// Cache-policy names `runtime::makeCache` accepts (cross-checked by test).
+[[nodiscard]] std::span<const char* const> knownCachePolicies() noexcept;
+
+/// Prefetcher kinds `runtime::makePrefetcher` accepts.
+[[nodiscard]] std::span<const char* const> knownPrefetcherKinds() noexcept;
+
+}  // namespace prtr::analyze

@@ -1,0 +1,279 @@
+#include "analyze/diagnostic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace prtr::analyze {
+
+const char* toString(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* toString(Category category) noexcept {
+  switch (category) {
+    case Category::kFloorplan: return "floorplan";
+    case Category::kBitstream: return "bitstream";
+    case Category::kModel: return "model";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array kCatalog{
+    // Floorplan rules (fabric::Floorplan construction delegates to these).
+    RuleInfo{"FP001", Category::kFloorplan, Severity::kError,
+             "region listed as a PRR does not have the PRR role",
+             "construct the region with RegionRole::kPrr or move it to the "
+             "static partition"},
+    RuleInfo{"FP002", Category::kFloorplan, Severity::kError,
+             "PRR extends beyond the device column range",
+             "shrink the PRR or target a larger device"},
+    RuleInfo{"FP003", Category::kFloorplan, Severity::kError,
+             "PRR claims a hard-core/clock (PPC or GCLK) column, which "
+             "cannot be reconfigured",
+             "move the PRR off the PPC/GCLK columns (device centre on the "
+             "XC2VP50)"},
+    RuleInfo{"FP004", Category::kFloorplan, Severity::kError,
+             "two PRRs overlap in the column range",
+             "make the PRR column ranges disjoint"},
+    RuleInfo{"FP005", Category::kFloorplan, Severity::kError,
+             "bus macro references a PRR that is not in the floorplan",
+             "fix the bus macro's prrName or add the missing PRR"},
+    RuleInfo{"FP006", Category::kFloorplan, Severity::kError,
+             "bus macro is not pinned to its PRR's boundary column",
+             "place the macro on the PRR's first or one-past-last column"},
+    RuleInfo{"FP007", Category::kFloorplan, Severity::kWarning,
+             "PRR has no bus macros, so no signals can cross its boundary",
+             "add at least one bus macro pair per PRR boundary"},
+    RuleInfo{"FP008", Category::kFloorplan, Severity::kWarning,
+             "PRR bus macros are asymmetric (unbalanced directions)",
+             "pair each left-to-right macro with a right-to-left macro"},
+    RuleInfo{"FP009", Category::kFloorplan, Severity::kWarning,
+             "degenerate static region: PRRs plus bus-macro overhead leave "
+             "no usable static fabric",
+             "shrink the PRRs; the static design needs LUTs for interface "
+             "services and the PR controller"},
+    RuleInfo{"FP010", Category::kFloorplan, Severity::kError,
+             "duplicate PRR name makes bus-macro and module binding "
+             "ambiguous",
+             "give every PRR a unique name"},
+    // Bitstream rules (bitstream::parse delegates to these).
+    RuleInfo{"BS001", Category::kBitstream, Severity::kError,
+             "stream is truncated (shorter than its header, payload, or "
+             "CRC trailer requires)",
+             "regenerate the stream; a partial transfer or file corruption "
+             "dropped bytes"},
+    RuleInfo{"BS002", Category::kBitstream, Severity::kError,
+             "bad magic: not an XBF stream",
+             "check that the file is an XBF bitstream, not a raw payload"},
+    RuleInfo{"BS003", Category::kBitstream, Severity::kError,
+             "unknown stream type discriminator",
+             "regenerate the stream with a current Builder"},
+    RuleInfo{"BS004", Category::kBitstream, Severity::kError,
+             "stream targets a different device (device tag mismatch)",
+             "rebuild the stream for this device or load it on its own "
+             "device"},
+    RuleInfo{"BS005", Category::kBitstream, Severity::kError,
+             "per-frame payload size does not match the device geometry",
+             "rebuild the stream against this device's frame encoding"},
+    RuleInfo{"BS006", Category::kBitstream, Severity::kError,
+             "CRC-32 trailer does not match the stream contents",
+             "regenerate the stream; it was corrupted after generation"},
+    RuleInfo{"BS007", Category::kBitstream, Severity::kError,
+             "full stream frame count differs from the device's total "
+             "frame count",
+             "a full stream must write every frame exactly once"},
+    RuleInfo{"BS008", Category::kBitstream, Severity::kError,
+             "partial stream frame address is outside the device",
+             "rebuild the partial stream for this device's frame range"},
+    RuleInfo{"BS009", Category::kBitstream, Severity::kWarning,
+             "partial stream frame addresses are not strictly increasing",
+             "sort frame writes; configuration ports stream fastest on "
+             "monotone addresses"},
+    RuleInfo{"BS010", Category::kBitstream, Severity::kWarning,
+             "stream size disagrees with the device frame math (extra or "
+             "unaccounted bytes before the CRC)",
+             "regenerate the stream; size = overhead + frames * "
+             "(address + payload) must hold exactly"},
+    RuleInfo{"BS011", Category::kBitstream, Severity::kError,
+             "partial stream does not fit inside any single PRR of the "
+             "floorplan",
+             "rebuild the persona for one of the floorplan's PRRs"},
+    // Model and scenario rules (model::Params::validate delegates to these).
+    RuleInfo{"MD001", Category::kModel, Severity::kError,
+             "nCalls must be at least 1", "run at least one task call"},
+    RuleInfo{"MD002", Category::kModel, Severity::kError,
+             "xTask must be positive and finite",
+             "task time is normalized by T_FRTR and cannot be zero"},
+    RuleInfo{"MD003", Category::kModel, Severity::kError,
+             "xPrtr must lie in (0, 1]: a partial configuration cannot "
+             "exceed the full configuration",
+             "check T_PRTR and T_FRTR; equation (2) normalizes by T_FRTR"},
+    RuleInfo{"MD004", Category::kModel, Severity::kError,
+             "xControl must be non-negative",
+             "transfer-of-control time cannot be negative"},
+    RuleInfo{"MD005", Category::kModel, Severity::kError,
+             "xDecision must be non-negative",
+             "pre-fetch decision latency cannot be negative"},
+    RuleInfo{"MD006", Category::kModel, Severity::kError,
+             "hitRatio must lie in [0, 1]",
+             "H is the fraction of calls finding their module resident"},
+    RuleInfo{"MD007", Category::kModel, Severity::kWarning,
+             "PRTR cannot beat FRTR at these parameters (asymptotic "
+             "speedup <= 1, equation 7)",
+             "reduce xPrtr (finer-grained PRRs) or raise the hit ratio"},
+    RuleInfo{"MD008", Category::kModel, Severity::kWarning,
+             "requested speedup target is unreachable at any hit ratio "
+             "(equation 7 supremum below target)",
+             "the bound (1 + xTask)/xTask caps the speedup; lower the "
+             "target or shrink xTask"},
+    RuleInfo{"MD009", Category::kModel, Severity::kWarning,
+             "forceMiss reconfigures on every call, so the configured "
+             "cache policy has no effect",
+             "disable forceMiss to exercise the cache, or drop the policy "
+             "back to the default"},
+    RuleInfo{"MD010", Category::kModel, Severity::kWarning,
+             "prefetcher configuration is contradictory (prefetcher set "
+             "but never consulted, or consulted but absent)",
+             "match ScenarioOptions::prepare with prefetcherKind"},
+    RuleInfo{"MD011", Category::kModel, Severity::kError,
+             "unknown cache policy name",
+             "use one of the policies listed by knownCachePolicies()"},
+    RuleInfo{"MD012", Category::kModel, Severity::kError,
+             "unknown prefetcher kind",
+             "use one of the kinds listed by knownPrefetcherKinds()"},
+};
+
+}  // namespace
+
+std::span<const RuleInfo> ruleCatalog() noexcept { return kCatalog; }
+
+const RuleInfo& ruleInfo(std::string_view code) {
+  const auto it = std::find_if(kCatalog.begin(), kCatalog.end(),
+                               [&](const RuleInfo& r) { return code == r.code; });
+  util::require(it != kCatalog.end(),
+                "ruleInfo: unknown diagnostic code '" + std::string{code} + "'");
+  return *it;
+}
+
+std::string renderRuleReference() {
+  std::ostringstream os;
+  os << "# prtr-lint rule reference\n\n"
+     << "Generated by `prtr-lint codes --markdown` from "
+        "`prtr::analyze::ruleCatalog()`. Do not edit by hand.\n";
+  Category last = Category::kModel;
+  bool first = true;
+  for (const RuleInfo& rule : kCatalog) {
+    if (first || rule.category != last) {
+      os << "\n## " << toString(rule.category) << " rules\n\n"
+         << "| Code | Severity | Summary | Fix |\n"
+         << "|------|----------|---------|-----|\n";
+      last = rule.category;
+      first = false;
+    }
+    os << "| " << rule.code << " | " << toString(rule.severity) << " | "
+       << rule.summary << " | " << rule.fixHint << " |\n";
+  }
+  return os.str();
+}
+
+std::string Diagnostic::format() const {
+  std::string out = std::string{toString(severity)} + "[" + code + "] " +
+                    location + ": " + message;
+  if (!fixHint.empty()) out += " (fix: " + fixHint + ")";
+  return out;
+}
+
+void DiagnosticSink::emit(std::string_view code, std::string location,
+                          std::string message, std::string fixHint) {
+  const RuleInfo& rule = ruleInfo(code);
+  Diagnostic d;
+  d.code = rule.code;
+  d.severity = rule.severity;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.fixHint = fixHint.empty() ? rule.fixHint : std::move(fixHint);
+  if (d.severity == Severity::kError) ++errors_;
+  diagnostics_.push_back(std::move(d));
+}
+
+const Diagnostic& DiagnosticSink::firstError() const {
+  const auto it = std::find_if(
+      diagnostics_.begin(), diagnostics_.end(),
+      [](const Diagnostic& d) { return d.severity == Severity::kError; });
+  util::require(it != diagnostics_.end(),
+                "DiagnosticSink: no error diagnostic recorded");
+  return *it;
+}
+
+bool DiagnosticSink::has(std::string_view code) const noexcept {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+std::vector<std::string> DiagnosticSink::codes() const {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diagnostics_) out.push_back(d.code);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string DiagnosticSink::toText() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) os << d.format() << '\n';
+  os << errorCount() << " error(s), " << warningCount() << " warning(s)\n";
+  return os.str();
+}
+
+std::string DiagnosticSink::toJson() const {
+  std::ostringstream os;
+  os << "{\"errors\":" << errorCount() << ",\"warnings\":" << warningCount()
+     << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i > 0) os << ',';
+    os << "{\"code\":\"" << jsonEscape(d.code) << "\",\"severity\":\""
+       << toString(d.severity) << "\",\"category\":\""
+       << toString(ruleInfo(d.code).category) << "\",\"location\":\""
+       << jsonEscape(d.location) << "\",\"message\":\"" << jsonEscape(d.message)
+       << "\",\"fixHint\":\"" << jsonEscape(d.fixHint) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace prtr::analyze

@@ -1,0 +1,107 @@
+#pragma once
+/// \file diagnostic.hpp
+/// Core of the `prtr::analyze` static-diagnostics subsystem.
+///
+/// Every rule the checkers (checks_floorplan.hpp, checks_bitstream.hpp,
+/// checks_model.hpp) can raise has a stable machine-readable code — `FPxxx`
+/// for floorplan rules, `BSxxx` for bitstream rules, `MDxxx` for model and
+/// scenario rules — registered once in the rule catalog together with its
+/// severity, one-line summary, and a generic fix hint. Checkers emit by
+/// code, so a code's severity can never disagree between call sites, and
+/// the reference documentation (docs/LINT_RULES.md, `prtr-lint codes`) is
+/// generated from the same table the diagnostics come from.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prtr::analyze {
+
+/// Diagnostic severity. Errors make an artifact unusable (the owning
+/// constructor/parser throws); warnings flag configurations that are legal
+/// but suspicious or provably unprofitable.
+enum class Severity : std::uint8_t { kWarning, kError };
+
+[[nodiscard]] const char* toString(Severity severity) noexcept;
+
+/// Rule family, derived from the code prefix.
+enum class Category : std::uint8_t { kFloorplan, kBitstream, kModel };
+
+[[nodiscard]] const char* toString(Category category) noexcept;
+
+/// One entry of the rule catalog.
+struct RuleInfo {
+  const char* code;      ///< stable identifier, e.g. "FP004"
+  Category category;
+  Severity severity;
+  const char* summary;   ///< one-line description for the reference
+  const char* fixHint;   ///< generic remediation advice
+};
+
+/// Every rule the checkers can raise, ordered by code.
+[[nodiscard]] std::span<const RuleInfo> ruleCatalog() noexcept;
+
+/// Catalog lookup. Throws DomainError for an unknown code (a checker bug).
+[[nodiscard]] const RuleInfo& ruleInfo(std::string_view code);
+
+/// Markdown reference of every rule (committed as docs/LINT_RULES.md and
+/// printed by `prtr-lint codes`).
+[[nodiscard]] std::string renderRuleReference();
+
+/// One reported finding.
+struct Diagnostic {
+  std::string code;      ///< catalog code, e.g. "FP004"
+  Severity severity = Severity::kError;
+  std::string location;  ///< artifact-relative location, e.g. "PRR 'PRR0'"
+  std::string message;   ///< specific message for this finding
+  std::string fixHint;   ///< specific hint (catalog default when empty)
+
+  /// "error[FP004] PRR 'A': PRRs 'A' and 'B' overlap".
+  [[nodiscard]] std::string format() const;
+};
+
+/// Collects diagnostics from any number of checkers and renders them as
+/// human-readable text or stable machine-readable JSON.
+class DiagnosticSink {
+ public:
+  /// Emits under `code`, taking severity (and fix hint, unless `fixHint`
+  /// is non-empty) from the catalog.
+  void emit(std::string_view code, std::string location, std::string message,
+            std::string fixHint = {});
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t errorCount() const noexcept { return errors_; }
+  [[nodiscard]] std::size_t warningCount() const noexcept {
+    return diagnostics_.size() - errors_;
+  }
+  [[nodiscard]] bool hasErrors() const noexcept { return errors_ > 0; }
+
+  /// First error-severity diagnostic; throws DomainError when none exists.
+  [[nodiscard]] const Diagnostic& firstError() const;
+
+  /// True when `code` was emitted at least once.
+  [[nodiscard]] bool has(std::string_view code) const noexcept;
+
+  /// Distinct codes emitted, sorted.
+  [[nodiscard]] std::vector<std::string> codes() const;
+
+  /// One line per diagnostic plus a trailing summary count line.
+  [[nodiscard]] std::string toText() const;
+
+  /// Stable JSON: {"errors":N,"warnings":N,"diagnostics":[{...}]}.
+  [[nodiscard]] std::string toJson() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+};
+
+/// Escapes `text` for embedding inside a JSON string literal.
+[[nodiscard]] std::string jsonEscape(std::string_view text);
+
+}  // namespace prtr::analyze

@@ -1,0 +1,36 @@
+#include "analyze/lint.hpp"
+
+#include "analyze/checks_bitstream.hpp"
+#include "analyze/checks_floorplan.hpp"
+#include "analyze/checks_model.hpp"
+#include "analyze/checks_scenario.hpp"
+#include "util/error.hpp"
+
+namespace prtr::analyze {
+
+DiagnosticSink lintAll(const LintTargets& targets) {
+  DiagnosticSink sink;
+  if (targets.floorplan != nullptr) {
+    checkFloorplan(targets.floorplan->device(), targets.floorplan->prrs(),
+                   targets.floorplan->busMacros(), sink);
+  }
+  if (!targets.streamBytes.empty()) {
+    util::require(targets.device != nullptr,
+                  "lintAll: stream bytes given without a device");
+    const StreamScan scan = scanStream(targets.streamBytes, *targets.device,
+                                       sink);
+    if (targets.floorplan != nullptr) {
+      checkStreamFitsFloorplan(scan, *targets.floorplan, sink);
+    }
+  }
+  if (targets.params != nullptr) {
+    checkParams(*targets.params, sink);
+    checkSpeedupTarget(*targets.params, targets.speedupTarget, sink);
+  }
+  if (targets.scenario != nullptr) {
+    checkScenarioOptions(*targets.scenario, sink);
+  }
+  return sink;
+}
+
+}  // namespace prtr::analyze

@@ -1,0 +1,39 @@
+#pragma once
+/// \file lint.hpp
+/// Aggregated linting over any combination of artifacts. `prtr-lint` and
+/// `runtime::runScenario()`'s strict-mode hook both funnel through
+/// lintAll(), so the CLI and the runtime can never disagree about what is
+/// an error.
+
+#include <cstdint>
+#include <span>
+
+#include "analyze/diagnostic.hpp"
+#include "fabric/floorplan.hpp"
+#include "model/params.hpp"
+#include "runtime/scenario.hpp"
+
+namespace prtr::analyze {
+
+/// Artifacts to lint; every field is optional (null/empty = skip).
+struct LintTargets {
+  /// Floorplan rules run over this (already-constructed, hence error-free)
+  /// floorplan; still useful for the warning-severity rules.
+  const fabric::Floorplan* floorplan = nullptr;
+  /// Raw XBF stream; checked against `device` (required when non-empty),
+  /// and cross-checked against `floorplan` when that is set too.
+  std::span<const std::uint8_t> streamBytes{};
+  const fabric::Device* device = nullptr;
+  /// Model parameters (domain + equation-7 profitability), with an
+  /// optional speedup target for reachability (0 = no target).
+  const model::Params* params = nullptr;
+  double speedupTarget = 0.0;
+  /// Scenario option coherence.
+  const runtime::ScenarioOptions* scenario = nullptr;
+};
+
+/// Runs every applicable checker. Throws DomainError when `streamBytes` is
+/// non-empty but `device` is null.
+[[nodiscard]] DiagnosticSink lintAll(const LintTargets& targets);
+
+}  // namespace prtr::analyze

@@ -1,0 +1,172 @@
+#include "analyze/spec.hpp"
+
+#include <sstream>
+
+#include "analyze/checks_floorplan.hpp"
+#include "analyze/checks_model.hpp"
+#include "analyze/checks_scenario.hpp"
+#include "fabric/device.hpp"
+#include "util/error.hpp"
+
+namespace prtr::analyze {
+namespace {
+
+[[noreturn]] void fail(std::size_t lineNo, const std::string& what) {
+  throw util::DomainError{"spec line " + std::to_string(lineNo) + ": " + what};
+}
+
+/// Strips a '#' comment and returns the whitespace-split tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  std::istringstream is{hash == std::string::npos ? line
+                                                  : line.substr(0, hash)};
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parseDouble(const std::string& token, std::size_t lineNo) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) fail(lineNo, "trailing characters in number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(lineNo, "expected a number, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(lineNo, "number out of range: '" + token + "'");
+  }
+}
+
+std::uint64_t parseU64(const std::string& token, std::size_t lineNo) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    if (used != token.size()) fail(lineNo, "trailing characters in number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(lineNo, "expected an integer, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(lineNo, "integer out of range: '" + token + "'");
+  }
+}
+
+bool parseBool(const std::string& token, std::size_t lineNo) {
+  if (token == "true") return true;
+  if (token == "false") return false;
+  fail(lineNo, "expected true/false, got '" + token + "'");
+}
+
+}  // namespace
+
+FloorplanSpec parseFloorplanSpec(std::istream& in) {
+  FloorplanSpec spec;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "device" && tokens.size() == 2) {
+      spec.deviceName = tokens[1];
+    } else if (tokens[0] == "prr" && tokens.size() == 4) {
+      // Parse outside the try: parseU64's errors already carry the line
+      // prefix, and re-wrapping would double it. The catch covers only
+      // Region's own constraints (empty name, zero columns).
+      const std::uint64_t first = parseU64(tokens[2], lineNo);
+      const std::uint64_t count = parseU64(tokens[3], lineNo);
+      try {
+        spec.prrs.emplace_back(tokens[1], fabric::RegionRole::kPrr, first,
+                               count);
+      } catch (const util::DomainError& e) {
+        fail(lineNo, e.what());
+      }
+    } else if (tokens[0] == "busmacro" && tokens.size() == 5) {
+      fabric::BusMacro macro;
+      macro.prrName = tokens[1];
+      if (tokens[2] == "l2r") {
+        macro.direction = fabric::BusMacro::Direction::kLeftToRight;
+      } else if (tokens[2] == "r2l") {
+        macro.direction = fabric::BusMacro::Direction::kRightToLeft;
+      } else {
+        fail(lineNo, "busmacro direction must be l2r or r2l");
+      }
+      macro.widthBits = static_cast<std::uint32_t>(parseU64(tokens[3], lineNo));
+      macro.boundaryColumn = parseU64(tokens[4], lineNo);
+      spec.busMacros.push_back(std::move(macro));
+    } else {
+      fail(lineNo, "unrecognized directive '" + tokens[0] + "'");
+    }
+  }
+  return spec;
+}
+
+DiagnosticSink lintFloorplanSpec(const FloorplanSpec& spec) {
+  const fabric::Device device = fabric::makeDevice(spec.deviceName);
+  DiagnosticSink sink;
+  checkFloorplan(device, spec.prrs, spec.busMacros, sink);
+  return sink;
+}
+
+ScenarioSpec parseScenarioSpec(std::istream& in) {
+  ScenarioSpec spec;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2) fail(lineNo, "expected '<key> <value>'");
+    const std::string& key = tokens[0];
+    const std::string& value = tokens[1];
+    if (key == "ncalls") {
+      spec.params.nCalls = parseU64(value, lineNo);
+    } else if (key == "xtask") {
+      spec.params.xTask = parseDouble(value, lineNo);
+    } else if (key == "xprtr") {
+      spec.params.xPrtr = parseDouble(value, lineNo);
+    } else if (key == "xcontrol") {
+      spec.params.xControl = parseDouble(value, lineNo);
+    } else if (key == "xdecision") {
+      spec.params.xDecision = parseDouble(value, lineNo);
+    } else if (key == "hit") {
+      spec.params.hitRatio = parseDouble(value, lineNo);
+    } else if (key == "target") {
+      spec.speedupTarget = parseDouble(value, lineNo);
+    } else if (key == "force-miss") {
+      spec.forceMiss = parseBool(value, lineNo);
+    } else if (key == "cache") {
+      spec.cachePolicy = value;
+    } else if (key == "prefetcher") {
+      spec.prefetcherKind = value;
+    } else if (key == "prepare") {
+      if (value != "none" && value != "queue" && value != "prefetcher") {
+        fail(lineNo, "prepare must be none, queue, or prefetcher");
+      }
+      spec.prepare = value;
+    } else {
+      fail(lineNo, "unrecognized key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+DiagnosticSink lintScenarioSpec(const ScenarioSpec& spec) {
+  DiagnosticSink sink;
+  checkParams(spec.params, sink);
+  checkSpeedupTarget(spec.params, spec.speedupTarget, sink);
+  runtime::ScenarioOptions options;
+  options.forceMiss = spec.forceMiss;
+  options.cachePolicy = spec.cachePolicy;
+  options.prefetcherKind = spec.prefetcherKind;
+  options.prepare = spec.prepare == "none"
+                        ? runtime::PrepareSource::kNone
+                        : spec.prepare == "queue"
+                              ? runtime::PrepareSource::kQueue
+                              : runtime::PrepareSource::kPrefetcher;
+  checkScenarioOptions(options, sink);
+  return sink;
+}
+
+}  // namespace prtr::analyze

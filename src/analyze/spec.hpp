@@ -1,0 +1,62 @@
+#pragma once
+/// \file spec.hpp
+/// Tiny line-oriented spec formats so floorplans and scenarios can be
+/// linted from files (prtr-lint, golden tests, CI self-checks) without
+/// constructing the validated objects — construction would throw on the
+/// very defects the linter is supposed to report.
+///
+/// Floorplan spec (one directive per line, '#' comments):
+///     device xc2vp50
+///     prr <name> <firstColumn> <columnCount>
+///     busmacro <prrName> l2r|r2l <widthBits> <boundaryColumn>
+///
+/// Scenario spec:
+///     ncalls <n>          xtask <x>      xprtr <x>
+///     xcontrol <x>        xdecision <x>  hit <h>
+///     target <speedup>    force-miss true|false
+///     cache <policy>      prefetcher <kind>
+///     prepare none|queue|prefetcher
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "fabric/region.hpp"
+#include "model/params.hpp"
+
+namespace prtr::analyze {
+
+/// A floorplan as written, before any validation.
+struct FloorplanSpec {
+  std::string deviceName = "xc2vp50";
+  std::vector<fabric::Region> prrs;
+  std::vector<fabric::BusMacro> busMacros;
+};
+
+/// Parses a floorplan spec. Throws DomainError (with the line number) on
+/// syntax errors; defects in the described floorplan are NOT errors here —
+/// they are what lintFloorplanSpec reports.
+[[nodiscard]] FloorplanSpec parseFloorplanSpec(std::istream& in);
+
+/// Runs the floorplan rules over a parsed spec (resolves the device name
+/// via the catalog; unknown names throw DomainError).
+[[nodiscard]] DiagnosticSink lintFloorplanSpec(const FloorplanSpec& spec);
+
+/// A scenario as written: model parameters plus executor options.
+struct ScenarioSpec {
+  model::Params params{};
+  double speedupTarget = 0.0;  ///< 0 = no target configured
+  bool forceMiss = true;
+  std::string cachePolicy = "lru";
+  std::string prefetcherKind = "none";
+  std::string prepare = "queue";  ///< none | queue | prefetcher
+};
+
+/// Parses a scenario spec; throws DomainError on syntax errors.
+[[nodiscard]] ScenarioSpec parseScenarioSpec(std::istream& in);
+
+/// Runs the model-domain, feasibility, and option-coherence rules.
+[[nodiscard]] DiagnosticSink lintScenarioSpec(const ScenarioSpec& spec);
+
+}  // namespace prtr::analyze

@@ -1,96 +1,31 @@
 #include "bitstream/parser.hpp"
 
-#include "util/crc32.hpp"
+#include "analyze/checks_bitstream.hpp"
 #include "util/error.hpp"
 
 namespace prtr::bitstream {
-namespace {
 
-std::uint32_t getU32(std::span<const std::uint8_t> bytes, std::size_t at) {
-  if (at + 4 > bytes.size()) throw util::BitstreamError{"XBF: truncated word"};
-  return static_cast<std::uint32_t>(bytes[at]) |
-         static_cast<std::uint32_t>(bytes[at + 1]) << 8 |
-         static_cast<std::uint32_t>(bytes[at + 2]) << 16 |
-         static_cast<std::uint32_t>(bytes[at + 3]) << 24;
-}
-
-std::uint64_t getU64(std::span<const std::uint8_t> bytes, std::size_t at) {
-  return static_cast<std::uint64_t>(getU32(bytes, at)) |
-         static_cast<std::uint64_t>(getU32(bytes, at + 4)) << 32;
-}
-
-}  // namespace
+// Both entry points delegate to the analyze scanners so the parser and
+// prtr-lint can never disagree about what makes a stream malformed; the
+// first error-severity diagnostic becomes the thrown BitstreamError.
 
 Header peekHeader(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 32) throw util::BitstreamError{"XBF: stream too short"};
-  if (getU32(bytes, 0) != Header::kMagic) {
-    throw util::BitstreamError{"XBF: bad magic"};
-  }
-  Header header;
-  const std::uint8_t type = bytes[4];
-  if (type != static_cast<std::uint8_t>(StreamType::kFull) &&
-      type != static_cast<std::uint8_t>(StreamType::kPartial)) {
-    throw util::BitstreamError{"XBF: unknown stream type"};
-  }
-  header.type = static_cast<StreamType>(type);
-  header.deviceTag = getU32(bytes, 8);
-  header.firstFrame = getU32(bytes, 12);
-  header.frameCount = getU32(bytes, 16);
-  header.frameBytes = getU32(bytes, 20);
-  header.moduleId = getU64(bytes, 24);
-  return header;
+  analyze::DiagnosticSink sink;
+  const auto header = analyze::scanHeader(bytes, sink);
+  if (!header) throw util::BitstreamError{"XBF: " + sink.firstError().format()};
+  return *header;
 }
 
 ParsedStream parse(std::span<const std::uint8_t> bytes,
                    const fabric::Device& device) {
-  const Header header = peekHeader(bytes);
-  const auto& geometry = device.geometry();
-  const auto& enc = geometry.encoding();
-
-  if (header.deviceTag != deviceTag(device.name())) {
-    throw util::BitstreamError{"XBF: stream targets a different device"};
+  analyze::DiagnosticSink sink;
+  analyze::StreamScan scan = analyze::scanStream(bytes, device, sink);
+  if (sink.hasErrors()) {
+    throw util::BitstreamError{"XBF: " + sink.firstError().format()};
   }
-  if (header.frameBytes != enc.frameBytes) {
-    throw util::BitstreamError{"XBF: frame size does not match device"};
-  }
-
-  // CRC over everything but the 4-byte trailer.
-  if (bytes.size() < 4) throw util::BitstreamError{"XBF: missing CRC"};
-  const std::uint32_t expected = getU32(bytes, bytes.size() - 4);
-  const std::uint32_t actual = util::Crc32::of(bytes.subspan(0, bytes.size() - 4));
-  if (expected != actual) throw util::BitstreamError{"XBF: CRC mismatch"};
-
   ParsedStream out;
-  out.header = header;
-  out.writes.reserve(header.frameCount);
-
-  if (header.type == StreamType::kFull) {
-    if (header.frameCount != geometry.totalFrames()) {
-      throw util::BitstreamError{"XBF: full stream frame count mismatch"};
-    }
-    std::size_t at = enc.fullOverheadBytes - 4;
-    for (std::uint32_t frame = 0; frame < header.frameCount; ++frame) {
-      if (at + enc.frameBytes + 4 > bytes.size()) {
-        throw util::BitstreamError{"XBF: truncated full stream"};
-      }
-      out.writes.push_back(FrameWrite{frame, bytes.subspan(at, enc.frameBytes)});
-      at += enc.frameBytes;
-    }
-  } else {
-    std::size_t at = enc.partialOverheadBytes - 4;
-    for (std::uint32_t i = 0; i < header.frameCount; ++i) {
-      const std::uint32_t frame = getU32(bytes, at);
-      at += enc.frameAddressBytes;
-      if (frame >= geometry.totalFrames()) {
-        throw util::BitstreamError{"XBF: frame address out of range"};
-      }
-      if (at + enc.frameBytes + 4 > bytes.size()) {
-        throw util::BitstreamError{"XBF: truncated partial stream"};
-      }
-      out.writes.push_back(FrameWrite{frame, bytes.subspan(at, enc.frameBytes)});
-      at += enc.frameBytes;
-    }
-  }
+  out.header = scan.header;
+  out.writes = std::move(scan.writes);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analyze/checks_floorplan.hpp"
 #include "util/error.hpp"
 
 namespace prtr::fabric {
@@ -15,40 +16,13 @@ Floorplan::Floorplan(Device device, std::vector<Region> prrs,
 }
 
 void Floorplan::validate() const {
-  const auto& geometry = device_.geometry();
-  for (std::size_t i = 0; i < prrs_.size(); ++i) {
-    const Region& prr = prrs_[i];
-    if (prr.role() != RegionRole::kPrr) {
-      throw util::PlacementError{"Floorplan: region '" + prr.name() +
-                                 "' is not a PRR"};
-    }
-    if (prr.endColumn() > geometry.columnCount()) {
-      throw util::PlacementError{"Floorplan: PRR '" + prr.name() +
-                                 "' extends beyond the device"};
-    }
-    for (std::size_t c = prr.firstColumn(); c < prr.endColumn(); ++c) {
-      const ColumnKind kind = geometry.columns()[c].kind;
-      if (kind == ColumnKind::kPpc || kind == ColumnKind::kGclk) {
-        throw util::PlacementError{
-            "Floorplan: PRR '" + prr.name() +
-            "' claims a hard-core/clock column, which cannot be reconfigured"};
-      }
-    }
-    for (std::size_t j = i + 1; j < prrs_.size(); ++j) {
-      if (prr.overlaps(prrs_[j])) {
-        throw util::PlacementError{"Floorplan: PRRs '" + prr.name() + "' and '" +
-                                   prrs_[j].name() + "' overlap"};
-      }
-    }
-  }
-  for (const BusMacro& macro : busMacros_) {
-    const Region& prr = prrByName(macro.prrName);
-    const bool onBoundary = macro.boundaryColumn == prr.firstColumn() ||
-                            macro.boundaryColumn == prr.endColumn();
-    if (!onBoundary) {
-      throw util::PlacementError{"Floorplan: bus macro for '" + macro.prrName +
-                                 "' is not on the region boundary"};
-    }
+  // Single source of truth for the floorplan rules: the analyze checkers.
+  // Error-severity diagnostics become the constructor's PlacementError;
+  // warnings (FP007..FP009) are advisory and only surface through lint.
+  analyze::DiagnosticSink sink;
+  analyze::checkFloorplan(device_, prrs_, busMacros_, sink);
+  if (sink.hasErrors()) {
+    throw util::PlacementError{"Floorplan: " + sink.firstError().format()};
   }
 }
 
@@ -92,14 +66,15 @@ namespace {
 std::vector<BusMacro> macrosFor(const Region& prr, std::uint32_t pairs) {
   // Each PRR gets `pairs` 8-bit macros in each direction, pinned to the
   // boundary column nearer the device centre.
+  const std::size_t boundary =
+      prr.firstColumn() == 0 ? prr.endColumn() : prr.firstColumn();
   std::vector<BusMacro> macros;
+  macros.reserve(static_cast<std::size_t>(pairs) * 2);
   for (std::uint32_t i = 0; i < pairs; ++i) {
-    macros.push_back(BusMacro{prr.name(), BusMacro::Direction::kLeftToRight, 8,
-                              prr.firstColumn() == 0 ? prr.endColumn()
-                                                     : prr.firstColumn()});
-    macros.push_back(BusMacro{prr.name(), BusMacro::Direction::kRightToLeft, 8,
-                              prr.firstColumn() == 0 ? prr.endColumn()
-                                                     : prr.firstColumn()});
+    macros.emplace_back(prr.name(), BusMacro::Direction::kLeftToRight, 8,
+                        boundary);
+    macros.emplace_back(prr.name(), BusMacro::Direction::kRightToLeft, 8,
+                        boundary);
   }
   return macros;
 }

@@ -1,19 +1,19 @@
 #include "model/params.hpp"
 
+#include "analyze/checks_model.hpp"
 #include "util/error.hpp"
 
 namespace prtr::model {
 
 void Params::validate() const {
-  util::require(nCalls >= 1, "Params: nCalls must be at least 1");
-  util::require(xTask > 0.0, "Params: xTask must be positive");
-  util::require(xPrtr > 0.0 && xPrtr <= 1.0,
-                "Params: xPrtr must be in (0, 1] (a partial configuration "
-                "cannot exceed the full configuration)");
-  util::require(xControl >= 0.0, "Params: xControl must be non-negative");
-  util::require(xDecision >= 0.0, "Params: xDecision must be non-negative");
-  util::require(hitRatio >= 0.0 && hitRatio <= 1.0,
-                "Params: hitRatio must be in [0, 1]");
+  // Single source of truth for the parameter domains: the analyze checkers
+  // (codes MD001..MD006). Warning-severity findings (e.g. MD007, provable
+  // unprofitability) are advisory and only surface through lint.
+  analyze::DiagnosticSink sink;
+  analyze::checkParams(*this, sink);
+  if (sink.hasErrors()) {
+    throw util::DomainError{"Params: " + sink.firstError().format()};
+  }
 }
 
 Params AbsoluteParams::normalized() const {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analyze/lint.hpp"
 #include "model/calibration.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -101,6 +102,17 @@ model::Params deriveModelParams(const tasks::FunctionRegistry& registry,
 ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
                            const tasks::Workload& workload,
                            const ScenarioOptions& options) {
+  // Strict mode: statically lint the scenario before instantiating any
+  // simulator. Error-severity findings (unknown policy names, contradictory
+  // option sets) abort here with the same codes prtr-lint reports; warnings
+  // are advisory and do not block execution.
+  analyze::LintTargets lintTargets;
+  lintTargets.scenario = &options;
+  const analyze::DiagnosticSink lint = analyze::lintAll(lintTargets);
+  if (lint.hasErrors()) {
+    throw util::DomainError{"runScenario: " + lint.firstError().format()};
+  }
+
   ScenarioResult result;
 
   {

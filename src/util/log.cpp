@@ -3,7 +3,7 @@
 namespace prtr::util {
 namespace {
 
-const char* levelName(LogLevel level) {
+const char* levelName(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";

@@ -15,7 +15,9 @@ namespace {
 
 constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
 
-double axisTransform(double v, bool log) { return log ? std::log10(v) : v; }
+double axisTransform(double v, bool useLog) noexcept {
+  return useLog ? std::log10(v) : v;
+}
 
 }  // namespace
 
@@ -69,7 +71,9 @@ std::string renderAsciiPlot(const std::vector<Series>& series,
 
   std::ostringstream os;
   if (!options.title.empty()) os << options.title << '\n';
-  auto axisValue = [](double t, bool log) { return log ? std::pow(10.0, t) : t; };
+  auto axisValue = [](double t, bool useLog) {
+    return useLog ? std::pow(10.0, t) : t;
+  };
   char label[32];
   for (std::size_t r = 0; r < h; ++r) {
     if (r == 0) {

@@ -1,0 +1,254 @@
+/// \file prtr_lint.cpp
+/// prtr-lint — static diagnostics for floorplans, bitstreams, and scenario
+/// specs, without running the simulator. Exit code 0 when clean (warnings
+/// allowed unless --werror), 1 when any error-severity diagnostic fired,
+/// 2 on usage or I/O problems.
+///
+///   prtr-lint [--json] [--werror] floorplan <single|dual|quad|all>
+///   prtr-lint [--json] [--werror] floorplan-spec <file>...
+///   prtr-lint [--json] [--werror] bitstream <file> [--device NAME]
+///             [--layout single|dual|quad]
+///   prtr-lint [--json] [--werror] scenario-spec <file>...
+///   prtr-lint codes [--markdown]
+///   prtr-lint demo [--json]
+///
+/// The same checkers back fabric::Floorplan, bitstream::parse, and
+/// model::Params::validate, so whatever this tool accepts the library
+/// accepts, and vice versa.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/checks_bitstream.hpp"
+#include "analyze/checks_floorplan.hpp"
+#include "analyze/diagnostic.hpp"
+#include "analyze/lint.hpp"
+#include "analyze/spec.hpp"
+#include "bitstream/builder.hpp"
+#include "fabric/floorplan.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace prtr;
+
+struct CliOptions {
+  bool json = false;
+  bool werror = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: prtr-lint [--json] [--werror] <command> [args]\n"
+         "  floorplan <single|dual|quad|all>      lint a built-in layout\n"
+         "  floorplan-spec <file>...              lint floorplan spec files\n"
+         "  bitstream <file> [--device NAME] [--layout single|dual|quad]\n"
+         "  scenario-spec <file>...               lint scenario spec files\n"
+         "  codes [--markdown]                    print the rule reference\n"
+         "  demo                                  lint built-in known-bad "
+         "artifacts\n";
+  return 2;
+}
+
+/// Renders one lint result and folds it into the process exit code.
+int report(const std::string& subject, const analyze::DiagnosticSink& sink,
+           const CliOptions& cli) {
+  if (cli.json) {
+    std::cout << "{\"subject\":\"" << analyze::jsonEscape(subject)
+              << "\",\"report\":" << sink.toJson() << "}\n";
+  } else {
+    std::cout << "== " << subject << " ==\n" << sink.toText();
+  }
+  if (sink.hasErrors()) return 1;
+  if (cli.werror && !sink.empty()) return 1;
+  return 0;
+}
+
+fabric::Floorplan makeLayout(const std::string& name) {
+  if (name == "single") return fabric::makeSinglePrrLayout();
+  if (name == "dual") return fabric::makeDualPrrLayout();
+  if (name == "quad") return fabric::makeQuadPrrLayout();
+  throw util::DomainError{"unknown layout '" + name + "'"};
+}
+
+int lintBuiltinFloorplans(const std::string& which, const CliOptions& cli) {
+  std::vector<std::string> names;
+  if (which == "all") {
+    names = {"single", "dual", "quad"};
+  } else {
+    names = {which};
+  }
+  int exitCode = 0;
+  for (const std::string& name : names) {
+    const fabric::Floorplan plan = makeLayout(name);
+    analyze::LintTargets targets;
+    targets.floorplan = &plan;
+    exitCode = std::max(exitCode,
+                        report("floorplan:" + name, analyze::lintAll(targets),
+                               cli));
+  }
+  return exitCode;
+}
+
+int lintFloorplanSpecs(const std::vector<std::string>& files,
+                       const CliOptions& cli) {
+  int exitCode = 0;
+  for (const std::string& file : files) {
+    std::ifstream in{file};
+    if (!in) {
+      std::cerr << "prtr-lint: cannot open '" << file << "'\n";
+      return 2;
+    }
+    const analyze::FloorplanSpec spec = analyze::parseFloorplanSpec(in);
+    exitCode = std::max(
+        exitCode, report(file, analyze::lintFloorplanSpec(spec), cli));
+  }
+  return exitCode;
+}
+
+int lintScenarioSpecs(const std::vector<std::string>& files,
+                      const CliOptions& cli) {
+  int exitCode = 0;
+  for (const std::string& file : files) {
+    std::ifstream in{file};
+    if (!in) {
+      std::cerr << "prtr-lint: cannot open '" << file << "'\n";
+      return 2;
+    }
+    const analyze::ScenarioSpec spec = analyze::parseScenarioSpec(in);
+    exitCode = std::max(
+        exitCode, report(file, analyze::lintScenarioSpec(spec), cli));
+  }
+  return exitCode;
+}
+
+int lintBitstreamFile(const std::string& file, const std::string& deviceName,
+                      const std::string& layout, const CliOptions& cli) {
+  std::ifstream in{file, std::ios::binary};
+  if (!in) {
+    std::cerr << "prtr-lint: cannot open '" << file << "'\n";
+    return 2;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>{in},
+                                  std::istreambuf_iterator<char>{}};
+  const fabric::Device device = fabric::makeDevice(deviceName);
+  analyze::LintTargets targets;
+  targets.streamBytes = bytes;
+  targets.device = &device;
+  if (!layout.empty()) {
+    const fabric::Floorplan plan = makeLayout(layout);
+    targets.floorplan = &plan;
+    return report(file, analyze::lintAll(targets), cli);
+  }
+  return report(file, analyze::lintAll(targets), cli);
+}
+
+/// Built-in known-bad artifacts: one floorplan, one bitstream, and one
+/// scenario, each violating several rules. Used by docs, smoke tests, and
+/// anyone wanting to see the diagnostics without crafting inputs.
+int demo(const CliOptions& cli) {
+  int exitCode = 0;
+
+  analyze::FloorplanSpec flawed;
+  flawed.deviceName = "xc2vp50";
+  flawed.prrs.emplace_back("A", fabric::RegionRole::kPrr, 2, 10);
+  flawed.prrs.emplace_back("B", fabric::RegionRole::kPrr, 8, 60);  // overlap+PPC
+  flawed.busMacros.push_back(
+      fabric::BusMacro{"A", fabric::BusMacro::Direction::kLeftToRight, 8, 5});
+  flawed.busMacros.push_back(
+      fabric::BusMacro{"ghost", fabric::BusMacro::Direction::kRightToLeft, 8,
+                       12});
+  exitCode = std::max(
+      exitCode,
+      report("demo:floorplan", analyze::lintFloorplanSpec(flawed), cli));
+
+  const fabric::Floorplan plan = fabric::makeSinglePrrLayout();
+  const bitstream::Builder builder{plan.device()};
+  bitstream::Bitstream stream = builder.buildModulePartial(plan.prr(0), 7);
+  std::vector<std::uint8_t> corrupted = stream.bytes();
+  corrupted[corrupted.size() / 2] ^= 0xFF;  // breaks the CRC
+  analyze::LintTargets badStream;
+  badStream.streamBytes = corrupted;
+  badStream.device = &plan.device();
+  exitCode = std::max(
+      exitCode, report("demo:bitstream", analyze::lintAll(badStream), cli));
+
+  analyze::ScenarioSpec scenario;
+  scenario.params.xTask = 4.0;
+  scenario.params.xPrtr = 0.2;
+  scenario.speedupTarget = 3.0;  // above the (1 + xTask)/xTask bound
+  scenario.cachePolicy = "belady";
+  scenario.forceMiss = true;
+  scenario.prefetcherKind = "oracle";
+  scenario.prepare = "queue";
+  exitCode = std::max(
+      exitCode,
+      report("demo:scenario", analyze::lintScenarioSpec(scenario), cli));
+  return exitCode;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  while (!args.empty() && (args[0] == "--json" || args[0] == "--werror")) {
+    (args[0] == "--json" ? cli.json : cli.werror) = true;
+    args.erase(args.begin());
+  }
+  if (args.empty()) return usage();
+  const std::string command = args[0];
+  args.erase(args.begin());
+
+  try {
+    if (command == "codes") {
+      if (!args.empty() && args[0] == "--markdown") {
+        std::cout << analyze::renderRuleReference();
+      } else {
+        for (const analyze::RuleInfo& rule : analyze::ruleCatalog()) {
+          std::cout << rule.code << "  " << toString(rule.severity) << "  "
+                    << rule.summary << '\n';
+        }
+      }
+      return 0;
+    }
+    if (command == "demo") return demo(cli);
+    if (command == "floorplan") {
+      if (args.size() != 1) return usage();
+      return lintBuiltinFloorplans(args[0], cli);
+    }
+    if (command == "floorplan-spec") {
+      if (args.empty()) return usage();
+      return lintFloorplanSpecs(args, cli);
+    }
+    if (command == "scenario-spec") {
+      if (args.empty()) return usage();
+      return lintScenarioSpecs(args, cli);
+    }
+    if (command == "bitstream") {
+      if (args.empty()) return usage();
+      const std::string file = args[0];
+      std::string device = "xc2vp50";
+      std::string layout;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--device" && i + 1 < args.size()) {
+          device = args[++i];
+        } else if (args[i] == "--layout" && i + 1 < args.size()) {
+          layout = args[++i];
+        } else {
+          return usage();
+        }
+      }
+      return lintBitstreamFile(file, device, layout, cli);
+    }
+  } catch (const util::Error& e) {
+    std::cerr << "prtr-lint: " << e.what() << '\n';
+    return 2;
+  }
+  return usage();
+}
