@@ -5,12 +5,14 @@
 // without prefetching, on the measured-basis XD1.
 #include <iostream>
 
+#include "obs/bench_io.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/appsuite.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"appsuite", argc, argv};
   const auto registry = tasks::makeExtendedFunctions();
   util::Rng rng{20260705};
   const auto suite = tasks::makeApplicationSuite(registry, rng);
@@ -24,6 +26,7 @@ int main() {
     so.forceMiss = false;
     so.prepare = runtime::PrepareSource::kQueue;
     const auto result = runtime::runScenario(registry, app.workload, so);
+    breport.metrics(result.metrics);
     table.row()
         .cell(app.name)
         .cell(app.workload.callCount())
@@ -56,5 +59,7 @@ int main() {
   std::cout << "\nPipelined applications have strong module locality, so "
                "PRTR's configuration cache turns most calls into hits; the "
                "branching ATR workload reconfigures most.\n";
-  return 0;
+  breport.table("appsuite_dual", table);
+  breport.table("appsuite_quad", quad);
+  return breport.finish();
 }

@@ -11,12 +11,14 @@
 #include "config/memory.hpp"
 #include "fabric/floorplan.hpp"
 #include "model/bounds.hpp"
+#include "obs/bench_io.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"compression", argc, argv};
   const fabric::Floorplan plan = fabric::makeDualPrrLayout();
   const bitstream::Builder builder{plan.device()};
 
@@ -72,9 +74,12 @@ int main() {
     const auto result = runtime::runScenario(registry, workload, so);
     std::cout << (mfwOn ? "MFW on : " : "MFW off: ") << "S = " << result.speedup
               << " (PRTR total " << result.prtr.total.toString() << ")\n";
+    breport.scalar(mfwOn ? "speedup_mfw_on" : "speedup_mfw_off",
+                   result.speedup);
   }
   std::cout << "\nMFW shrinks the effective X_PRTR, which raises the "
                "configuration-dominant ceiling exactly as equation (7) "
                "predicts.\n";
-  return 0;
+  breport.table("compression_occupancy", table);
+  return breport.finish();
 }

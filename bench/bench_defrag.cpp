@@ -7,11 +7,13 @@
 
 #include "config/port.hpp"
 #include "fabric/allocator.hpp"
+#include "obs/bench_io.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"defrag", argc, argv};
   const fabric::Device device = fabric::makeXc2vp50();
   const config::Port selectMap = config::makeSelectMap();
 
@@ -79,5 +81,6 @@ int main() {
                "fragmented free space; defragmenting on demand rescues it "
                "for a bounded relocation budget (each move = one partial "
                "reconfiguration of the module's width).\n";
-  return 0;
+  breport.table("defrag", table);
+  return breport.finish();
 }

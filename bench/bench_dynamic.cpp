@@ -5,13 +5,15 @@
 // at once and shrink each configuration to the module's own width.
 #include <iostream>
 
+#include "obs/bench_io.hpp"
 #include "runtime/dynamic_executor.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"dynamic", argc, argv};
   const auto registry = tasks::makeExtendedFunctions();
 
   std::cout << "=== Right-sized dynamic regions vs fixed PRRs (8-module "
@@ -26,10 +28,11 @@ int main() {
 
     auto fixedSteady = [&](xd1::Layout layout) {
       runtime::ScenarioOptions so;
+      so.sides = runtime::ScenarioSides::kPrtrOnly;
       so.layout = layout;
       so.forceMiss = false;
       so.prepare = runtime::PrepareSource::kNone;
-      const auto report = runtime::runPrtrOnly(registry, workload, so);
+      const auto report = runtime::runScenario(registry, workload, so).prtr;
       return report.total - report.initialConfig;
     };
     const util::Time dual = fixedSteady(xd1::Layout::kDualPrr);
@@ -40,6 +43,7 @@ int main() {
     runtime::DynamicPrtrExecutor dynamic{node, registry};
     const runtime::DynamicReport report = dynamic.run(workload);
     const util::Time dyn = report.base.total - report.base.initialConfig;
+    breport.metrics(report.base.metrics);
 
     table.row()
         .cell(util::Bytes{bytes}.toString())
@@ -55,5 +59,6 @@ int main() {
                "the whole library (23 of 34 columns) so steady state has "
                "zero reconfigurations. The advantage shrinks as tasks grow "
                "(the 2x cap reasserts itself).\n";
-  return 0;
+  breport.table("dynamic_vs_fixed", table);
+  return breport.finish();
 }

@@ -5,9 +5,11 @@
 
 #include "analysis/figures.hpp"
 #include "model/bounds.hpp"
+#include "obs/bench_io.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport report{"fig5", argc, argv};
 
   const std::vector<double> hitRatios{0.0, 0.25, 0.5, 0.75, 1.0};
   // The three X_PRTR values of Table 2's normalized column:
@@ -28,16 +30,26 @@ int main() {
               << " at X_task = X_PRTR = " << h0.xTask << '\n';
     std::cout << "X_task >= 1 cap: S_inf <= 2 for every H (e.g. at X_task=1: "
               << model::idealAsymptote(1.0, xPrtr, 0.0) << ")\n\n";
+    report.scalar("peak_sinf_xprtr_" + util::formatDouble(xPrtr, 3),
+                  h0.speedup);
   }
 
   std::cout << "CSV (X_PRTR=0.17):\nxTask";
   const auto csvSeries = analysis::makeFig5Series(0.17, hitRatios, 31);
   for (const auto& s : csvSeries) std::cout << ',' << s.name;
   std::cout << '\n';
+  std::vector<std::string> header{"xTask"};
+  for (const auto& s : csvSeries) header.push_back(s.name);
+  util::Table csv{header};
   for (std::size_t i = 0; i < csvSeries.front().x.size(); ++i) {
     std::cout << csvSeries.front().x[i];
-    for (const auto& s : csvSeries) std::cout << ',' << s.y[i];
+    csv.row().cell(csvSeries.front().x[i], 6);
+    for (const auto& s : csvSeries) {
+      std::cout << ',' << s.y[i];
+      csv.cell(s.y[i], 6);
+    }
     std::cout << '\n';
   }
-  return 0;
+  report.table("fig5_xprtr_0.17", csv);
+  return report.finish();
 }

@@ -7,9 +7,11 @@
 
 #include "analysis/figures.hpp"
 #include "model/bounds.hpp"
+#include "obs/bench_io.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport report{"fig9a", argc, argv};
   analysis::Fig9Options opts;
   opts.basis = model::ConfigTimeBasis::kEstimated;
   opts.points = 21;
@@ -30,5 +32,8 @@ int main() {
             << "  (paper: cannot exceed ~7x; eq.7 peak = " << peak.speedup
             << " at X_task = " << peak.xTask << ")\n";
   std::cout << "Task-dominant cap: every X_task >= 1 point stays below 2x.\n";
-  return 0;
+  report.table("fig9a", analysis::fig9Table(points));
+  report.scalar("peak_sim_speedup", best);
+  report.scalar("peak_model_speedup", peak.speedup);
+  return report.finish();
 }

@@ -8,9 +8,11 @@
 
 #include "analysis/figures.hpp"
 #include "model/bounds.hpp"
+#include "obs/bench_io.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport report{"fig9b", argc, argv};
   analysis::Fig9Options opts;
   opts.basis = model::ConfigTimeBasis::kMeasured;
   opts.points = 21;
@@ -33,5 +35,8 @@ int main() {
   std::cout << "\nPeak simulated speedup (n=400 calls): " << bestSim
             << "; eq.7 asymptotic peak on this grid: " << bestInf
             << " (paper: \"up to 87x\")\n";
-  return 0;
+  report.table("fig9b", analysis::fig9Table(points));
+  report.scalar("peak_sim_speedup", bestSim);
+  report.scalar("peak_asymptote", bestInf);
+  return report.finish();
 }

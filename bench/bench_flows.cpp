@@ -4,13 +4,15 @@
 #include <iostream>
 
 #include "bitstream/library.hpp"
+#include "obs/bench_io.hpp"
 #include "bitstream/relocate.hpp"
 #include "fabric/floorplan.hpp"
 #include "tasks/hwfunction.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"flows", argc, argv};
   const auto registry = tasks::makeExtendedFunctions();
   const fabric::Floorplan plan = fabric::makeDualPrrLayout();
   const auto specs =
@@ -63,5 +65,7 @@ int main() {
   std::cout << "Note: the paper's own dual-PRR layout has *mirrored* edge "
                "regions, so relocation is illegal there -- verified by the "
                "column-signature check.\n";
-  return 0;
+  breport.table("flow_comparison", table);
+  breport.table("relocation_savings", reloc);
+  return breport.finish();
 }

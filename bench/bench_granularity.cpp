@@ -8,10 +8,12 @@
 #include "config/port.hpp"
 #include "fabric/device.hpp"
 #include "model/bounds.hpp"
+#include "obs/bench_io.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"granularity", argc, argv};
   const fabric::Device device = fabric::makeXc2vp50();
   const auto& geometry = device.geometry();
   const config::Port selectMap = config::makeSelectMap();
@@ -43,5 +45,6 @@ int main() {
                "(median filter needs 3141 LUTs ~ 5 CLB columns ~ 110 "
                "frames) plus bus macros, and the paper warns that the "
                "design-cycle cost grows with the PRR count (section 5).\n";
-  return 0;
+  breport.table("granularity", table);
+  return breport.finish();
 }

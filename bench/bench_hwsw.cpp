@@ -4,6 +4,7 @@
 // system-level reading of the paper's X_task axis.
 #include <iostream>
 
+#include "obs/bench_io.hpp"
 #include "runtime/hwsw.hpp"
 #include "tasks/workload.hpp"
 #include "util/table.hpp"
@@ -28,8 +29,9 @@ prtr::runtime::HwSwReport runPolicy(prtr::runtime::Partitioning policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"hwsw", argc, argv};
   const auto registry = tasks::makePaperFunctions();
 
   std::cout << "=== Extension: HW/SW partitioning vs task size (3 cores, "
@@ -46,6 +48,7 @@ int main() {
     const auto st =
         runPolicy(runtime::Partitioning::kStaticThreshold, workload);
     const auto ad = runPolicy(runtime::Partitioning::kAdaptive, workload);
+    breport.metrics(ad.base.metrics);
     table.row()
         .cell(util::Bytes{bytes}.toString())
         .cell(hw.base.total.toString())
@@ -62,5 +65,6 @@ int main() {
                "not amortize the one-time 1.678 s full configuration, so "
                "right at the crossover it can commit to hardware too "
                "early -- amortization-aware placement is future work.\n";
-  return 0;
+  breport.table("hwsw_policies", table);
+  return breport.finish();
 }

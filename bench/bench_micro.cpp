@@ -3,6 +3,10 @@
 // and a full PRTR scenario end to end.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "bitstream/builder.hpp"
 #include "bitstream/parser.hpp"
 #include "fabric/floorplan.hpp"
@@ -90,8 +94,9 @@ void BM_PrtrScenarioEndToEnd(benchmark::State& state) {
       util::Bytes{1'000'000});
   runtime::ScenarioOptions so;
   so.forceMiss = true;
+  so.sides = runtime::ScenarioSides::kPrtrOnly;
   for (auto _ : state) {
-    const auto report = runtime::runPrtrOnly(registry, workload, so);
+    const auto report = runtime::runScenario(registry, workload, so).prtr;
     benchmark::DoNotOptimize(report.total);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -100,4 +105,30 @@ BENCHMARK(BM_PrtrScenarioEndToEnd)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark has its own flag vocabulary; translate the repo-wide
+// `--json <path>` convention into --benchmark_format/--benchmark_out so
+// every bench binary shares one CLI surface.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--json" && i + 1 < argc) {
+      args.emplace_back("--benchmark_format=console");
+      args.emplace_back(std::string{"--benchmark_out="} + argv[i + 1]);
+      args.emplace_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  std::vector<char*> rawArgs;
+  rawArgs.reserve(args.size());
+  for (auto& a : args) rawArgs.push_back(a.data());
+  int rawArgc = static_cast<int>(rawArgs.size());
+  benchmark::Initialize(&rawArgc, rawArgs.data());
+  if (benchmark::ReportUnrecognizedArguments(rawArgc, rawArgs.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

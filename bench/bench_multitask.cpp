@@ -4,11 +4,13 @@
 // configuration caching shape latency under multiprogramming.
 #include <iostream>
 
+#include "obs/bench_io.hpp"
 #include "runtime/multitask.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"multitask", argc, argv};
   const auto registry = tasks::makeExtendedFunctions();
 
   auto makeApps = [&](std::size_t nApps, util::Time interArrival) {
@@ -39,6 +41,7 @@ int main() {
           makeApps(4, util::Time::milliseconds(msArrival));
       const runtime::MultitaskReport report =
           runtime::runMultitask(registry, apps, options);
+      breport.metrics(report.metrics);
 
       double latency = 0.0;
       double queueing = 0.0;
@@ -66,5 +69,6 @@ int main() {
                "rises, four distinct apps on two PRRs queue behind each "
                "other's regions while the quad layout gives every app a "
                "home -- the versatility argument of section 5, measured.\n";
-  return 0;
+  breport.table("multitask_sweep", table);
+  return breport.finish();
 }

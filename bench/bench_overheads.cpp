@@ -6,12 +6,14 @@
 #include <iostream>
 
 #include "model/model.hpp"
+#include "obs/bench_io.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"overheads", argc, argv};
 
   // Analytic sweep at the estimated dual-PRR operating point.
   std::cout << "=== Ablation A1 (analytic): S_inf vs overheads at X_task = "
@@ -58,5 +60,7 @@ int main() {
   simulated.print(std::cout);
   std::cout << "\nBoth overheads only hurt: the ideal Figure-5 curves are "
                "upper bounds.\n";
-  return 0;
+  breport.table("analytic_overheads", analytic);
+  breport.table("simulated_tcontrol", simulated);
+  return breport.finish();
 }

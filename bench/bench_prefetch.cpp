@@ -7,13 +7,15 @@
 #include <iostream>
 
 #include "model/model.hpp"
+#include "obs/bench_io.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/locality.hpp"
 #include "tasks/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"prefetch", argc, argv};
   const auto registry = tasks::makeExtendedFunctions();  // 8 modules, 2 PRRs
 
   std::cout << "=== Ablation B1: prefetcher x workload locality (8 modules, "
@@ -27,14 +29,14 @@ int main() {
           registry, 250, util::Bytes{20'000'000}, bias, rng);
       runtime::ScenarioOptions so;
       so.forceMiss = false;
-      so.cachePolicy = "lru";
+      so.cachePolicy = runtime::CachePolicy::kLru;
       if (std::string{prepare} == "none") {
         so.prepare = runtime::PrepareSource::kNone;
       } else if (std::string{prepare} == "queue") {
         so.prepare = runtime::PrepareSource::kQueue;
       } else {
         so.prepare = runtime::PrepareSource::kPrefetcher;
-        so.prefetcherKind = "markov";
+        so.prefetcherKind = runtime::PrefetcherKind::kMarkov;
       }
       const auto result = runtime::runScenario(registry, workload, so);
       table.row()
@@ -59,15 +61,16 @@ int main() {
   // misses cannot hide behind execution and the totals separate too.
   const auto phased = tasks::makePhasedWorkload(
       registry, 300, util::Bytes{200'000}, 30, 6, rng);
-  for (const char* policy : {"fifo", "random", "lru", "lfu", "belady"}) {
+  for (const runtime::CachePolicy policy : runtime::allCachePolicies()) {
     runtime::ScenarioOptions so;
+    so.sides = runtime::ScenarioSides::kPrtrOnly;
     so.layout = xd1::Layout::kQuadPrr;
     so.forceMiss = false;
     so.prepare = runtime::PrepareSource::kQueue;
     so.cachePolicy = policy;
-    const auto report = runtime::runPrtrOnly(registry, phased, so);
+    const auto report = runtime::runScenario(registry, phased, so).prtr;
     policies.row()
-        .cell(policy)
+        .cell(runtime::toString(policy))
         .cell(util::formatDouble(report.hitRatio(), 3))
         .cell(report.configurations)
         .cell(report.total.toString());
@@ -95,5 +98,8 @@ int main() {
   std::cout << "Slots needed for H >= 0.8: "
             << (needed ? std::to_string(needed) : std::string{"unattainable"})
             << " (exactness vs the simulated LRU cache is property-tested).\n";
-  return 0;
+  breport.table("prefetcher_locality", table);
+  breport.table("cache_policies", policies);
+  breport.table("mattson_curve", mattson);
+  return breport.finish();
 }

@@ -5,13 +5,21 @@
 //   Figure 4(a): PRTR missed tasks (partial configurations overlapping the
 //               previous task's execution);
 //   Figure 4(b): PRTR pre-fetched (hit) tasks (no configuration at all).
+//
+// With `--trace out.json` the same timelines are exported as a Chrome
+// trace_event document: load it in chrome://tracing or ui.perfetto.dev to
+// scrub through the profiles interactively.
 #include <iostream>
 
+#include "obs/bench_io.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport report{"profiles", argc, argv};
+  obs::ChromeTrace trace;
   const auto registry = tasks::makePaperFunctions();
   const util::Bytes data{30'000'000};  // mid-range task (~0.16 s)
 
@@ -20,7 +28,7 @@ int main() {
     sim::Timeline frtrTl;
     runtime::ScenarioOptions so;
     so.forceMiss = true;
-    so.frtrTimeline = &frtrTl;
+    so.hooks.frtrTimeline = &frtrTl;
     const auto workload = tasks::makeRoundRobinWorkload(registry, 4, data);
     const auto result = runtime::runScenario(registry, workload, so);
     std::cout << frtrTl.renderGantt(110);
@@ -28,16 +36,21 @@ int main() {
               << " (config overhead "
               << result.frtr.configOverheadFraction() * 100.0 << "% -- the "
               << "\"25% to 98.5%\" regime of the paper's introduction)\n\n";
+    trace.add("fig2-3 FRTR", frtrTl);
+    report.scalar("frtr_config_overhead", result.frtr.configOverheadFraction());
 
     std::cout << "=== Figure 4(a): PRTR, missed tasks (H=0, configs overlap "
                  "previous execution) ===\n";
     sim::Timeline prtrTl;
-    so.frtrTimeline = nullptr;
-    so.prtrTimeline = &prtrTl;
+    so.hooks.frtrTimeline = nullptr;
+    so.hooks.timeline = &prtrTl;
     const auto prtrResult = runtime::runScenario(registry, workload, so);
     std::cout << prtrTl.renderGantt(110);
     std::cout << "PRTR total: " << prtrResult.prtr.total.toString()
               << ", speedup " << prtrResult.speedup << "x\n\n";
+    trace.add("fig4a PRTR miss", prtrTl);
+    report.scalar("miss_speedup", prtrResult.speedup);
+    report.metrics(prtrResult.metrics);
   }
 
   {
@@ -45,7 +58,7 @@ int main() {
     sim::Timeline hitTl;
     runtime::ScenarioOptions so;
     so.forceMiss = false;  // alternating 2 modules stay resident in 2 PRRs
-    so.prtrTimeline = &hitTl;
+    so.hooks.timeline = &hitTl;
     tasks::Workload alternating{"alt", {}};
     for (int i = 0; i < 6; ++i) {
       alternating.calls.push_back(
@@ -56,6 +69,15 @@ int main() {
     std::cout << "Hit ratio: " << result.prtr.hitRatio()
               << " (only the two warm-up loads configure), speedup "
               << result.speedup << "x\n";
+    trace.add("fig4b PRTR hit", hitTl);
+    report.scalar("hit_ratio", result.prtr.hitRatio());
+    report.scalar("hit_speedup", result.speedup);
   }
-  return 0;
+
+  if (report.traceRequested()) {
+    trace.writeFile(report.tracePath());
+    std::cout << "\ntrace written to " << report.tracePath()
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  return report.finish();
 }

@@ -6,10 +6,12 @@
 #include <iostream>
 
 #include "hprc/chassis.hpp"
+#include "obs/bench_io.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"scaling", argc, argv};
   const auto registry = tasks::makePaperFunctions();
 
   for (const auto basis : {model::ConfigTimeBasis::kEstimated,
@@ -28,6 +30,7 @@ int main() {
       options.scenario.basis = basis;
       const hprc::ChassisReport report =
           hprc::runChassis(registry, workload, options);
+      if (blades == 6) breport.metrics(report.metrics);
       if (blades == 1) base = report.makespan.toSeconds();
       const double speedup = base / report.makespan.toSeconds();
       table.row()
@@ -40,9 +43,10 @@ int main() {
     }
     table.print(std::cout);
     std::cout << '\n';
+    breport.table(std::string{"scaling_"} + toString(basis), table);
   }
   std::cout << "On the measured basis every blade pays the 1.678 s vendor-API "
                "full configuration up front, capping short-workload scaling "
                "-- a chassis-level consequence of Table 2.\n";
-  return 0;
+  return breport.finish();
 }

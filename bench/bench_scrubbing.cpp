@@ -6,12 +6,14 @@
 
 #include "bitstream/builder.hpp"
 #include "config/scrubber.hpp"
+#include "obs/bench_io.hpp"
 #include "fabric/floorplan.hpp"
 #include "sim/link.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"scrubbing", argc, argv};
   std::cout << "=== SEU scrubbing over one dual-PRR region (380 frames, "
                "2 s mission) ===\n\n";
   util::Table table{{"upset mean", "scrub period", "injected", "detected",
@@ -65,5 +67,6 @@ int main() {
                "repair 19.9 ms per pass at the paper's effective ICAP "
                "rate); at a 25 ms period the port is busy most of the "
                "mission.\n";
-  return 0;
+  breport.table("scrubbing", table);
+  return breport.finish();
 }

@@ -10,13 +10,15 @@
 #include <iostream>
 
 #include "model/bounds.hpp"
+#include "obs/bench_io.hpp"
 #include "model/insights.hpp"
 #include "model/model.hpp"
 #include "util/plot.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"sensitivity", argc, argv};
   const double xPrtrMeasured = 19.77 / 1678.04;
 
   std::cout << "=== Sensitivity of S_inf to 10% parameter jitter (measured "
@@ -47,6 +49,7 @@ int main() {
                "the point value (perturbations only go downhill), so the "
                "paper's peak numbers are optimistic under jitter; the 2x-cap "
                "region is essentially insensitive.\n\n";
+  breport.table("sensitivity", table);
 
   std::cout << "=== Regime map: S_inf over (X_task, H) at X_PRTR = "
             << util::formatDouble(xPrtrMeasured, 3) << " ===\n\n";
@@ -73,5 +76,5 @@ int main() {
   std::cout << util::renderHeatmap(grid, ho);
   std::cout << "\nThe bright band at small X_task widens with H; right of "
                "X_task = 1 every row collapses onto the same <=2x ridge.\n";
-  return 0;
+  return breport.finish();
 }

@@ -4,8 +4,10 @@
 #include <iostream>
 
 #include "analysis/figures.hpp"
+#include "obs/bench_io.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  prtr::obs::BenchReport report{"table1", argc, argv};
   std::cout << "=== Table 1: Hardware functions and their resource "
                "requirements (XC2VP50) ===\n\n";
   const prtr::util::Table table = prtr::analysis::makeTable1();
@@ -15,5 +17,6 @@ int main() {
                "              Sobel 1159/1060 @200, Smoothing 2053/1601 @200 "
                "-- reproduced exactly (percentages vs 47,232 LUT/FF, 232 "
                "BRAM).\n";
-  return 0;
+  report.table("table1", table);
+  return report.finish();
 }

@@ -4,8 +4,10 @@
 #include <iostream>
 
 #include "analysis/figures.hpp"
+#include "obs/bench_io.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  prtr::obs::BenchReport report{"table2", argc, argv};
   std::cout << "=== Table 2: Experimental values for model parameters ===\n\n";
   const prtr::util::Table table = prtr::analysis::makeTable2();
   table.print(std::cout);
@@ -16,5 +18,6 @@ int main() {
          "FSM drain).\n"
          "Full size matches the paper exactly; PRR sizes are frame-column "
          "quantized (within 0.06%).\n";
-  return 0;
+  report.table("table2", table);
+  return report.finish();
 }

@@ -10,10 +10,12 @@
 #include "config/port.hpp"
 #include "fabric/device.hpp"
 #include "model/bounds.hpp"
+#include "obs/bench_io.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prtr;
+  obs::BenchReport breport{"whatif", argc, argv};
 
   struct Scenario {
     const char* name;
@@ -89,5 +91,7 @@ int main() {
   std::cout << "\nBigger parts raise T_FRTR (and with it the PRTR win for "
                "fixed task sizes); newer families shrink the frame -- the "
                "reconfiguration quantum -- by ~6.5x.\n";
-  return 0;
+  breport.table("whatif_platforms", table);
+  breport.table("device_catalog", catalog);
+  return breport.finish();
 }

@@ -42,7 +42,7 @@ int main() {
   runtime::ScenarioOptions options;
   options.basis = model::ConfigTimeBasis::kMeasured;
   options.forceMiss = true;  // 3 filters round-robin over 2 PRRs: all misses
-  options.prtrTimeline = &prtrTimeline;
+  options.hooks.timeline = &prtrTimeline;
   const runtime::ScenarioResult result =
       runtime::runScenario(registry, workload, options);
 

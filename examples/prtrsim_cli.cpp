@@ -10,11 +10,14 @@
 //               [--cache lru|lfu|fifo|random|belady] [--prefetch none|
 //               queue|markov|association] [--force-miss 0|1]
 //               [--control-us U] [--decision-us U] [--seed S] [--timeline]
+//               [--trace FILE.json]
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "analyze/checks_scenario.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
 #include "util/error.hpp"
@@ -91,14 +94,25 @@ int main(int argc, char** argv) {
     options.basis = get(args, "basis", "measured") == "estimated"
                         ? model::ConfigTimeBasis::kEstimated
                         : model::ConfigTimeBasis::kMeasured;
-    options.cachePolicy = get(args, "cache", "lru");
+    // Lint the raw names exactly as prtr-lint would (MD011/MD012) before
+    // converting to the typed options.
+    const std::string cacheName = get(args, "cache", "lru");
     const std::string prefetch = get(args, "prefetch", "queue");
+    const std::string prefetcherName =
+        (prefetch == "queue" || prefetch == "none") ? "none" : prefetch;
+    analyze::DiagnosticSink nameLint;
+    analyze::checkScenarioNames(cacheName, prefetcherName, nameLint);
+    if (nameLint.hasErrors()) {
+      std::cerr << nameLint.toText();
+      return 1;
+    }
+    options.cachePolicy = *runtime::cachePolicyFromString(cacheName);
     options.prepare = prefetch == "none" ? runtime::PrepareSource::kNone
                       : prefetch == "queue"
                           ? runtime::PrepareSource::kQueue
                           : runtime::PrepareSource::kPrefetcher;
     if (options.prepare == runtime::PrepareSource::kPrefetcher) {
-      options.prefetcherKind = prefetch;
+      options.prefetcherKind = *runtime::prefetcherKindFromString(prefetcherName);
     }
     options.forceMiss = get(args, "force-miss", "0") == "1";
     options.tControl = util::Time::microseconds(
@@ -107,12 +121,15 @@ int main(int argc, char** argv) {
         std::stoll(get(args, "decision-us", "0")));
 
     sim::Timeline timeline;
-    if (args.count("timeline")) options.prtrTimeline = &timeline;
+    if (args.count("timeline")) options.hooks.timeline = &timeline;
+    obs::ChromeTrace trace;
+    const std::string tracePath = get(args, "trace", "");
+    if (!tracePath.empty()) options.hooks.trace = &trace;
 
     std::cout << "prtrsim: " << workload.callCount() << " calls x "
               << bytes.toString() << " (" << kind << "), layout " << layout
               << ", basis " << toString(options.basis) << ", cache "
-              << options.cachePolicy << ", prefetch " << prefetch
+              << cacheName << ", prefetch " << prefetch
               << (options.forceMiss ? ", force-miss" : "") << "\n\n";
 
     const runtime::ScenarioResult result =
@@ -120,6 +137,11 @@ int main(int argc, char** argv) {
     std::cout << result.toString();
     if (args.count("timeline")) {
       std::cout << "\nPRTR timeline:\n" << timeline.renderGantt(110);
+    }
+    if (!tracePath.empty()) {
+      trace.writeFile(tracePath);
+      std::cout << "\ntrace written to " << tracePath
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
     }
     return 0;
   } catch (const std::exception& error) {

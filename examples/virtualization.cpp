@@ -33,17 +33,19 @@ int main() {
     xd1::Layout layout;
     const char* prepareName;
     runtime::PrepareSource prepare;
-    const char* cache;
+    runtime::CachePolicy cache;
   };
   const Config configs[] = {
-      {xd1::Layout::kDualPrr, "none", runtime::PrepareSource::kNone, "lru"},
+      {xd1::Layout::kDualPrr, "none", runtime::PrepareSource::kNone,
+       runtime::CachePolicy::kLru},
       {xd1::Layout::kDualPrr, "markov", runtime::PrepareSource::kPrefetcher,
-       "lru"},
-      {xd1::Layout::kQuadPrr, "none", runtime::PrepareSource::kNone, "lru"},
+       runtime::CachePolicy::kLru},
+      {xd1::Layout::kQuadPrr, "none", runtime::PrepareSource::kNone,
+       runtime::CachePolicy::kLru},
       {xd1::Layout::kQuadPrr, "markov", runtime::PrepareSource::kPrefetcher,
-       "lru"},
+       runtime::CachePolicy::kLru},
       {xd1::Layout::kQuadPrr, "markov", runtime::PrepareSource::kPrefetcher,
-       "belady"},
+       runtime::CachePolicy::kBelady},
   };
 
   double frtrTotal = 0.0;
@@ -61,14 +63,16 @@ int main() {
     so.layout = c.layout;
     so.forceMiss = false;
     so.prepare = c.prepare;
-    so.prefetcherKind =
-        c.prepare == runtime::PrepareSource::kPrefetcher ? "markov" : "none";
+    so.sides = runtime::ScenarioSides::kPrtrOnly;
+    so.prefetcherKind = c.prepare == runtime::PrepareSource::kPrefetcher
+                            ? runtime::PrefetcherKind::kMarkov
+                            : runtime::PrefetcherKind::kNone;
     so.cachePolicy = c.cache;
-    const auto report = runtime::runPrtrOnly(registry, workload, so);
+    const auto report = runtime::runScenario(registry, workload, so).prtr;
     table.row()
         .cell(toString(c.layout))
         .cell(c.prepareName)
-        .cell(c.cache)
+        .cell(runtime::toString(c.cache))
         .cell(util::formatDouble(report.hitRatio(), 3))
         .cell(report.configurations)
         .cell(report.total.toString())

@@ -7,10 +7,6 @@
 namespace prtr::analyze {
 namespace {
 
-constexpr std::array kCachePolicies{"lru", "lfu", "fifo", "random", "belady"};
-constexpr std::array kPrefetcherKinds{"none", "oracle", "markov",
-                                      "association"};
-
 bool contains(std::span<const char* const> names, const std::string& name) {
   return std::any_of(names.begin(), names.end(),
                      [&](const char* n) { return name == n; });
@@ -28,37 +24,64 @@ std::string joined(std::span<const char* const> names) {
 }  // namespace
 
 std::span<const char* const> knownCachePolicies() noexcept {
-  return kCachePolicies;
+  static const auto kNames = [] {
+    std::array<const char*, 5> names{};
+    const auto all = runtime::allCachePolicies();
+    for (std::size_t i = 0; i < names.size() && i < all.size(); ++i) {
+      names[i] = runtime::toString(all[i]);
+    }
+    return names;
+  }();
+  return kNames;
 }
 
 std::span<const char* const> knownPrefetcherKinds() noexcept {
-  return kPrefetcherKinds;
+  static const auto kNames = [] {
+    std::array<const char*, 4> names{};
+    const auto all = runtime::allPrefetcherKinds();
+    for (std::size_t i = 0; i < names.size() && i < all.size(); ++i) {
+      names[i] = runtime::toString(all[i]);
+    }
+    return names;
+  }();
+  return kNames;
+}
+
+void checkScenarioNames(const std::string& cachePolicy,
+                        const std::string& prefetcherKind,
+                        DiagnosticSink& sink) {
+  if (!contains(knownCachePolicies(), cachePolicy)) {
+    sink.emit("MD011", "cachePolicy",
+              "unknown cache policy '" + cachePolicy + "' (known: " +
+                  joined(knownCachePolicies()) + ")");
+  }
+  if (!contains(knownPrefetcherKinds(), prefetcherKind)) {
+    sink.emit("MD012", "prefetcherKind",
+              "unknown prefetcher kind '" + prefetcherKind +
+                  "' (known: " + joined(knownPrefetcherKinds()) + ")");
+  }
 }
 
 void checkScenarioOptions(const runtime::ScenarioOptions& options,
                           DiagnosticSink& sink) {
-  if (!contains(kCachePolicies, options.cachePolicy)) {
-    sink.emit("MD011", "cachePolicy",
-              "unknown cache policy '" + options.cachePolicy + "' (known: " +
-                  joined(kCachePolicies) + ")");
-  }
-  if (!contains(kPrefetcherKinds, options.prefetcherKind)) {
-    sink.emit("MD012", "prefetcherKind",
-              "unknown prefetcher kind '" + options.prefetcherKind +
-                  "' (known: " + joined(kPrefetcherKinds) + ")");
-  }
-  if (options.forceMiss && options.cachePolicy != "lru") {
+  if (options.forceMiss &&
+      options.cachePolicy != runtime::CachePolicy::kLru) {
     sink.emit("MD009", "cachePolicy",
-              "forceMiss reconfigures on every call, so cache policy '" +
-                  options.cachePolicy + "' never influences the run");
+              std::string{"forceMiss reconfigures on every call, so cache "
+                          "policy '"} +
+                  runtime::toString(options.cachePolicy) +
+                  "' never influences the run");
   }
-  const bool prefetcherSet = options.prefetcherKind != "none";
+  const bool prefetcherSet =
+      options.prefetcherKind != runtime::PrefetcherKind::kNone;
   const bool prefetcherUsed =
       options.prepare == runtime::PrepareSource::kPrefetcher;
   if (prefetcherSet && !prefetcherUsed) {
     sink.emit("MD010", "prefetcherKind",
-              "prefetcher '" + options.prefetcherKind + "' is configured "
-              "but prepare is not PrepareSource::kPrefetcher");
+              std::string{"prefetcher '"} +
+                  runtime::toString(options.prefetcherKind) +
+                  "' is configured but prepare is not "
+                  "PrepareSource::kPrefetcher");
   } else if (!prefetcherSet && prefetcherUsed) {
     sink.emit("MD010", "prepare",
               "prepare is PrepareSource::kPrefetcher but prefetcherKind is "

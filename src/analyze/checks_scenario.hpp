@@ -4,23 +4,35 @@
 /// `runtime::runScenario()` before executing anything (strict mode) and by
 /// `prtr-lint scenario`. Split from checks_model.hpp so the model library
 /// does not pull in runtime headers.
+///
+/// Since ScenarioOptions moved to typed enums, an unknown policy or
+/// prefetcher name is unrepresentable there — MD011/MD012 now fire at the
+/// string boundary (spec files, CLI flags) through checkScenarioNames,
+/// while checkScenarioOptions keeps the coherence rules on typed options.
 
 #include <span>
+#include <string>
 
 #include "analyze/diagnostic.hpp"
 #include "runtime/scenario.hpp"
 
 namespace prtr::analyze {
 
-/// Contradictory option combinations (MD009, MD010) and unknown
-/// policy/prefetcher names (MD011, MD012).
+/// Contradictory option combinations (MD009, MD010).
 void checkScenarioOptions(const runtime::ScenarioOptions& options,
                           DiagnosticSink& sink);
 
-/// Cache-policy names `runtime::makeCache` accepts (cross-checked by test).
+/// Unknown policy/prefetcher names (MD011, MD012) — the string-boundary
+/// check used by the spec front end and the CLI before fromString.
+void checkScenarioNames(const std::string& cachePolicy,
+                        const std::string& prefetcherKind,
+                        DiagnosticSink& sink);
+
+/// Cache-policy names `runtime::cachePolicyFromString` accepts, generated
+/// from the enum so the list can never drift from the runtime.
 [[nodiscard]] std::span<const char* const> knownCachePolicies() noexcept;
 
-/// Prefetcher kinds `runtime::makePrefetcher` accepts.
+/// Prefetcher kinds `runtime::prefetcherKindFromString` accepts.
 [[nodiscard]] std::span<const char* const> knownPrefetcherKinds() noexcept;
 
 }  // namespace prtr::analyze

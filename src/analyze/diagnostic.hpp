@@ -101,7 +101,9 @@ class DiagnosticSink {
   std::size_t errors_ = 0;
 };
 
-/// Escapes `text` for embedding inside a JSON string literal.
+/// Escapes `text` for embedding inside a JSON string literal. Thin alias
+/// of util::json::escape, kept for source compatibility with callers that
+/// predate the shared writer.
 [[nodiscard]] std::string jsonEscape(std::string_view text);
 
 }  // namespace prtr::analyze

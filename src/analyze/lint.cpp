@@ -30,6 +30,16 @@ DiagnosticSink lintAll(const LintTargets& targets) {
   if (targets.scenario != nullptr) {
     checkScenarioOptions(*targets.scenario, sink);
   }
+  if (targets.cachePolicyName != nullptr ||
+      targets.prefetcherKindName != nullptr) {
+    static const std::string kDefaultPolicy = "lru";
+    static const std::string kDefaultKind = "none";
+    checkScenarioNames(
+        targets.cachePolicyName ? *targets.cachePolicyName : kDefaultPolicy,
+        targets.prefetcherKindName ? *targets.prefetcherKindName
+                                   : kDefaultKind,
+        sink);
+  }
   return sink;
 }
 

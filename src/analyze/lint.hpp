@@ -30,6 +30,11 @@ struct LintTargets {
   double speedupTarget = 0.0;
   /// Scenario option coherence.
   const runtime::ScenarioOptions* scenario = nullptr;
+  /// Raw policy/prefetcher names from a spec file or CLI flag, checked
+  /// against the known lists (MD011/MD012). Null = skip; typed options
+  /// cannot carry unknown names, so only string front ends set these.
+  const std::string* cachePolicyName = nullptr;
+  const std::string* prefetcherKindName = nullptr;
 };
 
 /// Runs every applicable checker. Throws DomainError when `streamBytes` is

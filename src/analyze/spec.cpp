@@ -156,10 +156,17 @@ DiagnosticSink lintScenarioSpec(const ScenarioSpec& spec) {
   DiagnosticSink sink;
   checkParams(spec.params, sink);
   checkSpeedupTarget(spec.params, spec.speedupTarget, sink);
+  // Unknown names lint here (MD011/MD012) at the string boundary; the
+  // typed options below fall back to defaults so the coherence rules can
+  // still run over whatever else the spec sets.
+  checkScenarioNames(spec.cachePolicy, spec.prefetcherKind, sink);
   runtime::ScenarioOptions options;
   options.forceMiss = spec.forceMiss;
-  options.cachePolicy = spec.cachePolicy;
-  options.prefetcherKind = spec.prefetcherKind;
+  options.cachePolicy = runtime::cachePolicyFromString(spec.cachePolicy)
+                            .value_or(runtime::CachePolicy::kLru);
+  options.prefetcherKind =
+      runtime::prefetcherKindFromString(spec.prefetcherKind)
+          .value_or(runtime::PrefetcherKind::kNone);
   options.prepare = spec.prepare == "none"
                         ? runtime::PrepareSource::kNone
                         : spec.prepare == "queue"

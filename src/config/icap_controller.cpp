@@ -80,7 +80,9 @@ sim::Process IcapController::load(const bitstream::Bitstream& stream) {
   const auto& parsed = memory_->parsedFor(stream);
   const util::Bytes bytes = wireBytes(stream);
 
+  const util::Time queued = sim_->now();
   co_await icapBusy_.acquire();
+  contention_ += sim_->now() - queued;
   sim::ScopedPermit permit{icapBusy_};
 
   sim::Channel<std::uint64_t> buffer{*sim_, timing_.bufferChunks};
@@ -92,6 +94,7 @@ sim::Process IcapController::load(const bitstream::Bitstream& stream) {
 
   memory_->applyPartial(parsed);
   ++loads_;
+  bytesWritten_ += bytes.count();
 }
 
 }  // namespace prtr::config

@@ -71,6 +71,14 @@ class IcapController {
   [[nodiscard]] const Port& port() const noexcept { return port_; }
   [[nodiscard]] const IcapTiming& timing() const noexcept { return timing_; }
   [[nodiscard]] std::uint64_t loadsPerformed() const noexcept { return loads_; }
+  /// Total bytes streamed into the ICAP port (wire bytes, MFW-aware).
+  [[nodiscard]] std::uint64_t bytesWritten() const noexcept {
+    return bytesWritten_;
+  }
+  /// Accumulated time loads spent queued on the busy ICAP port.
+  [[nodiscard]] util::Time contentionTime() const noexcept {
+    return contention_;
+  }
 
   /// Bytes that must cross the host link / drain into ICAP for `stream`
   /// under the configured mode (raw size, or the MFW wire size).
@@ -91,6 +99,8 @@ class IcapController {
   IcapTiming timing_;
   sim::Semaphore icapBusy_;
   std::uint64_t loads_ = 0;
+  std::uint64_t bytesWritten_ = 0;
+  util::Time contention_;
   std::map<const bitstream::Bitstream*, util::Bytes> wireBytesCache_;
 };
 

@@ -30,6 +30,7 @@ sim::Process VendorApi::load(const bitstream::Bitstream& stream,
   status = check(stream);
   if (status != ApiStatus::kOk) {
     // The driver still burns its setup time before failing the checks.
+    ++rejects_;
     co_await sim_->delay(timing_.fixedOverhead);
     co_return;
   }
@@ -41,6 +42,7 @@ sim::Process VendorApi::load(const bitstream::Bitstream& stream,
     memory_->applyFull(parsed);
   }
   ++loads_;
+  bytesWritten_ += stream.size().count();
 }
 
 }  // namespace prtr::config

@@ -70,6 +70,12 @@ class VendorApi {
   [[nodiscard]] bool modifiedLoader() const noexcept { return modifiedLoader_; }
   [[nodiscard]] const ApiTiming& timing() const noexcept { return timing_; }
   [[nodiscard]] std::uint64_t loadsPerformed() const noexcept { return loads_; }
+  /// Total bytes of successfully loaded streams.
+  [[nodiscard]] std::uint64_t bytesWritten() const noexcept {
+    return bytesWritten_;
+  }
+  /// Loads the stock admission checks turned away.
+  [[nodiscard]] std::uint64_t rejectedLoads() const noexcept { return rejects_; }
 
  private:
   sim::Simulator* sim_;
@@ -77,6 +83,8 @@ class VendorApi {
   ApiTiming timing_;
   bool modifiedLoader_;
   std::uint64_t loads_ = 0;
+  std::uint64_t bytesWritten_ = 0;
+  std::uint64_t rejects_ = 0;
 };
 
 }  // namespace prtr::config

@@ -67,19 +67,38 @@ ChassisReport runChassis(const tasks::FunctionRegistry& registry,
   const auto shares =
       partitionWorkload(workload, options.blades, options.partition);
 
+  // Blades run on host threads: each gets a hook-free options copy so no
+  // caller-owned timeline/registry is shared across threads. Metrics are
+  // merged (and handed to the caller's hooks) after the parallel region.
+  runtime::ScenarioOptions bladeOptions = options.scenario;
+  bladeOptions.sides = runtime::ScenarioSides::kPrtrOnly;
+  bladeOptions.hooks = obs::Hooks{};
+
   ChassisReport report;
   report.blades = analysis::parallelMap(
       shares,
       [&](const tasks::Workload& share) {
         if (share.calls.empty()) return runtime::ExecutionReport{};
-        return runtime::runPrtrOnly(registry, share, options.scenario);
+        return runtime::runScenario(registry, share, bladeOptions).prtr;
       },
       options.threads);
 
-  for (const auto& blade : report.blades) {
+  for (std::size_t b = 0; b < report.blades.size(); ++b) {
+    const auto& blade = report.blades[b];
     report.makespan = std::max(report.makespan, blade.total);
     report.totalBladeTime += blade.total;
     report.configurations += blade.configurations;
+    report.metrics.merge(blade.metrics, "blade" + std::to_string(b) + ".");
+  }
+  report.metrics.counters["chassis.blades"] = report.blades.size();
+  report.metrics.counters["chassis.configurations"] = report.configurations;
+  report.metrics.counters["chassis.makespan_ps"] =
+      static_cast<std::uint64_t>(report.makespan.ps());
+  report.metrics.counters["chassis.total_blade_ps"] =
+      static_cast<std::uint64_t>(report.totalBladeTime.ps());
+  report.metrics.gauges["chassis.balance"] = report.balance();
+  if (options.scenario.hooks.metrics) {
+    options.scenario.hooks.metrics->absorb(report.metrics);
   }
   return report;
 }

@@ -31,6 +31,9 @@ struct ChassisReport {
   util::Time makespan;         ///< slowest blade (chassis completion time)
   util::Time totalBladeTime;   ///< sum over blades (resource usage)
   std::uint64_t configurations = 0;
+  /// Per-blade metrics merged under `bladeN.` prefixes plus chassis.*
+  /// aggregates (makespan, total blade time, balance).
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] std::size_t bladeCount() const noexcept { return blades.size(); }
   /// Load balance: average blade time / makespan (1 = perfectly balanced).

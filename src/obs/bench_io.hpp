@@ -1,0 +1,71 @@
+#pragma once
+/// \file bench_io.hpp
+/// Machine-readable output for the bench/ binaries. Every bench constructs
+/// a BenchReport from argv, registers the tables and key scalars it prints,
+/// and returns finish() from main. With `--json <path>` on the command line
+/// the run additionally emits one JSON document:
+///
+///   {"bench":"table2","scalars":{...},"notes":{...},
+///    "tables":{"name":{"header":[...],"rows":[[...],...]}},
+///    "metrics":{"counters":{...},...}}
+///
+/// so the CI smoke job and future perf-trajectory tooling consume the same
+/// numbers the human-readable tables show. `--trace <path>` is parsed here
+/// too for the benches that export Chrome traces (bench_profiles).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
+
+namespace prtr::obs {
+
+class BenchReport {
+ public:
+  /// Parses `--json <path>` and `--trace <path>` from argv; other
+  /// arguments are ignored (benches are otherwise argument-free).
+  /// Throws util::DomainError when a flag is missing its path.
+  BenchReport(std::string name, int argc, const char* const* argv);
+
+  [[nodiscard]] bool jsonRequested() const noexcept {
+    return !jsonPath_.empty();
+  }
+  [[nodiscard]] bool traceRequested() const noexcept {
+    return !tracePath_.empty();
+  }
+  [[nodiscard]] const std::string& jsonPath() const noexcept { return jsonPath_; }
+  [[nodiscard]] const std::string& tracePath() const noexcept {
+    return tracePath_;
+  }
+
+  /// Registers a key scalar (measured speedup, model error, ...).
+  void scalar(const std::string& name, double value);
+  void scalar(const std::string& name, std::uint64_t value);
+
+  /// Registers a free-form string fact (device name, layout, ...).
+  void note(const std::string& name, const std::string& text);
+
+  /// Registers a rendered table under `name` (copied).
+  void table(const std::string& name, const util::Table& table);
+
+  /// Registers the run's metrics snapshot (merged into any prior one).
+  void metrics(const MetricsSnapshot& snapshot);
+
+  /// Writes the JSON document when --json was requested. Returns the
+  /// process exit code for main (0; file errors propagate as exceptions).
+  [[nodiscard]] int finish() const;
+
+ private:
+  std::string name_;
+  std::string jsonPath_;
+  std::string tracePath_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, util::Table>> tables_;
+  MetricsSnapshot metrics_;
+};
+
+}  // namespace prtr::obs

@@ -1,0 +1,35 @@
+#pragma once
+/// \file hooks.hpp
+/// Uniform observability attachment point. Every run entry point that used
+/// to take ad-hoc `sim::Timeline*` parameters (scenario, hw/sw, multitask,
+/// chassis) now takes one Hooks struct: optional Gantt timelines, an
+/// optional metrics sink that receives the run's MetricsSnapshot, and an
+/// optional Chrome-trace collector that receives the recorded timelines.
+/// All pointers are non-owning and may be null (null = feature off).
+
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/trace.hpp"
+
+namespace prtr::obs {
+
+struct Hooks {
+  /// Primary execution timeline — the PRTR side of a two-sided scenario,
+  /// or the single timeline of one-sided runs (hw/sw, chassis blades).
+  sim::Timeline* timeline = nullptr;
+  /// Baseline (FRTR) timeline; recorded only by two-sided scenario runs.
+  sim::Timeline* frtrTimeline = nullptr;
+  /// Receives the run's merged MetricsSnapshot via Registry::absorb.
+  Registry* metrics = nullptr;
+  /// Receives the run's timelines as trace processes. When set while the
+  /// timeline pointers above are null, the run records into internal
+  /// timelines so the trace is still populated.
+  ChromeTrace* trace = nullptr;
+
+  [[nodiscard]] bool any() const noexcept {
+    return timeline != nullptr || frtrTimeline != nullptr ||
+           metrics != nullptr || trace != nullptr;
+  }
+};
+
+}  // namespace prtr::obs

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace prtr::obs {
+namespace {
+
+void foldHistogram(HistogramSummary& into, const HistogramSummary& from) {
+  if (from.count == 0) return;
+  if (into.count == 0) {
+    into = from;
+    return;
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+  into.min = std::min(into.min, from.min);
+  into.max = std::max(into.max, from.max);
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counterOr(std::string_view name,
+                                         std::uint64_t fallback) const {
+  const auto it = counters.find(std::string{name});
+  return it != counters.end() ? it->second : fallback;
+}
+
+std::optional<double> MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string{name});
+  return it != gauges.end() ? std::optional<double>{it->second} : std::nullopt;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other,
+                            const std::string& prefix) {
+  for (const auto& [name, value] : other.counters) {
+    counters[prefix + name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[prefix + name] = value;
+  }
+  for (const auto& [name, value] : other.histograms) {
+    foldHistogram(histograms[prefix + name], value);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    out.counters[name] = value - earlier.counterOr(name);
+  }
+  out.gauges = gauges;
+  for (const auto& [name, value] : histograms) {
+    HistogramSummary delta = value;
+    const auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) {
+      delta.count -= it->second.count;
+      delta.sum -= it->second.sum;
+      // min/max are not invertible over a window; keep the later values.
+    }
+    out.histograms[name] = delta;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::toString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) os << name << ' ' << value << '\n';
+  for (const auto& [name, value] : gauges) {
+    os << name << ' ' << util::json::formatNumber(value) << '\n';
+  }
+  for (const auto& [name, value] : histograms) {
+    os << name << " count=" << value.count << " sum=" << value.sum
+       << " min=" << value.min << " max=" << value.max << '\n';
+  }
+  return os.str();
+}
+
+void MetricsSnapshot::writeJson(util::json::Writer& w) const {
+  w.beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [name, value] : counters) w.key(name).value(value);
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, value] : gauges) w.key(name).value(value);
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, value] : histograms) {
+    w.key(name).beginObject();
+    w.key("count").value(value.count);
+    w.key("sum").value(value.sum);
+    w.key("min").value(value.min);
+    w.key("max").value(value.max);
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::ostringstream os;
+  util::json::Writer w{os};
+  writeJson(w);
+  return os.str();
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  state_.counters[std::string{name}] += delta;
+}
+
+void Registry::set(std::string_view name, double value) {
+  state_.gauges[std::string{name}] = value;
+}
+
+void Registry::observe(std::string_view name, std::int64_t value) {
+  HistogramSummary& h = state_.histograms[std::string{name}];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+void Registry::absorb(const MetricsSnapshot& snapshot,
+                      const std::string& prefix) {
+  state_.merge(snapshot, prefix);
+}
+
+}  // namespace prtr::obs

@@ -1,0 +1,101 @@
+#pragma once
+/// \file metrics.hpp
+/// Metrics registry for the simulator and runtime: counters, gauges, and
+/// histograms under stable hierarchical dotted names ("icap.bytes_written",
+/// "cache.lru.hits", "executor.prtr.stall_ps"). Subsystems record into a
+/// Registry; a MetricsSnapshot freezes its state for reports, diffs between
+/// two points in a run, and JSON emission. Everything here is deterministic:
+/// snapshots hold sorted maps, so two bit-identical runs produce equal
+/// snapshots (a property the test suite asserts).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace prtr::obs {
+
+/// Summary statistics of one histogram series. Values are recorded as
+/// int64 (times in picoseconds, sizes in bytes) so sums stay exact.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  ///< meaningful only when count > 0
+  std::int64_t max = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  friend bool operator==(const HistogramSummary&,
+                         const HistogramSummary&) = default;
+};
+
+/// Frozen metric state: what a Registry held at snapshot() time, or what a
+/// subsystem assembled directly. Ordered maps make rendering stable.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter value under `name`, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t counterOr(std::string_view name,
+                                        std::uint64_t fallback = 0) const;
+
+  /// Gauge value under `name`, or nullopt when absent.
+  [[nodiscard]] std::optional<double> gauge(std::string_view name) const;
+
+  /// Folds `other` into this snapshot, prefixing every incoming name with
+  /// `prefix` ("prtr." turns "icap.loads" into "prtr.icap.loads").
+  /// Counters and histogram summaries add; gauges overwrite.
+  void merge(const MetricsSnapshot& other, const std::string& prefix = {});
+
+  /// Counter/histogram deltas since `earlier` (this - earlier); gauges keep
+  /// their current values. Names absent from `earlier` count from zero.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
+
+  /// "name value" per line, counters then gauges then histograms.
+  [[nodiscard]] std::string toString() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void writeJson(util::json::Writer& w) const;
+  [[nodiscard]] std::string toJson() const;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+/// Mutable metric store. Not thread-safe — like the simulator, one registry
+/// per thread; parallel sweeps merge snapshots afterwards.
+class Registry {
+ public:
+  /// Adds `delta` to the counter under `name` (created at zero).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets the gauge under `name`.
+  void set(std::string_view name, double value);
+
+  /// Records one histogram observation under `name`.
+  void observe(std::string_view name, std::int64_t value);
+
+  /// Folds a finished snapshot into this registry (prefixing as in
+  /// MetricsSnapshot::merge). This is how per-run snapshots reach a
+  /// caller-provided hooks sink.
+  void absorb(const MetricsSnapshot& snapshot, const std::string& prefix = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const { return state_; }
+  [[nodiscard]] bool empty() const noexcept { return state_.empty(); }
+  void clear() { state_ = MetricsSnapshot{}; }
+
+ private:
+  MetricsSnapshot state_;
+};
+
+}  // namespace prtr::obs

@@ -1,0 +1,111 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace prtr::obs {
+
+std::string microsecondsFromPicoseconds(std::int64_t ps) {
+  const bool negative = ps < 0;
+  const std::uint64_t magnitude =
+      negative ? 0ULL - static_cast<std::uint64_t>(ps)
+               : static_cast<std::uint64_t>(ps);
+  const std::uint64_t whole = magnitude / 1'000'000ULL;
+  std::uint64_t frac = magnitude % 1'000'000ULL;
+  std::string out = negative ? "-" : "";
+  out += std::to_string(whole);
+  if (frac != 0) {
+    char digits[7];
+    for (int i = 5; i >= 0; --i) {
+      digits[i] = static_cast<char>('0' + frac % 10);
+      frac /= 10;
+    }
+    digits[6] = '\0';
+    std::string fracText{digits};
+    while (fracText.back() == '0') fracText.pop_back();
+    out += '.';
+    out += fracText;
+  }
+  return out;
+}
+
+void ChromeTrace::add(const std::string& processName,
+                      const sim::Timeline& timeline) {
+  Process proc;
+  proc.name = processName;
+  proc.spans = timeline.spans();
+  proc.spanLane.reserve(proc.spans.size());
+  for (const sim::Span& span : proc.spans) {
+    const auto it = std::find(proc.lanes.begin(), proc.lanes.end(), span.lane);
+    if (it == proc.lanes.end()) {
+      proc.spanLane.push_back(proc.lanes.size());
+      proc.lanes.push_back(span.lane);
+    } else {
+      proc.spanLane.push_back(
+          static_cast<std::size_t>(it - proc.lanes.begin()));
+    }
+  }
+  processes_.push_back(std::move(proc));
+}
+
+void ChromeTrace::write(std::ostream& os) const {
+  util::json::Writer w{os};
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  // Metadata first: names for every process and lane-thread.
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    const Process& proc = processes_[p];
+    w.beginObject();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+    w.key("tid").value(std::uint64_t{0});
+    w.key("args").beginObject().key("name").value(proc.name).endObject();
+    w.endObject();
+    for (std::size_t t = 0; t < proc.lanes.size(); ++t) {
+      w.beginObject();
+      w.key("name").value("thread_name");
+      w.key("ph").value("M");
+      w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+      w.key("tid").value(static_cast<std::uint64_t>(t + 1));
+      w.key("args").beginObject().key("name").value(proc.lanes[t]).endObject();
+      w.endObject();
+    }
+  }
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    const Process& proc = processes_[p];
+    for (std::size_t i = 0; i < proc.spans.size(); ++i) {
+      const sim::Span& span = proc.spans[i];
+      w.beginObject();
+      w.key("name").value(span.label);
+      w.key("cat").value(span.lane);
+      w.key("ph").value("X");
+      w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+      w.key("tid").value(static_cast<std::uint64_t>(proc.spanLane[i] + 1));
+      w.key("ts").raw(microsecondsFromPicoseconds(span.start.ps()));
+      w.key("dur").raw(microsecondsFromPicoseconds((span.end - span.start).ps()));
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.key("displayTimeUnit").value("ms");
+  w.endObject();
+}
+
+std::string ChromeTrace::toJson() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void ChromeTrace::writeFile(const std::string& path) const {
+  std::ofstream file{path};
+  if (!file) throw util::Error{"ChromeTrace: cannot open " + path + " for writing"};
+  write(file);
+}
+
+}  // namespace prtr::obs

@@ -1,0 +1,58 @@
+#pragma once
+/// \file trace_export.hpp
+/// Chrome trace_event / Perfetto export of sim::Timeline spans. Each added
+/// timeline becomes one "process" in the trace, its lanes become threads,
+/// and every span is emitted as a complete ("X") event, so a scenario's
+/// Gantt opens directly in chrome://tracing or ui.perfetto.dev.
+///
+/// Timestamps: the trace_event format counts microseconds; simulated time
+/// is integer picoseconds. Values are rendered as exact decimal fractions
+/// (ps / 1e6, up to six fractional digits), so the export is deterministic
+/// and lossless — no floating-point formatting is involved.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace prtr::obs {
+
+/// Collects timelines and writes one Chrome-trace JSON document.
+class ChromeTrace {
+ public:
+  /// Adds every span of `timeline` under a process named `processName`.
+  /// Lanes map to thread ids in first-seen order; span order is preserved.
+  void add(const std::string& processName, const sim::Timeline& timeline);
+
+  [[nodiscard]] bool empty() const noexcept { return processes_.empty(); }
+  [[nodiscard]] std::size_t processCount() const noexcept {
+    return processes_.size();
+  }
+
+  /// Writes {"traceEvents":[...]} — metadata (process/thread names) first,
+  /// then the span events in insertion order.
+  void write(std::ostream& os) const;
+  [[nodiscard]] std::string toJson() const;
+
+  /// write() to `path`; throws util::Error when the file cannot be opened.
+  void writeFile(const std::string& path) const;
+
+ private:
+  struct Process {
+    std::string name;
+    std::vector<std::string> lanes;        ///< tid = index, first-seen order
+    std::vector<sim::Span> spans;
+    std::vector<std::size_t> spanLane;     ///< lane index per span
+  };
+
+  std::vector<Process> processes_;
+};
+
+/// Exact "<µs>.<frac>" rendering of a picosecond count (trailing zeros
+/// trimmed; whole microseconds render without a fraction). Exposed for the
+/// golden-file test.
+[[nodiscard]] std::string microsecondsFromPicoseconds(std::int64_t ps);
+
+}  // namespace prtr::obs

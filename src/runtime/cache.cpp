@@ -160,18 +160,57 @@ void BeladyCache::onTouch(std::size_t, ModuleId) {}
 
 // ---- factory ----------------------------------------------------------
 
+const char* toString(CachePolicy policy) noexcept {
+  switch (policy) {
+    case CachePolicy::kLru: return "lru";
+    case CachePolicy::kLfu: return "lfu";
+    case CachePolicy::kFifo: return "fifo";
+    case CachePolicy::kRandom: return "random";
+    case CachePolicy::kBelady: return "belady";
+  }
+  return "?";
+}
+
+std::optional<CachePolicy> cachePolicyFromString(
+    std::string_view name) noexcept {
+  for (const CachePolicy policy : allCachePolicies()) {
+    if (name == toString(policy)) return policy;
+  }
+  return std::nullopt;
+}
+
+std::span<const CachePolicy> allCachePolicies() noexcept {
+  static constexpr CachePolicy kAll[] = {
+      CachePolicy::kLru, CachePolicy::kLfu, CachePolicy::kFifo,
+      CachePolicy::kRandom, CachePolicy::kBelady};
+  return kAll;
+}
+
+std::unique_ptr<ConfigCache> makeCache(CachePolicy policy,
+                                       std::size_t slotCount,
+                                       const std::vector<ModuleId>& futureSequence,
+                                       std::uint64_t seed) {
+  switch (policy) {
+    case CachePolicy::kLru: return std::make_unique<LruCache>(slotCount);
+    case CachePolicy::kLfu: return std::make_unique<LfuCache>(slotCount);
+    case CachePolicy::kFifo: return std::make_unique<FifoCache>(slotCount);
+    case CachePolicy::kRandom:
+      return std::make_unique<RandomCache>(slotCount, seed);
+    case CachePolicy::kBelady:
+      return std::make_unique<BeladyCache>(slotCount, futureSequence);
+  }
+  throw util::DomainError{"makeCache: invalid CachePolicy"};
+}
+
 std::unique_ptr<ConfigCache> makeCache(const std::string& policy,
                                        std::size_t slotCount,
                                        const std::vector<ModuleId>& futureSequence,
                                        std::uint64_t seed) {
-  if (policy == "lru") return std::make_unique<LruCache>(slotCount);
-  if (policy == "lfu") return std::make_unique<LfuCache>(slotCount);
-  if (policy == "fifo") return std::make_unique<FifoCache>(slotCount);
-  if (policy == "random") return std::make_unique<RandomCache>(slotCount, seed);
-  if (policy == "belady") {
-    return std::make_unique<BeladyCache>(slotCount, futureSequence);
+  const std::optional<CachePolicy> parsed = cachePolicyFromString(policy);
+  if (!parsed) {
+    throw util::DomainError{"makeCache: unknown policy '" + policy + "'"};
   }
-  throw util::DomainError{"makeCache: unknown policy '" + policy + "'"};
+  return makeCache(*parsed, slotCount, futureSequence, seed);
 }
 
 }  // namespace prtr::runtime

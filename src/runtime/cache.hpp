@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bitstream/builder.hpp"
@@ -17,6 +19,22 @@
 namespace prtr::runtime {
 
 using bitstream::ModuleId;
+
+/// Replacement policies for the PRR module cache. The typed enum is the
+/// API; the spec front end (analyze/spec.hpp) maps raw `.scn` strings
+/// through cachePolicyFromString so an unknown name lints (MD011) instead
+/// of throwing from this layer.
+enum class CachePolicy : std::uint8_t { kLru, kLfu, kFifo, kRandom, kBelady };
+
+/// Canonical lower-case name ("lru", "lfu", "fifo", "random", "belady").
+[[nodiscard]] const char* toString(CachePolicy policy) noexcept;
+
+/// Inverse of toString; nullopt for unknown names (never throws).
+[[nodiscard]] std::optional<CachePolicy> cachePolicyFromString(
+    std::string_view name) noexcept;
+
+/// Every policy, in declaration order (drives name lists and ablations).
+[[nodiscard]] std::span<const CachePolicy> allCachePolicies() noexcept;
 
 /// Hit/miss counters shared by all policies.
 struct CacheStats {
@@ -169,7 +187,14 @@ class BeladyCache final : public ConfigCache {
   std::size_t position_ = 0;
 };
 
-/// Factory by policy name: "lru", "lfu", "fifo", "random", "belady".
+/// Factory by policy. `futureSequence` feeds Belady; `seed` feeds Random.
+[[nodiscard]] std::unique_ptr<ConfigCache> makeCache(
+    CachePolicy policy, std::size_t slotCount,
+    const std::vector<ModuleId>& futureSequence = {}, std::uint64_t seed = 1);
+
+/// Stringly-typed factory, kept for callers that predate CachePolicy.
+/// Still throws DomainError for unknown names.
+[[deprecated("use makeCache(CachePolicy, ...) / cachePolicyFromString")]]
 [[nodiscard]] std::unique_ptr<ConfigCache> makeCache(
     const std::string& policy, std::size_t slotCount,
     const std::vector<ModuleId>& futureSequence = {}, std::uint64_t seed = 1);

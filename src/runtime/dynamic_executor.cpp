@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/executor.hpp"
 #include "util/error.hpp"
 
 namespace prtr::runtime {
@@ -167,6 +168,14 @@ DynamicReport DynamicPrtrExecutor::run(const tasks::Workload& workload) {
   sim.spawn(execute(workload));
   sim.run();
   report_.base.total = sim.now() - start;
+  scrapeExecutionMetrics(report_.base, *node_, "dynamic", nullptr);
+  report_.base.metrics.counters["dynamic.evictions"] = report_.evictions;
+  report_.base.metrics.counters["dynamic.defrag_runs"] = report_.defragRuns;
+  report_.base.metrics.counters["dynamic.defrag_moves"] = report_.defragMoves;
+  report_.base.metrics.counters["dynamic.defrag_ps"] =
+      static_cast<std::uint64_t>(report_.defragTime.ps());
+  report_.base.metrics.gauges["dynamic.mean_occupied_columns"] =
+      report_.meanOccupiedColumns;
   return report_;
 }
 

@@ -1,6 +1,10 @@
 #include "runtime/executor.hpp"
 
+#include <cctype>
+#include <string>
+
 #include "config/port.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace prtr::runtime {
@@ -17,7 +21,53 @@ util::Time estimatedPartialTime(const xd1::Node& node, std::size_t prr) {
       node.floorplan().prr(prr).partialBitstreamBytes(node.device()));
 }
 
+std::uint64_t asCount(util::Time t) noexcept {
+  return t.ps() > 0 ? static_cast<std::uint64_t>(t.ps()) : 0;
+}
+
 }  // namespace
+
+void scrapeExecutionMetrics(ExecutionReport& report, xd1::Node& node,
+                            const std::string& executorName,
+                            const ConfigCache* cache) {
+  obs::Registry reg;
+  reg.add("sim.events_processed", node.sim().eventsProcessed());
+  reg.add("sim.time_ps", asCount(node.sim().now()));
+  reg.add("config.icap.loads", node.icap().loadsPerformed());
+  reg.add("config.icap.bytes_written", node.icap().bytesWritten());
+  reg.add("config.icap.contention_ps", asCount(node.icap().contentionTime()));
+  reg.add("config.vendor_api.loads", node.vendorApi().loadsPerformed());
+  reg.add("config.vendor_api.bytes_written", node.vendorApi().bytesWritten());
+  reg.add("config.vendor_api.rejects", node.vendorApi().rejectedLoads());
+  reg.add("config.full_configs", node.manager().fullConfigCount());
+  reg.add("config.partial_configs", node.manager().partialConfigCount());
+
+  if (cache != nullptr) {
+    std::string policy = cache->policyName();
+    for (char& c : policy) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const std::string base = "cache." + policy + ".";
+    reg.add(base + "hits", cache->stats().hits);
+    reg.add(base + "misses", cache->stats().misses);
+    reg.add(base + "evictions", cache->stats().evictions);
+  }
+
+  const std::string ex = "executor." + executorName + ".";
+  reg.add(ex + "calls", report.calls);
+  reg.add(ex + "configurations", report.configurations);
+  reg.add(ex + "prefetch_issued", report.prefetchIssued);
+  reg.add(ex + "prefetch_wrong", report.prefetchWrong);
+  reg.add(ex + "total_ps", asCount(report.total));
+  reg.add(ex + "initial_config_ps", asCount(report.initialConfig));
+  reg.add(ex + "stall_ps", asCount(report.configStall));
+  reg.add(ex + "decision_ps", asCount(report.decisionTime));
+  reg.add(ex + "control_ps", asCount(report.controlTime));
+  reg.add(ex + "input_ps", asCount(report.inputTime));
+  reg.add(ex + "compute_ps", asCount(report.computeTime));
+  reg.add(ex + "output_ps", asCount(report.outputTime));
+  report.metrics = reg.snapshot();
+}
 
 // ---------------------------------------------------------------- FRTR --
 
@@ -82,6 +132,7 @@ ExecutionReport FrtrExecutor::run(const tasks::Workload& workload) {
   sim.spawn(execute(workload));
   sim.run();
   report_.total = sim.now() - start;
+  scrapeExecutionMetrics(report_, *node_, "frtr", nullptr);
   return report_;
 }
 
@@ -314,6 +365,7 @@ ExecutionReport PrtrExecutor::run(const tasks::Workload& workload) {
   sim.spawn(execute(workload));
   sim.run();
   report_.total = sim.now() - start;
+  scrapeExecutionMetrics(report_, *node_, "prtr", cache_);
   return report_;
 }
 

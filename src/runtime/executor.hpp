@@ -45,6 +45,14 @@ struct ExecutorOptions {
   sim::Timeline* timeline = nullptr;  ///< optional Gantt tracing
 };
 
+/// Freezes a finished run's observability counters into `report.metrics`:
+/// sim kernel, configuration machinery, cache (may be null), and the
+/// executor's own accounting, under the stable names documented in
+/// src/obs/README.md. Shared by every executor flavour.
+void scrapeExecutionMetrics(ExecutionReport& report, xd1::Node& node,
+                            const std::string& executorName,
+                            const ConfigCache* cache);
+
 /// Full run-time reconfiguration baseline (Figure 3).
 class FrtrExecutor {
  public:

@@ -1,6 +1,7 @@
 #include "runtime/hwsw.hpp"
 
 #include "model/calibration.hpp"
+#include "runtime/executor.hpp"
 #include "util/error.hpp"
 
 namespace prtr::runtime {
@@ -92,6 +93,9 @@ sim::Process HwSwExecutor::execute(const tasks::Workload& workload) {
       const util::Time start = sim.now();
       co_await sim.delay(softwareCost(call));
       report_.softwareTime += sim.now() - start;
+      if (options_.hooks.timeline) {
+        options_.hooks.timeline->record("CPU", fn.name, 's', start, sim.now());
+      }
       ++report_.softwareCalls;
       ++report_.base.calls;
       continue;
@@ -123,6 +127,9 @@ sim::Process HwSwExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await sim.delay(fn.computeTime(call.dataBytes));
     report_.base.computeTime += sim.now() - mark;
+    if (options_.hooks.timeline) {
+      options_.hooks.timeline->record("FPGA", fn.name, '#', mark, sim.now());
+    }
 
     mark = sim.now();
     co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
@@ -141,6 +148,20 @@ HwSwReport HwSwExecutor::run(const tasks::Workload& workload) {
   sim.spawn(execute(workload));
   sim.run();
   report_.base.total = sim.now() - start;
+  scrapeExecutionMetrics(report_.base, *node_, "hwsw", cache_);
+  report_.base.metrics.counters["hwsw.hardware_calls"] = report_.hardwareCalls;
+  report_.base.metrics.counters["hwsw.software_calls"] = report_.softwareCalls;
+  report_.base.metrics.counters["hwsw.software_ps"] =
+      report_.softwareTime > util::Time::zero()
+          ? static_cast<std::uint64_t>(report_.softwareTime.ps())
+          : 0;
+  if (options_.hooks.metrics) {
+    options_.hooks.metrics->absorb(report_.base.metrics);
+  }
+  if (options_.hooks.trace && options_.hooks.timeline &&
+      !options_.hooks.timeline->empty()) {
+    options_.hooks.trace->add("hwsw", *options_.hooks.timeline);
+  }
   return report_;
 }
 

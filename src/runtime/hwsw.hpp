@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bitstream/library.hpp"
+#include "obs/hooks.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/report.hpp"
 #include "tasks/workload.hpp"
@@ -53,6 +54,9 @@ struct HwSwOptions {
   CpuModel cpu{};
   util::Time tControl = util::Time::microseconds(10);
   bool lookahead = true;  ///< overlap next hardware config with execution
+  /// Observability: hooks.timeline records CPU/FPGA spans; hooks.metrics
+  /// receives the run's snapshot.
+  obs::Hooks hooks{};
 };
 
 /// Outcome of a HW/SW run: the base report plus the placement split.

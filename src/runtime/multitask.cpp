@@ -105,6 +105,10 @@ class Scheduler {
     co_await node_.linkOut().transfer(fn.outputBytes(call.dataBytes));
 
     slots_[slot].busy = false;
+    if (options_.hooks.timeline) {
+      options_.hooks.timeline->record("PRR" + std::to_string(slot), fn.name,
+                                      hit ? '#' : 'c', granted, sim.now());
+    }
     report_.prrBusyTotal += sim.now() - granted;
     stats.latencySeconds.add((sim.now() - arrival).toSeconds());
     ++stats.completed;
@@ -180,6 +184,35 @@ MultitaskReport runMultitask(const tasks::FunctionRegistry& registry,
   }
   sim.run();
   report.makespan = sim.now();
+
+  obs::Registry reg;
+  reg.add("sim.events_processed", sim.eventsProcessed());
+  reg.add("sim.time_ps", static_cast<std::uint64_t>(sim.now().ps()));
+  reg.add("config.icap.loads", node.icap().loadsPerformed());
+  reg.add("config.icap.bytes_written", node.icap().bytesWritten());
+  reg.add("config.icap.contention_ps",
+          static_cast<std::uint64_t>(node.icap().contentionTime().ps()));
+  reg.add("config.vendor_api.loads", node.vendorApi().loadsPerformed());
+  reg.add("config.vendor_api.bytes_written", node.vendorApi().bytesWritten());
+  reg.add("multitask.calls", report.calls);
+  reg.add("multitask.hits", report.hits);
+  reg.add("multitask.configurations", report.configurations);
+  reg.add("multitask.makespan_ps",
+          static_cast<std::uint64_t>(report.makespan.ps()));
+  reg.add("multitask.prr_busy_ps",
+          static_cast<std::uint64_t>(report.prrBusyTotal.ps()));
+  reg.set("multitask.hit_ratio", report.hitRatio());
+  for (const AppStats& app : report.apps) {
+    reg.add("multitask.app." + app.name + ".completed", app.completed);
+    reg.set("multitask.app." + app.name + ".latency_mean_s",
+            app.latencySeconds.mean());
+  }
+  report.metrics = reg.snapshot();
+  if (options.hooks.metrics) options.hooks.metrics->absorb(report.metrics);
+  if (options.hooks.trace && options.hooks.timeline &&
+      !options.hooks.timeline->empty()) {
+    options.hooks.trace->add("multitask", *options.hooks.timeline);
+  }
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bitstream/library.hpp"
+#include "obs/hooks.hpp"
 #include "runtime/report.hpp"
 #include "tasks/workload.hpp"
 #include "util/stats.hpp"
@@ -43,6 +44,7 @@ struct MultitaskReport {
   std::uint64_t hits = 0;
   std::uint64_t calls = 0;
   util::Time prrBusyTotal;  ///< summed busy time across PRRs
+  obs::MetricsSnapshot metrics;  ///< sim/config/scheduler counters
 
   [[nodiscard]] double hitRatio() const noexcept {
     return calls ? static_cast<double>(hits) / static_cast<double>(calls) : 0.0;
@@ -60,6 +62,9 @@ struct MultitaskOptions {
   xd1::Layout layout = xd1::Layout::kDualPrr;
   util::Time tControl = util::Time::microseconds(10);
   std::uint64_t seed = 1;  ///< arrival-process seed
+  /// Observability: hooks.timeline records per-PRR occupancy spans;
+  /// hooks.metrics receives the run's snapshot; hooks.trace exports it.
+  obs::Hooks hooks{};
 };
 
 /// Runs `apps` concurrently on one blade and returns the aggregate report.

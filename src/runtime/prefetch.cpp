@@ -74,19 +74,56 @@ std::optional<ModuleId> AssociationPrefetcher::predictNext() {
   return best;
 }
 
+const char* toString(PrefetcherKind kind) noexcept {
+  switch (kind) {
+    case PrefetcherKind::kNone: return "none";
+    case PrefetcherKind::kOracle: return "oracle";
+    case PrefetcherKind::kMarkov: return "markov";
+    case PrefetcherKind::kAssociation: return "association";
+  }
+  return "?";
+}
+
+std::optional<PrefetcherKind> prefetcherKindFromString(
+    std::string_view name) noexcept {
+  for (const PrefetcherKind kind : allPrefetcherKinds()) {
+    if (name == toString(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::span<const PrefetcherKind> allPrefetcherKinds() noexcept {
+  static constexpr PrefetcherKind kAll[] = {
+      PrefetcherKind::kNone, PrefetcherKind::kOracle, PrefetcherKind::kMarkov,
+      PrefetcherKind::kAssociation};
+  return kAll;
+}
+
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
+                                           util::Time latency,
+                                           const std::vector<ModuleId>& sequence,
+                                           std::size_t window) {
+  switch (kind) {
+    case PrefetcherKind::kNone: return std::make_unique<NonePrefetcher>();
+    case PrefetcherKind::kOracle:
+      return std::make_unique<OraclePrefetcher>(sequence, latency);
+    case PrefetcherKind::kMarkov:
+      return std::make_unique<MarkovPrefetcher>(latency);
+    case PrefetcherKind::kAssociation:
+      return std::make_unique<AssociationPrefetcher>(window, latency);
+  }
+  throw util::DomainError{"makePrefetcher: invalid PrefetcherKind"};
+}
+
 std::unique_ptr<Prefetcher> makePrefetcher(const std::string& kind,
                                            util::Time latency,
                                            const std::vector<ModuleId>& sequence,
                                            std::size_t window) {
-  if (kind == "none") return std::make_unique<NonePrefetcher>();
-  if (kind == "oracle") {
-    return std::make_unique<OraclePrefetcher>(sequence, latency);
+  const std::optional<PrefetcherKind> parsed = prefetcherKindFromString(kind);
+  if (!parsed) {
+    throw util::DomainError{"makePrefetcher: unknown kind '" + kind + "'"};
   }
-  if (kind == "markov") return std::make_unique<MarkovPrefetcher>(latency);
-  if (kind == "association") {
-    return std::make_unique<AssociationPrefetcher>(window, latency);
-  }
-  throw util::DomainError{"makePrefetcher: unknown kind '" + kind + "'"};
+  return makePrefetcher(*parsed, latency, sequence, window);
 }
 
 }  // namespace prtr::runtime

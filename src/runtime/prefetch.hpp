@@ -12,7 +12,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bitstream/builder.hpp"
@@ -21,6 +23,22 @@
 namespace prtr::runtime {
 
 using bitstream::ModuleId;
+
+/// Prediction algorithms for configuration pre-fetching. The typed enum is
+/// the API; `.scn` strings go through prefetcherKindFromString so unknown
+/// names lint (MD012) instead of throwing from this layer.
+enum class PrefetcherKind : std::uint8_t { kNone, kOracle, kMarkov,
+                                           kAssociation };
+
+/// Canonical lower-case name ("none", "oracle", "markov", "association").
+[[nodiscard]] const char* toString(PrefetcherKind kind) noexcept;
+
+/// Inverse of toString; nullopt for unknown names (never throws).
+[[nodiscard]] std::optional<PrefetcherKind> prefetcherKindFromString(
+    std::string_view name) noexcept;
+
+/// Every kind, in declaration order.
+[[nodiscard]] std::span<const PrefetcherKind> allPrefetcherKinds() noexcept;
 
 /// Interface for configuration pre-fetching algorithms.
 class Prefetcher {
@@ -106,7 +124,15 @@ class AssociationPrefetcher final : public Prefetcher {
   util::Time latency_;
 };
 
-/// Factory: "none", "oracle", "markov", "association".
+/// Factory by kind. `sequence` feeds the oracle; `window` the association
+/// miner.
+[[nodiscard]] std::unique_ptr<Prefetcher> makePrefetcher(
+    PrefetcherKind kind, util::Time latency,
+    const std::vector<ModuleId>& sequence = {}, std::size_t window = 8);
+
+/// Stringly-typed factory, kept for callers that predate PrefetcherKind.
+/// Still throws DomainError for unknown names.
+[[deprecated("use makePrefetcher(PrefetcherKind, ...) / prefetcherKindFromString")]]
 [[nodiscard]] std::unique_ptr<Prefetcher> makePrefetcher(
     const std::string& kind, util::Time latency,
     const std::vector<ModuleId>& sequence = {}, std::size_t window = 8);

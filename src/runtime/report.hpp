@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace prtr::runtime {
@@ -28,6 +29,10 @@ struct ExecutionReport {
   util::Time inputTime;     ///< host->FPGA payload time on the critical path
   util::Time computeTime;   ///< fabric execution time
   util::Time outputTime;    ///< FPGA->host payload time
+
+  /// Subsystem counters scraped at the end of the run: sim kernel, ICAP /
+  /// vendor-API, cache, and the executor's own accounting (see obs/).
+  obs::MetricsSnapshot metrics;
 
   /// Measured hit ratio: calls that found their module resident.
   [[nodiscard]] double hitRatio() const noexcept {

@@ -45,19 +45,12 @@ ExecutorOptions executorOptions(const ScenarioOptions& options,
   return eo;
 }
 
-}  // namespace
-
-std::string ScenarioResult::toString() const {
-  std::ostringstream os;
-  os << "measured S = " << speedup << ", model S = " << modelSpeedup
-     << " (error " << modelError * 100.0 << "%)\n";
-  os << frtr.toString() << prtr.toString();
-  return os.str();
-}
-
-ExecutionReport runPrtrOnly(const tasks::FunctionRegistry& registry,
+/// The PRTR side on a fresh node. Shared by runScenario and the
+/// deprecated runPrtrOnly shim (which must keep its lint-free behavior).
+ExecutionReport runPrtrSide(const tasks::FunctionRegistry& registry,
                             const tasks::Workload& workload,
-                            const ScenarioOptions& options) {
+                            const ScenarioOptions& options,
+                            sim::Timeline* timeline) {
   sim::Simulator sim;
   xd1::NodeConfig nodeConfig;
   nodeConfig.layout = options.layout;
@@ -73,15 +66,15 @@ ExecutionReport runPrtrOnly(const tasks::FunctionRegistry& registry,
   auto prefetcher = makePrefetcher(options.prefetcherKind,
                                    options.decisionLatency, sequence,
                                    options.associationWindow);
-  PrtrExecutor executor{node,  registry,    library,
-                        *cache, *prefetcher, executorOptions(options,
-                                                             options.prtrTimeline)};
+  PrtrExecutor executor{node,   registry,     library,
+                        *cache, *prefetcher, executorOptions(options, timeline)};
   return executor.run(workload);
 }
 
-model::Params deriveModelParams(const tasks::FunctionRegistry& registry,
-                                const tasks::Workload& workload,
-                                const ScenarioOptions& options, double hitRatio) {
+model::Params deriveModelParamsAt(const tasks::FunctionRegistry& registry,
+                                  const tasks::Workload& workload,
+                                  const ScenarioOptions& options,
+                                  double hitRatio) {
   sim::Simulator sim;
   xd1::NodeConfig nodeConfig;
   nodeConfig.layout = options.layout;
@@ -99,13 +92,37 @@ model::Params deriveModelParams(const tasks::FunctionRegistry& registry,
   return abs.normalized();
 }
 
+}  // namespace
+
+const char* toString(ScenarioSides sides) noexcept {
+  switch (sides) {
+    case ScenarioSides::kBoth: return "both";
+    case ScenarioSides::kPrtrOnly: return "prtr-only";
+  }
+  return "?";
+}
+
+std::string ScenarioResult::toString() const {
+  std::ostringstream os;
+  os << "measured S = " << speedup << ", model S = " << modelSpeedup
+     << " (error " << modelError * 100.0 << "%)\n";
+  os << frtr.toString() << prtr.toString();
+  return os.str();
+}
+
+model::Params deriveModelParams(const tasks::FunctionRegistry& registry,
+                                const tasks::Workload& workload,
+                                const ScenarioOptions& options) {
+  return deriveModelParamsAt(registry, workload, options,
+                             options.assumedHitRatio.value_or(0.0));
+}
+
 ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
                            const tasks::Workload& workload,
                            const ScenarioOptions& options) {
   // Strict mode: statically lint the scenario before instantiating any
-  // simulator. Error-severity findings (unknown policy names, contradictory
-  // option sets) abort here with the same codes prtr-lint reports; warnings
-  // are advisory and do not block execution.
+  // simulator. Error-severity findings abort here with the same codes
+  // prtr-lint reports; warnings are advisory and do not block execution.
   analyze::LintTargets lintTargets;
   lintTargets.scenario = &options;
   const analyze::DiagnosticSink lint = analyze::lintAll(lintTargets);
@@ -113,9 +130,23 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
     throw util::DomainError{"runScenario: " + lint.firstError().format()};
   }
 
+  // Resolve timelines: caller-provided ones win; when a trace collector is
+  // attached without timelines, record into locals so the trace still fills.
+  sim::Timeline localFrtr;
+  sim::Timeline localPrtr;
+  const obs::Hooks& hooks = options.hooks;
+  sim::Timeline* frtrTl = hooks.frtrTimeline;
+  sim::Timeline* prtrTl = hooks.timeline;
+  if (hooks.trace != nullptr) {
+    if (frtrTl == nullptr && options.sides == ScenarioSides::kBoth) {
+      frtrTl = &localFrtr;
+    }
+    if (prtrTl == nullptr) prtrTl = &localPrtr;
+  }
+
   ScenarioResult result;
 
-  {
+  if (options.sides == ScenarioSides::kBoth) {
     sim::Simulator sim;
     xd1::NodeConfig nodeConfig;
     nodeConfig.layout = options.layout;
@@ -123,21 +154,56 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
     bitstream::Library library{
         node.floorplan(),
         registry.moduleSpecs(node.floorplan().prr(0).resources(node.device()))};
-    FrtrExecutor frtr{node, registry, library,
-                      executorOptions(options, options.frtrTimeline)};
+    FrtrExecutor frtr{node, registry, library, executorOptions(options, frtrTl)};
     result.frtr = frtr.run(workload);
   }
 
-  result.prtr = runPrtrOnly(registry, workload, options);
-  result.speedup = measuredSpeedup(result.frtr, result.prtr);
+  result.prtr = runPrtrSide(registry, workload, options, prtrTl);
 
-  const double hitRatio =
-      options.forceMiss ? 0.0 : result.prtr.hitRatio();
-  result.modelParams = deriveModelParams(registry, workload, options, hitRatio);
+  const double hitRatio = options.forceMiss ? 0.0 : result.prtr.hitRatio();
+  result.modelParams = deriveModelParamsAt(registry, workload, options,
+                                           hitRatio);
   result.modelSpeedup = model::speedup(result.modelParams);
-  result.modelError =
-      util::relativeError(result.speedup, result.modelSpeedup);
+  if (options.sides == ScenarioSides::kBoth) {
+    result.speedup = measuredSpeedup(result.frtr, result.prtr);
+    result.modelError =
+        util::relativeError(result.speedup, result.modelSpeedup);
+  }
+
+  if (options.sides == ScenarioSides::kBoth) {
+    result.metrics.merge(result.frtr.metrics, "frtr.");
+  }
+  result.metrics.merge(result.prtr.metrics, "prtr.");
+  result.metrics.gauges["scenario.speedup"] = result.speedup;
+  result.metrics.gauges["scenario.model_speedup"] = result.modelSpeedup;
+  result.metrics.gauges["scenario.model_error"] = result.modelError;
+
+  if (hooks.metrics != nullptr) hooks.metrics->absorb(result.metrics);
+  if (hooks.trace != nullptr) {
+    if (frtrTl != nullptr && !frtrTl->empty()) hooks.trace->add("frtr", *frtrTl);
+    if (prtrTl != nullptr && !prtrTl->empty()) hooks.trace->add("prtr", *prtrTl);
+  }
   return result;
 }
+
+// Deprecated shims. Their replacements are declared [[deprecated]] in the
+// header; defining them here must not warn under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+ExecutionReport runPrtrOnly(const tasks::FunctionRegistry& registry,
+                            const tasks::Workload& workload,
+                            const ScenarioOptions& options) {
+  return runPrtrSide(registry, workload, options, options.hooks.timeline);
+}
+
+model::Params deriveModelParams(const tasks::FunctionRegistry& registry,
+                                const tasks::Workload& workload,
+                                const ScenarioOptions& options,
+                                double hitRatio) {
+  return deriveModelParamsAt(registry, workload, options, hitRatio);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace prtr::runtime

@@ -1,59 +1,91 @@
 #pragma once
 /// \file scenario.hpp
-/// The library's top-level entry point: run one workload under both FRTR
-/// and PRTR on freshly instantiated simulated XD1 nodes, measure the
-/// speedup, and validate it against the analytical model (equations 6/7).
+/// The library's top-level entry point: run one workload under FRTR and/or
+/// PRTR on freshly instantiated simulated XD1 nodes, measure the speedup,
+/// and validate it against the analytical model (equations 6/7).
 /// This is what the examples and the figure-reproduction benches drive.
+///
+/// One options-driven entry point: `ScenarioOptions.sides` selects whether
+/// the FRTR baseline runs at all (the old `runPrtrOnly` is a deprecated
+/// shim over `sides = kPrtrOnly`), `assumedHitRatio` feeds model-only
+/// derivations (the old 4-argument `deriveModelParams`), and `hooks`
+/// attaches observability (timelines, metrics sink, trace exporter)
+/// uniformly instead of raw Timeline pointers.
 
+#include <optional>
 #include <string>
 
 #include "model/model.hpp"
+#include "obs/hooks.hpp"
 #include "runtime/executor.hpp"
 
 namespace prtr::runtime {
 
+/// Which executors a scenario run instantiates.
+enum class ScenarioSides : std::uint8_t {
+  kBoth,      ///< FRTR baseline + PRTR (measured speedup is meaningful)
+  kPrtrOnly,  ///< PRTR only; the FRTR report stays empty and speedup is 0
+};
+
+[[nodiscard]] const char* toString(ScenarioSides sides) noexcept;
+
 /// Everything a scenario needs besides the workload itself.
 struct ScenarioOptions {
   xd1::Layout layout = xd1::Layout::kDualPrr;
+  ScenarioSides sides = ScenarioSides::kBoth;
   model::ConfigTimeBasis basis = model::ConfigTimeBasis::kMeasured;
   util::Time tControl = util::Time::microseconds(10);
   /// Paper experiment mode (H = 0): reconfigure on every call.
   bool forceMiss = true;
   PrepareSource prepare = PrepareSource::kQueue;
-  std::string cachePolicy = "lru";
-  std::string prefetcherKind = "none";
+  CachePolicy cachePolicy = CachePolicy::kLru;
+  PrefetcherKind prefetcherKind = PrefetcherKind::kNone;
   util::Time decisionLatency = util::Time::zero();
   /// Multi-frame-write compression in the ICAP controller (extension;
   /// affects the measured basis only).
   bool mfwCompression = false;
   std::size_t associationWindow = 8;
-  sim::Timeline* frtrTimeline = nullptr;
-  sim::Timeline* prtrTimeline = nullptr;
+  /// Hit ratio for model derivations that do not execute the scenario
+  /// (deriveModelParams). Unset = use forceMiss semantics (H = 0).
+  std::optional<double> assumedHitRatio;
+  /// Observability: timelines, metrics sink, trace exporter.
+  obs::Hooks hooks{};
 };
 
 /// Measurements plus the model's prediction for the same parameters.
 struct ScenarioResult {
-  ExecutionReport frtr;
+  ExecutionReport frtr;       ///< empty when sides == kPrtrOnly
   ExecutionReport prtr;
   double speedup = 0.0;       ///< measured S = T_FRTR_total / T_PRTR_total
   model::Params modelParams;  ///< derived from the platform + measured H
   double modelSpeedup = 0.0;  ///< eq. (6) at those parameters
   double modelError = 0.0;    ///< |measured - model| / model
+  /// Per-side metrics merged under "frtr." / "prtr." prefixes plus
+  /// scenario-level gauges (scenario.speedup, scenario.model_speedup).
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] std::string toString() const;
 };
 
-/// Runs `workload` under FRTR and PRTR and validates against the model.
+/// Runs `workload` per `options.sides` and validates against the model.
 [[nodiscard]] ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
                                          const tasks::Workload& workload,
                                          const ScenarioOptions& options);
 
 /// Runs only the PRTR side (used when the FRTR side is analytic anyway).
+[[deprecated("set ScenarioOptions::sides = ScenarioSides::kPrtrOnly and use runScenario")]]
 [[nodiscard]] ExecutionReport runPrtrOnly(const tasks::FunctionRegistry& registry,
                                           const tasks::Workload& workload,
                                           const ScenarioOptions& options);
 
-/// Derives the model parameters a scenario implies (without running it).
+/// Derives the model parameters a scenario implies (without running it),
+/// at `options.assumedHitRatio` (H = 0 when unset).
+[[nodiscard]] model::Params deriveModelParams(
+    const tasks::FunctionRegistry& registry, const tasks::Workload& workload,
+    const ScenarioOptions& options);
+
+/// Same, with the hit ratio as a positional parameter.
+[[deprecated("set ScenarioOptions::assumedHitRatio and use the 3-argument overload")]]
 [[nodiscard]] model::Params deriveModelParams(
     const tasks::FunctionRegistry& registry, const tasks::Workload& workload,
     const ScenarioOptions& options, double hitRatio);

@@ -1,0 +1,137 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace prtr::util::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string formatNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  // %.17g round-trips any double; shorten when fewer digits suffice so the
+  // common cases (integers, one-decimal ratios) stay readable and stable.
+  for (int precision = 1; precision <= 17; ++precision) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == value) return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+Writer& Writer::beginObject() {
+  separate();
+  *os_ << '{';
+  hasElement_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::endObject() {
+  hasElement_.pop_back();
+  *os_ << '}';
+  return *this;
+}
+
+Writer& Writer::beginArray() {
+  separate();
+  *os_ << '[';
+  hasElement_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::endArray() {
+  hasElement_.pop_back();
+  *os_ << ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view name) {
+  separate();
+  *os_ << '"' << escape(name) << "\":";
+  afterKey_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view text) {
+  separate();
+  *os_ << '"' << escape(text) << '"';
+  return *this;
+}
+
+Writer& Writer::value(double number) {
+  separate();
+  *os_ << formatNumber(number);
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t number) {
+  separate();
+  *os_ << number;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t number) {
+  separate();
+  *os_ << number;
+  return *this;
+}
+
+Writer& Writer::value(bool flag) {
+  separate();
+  *os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::null() {
+  separate();
+  *os_ << "null";
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view text) {
+  separate();
+  *os_ << text;
+  return *this;
+}
+
+void Writer::separate() {
+  if (afterKey_) {
+    // The value right after a key is glued to it; the comma (if any) was
+    // written before the key itself.
+    afterKey_ = false;
+    return;
+  }
+  if (!hasElement_.empty()) {
+    if (hasElement_.back()) *os_ << ',';
+    hasElement_.back() = true;
+  }
+}
+
+}  // namespace prtr::util::json

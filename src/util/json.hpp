@@ -1,0 +1,71 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON emission shared by every subsystem that writes
+/// machine-readable output: the analyze diagnostics sink, the obs metrics
+/// snapshots and Chrome-trace exporter, and the bench --json documents.
+/// Emission only — the repo never parses JSON, so there is no reader here.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prtr::util::json {
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through).
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Formats a double the way JSON expects: finite shortest-round-trip
+/// representation; NaN/Inf (not representable in JSON) become null.
+[[nodiscard]] std::string formatNumber(double value);
+
+/// Streaming minified-JSON writer with automatic comma placement. Usage:
+///
+///   Writer w{os};
+///   w.beginObject();
+///   w.key("calls").value(std::uint64_t{42});
+///   w.key("tables").beginArray();
+///   w.value("t2");
+///   w.endArray();
+///   w.endObject();
+///
+/// The writer does not validate overall document shape beyond matching
+/// begin/end nesting; callers are expected to emit well-formed sequences.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(&os) {}
+
+  Writer& beginObject();
+  Writer& endObject();
+  Writer& beginArray();
+  Writer& endArray();
+
+  /// Emits `"name":` inside an object; the next value belongs to it.
+  Writer& key(std::string_view name);
+
+  Writer& value(std::string_view text);
+  Writer& value(const char* text) { return value(std::string_view{text}); }
+  Writer& value(double number);
+  Writer& value(std::uint64_t number);
+  Writer& value(std::int64_t number);
+  Writer& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  Writer& value(bool flag);
+  Writer& null();
+
+  /// Emits pre-rendered JSON verbatim (e.g. a number formatted elsewhere).
+  Writer& raw(std::string_view text);
+
+ private:
+  /// Writes the separating comma when a value follows a sibling value.
+  void separate();
+
+  std::ostream* os_;
+  /// One entry per open container: true once a first element was written.
+  std::vector<bool> hasElement_;
+  /// True directly after key() — the next value completes the member.
+  bool afterKey_ = false;
+};
+
+}  // namespace prtr::util::json

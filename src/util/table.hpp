@@ -24,6 +24,9 @@ class Table {
   Table& cell(std::int64_t value);
   Table& cell(int value);
 
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
   [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& rowAt(std::size_t i) const {
     return rows_.at(i);

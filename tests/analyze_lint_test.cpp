@@ -28,6 +28,7 @@
 #include "runtime/cache.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/scenario.hpp"
+#include "tasks/workload.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 
@@ -565,7 +566,7 @@ TEST(ScenarioRules, DefaultOptionsLintClean) {
 TEST(ScenarioRules, ForceMissWithNonDefaultCacheIsMD009) {
   runtime::ScenarioOptions options;
   options.forceMiss = true;
-  options.cachePolicy = "belady";
+  options.cachePolicy = runtime::CachePolicy::kBelady;
   DiagnosticSink sink;
   analyze::checkScenarioOptions(options, sink);
   EXPECT_EQ(sink.codes(), (std::vector<std::string>{"MD009"}))
@@ -575,7 +576,7 @@ TEST(ScenarioRules, ForceMissWithNonDefaultCacheIsMD009) {
 TEST(ScenarioRules, PrefetcherMismatchIsMD010) {
   runtime::ScenarioOptions ignored;
   ignored.forceMiss = false;
-  ignored.prefetcherKind = "oracle";
+  ignored.prefetcherKind = runtime::PrefetcherKind::kOracle;
   ignored.prepare = runtime::PrepareSource::kQueue;
   DiagnosticSink sink;
   analyze::checkScenarioOptions(ignored, sink);
@@ -584,7 +585,7 @@ TEST(ScenarioRules, PrefetcherMismatchIsMD010) {
 
   runtime::ScenarioOptions absent;
   absent.forceMiss = false;
-  absent.prefetcherKind = "none";
+  absent.prefetcherKind = runtime::PrefetcherKind::kNone;
   absent.prepare = runtime::PrepareSource::kPrefetcher;
   DiagnosticSink sink2;
   analyze::checkScenarioOptions(absent, sink2);
@@ -593,39 +594,52 @@ TEST(ScenarioRules, PrefetcherMismatchIsMD010) {
 }
 
 TEST(ScenarioRules, UnknownNamesAreMD011AndMD012) {
-  runtime::ScenarioOptions options;
-  options.forceMiss = false;
-  options.cachePolicy = "clock";
-  options.prefetcherKind = "psychic";
-  options.prepare = runtime::PrepareSource::kPrefetcher;
+  // Typed options cannot hold an unknown name; the string boundary
+  // (spec files, CLI flags) lints through checkScenarioNames instead.
   DiagnosticSink sink;
-  analyze::checkScenarioOptions(options, sink);
+  analyze::checkScenarioNames("clock", "psychic", sink);
   EXPECT_TRUE(sink.has("MD011")) << sink.toText();
   EXPECT_TRUE(sink.has("MD012")) << sink.toText();
   EXPECT_TRUE(sink.hasErrors());
+
+  DiagnosticSink clean;
+  analyze::checkScenarioNames("lru", "none", clean);
+  EXPECT_TRUE(clean.empty()) << clean.toText();
 }
 
 TEST(ScenarioRules, KnownNameListsMatchTheRuntimeFactories) {
   // The linter's accept-lists and the factories must never drift apart:
-  // every advertised name constructs, and the linter accepts exactly the
-  // names the factories do.
+  // every advertised name parses back to an enum value that constructs,
+  // and the linter accepts exactly the names fromString does.
   for (const char* policy : analyze::knownCachePolicies()) {
-    EXPECT_NE(runtime::makeCache(policy, 2, {1, 2, 1}), nullptr) << policy;
-    runtime::ScenarioOptions options;
-    options.forceMiss = false;
-    options.cachePolicy = policy;
+    const auto parsed = runtime::cachePolicyFromString(policy);
+    ASSERT_TRUE(parsed.has_value()) << policy;
+    EXPECT_STREQ(runtime::toString(*parsed), policy);
+    EXPECT_NE(runtime::makeCache(*parsed, 2, {1, 2, 1}), nullptr) << policy;
     DiagnosticSink sink;
-    analyze::checkScenarioOptions(options, sink);
+    analyze::checkScenarioNames(policy, "none", sink);
     EXPECT_FALSE(sink.has("MD011")) << policy;
   }
   for (const char* kind : analyze::knownPrefetcherKinds()) {
-    EXPECT_NE(runtime::makePrefetcher(kind, util::Time::zero(), {1, 2}),
+    const auto parsed = runtime::prefetcherKindFromString(kind);
+    ASSERT_TRUE(parsed.has_value()) << kind;
+    EXPECT_STREQ(runtime::toString(*parsed), kind);
+    EXPECT_NE(runtime::makePrefetcher(*parsed, util::Time::zero(), {1, 2}),
               nullptr)
         << kind;
+    DiagnosticSink sink;
+    analyze::checkScenarioNames("lru", kind, sink);
+    EXPECT_FALSE(sink.has("MD012")) << kind;
   }
+  EXPECT_FALSE(runtime::cachePolicyFromString("clock").has_value());
+  EXPECT_FALSE(runtime::prefetcherKindFromString("psychic").has_value());
+  // The deprecated string factories keep their throwing contract.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW((void)runtime::makeCache("clock", 2), util::DomainError);
   EXPECT_THROW((void)runtime::makePrefetcher("psychic", util::Time::zero()),
                util::DomainError);
+#pragma GCC diagnostic pop
 }
 
 // ---------------------------------------------------------------------------
@@ -685,7 +699,7 @@ TEST(LintAll, AggregatesEveryTargetKind) {
   params.xDecision = 2.0;
   runtime::ScenarioOptions options;
   options.forceMiss = true;
-  options.cachePolicy = "belady";
+  options.cachePolicy = runtime::CachePolicy::kBelady;
 
   analyze::LintTargets targets;
   targets.floorplan = &plan;
@@ -706,15 +720,30 @@ TEST(LintAll, StreamWithoutDeviceThrows) {
   EXPECT_THROW((void)analyze::lintAll(targets), util::DomainError);
 }
 
-TEST(LintAll, RunScenarioStrictHookUsesTheSameRules) {
-  // runScenario() must reject exactly what the linter flags as an error.
-  runtime::ScenarioOptions options;
-  options.cachePolicy = "clock";  // MD011
+TEST(LintAll, UnresolvedNamesLintThroughTargets) {
+  // String-boundary callers (CLI, spec files) lint the raw names through
+  // LintTargets before converting to enums — the same MD011/MD012 the
+  // spec front end reports.
+  const std::string cacheName = "clock";
   analyze::LintTargets targets;
-  targets.scenario = &options;
+  targets.cachePolicyName = &cacheName;
   const DiagnosticSink sink = analyze::lintAll(targets);
   ASSERT_TRUE(sink.hasErrors());
   EXPECT_EQ(sink.firstError().code, "MD011");
+}
+
+TEST(LintAll, RunScenarioStrictHookUsesTheSameRules) {
+  // runScenario() must reject exactly what the linter flags as an error.
+  // Typed options cannot express MD011 any more, so the strict hook's
+  // remaining reachable findings are warnings — it must NOT throw on them.
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{1'000'000});
+  runtime::ScenarioOptions options;
+  options.sides = runtime::ScenarioSides::kPrtrOnly;
+  options.forceMiss = true;
+  options.cachePolicy = runtime::CachePolicy::kBelady;  // MD009 (warning)
+  EXPECT_NO_THROW((void)runtime::runScenario(registry, workload, options));
 }
 
 // ---------------------------------------------------------------------------
@@ -801,19 +830,16 @@ TEST(RuleCoverage, EveryDocumentedCodeIsEmittableByAChecker) {
     analyze::checkSpeedupTarget(warned, 100.0, sink2);  // MD008
     collect(sink2);
   }
-  {  // Scenario options.
+  {  // Scenario options (typed) + the string-boundary name checks.
     runtime::ScenarioOptions options;
     options.forceMiss = true;
-    options.cachePolicy = "belady";       // MD009
-    options.prefetcherKind = "psychic";   // MD012 (+MD010: never consulted)
+    options.cachePolicy = runtime::CachePolicy::kBelady;        // MD009
+    options.prefetcherKind = runtime::PrefetcherKind::kOracle;  // MD010
     DiagnosticSink sink;
     analyze::checkScenarioOptions(options, sink);
     collect(sink);
-    runtime::ScenarioOptions unknownCache;
-    unknownCache.forceMiss = false;
-    unknownCache.cachePolicy = "clock";  // MD011
     DiagnosticSink sink2;
-    analyze::checkScenarioOptions(unknownCache, sink2);
+    analyze::checkScenarioNames("clock", "psychic", sink2);  // MD011, MD012
     collect(sink2);
   }
 

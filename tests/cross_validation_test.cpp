@@ -27,10 +27,11 @@ TEST_P(HitRatioAgreement, ExecutorMatchesMattsonExactly) {
       tasks::makeMarkovWorkload(registry, 300, util::Bytes{1'000'000}, bias, rng);
 
   runtime::ScenarioOptions so;
+  so.sides = runtime::ScenarioSides::kPrtrOnly;
   so.forceMiss = false;
   so.prepare = runtime::PrepareSource::kNone;
-  so.cachePolicy = "lru";
-  const auto report = runtime::runPrtrOnly(registry, workload, so);
+  so.cachePolicy = runtime::CachePolicy::kLru;
+  const auto report = runtime::runScenario(registry, workload, so).prtr;
   EXPECT_DOUBLE_EQ(report.hitRatio(), tasks::lruHitRatio(workload, 2))
       << "bias=" << bias;
 }
@@ -45,10 +46,11 @@ TEST(HitRatioAgreement, QuadLayoutUsesFourSlotCurve) {
       registry, 300, util::Bytes{500'000}, 25, 4, rng);
   runtime::ScenarioOptions so;
   so.layout = xd1::Layout::kQuadPrr;
+  so.sides = runtime::ScenarioSides::kPrtrOnly;
   so.forceMiss = false;
   so.prepare = runtime::PrepareSource::kNone;
-  so.cachePolicy = "lru";
-  const auto report = runtime::runPrtrOnly(registry, workload, so);
+  so.cachePolicy = runtime::CachePolicy::kLru;
+  const auto report = runtime::runScenario(registry, workload, so).prtr;
   EXPECT_DOUBLE_EQ(report.hitRatio(), tasks::lruHitRatio(workload, 4));
 }
 
@@ -63,11 +65,12 @@ TEST(ModelAgreement, MattsonHFeedsEquationSixPredictively) {
   runtime::ScenarioOptions so;
   so.forceMiss = false;
   so.prepare = runtime::PrepareSource::kNone;
-  so.cachePolicy = "lru";
+  so.cachePolicy = runtime::CachePolicy::kLru;
 
   const double predictedH = tasks::lruHitRatio(workload, 2);
+  so.assumedHitRatio = predictedH;
   const model::Params params =
-      runtime::deriveModelParams(registry, workload, so, predictedH);
+      runtime::deriveModelParams(registry, workload, so);
   const double predictedSpeedup = model::speedup(params);
 
   const auto result = runtime::runScenario(registry, workload, so);

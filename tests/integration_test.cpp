@@ -146,13 +146,15 @@ TEST(PrefetchIntegration, OracleBeatsNoneOnLocalityWorkload) {
       tasks::makeMarkovWorkload(registry, 150, util::Bytes{2'000'000}, 0.6, rng);
 
   runtime::ScenarioOptions none;
+  none.sides = runtime::ScenarioSides::kPrtrOnly;
   none.forceMiss = false;
   none.prepare = runtime::PrepareSource::kNone;
-  const auto noneReport = runtime::runPrtrOnly(registry, workload, none);
+  const auto noneReport = runtime::runScenario(registry, workload, none).prtr;
 
   runtime::ScenarioOptions oracle = none;
   oracle.prepare = runtime::PrepareSource::kQueue;
-  const auto oracleReport = runtime::runPrtrOnly(registry, workload, oracle);
+  const auto oracleReport =
+      runtime::runScenario(registry, workload, oracle).prtr;
 
   // Same miss pattern (residency-driven), but the oracle overlaps the
   // configurations with execution, so it must finish no later.

@@ -57,9 +57,10 @@ TEST_P(ExecutorSweep, BreakdownConservation) {
   const auto workload = workloadFor(registry, basis, xTask, 25);
 
   ScenarioOptions so;
+  so.sides = ScenarioSides::kPrtrOnly;
   so.basis = basis;
   so.forceMiss = true;
-  const ExecutionReport report = runPrtrOnly(registry, workload, so);
+  const ExecutionReport report = runScenario(registry, workload, so).prtr;
 
   // Categories never exceed the total (some phases overlap configs).
   const double categories =
@@ -79,10 +80,11 @@ TEST_P(ExecutorSweep, Determinism) {
   const auto workload = workloadFor(registry, basis, xTask, 20);
 
   ScenarioOptions so;
+  so.sides = ScenarioSides::kPrtrOnly;
   so.basis = basis;
   so.forceMiss = true;
-  const ExecutionReport a = runPrtrOnly(registry, workload, so);
-  const ExecutionReport b = runPrtrOnly(registry, workload, so);
+  const ExecutionReport a = runScenario(registry, workload, so).prtr;
+  const ExecutionReport b = runScenario(registry, workload, so).prtr;
   EXPECT_EQ(a.total, b.total);  // exact, integer picoseconds
   EXPECT_EQ(a.configurations, b.configurations);
   EXPECT_EQ(a.configStall, b.configStall);

@@ -147,16 +147,23 @@ TEST(BeladyTest, DominatesOnSkewedWorkload) {
 }
 
 TEST(CacheFactoryTest, BuildsEveryPolicy) {
-  for (const char* name : {"lru", "lfu", "fifo", "random", "belady"}) {
-    const auto cache = makeCache(name, 2, {1, 2, 3});
+  for (const CachePolicy policy : allCachePolicies()) {
+    const auto cache = makeCache(policy, 2, {1, 2, 3});
     EXPECT_EQ(cache->slotCount(), 2u);
   }
-  EXPECT_THROW(makeCache("clock", 2), util::DomainError);
 }
 
 TEST(CacheFactoryTest, PolicyNames) {
+  EXPECT_EQ(makeCache(CachePolicy::kLru, 2)->policyName(), "LRU");
+  EXPECT_EQ(makeCache(CachePolicy::kBelady, 2)->policyName(), "Belady");
+}
+
+TEST(CacheFactoryTest, DeprecatedStringFactoryStillWorks) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_EQ(makeCache("lru", 2)->policyName(), "LRU");
-  EXPECT_EQ(makeCache("belady", 2)->policyName(), "Belady");
+  EXPECT_THROW(makeCache("clock", 2), util::DomainError);
+#pragma GCC diagnostic pop
 }
 
 TEST(ConfigCacheTest, RejectsZeroSlots) {

@@ -265,8 +265,8 @@ TEST(ScenarioTest, TimelineCapturesProfiles) {
   sim::Timeline prtrTl;
   ScenarioOptions so;
   so.forceMiss = true;
-  so.frtrTimeline = &frtrTl;
-  so.prtrTimeline = &prtrTl;
+  so.hooks.frtrTimeline = &frtrTl;
+  so.hooks.timeline = &prtrTl;
   const auto workload =
       tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{20'000'000});
   (void)runScenario(registry, workload, so);

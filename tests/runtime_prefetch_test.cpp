@@ -81,19 +81,26 @@ TEST(AssociationPrefetcherTest, WindowValidated) {
 }
 
 TEST(PrefetcherFactoryTest, BuildsEveryKind) {
-  EXPECT_EQ(makePrefetcher("none", util::Time::zero())->name(), "none");
-  EXPECT_EQ(makePrefetcher("oracle", util::Time::zero(), {1, 2})->name(),
-            "oracle");
-  EXPECT_EQ(makePrefetcher("markov", util::Time::zero())->name(), "markov");
-  EXPECT_EQ(makePrefetcher("association", util::Time::zero())->name(),
-            "association");
-  EXPECT_THROW(makePrefetcher("psychic", util::Time::zero()),
-               util::DomainError);
+  for (const PrefetcherKind kind : allPrefetcherKinds()) {
+    EXPECT_EQ(makePrefetcher(kind, util::Time::zero(), {1, 2})->name(),
+              toString(kind));
+  }
 }
 
 TEST(PrefetcherFactoryTest, DecisionLatencyIsForwarded) {
-  const auto p = makePrefetcher("markov", util::Time::microseconds(7));
+  const auto p =
+      makePrefetcher(PrefetcherKind::kMarkov, util::Time::microseconds(7));
   EXPECT_EQ(p->decisionLatency(), util::Time::microseconds(7));
+}
+
+TEST(PrefetcherFactoryTest, DeprecatedStringFactoryStillWorks) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(makePrefetcher("oracle", util::Time::zero(), {1, 2})->name(),
+            "oracle");
+  EXPECT_THROW(makePrefetcher("psychic", util::Time::zero()),
+               util::DomainError);
+#pragma GCC diagnostic pop
 }
 
 /// Property sweep: Markov prediction accuracy tracks the workload's

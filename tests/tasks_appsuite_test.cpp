@@ -78,10 +78,11 @@ TEST(AppSuiteTest, PipelinedAppsGetHighHitRatios) {
   const Application app =
       makeHyperspectralApp(registry, 3, 10, util::Bytes{2'000'000}, rng);
   runtime::ScenarioOptions so;
+  so.sides = runtime::ScenarioSides::kPrtrOnly;
   so.layout = xd1::Layout::kQuadPrr;
   so.forceMiss = false;
   so.prepare = runtime::PrepareSource::kQueue;
-  const auto report = runtime::runPrtrOnly(registry, app.workload, so);
+  const auto report = runtime::runScenario(registry, app.workload, so).prtr;
   EXPECT_GT(report.hitRatio(), 0.8);
   EXPECT_LE(report.configurations, 3u);
 }
@@ -95,14 +96,15 @@ TEST(AppSuiteTest, WideWorkingSetThrashesSmallCaches) {
   const Application app =
       makeRemoteSensingApp(registry, 8, util::Bytes{5'000'000}, rng);
   runtime::ScenarioOptions so;
+  so.sides = runtime::ScenarioSides::kPrtrOnly;
   so.layout = xd1::Layout::kQuadPrr;
   so.forceMiss = false;
   so.prepare = runtime::PrepareSource::kQueue;
-  const auto lru = runtime::runPrtrOnly(registry, app.workload, so);
+  const auto lru = runtime::runScenario(registry, app.workload, so).prtr;
   EXPECT_LT(lru.hitRatio(), 0.5);
   // Belady sidesteps the pathology.
-  so.cachePolicy = "belady";
-  const auto belady = runtime::runPrtrOnly(registry, app.workload, so);
+  so.cachePolicy = runtime::CachePolicy::kBelady;
+  const auto belady = runtime::runScenario(registry, app.workload, so).prtr;
   EXPECT_GT(belady.hitRatio(), lru.hitRatio());
 }
 
