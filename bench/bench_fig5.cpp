@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   for (const double xPrtr : {0.37, 0.17, 0.012}) {
     std::cout << "=== Figure 5: asymptotic speedup S_inf vs X_task, X_PRTR = "
               << xPrtr << " ===\n";
-    const auto series = analysis::makeFig5Series(xPrtr, hitRatios, 161);
+    const auto series = analysis::makeFig5Series(xPrtr, hitRatios, 161, 1e-3,
+                                                 100.0, report.threads());
     util::PlotOptions po;
     po.logX = true;
     po.logY = true;
@@ -35,7 +36,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "CSV (X_PRTR=0.17):\nxTask";
-  const auto csvSeries = analysis::makeFig5Series(0.17, hitRatios, 31);
+  const auto csvSeries = analysis::makeFig5Series(0.17, hitRatios, 31, 1e-3,
+                                                  100.0, report.threads());
   for (const auto& s : csvSeries) std::cout << ',' << s.name;
   std::cout << '\n';
   std::vector<std::string> header{"xTask"};

@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "analysis/figures.hpp"
+#include "exec/artifact_cache.hpp"
+#include "exec/pool.hpp"
 #include "model/bounds.hpp"
 #include "obs/bench_io.hpp"
 
@@ -18,6 +20,8 @@ int main(int argc, char** argv) {
   opts.xTaskLo = 1e-3;
   opts.xTaskHi = 50.0;
   opts.nCalls = 400;
+  opts.threads = report.threads();
+  opts.artifacts = &exec::ArtifactCache::global();
 
   std::cout << "=== Figure 9(a): speedup vs X_task, estimated configuration "
                "times (dual PRR, H=0) ===\n\n";
@@ -35,5 +39,7 @@ int main(int argc, char** argv) {
   report.table("fig9a", analysis::fig9Table(points));
   report.scalar("peak_sim_speedup", best);
   report.scalar("peak_model_speedup", peak.speedup);
+  report.metrics(exec::Pool::global().metricsSnapshot());
+  report.metrics(exec::ArtifactCache::global().metricsSnapshot());
   return report.finish();
 }

@@ -7,6 +7,8 @@
 #include <iostream>
 
 #include "analysis/figures.hpp"
+#include "exec/artifact_cache.hpp"
+#include "exec/pool.hpp"
 #include "model/bounds.hpp"
 #include "obs/bench_io.hpp"
 
@@ -19,6 +21,8 @@ int main(int argc, char** argv) {
   opts.xTaskLo = 1e-3;
   opts.xTaskHi = 50.0;
   opts.nCalls = 400;
+  opts.threads = report.threads();
+  opts.artifacts = &exec::ArtifactCache::global();
 
   std::cout << "=== Figure 9(b): speedup vs X_task, measured configuration "
                "times (dual PRR, H=0) ===\n\n";
@@ -38,5 +42,7 @@ int main(int argc, char** argv) {
   report.table("fig9b", analysis::fig9Table(points));
   report.scalar("peak_sim_speedup", bestSim);
   report.scalar("peak_asymptote", bestInf);
+  report.metrics(exec::Pool::global().metricsSnapshot());
+  report.metrics(exec::ArtifactCache::global().metricsSnapshot());
   return report.finish();
 }

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     for (std::size_t blades = 1; blades <= 6; ++blades) {
       hprc::ChassisOptions options;
       options.blades = blades;
+      options.threads = breport.threads();
       options.scenario.forceMiss = true;
       options.scenario.basis = basis;
       const hprc::ChassisReport report =

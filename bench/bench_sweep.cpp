@@ -1,0 +1,162 @@
+// Sweep-engine benchmark: the same paper reproductions (Figure 5, Figure 9,
+// chassis scaling) run serially and on the exec work-stealing pool, with
+// wall-clock timings, a byte-identity check on every output, and the
+// repeated-layout artifact-cache hit rate. This is the perf gate for the
+// prtr::exec subsystem: CI runs it with --json and validates that the
+// pooled sweeps are no slower than serial and produce identical bytes.
+//
+// Usage: bench_sweep [--threads N] [--json FILE]
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "analysis/figures.hpp"
+#include "exec/artifact_cache.hpp"
+#include "exec/pool.hpp"
+#include "hprc/chassis.hpp"
+#include "obs/bench_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace prtr;
+
+/// Wall-clock of one run, in milliseconds.
+template <typename Fn>
+double timedMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// The Figure-9 sweep this bench times (smaller than bench_fig9b's grid so
+/// the CI smoke run stays fast, but large enough to amortize pool startup).
+std::string runFig9(std::size_t threads, exec::ArtifactCache* artifacts) {
+  analysis::Fig9Options opts;
+  opts.basis = model::ConfigTimeBasis::kMeasured;
+  opts.points = 12;
+  opts.xTaskLo = 1e-2;
+  opts.xTaskHi = 20.0;
+  opts.nCalls = 120;
+  opts.threads = threads;
+  opts.artifacts = artifacts;
+  return analysis::fig9Table(analysis::makeFig9(opts)).toString();
+}
+
+/// The Figure-5 series family (analytic; exercises parallelMap ordering).
+std::string runFig5(std::size_t threads) {
+  const auto series = analysis::makeFig5Series(0.17, {0.0, 0.25, 0.5, 0.75, 1.0},
+                                               161, 1e-3, 100.0, threads);
+  std::string out;
+  for (const auto& s : series) {
+    out += s.name;
+    for (const double y : s.y) out += ',' + util::formatDouble(y, 6);
+    out += '\n';
+  }
+  return out;
+}
+
+/// The 6-blade chassis run (exercises the deterministic bladeN. merge).
+std::string runChassisSweep(std::size_t threads,
+                            exec::ArtifactCache* artifacts) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 48, util::Bytes{10'000'000});
+  hprc::ChassisOptions options;
+  options.blades = 6;
+  options.threads = threads;
+  options.scenario.forceMiss = true;
+  options.scenario.basis = model::ConfigTimeBasis::kMeasured;
+  options.scenario.artifacts = artifacts;
+  const hprc::ChassisReport report =
+      hprc::runChassis(registry, workload, options);
+  return report.toString() + report.metrics.toString();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReport report{"sweep", argc, argv};
+  const std::size_t n = report.threads();
+  exec::Pool::setGlobalThreads(n);
+
+  // Thread ladder: 1, 2, 4, N (deduplicated, capped at N).
+  std::vector<std::size_t> ladder{1};
+  for (const std::size_t t : {std::size_t{2}, std::size_t{4}, n}) {
+    if (t <= n && t != ladder.back()) ladder.push_back(t);
+  }
+
+  std::cout << "=== Sweep engine: serial vs exec::Pool (" << n
+            << " worker threads) ===\n\n";
+
+  // --- Figure 9, serial reference, then the ladder. Every run must render
+  // byte-identical tables: parallelism only reorders the work, not results.
+  bool identical = true;
+  std::string fig9Ref;
+  const double fig9SerialMs = timedMs([&] { fig9Ref = runFig9(1, nullptr); });
+  double fig9ParallelMs = fig9SerialMs;
+  util::Table fig9Times{{"threads", "fig9 (ms)", "speedup"}};
+  fig9Times.row().cell(std::uint64_t{1}).cell(util::formatDouble(fig9SerialMs, 2))
+      .cell("1");
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    const std::size_t t = ladder[i];
+    std::string out;
+    const double ms = timedMs([&] { out = runFig9(t, nullptr); });
+    identical = identical && out == fig9Ref;
+    if (t == n) fig9ParallelMs = ms;
+    fig9Times.row()
+        .cell(std::uint64_t{t})
+        .cell(util::formatDouble(ms, 2))
+        .cell(util::formatDouble(fig9SerialMs / ms, 3));
+  }
+  if (ladder.size() == 1) fig9ParallelMs = fig9SerialMs;
+  fig9Times.print(std::cout);
+  report.table("fig9_times", fig9Times);
+
+  // --- Figure 5 and chassis: serial vs N threads, byte identity.
+  const std::string fig5Ref = runFig5(1);
+  identical = identical && runFig5(n) == fig5Ref;
+  std::string chassisRef;
+  const double chassisSerialMs =
+      timedMs([&] { chassisRef = runChassisSweep(1, nullptr); });
+  std::string chassisPooled;
+  const double chassisParallelMs =
+      timedMs([&] { chassisPooled = runChassisSweep(n, nullptr); });
+  identical = identical && chassisPooled == chassisRef;
+  std::cout << "\nchassis (6 blades): serial "
+            << util::formatDouble(chassisSerialMs, 2) << " ms, pooled "
+            << util::formatDouble(chassisParallelMs, 2) << " ms\n";
+
+  // --- Artifact cache: the same Fig-9 sweep re-run against one cache. The
+  // layout never changes across points, so after the first point seeds the
+  // floorplan + bitstreams everything else hits.
+  exec::ArtifactCache cache;
+  identical = identical && runFig9(n, &cache) == fig9Ref;
+  const double cachedMs = timedMs([&] {
+    identical = identical && runFig9(n, &cache) == fig9Ref;
+  });
+  const exec::ArtifactCache::Stats stats = cache.stats();
+  std::cout << "repeated-layout sweep with ArtifactCache: "
+            << util::formatDouble(cachedMs, 2) << " ms, hit rate "
+            << util::formatDouble(stats.hitRate(), 4) << " (" << stats.hits
+            << " hits / " << stats.misses << " misses)\n";
+
+  const double speedup = fig9SerialMs / fig9ParallelMs;
+  std::cout << "\nfig9 sweep speedup at " << n
+            << " threads: " << util::formatDouble(speedup, 3)
+            << "x; outputs byte-identical: " << (identical ? "yes" : "NO")
+            << '\n';
+
+  report.scalar("time_serial_ms", fig9SerialMs);
+  report.scalar("time_parallel_ms", fig9ParallelMs);
+  report.scalar("speedup_parallel", speedup);
+  report.scalar("chassis_serial_ms", chassisSerialMs);
+  report.scalar("chassis_parallel_ms", chassisParallelMs);
+  report.scalar("time_cached_ms", cachedMs);
+  report.scalar("cache_hit_rate", stats.hitRate());
+  report.scalar("outputs_identical", std::uint64_t{identical ? 1u : 0u});
+  report.metrics(exec::Pool::global().metricsSnapshot());
+  report.metrics(cache.metricsSnapshot());
+  return identical ? report.finish() : 1;
+}

@@ -10,13 +10,14 @@
 //               [--cache lru|lfu|fifo|random|belady] [--prefetch none|
 //               queue|markov|association] [--force-miss 0|1]
 //               [--control-us U] [--decision-us U] [--seed S] [--timeline]
-//               [--trace FILE.json]
+//               [--trace FILE.json] [--threads N]
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "analyze/checks_scenario.hpp"
+#include "exec/pool.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
@@ -59,6 +60,13 @@ int main(int argc, char** argv) {
       std::cout << "see the header comment of examples/prtrsim_cli.cpp\n";
       return 0;
     }
+
+    // Sizes the process-wide exec pool; a single scenario run is serial,
+    // but library users driving sweeps through the same process inherit it.
+    const auto threads = static_cast<std::size_t>(std::stoull(
+        get(args, "threads", std::to_string(exec::hardwareConcurrency()))));
+    util::require(threads >= 1, "prtrsim: --threads must be >= 1");
+    exec::Pool::setGlobalThreads(threads);
 
     const auto registry = get(args, "registry", "paper") == "extended"
                               ? tasks::makeExtendedFunctions()

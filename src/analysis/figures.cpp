@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "analysis/parallel.hpp"
 #include "config/icap_controller.hpp"
+#include "exec/pool.hpp"
 #include "model/bounds.hpp"
 #include "model/model.hpp"
 #include "tasks/hwfunction.hpp"
@@ -140,7 +140,7 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
   const util::Time tFrtr = times.full(options.basis);
   const tasks::HwFunction& fn = registry.byName("median");
 
-  return parallelMap(
+  return exec::parallelMap(
       grid,
       [&](double xTask) {
         Fig9Point point;
@@ -156,6 +156,7 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
         so.tControl = util::Time::microseconds(10);
         so.forceMiss = true;
         so.prepare = runtime::PrepareSource::kQueue;
+        so.artifacts = options.artifacts;
         const auto workload = tasks::makeRoundRobinWorkload(
             registry, options.nCalls, point.dataBytes);
         const runtime::ScenarioResult result =
@@ -167,7 +168,7 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
         point.modelAsymptote = model::asymptoticSpeedup(asymptotic);
         return point;
       },
-      options.threads);
+      exec::ForOptions{.threads = options.threads});
 }
 
 util::Table fig9Table(const std::vector<Fig9Point>& points) {
@@ -209,19 +210,19 @@ std::string fig9Plot(const std::vector<Fig9Point>& points,
 std::vector<util::Series> makeFig5Series(double xPrtr,
                                          const std::vector<double>& hitRatios,
                                          std::size_t points, double xTaskLo,
-                                         double xTaskHi) {
+                                         double xTaskHi, std::size_t threads) {
   const auto grid = logGrid(xTaskLo, xTaskHi, points);
-  std::vector<util::Series> series;
-  series.reserve(hitRatios.size());
-  for (const double h : hitRatios) {
-    util::Series s{"H=" + util::formatDouble(h, 3), {}, {}};
-    for (const double xTask : grid) {
-      s.x.push_back(xTask);
-      s.y.push_back(model::idealAsymptote(xTask, xPrtr, h));
-    }
-    series.push_back(std::move(s));
-  }
-  return series;
+  return exec::parallelMap(
+      hitRatios,
+      [&](double h) {
+        util::Series s{"H=" + util::formatDouble(h, 3), {}, {}};
+        for (const double xTask : grid) {
+          s.x.push_back(xTask);
+          s.y.push_back(model::idealAsymptote(xTask, xPrtr, h));
+        }
+        return s;
+      },
+      exec::ForOptions{.threads = threads});
 }
 
 }  // namespace prtr::analysis

@@ -13,6 +13,10 @@
 #include "util/plot.hpp"
 #include "util/table.hpp"
 
+namespace prtr::exec {
+class ArtifactCache;
+}  // namespace prtr::exec
+
 namespace prtr::analysis {
 
 /// Table 1: hardware functions and their resource requirements on the
@@ -43,7 +47,11 @@ struct Fig9Options {
   double xTaskLo = 1e-3;
   double xTaskHi = 50.0;
   std::uint64_t nCalls = 400;
-  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  std::size_t threads = 0;  ///< participants on the exec pool (0 = pool width)
+  /// Shares floorplans/bitstreams across sweep points (every Fig-9 point
+  /// uses the same dual-PRR layout, so the repeated-layout hit rate is
+  /// high). Null = each point rebuilds its artifacts.
+  exec::ArtifactCache* artifacts = nullptr;
 };
 [[nodiscard]] std::vector<Fig9Point> makeFig9(const Fig9Options& options);
 
@@ -53,10 +61,12 @@ struct Fig9Options {
                                    const std::string& title);
 
 /// Figure 5 reproduction: asymptotic speedup (eq. 7, ideal overheads) vs
-/// X_task for a set of hit ratios at one X_PRTR.
+/// X_task for a set of hit ratios at one X_PRTR. One hit-ratio series per
+/// exec-pool participant (`threads` as in ForOptions; series order is
+/// deterministic regardless).
 [[nodiscard]] std::vector<util::Series> makeFig5Series(
     double xPrtr, const std::vector<double>& hitRatios, std::size_t points = 121,
-    double xTaskLo = 1e-3, double xTaskHi = 100.0);
+    double xTaskLo = 1e-3, double xTaskHi = 100.0, std::size_t threads = 0);
 
 /// Logarithmically spaced grid in [lo, hi].
 [[nodiscard]] std::vector<double> logGrid(double lo, double hi,

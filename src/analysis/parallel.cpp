@@ -1,49 +1,21 @@
 #include "analysis/parallel.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
+// The shims are [[deprecated]] in the header; defining them here must not
+// warn under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace prtr::analysis {
 
 std::size_t defaultThreadCount() noexcept {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return exec::hardwareConcurrency();
 }
 
 void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
                  std::size_t threads) {
-  if (count == 0) return;
-  if (threads == 0) threads = defaultThreadCount();
-  threads = std::min(threads, count);
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr failure;
-  std::mutex failureMutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::scoped_lock lock{failureMutex};
-        if (!failure) failure = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (failure) std::rethrow_exception(failure);
+  exec::parallelFor(count, fn, exec::ForOptions{.threads = threads});
 }
 
 }  // namespace prtr::analysis
+
+#pragma GCC diagnostic pop

@@ -1,35 +1,38 @@
 #pragma once
 /// \file parallel.hpp
-/// Thread-pooled helpers for parameter sweeps. Each sweep point runs a
-/// fully independent Simulator instance, so points parallelize perfectly
-/// across hardware threads.
+/// Deprecated shims over exec::Pool, kept for source compatibility. The
+/// old helpers spawned and joined a fresh std::thread pool per call; the
+/// replacements run on the persistent work-stealing pool (exec/pool.hpp).
+/// New code should call exec::parallelFor / exec::parallelMap directly.
 
 #include <cstddef>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "exec/pool.hpp"
 
 namespace prtr::analysis {
 
 /// Number of worker threads to use by default (hardware concurrency,
 /// at least 1).
-[[nodiscard]] std::size_t defaultThreadCount() noexcept;
+[[deprecated("use exec::hardwareConcurrency")]] [[nodiscard]] std::size_t
+defaultThreadCount() noexcept;
 
 /// Applies `fn(index)` for every index in [0, count) across `threads`
-/// workers. Exceptions from workers are rethrown (first one wins).
-void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
-                 std::size_t threads = 0);
+/// workers of the global exec::Pool. Exceptions propagate with the pool's
+/// contract: the first one (in completion order) is rethrown, identically
+/// on the serial (`threads == 1`, `count < threads`) and pooled paths.
+[[deprecated("use exec::parallelFor")]] void parallelFor(
+    std::size_t count, const std::function<void(std::size_t)>& fn,
+    std::size_t threads = 0);
 
-/// Maps `fn` over `inputs` in parallel, preserving order.
+/// Maps `fn` over `inputs` in parallel, preserving order. Results need not
+/// be default-constructible (they are emplaced into optional slots).
 template <typename T, typename Fn>
-auto parallelMap(const std::vector<T>& inputs, Fn&& fn, std::size_t threads = 0)
-    -> std::vector<decltype(fn(inputs.front()))> {
-  using R = decltype(fn(inputs.front()));
-  std::vector<R> results(inputs.size());
-  parallelFor(
-      inputs.size(),
-      [&](std::size_t i) { results[i] = fn(inputs[i]); }, threads);
-  return results;
+[[deprecated("use exec::parallelMap")]] auto parallelMap(
+    const std::vector<T>& inputs, Fn&& fn, std::size_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>> {
+  return exec::parallelMap(inputs, std::forward<Fn>(fn),
+                           exec::ForOptions{.threads = threads});
 }
 
 }  // namespace prtr::analysis

@@ -1,7 +1,9 @@
 #include "bitstream/library.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace prtr::bitstream {
@@ -19,12 +21,60 @@ void accumulate(FlowStats& stats, const Bitstream& stream) {
   stats.totalBytes += size;
 }
 
+void feed(util::Crc32& crc, std::uint64_t value) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  crc.update(bytes);
+}
+
+/// CRC-32 of everything stream sizes/content depend on: rows, per-column
+/// kind/frame layout, and the encoding constants.
+std::uint32_t geometryCrc(const fabric::DeviceGeometry& geometry) {
+  util::Crc32 crc;
+  feed(crc, geometry.rows());
+  for (const fabric::ColumnSpec& column : geometry.columns()) {
+    feed(crc, static_cast<std::uint64_t>(column.kind));
+    feed(crc, column.frames);
+  }
+  const fabric::DeviceGeometry::Encoding& enc = geometry.encoding();
+  feed(crc, enc.frameBytes);
+  feed(crc, enc.fullOverheadBytes);
+  feed(crc, enc.partialOverheadBytes);
+  feed(crc, enc.frameAddressBytes);
+  return crc.value();
+}
+
 }  // namespace
 
-Library::Library(const fabric::Floorplan& floorplan, std::vector<ModuleSpec> modules)
+std::uint64_t StreamKey::hash() const noexcept {
+  util::Crc32 crc;
+  feed(crc, deviceTag);
+  feed(crc, geometryCrc);
+  feed(crc, static_cast<std::uint64_t>(flow));
+  feed(crc, firstFrame);
+  feed(crc, frameCount);
+  feed(crc, fromModule);
+  feed(crc, toModule);
+  feed(crc, std::bit_cast<std::uint64_t>(fromOccupancy));
+  feed(crc, std::bit_cast<std::uint64_t>(toOccupancy));
+  // Widen the CRC with the flow tag and frame count so the three flows (and
+  // differently sized regions) land in disjoint 64-bit ranges even on a
+  // 32-bit CRC collision.
+  return (static_cast<std::uint64_t>(crc.value()) << 32) |
+         (static_cast<std::uint64_t>(flow) << 24) |
+         (frameCount & 0xFFFFFFu);
+}
+
+Library::Library(const fabric::Floorplan& floorplan,
+                 std::vector<ModuleSpec> modules, StreamSource source)
     : floorplan_(&floorplan),
       modules_(std::move(modules)),
-      builder_(floorplan.device()) {
+      builder_(floorplan.device()),
+      source_(std::move(source)),
+      deviceTag_(deviceTag(floorplan.device().name())),
+      geometryCrc_(geometryCrc(floorplan.device().geometry())) {
   util::require(!modules_.empty(), "Library: need at least one module");
   for (const ModuleSpec& m : modules_) {
     util::require(m.id != 0, "Library: module id 0 is reserved for the baseline");
@@ -36,6 +86,19 @@ const Library::ModuleSpec& Library::spec(ModuleId module) const {
                                [&](const ModuleSpec& m) { return m.id == module; });
   util::require(it != modules_.end(), "Library: unknown module id");
   return *it;
+}
+
+StreamKey Library::keyBase() const noexcept {
+  StreamKey key;
+  key.deviceTag = deviceTag_;
+  key.geometryCrc = geometryCrc_;
+  return key;
+}
+
+std::shared_ptr<const Bitstream> Library::resolve(
+    const StreamKey& key, const std::function<Bitstream()>& build) {
+  if (source_) return source_(key, build);
+  return std::make_shared<const Bitstream>(build());
 }
 
 FlowStats Library::buildModuleFlow() {
@@ -55,16 +118,26 @@ FlowStats Library::buildDifferenceFlow() {
     for (const ModuleSpec& from : modules_) {
       for (const ModuleSpec& to : modules_) {
         if (from.id == to.id) continue;
-        const auto key = std::make_tuple(prr, from.id, to.id);
-        auto it = diffPartials_.find(key);
+        const auto mapKey = std::make_tuple(prr, from.id, to.id);
+        auto it = diffPartials_.find(mapKey);
         if (it == diffPartials_.end()) {
-          it = diffPartials_
-                   .emplace(key, builder_.buildDifferencePartial(
-                                     region, from.id, from.occupancy, to.id,
-                                     to.occupancy))
-                   .first;
+          const fabric::FrameRange frames = region.frames(floorplan_->device());
+          StreamKey key = keyBase();
+          key.flow = StreamKey::Flow::kDifference;
+          key.firstFrame = frames.first;
+          key.frameCount = frames.count;
+          key.fromModule = from.id;
+          key.toModule = to.id;
+          key.fromOccupancy = from.occupancy;
+          key.toOccupancy = to.occupancy;
+          auto build = [&] {
+            return builder_.buildDifferencePartial(region, from.id,
+                                                   from.occupancy, to.id,
+                                                   to.occupancy);
+          };
+          it = diffPartials_.emplace(mapKey, resolve(key, build)).first;
         }
-        accumulate(stats, it->second);
+        accumulate(stats, *it->second);
       }
     }
   }
@@ -72,21 +145,32 @@ FlowStats Library::buildDifferenceFlow() {
 }
 
 const Bitstream& Library::modulePartial(std::size_t prrIndex, ModuleId module) {
-  const auto key = std::make_pair(prrIndex, module);
-  auto it = modulePartials_.find(key);
+  const auto mapKey = std::make_pair(prrIndex, module);
+  auto it = modulePartials_.find(mapKey);
   if (it == modulePartials_.end()) {
     const ModuleSpec& m = spec(module);
-    it = modulePartials_
-             .emplace(key, builder_.buildModulePartial(floorplan_->prr(prrIndex),
-                                                       m.id, m.occupancy))
-             .first;
+    const fabric::Region& region = floorplan_->prr(prrIndex);
+    const fabric::FrameRange frames = region.frames(floorplan_->device());
+    StreamKey key = keyBase();
+    key.flow = StreamKey::Flow::kModule;
+    key.firstFrame = frames.first;
+    key.frameCount = frames.count;
+    key.toModule = m.id;
+    key.toOccupancy = m.occupancy;
+    auto build = [&] {
+      return builder_.buildModulePartial(region, m.id, m.occupancy);
+    };
+    it = modulePartials_.emplace(mapKey, resolve(key, build)).first;
   }
-  return it->second;
+  return *it->second;
 }
 
 const Bitstream& Library::full() {
   if (!full_) {
-    full_ = std::make_unique<Bitstream>(builder_.buildFull(/*designId=*/1));
+    StreamKey key = keyBase();
+    key.flow = StreamKey::Flow::kFull;
+    key.toModule = 1;  // designId of the static + baseline design
+    full_ = resolve(key, [&] { return builder_.buildFull(/*designId=*/1); });
   }
   return *full_;
 }

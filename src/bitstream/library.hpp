@@ -6,6 +6,7 @@
 /// flow needs n(n-1) variable-size bitstreams.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,6 +25,33 @@ struct FlowStats {
   util::Bytes maxBytes{};
 };
 
+/// Content address of one stream a Library needs: everything the stream's
+/// bytes are a pure function of. Two sweep points on the same device,
+/// floorplan, module, and flow produce byte-identical streams, so a cache
+/// keyed by hash() (CRC-32 based; see exec::ArtifactCache) can share them.
+struct StreamKey {
+  enum class Flow : std::uint8_t { kFull, kModule, kDifference };
+
+  std::uint32_t deviceTag = 0;     ///< CRC-32 of the device name
+  std::uint32_t geometryCrc = 0;   ///< CRC-32 of the frame/encoding geometry
+  Flow flow = Flow::kFull;
+  std::uint32_t firstFrame = 0;    ///< region base (0 for full streams)
+  std::uint32_t frameCount = 0;    ///< region frames (0 for full streams)
+  ModuleId fromModule = 0;         ///< difference source (0 otherwise)
+  ModuleId toModule = 0;           ///< target module / full designId
+  double fromOccupancy = 0.0;
+  double toOccupancy = 0.0;
+
+  /// 64-bit content address of the key fields.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+};
+
+/// Pluggable stream provider: given the content address and a builder for
+/// the stream, returns a shared handle (typically memoized — see
+/// exec::cachingStreamSource). An empty source means "always build".
+using StreamSource = std::function<std::shared_ptr<const Bitstream>(
+    const StreamKey&, const std::function<Bitstream()>&)>;
+
 /// Owns every bitstream needed to run a module set on a floorplan.
 class Library {
  public:
@@ -34,7 +62,10 @@ class Library {
     double occupancy = 1.0;  ///< fraction of region frames carrying content
   };
 
-  Library(const fabric::Floorplan& floorplan, std::vector<ModuleSpec> modules);
+  /// `source`, when set, resolves every stream build (see StreamSource);
+  /// unset, the library builds and owns each stream privately.
+  Library(const fabric::Floorplan& floorplan, std::vector<ModuleSpec> modules,
+          StreamSource source = {});
 
   /// Module-based flow: builds one stream per (PRR, module).
   /// Returns aggregate stats; streams are retained for lookup.
@@ -67,13 +98,24 @@ class Library {
 
  private:
   [[nodiscard]] const ModuleSpec& spec(ModuleId module) const;
+  /// Key template carrying the device/geometry tags of this floorplan.
+  [[nodiscard]] StreamKey keyBase() const noexcept;
+  /// Resolves via source_ when set, else builds privately.
+  [[nodiscard]] std::shared_ptr<const Bitstream> resolve(
+      const StreamKey& key, const std::function<Bitstream()>& build);
 
   const fabric::Floorplan* floorplan_;
   std::vector<ModuleSpec> modules_;
   Builder builder_;
-  std::unique_ptr<Bitstream> full_;
-  std::map<std::pair<std::size_t, ModuleId>, Bitstream> modulePartials_;
-  std::map<std::tuple<std::size_t, ModuleId, ModuleId>, Bitstream> diffPartials_;
+  StreamSource source_;
+  std::uint32_t deviceTag_ = 0;
+  std::uint32_t geometryCrc_ = 0;
+  std::shared_ptr<const Bitstream> full_;
+  std::map<std::pair<std::size_t, ModuleId>, std::shared_ptr<const Bitstream>>
+      modulePartials_;
+  std::map<std::tuple<std::size_t, ModuleId, ModuleId>,
+           std::shared_ptr<const Bitstream>>
+      diffPartials_;
 };
 
 }  // namespace prtr::bitstream

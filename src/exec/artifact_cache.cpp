@@ -1,0 +1,202 @@
+#include "exec/artifact_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace prtr::exec {
+namespace {
+
+/// Disjoint key salts per artifact type, so a bitstream and a floorplan
+/// whose KeyBuilder inputs collide still occupy distinct cache slots.
+constexpr std::uint64_t kBitstreamSalt = 0x5842462D42495453ull;  // "XBF-BITS"
+constexpr std::uint64_t kFloorplanSalt = 0x464C4F4F52504C4Eull;  // "FLOORPLN"
+
+/// Resident byte estimate of one bitstream: encoded bytes plus the handle
+/// and header bookkeeping.
+std::uint64_t bitstreamBytes(const bitstream::Bitstream& stream) {
+  return stream.bytes().size() + sizeof(bitstream::Bitstream);
+}
+
+/// Floorplans carry no frame payloads; estimate per-region/bus-macro
+/// bookkeeping so the budget still sees them.
+std::uint64_t floorplanBytes(const fabric::Floorplan& plan) {
+  return sizeof(fabric::Floorplan) +
+         plan.prrs().size() * (sizeof(fabric::Region) + 64) +
+         plan.busMacros().size() * sizeof(fabric::BusMacro) +
+         plan.device().geometry().columnCount() * sizeof(fabric::ColumnSpec);
+}
+
+}  // namespace
+
+KeyBuilder& KeyBuilder::add(std::uint64_t value) noexcept {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  crc_.update(bytes);
+  fed_ += 8;
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view text) noexcept {
+  crc_.update({reinterpret_cast<const std::uint8_t*>(text.data()),
+               text.size()});
+  fed_ += text.size();
+  // Length separator: "ab" + "c" must not alias "a" + "bc".
+  return add(static_cast<std::uint64_t>(text.size()));
+}
+
+KeyBuilder& KeyBuilder::add(double value) noexcept {
+  return add(std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t KeyBuilder::value() const noexcept {
+  return (static_cast<std::uint64_t>(crc_.value()) << 32) |
+         (fed_ & 0xFFFFFFFFull);
+}
+
+ArtifactCache::ArtifactCache(std::uint64_t byteBudget)
+    : byteBudget_(byteBudget) {}
+
+std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
+                                                      const ErasedBuild& build) {
+  std::shared_ptr<Inflight> flight;
+  bool builder = false;
+  {
+    std::unique_lock lock{mutex_};
+    const auto hit = entries_.find(key);
+    if (hit != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, hit->second.lruPosition);
+      return hit->second.artifact;
+    }
+    const auto pending = inflight_.find(key);
+    if (pending != inflight_.end()) {
+      flight = pending->second;  // someone else is building: wait below
+    } else {
+      ++stats_.misses;
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(key, flight);
+      builder = true;
+    }
+  }
+
+  if (!builder) {
+    std::unique_lock wait{flight->mutex};
+    flight->done.wait(wait, [&] { return flight->finished; });
+    if (flight->failure) std::rethrow_exception(flight->failure);
+    // A waiter counts as a hit: the artifact was not rebuilt for it.
+    const std::scoped_lock lock{mutex_};
+    ++stats_.hits;
+    return flight->artifact;
+  }
+
+  std::shared_ptr<const void> artifact;
+  std::uint64_t artifactBytes = 0;
+  std::exception_ptr failure;
+  try {
+    std::tie(artifact, artifactBytes) = build();
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  {
+    const std::scoped_lock lock{mutex_};
+    inflight_.erase(key);
+    if (!failure) {
+      lru_.push_front(key);
+      entries_.emplace(key, Entry{artifact, artifactBytes, lru_.begin()});
+      bytes_ += artifactBytes;
+      evictOverBudgetLocked();
+    }
+  }
+  {
+    const std::scoped_lock lock{flight->mutex};
+    flight->finished = true;
+    flight->artifact = artifact;
+    flight->failure = failure;
+  }
+  flight->done.notify_all();
+  if (failure) std::rethrow_exception(failure);
+  return artifact;
+}
+
+void ArtifactCache::evictOverBudgetLocked() {
+  while (bytes_ > byteBudget_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const bitstream::Bitstream> ArtifactCache::bitstream(
+    Key key, const std::function<bitstream::Bitstream()>& build) {
+  auto erased = getOrBuild(key ^ kBitstreamSalt, [&] {
+    auto stream = std::make_shared<const bitstream::Bitstream>(build());
+    const std::uint64_t size = bitstreamBytes(*stream);
+    return std::pair<std::shared_ptr<const void>, std::uint64_t>{
+        std::move(stream), size};
+  });
+  return std::static_pointer_cast<const bitstream::Bitstream>(erased);
+}
+
+std::shared_ptr<const fabric::Floorplan> ArtifactCache::floorplan(
+    Key key, const std::function<fabric::Floorplan()>& build) {
+  auto erased = getOrBuild(key ^ kFloorplanSalt, [&] {
+    auto plan = std::make_shared<const fabric::Floorplan>(build());
+    const std::uint64_t size = floorplanBytes(*plan);
+    return std::pair<std::shared_ptr<const void>, std::uint64_t>{
+        std::move(plan), size};
+  });
+  return std::static_pointer_cast<const fabric::Floorplan>(erased);
+}
+
+void ArtifactCache::setByteBudget(std::uint64_t bytes) {
+  const std::scoped_lock lock{mutex_};
+  byteBudget_ = bytes;
+  evictOverBudgetLocked();
+}
+
+void ArtifactCache::clear() {
+  const std::scoped_lock lock{mutex_};
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  const std::scoped_lock lock{mutex_};
+  Stats stats = stats_;
+  stats.bytes = bytes_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+obs::MetricsSnapshot ArtifactCache::metricsSnapshot() const {
+  const Stats stats = this->stats();
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["exec.cache.hits"] = stats.hits;
+  snapshot.counters["exec.cache.misses"] = stats.misses;
+  snapshot.counters["exec.cache.evictions"] = stats.evictions;
+  snapshot.counters["exec.cache.bytes"] = stats.bytes;
+  snapshot.counters["exec.cache.entries"] = stats.entries;
+  snapshot.gauges["exec.cache.hit_rate"] = stats.hitRate();
+  return snapshot;
+}
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+bitstream::StreamSource cachingStreamSource(ArtifactCache& cache) {
+  return [&cache](const bitstream::StreamKey& key,
+                  const std::function<bitstream::Bitstream()>& build) {
+    return cache.bitstream(key.hash(), build);
+  };
+}
+
+}  // namespace prtr::exec

@@ -1,0 +1,237 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace prtr::exec {
+namespace {
+
+/// Identifies the pool (and worker slot) owning the current thread, so
+/// push() can target the worker's own deque and obtain() can prefer it.
+thread_local Pool* tlsPool = nullptr;
+thread_local std::size_t tlsWorker = 0;
+
+std::mutex globalMutex;
+std::unique_ptr<Pool> globalPool;       // NOLINT(cert-err58-cpp)
+std::size_t globalThreadRequest = 0;    // 0 = hardware concurrency
+
+}  // namespace
+
+std::size_t hardwareConcurrency() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+Pool::Pool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? hardwareConcurrency() : threads;
+  deques_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { workerMain(i); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    const std::scoped_lock lock{sleepMutex_};
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Pool::push(std::unique_ptr<Task> task) {
+  const std::size_t target =
+      tlsPool == this
+          ? tlsWorker
+          : pushCursor_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  {
+    const std::scoped_lock lock{deques_[target]->mutex};
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    const std::scoped_lock lock{sleepMutex_};
+    ++readyHint_;
+  }
+  wake_.notify_one();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Pool::Task> Pool::obtain(std::size_t self) {
+  std::unique_ptr<Task> task;
+  // Own deque: pop the back (the owner's LIFO end).
+  {
+    const std::scoped_lock lock{deques_[self]->mutex};
+    if (!deques_[self]->tasks.empty()) {
+      task = std::move(deques_[self]->tasks.back());
+      deques_[self]->tasks.pop_back();
+    }
+  }
+  // Steal: take the front (FIFO end) of the first non-empty victim.
+  if (!task) {
+    for (std::size_t k = 1; k < deques_.size() && !task; ++k) {
+      const std::size_t victim = (self + k) % deques_.size();
+      const std::scoped_lock lock{deques_[victim]->mutex};
+      if (!deques_[victim]->tasks.empty()) {
+        task = std::move(deques_[victim]->tasks.front());
+        deques_[victim]->tasks.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (task) {
+    const std::scoped_lock lock{sleepMutex_};
+    --readyHint_;
+  }
+  return task;
+}
+
+void Pool::workerMain(std::size_t index) {
+  tlsPool = this;
+  tlsWorker = index;
+  for (;;) {
+    std::unique_ptr<Task> task = obtain(index);
+    if (task) {
+      task->run();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock lock{sleepMutex_};
+    wake_.wait(lock, [this] { return stopping_ || readyHint_ > 0; });
+    if (stopping_ && readyHint_ == 0) return;  // drained: safe to exit
+  }
+}
+
+bool Pool::tryRunOneTask() {
+  const std::size_t self = tlsPool == this ? tlsWorker : 0;
+  std::unique_ptr<Task> task = obtain(self);
+  if (!task) return false;
+  task->run();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+/// Shared state of one parallelFor call.
+struct Pool::ForState {
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pendingRunners = 0;  ///< guarded by mutex
+  std::exception_ptr failure;      ///< guarded by mutex
+};
+
+void Pool::runChunks(ForState& state) {
+  for (;;) {
+    if (state.stop.load(std::memory_order_relaxed)) return;
+    const std::size_t begin =
+        state.next.fetch_add(state.chunk, std::memory_order_relaxed);
+    if (begin >= state.count) return;
+    const std::size_t end = std::min(begin + state.chunk, state.count);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*state.fn)(i);
+    } catch (...) {
+      const std::scoped_lock lock{state.mutex};
+      if (!state.failure) state.failure = std::current_exception();
+      state.stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+struct Pool::ForRunner final : Task {
+  explicit ForRunner(std::shared_ptr<ForState> s) : state(std::move(s)) {}
+  void run() noexcept override {
+    runChunks(*state);
+    const std::scoped_lock lock{state->mutex};
+    if (--state->pendingRunners == 0) state->done.notify_all();
+  }
+  std::shared_ptr<ForState> state;
+};
+
+void Pool::parallelFor(std::size_t count,
+                       const std::function<void(std::size_t)>& fn,
+                       ForOptions options) {
+  if (count == 0) return;
+  std::size_t participants =
+      options.threads == 0 ? threadCount() : options.threads;
+  participants = std::min(participants, count);
+  if (participants <= 1) {
+    // Serial fast path: same contract as the pooled path — the first
+    // exception propagates unchanged and no further indices start.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  parallelFors_.fetch_add(1, std::memory_order_relaxed);
+
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->fn = &fn;
+  const std::size_t grain = std::max<std::size_t>(options.grain, 1);
+  state->chunk = std::max(grain, count / (participants * 8));
+
+  const std::size_t runners = participants - 1;  // caller is a participant
+  state->pendingRunners = runners;
+  for (std::size_t r = 0; r < runners; ++r) {
+    push(std::make_unique<ForRunner>(state));
+  }
+
+  runChunks(*state);
+
+  // Help run queued tasks (ours or anyone's) while the runners finish, so
+  // nested sweeps cannot deadlock and a 1-worker pool still makes progress.
+  std::unique_lock lock{state->mutex};
+  while (state->pendingRunners != 0) {
+    lock.unlock();
+    if (!tryRunOneTask()) {
+      lock.lock();
+      state->done.wait_for(lock, std::chrono::milliseconds(1),
+                           [&] { return state->pendingRunners == 0; });
+    } else {
+      lock.lock();
+    }
+  }
+  if (state->failure) std::rethrow_exception(state->failure);
+}
+
+obs::MetricsSnapshot Pool::metricsSnapshot() const {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["exec.pool.threads"] = threadCount();
+  snapshot.counters["exec.pool.submitted"] =
+      submitted_.load(std::memory_order_relaxed);
+  snapshot.counters["exec.pool.executed"] =
+      executed_.load(std::memory_order_relaxed);
+  snapshot.counters["exec.pool.steals"] =
+      steals_.load(std::memory_order_relaxed);
+  snapshot.counters["exec.pool.parallel_fors"] =
+      parallelFors_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+Pool& Pool::global() {
+  const std::scoped_lock lock{globalMutex};
+  if (!globalPool) globalPool = std::make_unique<Pool>(globalThreadRequest);
+  return *globalPool;
+}
+
+void Pool::setGlobalThreads(std::size_t threads) {
+  const std::scoped_lock lock{globalMutex};
+  globalThreadRequest = threads;
+  const std::size_t resolved =
+      threads == 0 ? hardwareConcurrency() : threads;
+  if (globalPool && globalPool->threadCount() != resolved) globalPool.reset();
+}
+
+void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
+                 ForOptions options) {
+  Pool::global().parallelFor(count, fn, options);
+}
+
+}  // namespace prtr::exec

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "analysis/parallel.hpp"
+#include "exec/pool.hpp"
 #include "util/error.hpp"
 
 namespace prtr::hprc {
@@ -75,13 +75,13 @@ ChassisReport runChassis(const tasks::FunctionRegistry& registry,
   bladeOptions.hooks = obs::Hooks{};
 
   ChassisReport report;
-  report.blades = analysis::parallelMap(
+  report.blades = exec::parallelMap(
       shares,
       [&](const tasks::Workload& share) {
         if (share.calls.empty()) return runtime::ExecutionReport{};
         return runtime::runScenario(registry, share, bladeOptions).prtr;
       },
-      options.threads);
+      exec::ForOptions{.threads = options.threads});
 
   for (std::size_t b = 0; b < report.blades.size(); ++b) {
     const auto& blade = report.blades[b];

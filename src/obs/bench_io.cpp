@@ -1,6 +1,8 @@
 #include "obs/bench_io.hpp"
 
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -9,6 +11,11 @@ namespace prtr::obs {
 
 BenchReport::BenchReport(std::string name, int argc, const char* const* argv)
     : name_(std::move(name)) {
+  // obs stays below exec in the layering, so the default comes straight
+  // from the standard library (exec::hardwareConcurrency applies the same
+  // ">= 1" clamp).
+  const unsigned hw = std::thread::hardware_concurrency();
+  threads_ = hw == 0 ? 1 : hw;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" || arg == "--trace") {
@@ -16,6 +23,17 @@ BenchReport::BenchReport(std::string name, int argc, const char* const* argv)
         throw util::DomainError{name_ + ": " + arg + " requires a path"};
       }
       (arg == "--json" ? jsonPath_ : tracePath_) = argv[++i];
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        throw util::DomainError{name_ + ": --threads requires a count"};
+      }
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || parsed == 0) {
+        throw util::DomainError{name_ +
+                                ": --threads requires a positive integer"};
+      }
+      threads_ = static_cast<std::size_t>(parsed);
     }
   }
 }
@@ -51,6 +69,7 @@ int BenchReport::finish() const {
   w.beginObject();
   w.key("bench").value(name_);
   w.key("scalars").beginObject();
+  w.key("threads").value(static_cast<double>(threads_));
   for (const auto& [name, value] : scalars_) w.key(name).value(value);
   w.endObject();
   w.key("notes").beginObject();

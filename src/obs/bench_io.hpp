@@ -25,9 +25,10 @@ namespace prtr::obs {
 
 class BenchReport {
  public:
-  /// Parses `--json <path>` and `--trace <path>` from argv; other
-  /// arguments are ignored (benches are otherwise argument-free).
-  /// Throws util::DomainError when a flag is missing its path.
+  /// Parses `--json <path>`, `--trace <path>` and `--threads <n>` from
+  /// argv; other arguments are ignored (benches are otherwise
+  /// argument-free). Throws util::DomainError when a flag is missing its
+  /// value or `--threads` is not a positive integer.
   BenchReport(std::string name, int argc, const char* const* argv);
 
   [[nodiscard]] bool jsonRequested() const noexcept {
@@ -40,6 +41,11 @@ class BenchReport {
   [[nodiscard]] const std::string& tracePath() const noexcept {
     return tracePath_;
   }
+
+  /// Worker-thread count for the bench's parallel sweeps: the `--threads`
+  /// value, defaulting to the hardware concurrency. Always >= 1; recorded
+  /// as the "threads" scalar in the JSON document.
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
   /// Registers a key scalar (measured speedup, model error, ...).
   void scalar(const std::string& name, double value);
@@ -62,6 +68,7 @@ class BenchReport {
   std::string name_;
   std::string jsonPath_;
   std::string tracePath_;
+  std::size_t threads_ = 1;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<std::pair<std::string, util::Table>> tables_;

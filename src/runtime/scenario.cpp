@@ -3,12 +3,49 @@
 #include <sstream>
 
 #include "analyze/lint.hpp"
+#include "exec/artifact_cache.hpp"
 #include "model/calibration.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace prtr::runtime {
 namespace {
+
+/// NodeConfig for one scenario run; when an artifact cache is attached, the
+/// floorplan is fetched through it (keyed by device + layout) instead of
+/// rebuilt per node.
+xd1::NodeConfig nodeConfigFor(const ScenarioOptions& options) {
+  xd1::NodeConfig nodeConfig;
+  nodeConfig.layout = options.layout;
+  if (options.artifacts != nullptr) {
+    exec::ArtifactCache* cache = options.artifacts;
+    nodeConfig.floorplanSource =
+        [cache](xd1::Layout layout,
+                const std::function<fabric::Floorplan()>& build) {
+          const exec::ArtifactCache::Key key = exec::KeyBuilder{}
+                                                   .add("xd1.floorplan")
+                                                   .add("XC2VP50")
+                                                   .add(toString(layout))
+                                                   .value();
+          return cache->floorplan(key, build);
+        };
+  }
+  return nodeConfig;
+}
+
+/// Library for one node; with a cache attached, streams resolve through it.
+bitstream::Library makeLibrary(const ScenarioOptions& options,
+                               const tasks::FunctionRegistry& registry,
+                               const xd1::Node& node) {
+  bitstream::StreamSource source;
+  if (options.artifacts != nullptr) {
+    source = exec::cachingStreamSource(*options.artifacts);
+  }
+  return bitstream::Library{
+      node.floorplan(),
+      registry.moduleSpecs(node.floorplan().prr(0).resources(node.device())),
+      std::move(source)};
+}
 
 /// Module-id sequence of a workload (for Belady / oracle construction).
 std::vector<ModuleId> moduleSequence(const tasks::FunctionRegistry& registry,
@@ -52,13 +89,10 @@ ExecutionReport runPrtrSide(const tasks::FunctionRegistry& registry,
                             const ScenarioOptions& options,
                             sim::Timeline* timeline) {
   sim::Simulator sim;
-  xd1::NodeConfig nodeConfig;
-  nodeConfig.layout = options.layout;
+  xd1::NodeConfig nodeConfig = nodeConfigFor(options);
   nodeConfig.icapTiming.multiFrameWrite = options.mfwCompression;
   xd1::Node node{sim, nodeConfig};
-  bitstream::Library library{
-      node.floorplan(),
-      registry.moduleSpecs(node.floorplan().prr(0).resources(node.device()))};
+  bitstream::Library library = makeLibrary(options, registry, node);
 
   const auto sequence = moduleSequence(registry, workload);
   auto cache = makeCache(options.cachePolicy, node.floorplan().prrCount(),
@@ -76,9 +110,7 @@ model::Params deriveModelParamsAt(const tasks::FunctionRegistry& registry,
                                   const ScenarioOptions& options,
                                   double hitRatio) {
   sim::Simulator sim;
-  xd1::NodeConfig nodeConfig;
-  nodeConfig.layout = options.layout;
-  const xd1::Node node{sim, nodeConfig};
+  const xd1::Node node{sim, nodeConfigFor(options)};
 
   model::AbsoluteParams abs;
   const model::ConfigTimes times = model::configTimes(node);
@@ -148,12 +180,8 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
 
   if (options.sides == ScenarioSides::kBoth) {
     sim::Simulator sim;
-    xd1::NodeConfig nodeConfig;
-    nodeConfig.layout = options.layout;
-    xd1::Node node{sim, nodeConfig};
-    bitstream::Library library{
-        node.floorplan(),
-        registry.moduleSpecs(node.floorplan().prr(0).resources(node.device()))};
+    xd1::Node node{sim, nodeConfigFor(options)};
+    bitstream::Library library = makeLibrary(options, registry, node);
     FrtrExecutor frtr{node, registry, library, executorOptions(options, frtrTl)};
     result.frtr = frtr.run(workload);
   }

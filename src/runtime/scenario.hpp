@@ -19,6 +19,10 @@
 #include "obs/hooks.hpp"
 #include "runtime/executor.hpp"
 
+namespace prtr::exec {
+class ArtifactCache;
+}  // namespace prtr::exec
+
 namespace prtr::runtime {
 
 /// Which executors a scenario run instantiates.
@@ -50,6 +54,11 @@ struct ScenarioOptions {
   std::optional<double> assumedHitRatio;
   /// Observability: timelines, metrics sink, trace exporter.
   obs::Hooks hooks{};
+  /// Memoizes floorplans and bitstreams across runs (sweeps set this to
+  /// share artifacts between points; see exec::ArtifactCache). Null = every
+  /// run builds its own. Simulation results are identical either way — the
+  /// artifacts are immutable and content-addressed.
+  exec::ArtifactCache* artifacts = nullptr;
 };
 
 /// Measurements plus the model's prediction for the same parameters.

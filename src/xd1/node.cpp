@@ -33,8 +33,12 @@ Node::Node(sim::Simulator& sim, NodeConfig config)
     : sim_(&sim), config_(config) {
   util::require(config_.linkEfficiency > 0.0 && config_.linkEfficiency <= 1.0,
                 "Node: link efficiency must be in (0, 1]");
-  floorplan_ = std::make_unique<fabric::Floorplan>(
-      makeLayout(config_.layout, fabric::makeXc2vp50()));
+  const auto buildPlan = [this] {
+    return makeLayout(config_.layout, fabric::makeXc2vp50());
+  };
+  floorplan_ = config_.floorplanSource
+                   ? config_.floorplanSource(config_.layout, buildPlan)
+                   : std::make_shared<const fabric::Floorplan>(buildPlan());
 
   const util::DataRate payloadRate = ioBandwidth();
   linkIn_ = std::make_unique<sim::SimplexLink>(sim, "HT-in", payloadRate,

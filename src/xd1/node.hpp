@@ -5,6 +5,7 @@
 /// accelerator FPGA (XC2VP50) with its four QDR-II banks, configuration
 /// machinery (vendor API + ICAP controller), and a PRR floorplan.
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,6 +25,13 @@ enum class Layout : std::uint8_t { kSinglePrr, kDualPrr, kQuadPrr };
 
 [[nodiscard]] const char* toString(Layout layout) noexcept;
 
+/// Pluggable floorplan provider: given the layout and a builder for it,
+/// returns a shared validated floorplan. Sweeps install a memoizing source
+/// (exec::ArtifactCache) so the plan is built once per layout instead of
+/// once per Node; unset, each Node builds and owns its plan privately.
+using FloorplanSource = std::function<std::shared_ptr<const fabric::Floorplan>(
+    Layout, const std::function<fabric::Floorplan()>&)>;
+
 /// Tunable platform parameters; defaults reproduce the paper's Cray XD1.
 struct NodeConfig {
   Layout layout = Layout::kDualPrr;
@@ -34,6 +42,8 @@ struct NodeConfig {
   util::Time linkLatency = util::Time::nanoseconds(500);
   config::ApiTiming apiTiming{};
   config::IcapTiming icapTiming{};
+  /// Optional memoizing floorplan provider (see FloorplanSource).
+  FloorplanSource floorplanSource{};
 };
 
 /// The assembled blade. Owns every sub-component; non-movable (components
@@ -88,7 +98,7 @@ class Node {
  private:
   sim::Simulator* sim_;
   NodeConfig config_;
-  std::unique_ptr<fabric::Floorplan> floorplan_;
+  std::shared_ptr<const fabric::Floorplan> floorplan_;
   std::unique_ptr<sim::SimplexLink> linkIn_;
   std::unique_ptr<sim::SimplexLink> linkOut_;
   std::unique_ptr<config::ConfigMemory> memory_;

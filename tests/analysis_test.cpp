@@ -1,4 +1,6 @@
 // Tests for the analysis helpers: parallel sweeps and figure emitters.
+// The parallel shims are deprecated (they forward to exec::Pool) but must
+// keep working until external callers migrate, so we test them as-is.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -6,6 +8,9 @@
 #include "analysis/figures.hpp"
 #include "analysis/parallel.hpp"
 #include "util/error.hpp"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace prtr::analysis {
 namespace {
@@ -22,6 +27,23 @@ TEST(ParallelTest, MapPreservesOrder) {
   const auto out = parallelMap(inputs, [](int x) { return x * x; });
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ParallelTest, MapSupportsNonDefaultConstructibleResults) {
+  // Regression: the old implementation required R to be default-constructible
+  // because it pre-sized a std::vector<R>. The exec-backed version stores
+  // results in optional slots, so this must compile and preserve order.
+  struct Wrapped {
+    explicit Wrapped(int v) : value(v) {}
+    int value;
+  };
+  std::vector<int> inputs{3, 1, 4, 1, 5, 9, 2, 6};
+  const auto out =
+      parallelMap(inputs, [](int x) { return Wrapped{x * 10}; }, 2);
+  ASSERT_EQ(out.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(out[i].value, inputs[i] * 10);
   }
 }
 
@@ -79,3 +101,5 @@ TEST(Fig9Test, SmallSweepProducesConsistentPoints) {
 
 }  // namespace
 }  // namespace prtr::analysis
+
+#pragma GCC diagnostic pop

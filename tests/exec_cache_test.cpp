@@ -1,0 +1,178 @@
+// Tests for the exec artifact cache: key building, hit/miss accounting,
+// LRU eviction under a byte budget (with handles surviving eviction), and
+// single-flight concurrent builds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/artifact_cache.hpp"
+#include "fabric/floorplan.hpp"
+#include "util/error.hpp"
+
+namespace prtr::exec {
+namespace {
+
+/// A small synthetic bitstream whose payload encodes `seed`.
+bitstream::Bitstream makeStream(std::uint8_t seed, std::size_t bytes = 64) {
+  bitstream::Header header;
+  header.type = bitstream::StreamType::kPartial;
+  header.moduleId = seed;
+  return bitstream::Bitstream{header,
+                              std::vector<std::uint8_t>(bytes, seed)};
+}
+
+TEST(KeyBuilderTest, DistinctInputsYieldDistinctKeys) {
+  const auto k1 = KeyBuilder{}.add("floorplan").add(std::uint64_t{1}).value();
+  const auto k2 = KeyBuilder{}.add("floorplan").add(std::uint64_t{2}).value();
+  const auto k3 = KeyBuilder{}.add("bitstream").add(std::uint64_t{1}).value();
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  // Same inputs reproduce the same key (content addressing).
+  EXPECT_EQ(k1, KeyBuilder{}.add("floorplan").add(std::uint64_t{1}).value());
+  // Field lengths are part of the address: "ab"+"c" != "a"+"bc".
+  EXPECT_NE(KeyBuilder{}.add("ab").add("c").value(),
+            KeyBuilder{}.add("a").add("bc").value());
+  EXPECT_NE(KeyBuilder{}.add(1.5).value(), KeyBuilder{}.add(2.5).value());
+}
+
+TEST(ArtifactCacheTest, MissThenHitCounts) {
+  ArtifactCache cache;
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return makeStream(7);
+  };
+  const auto first = cache.bitstream(1, build);
+  const auto second = cache.bitstream(1, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first->header().moduleId, 7u);
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+}
+
+TEST(ArtifactCacheTest, DistinctKeysBuildSeparately) {
+  ArtifactCache cache;
+  const auto a = cache.bitstream(1, [] { return makeStream(1); });
+  const auto b = cache.bitstream(2, [] { return makeStream(2); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ArtifactCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits roughly two 64-byte streams (plus header overhead).
+  ArtifactCache cache{2 * (64 + 64)};
+  const auto a = cache.bitstream(1, [] { return makeStream(1); });
+  const auto b = cache.bitstream(2, [] { return makeStream(2); });
+  // Touch key 1 so key 2 is the LRU victim when key 3 arrives.
+  (void)cache.bitstream(1, [] { return makeStream(1); });
+  const auto c = cache.bitstream(3, [] { return makeStream(3); });
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, 2 * (64 + 64));
+  // The evicted artifact's handle stays valid for its holders.
+  EXPECT_EQ(b->header().moduleId, 2u);
+  EXPECT_EQ(b->bytes().size(), 64u);
+  // Key 2 was evicted, so asking again rebuilds (a new miss).
+  int rebuilds = 0;
+  const auto b2 = cache.bitstream(2, [&] {
+    ++rebuilds;
+    return makeStream(2);
+  });
+  EXPECT_EQ(rebuilds, 1);
+  EXPECT_NE(b2.get(), b.get());
+  // Key 1 was touched most recently before 3; it may or may not have
+  // survived the later insert, but the cache never exceeds its budget.
+  EXPECT_LE(cache.stats().bytes, 2 * (64 + 64));
+  (void)a;
+  (void)c;
+}
+
+TEST(ArtifactCacheTest, ClearDropsEntriesButKeepsHandles) {
+  ArtifactCache cache;
+  const auto a = cache.bitstream(1, [] { return makeStream(9); });
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(a->header().moduleId, 9u);
+}
+
+TEST(ArtifactCacheTest, FloorplanEntriesAreCachedToo) {
+  ArtifactCache cache;
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return fabric::makeDualPrrLayout();
+  };
+  const auto p1 = cache.floorplan(42, build);
+  const auto p2 = cache.floorplan(42, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(p1.get(), p2.get());
+}
+
+TEST(ArtifactCacheTest, BuilderExceptionPropagatesAndCachesNothing) {
+  ArtifactCache cache;
+  EXPECT_THROW(
+      (void)cache.bitstream(
+          5, []() -> bitstream::Bitstream {
+            throw util::DomainError{"bad build"};
+          }),
+      util::DomainError);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // The key is retryable after a failed build.
+  const auto ok = cache.bitstream(5, [] { return makeStream(5); });
+  EXPECT_EQ(ok->header().moduleId, 5u);
+}
+
+TEST(ArtifactCacheTest, ConcurrentGetOrBuildRunsBuilderOnce) {
+  ArtifactCache cache;
+  std::atomic<int> builds{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const bitstream::Bitstream>> results(8);
+  threads.reserve(8);
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      results[t] = cache.bitstream(99, [&] {
+        ++builds;
+        // Widen the race window so waiters really pile up on the latch.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return makeStream(99);
+      });
+    });
+  }
+  go = true;
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());
+  }
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+}
+
+TEST(ArtifactCacheTest, MetricsSnapshotExposesCacheCounters) {
+  ArtifactCache cache;
+  (void)cache.bitstream(1, [] { return makeStream(1); });
+  (void)cache.bitstream(1, [] { return makeStream(1); });
+  const obs::MetricsSnapshot snap = cache.metricsSnapshot();
+  EXPECT_EQ(snap.counters.at("exec.cache.hits"), 1u);
+  EXPECT_EQ(snap.counters.at("exec.cache.misses"), 1u);
+  EXPECT_TRUE(snap.counters.count("exec.cache.evictions"));
+  EXPECT_TRUE(snap.counters.count("exec.cache.bytes"));
+  EXPECT_TRUE(snap.counters.count("exec.cache.entries"));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("exec.cache.hit_rate"), 0.5);
+}
+
+}  // namespace
+}  // namespace prtr::exec

@@ -1,0 +1,178 @@
+// Tests for the exec work-stealing pool: coverage, ordering, exception
+// propagation on every execution path, futures, nesting, and concurrent
+// sweeps. Workloads stay tiny — the suite must be fast on 1-core runners.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "util/error.hpp"
+
+namespace prtr::exec {
+namespace {
+
+TEST(ExecPoolTest, HardwareConcurrencyIsAtLeastOne) {
+  EXPECT_GE(hardwareConcurrency(), 1u);
+}
+
+TEST(ExecPoolTest, ParallelForCoversEveryIndexOnce) {
+  Pool pool{4};
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecPoolTest, ParallelForZeroAndOneCounts) {
+  Pool pool{2};
+  int calls = 0;
+  pool.parallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ExecPoolTest, SerialModeRunsOnCallingThread) {
+  Pool pool{4};
+  const auto caller = std::this_thread::get_id();
+  pool.parallelFor(
+      16, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      ForOptions{.threads = 1});
+}
+
+TEST(ExecPoolTest, ParallelMapPreservesOrder) {
+  Pool pool{4};
+  std::vector<int> inputs(257);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  const auto out =
+      pool.parallelMap(inputs, [](int x) { return x * 3 + 1; });
+  ASSERT_EQ(out.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(out[i], inputs[static_cast<std::size_t>(i)] * 3 + 1);
+  }
+}
+
+TEST(ExecPoolTest, ParallelMapSupportsNonDefaultConstructibleAndMoveOnly) {
+  struct NoDefault {
+    explicit NoDefault(std::string v) : value(std::move(v)) {}
+    NoDefault(NoDefault&&) = default;
+    NoDefault& operator=(NoDefault&&) = default;
+    NoDefault(const NoDefault&) = delete;
+    NoDefault& operator=(const NoDefault&) = delete;
+    std::string value;
+  };
+  static_assert(!std::is_default_constructible_v<NoDefault>);
+  Pool pool{2};
+  std::vector<int> inputs{1, 2, 3, 4, 5};
+  const auto out = pool.parallelMap(
+      inputs, [](int x) { return NoDefault{std::to_string(x * x)}; });
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value, std::to_string(inputs[i] * inputs[i]));
+  }
+}
+
+// The old analysis::parallelFor swallowed nothing on the threaded path but
+// took different paths for threads==1 and count<threads; exceptions must
+// propagate identically from every one of them.
+TEST(ExecPoolTest, ExceptionsPropagateFromEveryPath) {
+  Pool pool{4};
+  const auto thrower = [](std::size_t i) {
+    if (i == 3) throw util::DomainError{"boom"};
+  };
+  // Pooled path (count >> threads).
+  EXPECT_THROW(pool.parallelFor(64, thrower), util::DomainError);
+  // Serial path (threads == 1).
+  EXPECT_THROW(pool.parallelFor(64, thrower, ForOptions{.threads = 1}),
+               util::DomainError);
+  // count < threads path.
+  EXPECT_THROW(pool.parallelFor(4, thrower, ForOptions{.threads = 8}),
+               util::DomainError);
+  // The pool stays usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallelFor(10, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ExecPoolTest, SubmitReturnsValueThroughFuture) {
+  Pool pool{2};
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+  auto v = pool.submit([] {});
+  v.get();  // void future completes
+}
+
+TEST(ExecPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  Pool pool{2};
+  auto f = pool.submit([]() -> int { throw util::DomainError{"future boom"}; });
+  EXPECT_THROW(f.get(), util::DomainError);
+}
+
+TEST(ExecPoolTest, NestedParallelForDoesNotDeadlock) {
+  Pool pool{2};
+  std::atomic<int> total{0};
+  pool.parallelFor(8, [&](std::size_t) {
+    pool.parallelFor(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ExecPoolTest, SingleWorkerPoolCompletesParallelWork) {
+  Pool pool{1};
+  std::atomic<int> total{0};
+  pool.parallelFor(100, [&](std::size_t) { ++total; },
+                   ForOptions{.threads = 4});
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ExecPoolTest, ConcurrentParallelForsFromSubmittedTasks) {
+  Pool pool{4};
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(4);
+  for (int j = 0; j < 4; ++j) {
+    futures.push_back(pool.submit([&] {
+      pool.parallelFor(50, [&](std::size_t) { ++total; });
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ExecPoolTest, GrainBoundsChunkSize) {
+  Pool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallelFor(64, [&](std::size_t i) { ++hits[i]; },
+                   ForOptions{.grain = 16});
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecPoolTest, MetricsSnapshotExposesPoolCounters) {
+  Pool pool{3};
+  auto f = pool.submit([] { return 1; });
+  (void)f.get();
+  pool.parallelFor(32, [](std::size_t) {});
+  const obs::MetricsSnapshot snap = pool.metricsSnapshot();
+  EXPECT_EQ(snap.counters.at("exec.pool.threads"), 3u);
+  EXPECT_GE(snap.counters.at("exec.pool.submitted"), 1u);
+  EXPECT_GE(snap.counters.at("exec.pool.parallel_fors"), 1u);
+  EXPECT_TRUE(snap.counters.count("exec.pool.executed"));
+  EXPECT_TRUE(snap.counters.count("exec.pool.steals"));
+}
+
+TEST(ExecPoolTest, GlobalPoolIsResizable) {
+  Pool::setGlobalThreads(2);
+  EXPECT_EQ(Pool::global().threadCount(), 2u);
+  std::atomic<int> total{0};
+  parallelFor(20, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 20);
+  Pool::setGlobalThreads(hardwareConcurrency());
+}
+
+}  // namespace
+}  // namespace prtr::exec
