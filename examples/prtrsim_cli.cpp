@@ -11,6 +11,12 @@
 //               queue|markov|association] [--force-miss 0|1]
 //               [--control-us U] [--decision-us U] [--seed S] [--timeline]
 //               [--trace FILE.json] [--threads N]
+//               [--fault-rate P] [--fault-seed S] [--max-retries N]
+//
+// --fault-rate injects word flips at P per configuration word (plus ICAP
+// aborts at P*100, capped at 2%) from the deterministic --fault-seed, and
+// enables the recovery runtime with --max-retries attempts per ladder rung.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -128,6 +134,19 @@ int main(int argc, char** argv) {
     options.decisionLatency = util::Time::microseconds(
         std::stoll(get(args, "decision-us", "0")));
 
+    // Chaos mode: deterministic fault injection + the recovery runtime.
+    // runScenario's strict lint (FT rules) vets the combination.
+    const double faultRate = std::stod(get(args, "fault-rate", "0"));
+    if (faultRate > 0.0 || args.count("max-retries") ||
+        args.count("fault-seed")) {
+      options.faults.seed = std::stoull(get(args, "fault-seed", "24091"));
+      options.faults.wordFlipRate = faultRate;
+      options.faults.icapAbortRate = std::min(faultRate * 100.0, 0.02);
+      options.recovery.enabled = true;
+      options.recovery.maxRetries = static_cast<std::uint32_t>(
+          std::stoul(get(args, "max-retries", "3")));
+    }
+
     sim::Timeline timeline;
     if (args.count("timeline")) options.hooks.timeline = &timeline;
     obs::ChromeTrace trace;
@@ -143,6 +162,15 @@ int main(int argc, char** argv) {
     const runtime::ScenarioResult result =
         runtime::runScenario(registry, workload, options);
     std::cout << result.toString();
+    if (options.recovery.enabled) {
+      std::cout << "\nchaos (seed " << options.faults.seed << "):\n";
+      for (const auto& [name, value] : result.metrics.counters) {
+        if (name.find("fault.injected") != std::string::npos ||
+            name.find("recovery.") != std::string::npos) {
+          std::cout << "  " << name << " = " << value << "\n";
+        }
+      }
+    }
     if (args.count("timeline")) {
       std::cout << "\nPRTR timeline:\n" << timeline.renderGantt(110);
     }

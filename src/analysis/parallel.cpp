@@ -1,5 +1,11 @@
 #include "analysis/parallel.hpp"
 
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/log.hpp"
+
 // The shims are [[deprecated]] in the header; defining them here must not
 // warn under -Werror.
 #pragma GCC diagnostic push
@@ -7,12 +13,32 @@
 
 namespace prtr::analysis {
 
+namespace detail {
+
+void warnDeprecatedOnce(const char* shim, const char* replacement,
+                        const std::source_location& where) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::string site = std::string(where.file_name()) + ":" +
+                           std::to_string(where.line()) + ":" + shim;
+  {
+    const std::lock_guard<std::mutex> lock{mutex};
+    if (!warned.insert(site).second) return;
+  }
+  util::logWarn(shim, " is deprecated (called from ", where.file_name(), ":",
+                where.line(), "); use ", replacement, " instead");
+}
+
+}  // namespace detail
+
 std::size_t defaultThreadCount() noexcept {
   return exec::hardwareConcurrency();
 }
 
 void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
-                 std::size_t threads) {
+                 std::size_t threads, const std::source_location& where) {
+  detail::warnDeprecatedOnce("analysis::parallelFor", "exec::parallelFor",
+                             where);
   exec::parallelFor(count, fn, exec::ForOptions{.threads = threads});
 }
 

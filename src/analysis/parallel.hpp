@@ -7,10 +7,19 @@
 
 #include <cstddef>
 #include <functional>
+#include <source_location>
 
 #include "exec/pool.hpp"
 
 namespace prtr::analysis {
+
+namespace detail {
+/// Logs one deprecation warning per distinct call site (file:line) of a
+/// shim, pointing at its exec:: replacement. Thread-safe; repeated calls
+/// from the same site stay silent so hot loops don't flood the log.
+void warnDeprecatedOnce(const char* shim, const char* replacement,
+                        const std::source_location& where);
+}  // namespace detail
 
 /// Number of worker threads to use by default (hardware concurrency,
 /// at least 1).
@@ -23,14 +32,18 @@ defaultThreadCount() noexcept;
 /// on the serial (`threads == 1`, `count < threads`) and pooled paths.
 [[deprecated("use exec::parallelFor")]] void parallelFor(
     std::size_t count, const std::function<void(std::size_t)>& fn,
-    std::size_t threads = 0);
+    std::size_t threads = 0,
+    const std::source_location& where = std::source_location::current());
 
 /// Maps `fn` over `inputs` in parallel, preserving order. Results need not
 /// be default-constructible (they are emplaced into optional slots).
 template <typename T, typename Fn>
 [[deprecated("use exec::parallelMap")]] auto parallelMap(
-    const std::vector<T>& inputs, Fn&& fn, std::size_t threads = 0)
+    const std::vector<T>& inputs, Fn&& fn, std::size_t threads = 0,
+    const std::source_location& where = std::source_location::current())
     -> std::vector<std::invoke_result_t<Fn&, const T&>> {
+  detail::warnDeprecatedOnce("analysis::parallelMap", "exec::parallelMap",
+                             where);
   return exec::parallelMap(inputs, std::forward<Fn>(fn),
                            exec::ForOptions{.threads = threads});
 }

@@ -15,6 +15,15 @@ std::string at(std::size_t offset) {
   return "byte " + std::to_string(offset);
 }
 
+std::string hex32(std::uint32_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out += kDigits[(value >> shift) & 0xF];
+  }
+  return out;
+}
+
 std::optional<std::uint32_t> readU32(std::span<const std::uint8_t> bytes,
                                      std::size_t offset) {
   if (offset + 4 > bytes.size()) return std::nullopt;
@@ -80,7 +89,9 @@ StreamScan scanStream(std::span<const std::uint8_t> bytes,
       util::Crc32::of(bytes.subspan(0, bytes.size() - 4));
   if (expected != actual) {
     sink.emit("BS006", at(bytes.size() - 4),
-              "stored CRC does not match the stream contents");
+              "stored CRC " + hex32(expected) +
+                  " does not match the stream contents (computed " +
+                  hex32(actual) + ")");
   }
   if (header->frameBytes != enc.frameBytes) {
     sink.emit("BS005", at(20),

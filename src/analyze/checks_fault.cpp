@@ -1,0 +1,162 @@
+#include "analyze/checks_fault.hpp"
+
+#include <utility>
+
+#include "analyze/spec_util.hpp"
+
+namespace prtr::analyze {
+
+namespace {
+
+void checkRate(double rate, const char* name, DiagnosticSink& sink) {
+  if (rate < 0.0 || rate > 1.0) {
+    sink.emit("FT001", std::string{"plan."} + name,
+              std::string{name} + " = " + std::to_string(rate) +
+                  " is not a probability");
+  }
+}
+
+}  // namespace
+
+FaultSpec parseFaultSpec(std::istream& in) {
+  using namespace specdetail;
+  FaultSpec spec;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2) fail(lineNo, "expected '<key> <value>'");
+    const std::string& key = tokens[0];
+    const std::string& value = tokens[1];
+    if (key == "seed") {
+      spec.seed = parseU64(value, lineNo);
+    } else if (key == "arrival") {
+      spec.arrival = value;
+    } else if (key == "fixed-period") {
+      spec.fixedPeriod = parseU64(value, lineNo);
+    } else if (key == "link-stall-rate") {
+      spec.linkStallRate = parseDouble(value, lineNo);
+    } else if (key == "stall-us") {
+      spec.stallUs = parseDouble(value, lineNo);
+    } else if (key == "word-flip-rate") {
+      spec.wordFlipRate = parseDouble(value, lineNo);
+    } else if (key == "timeout-rate") {
+      spec.transferTimeoutRate = parseDouble(value, lineNo);
+    } else if (key == "abort-rate") {
+      spec.icapAbortRate = parseDouble(value, lineNo);
+    } else if (key == "api-reject-rate") {
+      spec.apiRejectRate = parseDouble(value, lineNo);
+    } else if (key == "recovery") {
+      spec.recoveryEnabled = parseBool(value, lineNo);
+    } else if (key == "max-retries") {
+      spec.maxRetries = parseU64(value, lineNo);
+    } else if (key == "repair-rounds") {
+      spec.repairRounds = parseU64(value, lineNo);
+    } else if (key == "backoff-us") {
+      spec.backoffUs = parseDouble(value, lineNo);
+    } else if (key == "backoff-factor") {
+      spec.backoffFactor = parseDouble(value, lineNo);
+    } else if (key == "verify") {
+      spec.verify = value;
+    } else if (key == "ladder") {
+      spec.ladder = parseBool(value, lineNo);
+    } else {
+      fail(lineNo, "unrecognized key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+void checkFaultOptions(const fault::Plan& plan,
+                       const config::RecoveryPolicy& recovery,
+                       DiagnosticSink& sink) {
+  checkRate(plan.linkStallRate, "link-stall-rate", sink);
+  checkRate(plan.wordFlipRate, "word-flip-rate", sink);
+  checkRate(plan.transferTimeoutRate, "timeout-rate", sink);
+  checkRate(plan.icapAbortRate, "abort-rate", sink);
+  checkRate(plan.apiRejectRate, "api-reject-rate", sink);
+  if (plan.linkStallRate > 0.0 && plan.stallDuration <= util::Time::zero()) {
+    sink.emit("FT002", "plan.stall-us",
+              "link-stall-rate is " + std::to_string(plan.linkStallRate) +
+                  " but the stall duration is not positive");
+  }
+  if (plan.arrival == fault::Arrival::kFixedPeriod && plan.fixedPeriod == 0) {
+    sink.emit("FT003", "plan.fixed-period",
+              "arrival is 'fixed' with period 0");
+  }
+  if (recovery.enabled &&
+      (recovery.backoffFactor < 1.0 ||
+       recovery.backoffBase <= util::Time::zero())) {
+    sink.emit("FT006", "recovery.backoff",
+              "backoff base " +
+                  std::to_string(recovery.backoffBase.toMicroseconds()) +
+                  " us with factor " +
+                  std::to_string(recovery.backoffFactor));
+  }
+  if (plan.active() && !recovery.enabled) {
+    sink.emit("FT008", "recovery.enabled",
+              "the plan injects faults but no recovery policy is enabled");
+  }
+  if (recovery.enabled && recovery.maxRetries == 0 && !recovery.ladder) {
+    sink.emit("FT009", "recovery.max-retries",
+              "max-retries is 0 and the ladder is disabled");
+  }
+  if (plan.wordFlipRate > 1e-2) {
+    sink.emit("FT010", "plan.word-flip-rate",
+              "word-flip-rate " + std::to_string(plan.wordFlipRate) +
+                  " exceeds 1e-2 per word");
+  }
+}
+
+std::pair<fault::Plan, config::RecoveryPolicy> faultSpecToOptions(
+    const FaultSpec& spec) {
+  fault::Plan plan;
+  plan.seed = spec.seed;
+  plan.arrival = spec.arrival == "fixed" ? fault::Arrival::kFixedPeriod
+                                         : fault::Arrival::kPoisson;
+  plan.fixedPeriod = spec.fixedPeriod;
+  plan.linkStallRate = spec.linkStallRate;
+  plan.stallDuration =
+      util::Time::picoseconds(static_cast<std::int64_t>(spec.stallUs * 1e6));
+  plan.wordFlipRate = spec.wordFlipRate;
+  plan.transferTimeoutRate = spec.transferTimeoutRate;
+  plan.icapAbortRate = spec.icapAbortRate;
+  plan.apiRejectRate = spec.apiRejectRate;
+
+  config::RecoveryPolicy recovery;
+  recovery.enabled = spec.recoveryEnabled;
+  recovery.maxRetries = static_cast<std::uint32_t>(spec.maxRetries);
+  recovery.maxRepairRounds = static_cast<std::uint32_t>(spec.repairRounds);
+  recovery.backoffBase =
+      util::Time::picoseconds(static_cast<std::int64_t>(spec.backoffUs * 1e6));
+  recovery.backoffFactor = spec.backoffFactor;
+  recovery.verify = spec.verify == "off"      ? config::VerifyMode::kOff
+                    : spec.verify == "always" ? config::VerifyMode::kAlways
+                                              : config::VerifyMode::kOnFault;
+  recovery.ladder = spec.ladder;
+  return {plan, recovery};
+}
+
+DiagnosticSink lintFaultSpec(const FaultSpec& spec) {
+  DiagnosticSink sink;
+  // String-boundary rules first, mirroring MD011/MD012: the typed options
+  // below fall back to defaults so the remaining rules still run.
+  if (spec.arrival != "poisson" && spec.arrival != "fixed") {
+    sink.emit("FT004", "arrival", "unknown arrival '" + spec.arrival + "'");
+  }
+  if (spec.verify != "off" && spec.verify != "on-fault" &&
+      spec.verify != "always") {
+    sink.emit("FT005", "verify", "unknown verify mode '" + spec.verify + "'");
+  }
+  const auto [plan, recovery] = faultSpecToOptions(spec);
+  checkFaultOptions(plan, recovery, sink);
+  if (!plan.active()) {
+    sink.emit("FT007", "plan",
+              "all fault rates are zero; nothing will be injected");
+  }
+  return sink;
+}
+
+}  // namespace prtr::analyze

@@ -22,6 +22,7 @@ const char* toString(Category category) noexcept {
     case Category::kFloorplan: return "floorplan";
     case Category::kBitstream: return "bitstream";
     case Category::kModel: return "model";
+    case Category::kFault: return "fault";
   }
   return "?";
 }
@@ -151,6 +152,41 @@ constexpr std::array kCatalog{
     RuleInfo{"MD012", Category::kModel, Severity::kError,
              "unknown prefetcher kind",
              "use one of the kinds listed by knownPrefetcherKinds()"},
+    // Fault-plan and recovery rules (checks_fault.hpp; prtr-lint fault-spec).
+    RuleInfo{"FT001", Category::kFault, Severity::kError,
+             "fault rate outside [0, 1]",
+             "rates are probabilities per event; keep them in [0, 1]"},
+    RuleInfo{"FT002", Category::kFault, Severity::kError,
+             "link stalls enabled with a non-positive stall duration",
+             "give stall-us a positive value or set link-stall-rate to 0"},
+    RuleInfo{"FT003", Category::kFault, Severity::kError,
+             "fixed-schedule arrival needs a positive period",
+             "set fixed-period to 1 or more"},
+    RuleInfo{"FT004", Category::kFault, Severity::kError,
+             "unknown arrival model",
+             "use 'poisson' or 'fixed'"},
+    RuleInfo{"FT005", Category::kFault, Severity::kError,
+             "unknown verify mode",
+             "use 'off', 'on-fault', or 'always'"},
+    RuleInfo{"FT006", Category::kFault, Severity::kError,
+             "backoff schedule cannot make progress (non-positive base or "
+             "factor below 1)",
+             "use a positive backoff-us and a backoff-factor >= 1"},
+    RuleInfo{"FT007", Category::kFault, Severity::kWarning,
+             "fault plan enables no fault kind, so the chaos run is a no-op",
+             "raise at least one rate, or drop the plan"},
+    RuleInfo{"FT008", Category::kFault, Severity::kWarning,
+             "faults are injected but recovery is disabled: the first fault "
+             "aborts the scenario",
+             "enable recovery, or accept fail-fast semantics deliberately"},
+    RuleInfo{"FT009", Category::kFault, Severity::kWarning,
+             "recovery can neither retry nor escalate (zero retries with "
+             "the ladder disabled)",
+             "allow at least one retry or enable the degradation ladder"},
+    RuleInfo{"FT010", Category::kFault, Severity::kWarning,
+             "word-flip rate above 1e-2 per word corrupts nearly every "
+             "load; repair rounds will thrash",
+             "lower word-flip-rate (the chaos sweeps use 1e-6..1e-4)"},
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "analyze/lint.hpp"
 
 #include "analyze/checks_bitstream.hpp"
+#include "analyze/checks_fault.hpp"
 #include "analyze/checks_floorplan.hpp"
 #include "analyze/checks_model.hpp"
 #include "analyze/checks_scenario.hpp"
@@ -29,6 +30,13 @@ DiagnosticSink lintAll(const LintTargets& targets) {
   }
   if (targets.scenario != nullptr) {
     checkScenarioOptions(*targets.scenario, sink);
+    // FT rules only apply once the fault layer is in play; the default
+    // (no faults, no recovery) must stay lint-silent.
+    if (targets.scenario->faults.active() ||
+        targets.scenario->recovery.enabled) {
+      checkFaultOptions(targets.scenario->faults, targets.scenario->recovery,
+                        sink);
+    }
   }
   if (targets.cachePolicyName != nullptr ||
       targets.prefetcherKindName != nullptr) {

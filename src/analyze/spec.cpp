@@ -1,64 +1,19 @@
 #include "analyze/spec.hpp"
 
-#include <sstream>
-
 #include "analyze/checks_floorplan.hpp"
 #include "analyze/checks_model.hpp"
 #include "analyze/checks_scenario.hpp"
+#include "analyze/spec_util.hpp"
 #include "fabric/device.hpp"
 #include "util/error.hpp"
 
 namespace prtr::analyze {
-namespace {
 
-[[noreturn]] void fail(std::size_t lineNo, const std::string& what) {
-  throw util::DomainError{"spec line " + std::to_string(lineNo) + ": " + what};
-}
-
-/// Strips a '#' comment and returns the whitespace-split tokens.
-std::vector<std::string> tokenize(const std::string& line) {
-  const std::size_t hash = line.find('#');
-  std::istringstream is{hash == std::string::npos ? line
-                                                  : line.substr(0, hash)};
-  std::vector<std::string> tokens;
-  std::string token;
-  while (is >> token) tokens.push_back(token);
-  return tokens;
-}
-
-double parseDouble(const std::string& token, std::size_t lineNo) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(token, &used);
-    if (used != token.size()) fail(lineNo, "trailing characters in number");
-    return value;
-  } catch (const std::invalid_argument&) {
-    fail(lineNo, "expected a number, got '" + token + "'");
-  } catch (const std::out_of_range&) {
-    fail(lineNo, "number out of range: '" + token + "'");
-  }
-}
-
-std::uint64_t parseU64(const std::string& token, std::size_t lineNo) {
-  try {
-    std::size_t used = 0;
-    const std::uint64_t value = std::stoull(token, &used);
-    if (used != token.size()) fail(lineNo, "trailing characters in number");
-    return value;
-  } catch (const std::invalid_argument&) {
-    fail(lineNo, "expected an integer, got '" + token + "'");
-  } catch (const std::out_of_range&) {
-    fail(lineNo, "integer out of range: '" + token + "'");
-  }
-}
-
-bool parseBool(const std::string& token, std::size_t lineNo) {
-  if (token == "true") return true;
-  if (token == "false") return false;
-  fail(lineNo, "expected true/false, got '" + token + "'");
-}
-
-}  // namespace
+using specdetail::fail;
+using specdetail::parseBool;
+using specdetail::parseDouble;
+using specdetail::parseU64;
+using specdetail::tokenize;
 
 FloorplanSpec parseFloorplanSpec(std::istream& in) {
   FloorplanSpec spec;

@@ -1,0 +1,63 @@
+#pragma once
+/// \file spec_util.hpp
+/// Shared helpers for the line-oriented spec parsers (spec.cpp in the
+/// runtime library, checks_fault.cpp in the fault library). Internal to
+/// prtr::analyze — not part of the lint API surface.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace prtr::analyze::specdetail {
+
+[[noreturn]] inline void fail(std::size_t lineNo, const std::string& what) {
+  throw util::DomainError{"spec line " + std::to_string(lineNo) + ": " + what};
+}
+
+/// Strips a '#' comment and returns the whitespace-split tokens.
+inline std::vector<std::string> tokenize(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  std::istringstream is{hash == std::string::npos ? line
+                                                  : line.substr(0, hash)};
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+inline double parseDouble(const std::string& token, std::size_t lineNo) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) fail(lineNo, "trailing characters in number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(lineNo, "expected a number, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(lineNo, "number out of range: '" + token + "'");
+  }
+}
+
+inline std::uint64_t parseU64(const std::string& token, std::size_t lineNo) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    if (used != token.size()) fail(lineNo, "trailing characters in number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(lineNo, "expected an integer, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    fail(lineNo, "integer out of range: '" + token + "'");
+  }
+}
+
+inline bool parseBool(const std::string& token, std::size_t lineNo) {
+  if (token == "true") return true;
+  if (token == "false") return false;
+  fail(lineNo, "expected true/false, got '" + token + "'");
+}
+
+}  // namespace prtr::analyze::specdetail

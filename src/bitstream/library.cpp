@@ -114,34 +114,64 @@ FlowStats Library::buildModuleFlow() {
 FlowStats Library::buildDifferenceFlow() {
   FlowStats stats;
   for (std::size_t prr = 0; prr < floorplan_->prrCount(); ++prr) {
-    const fabric::Region& region = floorplan_->prr(prr);
     for (const ModuleSpec& from : modules_) {
       for (const ModuleSpec& to : modules_) {
         if (from.id == to.id) continue;
-        const auto mapKey = std::make_tuple(prr, from.id, to.id);
-        auto it = diffPartials_.find(mapKey);
-        if (it == diffPartials_.end()) {
-          const fabric::FrameRange frames = region.frames(floorplan_->device());
-          StreamKey key = keyBase();
-          key.flow = StreamKey::Flow::kDifference;
-          key.firstFrame = frames.first;
-          key.frameCount = frames.count;
-          key.fromModule = from.id;
-          key.toModule = to.id;
-          key.fromOccupancy = from.occupancy;
-          key.toOccupancy = to.occupancy;
-          auto build = [&] {
-            return builder_.buildDifferencePartial(region, from.id,
-                                                   from.occupancy, to.id,
-                                                   to.occupancy);
-          };
-          it = diffPartials_.emplace(mapKey, resolve(key, build)).first;
-        }
-        accumulate(stats, *it->second);
+        accumulate(stats, differencePartial(prr, from.id, to.id));
       }
     }
   }
   return stats;
+}
+
+const Bitstream& Library::differencePartial(std::size_t prrIndex,
+                                            ModuleId from, ModuleId to) {
+  util::require(from != to, "Library: difference stream needs distinct modules");
+  const auto mapKey = std::make_tuple(prrIndex, from, to);
+  auto it = diffPartials_.find(mapKey);
+  if (it == diffPartials_.end()) {
+    const ModuleSpec& fromSpec = spec(from);
+    const ModuleSpec& toSpec = spec(to);
+    const fabric::Region& region = floorplan_->prr(prrIndex);
+    const fabric::FrameRange frames = region.frames(floorplan_->device());
+    StreamKey key = keyBase();
+    key.flow = StreamKey::Flow::kDifference;
+    key.firstFrame = frames.first;
+    key.frameCount = frames.count;
+    key.fromModule = fromSpec.id;
+    key.toModule = toSpec.id;
+    key.fromOccupancy = fromSpec.occupancy;
+    key.toOccupancy = toSpec.occupancy;
+    auto build = [&] {
+      return builder_.buildDifferencePartial(region, fromSpec.id,
+                                             fromSpec.occupancy, toSpec.id,
+                                             toSpec.occupancy);
+    };
+    it = diffPartials_.emplace(mapKey, resolve(key, build)).first;
+  }
+  return *it->second;
+}
+
+const Bitstream& Library::prrReload(std::size_t prrIndex, ModuleId module) {
+  const ModuleSpec& m = spec(module);
+  if (m.occupancy >= 1.0) return modulePartial(prrIndex, module);
+  const auto mapKey = std::make_pair(prrIndex, module);
+  auto it = prrReloads_.find(mapKey);
+  if (it == prrReloads_.end()) {
+    const fabric::Region& region = floorplan_->prr(prrIndex);
+    const fabric::FrameRange frames = region.frames(floorplan_->device());
+    StreamKey key = keyBase();
+    key.flow = StreamKey::Flow::kModule;
+    key.firstFrame = frames.first;
+    key.frameCount = frames.count;
+    key.toModule = m.id;
+    key.toOccupancy = 1.0;  // rewrite every frame in the region
+    auto build = [&] {
+      return builder_.buildModulePartial(region, m.id, /*occupancy=*/1.0);
+    };
+    it = prrReloads_.emplace(mapKey, resolve(key, build)).first;
+  }
+  return *it->second;
 }
 
 const Bitstream& Library::modulePartial(std::size_t prrIndex, ModuleId module) {

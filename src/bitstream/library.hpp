@@ -77,6 +77,17 @@ class Library {
   /// Module-based stream for `module` in PRR `prrIndex` (built on demand).
   [[nodiscard]] const Bitstream& modulePartial(std::size_t prrIndex, ModuleId module);
 
+  /// Difference stream switching PRR `prrIndex` from `from` to `to`
+  /// (built on demand; also the unit of work of buildDifferenceFlow).
+  [[nodiscard]] const Bitstream& differencePartial(std::size_t prrIndex,
+                                                   ModuleId from, ModuleId to);
+
+  /// Recovery-ladder rung: `module`'s stream rebuilt at occupancy 1.0, so
+  /// every frame in the PRR is rewritten — including frames a sparse module
+  /// partial would skip and leave corrupted. Shares the module partial when
+  /// the module already occupies the whole region.
+  [[nodiscard]] const Bitstream& prrReload(std::size_t prrIndex, ModuleId module);
+
   /// The full-device stream (static design + baseline PRR contents).
   [[nodiscard]] const Bitstream& full();
 
@@ -116,6 +127,8 @@ class Library {
   std::map<std::tuple<std::size_t, ModuleId, ModuleId>,
            std::shared_ptr<const Bitstream>>
       diffPartials_;
+  std::map<std::pair<std::size_t, ModuleId>, std::shared_ptr<const Bitstream>>
+      prrReloads_;
 };
 
 }  // namespace prtr::bitstream

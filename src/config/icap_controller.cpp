@@ -1,5 +1,7 @@
 #include "config/icap_controller.hpp"
 
+#include <algorithm>
+
 #include "bitstream/compress.hpp"
 #include "bitstream/parser.hpp"
 #include "util/error.hpp"
@@ -80,6 +82,20 @@ sim::Process IcapController::load(const bitstream::Bitstream& stream) {
   const auto& parsed = memory_->parsedFor(stream);
   const util::Bytes bytes = wireBytes(stream);
 
+  // A fault decision is drawn up front (deterministic: one draw per load in
+  // event order), but takes effect mid-pipeline: the producer/drain children
+  // only ever see the truncated byte count, so they never throw from a
+  // detached coroutine.
+  std::optional<IcapFault> fault;
+  if (faultHook_) fault = faultHook_(stream);
+  util::Bytes wire = bytes;
+  if (fault && fault->abort) {
+    const double fraction = std::clamp(fault->completedFraction, 0.0, 1.0);
+    wire = util::Bytes{std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(fraction *
+                                      static_cast<double>(bytes.count())))};
+  }
+
   const util::Time queued = sim_->now();
   co_await icapBusy_.acquire();
   contention_ += sim_->now() - queued;
@@ -88,13 +104,21 @@ sim::Process IcapController::load(const bitstream::Bitstream& stream) {
   sim::Channel<std::uint64_t> buffer{*sim_, timing_.bufferChunks};
   sim::WaitGroup wg{*sim_};
   wg.add(2);
-  sim_->spawn(produce(bytes, buffer, wg));
-  sim_->spawn(drain(bytes, buffer, wg));
+  sim_->spawn(produce(wire, buffer, wg));
+  sim_->spawn(drain(wire, buffer, wg));
   co_await wg.wait();
+
+  if (fault && fault->abort) {
+    // The truncated stream never reaches configuration memory.
+    bytesWritten_ += wire.count();
+    ++abortedLoads_;
+    std::rethrow_exception(fault->abort);
+  }
 
   memory_->applyPartial(parsed);
   ++loads_;
   bytesWritten_ += bytes.count();
+  if (writeFaultHook_) writeFaultHook_(parsed, nullptr);
 }
 
 }  // namespace prtr::config

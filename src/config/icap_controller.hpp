@@ -13,7 +13,11 @@
 /// paper's measured 43.48 ms / 19.77 ms partial configuration times.
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <map>
+#include <optional>
+#include <vector>
 
 #include "bitstream/format.hpp"
 #include "config/memory.hpp"
@@ -39,6 +43,26 @@ struct IcapTiming {
   /// Off by default — the paper's controller writes every frame.
   bool multiFrameWrite = false;
 };
+
+/// Fault imposed on a single ICAP load by an attached hook (see src/fault):
+/// the pipeline streams only `completedFraction` of the wire bytes, the load
+/// is not applied, and `abort` is rethrown from load().
+struct IcapFault {
+  double completedFraction = 0.0;  ///< clamped to [0, 1]
+  std::exception_ptr abort{};
+};
+
+/// Consulted once per load, before the pipeline starts. Returning nullopt
+/// leaves the load untouched.
+using IcapFaultHook =
+    std::function<std::optional<IcapFault>(const bitstream::Bitstream&)>;
+
+/// Invoked after a stream (or, on frame-granular repairs, a frame subset of
+/// it — `frames` null means "the whole stream") has been applied, so a fault
+/// layer can corrupt the words that were just written.
+using IcapWriteFaultHook =
+    std::function<void(const bitstream::ParsedStream& stream,
+                       const std::vector<std::uint32_t>* frames)>;
 
 /// The reconfiguration control unit.
 class IcapController {
@@ -84,6 +108,28 @@ class IcapController {
   /// under the configured mode (raw size, or the MFW wire size).
   [[nodiscard]] util::Bytes wireBytes(const bitstream::Bitstream& stream);
 
+  /// Installs (or clears, with nullptr) the per-load fault hook.
+  void setFaultHook(IcapFaultHook hook) { faultHook_ = std::move(hook); }
+  /// Installs (or clears) the post-apply write-fault hook.
+  void setWriteFaultHook(IcapWriteFaultHook hook) {
+    writeFaultHook_ = std::move(hook);
+  }
+  /// Runs the write-fault hook over `frames` of `stream` — used by the
+  /// recovery runtime so frame-granular repairs are as fallible as the
+  /// original writes.
+  void applyWriteFaults(const bitstream::ParsedStream& stream,
+                        const std::vector<std::uint32_t>& frames) {
+    if (writeFaultHook_) writeFaultHook_(stream, &frames);
+  }
+
+  /// Loads aborted mid-stream by an injected fault.
+  [[nodiscard]] std::uint64_t abortedLoads() const noexcept {
+    return abortedLoads_;
+  }
+
+  /// The configuration memory this controller writes into.
+  [[nodiscard]] ConfigMemory& memory() noexcept { return *memory_; }
+
  private:
   [[nodiscard]] sim::Process produce(util::Bytes total,
                                      sim::Channel<std::uint64_t>& buffer,
@@ -98,7 +144,10 @@ class IcapController {
   Port port_;
   IcapTiming timing_;
   sim::Semaphore icapBusy_;
+  IcapFaultHook faultHook_{};
+  IcapWriteFaultHook writeFaultHook_{};
   std::uint64_t loads_ = 0;
+  std::uint64_t abortedLoads_ = 0;
   std::uint64_t bytesWritten_ = 0;
   util::Time contention_;
   std::map<const bitstream::Bitstream*, util::Bytes> wireBytesCache_;

@@ -10,8 +10,13 @@
 
 #include "bitstream/library.hpp"
 #include "config/icap_controller.hpp"
+#include "config/recovery.hpp"
 #include "config/vendor_api.hpp"
 #include "fabric/floorplan.hpp"
+
+namespace prtr::sim {
+class Timeline;
+}  // namespace prtr::sim
 
 namespace prtr::config {
 
@@ -52,7 +57,45 @@ class Manager {
     return *floorplan_;
   }
 
+  // ---- fault recovery (recovery.hpp, src/fault) ------------------------
+
+  void setRecoveryPolicy(const RecoveryPolicy& policy) noexcept {
+    recovery_ = policy;
+  }
+  [[nodiscard]] const RecoveryPolicy& recoveryPolicy() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] const RecoveryStats& recoveryStats() const noexcept {
+    return recoveryStats_;
+  }
+  /// Optional timeline receiving "recovery" lane spans (backoff / verify /
+  /// repair intervals). Null disables tracing.
+  void setRecoveryTimeline(sim::Timeline* timeline) noexcept {
+    recoveryTimeline_ = timeline;
+  }
+
+  /// Coroutine: fullConfigure with bounded retry/backoff over injected
+  /// transient faults. With recovery disabled, identical to fullConfigure.
+  [[nodiscard]] sim::Process fullConfigureRecovering(
+      const bitstream::Bitstream& stream);
+
+  /// Coroutine: loads `module` into PRR `prrIndex` under the recovery
+  /// policy — retry with exponential backoff per ladder rung, post-load
+  /// readback-verify with frame-granular repair, and rung escalation
+  /// (difference partial -> module partial -> full-PRR reload -> full
+  /// device). Lands on some rung (recorded in recoveryStats) or throws
+  /// util::FaultError once the ladder is exhausted. With recovery disabled,
+  /// identical to loadModule on the module-based stream.
+  [[nodiscard]] sim::Process loadModuleRecovering(std::size_t prrIndex,
+                                                  bitstream::ModuleId module,
+                                                  const RecoveryStreams& streams);
+
  private:
+  [[nodiscard]] sim::Process verifyAndRepair(const bitstream::Bitstream& stream,
+                                             bool& ok);
+  [[nodiscard]] bool shouldVerify(std::uint64_t upsetsBefore) const;
+  void recordRecoverySpan(const char* label, char glyph, util::Time start);
+
   sim::Simulator* sim_;
   const fabric::Floorplan* floorplan_;
   VendorApi* api_;
@@ -61,6 +104,9 @@ class Manager {
   std::vector<bool> busy_;
   std::uint64_t nFull_ = 0;
   std::uint64_t nPartial_ = 0;
+  RecoveryPolicy recovery_{};
+  RecoveryStats recoveryStats_{};
+  sim::Timeline* recoveryTimeline_ = nullptr;
 };
 
 }  // namespace prtr::config

@@ -81,6 +81,29 @@ void ConfigMemory::injectUpset(std::uint32_t frame, std::uint32_t offset,
   ++upsets_;
 }
 
+std::uint64_t ConfigMemory::repairFrames(
+    const bitstream::ParsedStream& stream,
+    const std::vector<std::uint32_t>& frames) {
+  util::require(!image_.empty(),
+                "ConfigMemory: enableReadback() before repairing frames");
+  if (frames.empty()) return 0;
+  std::vector<std::uint32_t> wanted = frames;
+  std::sort(wanted.begin(), wanted.end());
+  const std::uint32_t frameBytes = device_->geometry().encoding().frameBytes;
+  std::uint64_t repaired = 0;
+  for (const auto& write : stream.writes) {
+    if (!std::binary_search(wanted.begin(), wanted.end(), write.frame)) {
+      continue;
+    }
+    std::copy(write.payload.begin(), write.payload.end(),
+              image_.begin() + static_cast<std::ptrdiff_t>(
+                                   std::uint64_t{write.frame} * frameBytes));
+    ++repaired;
+  }
+  framesWritten_ += repaired;
+  return repaired;
+}
+
 void ConfigMemory::reset() noexcept {
   frameOwner_.assign(frameOwner_.size(), 0);
   done_ = false;

@@ -64,6 +64,13 @@ class ConfigMemory {
     return upsets_;
   }
 
+  /// Rewrites the listed frames with their golden payloads from `stream`
+  /// (which must contain a write for each of them) — the frame-granular
+  /// repair primitive of the recovery runtime. Requires enableReadback().
+  /// Returns the number of frames actually rewritten.
+  std::uint64_t repairFrames(const bitstream::ParsedStream& stream,
+                             const std::vector<std::uint32_t>& frames);
+
   /// Parses `stream` once and caches the result by identity, so repeated
   /// loads of the same library stream do not re-walk megabytes of CRC.
   /// The stream must outlive this ConfigMemory (the bitstream::Library

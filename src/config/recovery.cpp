@@ -1,0 +1,25 @@
+#include "config/recovery.hpp"
+
+namespace prtr::config {
+
+const char* toString(VerifyMode mode) noexcept {
+  switch (mode) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kOnFault: return "on-fault";
+    case VerifyMode::kAlways: return "always";
+  }
+  return "?";
+}
+
+const char* toString(RecoveryRung rung) noexcept {
+  switch (rung) {
+    case RecoveryRung::kNone: return "none";
+    case RecoveryRung::kDifferencePartial: return "difference-partial";
+    case RecoveryRung::kModulePartial: return "module-partial";
+    case RecoveryRung::kFullPrrReload: return "full-prr-reload";
+    case RecoveryRung::kFullDevice: return "full-device";
+  }
+  return "?";
+}
+
+}  // namespace prtr::config

@@ -1,0 +1,98 @@
+#pragma once
+/// \file recovery.hpp
+/// Recovery policy for configuration loads under transient faults.
+///
+/// The paper's model (Eqs. 6-7) assumes every load succeeds; the fault layer
+/// (src/fault) breaks that assumption deliberately. This header defines what
+/// config::Manager does about it: post-load readback-verify (CRC over the
+/// written frames), bounded retry with exponential backoff in *simulated*
+/// time, and a graceful-degradation ladder that trades configuration cost for
+/// certainty — difference-based partial, module-based partial, full-PRR
+/// reload, and finally an FRTR-style full-device fallback. A recovering load
+/// either lands on some rung or throws util::FaultError after the ladder is
+/// exhausted; it never deadlocks and always reports where it landed.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace prtr::bitstream {
+class Bitstream;
+}  // namespace prtr::bitstream
+
+namespace prtr::config {
+
+/// When a successful load is followed by a readback-verify pass.
+enum class VerifyMode : std::uint8_t {
+  kOff,      ///< never verify (trust the write)
+  kOnFault,  ///< verify only when upsets were injected during the load window
+  kAlways,   ///< verify every recovering load
+};
+
+[[nodiscard]] const char* toString(VerifyMode mode) noexcept;
+
+/// Rungs of the degradation ladder, cheapest first. `kNone` means no
+/// recovering load has completed yet.
+enum class RecoveryRung : std::uint8_t {
+  kNone = 0,
+  kDifferencePartial,  ///< difference-based partial (smallest stream)
+  kModulePartial,      ///< module-based partial (full PRR frame set)
+  kFullPrrReload,      ///< occupancy-1.0 rewrite of every frame in the PRR
+  kFullDevice,         ///< FRTR fallback: full configuration + module partial
+};
+
+inline constexpr std::size_t kRecoveryRungCount = 5;
+
+[[nodiscard]] const char* toString(RecoveryRung rung) noexcept;
+
+/// Knobs consumed by config::Manager and the runtime executors.
+struct RecoveryPolicy {
+  bool enabled = false;
+  /// Retries per rung beyond the first attempt (so maxRetries = 3 means at
+  /// most 4 attempts on each rung before escalating).
+  std::uint32_t maxRetries = 3;
+  /// Frame-granular verify-repair rounds per attempt before the attempt is
+  /// declared failed.
+  std::uint32_t maxRepairRounds = 4;
+  /// Backoff before retry k (1-based) is backoffBase * backoffFactor^(k-1),
+  /// spent as simulated time.
+  util::Time backoffBase = util::Time::microseconds(50);
+  double backoffFactor = 2.0;
+  VerifyMode verify = VerifyMode::kOnFault;
+  /// When false, a load exhausts its retries on the entry rung and throws
+  /// instead of escalating.
+  bool ladder = true;
+};
+
+/// Aggregate recovery accounting, scraped into recovery.* metrics.
+struct RecoveryStats {
+  std::uint64_t requests = 0;        ///< recovering loads started
+  std::uint64_t attempts = 0;        ///< individual load attempts
+  std::uint64_t retries = 0;         ///< attempts beyond the first on a rung
+  std::uint64_t faultsAbsorbed = 0;  ///< FaultErrors caught and retried
+  std::uint64_t verifications = 0;
+  std::uint64_t verifyFailures = 0;  ///< verify passes that found corruption
+  std::uint64_t frameRepairs = 0;    ///< frames rewritten by repair rounds
+  std::uint64_t escalations = 0;     ///< rung-to-rung ladder climbs
+  std::uint64_t fullDeviceFallbacks = 0;
+  /// Successful loads per rung, indexed by RecoveryRung.
+  std::array<std::uint64_t, kRecoveryRungCount> landedOnRung{};
+  /// Worst (heaviest) rung any request landed on.
+  RecoveryRung degradedTo = RecoveryRung::kNone;
+  util::Time backoffTime = util::Time::zero();
+  util::Time verifyTime = util::Time::zero();
+  util::Time repairTime = util::Time::zero();
+};
+
+/// The streams a recovering module load may fall back to. `modulePartial`
+/// is mandatory; null entries are skipped when climbing the ladder.
+struct RecoveryStreams {
+  const bitstream::Bitstream* difference = nullptr;
+  const bitstream::Bitstream* modulePartial = nullptr;
+  const bitstream::Bitstream* fullPrr = nullptr;
+  const bitstream::Bitstream* fullDevice = nullptr;
+};
+
+}  // namespace prtr::config

@@ -50,6 +50,10 @@ sim::Process Scrubber::run(std::uint64_t passes) {
     const auto corrupted = verifyRegion(*memory_, *golden_);
     if (!corrupted.empty()) {
       stats_.upsetsDetected += corrupted.size();
+      // Blind-window model: without injection timestamps the best estimate
+      // of exposure is half a scrub period per detected upset.
+      stats_.approxExposure +=
+          period_ * (0.5 * static_cast<double>(corrupted.size()));
       // Repair: reload the golden stream (module-based partial; frame-
       // granular repair would be cheaper but the full-region reload is
       // what the paper's controller can do).
@@ -57,6 +61,17 @@ sim::Process Scrubber::run(std::uint64_t passes) {
       co_await icap_->load(*golden_);
       stats_.repairTime += sim_->now() - repairStart;
       ++stats_.repairs;
+      if (injector_ != nullptr) {
+        // The injector knows when each pending upset actually landed, so
+        // report the true injection->repair latency alongside the model.
+        for (const std::uint32_t frame : corrupted) {
+          if (const auto injected = injector_->injectionTime(frame)) {
+            stats_.observedExposure += sim_->now() - *injected;
+            ++stats_.observedUpsets;
+            injector_->acknowledgeRepair(frame);
+          }
+        }
+      }
     }
   }
 }
@@ -88,7 +103,19 @@ sim::Process UpsetInjector::run(util::Time horizon) {
     const auto bit = static_cast<std::uint8_t>(1u << rng_.below(8));
     memory_->injectUpset(frame, offset, bit);
     ++injected_;
+    pending_.emplace(frame, sim_->now());  // keeps the earliest pending hit
   }
+}
+
+std::optional<util::Time> UpsetInjector::injectionTime(
+    std::uint32_t frame) const {
+  const auto it = pending_.find(frame);
+  if (it == pending_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UpsetInjector::acknowledgeRepair(std::uint32_t frame) noexcept {
+  pending_.erase(frame);
 }
 
 }  // namespace prtr::config

@@ -9,6 +9,8 @@
 /// one more consumer of the bandwidth the paper's model prices.
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <vector>
 
 #include "bitstream/format.hpp"
@@ -34,11 +36,20 @@ struct ScrubStats {
   std::uint64_t repairs = 0;
   util::Time readbackTime;
   util::Time repairTime;
-  /// Accumulated exposure: sum over detected upsets of (detection time -
-  /// nothing-known injection time is unavailable) -- approximated as one
-  /// half scrub period per detected upset by the caller.
+  /// Blind-window approximation of accumulated exposure: half a scrub
+  /// period per detected upset (the expected wait when injection times are
+  /// unknown). Always reported.
+  util::Time approxExposure;
+  /// Actual accumulated injection->repair latency, for the detected upsets
+  /// whose injection timestamp an attached UpsetInjector recorded. Compare
+  /// against approxExposure to judge the blind-window model.
+  util::Time observedExposure;
+  /// Detected corrupted frames with a known injection timestamp.
+  std::uint64_t observedUpsets = 0;
   util::Time busyTime() const noexcept { return readbackTime + repairTime; }
 };
+
+class UpsetInjector;
 
 /// Periodic scrubber over one region; runs as a simulator process.
 class Scrubber {
@@ -53,6 +64,13 @@ class Scrubber {
   /// any frame is corrupted.
   [[nodiscard]] sim::Process run(std::uint64_t passes);
 
+  /// Attaches the upset source so repairs can report the *actual*
+  /// injection->repair latency (ScrubStats::observedExposure) instead of
+  /// only the blind-window approximation. Null detaches.
+  void observeInjector(UpsetInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
   [[nodiscard]] const ScrubStats& stats() const noexcept { return stats_; }
 
  private:
@@ -62,6 +80,7 @@ class Scrubber {
   const fabric::Device* device_;
   const bitstream::Bitstream* golden_;
   util::Time period_;
+  UpsetInjector* injector_ = nullptr;
   ScrubStats stats_;
 };
 
@@ -77,6 +96,15 @@ class UpsetInjector {
 
   [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
 
+  /// Injection time of the earliest still-unrepaired upset in `frame`,
+  /// if one was recorded.
+  [[nodiscard]] std::optional<util::Time> injectionTime(
+      std::uint32_t frame) const;
+
+  /// Called by the scrubber once `frame` has been repaired; forgets the
+  /// pending timestamp so the next upset starts a fresh window.
+  void acknowledgeRepair(std::uint32_t frame) noexcept;
+
  private:
   sim::Simulator* sim_;
   ConfigMemory* memory_;
@@ -84,6 +112,8 @@ class UpsetInjector {
   util::Time meanInterArrival_;
   util::Rng rng_;
   std::uint64_t injected_ = 0;
+  /// Earliest pending injection time per corrupted frame.
+  std::map<std::uint32_t, util::Time> pending_;
 };
 
 }  // namespace prtr::config

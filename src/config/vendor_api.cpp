@@ -9,6 +9,7 @@ const char* toString(ApiStatus status) noexcept {
     case ApiStatus::kOk: return "ok";
     case ApiStatus::kRejectedSize: return "rejected(size)";
     case ApiStatus::kRejectedDone: return "rejected(done)";
+    case ApiStatus::kTransientFault: return "transient-fault";
   }
   return "?";
 }
@@ -31,6 +32,14 @@ sim::Process VendorApi::load(const bitstream::Bitstream& stream,
   if (status != ApiStatus::kOk) {
     // The driver still burns its setup time before failing the checks.
     ++rejects_;
+    co_await sim_->delay(timing_.fixedOverhead);
+    co_return;
+  }
+  if (faultHook_ && faultHook_(stream)) {
+    // An injected transient driver fault: the call fails after the setup
+    // overhead, like a stock rejection, but is retryable.
+    status = ApiStatus::kTransientFault;
+    ++transientFaults_;
     co_await sim_->delay(timing_.fixedOverhead);
     co_return;
   }

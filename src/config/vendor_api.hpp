@@ -19,6 +19,8 @@
 /// SelectMap port could sustain.
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "bitstream/format.hpp"
 #include "config/memory.hpp"
@@ -32,11 +34,16 @@ namespace prtr::config {
 /// Result codes returned by the emulated API.
 enum class ApiStatus : std::uint8_t {
   kOk,
-  kRejectedSize,  ///< bitstream size != full bitstream size
-  kRejectedDone,  ///< DONE signal check failed (already-configured device)
+  kRejectedSize,    ///< bitstream size != full bitstream size
+  kRejectedDone,    ///< DONE signal check failed (already-configured device)
+  kTransientFault,  ///< injected driver-level fault (see src/fault)
 };
 
 [[nodiscard]] const char* toString(ApiStatus status) noexcept;
+
+/// Consulted once per admitted load; returning true makes the driver fail
+/// the load with kTransientFault after burning its fixed overhead.
+using ApiFaultHook = std::function<bool(const bitstream::Bitstream&)>;
 
 /// Timing of the driver path.
 struct ApiTiming {
@@ -76,15 +83,24 @@ class VendorApi {
   }
   /// Loads the stock admission checks turned away.
   [[nodiscard]] std::uint64_t rejectedLoads() const noexcept { return rejects_; }
+  /// Loads failed by an injected transient driver fault.
+  [[nodiscard]] std::uint64_t transientFaults() const noexcept {
+    return transientFaults_;
+  }
+
+  /// Installs (or clears, with nullptr) the transient-fault hook.
+  void setFaultHook(ApiFaultHook hook) { faultHook_ = std::move(hook); }
 
  private:
   sim::Simulator* sim_;
   ConfigMemory* memory_;
   ApiTiming timing_;
   bool modifiedLoader_;
+  ApiFaultHook faultHook_{};
   std::uint64_t loads_ = 0;
   std::uint64_t bytesWritten_ = 0;
   std::uint64_t rejects_ = 0;
+  std::uint64_t transientFaults_ = 0;
 };
 
 }  // namespace prtr::config

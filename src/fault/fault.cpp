@@ -1,0 +1,35 @@
+#include "fault/fault.hpp"
+
+namespace prtr::fault {
+
+const char* toString(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLinkStall: return "link-stall";
+    case FaultKind::kWordFlip: return "word-flip";
+    case FaultKind::kTransferTimeout: return "transfer-timeout";
+    case FaultKind::kIcapAbort: return "icap-abort";
+    case FaultKind::kApiReject: return "api-reject";
+  }
+  return "?";
+}
+
+const char* metricSuffix(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLinkStall: return "link_stall";
+    case FaultKind::kWordFlip: return "word_flip";
+    case FaultKind::kTransferTimeout: return "transfer_timeout";
+    case FaultKind::kIcapAbort: return "icap_abort";
+    case FaultKind::kApiReject: return "api_reject";
+  }
+  return "?";
+}
+
+const char* toString(Arrival arrival) noexcept {
+  switch (arrival) {
+    case Arrival::kPoisson: return "poisson";
+    case Arrival::kFixedPeriod: return "fixed";
+  }
+  return "?";
+}
+
+}  // namespace prtr::fault

@@ -1,0 +1,69 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic fault-injection plans for the XD1 configuration path.
+///
+/// The paper's measurements (SelectMap/ICAP transfers over the RapidArray
+/// link) are exactly where real HPRC deployments see transient faults; the
+/// model in Eqs. 6-7 assumes they never happen. A fault::Plan describes, per
+/// node, which fault kinds are injected and at what rate; fault::Injector
+/// (injector.hpp) attaches the plan to the simulation's fault hooks. All
+/// randomness comes from one seeded util::Rng drawn in simulation event
+/// order, so every run is reproducible byte-for-byte at any thread count
+/// through the exec pool (each scenario side owns its own Simulator, Node
+/// and Injector; nothing is shared across threads).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace prtr::fault {
+
+/// The injectable fault taxonomy (see src/fault/README.md).
+enum class FaultKind : std::uint8_t {
+  kLinkStall,        ///< link transfer held extra time (congestion/retrain)
+  kWordFlip,         ///< configuration word corrupted in flight (SEU-like)
+  kTransferTimeout,  ///< host->ICAP pipeline times out mid-stream
+  kIcapAbort,        ///< ICAP aborts the load (sync-word loss)
+  kApiReject,        ///< vendor API fails an admitted load transiently
+};
+
+inline constexpr std::size_t kFaultKindCount = 5;
+
+[[nodiscard]] const char* toString(FaultKind kind) noexcept;
+
+/// Suffix used for the fault.injected.<suffix> obs metric of `kind`.
+[[nodiscard]] const char* metricSuffix(FaultKind kind) noexcept;
+
+/// Arrival model for fault events.
+enum class Arrival : std::uint8_t {
+  kPoisson,      ///< independent per-event draws (rates are probabilities)
+  kFixedPeriod,  ///< deterministic schedule: every Nth eligible event faults
+};
+
+[[nodiscard]] const char* toString(Arrival arrival) noexcept;
+
+/// A seed-driven description of what goes wrong and how often. All rates
+/// default to zero: the default plan injects nothing and installs no hooks.
+struct Plan {
+  std::uint64_t seed = 0x5EEDu;
+  Arrival arrival = Arrival::kPoisson;
+  /// kFixedPeriod: every `fixedPeriod`-th eligible event faults.
+  std::uint64_t fixedPeriod = 2;
+
+  double linkStallRate = 0.0;  ///< probability per link transfer
+  util::Time stallDuration = util::Time::microseconds(100);
+  double wordFlipRate = 0.0;         ///< probability per 32-bit word written
+  double transferTimeoutRate = 0.0;  ///< probability per ICAP load
+  double icapAbortRate = 0.0;        ///< probability per ICAP load
+  double apiRejectRate = 0.0;        ///< probability per vendor-API load
+
+  /// True when any fault kind can fire.
+  [[nodiscard]] bool active() const noexcept {
+    return linkStallRate > 0.0 || wordFlipRate > 0.0 ||
+           transferTimeoutRate > 0.0 || icapAbortRate > 0.0 ||
+           apiRejectRate > 0.0;
+  }
+};
+
+}  // namespace prtr::fault

@@ -42,6 +42,35 @@ void scrapeExecutionMetrics(ExecutionReport& report, xd1::Node& node,
   reg.add("config.full_configs", node.manager().fullConfigCount());
   reg.add("config.partial_configs", node.manager().partialConfigCount());
 
+  // Fault/recovery gauges only appear when the fault layer is in play, so
+  // healthy baselines keep their pre-existing snapshot byte-for-byte.
+  if (node.injector() != nullptr) {
+    const fault::Injector& injector = *node.injector();
+    for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+      const auto kind = static_cast<fault::FaultKind>(k);
+      reg.add(std::string("fault.injected.") + fault::metricSuffix(kind),
+              injector.injected(kind));
+    }
+    reg.add("fault.injected.total", injector.totalInjected());
+  }
+  if (node.manager().recoveryPolicy().enabled) {
+    const config::RecoveryStats& rs = node.manager().recoveryStats();
+    reg.add("recovery.requests", rs.requests);
+    reg.add("recovery.attempts", rs.attempts);
+    reg.add("recovery.retries", rs.retries);
+    reg.add("recovery.faults_absorbed", rs.faultsAbsorbed);
+    reg.add("recovery.verifications", rs.verifications);
+    reg.add("recovery.verify_failures", rs.verifyFailures);
+    reg.add("recovery.frame_repairs", rs.frameRepairs);
+    reg.add("recovery.escalations", rs.escalations);
+    reg.add("recovery.full_device_fallbacks", rs.fullDeviceFallbacks);
+    reg.add("recovery.degraded_to",
+            static_cast<std::uint64_t>(rs.degradedTo));
+    reg.add("recovery.backoff_ps", asCount(rs.backoffTime));
+    reg.add("recovery.verify_ps", asCount(rs.verifyTime));
+    reg.add("recovery.repair_ps", asCount(rs.repairTime));
+  }
+
   if (cache != nullptr) {
     std::string policy = cache->policyName();
     for (char& c : policy) {
@@ -84,6 +113,8 @@ sim::Process FrtrExecutor::fullLoad() {
   const util::Time start = sim.now();
   if (options_.basis == model::ConfigTimeBasis::kEstimated) {
     co_await sim.delay(estimatedFullTime(*node_));
+  } else if (node_->manager().recoveryPolicy().enabled) {
+    co_await node_->manager().fullConfigureRecovering(library_->full());
   } else {
     co_await node_->manager().fullConfigure(library_->full());
   }
@@ -127,6 +158,7 @@ sim::Process FrtrExecutor::execute(const tasks::Workload& workload) {
 ExecutionReport FrtrExecutor::run(const tasks::Workload& workload) {
   report_ = ExecutionReport{};
   report_.executor = "FRTR";
+  node_->manager().setRecoveryTimeline(options_.timeline);
   auto& sim = node_->sim();
   const util::Time start = sim.now();
   sim.spawn(execute(workload));
@@ -157,6 +189,8 @@ sim::Process PrtrExecutor::fullLoad() {
   const util::Time start = sim.now();
   if (options_.basis == model::ConfigTimeBasis::kEstimated) {
     co_await sim.delay(estimatedFullTime(*node_));
+  } else if (node_->manager().recoveryPolicy().enabled) {
+    co_await node_->manager().fullConfigureRecovering(library_->full());
   } else {
     co_await node_->manager().fullConfigure(library_->full());
   }
@@ -174,6 +208,17 @@ sim::Process PrtrExecutor::partialLoad(std::size_t prr,
   const util::Time start = sim.now();
   if (options_.basis == model::ConfigTimeBasis::kEstimated) {
     co_await sim.delay(estimatedPartialTime(*node_, prr));
+  } else if (node_->manager().recoveryPolicy().enabled) {
+    // Entry rung is the module partial (same stream a non-recovering load
+    // would transfer, so a fault-free run stays bit-identical); the ladder
+    // rungs are only materialized when escalation is allowed at all.
+    config::RecoveryStreams streams;
+    streams.modulePartial = &library_->modulePartial(prr, fn.id);
+    if (node_->manager().recoveryPolicy().ladder) {
+      streams.fullPrr = &library_->prrReload(prr, fn.id);
+      streams.fullDevice = &library_->full();
+    }
+    co_await node_->manager().loadModuleRecovering(prr, fn.id, streams);
   } else {
     co_await node_->manager().loadModule(prr, fn.id,
                                          library_->modulePartial(prr, fn.id));
@@ -357,6 +402,7 @@ sim::Process PrtrExecutor::execute(const tasks::Workload& workload) {
 ExecutionReport PrtrExecutor::run(const tasks::Workload& workload) {
   report_ = ExecutionReport{};
   report_.executor = "PRTR";
+  node_->manager().setRecoveryTimeline(options_.timeline);
   roundRobinSlot_ = 0;
   executingPrr_.reset();
   prep_.reset();

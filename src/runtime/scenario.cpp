@@ -17,6 +17,8 @@ namespace {
 xd1::NodeConfig nodeConfigFor(const ScenarioOptions& options) {
   xd1::NodeConfig nodeConfig;
   nodeConfig.layout = options.layout;
+  nodeConfig.faults = options.faults;
+  nodeConfig.recovery = options.recovery;
   if (options.artifacts != nullptr) {
     exec::ArtifactCache* cache = options.artifacts;
     nodeConfig.floorplanSource =

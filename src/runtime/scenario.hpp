@@ -15,6 +15,8 @@
 #include <optional>
 #include <string>
 
+#include "config/recovery.hpp"
+#include "fault/fault.hpp"
 #include "model/model.hpp"
 #include "obs/hooks.hpp"
 #include "runtime/executor.hpp"
@@ -24,6 +26,10 @@ class ArtifactCache;
 }  // namespace prtr::exec
 
 namespace prtr::runtime {
+
+/// The recovery knobs live with the configuration machinery that executes
+/// them; the runtime re-exports the type as its own vocabulary.
+using RecoveryPolicy = config::RecoveryPolicy;
 
 /// Which executors a scenario run instantiates.
 enum class ScenarioSides : std::uint8_t {
@@ -52,6 +58,14 @@ struct ScenarioOptions {
   /// Hit ratio for model derivations that do not execute the scenario
   /// (deriveModelParams). Unset = use forceMiss semantics (H = 0).
   std::optional<double> assumedHitRatio;
+  /// Fault-injection plan for both sides' nodes. The default (all rates
+  /// zero) installs no hooks; outputs are bit-identical to a build without
+  /// the fault layer.
+  fault::Plan faults{};
+  /// Recovery policy (retry/backoff, readback-verify, degradation ladder)
+  /// handed to each node's config::Manager and honoured by the executors'
+  /// measured-basis loads. Disabled by default.
+  RecoveryPolicy recovery{};
   /// Observability: timelines, metrics sink, trace exporter.
   obs::Hooks hooks{};
   /// Memoizes floorplans and bitstreams across runs (sweeps set this to

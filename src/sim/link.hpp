@@ -5,7 +5,11 @@
 /// latency + size/rate. Used for the XD1 RapidArray/HyperTransport channels
 /// (one instance per direction — the "dual channel link" of paper §4.1).
 
+#include <exception>
+#include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
@@ -13,6 +17,22 @@
 #include "util/units.hpp"
 
 namespace prtr::sim {
+
+class SimplexLink;
+
+/// Fault imposed on a single transfer by an attached hook (see src/fault):
+/// an extra stall served while holding the link, and/or an abort that burns
+/// wire time for `completedBytes` and then rethrows `abort`.
+struct TransferFault {
+  util::Time stall = util::Time::zero();
+  util::Bytes completedBytes{};  ///< only meaningful when `abort` is set
+  std::exception_ptr abort{};
+};
+
+/// Consulted once per transfer, after the link is acquired. Returning
+/// nullopt leaves the transfer untouched.
+using TransferFaultHook =
+    std::function<std::optional<TransferFault>(const SimplexLink&, util::Bytes)>;
 
 /// One-direction link; transfers serialize FIFO.
 class SimplexLink {
@@ -38,10 +58,25 @@ class SimplexLink {
   [[nodiscard]] Process transfer(util::Bytes size) {
     co_await busy_.acquire();
     ScopedPermit permit{busy_};
+    if (faultHook_) {
+      if (auto fault = faultHook_(*this, size)) {
+        if (fault->stall > util::Time::zero()) {
+          co_await sim_->delay(fault->stall);
+        }
+        if (fault->abort) {
+          co_await sim_->delay(occupancy(fault->completedBytes));
+          totalBytes_ += fault->completedBytes;
+          std::rethrow_exception(fault->abort);
+        }
+      }
+    }
     co_await sim_->delay(occupancy(size));
     totalBytes_ += size;
     ++totalTransfers_;
   }
+
+  /// Installs (or clears, with nullptr) the per-transfer fault hook.
+  void setFaultHook(TransferFaultHook hook) { faultHook_ = std::move(hook); }
 
   [[nodiscard]] util::Bytes totalBytes() const noexcept { return totalBytes_; }
   [[nodiscard]] std::uint64_t totalTransfers() const noexcept {
@@ -54,6 +89,7 @@ class SimplexLink {
   util::DataRate rate_;
   util::Time latency_;
   Semaphore busy_;
+  TransferFaultHook faultHook_{};
   util::Bytes totalBytes_{};
   std::uint64_t totalTransfers_ = 0;
 };

@@ -49,6 +49,15 @@ class SimulationError : public Error {
   using Error::Error;
 };
 
+/// A transient, injected hardware or transport fault (see src/fault). The
+/// recovery runtime in config::Manager absorbs these via retry/backoff and
+/// the degradation ladder; without a recovery policy they surface to the
+/// caller like any other error.
+class FaultError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Throws DomainError with `message` when `condition` is false.
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw DomainError{message};

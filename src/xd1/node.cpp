@@ -51,6 +51,23 @@ Node::Node(sim::Simulator& sim, NodeConfig config)
   icap_ = std::make_unique<config::IcapController>(
       sim, *memory_, *linkIn_, config::makeIcapV2(), config_.icapTiming);
   manager_ = std::make_unique<config::Manager>(sim, *floorplan_, *api_, *icap_);
+  manager_->setRecoveryPolicy(config_.recovery);
+
+  // Word flips and readback-verify both need the frame image retained.
+  // Enabling readback changes memory cost only, never event timing, so the
+  // healthy-path outputs stay bit-identical.
+  if (config_.faults.wordFlipRate > 0.0 ||
+      (config_.recovery.enabled &&
+       config_.recovery.verify != config::VerifyMode::kOff)) {
+    memory_->enableReadback();
+  }
+  if (config_.faults.active()) {
+    injector_ = std::make_unique<fault::Injector>(config_.faults);
+    injector_->attach(*linkIn_);
+    injector_->attach(*linkOut_);
+    injector_->attach(*icap_);
+    injector_->attach(*api_);
+  }
 
   for (int i = 0; i < 4; ++i) {
     banks_.push_back(std::make_unique<QdrBank>(sim, "bank" + std::to_string(i)));

@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "config/manager.hpp"
+#include "config/recovery.hpp"
 #include "fabric/floorplan.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "sim/link.hpp"
 #include "sim/simulator.hpp"
 #include "xd1/memory_bank.hpp"
@@ -44,6 +47,11 @@ struct NodeConfig {
   config::IcapTiming icapTiming{};
   /// Optional memoizing floorplan provider (see FloorplanSource).
   FloorplanSource floorplanSource{};
+  /// Fault-injection plan; the default (all rates zero) installs no hooks
+  /// and changes nothing about the simulation.
+  fault::Plan faults{};
+  /// Recovery policy handed to the configuration manager.
+  config::RecoveryPolicy recovery{};
 };
 
 /// The assembled blade. Owns every sub-component; non-movable (components
@@ -83,6 +91,11 @@ class Node {
   }
   [[nodiscard]] config::Manager& manager() noexcept { return *manager_; }
 
+  /// The node's fault injector, or null when the plan injects nothing.
+  [[nodiscard]] const fault::Injector* injector() const noexcept {
+    return injector_.get();
+  }
+
   [[nodiscard]] std::size_t bankCount() const noexcept { return banks_.size(); }
   [[nodiscard]] QdrBank& bank(std::size_t index) { return *banks_.at(index); }
 
@@ -105,6 +118,7 @@ class Node {
   std::unique_ptr<config::VendorApi> api_;
   std::unique_ptr<config::IcapController> icap_;
   std::unique_ptr<config::Manager> manager_;
+  std::unique_ptr<fault::Injector> injector_;
   std::vector<std::unique_ptr<QdrBank>> banks_;
 };
 

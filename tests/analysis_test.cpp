@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/figures.hpp"
 #include "analysis/parallel.hpp"
@@ -59,6 +63,34 @@ TEST(ParallelTest, SingleThreadFallback) {
   int sum = 0;
   parallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
   EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelTest, ShimsWarnOncePerCallSite) {
+  // Each deprecated shim logs one pointer at its exec:: replacement per
+  // distinct call site, then stays silent so hot sweep loops don't flood
+  // the log. Capture std::clog (the util::Log sink) around two sites.
+  std::ostringstream captured;
+  std::streambuf* const old = std::clog.rdbuf(captured.rdbuf());
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    parallelFor(4, [](std::size_t) {}, 1);  // one site, called three times
+  }
+  parallelFor(4, [](std::size_t) {}, 1);  // a second, distinct site
+  const std::vector<int> inputs{1, 2, 3};
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    (void)parallelMap(inputs, [](int x) { return x; }, 1);
+  }
+  std::clog.rdbuf(old);
+
+  const std::string log = captured.str();
+  std::size_t warnings = 0;
+  for (std::size_t pos = log.find(" is deprecated");
+       pos != std::string::npos; pos = log.find(" is deprecated", pos + 1)) {
+    ++warnings;
+  }
+  EXPECT_EQ(warnings, 3u);  // two parallelFor sites + one parallelMap site
+  EXPECT_NE(log.find("analysis::parallelFor"), std::string::npos);
+  EXPECT_NE(log.find("analysis::parallelMap"), std::string::npos);
+  EXPECT_NE(log.find("use exec::parallelFor instead"), std::string::npos);
 }
 
 TEST(LogGridTest, EndpointsAndMonotonicity) {

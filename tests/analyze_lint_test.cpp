@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analyze/checks_bitstream.hpp"
+#include "analyze/checks_fault.hpp"
 #include "analyze/checks_floorplan.hpp"
 #include "analyze/checks_model.hpp"
 #include "analyze/checks_scenario.hpp"
@@ -114,8 +115,11 @@ TEST(RuleCatalog, CodesAreGroupedSortedUniqueAndPrefixConsistent) {
     const std::string prefix = code.substr(0, 2);
     const Category expected = prefix == "FP"   ? Category::kFloorplan
                               : prefix == "BS" ? Category::kBitstream
-                                               : Category::kModel;
-    EXPECT_TRUE(prefix == "FP" || prefix == "BS" || prefix == "MD") << code;
+                              : prefix == "MD" ? Category::kModel
+                                               : Category::kFault;
+    EXPECT_TRUE(prefix == "FP" || prefix == "BS" || prefix == "MD" ||
+                prefix == "FT")
+        << code;
     EXPECT_EQ(rule.category, expected) << code;
     EXPECT_STRNE(rule.summary, "") << code;
     EXPECT_STRNE(rule.fixHint, "") << code;
@@ -139,17 +143,20 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
   std::size_t fp = 0;
   std::size_t bs = 0;
   std::size_t md = 0;
+  std::size_t ft = 0;
   for (const analyze::RuleInfo& rule : analyze::ruleCatalog()) {
     switch (rule.category) {
       case Category::kFloorplan: ++fp; break;
       case Category::kBitstream: ++bs; break;
       case Category::kModel: ++md; break;
+      case Category::kFault: ++ft; break;
     }
   }
   EXPECT_EQ(fp, 10u);
   EXPECT_EQ(bs, 11u);
   EXPECT_EQ(md, 12u);
-  EXPECT_GE(fp + bs + md, 12u);
+  EXPECT_EQ(ft, 10u);
+  EXPECT_GE(fp + bs + md + ft, 12u);
 }
 
 TEST(RuleCatalog, UnknownCodeThrows) {
@@ -166,6 +173,7 @@ TEST(RuleCatalog, MarkdownReferenceListsEveryCode) {
   EXPECT_NE(reference.find("## floorplan rules"), std::string::npos);
   EXPECT_NE(reference.find("## bitstream rules"), std::string::npos);
   EXPECT_NE(reference.find("## model rules"), std::string::npos);
+  EXPECT_NE(reference.find("## fault rules"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -643,6 +651,94 @@ TEST(ScenarioRules, KnownNameListsMatchTheRuntimeFactories) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault rules
+// ---------------------------------------------------------------------------
+
+analyze::FaultSpec parseFault(const std::string& text) {
+  std::istringstream in{text};
+  return analyze::parseFaultSpec(in);
+}
+
+TEST(FaultRules, ChaosSpecRoundtripsAndLintsClean) {
+  const analyze::FaultSpec spec = parseFault(
+      "# chaos sweep point\n"
+      "seed 42\n"
+      "arrival poisson\n"
+      "word-flip-rate 1e-4\n"
+      "abort-rate 0.01\n"
+      "recovery true\n"
+      "max-retries 2\n"
+      "verify on-fault\n"
+      "ladder true\n");
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.wordFlipRate, 1e-4);
+  const DiagnosticSink sink = analyze::lintFaultSpec(spec);
+  EXPECT_TRUE(sink.empty()) << sink.toText();
+
+  const auto [plan, recovery] = analyze::faultSpecToOptions(spec);
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_TRUE(plan.active());
+  EXPECT_TRUE(recovery.enabled);
+  EXPECT_EQ(recovery.maxRetries, 2u);
+  EXPECT_EQ(recovery.verify, config::VerifyMode::kOnFault);
+}
+
+TEST(FaultRules, SyntaxErrorsCarryTheLineNumber) {
+  EXPECT_THROW((void)parseFault("seed x\n"), util::DomainError);
+  try {
+    (void)parseFault("seed 1\n\nwobble 3\n");
+    FAIL() << "unknown key parsed";
+  } catch (const util::DomainError& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultRules, UnknownNamesAreFT004AndFT005) {
+  const DiagnosticSink sink =
+      analyze::lintFaultSpec(parseFault("arrival sometimes\nverify maybe\n"));
+  EXPECT_TRUE(sink.has("FT004")) << sink.toText();
+  EXPECT_TRUE(sink.has("FT005")) << sink.toText();
+  EXPECT_TRUE(sink.hasErrors());
+}
+
+TEST(FaultRules, NoOpPlanIsFT007WarningOnlyAtTheSpecBoundary) {
+  // A rate-0 plan with recovery enabled is the healthy-baseline chaos
+  // configuration: the spec front end warns (a spec file that injects
+  // nothing is probably a mistake) but the typed check stays silent so
+  // runScenario's strict hook accepts it.
+  const DiagnosticSink sink = analyze::lintFaultSpec(parseFault("recovery true\n"));
+  EXPECT_EQ(sink.codes(), (std::vector<std::string>{"FT007"})) << sink.toText();
+  EXPECT_FALSE(sink.hasErrors());
+
+  DiagnosticSink typed;
+  analyze::checkFaultOptions(fault::Plan{}, config::RecoveryPolicy{.enabled = true},
+                             typed);
+  EXPECT_TRUE(typed.empty()) << typed.toText();
+}
+
+TEST(FaultRules, FaultsWithoutRecoveryAreFT008Warning) {
+  fault::Plan plan;
+  plan.icapAbortRate = 0.01;
+  DiagnosticSink sink;
+  analyze::checkFaultOptions(plan, config::RecoveryPolicy{}, sink);
+  EXPECT_EQ(sink.codes(), (std::vector<std::string>{"FT008"})) << sink.toText();
+  EXPECT_FALSE(sink.hasErrors());
+}
+
+TEST(FaultRules, ScenarioStrictLintRejectsBadFaultOptions) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{1'000'000});
+  runtime::ScenarioOptions options;
+  options.sides = runtime::ScenarioSides::kPrtrOnly;
+  options.faults.icapAbortRate = 1.5;  // FT001 (error)
+  options.recovery.enabled = true;
+  EXPECT_THROW((void)runtime::runScenario(registry, workload, options),
+               util::DomainError);
+}
+
+// ---------------------------------------------------------------------------
 // Spec front end and lintAll
 // ---------------------------------------------------------------------------
 
@@ -841,6 +937,28 @@ TEST(RuleCoverage, EveryDocumentedCodeIsEmittableByAChecker) {
     DiagnosticSink sink2;
     analyze::checkScenarioNames("clock", "psychic", sink2);  // MD011, MD012
     collect(sink2);
+  }
+  {  // Fault plan + recovery policy.
+    fault::Plan plan;
+    plan.wordFlipRate = 2.0;                  // FT001 (and > 1e-2 -> FT010)
+    plan.linkStallRate = 0.5;
+    plan.stallDuration = util::Time::zero();  // FT002
+    plan.arrival = fault::Arrival::kFixedPeriod;
+    plan.fixedPeriod = 0;                     // FT003
+    DiagnosticSink sink;
+    analyze::checkFaultOptions(plan, config::RecoveryPolicy{}, sink);  // FT008
+    collect(sink);
+    config::RecoveryPolicy dead;
+    dead.enabled = true;
+    dead.maxRetries = 0;
+    dead.ladder = false;       // FT009
+    dead.backoffFactor = 0.5;  // FT006
+    DiagnosticSink sink2;
+    analyze::checkFaultOptions(fault::Plan{}, dead, sink2);
+    collect(sink2);
+    std::istringstream bad{"arrival sometimes\nverify maybe\n"};
+    collect(analyze::lintFaultSpec(
+        analyze::parseFaultSpec(bad)));  // FT004, FT005, FT007
   }
 
   for (const analyze::RuleInfo& rule : analyze::ruleCatalog()) {

@@ -127,6 +127,60 @@ TEST_F(ScrubFixture, ResetClearsImageAndCounters) {
   for (const auto byte : content) EXPECT_EQ(byte, 0);
 }
 
+TEST_F(ScrubFixture, ApproxExposureIsHalfPeriodPerDetectedUpset) {
+  // Without an attached injector the scrubber can only report the
+  // blind-window model: half a scrub period per detected upset.
+  const auto part = builder_.buildModulePartial(plan_.prr(0), 7);
+  memory_.applyPartial(bitstream::parse(part, plan_.device()));
+  const fabric::FrameRange range = plan_.prr(0).frames(plan_.device());
+
+  Scrubber scrubber{sim_, memory_, icap_, plan_.device(), part,
+                    util::Time::milliseconds(100)};
+  auto inject = [&]() -> sim::Process {
+    co_await sim_.delay(util::Time::milliseconds(150));
+    memory_.injectUpset(range.first + 3, 9, 0x01);
+  };
+  sim_.spawn(inject());
+  sim_.spawn(scrubber.run(3));
+  sim_.run();
+
+  const ScrubStats& stats = scrubber.stats();
+  EXPECT_EQ(stats.upsetsDetected, 1u);
+  EXPECT_EQ(stats.approxExposure, util::Time::milliseconds(50));
+  EXPECT_EQ(stats.observedUpsets, 0u);  // nobody recorded injection times
+  EXPECT_EQ(stats.observedExposure, util::Time::zero());
+}
+
+TEST_F(ScrubFixture, ObservedExposureReportsActualLatencyAlongsideModel) {
+  // With the upset source attached, repairs report the true injection->
+  // repair latency next to the half-period approximation, so the blind-
+  // window model can be judged instead of trusted.
+  const auto part = builder_.buildModulePartial(plan_.prr(0), 7);
+  memory_.applyPartial(bitstream::parse(part, plan_.device()));
+  const fabric::FrameRange range = plan_.prr(0).frames(plan_.device());
+
+  UpsetInjector injector{sim_, memory_, range, util::Time::milliseconds(20),
+                         42};
+  Scrubber scrubber{sim_, memory_, icap_, plan_.device(), part,
+                    util::Time::milliseconds(50)};
+  scrubber.observeInjector(&injector);
+  sim_.spawn(injector.run(util::Time::milliseconds(400)));
+  sim_.spawn(scrubber.run(10));
+  sim_.run();
+
+  const ScrubStats& stats = scrubber.stats();
+  ASSERT_GE(stats.upsetsDetected, 1u);
+  EXPECT_GE(stats.observedUpsets, 1u);
+  EXPECT_LE(stats.observedUpsets, stats.upsetsDetected);
+  EXPECT_GT(stats.observedExposure, util::Time::zero());
+  EXPECT_GT(stats.approxExposure, util::Time::zero());
+  // Actual latency is bounded by the horizon; the sum over observed upsets
+  // cannot exceed observedUpsets whole horizons.
+  EXPECT_LT(stats.observedExposure,
+            util::Time::milliseconds(500) *
+                static_cast<double>(stats.observedUpsets));
+}
+
 TEST_F(ScrubFixture, ScrubberValidatesArguments) {
   const auto part = builder_.buildModulePartial(plan_.prr(0), 7);
   EXPECT_THROW((Scrubber{sim_, memory_, icap_, plan_.device(), part,

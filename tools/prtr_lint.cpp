@@ -9,6 +9,7 @@
 ///   prtr-lint [--json] [--werror] bitstream <file> [--device NAME]
 ///             [--layout single|dual|quad]
 ///   prtr-lint [--json] [--werror] scenario-spec <file>...
+///   prtr-lint [--json] [--werror] fault-spec <file>...
 ///   prtr-lint codes [--markdown]
 ///   prtr-lint demo [--json]
 ///
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "analyze/checks_bitstream.hpp"
+#include "analyze/checks_fault.hpp"
 #include "analyze/checks_floorplan.hpp"
 #include "analyze/diagnostic.hpp"
 #include "analyze/lint.hpp"
@@ -47,6 +49,7 @@ int usage() {
          "  floorplan-spec <file>...              lint floorplan spec files\n"
          "  bitstream <file> [--device NAME] [--layout single|dual|quad]\n"
          "  scenario-spec <file>...               lint scenario spec files\n"
+         "  fault-spec <file>...                  lint fault-plan spec files\n"
          "  codes [--markdown]                    print the rule reference\n"
          "  demo                                  lint built-in known-bad "
          "artifacts\n";
@@ -125,6 +128,22 @@ int lintScenarioSpecs(const std::vector<std::string>& files,
   return exitCode;
 }
 
+int lintFaultSpecs(const std::vector<std::string>& files,
+                   const CliOptions& cli) {
+  int exitCode = 0;
+  for (const std::string& file : files) {
+    std::ifstream in{file};
+    if (!in) {
+      std::cerr << "prtr-lint: cannot open '" << file << "'\n";
+      return 2;
+    }
+    const analyze::FaultSpec spec = analyze::parseFaultSpec(in);
+    exitCode =
+        std::max(exitCode, report(file, analyze::lintFaultSpec(spec), cli));
+  }
+  return exitCode;
+}
+
 int lintBitstreamFile(const std::string& file, const std::string& deviceName,
                       const std::string& layout, const CliOptions& cli) {
   std::ifstream in{file, std::ios::binary};
@@ -187,6 +206,13 @@ int demo(const CliOptions& cli) {
   exitCode = std::max(
       exitCode,
       report("demo:scenario", analyze::lintScenarioSpec(scenario), cli));
+
+  analyze::FaultSpec chaos;
+  chaos.arrival = "sometimes";   // FT004
+  chaos.wordFlipRate = 0.05;     // FT010 (and faults without…
+  chaos.recoveryEnabled = false; // …recovery: FT008)
+  exitCode = std::max(
+      exitCode, report("demo:fault", analyze::lintFaultSpec(chaos), cli));
   return exitCode;
 }
 
@@ -229,6 +255,10 @@ int main(int argc, char** argv) {
     if (command == "scenario-spec") {
       if (args.empty()) return usage();
       return lintScenarioSpecs(args, cli);
+    }
+    if (command == "fault-spec") {
+      if (args.empty()) return usage();
+      return lintFaultSpecs(args, cli);
     }
     if (command == "bitstream") {
       if (args.empty()) return usage();
