@@ -5,8 +5,9 @@
 // prtr::exec subsystem: CI runs it with --json and validates that the
 // pooled sweeps are no slower than serial and produce identical bytes.
 //
-// Usage: bench_sweep [--threads N] [--json FILE]
+// Usage: bench_sweep [--threads N] [--json FILE] [--profile FILE]
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "exec/pool.hpp"
 #include "hprc/chassis.hpp"
 #include "obs/bench_io.hpp"
+#include "prof/profiler.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -80,6 +83,11 @@ int main(int argc, char** argv) {
   obs::BenchReport report{"sweep", argc, argv};
   const std::size_t n = report.threads();
   exec::Pool::setGlobalThreads(n);
+
+  // With --profile, time the pool's task execution, steals, and queue depth
+  // across every sweep below (the cache seams are covered by bench_fig9*).
+  prof::Profiler profiler;
+  if (report.profileRequested()) exec::Pool::global().setProfiler(&profiler);
 
   // Thread ladder: 1, 2, 4, N (deduplicated, capped at N).
   std::vector<std::size_t> ladder{1};
@@ -158,5 +166,13 @@ int main(int argc, char** argv) {
   report.scalar("outputs_identical", std::uint64_t{identical ? 1u : 0u});
   report.metrics(exec::Pool::global().metricsSnapshot());
   report.metrics(cache.metricsSnapshot());
+
+  if (report.profileRequested()) {
+    exec::Pool::global().setProfiler(nullptr);
+    std::ofstream out{report.profilePath()};
+    util::require(out.good(), "bench_sweep: cannot open " +
+                                  report.profilePath() + " for writing");
+    out << profiler.snapshot().toJson() << '\n';
+  }
   return identical ? report.finish() : 1;
 }

@@ -10,7 +10,8 @@
 //               [--cache lru|lfu|fifo|random|belady] [--prefetch none|
 //               queue|markov|association] [--force-miss 0|1]
 //               [--control-us U] [--decision-us U] [--seed S] [--timeline]
-//               [--trace FILE.json] [--threads N]
+//               [--trace FILE.json] [--metrics FILE.json]
+//               [--profile FILE.json] [--threads N]
 //               [--fault-rate P] [--fault-seed S] [--max-retries N]
 //
 // --fault-rate injects word flips at P per configuration word (plus ICAP
@@ -18,6 +19,7 @@
 // enables the recovery runtime with --max-retries attempts per ladder rung.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -25,6 +27,7 @@
 #include "analyze/checks_scenario.hpp"
 #include "exec/pool.hpp"
 #include "obs/trace_export.hpp"
+#include "prof/profiler.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
 #include "util/error.hpp"
@@ -152,6 +155,10 @@ int main(int argc, char** argv) {
     obs::ChromeTrace trace;
     const std::string tracePath = get(args, "trace", "");
     if (!tracePath.empty()) options.hooks.trace = &trace;
+    prof::Profiler profiler;
+    const std::string profilePath = get(args, "profile", "");
+    if (!profilePath.empty()) options.hooks.profiler = &profiler;
+    const std::string metricsPath = get(args, "metrics", "");
 
     std::cout << "prtrsim: " << workload.callCount() << " calls x "
               << bytes.toString() << " (" << kind << "), layout " << layout
@@ -178,6 +185,20 @@ int main(int argc, char** argv) {
       trace.writeFile(tracePath);
       std::cout << "\ntrace written to " << tracePath
                 << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!metricsPath.empty()) {
+      std::ofstream out{metricsPath};
+      util::require(out.good(),
+                    "prtrsim: cannot open " + metricsPath + " for writing");
+      out << result.metrics.toJson() << '\n';
+      std::cout << "metrics snapshot written to " << metricsPath << '\n';
+    }
+    if (!profilePath.empty()) {
+      std::ofstream out{profilePath};
+      util::require(out.good(),
+                    "prtrsim: cannot open " + profilePath + " for writing");
+      out << profiler.snapshot().toJson() << '\n';
+      std::cout << "host profile written to " << profilePath << '\n';
     }
     return 0;
   } catch (const std::exception& error) {

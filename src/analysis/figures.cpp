@@ -5,6 +5,7 @@
 #include "config/icap_controller.hpp"
 #include "exec/pool.hpp"
 #include "model/bounds.hpp"
+#include "prof/counters.hpp"
 #include "model/model.hpp"
 #include "tasks/hwfunction.hpp"
 #include "xd1/rtcore.hpp"
@@ -128,8 +129,14 @@ util::Table makeTable2() {
 }
 
 std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
+  const prof::Scope sweepScope{options.profiler, "fig9.sweep"};
   const auto grid = logGrid(options.xTaskLo, options.xTaskHi, options.points);
   const auto registry = tasks::makePaperFunctions();
+
+  // Per-point PRTR timelines, collected only when a trace is requested.
+  // parallelMap stores by index, so the vector fills deterministically.
+  std::vector<sim::Timeline> pointTimelines(
+      options.trace != nullptr ? grid.size() : 0);
 
   // Reference node for calibration queries (no simulation happens on it).
   sim::Simulator refSim;
@@ -140,9 +147,14 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
   const util::Time tFrtr = times.full(options.basis);
   const tasks::HwFunction& fn = registry.byName("median");
 
-  return exec::parallelMap(
+  auto points = exec::parallelMap(
       grid,
-      [&](double xTask) {
+      [&](const double& xTask) {
+        const prof::Scope pointScope{options.profiler, "fig9.point"};
+        // parallelMap passes a reference into `grid`, so the element address
+        // recovers this point's index for the by-index timeline slot.
+        const std::size_t index =
+            static_cast<std::size_t>(&xTask - grid.data());
         Fig9Point point;
         point.xTask = xTask;
         point.dataBytes = model::bytesForTaskTime(
@@ -157,6 +169,10 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
         so.forceMiss = true;
         so.prepare = runtime::PrepareSource::kQueue;
         so.artifacts = options.artifacts;
+        so.hooks.profiler = options.profiler;
+        if (options.trace != nullptr) {
+          so.hooks.timeline = &pointTimelines[index];
+        }
         const auto workload = tasks::makeRoundRobinWorkload(
             registry, options.nCalls, point.dataBytes);
         const runtime::ScenarioResult result =
@@ -169,6 +185,19 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
         return point;
       },
       exec::ForOptions{.threads = options.threads});
+
+  if (options.trace != nullptr) {
+    for (std::size_t i = 0; i < pointTimelines.size(); ++i) {
+      if (pointTimelines[i].empty()) continue;
+      const std::string process =
+          "fig9[" + std::to_string(i) + "] x=" +
+          util::formatDouble(points[i].xTask, 4);
+      options.trace->add(process, pointTimelines[i]);
+      options.trace->addCounters(
+          process, prof::sampleTimelineCounters(pointTimelines[i]));
+    }
+  }
+  return points;
 }
 
 util::Table fig9Table(const std::vector<Fig9Point>& points) {

@@ -97,8 +97,19 @@ StreamKey Library::keyBase() const noexcept {
 
 std::shared_ptr<const Bitstream> Library::resolve(
     const StreamKey& key, const std::function<Bitstream()>& build) {
-  if (source_) return source_(key, build);
-  return std::make_shared<const Bitstream>(build());
+  if (profiler_ == nullptr) {
+    if (source_) return source_(key, build);
+    return std::make_shared<const Bitstream>(build());
+  }
+  // Time actual synthesis only: a memoizing source that hits its cache
+  // never invokes the builder, so no scope opens for it.
+  prof::Profiler* profiler = profiler_;
+  const std::function<Bitstream()> timed = [&build, profiler] {
+    const prof::Scope scope{profiler, "bitstream.build"};
+    return build();
+  };
+  if (source_) return source_(key, timed);
+  return std::make_shared<const Bitstream>(timed());
 }
 
 FlowStats Library::buildModuleFlow() {

@@ -14,6 +14,7 @@
 
 #include "bitstream/builder.hpp"
 #include "fabric/floorplan.hpp"
+#include "prof/profiler.hpp"
 
 namespace prtr::bitstream {
 
@@ -107,6 +108,10 @@ class Library {
     return nModules * (nModules - 1);
   }
 
+  /// Attaches a wall-clock profiler: every actual stream synthesis (cache
+  /// hits excluded) is timed under "bitstream.build". Null = off.
+  void setProfiler(prof::Profiler* profiler) noexcept { profiler_ = profiler; }
+
  private:
   [[nodiscard]] const ModuleSpec& spec(ModuleId module) const;
   /// Key template carrying the device/geometry tags of this floorplan.
@@ -119,6 +124,7 @@ class Library {
   std::vector<ModuleSpec> modules_;
   Builder builder_;
   StreamSource source_;
+  prof::Profiler* profiler_ = nullptr;
   std::uint32_t deviceTag_ = 0;
   std::uint32_t geometryCrc_ = 0;
   std::shared_ptr<const Bitstream> full_;

@@ -60,6 +60,7 @@ ArtifactCache::ArtifactCache(std::uint64_t byteBudget)
 
 std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
                                                       const ErasedBuild& build) {
+  prof::Profiler* profiler = profiler_.load(std::memory_order_relaxed);
   std::shared_ptr<Inflight> flight;
   bool builder = false;
   {
@@ -68,7 +69,10 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
     if (hit != entries_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, hit->second.lruPosition);
-      return hit->second.artifact;
+      auto artifact = hit->second.artifact;
+      lock.unlock();
+      if (profiler != nullptr) profiler->count("exec.cache.hit");
+      return artifact;
     }
     const auto pending = inflight_.find(key);
     if (pending != inflight_.end()) {
@@ -82,6 +86,7 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
   }
 
   if (!builder) {
+    if (profiler != nullptr) profiler->count("exec.cache.hit");
     std::unique_lock wait{flight->mutex};
     flight->done.wait(wait, [&] { return flight->finished; });
     if (flight->failure) std::rethrow_exception(flight->failure);
@@ -90,16 +95,19 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
     ++stats_.hits;
     return flight->artifact;
   }
+  if (profiler != nullptr) profiler->count("exec.cache.miss");
 
   std::shared_ptr<const void> artifact;
   std::uint64_t artifactBytes = 0;
   std::exception_ptr failure;
   try {
+    const prof::Scope scope{profiler, "exec.cache.build"};
     std::tie(artifact, artifactBytes) = build();
   } catch (...) {
     failure = std::current_exception();
   }
 
+  std::uint64_t residentBytes = 0;
   {
     const std::scoped_lock lock{mutex_};
     inflight_.erase(key);
@@ -109,6 +117,11 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
       bytes_ += artifactBytes;
       evictOverBudgetLocked();
     }
+    residentBytes = bytes_;
+  }
+  if (profiler != nullptr && !failure) {
+    profiler->sample("exec.cache.bytes",
+                     static_cast<std::int64_t>(residentBytes));
   }
   {
     const std::scoped_lock lock{flight->mutex};

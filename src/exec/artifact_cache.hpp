@@ -25,9 +25,12 @@
 #include <string_view>
 #include <unordered_map>
 
+#include <atomic>
+
 #include "bitstream/library.hpp"
 #include "fabric/floorplan.hpp"
 #include "obs/metrics.hpp"
+#include "prof/profiler.hpp"
 #include "util/crc32.hpp"
 
 namespace prtr::exec {
@@ -94,6 +97,14 @@ class ArtifactCache {
   /// entries, hit_rate).
   [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const;
 
+  /// Attaches a wall-clock profiler: builder invocations are timed under
+  /// "exec.cache.build", hits/misses counted under "exec.cache.hit"/
+  /// "exec.cache.miss", and resident bytes sampled under
+  /// "exec.cache.bytes" after every build. Null (default) = profiling off.
+  void setProfiler(prof::Profiler* profiler) noexcept {
+    profiler_.store(profiler, std::memory_order_relaxed);
+  }
+
   /// Process-wide cache shared by benches and CLI runs.
   [[nodiscard]] static ArtifactCache& global();
 
@@ -120,6 +131,7 @@ class ArtifactCache {
                                                        const ErasedBuild& build);
   void evictOverBudgetLocked();
 
+  std::atomic<prof::Profiler*> profiler_{nullptr};
   mutable std::mutex mutex_;
   std::uint64_t byteBudget_;
   std::uint64_t bytes_ = 0;  ///< guarded by mutex_

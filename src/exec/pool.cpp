@@ -53,12 +53,17 @@ void Pool::push(std::unique_ptr<Task> task) {
     const std::scoped_lock lock{deques_[target]->mutex};
     deques_[target]->tasks.push_back(std::move(task));
   }
+  std::size_t depth = 0;
   {
     const std::scoped_lock lock{sleepMutex_};
-    ++readyHint_;
+    depth = ++readyHint_;
   }
   wake_.notify_one();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (prof::Profiler* profiler = profiler_.load(std::memory_order_relaxed)) {
+    profiler->sample("exec.pool.queue_depth",
+                     static_cast<std::int64_t>(depth));
+  }
 }
 
 std::unique_ptr<Pool::Task> Pool::obtain(std::size_t self) {
@@ -80,6 +85,10 @@ std::unique_ptr<Pool::Task> Pool::obtain(std::size_t self) {
         task = std::move(deques_[victim]->tasks.front());
         deques_[victim]->tasks.pop_front();
         steals_.fetch_add(1, std::memory_order_relaxed);
+        if (prof::Profiler* profiler =
+                profiler_.load(std::memory_order_relaxed)) {
+          profiler->count("exec.pool.steal");
+        }
       }
     }
   }
@@ -96,7 +105,11 @@ void Pool::workerMain(std::size_t index) {
   for (;;) {
     std::unique_ptr<Task> task = obtain(index);
     if (task) {
-      task->run();
+      {
+        const prof::Scope scope{profiler_.load(std::memory_order_relaxed),
+                                "exec.pool.task"};
+        task->run();
+      }
       executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -110,7 +123,11 @@ bool Pool::tryRunOneTask() {
   const std::size_t self = tlsPool == this ? tlsWorker : 0;
   std::unique_ptr<Task> task = obtain(self);
   if (!task) return false;
-  task->run();
+  {
+    const prof::Scope scope{profiler_.load(std::memory_order_relaxed),
+                            "exec.pool.task"};
+    task->run();
+  }
   executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "prof/profiler.hpp"
 
 namespace prtr::exec {
 
@@ -119,6 +120,15 @@ class Pool {
   /// parallel_fors) for obs consumers.
   [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const;
 
+  /// Attaches a wall-clock profiler: task execution is timed under
+  /// "exec.pool.task", steals counted under "exec.pool.steal", and the
+  /// ready-task backlog sampled under "exec.pool.queue_depth" at every
+  /// push. Null (the default) keeps the hot paths unprofiled. The profiler
+  /// must outlive the pool or be detached first.
+  void setProfiler(prof::Profiler* profiler) noexcept {
+    profiler_.store(profiler, std::memory_order_relaxed);
+  }
+
   /// The process-wide pool, created on first use with the thread count last
   /// given to setGlobalThreads (default: hardware concurrency).
   [[nodiscard]] static Pool& global();
@@ -166,6 +176,7 @@ class Pool {
   std::size_t readyHint_ = 0;  ///< queued tasks (guarded by sleepMutex_)
   bool stopping_ = false;      ///< guarded by sleepMutex_
 
+  std::atomic<prof::Profiler*> profiler_{nullptr};
   std::atomic<std::size_t> pushCursor_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> executed_{0};

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "exec/pool.hpp"
+#include "prof/profiler.hpp"
 #include "util/error.hpp"
 
 namespace prtr::hprc {
@@ -70,14 +71,20 @@ ChassisReport runChassis(const tasks::FunctionRegistry& registry,
   // Blades run on host threads: each gets a hook-free options copy so no
   // caller-owned timeline/registry is shared across threads. Metrics are
   // merged (and handed to the caller's hooks) after the parallel region.
+  // The profiler is the one hook that survives: it aggregates under its own
+  // lock, so the blades share it safely.
+  const prof::Scope runScope{options.scenario.hooks.profiler, "chassis.run"};
   runtime::ScenarioOptions bladeOptions = options.scenario;
   bladeOptions.sides = runtime::ScenarioSides::kPrtrOnly;
   bladeOptions.hooks = obs::Hooks{};
+  bladeOptions.hooks.profiler = options.scenario.hooks.profiler;
 
   ChassisReport report;
   report.blades = exec::parallelMap(
       shares,
       [&](const tasks::Workload& share) {
+        const prof::Scope bladeScope{bladeOptions.hooks.profiler,
+                                     "chassis.blade"};
         if (share.calls.empty()) return runtime::ExecutionReport{};
         return runtime::runScenario(registry, share, bladeOptions).prtr;
       },

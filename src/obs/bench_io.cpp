@@ -18,11 +18,13 @@ BenchReport::BenchReport(std::string name, int argc, const char* const* argv)
   threads_ = hw == 0 ? 1 : hw;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--trace") {
+    if (arg == "--json" || arg == "--trace" || arg == "--profile") {
       if (i + 1 >= argc) {
         throw util::DomainError{name_ + ": " + arg + " requires a path"};
       }
-      (arg == "--json" ? jsonPath_ : tracePath_) = argv[++i];
+      (arg == "--json"    ? jsonPath_
+       : arg == "--trace" ? tracePath_
+                          : profilePath_) = argv[++i];
     } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         throw util::DomainError{name_ + ": --threads requires a count"};

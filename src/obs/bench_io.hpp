@@ -25,10 +25,10 @@ namespace prtr::obs {
 
 class BenchReport {
  public:
-  /// Parses `--json <path>`, `--trace <path>` and `--threads <n>` from
-  /// argv; other arguments are ignored (benches are otherwise
-  /// argument-free). Throws util::DomainError when a flag is missing its
-  /// value or `--threads` is not a positive integer.
+  /// Parses `--json <path>`, `--trace <path>`, `--profile <path>` and
+  /// `--threads <n>` from argv; other arguments are ignored (benches are
+  /// otherwise argument-free). Throws util::DomainError when a flag is
+  /// missing its value or `--threads` is not a positive integer.
   BenchReport(std::string name, int argc, const char* const* argv);
 
   [[nodiscard]] bool jsonRequested() const noexcept {
@@ -37,9 +37,15 @@ class BenchReport {
   [[nodiscard]] bool traceRequested() const noexcept {
     return !tracePath_.empty();
   }
+  [[nodiscard]] bool profileRequested() const noexcept {
+    return !profilePath_.empty();
+  }
   [[nodiscard]] const std::string& jsonPath() const noexcept { return jsonPath_; }
   [[nodiscard]] const std::string& tracePath() const noexcept {
     return tracePath_;
+  }
+  [[nodiscard]] const std::string& profilePath() const noexcept {
+    return profilePath_;
   }
 
   /// Worker-thread count for the bench's parallel sweeps: the `--threads`
@@ -68,6 +74,7 @@ class BenchReport {
   std::string name_;
   std::string jsonPath_;
   std::string tracePath_;
+  std::string profilePath_;
   std::size_t threads_ = 1;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, std::string>> notes_;

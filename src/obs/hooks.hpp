@@ -11,6 +11,10 @@
 #include "obs/trace_export.hpp"
 #include "sim/trace.hpp"
 
+namespace prtr::prof {
+class Profiler;  // host-side wall-clock profiler (prtr::prof layers above obs)
+}  // namespace prtr::prof
+
 namespace prtr::obs {
 
 struct Hooks {
@@ -25,10 +29,13 @@ struct Hooks {
   /// timeline pointers above are null, the run records into internal
   /// timelines so the trace is still populated.
   ChromeTrace* trace = nullptr;
+  /// Host-side wall-clock profiler (prof::Profiler). Run entry points open
+  /// prof::Scope timers against it; null keeps profiling zero-overhead.
+  prof::Profiler* profiler = nullptr;
 
   [[nodiscard]] bool any() const noexcept {
     return timeline != nullptr || frtrTimeline != nullptr ||
-           metrics != nullptr || trace != nullptr;
+           metrics != nullptr || trace != nullptr || profiler != nullptr;
   }
 };
 

@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <sstream>
 
 namespace prtr::obs {
@@ -16,9 +18,47 @@ void foldHistogram(HistogramSummary& into, const HistogramSummary& from) {
   into.sum += from.sum;
   into.min = std::min(into.min, from.min);
   into.max = std::max(into.max, from.max);
+  for (std::size_t b = 0; b < HistogramSummary::kBucketCount; ++b) {
+    into.buckets[b] += from.buckets[b];
+  }
 }
 
 }  // namespace
+
+std::size_t HistogramSummary::bucketIndex(std::int64_t value) noexcept {
+  if (value <= 0) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+double HistogramSummary::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation, 1-based (nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] < rank) {
+      seen += buckets[b];
+      continue;
+    }
+    // Bucket b spans [2^(b-1), 2^b - 1] (bucket 0 is exactly zero).
+    // Interpolate by the rank's position inside the bucket, then clamp to
+    // the exact recorded bounds.
+    double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+    double hi = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+    const double position =
+        static_cast<double>(rank - seen - 1) /
+        static_cast<double>(buckets[b]);
+    double estimate = lo + (hi - lo) * position;
+    estimate = std::clamp(estimate, static_cast<double>(min),
+                          static_cast<double>(max));
+    return estimate;
+  }
+  return static_cast<double>(max);
+}
 
 std::uint64_t MetricsSnapshot::counterOr(std::string_view name,
                                          std::uint64_t fallback) const {
@@ -56,6 +96,9 @@ MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
     if (it != earlier.histograms.end()) {
       delta.count -= it->second.count;
       delta.sum -= it->second.sum;
+      for (std::size_t b = 0; b < HistogramSummary::kBucketCount; ++b) {
+        delta.buckets[b] -= it->second.buckets[b];
+      }
       // min/max are not invertible over a window; keep the later values.
     }
     out.histograms[name] = delta;
@@ -71,7 +114,9 @@ std::string MetricsSnapshot::toString() const {
   }
   for (const auto& [name, value] : histograms) {
     os << name << " count=" << value.count << " sum=" << value.sum
-       << " min=" << value.min << " max=" << value.max << '\n';
+       << " min=" << value.min << " max=" << value.max
+       << " p50=" << util::json::formatNumber(value.p50())
+       << " p95=" << util::json::formatNumber(value.p95()) << '\n';
   }
   return os.str();
 }
@@ -91,6 +136,9 @@ void MetricsSnapshot::writeJson(util::json::Writer& w) const {
     w.key("sum").value(value.sum);
     w.key("min").value(value.min);
     w.key("max").value(value.max);
+    w.key("p50").value(value.p50());
+    w.key("p95").value(value.p95());
+    w.key("p99").value(value.p99());
     w.endObject();
   }
   w.endObject();
@@ -123,6 +171,7 @@ void Registry::observe(std::string_view name, std::int64_t value) {
   }
   ++h.count;
   h.sum += value;
+  ++h.buckets[HistogramSummary::bucketIndex(value)];
 }
 
 void Registry::absorb(const MetricsSnapshot& snapshot,

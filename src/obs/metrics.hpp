@@ -8,6 +8,7 @@
 /// snapshots hold sorted maps, so two bit-identical runs produce equal
 /// snapshots (a property the test suite asserts).
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -19,16 +20,38 @@
 namespace prtr::obs {
 
 /// Summary statistics of one histogram series. Values are recorded as
-/// int64 (times in picoseconds, sizes in bytes) so sums stay exact.
+/// int64 (times in picoseconds, sizes in bytes) so sums stay exact. Besides
+/// the exact count/sum/min/max, the summary keeps log2-magnitude bucket
+/// counts so p50/p95/p99 can be estimated deterministically from recorded
+/// bounds alone — two bit-identical runs produce identical estimates, and
+/// merge/diff stay exact (buckets add and subtract elementwise).
 struct HistogramSummary {
+  /// Bucket b holds values whose magnitude has bit-width b (bucket 0 is
+  /// exactly zero; negative values clamp into bucket 0). 64-bit values need
+  /// bit-widths 0..64.
+  static constexpr std::size_t kBucketCount = 65;
+
   std::uint64_t count = 0;
   std::int64_t sum = 0;
   std::int64_t min = 0;  ///< meaningful only when count > 0
   std::int64_t max = 0;
+  std::array<std::uint64_t, kBucketCount> buckets{};
 
   [[nodiscard]] double mean() const noexcept {
     return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
   }
+
+  /// Bucket index of one observation (see kBucketCount).
+  [[nodiscard]] static std::size_t bucketIndex(std::int64_t value) noexcept;
+
+  /// Deterministic quantile estimate for q in [0, 1]: linear interpolation
+  /// inside the log2 bucket holding the q-th observation, clamped to the
+  /// exact [min, max] bounds. Returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
 
   friend bool operator==(const HistogramSummary&,
                          const HistogramSummary&) = default;

@@ -52,11 +52,29 @@ void ChromeTrace::add(const std::string& processName,
   processes_.push_back(std::move(proc));
 }
 
+void ChromeTrace::addCounters(const std::string& processName,
+                              std::vector<CounterTrack> tracks) {
+  for (Process& proc : processes_) {
+    if (proc.name == processName) {
+      for (CounterTrack& track : tracks) {
+        proc.counters.push_back(std::move(track));
+      }
+      return;
+    }
+  }
+  Process proc;
+  proc.name = processName;
+  proc.counters = std::move(tracks);
+  processes_.push_back(std::move(proc));
+}
+
 void ChromeTrace::write(std::ostream& os) const {
   util::json::Writer w{os};
   w.beginObject();
   w.key("traceEvents").beginArray();
-  // Metadata first: names for every process and lane-thread.
+  // Metadata first: names and explicit sort indexes for every process and
+  // lane-thread, in insertion order, so viewers keep the recorded order
+  // instead of sorting lanes by first-event timestamp.
   for (std::size_t p = 0; p < processes_.size(); ++p) {
     const Process& proc = processes_[p];
     w.beginObject();
@@ -66,6 +84,17 @@ void ChromeTrace::write(std::ostream& os) const {
     w.key("tid").value(std::uint64_t{0});
     w.key("args").beginObject().key("name").value(proc.name).endObject();
     w.endObject();
+    w.beginObject();
+    w.key("name").value("process_sort_index");
+    w.key("ph").value("M");
+    w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+    w.key("tid").value(std::uint64_t{0});
+    w.key("args")
+        .beginObject()
+        .key("sort_index")
+        .value(static_cast<std::uint64_t>(p + 1))
+        .endObject();
+    w.endObject();
     for (std::size_t t = 0; t < proc.lanes.size(); ++t) {
       w.beginObject();
       w.key("name").value("thread_name");
@@ -73,6 +102,17 @@ void ChromeTrace::write(std::ostream& os) const {
       w.key("pid").value(static_cast<std::uint64_t>(p + 1));
       w.key("tid").value(static_cast<std::uint64_t>(t + 1));
       w.key("args").beginObject().key("name").value(proc.lanes[t]).endObject();
+      w.endObject();
+      w.beginObject();
+      w.key("name").value("thread_sort_index");
+      w.key("ph").value("M");
+      w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+      w.key("tid").value(static_cast<std::uint64_t>(t + 1));
+      w.key("args")
+          .beginObject()
+          .key("sort_index")
+          .value(static_cast<std::uint64_t>(t + 1))
+          .endObject();
       w.endObject();
     }
   }
@@ -89,6 +129,24 @@ void ChromeTrace::write(std::ostream& os) const {
       w.key("ts").raw(microsecondsFromPicoseconds(span.start.ps()));
       w.key("dur").raw(microsecondsFromPicoseconds((span.end - span.start).ps()));
       w.endObject();
+    }
+  }
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    const Process& proc = processes_[p];
+    for (const CounterTrack& track : proc.counters) {
+      for (const CounterSample& sample : track.samples) {
+        w.beginObject();
+        w.key("name").value(track.name);
+        w.key("ph").value("C");
+        w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+        w.key("ts").raw(microsecondsFromPicoseconds(sample.at_ps));
+        w.key("args")
+            .beginObject()
+            .key("value")
+            .value(sample.value)
+            .endObject();
+        w.endObject();
+      }
     }
   }
   w.endArray();

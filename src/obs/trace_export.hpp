@@ -3,7 +3,10 @@
 /// Chrome trace_event / Perfetto export of sim::Timeline spans. Each added
 /// timeline becomes one "process" in the trace, its lanes become threads,
 /// and every span is emitted as a complete ("X") event, so a scenario's
-/// Gantt opens directly in chrome://tracing or ui.perfetto.dev.
+/// Gantt opens directly in chrome://tracing or ui.perfetto.dev. Counter
+/// tracks (sampled gauges such as link occupancy or ICAP busy-fraction)
+/// attach to a process and are emitted as "C" events, rendering as
+/// utilization curves above the span lanes.
 ///
 /// Timestamps: the trace_event format counts microseconds; simulated time
 /// is integer picoseconds. Values are rendered as exact decimal fractions
@@ -19,6 +22,18 @@
 
 namespace prtr::obs {
 
+/// One sampled point of a counter track, in simulated picoseconds.
+struct CounterSample {
+  std::int64_t at_ps = 0;
+  double value = 0.0;
+};
+
+/// One named utilization/occupancy curve ("link.in.occupancy", "icap.busy").
+struct CounterTrack {
+  std::string name;
+  std::vector<CounterSample> samples;
+};
+
 /// Collects timelines and writes one Chrome-trace JSON document.
 class ChromeTrace {
  public:
@@ -26,13 +41,20 @@ class ChromeTrace {
   /// Lanes map to thread ids in first-seen order; span order is preserved.
   void add(const std::string& processName, const sim::Timeline& timeline);
 
+  /// Attaches counter tracks to the process named `processName` (sharing its
+  /// pid so the curves render above that process's lanes). When no process
+  /// with that name exists yet, a counter-only process is created.
+  void addCounters(const std::string& processName,
+                   std::vector<CounterTrack> tracks);
+
   [[nodiscard]] bool empty() const noexcept { return processes_.empty(); }
   [[nodiscard]] std::size_t processCount() const noexcept {
     return processes_.size();
   }
 
-  /// Writes {"traceEvents":[...]} — metadata (process/thread names) first,
-  /// then the span events in insertion order.
+  /// Writes {"traceEvents":[...]} — metadata first (process/thread names
+  /// plus explicit sort indexes in insertion order, so Perfetto lane order
+  /// is stable across loads), then span events, then counter samples.
   void write(std::ostream& os) const;
   [[nodiscard]] std::string toJson() const;
 
@@ -45,6 +67,7 @@ class ChromeTrace {
     std::vector<std::string> lanes;        ///< tid = index, first-seen order
     std::vector<sim::Span> spans;
     std::vector<std::size_t> spanLane;     ///< lane index per span
+    std::vector<CounterTrack> counters;
   };
 
   std::vector<Process> processes_;

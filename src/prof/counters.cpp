@@ -1,0 +1,105 @@
+#include "prof/counters.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace prtr::prof {
+namespace {
+
+bool isComputeLane(std::string_view lane) {
+  return lane == "FPGA" || lane.substr(0, 3) == "PRR";
+}
+
+/// Accumulates the [start, end) overlap of one span into per-bucket busy
+/// picosecond counts.
+void accumulate(std::vector<std::uint64_t>& busy, std::int64_t width,
+                std::int64_t start, std::int64_t end) {
+  if (end <= start || width <= 0) return;
+  const auto first = static_cast<std::size_t>(start / width);
+  for (std::size_t b = first; b < busy.size(); ++b) {
+    const std::int64_t lo = static_cast<std::int64_t>(b) * width;
+    if (lo >= end) break;
+    const std::int64_t hi = lo + width;
+    const std::int64_t overlap = std::min(end, hi) - std::max(start, lo);
+    if (overlap > 0) busy[b] += static_cast<std::uint64_t>(overlap);
+  }
+}
+
+obs::CounterTrack finishTrack(std::string name,
+                              const std::vector<std::uint64_t>& busy,
+                              std::int64_t width, std::int64_t horizon,
+                              std::uint64_t laneCount) {
+  obs::CounterTrack track;
+  track.name = std::move(name);
+  track.samples.reserve(busy.size());
+  for (std::size_t b = 0; b < busy.size(); ++b) {
+    const std::int64_t lo = static_cast<std::int64_t>(b) * width;
+    const std::int64_t span = std::min(width, horizon - lo);
+    if (span <= 0) break;
+    const double denom =
+        static_cast<double>(span) * static_cast<double>(laneCount);
+    const double fraction =
+        std::min(1.0, static_cast<double>(busy[b]) / denom);
+    track.samples.push_back({lo, fraction});
+  }
+  return track;
+}
+
+}  // namespace
+
+std::vector<obs::CounterTrack> sampleTimelineCounters(
+    const sim::Timeline& timeline, std::size_t buckets) {
+  std::vector<obs::CounterTrack> tracks;
+  const std::int64_t horizon = timeline.horizon().ps();
+  if (horizon <= 0 || buckets == 0 || timeline.empty()) return tracks;
+
+  const auto n = static_cast<std::int64_t>(buckets);
+  const std::int64_t width = (horizon + n - 1) / n;  // >= 1 ps
+  const auto bucketCount =
+      static_cast<std::size_t>((horizon + width - 1) / width);
+
+  std::vector<std::uint64_t> linkIn(bucketCount), linkOut(bucketCount),
+      icap(bucketCount), compute(bucketCount);
+  bool haveIn = false, haveOut = false, haveIcap = false;
+  std::set<std::string> computeLanes;
+
+  for (const sim::Span& span : timeline.spans()) {
+    const std::int64_t start = span.start.ps();
+    const std::int64_t end = span.end.ps();
+    if (span.lane == "HT-in") {
+      haveIn = true;
+      accumulate(linkIn, width, start, end);
+    } else if (span.lane == "HT-out") {
+      haveOut = true;
+      accumulate(linkOut, width, start, end);
+    } else if (span.lane == "config") {
+      haveIcap = true;
+      accumulate(icap, width, start, end);
+    } else if (isComputeLane(span.lane)) {
+      computeLanes.insert(span.lane);
+      accumulate(compute, width, start, end);
+    }
+  }
+
+  if (haveIn) {
+    tracks.push_back(
+        finishTrack("link.in.occupancy", linkIn, width, horizon, 1));
+  }
+  if (haveOut) {
+    tracks.push_back(
+        finishTrack("link.out.occupancy", linkOut, width, horizon, 1));
+  }
+  if (haveIcap) {
+    tracks.push_back(finishTrack("icap.busy", icap, width, horizon, 1));
+  }
+  if (!computeLanes.empty()) {
+    tracks.push_back(finishTrack("prr.residency", compute, width, horizon,
+                                 computeLanes.size()));
+  }
+  return tracks;
+}
+
+}  // namespace prtr::prof

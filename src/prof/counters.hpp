@@ -1,0 +1,32 @@
+#pragma once
+/// \file counters.hpp
+/// Derives sampled counter tracks (obs::CounterTrack) from a recorded
+/// sim::Timeline: the simulated horizon is cut into equal buckets and each
+/// lane class contributes one busy-fraction curve —
+///
+///   "link.in.occupancy"   from the "HT-in" lane,
+///   "link.out.occupancy"  from the "HT-out" lane,
+///   "icap.busy"           from the "config" lane (configuration port),
+///   "prr.residency"       averaged over the "PRR*"/"FPGA" compute lanes.
+///
+/// Everything is integer-picosecond arithmetic until the final division, so
+/// two bit-identical runs emit bit-identical counter tracks. The tracks feed
+/// obs::ChromeTrace::addCounters, rendering as utilization curves above the
+/// span lanes in ui.perfetto.dev.
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace_export.hpp"
+#include "sim/trace.hpp"
+
+namespace prtr::prof {
+
+/// Samples busy-fraction counter tracks from `timeline` over `buckets`
+/// equal sim-time intervals. Tracks whose lane class recorded no spans are
+/// omitted; an empty timeline yields no tracks. Values are fractions in
+/// [0, 1]; each sample is stamped at its bucket's start time.
+[[nodiscard]] std::vector<obs::CounterTrack> sampleTimelineCounters(
+    const sim::Timeline& timeline, std::size_t buckets = 128);
+
+}  // namespace prtr::prof

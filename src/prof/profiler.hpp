@@ -1,0 +1,104 @@
+#pragma once
+/// \file profiler.hpp
+/// Host-side wall-clock profiling. The simulator's own clocks measure
+/// *simulated* time; this layer measures the *host* cost of producing those
+/// numbers — how long the bitstream builds, pool tasks, cache fills, and
+/// scenario phases take in wall-clock terms, and how often the cheap events
+/// (steals, cache hits) fire. A Profiler aggregates thread-safely under
+/// stable dotted labels; prof::Scope is the RAII timer subsystems open
+/// against the optional obs::Hooks::profiler pointer. A null profiler is
+/// zero-overhead: Scope neither reads the clock nor takes a lock.
+///
+/// Aggregation reuses obs::HistogramSummary (count/sum/min/max plus
+/// deterministic log2-bucket p50/p95), so the same quantile semantics apply
+/// to simulated histograms and host-side phase timings.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace prtr::prof {
+
+/// Frozen profiler state: phase timings (nanoseconds), event counts, and
+/// sampled gauge series. Ordered maps make rendering stable.
+struct ProfileSnapshot {
+  /// Wall-clock phase timings in nanoseconds, one series per label.
+  std::map<std::string, obs::HistogramSummary> phases;
+  /// Monotonic event counts ("exec.pool.steal", "exec.cache.hit").
+  std::map<std::string, std::uint64_t> counts;
+  /// Sampled gauge observations ("exec.pool.queue_depth", "exec.cache.bytes").
+  std::map<std::string, obs::HistogramSummary> samples;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return phases.empty() && counts.empty() && samples.empty();
+  }
+
+  /// "label count=N total=T min=... max=... p50=... p95=..." per phase line,
+  /// then counts, then samples.
+  [[nodiscard]] std::string toString() const;
+
+  /// {"phases":{...},"counts":{...},"samples":{...}}.
+  void writeJson(util::json::Writer& w) const;
+  [[nodiscard]] std::string toJson() const;
+
+  friend bool operator==(const ProfileSnapshot&,
+                         const ProfileSnapshot&) = default;
+};
+
+/// Thread-safe wall-clock aggregator. Subsystems never own one; they borrow
+/// a pointer (obs::Hooks::profiler, exec::Pool::setProfiler, ...) and treat
+/// null as "profiling off".
+class Profiler {
+ public:
+  /// Monotonic host time in nanoseconds (steady_clock).
+  [[nodiscard]] static std::int64_t nowNanoseconds() noexcept;
+
+  /// Records one timed interval under `label`.
+  void record(std::string_view label, std::int64_t elapsed_ns);
+
+  /// Adds `delta` to the event counter under `label`.
+  void count(std::string_view label, std::uint64_t delta = 1);
+
+  /// Records one gauge observation under `label`.
+  void sample(std::string_view label, std::int64_t value);
+
+  [[nodiscard]] ProfileSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ProfileSnapshot state_;
+};
+
+/// RAII phase timer: measures construction-to-destruction wall time and
+/// records it under `label`. A null profiler makes every operation a no-op
+/// (no clock read, no lock), so instrumented code paths cost nothing when
+/// profiling is off. The label must outlive the scope (string literals at
+/// every call site).
+class Scope {
+ public:
+  Scope(Profiler* profiler, std::string_view label) noexcept
+      : profiler_(profiler),
+        label_(label),
+        start_ns_(profiler ? Profiler::nowNanoseconds() : 0) {}
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  ~Scope() {
+    if (profiler_ != nullptr) {
+      profiler_->record(label_, Profiler::nowNanoseconds() - start_ns_);
+    }
+  }
+
+ private:
+  Profiler* profiler_;
+  std::string_view label_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace prtr::prof

@@ -139,6 +139,9 @@ sim::Process FrtrExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await node_->linkIn().transfer(call.dataBytes);
     report_.inputTime += sim.now() - mark;
+    if (options_.timeline) {
+      options_.timeline->record("HT-in", "data-in", '>', mark, sim.now());
+    }
 
     mark = sim.now();
     co_await sim.delay(fn.computeTime(call.dataBytes));
@@ -150,6 +153,9 @@ sim::Process FrtrExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
     report_.outputTime += sim.now() - mark;
+    if (options_.timeline) {
+      options_.timeline->record("HT-out", "data-out", '<', mark, sim.now());
+    }
 
     ++report_.calls;
   }
@@ -376,6 +382,9 @@ sim::Process PrtrExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await node_->linkIn().transfer(call.dataBytes);
     report_.inputTime += sim.now() - mark;
+    if (options_.timeline) {
+      options_.timeline->record("HT-in", "data-in", '>', mark, sim.now());
+    }
 
     // Input channel now free: overlap the next call's configuration with
     // the remainder of this task (paper section 4.1).
@@ -393,6 +402,9 @@ sim::Process PrtrExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
     report_.outputTime += sim.now() - mark;
+    if (options_.timeline) {
+      options_.timeline->record("HT-out", "data-out", '<', mark, sim.now());
+    }
 
     executingPrr_.reset();
     ++report_.calls;

@@ -5,6 +5,8 @@
 #include "analyze/lint.hpp"
 #include "exec/artifact_cache.hpp"
 #include "model/calibration.hpp"
+#include "prof/counters.hpp"
+#include "prof/profiler.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -43,10 +45,12 @@ bitstream::Library makeLibrary(const ScenarioOptions& options,
   if (options.artifacts != nullptr) {
     source = exec::cachingStreamSource(*options.artifacts);
   }
-  return bitstream::Library{
+  bitstream::Library library{
       node.floorplan(),
       registry.moduleSpecs(node.floorplan().prr(0).resources(node.device())),
       std::move(source)};
+  library.setProfiler(options.hooks.profiler);
+  return library;
 }
 
 /// Module-id sequence of a workload (for Belady / oracle construction).
@@ -154,14 +158,19 @@ model::Params deriveModelParams(const tasks::FunctionRegistry& registry,
 ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
                            const tasks::Workload& workload,
                            const ScenarioOptions& options) {
+  prof::Profiler* profiler = options.hooks.profiler;
+
   // Strict mode: statically lint the scenario before instantiating any
   // simulator. Error-severity findings abort here with the same codes
   // prtr-lint reports; warnings are advisory and do not block execution.
-  analyze::LintTargets lintTargets;
-  lintTargets.scenario = &options;
-  const analyze::DiagnosticSink lint = analyze::lintAll(lintTargets);
-  if (lint.hasErrors()) {
-    throw util::DomainError{"runScenario: " + lint.firstError().format()};
+  {
+    const prof::Scope scope{profiler, "scenario.lint"};
+    analyze::LintTargets lintTargets;
+    lintTargets.scenario = &options;
+    const analyze::DiagnosticSink lint = analyze::lintAll(lintTargets);
+    if (lint.hasErrors()) {
+      throw util::DomainError{"runScenario: " + lint.firstError().format()};
+    }
   }
 
   // Resolve timelines: caller-provided ones win; when a trace collector is
@@ -181,6 +190,7 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
   ScenarioResult result;
 
   if (options.sides == ScenarioSides::kBoth) {
+    const prof::Scope scope{profiler, "scenario.frtr"};
     sim::Simulator sim;
     xd1::Node node{sim, nodeConfigFor(options)};
     bitstream::Library library = makeLibrary(options, registry, node);
@@ -188,12 +198,18 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
     result.frtr = frtr.run(workload);
   }
 
-  result.prtr = runPrtrSide(registry, workload, options, prtrTl);
+  {
+    const prof::Scope scope{profiler, "scenario.prtr"};
+    result.prtr = runPrtrSide(registry, workload, options, prtrTl);
+  }
 
   const double hitRatio = options.forceMiss ? 0.0 : result.prtr.hitRatio();
-  result.modelParams = deriveModelParamsAt(registry, workload, options,
-                                           hitRatio);
-  result.modelSpeedup = model::speedup(result.modelParams);
+  {
+    const prof::Scope scope{profiler, "scenario.model"};
+    result.modelParams = deriveModelParamsAt(registry, workload, options,
+                                             hitRatio);
+    result.modelSpeedup = model::speedup(result.modelParams);
+  }
   if (options.sides == ScenarioSides::kBoth) {
     result.speedup = measuredSpeedup(result.frtr, result.prtr);
     result.modelError =
@@ -210,8 +226,14 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
 
   if (hooks.metrics != nullptr) hooks.metrics->absorb(result.metrics);
   if (hooks.trace != nullptr) {
-    if (frtrTl != nullptr && !frtrTl->empty()) hooks.trace->add("frtr", *frtrTl);
-    if (prtrTl != nullptr && !prtrTl->empty()) hooks.trace->add("prtr", *prtrTl);
+    if (frtrTl != nullptr && !frtrTl->empty()) {
+      hooks.trace->add("frtr", *frtrTl);
+      hooks.trace->addCounters("frtr", prof::sampleTimelineCounters(*frtrTl));
+    }
+    if (prtrTl != nullptr && !prtrTl->empty()) {
+      hooks.trace->add("prtr", *prtrTl);
+      hooks.trace->addCounters("prtr", prof::sampleTimelineCounters(*prtrTl));
+    }
   }
   return result;
 }

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
 
 namespace prtr::util::json {
 
@@ -132,6 +135,290 @@ void Writer::separate() {
     if (hasElement_.back()) *os_ << ',';
     hasElement_.back() = true;
   }
+}
+
+/// Recursive-descent parser over the full JSON grammar. Kept private to the
+/// translation unit; Value::parse is the entry point.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value value = parseValue(0);
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw DomainError{"json: " + what + " at offset " +
+                      std::to_string(pos_)};
+  }
+
+  void skipWhitespace() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view literal) noexcept {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parseValue(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skipWhitespace();
+    const char c = peek();
+    Value value;
+    switch (c) {
+      case '{': parseObject(value, depth); break;
+      case '[': parseArray(value, depth); break;
+      case '"':
+        value.kind_ = Value::Kind::kString;
+        value.string_ = parseString();
+        break;
+      case 't':
+        if (!consumeLiteral("true")) fail("bad literal");
+        value.kind_ = Value::Kind::kBool;
+        value.bool_ = true;
+        break;
+      case 'f':
+        if (!consumeLiteral("false")) fail("bad literal");
+        value.kind_ = Value::Kind::kBool;
+        value.bool_ = false;
+        break;
+      case 'n':
+        if (!consumeLiteral("null")) fail("bad literal");
+        value.kind_ = Value::Kind::kNull;
+        break;
+      default:
+        value.kind_ = Value::Kind::kNumber;
+        value.number_ = parseNumber();
+        break;
+    }
+    return value;
+  }
+
+  void parseObject(Value& value, std::size_t depth) {
+    value.kind_ = Value::Kind::kObject;
+    expect('{');
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skipWhitespace();
+      std::string key = parseString();
+      skipWhitespace();
+      expect(':');
+      value.members_.emplace_back(std::move(key), parseValue(depth + 1));
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  void parseArray(Value& value, std::size_t depth) {
+    value.kind_ = Value::Kind::kArray;
+    expect('[');
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      value.array_.push_back(parseValue(depth + 1));
+      skipWhitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': appendCodepoint(out); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::uint32_t parseHex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void appendCodepoint(std::string& out) {
+    std::uint32_t code = parseHex4();
+    // Surrogate pair: a high surrogate must be followed by \uDC00..\uDFFF.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail("lone high surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t low = parseHex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("lone low surrogate");
+    }
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  double parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) fail("expected number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("expected exponent digits");
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::parse(std::string_view text) { return Parser{text}.document(); }
+
+namespace {
+
+[[noreturn]] void kindMismatch(const char* wanted) {
+  throw DomainError{std::string{"json: value is not "} + wanted};
+}
+
+}  // namespace
+
+bool Value::asBool() const {
+  if (kind_ != Kind::kBool) kindMismatch("a bool");
+  return bool_;
+}
+
+double Value::asNumber() const {
+  if (kind_ != Kind::kNumber) kindMismatch("a number");
+  return number_;
+}
+
+const std::string& Value::asString() const {
+  if (kind_ != Kind::kString) kindMismatch("a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::asArray() const {
+  if (kind_ != Kind::kArray) kindMismatch("an array");
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::asObject() const {
+  if (kind_ != Kind::kObject) kindMismatch("an object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* value = find(key);
+  if (value == nullptr) {
+    throw DomainError{"json: missing object member \"" + std::string{key} +
+                      "\""};
+  }
+  return *value;
 }
 
 }  // namespace prtr::util::json

@@ -1,14 +1,16 @@
 #pragma once
 /// \file json.hpp
-/// Minimal JSON emission shared by every subsystem that writes
+/// Minimal JSON support shared by every subsystem that emits or ingests
 /// machine-readable output: the analyze diagnostics sink, the obs metrics
-/// snapshots and Chrome-trace exporter, and the bench --json documents.
-/// Emission only — the repo never parses JSON, so there is no reader here.
+/// snapshots and Chrome-trace exporter, the bench --json documents, and the
+/// prtr-report regression harness (the one consumer that reads JSON back —
+/// see Value::parse).
 
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace prtr::util::json {
@@ -66,6 +68,55 @@ class Writer {
   std::vector<bool> hasElement_;
   /// True directly after key() — the next value completes the member.
   bool afterKey_ = false;
+};
+
+/// Parsed JSON value. Objects keep their members in document order (the
+/// documents this library writes are already deterministically ordered, so
+/// preserving order makes round-trips and diffs stable); lookup by key is
+/// linear, which is fine at bench-report scale.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Strict parse of one JSON document (trailing garbage rejected).
+  /// Throws DomainError on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool isNull() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool isObject() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool isArray() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; each throws DomainError when the kind mismatches.
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asNumber() const;
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const std::vector<Value>& asArray() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& asObject()
+      const;
+
+  /// Object member under `key`, or nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// Object member under `key`; throws DomainError when absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;
 };
 
 }  // namespace prtr::util::json

@@ -49,6 +49,33 @@ TEST(MetricsRegistry, HistogramsSummarize) {
   EXPECT_DOUBLE_EQ(it->second.mean(), 20.0);
 }
 
+TEST(MetricsHistogram, QuantilesAreDeterministicAndClampedToTheRange) {
+  obs::Registry reg;
+  for (int i = 1; i <= 100; ++i) reg.observe("latency_ps", i);
+  const obs::HistogramSummary h =
+      reg.snapshot().histograms.at("latency_ps");
+  // Log2-bucketed nearest-rank quantiles: deterministic, monotone, and
+  // always inside [min, max].
+  EXPECT_EQ(h.p50(), reg.snapshot().histograms.at("latency_ps").p50());
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_GE(h.p50(), static_cast<double>(h.min));
+  EXPECT_LE(h.p99(), static_cast<double>(h.max));
+  // A single observation collapses every quantile onto that value.
+  obs::Registry one;
+  one.observe("x", 42);
+  const obs::HistogramSummary single = one.snapshot().histograms.at("x");
+  EXPECT_DOUBLE_EQ(single.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(single.p99(), 42.0);
+  // Empty histogram quantiles are 0 by definition.
+  EXPECT_DOUBLE_EQ(obs::HistogramSummary{}.p50(), 0.0);
+  // The JSON rendering carries the quantiles.
+  const std::string json = reg.snapshot().toJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(MetricsSnapshot, MergePrefixesAndCombines) {
   obs::Registry a;
   a.add("icap.loads", 3);

@@ -43,10 +43,16 @@ TEST(ChromeTrace, GoldenDocumentForAHandBuiltTimeline) {
       "{\"traceEvents\":["
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
       "\"args\":{\"name\":\"demo\"}},"
+      "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"sort_index\":1}},"
       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
       "\"args\":{\"name\":\"PRR0\"}},"
+      "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"sort_index\":1}},"
       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
       "\"args\":{\"name\":\"PRR1\"}},"
+      "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"sort_index\":2}},"
       "{\"name\":\"config(a)\",\"cat\":\"PRR0\",\"ph\":\"X\",\"pid\":1,"
       "\"tid\":1,\"ts\":0,\"dur\":1.5},"
       "{\"name\":\"compute\",\"cat\":\"PRR1\",\"ph\":\"X\",\"pid\":1,"
@@ -55,6 +61,27 @@ TEST(ChromeTrace, GoldenDocumentForAHandBuiltTimeline) {
       "\"tid\":1,\"ts\":3,\"dur\":1}"
       "],\"displayTimeUnit\":\"ms\"}";
   EXPECT_EQ(trace.toJson(), expected);
+}
+
+TEST(ChromeTrace, CounterTracksEmitCEventsUnderTheOwningProcess) {
+  obs::ChromeTrace trace;
+  trace.add("demo", demoTimeline());
+  trace.addCounters(
+      "demo", {obs::CounterTrack{"icap.busy",
+                                 {{0, 0.5}, {1'000'000, 0.25}, {2'000'000, 0.0}}}});
+  // Attaching to an existing process shares its pid instead of minting one.
+  EXPECT_EQ(trace.processCount(), 1u);
+  const std::string json = trace.toJson();
+  EXPECT_NE(json.find("{\"name\":\"icap.busy\",\"ph\":\"C\",\"pid\":1,"
+                      "\"ts\":0,\"args\":{\"value\":0.5}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1,\"args\":{\"value\":0.25}"), std::string::npos);
+
+  // A counter-only process mints a fresh pid.
+  obs::ChromeTrace own;
+  own.addCounters("counters", {obs::CounterTrack{"x", {{0, 1.0}}}});
+  EXPECT_EQ(own.processCount(), 1u);
+  EXPECT_NE(own.toJson().find("\"ph\":\"C\""), std::string::npos);
 }
 
 TEST(ChromeTrace, EmptyAndProcessCount) {

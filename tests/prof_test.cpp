@@ -1,0 +1,220 @@
+// Tests for prtr::prof — the wall-clock profiler (aggregation semantics,
+// thread-safety, the null-profiler zero-overhead contract) and the
+// deterministic counter-track sampler that feeds the Chrome-trace exporter.
+#include <gtest/gtest.h>
+
+#include "exec/pool.hpp"
+#include "prof/counters.hpp"
+#include "prof/profiler.hpp"
+#include "runtime/scenario.hpp"
+#include "sim/trace.hpp"
+#include "tasks/workload.hpp"
+
+namespace {
+
+using namespace prtr;
+
+TEST(Profiler, RecordAggregatesUnderTheLabel) {
+  prof::Profiler profiler;
+  profiler.record("phase.a", 100);
+  profiler.record("phase.a", 300);
+  profiler.record("phase.b", 50);
+  const prof::ProfileSnapshot snap = profiler.snapshot();
+  ASSERT_EQ(snap.phases.size(), 2u);
+  const obs::HistogramSummary& a = snap.phases.at("phase.a");
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.sum, 400);
+  EXPECT_EQ(a.min, 100);
+  EXPECT_EQ(a.max, 300);
+  EXPECT_GE(a.p50(), static_cast<double>(a.min));
+  EXPECT_LE(a.p95(), static_cast<double>(a.max));
+  EXPECT_EQ(snap.phases.at("phase.b").count, 1u);
+}
+
+TEST(Profiler, CountAndSampleAccumulate) {
+  prof::Profiler profiler;
+  profiler.count("event");
+  profiler.count("event", 4);
+  profiler.sample("gauge", 10);
+  profiler.sample("gauge", 30);
+  const prof::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.counts.at("event"), 5u);
+  EXPECT_EQ(snap.samples.at("gauge").count, 2u);
+  EXPECT_EQ(snap.samples.at("gauge").min, 10);
+  EXPECT_EQ(snap.samples.at("gauge").max, 30);
+}
+
+TEST(Profiler, ScopeTimesAnIntervalAndNullScopeIsANoOp) {
+  prof::Profiler profiler;
+  {
+    const prof::Scope scope{&profiler, "scoped"};
+  }
+  EXPECT_EQ(profiler.snapshot().phases.at("scoped").count, 1u);
+  {
+    // A null profiler must be safe and record nothing anywhere.
+    const prof::Scope scope{nullptr, "scoped"};
+  }
+  EXPECT_EQ(profiler.snapshot().phases.at("scoped").count, 1u);
+}
+
+TEST(Profiler, SnapshotJsonAndToStringAreRenderable) {
+  prof::Profiler profiler;
+  profiler.record("phase", 1'000);
+  profiler.count("hits", 3);
+  profiler.sample("depth", 7);
+  const prof::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_FALSE(snap.empty());
+  const std::string json = snap.toJson();
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":{\"hits\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(snap.toString().find("phase"), std::string::npos);
+}
+
+// The same work fanned out at different pool widths must aggregate to the
+// same counts: the profiler's mutex makes concurrent recording lossless.
+TEST(Profiler, AggregationIsDeterministicAcrossPoolWidths) {
+  constexpr std::size_t kItems = 64;
+  const std::vector<int> items(kItems, 1);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    prof::Profiler profiler;
+    const auto out = exec::parallelMap(
+        items,
+        [&](int item) {
+          const prof::Scope scope{&profiler, "work.item"};
+          profiler.count("work.count");
+          profiler.sample("work.sample", item);
+          return item;
+        },
+        exec::ForOptions{.threads = threads});
+    EXPECT_EQ(out.size(), kItems);
+    const prof::ProfileSnapshot snap = profiler.snapshot();
+    EXPECT_EQ(snap.phases.at("work.item").count, kItems)
+        << "threads=" << threads;
+    EXPECT_EQ(snap.counts.at("work.count"), kItems) << "threads=" << threads;
+    EXPECT_EQ(snap.samples.at("work.sample").count, kItems)
+        << "threads=" << threads;
+    EXPECT_EQ(snap.samples.at("work.sample").sum,
+              static_cast<std::int64_t>(kItems))
+        << "threads=" << threads;
+  }
+}
+
+// Attaching a profiler must not change any simulated output: same scenario
+// with and without Hooks::profiler renders byte-identical results.
+TEST(Profiler, AttachingAProfilerLeavesScenarioResultsByteIdentical) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 6, util::Bytes{1'000'000});
+
+  runtime::ScenarioOptions plain;
+  plain.forceMiss = true;
+  const runtime::ScenarioResult without =
+      runtime::runScenario(registry, workload, plain);
+
+  prof::Profiler profiler;
+  runtime::ScenarioOptions profiled;
+  profiled.forceMiss = true;
+  profiled.hooks.profiler = &profiler;
+  const runtime::ScenarioResult with =
+      runtime::runScenario(registry, workload, profiled);
+
+  EXPECT_EQ(without.toString(), with.toString());
+  EXPECT_EQ(without.metrics, with.metrics);
+  EXPECT_EQ(without.metrics.toJson(), with.metrics.toJson());
+  // And the profiler did observe the instrumented scenario phases.
+  const prof::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.phases.count("scenario.prtr"), 1u);
+  EXPECT_EQ(snap.phases.count("scenario.frtr"), 1u);
+}
+
+sim::Timeline syntheticTimeline() {
+  // 8 ns horizon, bucketed by 4 below into 2 ns buckets:
+  //   HT-in  busy [0, 2) ns          -> 1, 0, 0, 0
+  //   config busy [2, 4) ns          -> 0, 1, 0, 0
+  //   PRR0   busy [4, 8) ns          \  averaged over 2 lanes:
+  //   PRR1   busy [6, 8) ns          /  0, 0, 0.5, 1
+  sim::Timeline tl;
+  tl.record("HT-in", "data-in", '>', util::Time::zero(),
+            util::Time::nanoseconds(2));
+  tl.record("config", "partial", 'P', util::Time::nanoseconds(2),
+            util::Time::nanoseconds(4));
+  tl.record("PRR0", "compute", '#', util::Time::nanoseconds(4),
+            util::Time::nanoseconds(8));
+  tl.record("PRR1", "compute", '#', util::Time::nanoseconds(6),
+            util::Time::nanoseconds(8));
+  return tl;
+}
+
+TEST(CounterSampler, GoldenBusyFractionsForAHandBuiltTimeline) {
+  const auto tracks = prof::sampleTimelineCounters(syntheticTimeline(), 4);
+  ASSERT_EQ(tracks.size(), 3u);  // no HT-out spans -> no link.out track
+
+  EXPECT_EQ(tracks[0].name, "link.in.occupancy");
+  ASSERT_EQ(tracks[0].samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(tracks[0].samples[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(tracks[0].samples[1].value, 0.0);
+  EXPECT_EQ(tracks[0].samples[1].at_ps, 2'000);
+
+  EXPECT_EQ(tracks[1].name, "icap.busy");
+  EXPECT_DOUBLE_EQ(tracks[1].samples[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(tracks[1].samples[1].value, 1.0);
+
+  EXPECT_EQ(tracks[2].name, "prr.residency");
+  EXPECT_DOUBLE_EQ(tracks[2].samples[2].value, 0.5);
+  EXPECT_DOUBLE_EQ(tracks[2].samples[3].value, 1.0);
+}
+
+TEST(CounterSampler, EmptyTimelineYieldsNoTracks) {
+  EXPECT_TRUE(prof::sampleTimelineCounters(sim::Timeline{}).empty());
+  EXPECT_TRUE(prof::sampleTimelineCounters(syntheticTimeline(), 0).empty());
+}
+
+TEST(CounterSampler, SamplingIsDeterministic) {
+  const auto first = prof::sampleTimelineCounters(syntheticTimeline());
+  const auto second = prof::sampleTimelineCounters(syntheticTimeline());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].name, second[i].name);
+    ASSERT_EQ(first[i].samples.size(), second[i].samples.size());
+    for (std::size_t s = 0; s < first[i].samples.size(); ++s) {
+      EXPECT_EQ(first[i].samples[s].at_ps, second[i].samples[s].at_ps);
+      EXPECT_EQ(first[i].samples[s].value, second[i].samples[s].value);
+    }
+  }
+}
+
+// A real scenario run must produce the tracks the bench trace (fig9a
+// --trace) is expected to carry: link occupancy and ICAP busy.
+TEST(CounterSampler, ScenarioTimelineYieldsLinkAndIcapTracks) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{1'000'000});
+  sim::Timeline timeline;
+  runtime::ScenarioOptions so;
+  so.forceMiss = true;
+  so.hooks.timeline = &timeline;
+  (void)runtime::runScenario(registry, workload, so);
+  ASSERT_FALSE(timeline.empty());
+
+  const auto tracks = prof::sampleTimelineCounters(timeline);
+  auto has = [&](std::string_view name) {
+    for (const auto& t : tracks) {
+      if (t.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("link.in.occupancy"));
+  EXPECT_TRUE(has("link.out.occupancy"));
+  EXPECT_TRUE(has("icap.busy"));
+  EXPECT_TRUE(has("prr.residency"));
+  for (const auto& track : tracks) {
+    for (const auto& sample : track.samples) {
+      EXPECT_GE(sample.value, 0.0);
+      EXPECT_LE(sample.value, 1.0);
+    }
+  }
+}
+
+}  // namespace
