@@ -14,6 +14,7 @@
 
 #include "exec/pool.hpp"
 #include "obs/bench_io.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/workload.hpp"
 #include "util/error.hpp"
@@ -192,6 +193,25 @@ int main(int argc, char** argv) {
   report.scalar("healthy_identical", std::uint64_t{healthyIdentical ? 1u : 0u});
   report.scalar("outputs_identical", std::uint64_t{identical ? 1u : 0u});
   report.scalar("fault_seed", kChaosSeed);
+
+  // --trace re-runs the hottest recovering point (rate 1e-4) with the
+  // timeline hook attached: the capture shows the recovery lane interleaved
+  // with ICAP traffic, and prtr-verify checks it against the TL0xx
+  // invariants (including the recovery pairing rule TL007).
+  if (report.traceRequested()) {
+    obs::ChromeTrace trace;
+    runtime::ScenarioOptions options = chaosOptions(1e-4, /*recovery=*/true);
+    options.hooks.trace = &trace;
+    options.verify = true;
+    const auto registry = tasks::makePaperFunctions();
+    const auto workload =
+        tasks::makeRoundRobinWorkload(registry, 24, util::Bytes{1'000'000});
+    const runtime::ScenarioResult traced =
+        runtime::runScenario(registry, workload, options);
+    trace.writeFile(report.tracePath());
+    report.scalar("traced_speedup", traced.speedup);
+    std::cout << "trace written to " << report.tracePath() << '\n';
+  }
   const bool ok = identical && healthyIdentical && unrecovered == 0;
   return ok ? report.finish() : 1;
 }

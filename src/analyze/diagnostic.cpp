@@ -23,6 +23,9 @@ const char* toString(Category category) noexcept {
     case Category::kBitstream: return "bitstream";
     case Category::kModel: return "model";
     case Category::kFault: return "fault";
+    case Category::kRace: return "race";
+    case Category::kTimeline: return "timeline";
+    case Category::kDeterminism: return "determinism";
   }
   return "?";
 }
@@ -187,6 +190,75 @@ constexpr std::array kCatalog{
              "word-flip rate above 1e-2 per word corrupts nearly every "
              "load; repair rounds will thrash",
              "lower word-flip-rate (the chaos sweeps use 1e-6..1e-4)"},
+    // Happens-before race rules (verify::RaceDetector; exec instrumentation).
+    RuleInfo{"RC001", Category::kRace, Severity::kError,
+             "write/write race: two threads wrote the same shared object "
+             "with no happens-before edge between them",
+             "order the writes through a sync object (task hand-off, "
+             "barrier, or mutex) or make the object thread-local"},
+    RuleInfo{"RC002", Category::kRace, Severity::kError,
+             "read/write race: a read and a later write of the same shared "
+             "object are unordered",
+             "publish the write through a release/acquire edge the reader "
+             "passes through"},
+    RuleInfo{"RC003", Category::kRace, Severity::kError,
+             "write/read race: a read observes a write it is not ordered "
+             "after",
+             "acquire from the sync object the writer released into before "
+             "reading"},
+    RuleInfo{"RC004", Category::kRace, Severity::kWarning,
+             "sync object acquired that was never released into (empty "
+             "causal past; likely an instrumentation gap)",
+             "check that every acquire() site has a matching release() on "
+             "the producing thread"},
+    // Timeline invariant rules (verify::checkTimelines; prtr-verify trace).
+    RuleInfo{"TL001", Category::kTimeline, Severity::kError,
+             "span violates causality: it ends before it starts",
+             "fix the emitting component's clock arithmetic; durations "
+             "must be non-negative"},
+    RuleInfo{"TL002", Category::kTimeline, Severity::kError,
+             "lane is not time-ordered: a span starts before the previous "
+             "span on the same lane",
+             "emit spans in nondecreasing start order per lane (sim::"
+             "Timeline::record appends in event order)"},
+    RuleInfo{"TL003", Category::kTimeline, Severity::kError,
+             "overlapping spans on a serial resource lane",
+             "a serial lane (CPU, recovery) can host one activity at a "
+             "time; check the scheduler's busy-until bookkeeping"},
+    RuleInfo{"TL004", Category::kTimeline, Severity::kError,
+             "PRR double-residency: two personas occupy one PRR at "
+             "overlapping times",
+             "a PRR hosts one module between reconfigurations; serialize "
+             "the residency intervals"},
+    RuleInfo{"TL005", Category::kTimeline, Severity::kError,
+             "ICAP mutual exclusion violated: overlapping configuration "
+             "sessions",
+             "the configuration port is a single resource; queue "
+             "reconfiguration requests"},
+    RuleInfo{"TL006", Category::kTimeline, Severity::kError,
+             "link occupancy not conserved: overlapping transfers on a "
+             "simplex link",
+             "HT-in/HT-out model dedicated simplex channels; serialize "
+             "transfers per direction"},
+    RuleInfo{"TL007", Category::kTimeline, Severity::kWarning,
+             "recovery span with no configuration activity inside it",
+             "a recovery episode must contain at least one retry or "
+             "degraded reload on the config lane"},
+    // Determinism rules (verify::exploreSchedules; prtr-verify explore).
+    RuleInfo{"DT001", Category::kDeterminism, Severity::kError,
+             "schedule-dependent result: a perturbed pool interleaving "
+             "changed the sweep's bytes",
+             "store results by index and keep reductions in index order "
+             "(the pool determinism contract)"},
+    RuleInfo{"DT002", Category::kDeterminism, Severity::kError,
+             "two captures of the same scenario disagree (trace diff)",
+             "eliminate the nondeterminism source (unseeded RNG, wall "
+             "clock, iteration over pointer-keyed maps)"},
+    RuleInfo{"DT003", Category::kDeterminism, Severity::kWarning,
+             "schedule exploration exercised fewer distinct interleavings "
+             "than requested",
+             "raise the seed count or widen the pool; a narrow pool "
+             "collapses many seeds onto one schedule"},
 };
 
 }  // namespace

@@ -3,11 +3,13 @@
 /// Core of the `prtr::analyze` static-diagnostics subsystem.
 ///
 /// Every rule the checkers (checks_floorplan.hpp, checks_bitstream.hpp,
-/// checks_model.hpp, checks_fault.hpp) can raise has a stable
+/// checks_model.hpp, checks_fault.hpp, verify/timeline_rules.hpp,
+/// verify/race.hpp) can raise has a stable
 /// machine-readable code — `FPxxx` for floorplan rules, `BSxxx` for
 /// bitstream rules, `MDxxx` for model and scenario rules, `FTxxx` for
-/// fault-plan and recovery rules — registered once in the rule catalog
-/// together with its
+/// fault-plan and recovery rules, `RCxxx` for happens-before races,
+/// `TLxxx` for timeline invariants, `DTxxx` for determinism rules —
+/// registered once in the rule catalog together with its
 /// severity, one-line summary, and a generic fix hint. Checkers emit by
 /// code, so a code's severity can never disagree between call sites, and
 /// the reference documentation (docs/LINT_RULES.md, `prtr-lint codes`) is
@@ -29,7 +31,15 @@ enum class Severity : std::uint8_t { kWarning, kError };
 [[nodiscard]] const char* toString(Severity severity) noexcept;
 
 /// Rule family, derived from the code prefix.
-enum class Category : std::uint8_t { kFloorplan, kBitstream, kModel, kFault };
+enum class Category : std::uint8_t {
+  kFloorplan,
+  kBitstream,
+  kModel,
+  kFault,
+  kRace,
+  kTimeline,
+  kDeterminism,
+};
 
 [[nodiscard]] const char* toString(Category category) noexcept;
 

@@ -61,15 +61,26 @@ ArtifactCache::ArtifactCache(std::uint64_t byteBudget)
 std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
                                                       const ErasedBuild& build) {
   prof::Profiler* profiler = profiler_.load(std::memory_order_relaxed);
+  RaceObserver* observer = raceObserver_.load(std::memory_order_acquire);
+  // mutex_ and each Inflight latch are modeled as sync objects so the
+  // detector sees the same hand-offs the real locks provide; removing a
+  // lock here without removing its acquire/release edge would surface as
+  // an RC diagnostic in the cache race tests.
+  const auto mutexSync = reinterpret_cast<std::uint64_t>(&mutex_);
   std::shared_ptr<Inflight> flight;
   bool builder = false;
   {
     std::unique_lock lock{mutex_};
+    if (observer != nullptr) observer->acquire(mutexSync);
     const auto hit = entries_.find(key);
     if (hit != entries_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, hit->second.lruPosition);
       auto artifact = hit->second.artifact;
+      if (observer != nullptr) {
+        observer->access(key, "exec.cache.entry", /*write=*/false);
+        observer->release(mutexSync);
+      }
       lock.unlock();
       if (profiler != nullptr) profiler->count("exec.cache.hit");
       return artifact;
@@ -83,16 +94,26 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
       inflight_.emplace(key, flight);
       builder = true;
     }
+    if (observer != nullptr) observer->release(mutexSync);
   }
+  const auto flightSync = reinterpret_cast<std::uint64_t>(flight.get());
 
   if (!builder) {
     if (profiler != nullptr) profiler->count("exec.cache.hit");
     std::unique_lock wait{flight->mutex};
     flight->done.wait(wait, [&] { return flight->finished; });
+    // Latch departure: adopt everything the builder did before it
+    // published the artifact.
+    if (observer != nullptr) observer->acquire(flightSync);
     if (flight->failure) std::rethrow_exception(flight->failure);
     // A waiter counts as a hit: the artifact was not rebuilt for it.
     const std::scoped_lock lock{mutex_};
+    if (observer != nullptr) observer->acquire(mutexSync);
     ++stats_.hits;
+    if (observer != nullptr) {
+      observer->access(key, "exec.cache.entry", /*write=*/false);
+      observer->release(mutexSync);
+    }
     return flight->artifact;
   }
   if (profiler != nullptr) profiler->count("exec.cache.miss");
@@ -110,14 +131,19 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
   std::uint64_t residentBytes = 0;
   {
     const std::scoped_lock lock{mutex_};
+    if (observer != nullptr) observer->acquire(mutexSync);
     inflight_.erase(key);
     if (!failure) {
+      if (observer != nullptr) {
+        observer->access(key, "exec.cache.entry", /*write=*/true);
+      }
       lru_.push_front(key);
       entries_.emplace(key, Entry{artifact, artifactBytes, lru_.begin()});
       bytes_ += artifactBytes;
       evictOverBudgetLocked();
     }
     residentBytes = bytes_;
+    if (observer != nullptr) observer->release(mutexSync);
   }
   if (profiler != nullptr && !failure) {
     profiler->sample("exec.cache.bytes",
@@ -128,6 +154,8 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
     flight->finished = true;
     flight->artifact = artifact;
     flight->failure = failure;
+    // Latch publication: waiters acquire flightSync after the wait.
+    if (observer != nullptr) observer->release(flightSync);
   }
   flight->done.notify_all();
   if (failure) std::rethrow_exception(failure);
@@ -135,6 +163,7 @@ std::shared_ptr<const void> ArtifactCache::getOrBuild(Key key,
 }
 
 void ArtifactCache::evictOverBudgetLocked() {
+  RaceObserver* observer = raceObserver_.load(std::memory_order_acquire);
   while (bytes_ > byteBudget_ && !lru_.empty()) {
     const Key victim = lru_.back();
     lru_.pop_back();
@@ -142,6 +171,9 @@ void ArtifactCache::evictOverBudgetLocked() {
     bytes_ -= it->second.bytes;
     entries_.erase(it);
     ++stats_.evictions;
+    if (observer != nullptr) {
+      observer->access(victim, "exec.cache.entry", /*write=*/true);
+    }
   }
 }
 
@@ -174,10 +206,19 @@ void ArtifactCache::setByteBudget(std::uint64_t bytes) {
 }
 
 void ArtifactCache::clear() {
+  RaceObserver* observer = raceObserver_.load(std::memory_order_acquire);
+  const auto mutexSync = reinterpret_cast<std::uint64_t>(&mutex_);
   const std::scoped_lock lock{mutex_};
+  if (observer != nullptr) {
+    observer->acquire(mutexSync);
+    for (const auto& [key, entry] : entries_) {
+      observer->access(key, "exec.cache.entry", /*write=*/true);
+    }
+  }
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
+  if (observer != nullptr) observer->release(mutexSync);
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {

@@ -28,6 +28,7 @@
 #include <atomic>
 
 #include "bitstream/library.hpp"
+#include "exec/instrument.hpp"
 #include "fabric/floorplan.hpp"
 #include "obs/metrics.hpp"
 #include "prof/profiler.hpp"
@@ -105,6 +106,19 @@ class ArtifactCache {
     profiler_.store(profiler, std::memory_order_relaxed);
   }
 
+  /// Attaches a happens-before race checker: the cache mutex and every
+  /// single-flight latch are modeled as sync objects, and entry lookups /
+  /// inserts / evictions are reported as reads/writes of the entry's key
+  /// (site label "exec.cache.entry"). Null (default) = uninstrumented.
+  void setRaceChecker(RaceObserver* observer) noexcept {
+    if (observer != nullptr) {
+      // Publish the mutex's initial (unlocked) state so the first lock's
+      // acquire has a matching release instead of a spurious RC004.
+      observer->release(reinterpret_cast<std::uint64_t>(&mutex_));
+    }
+    raceObserver_.store(observer, std::memory_order_release);
+  }
+
   /// Process-wide cache shared by benches and CLI runs.
   [[nodiscard]] static ArtifactCache& global();
 
@@ -132,6 +146,7 @@ class ArtifactCache {
   void evictOverBudgetLocked();
 
   std::atomic<prof::Profiler*> profiler_{nullptr};
+  std::atomic<RaceObserver*> raceObserver_{nullptr};
   mutable std::mutex mutex_;
   std::uint64_t byteBudget_;
   std::uint64_t bytes_ = 0;  ///< guarded by mutex_

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <exception>
 
+#include "exec/artifact_cache.hpp"
+
 namespace prtr::exec {
 namespace {
 
@@ -11,6 +13,11 @@ namespace {
 /// push() can target the worker's own deque and obtain() can prefer it.
 thread_local Pool* tlsPool = nullptr;
 thread_local std::size_t tlsWorker = 0;
+
+/// Distinguishes a task's completion sync object from its submission one,
+/// so "submitted happens-before run" and "ran happens-before joined" are
+/// separate edges.
+constexpr std::uint64_t kTaskDoneSalt = 0x444F4E45ull << 32;  // "DONE"
 
 std::mutex globalMutex;
 std::unique_ptr<Pool> globalPool;       // NOLINT(cert-err58-cpp)
@@ -45,10 +52,20 @@ Pool::~Pool() {
 }
 
 void Pool::push(std::unique_ptr<Task> task) {
-  const std::size_t target =
+  task->syncId = nextSyncId_.fetch_add(1, std::memory_order_relaxed);
+  if (RaceObserver* observer = raceObserver_.load(std::memory_order_acquire)) {
+    // Submission edge: everything the submitter did so far happens-before
+    // whatever thread later runs this task.
+    observer->release(task->syncId);
+  }
+  std::size_t target =
       tlsPool == this
           ? tlsWorker
           : pushCursor_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  if (ScheduleOracle* oracle = lockOracle()) {
+    target = oracle->choose(deques_.size(), kOracleSitePush);
+    unlockOracle();
+  }
   {
     const std::scoped_lock lock{deques_[target]->mutex};
     deques_[target]->tasks.push_back(std::move(task));
@@ -66,20 +83,50 @@ void Pool::push(std::unique_ptr<Task> task) {
   }
 }
 
+// Both seq_cst round-trips pair with setScheduleOracle's store-then-drain:
+// either the pinning thread sees the new pointer, or the detacher sees the
+// pin and waits — the old oracle is never touched after detach returns.
+ScheduleOracle* Pool::lockOracle() noexcept {
+  if (oracle_.load(std::memory_order_acquire) == nullptr) return nullptr;
+  oracleUsers_.fetch_add(1, std::memory_order_seq_cst);
+  ScheduleOracle* oracle = oracle_.load(std::memory_order_seq_cst);
+  if (oracle == nullptr) unlockOracle();
+  return oracle;
+}
+
+void Pool::unlockOracle() noexcept {
+  oracleUsers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
 std::unique_ptr<Pool::Task> Pool::obtain(std::size_t self) {
+  ScheduleOracle* oracle = lockOracle();
   std::unique_ptr<Task> task;
-  // Own deque: pop the back (the owner's LIFO end).
+  // Own deque: pop the back (the owner's LIFO end); an oracle may flip the
+  // pop to the FIFO end to surface order-dependent bugs.
   {
     const std::scoped_lock lock{deques_[self]->mutex};
     if (!deques_[self]->tasks.empty()) {
-      task = std::move(deques_[self]->tasks.back());
-      deques_[self]->tasks.pop_back();
+      const bool front =
+          oracle != nullptr && oracle->choose(2, kOracleSitePopEnd) == 1;
+      if (front) {
+        task = std::move(deques_[self]->tasks.front());
+        deques_[self]->tasks.pop_front();
+      } else {
+        task = std::move(deques_[self]->tasks.back());
+        deques_[self]->tasks.pop_back();
+      }
     }
   }
-  // Steal: take the front (FIFO end) of the first non-empty victim.
+  // Steal: take the front (FIFO end) of the first non-empty victim. The
+  // oracle rotates which victim the probe starts at.
   if (!task) {
-    for (std::size_t k = 1; k < deques_.size() && !task; ++k) {
-      const std::size_t victim = (self + k) % deques_.size();
+    const std::size_t n = deques_.size();
+    const std::size_t spin =
+        oracle != nullptr && n > 1
+            ? oracle->choose(n - 1, kOracleSiteStealOrder)
+            : 0;
+    for (std::size_t k = 1; k < n && !task; ++k) {
+      const std::size_t victim = (self + 1 + (spin + k - 1) % (n - 1)) % n;
       const std::scoped_lock lock{deques_[victim]->mutex};
       if (!deques_[victim]->tasks.empty()) {
         task = std::move(deques_[victim]->tasks.front());
@@ -92,11 +139,27 @@ std::unique_ptr<Pool::Task> Pool::obtain(std::size_t self) {
       }
     }
   }
+  if (oracle != nullptr) unlockOracle();
   if (task) {
     const std::scoped_lock lock{sleepMutex_};
     --readyHint_;
   }
   return task;
+}
+
+void Pool::runObtainedTask(Task& task) {
+  RaceObserver* observer = raceObserver_.load(std::memory_order_acquire);
+  if (observer != nullptr) observer->acquire(task.syncId);
+  {
+    const prof::Scope scope{profiler_.load(std::memory_order_relaxed),
+                            "exec.pool.task"};
+    task.run();
+  }
+  // Completion edge: a joiner that later acquires syncId ^ kTaskDoneSalt
+  // (the parallelFor barrier does, through its ForState sync) observes
+  // everything the task did.
+  if (observer != nullptr) observer->release(task.syncId ^ kTaskDoneSalt);
+  executed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Pool::workerMain(std::size_t index) {
@@ -105,12 +168,7 @@ void Pool::workerMain(std::size_t index) {
   for (;;) {
     std::unique_ptr<Task> task = obtain(index);
     if (task) {
-      {
-        const prof::Scope scope{profiler_.load(std::memory_order_relaxed),
-                                "exec.pool.task"};
-        task->run();
-      }
-      executed_.fetch_add(1, std::memory_order_relaxed);
+      runObtainedTask(*task);
       continue;
     }
     std::unique_lock lock{sleepMutex_};
@@ -123,12 +181,7 @@ bool Pool::tryRunOneTask() {
   const std::size_t self = tlsPool == this ? tlsWorker : 0;
   std::unique_ptr<Task> task = obtain(self);
   if (!task) return false;
-  {
-    const prof::Scope scope{profiler_.load(std::memory_order_relaxed),
-                            "exec.pool.task"};
-    task->run();
-  }
-  executed_.fetch_add(1, std::memory_order_relaxed);
+  runObtainedTask(*task);
   return true;
 }
 
@@ -143,6 +196,10 @@ struct Pool::ForState {
   std::condition_variable done;
   std::size_t pendingRunners = 0;  ///< guarded by mutex
   std::exception_ptr failure;      ///< guarded by mutex
+  /// Barrier sync object: every runner releases into it when its chunks
+  /// are done; the caller acquires it once, after the last runner.
+  RaceObserver* observer = nullptr;
+  std::uint64_t barrierSyncId = 0;
 };
 
 void Pool::runChunks(ForState& state) {
@@ -167,6 +224,7 @@ struct Pool::ForRunner final : Task {
   explicit ForRunner(std::shared_ptr<ForState> s) : state(std::move(s)) {}
   void run() noexcept override {
     runChunks(*state);
+    if (state->observer != nullptr) state->observer->release(state->barrierSyncId);
     const std::scoped_lock lock{state->mutex};
     if (--state->pendingRunners == 0) state->done.notify_all();
   }
@@ -193,6 +251,10 @@ void Pool::parallelFor(std::size_t count,
   state->fn = &fn;
   const std::size_t grain = std::max<std::size_t>(options.grain, 1);
   state->chunk = std::max(grain, count / (participants * 8));
+  state->observer = raceObserver_.load(std::memory_order_acquire);
+  if (state->observer != nullptr) {
+    state->barrierSyncId = nextSyncId_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const std::size_t runners = participants - 1;  // caller is a participant
   state->pendingRunners = runners;
@@ -215,6 +277,9 @@ void Pool::parallelFor(std::size_t count,
       lock.lock();
     }
   }
+  // Barrier departure: adopt everything every runner did before returning
+  // to the caller, matching the releases in ForRunner::run.
+  if (state->observer != nullptr) state->observer->acquire(state->barrierSyncId);
   if (state->failure) std::rethrow_exception(state->failure);
 }
 
@@ -249,6 +314,11 @@ void Pool::setGlobalThreads(std::size_t threads) {
 void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
                  ForOptions options) {
   Pool::global().parallelFor(count, fn, options);
+}
+
+void setRaceChecker(RaceObserver* observer) {
+  Pool::global().setRaceChecker(observer);
+  ArtifactCache::global().setRaceChecker(observer);
 }
 
 }  // namespace prtr::exec

@@ -38,6 +38,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "exec/instrument.hpp"
 #include "obs/metrics.hpp"
 #include "prof/profiler.hpp"
 
@@ -129,6 +130,32 @@ class Pool {
     profiler_.store(profiler, std::memory_order_relaxed);
   }
 
+  /// Attaches a happens-before race checker: task submit/steal/complete
+  /// and parallelFor barrier edges are reported as release/acquire pairs
+  /// on per-task sync objects (see exec/instrument.hpp). Null (the
+  /// default) keeps the hot paths uninstrumented. The observer must
+  /// outlive the pool or be detached first.
+  void setRaceChecker(RaceObserver* observer) noexcept {
+    raceObserver_.store(observer, std::memory_order_release);
+  }
+
+  /// Injects a schedule oracle that perturbs task placement, pop ends,
+  /// and steal-victim order (verify::exploreSchedules drives this with
+  /// seeded oracles to enumerate interleavings). Null = default policy.
+  /// Unlike the race checker, the oracle does NOT have to outlive the
+  /// pool: this call quiesces before returning, so the previous oracle
+  /// may be destroyed as soon as it is detached (exploreSchedules runs a
+  /// scoped oracle per replay).
+  void setScheduleOracle(ScheduleOracle* oracle) noexcept {
+    oracle_.store(oracle, std::memory_order_seq_cst);
+    // A thread that loaded the previous oracle holds oracleUsers_ until
+    // it is done calling into it; once the count drains, no thread can
+    // reach the old oracle again (lockOracle re-checks after pinning).
+    while (oracleUsers_.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
   /// The process-wide pool, created on first use with the thread count last
   /// given to setGlobalThreads (default: hardware concurrency).
   [[nodiscard]] static Pool& global();
@@ -141,9 +168,12 @@ class Pool {
  private:
   /// Type-erased queued unit of work. run() must not throw: user exceptions
   /// are captured into futures (submit) or the sweep state (parallelFor).
+  /// syncId identifies the task as a happens-before sync object: push()
+  /// releases into it, the running thread acquires from it.
   struct Task {
     virtual ~Task() = default;
     virtual void run() noexcept = 0;
+    std::uint64_t syncId = 0;
   };
 
   template <typename R>
@@ -152,6 +182,13 @@ class Pool {
     void run() noexcept override { task(); }
     std::packaged_task<R()> task;
   };
+
+  /// Pins the attached oracle against a concurrent setScheduleOracle
+  /// (which quiesces on oracleUsers_). Returns null without pinning when
+  /// no oracle is attached; a non-null return must be paired with
+  /// unlockOracle().
+  [[nodiscard]] ScheduleOracle* lockOracle() noexcept;
+  void unlockOracle() noexcept;
 
   /// Shared state of one parallelFor call; runners hold shared ownership
   /// so the state outlives early caller unwinding paths.
@@ -166,6 +203,7 @@ class Pool {
   void push(std::unique_ptr<Task> task);
   [[nodiscard]] std::unique_ptr<Task> obtain(std::size_t self);
   void workerMain(std::size_t index);
+  void runObtainedTask(Task& task);
   static void runChunks(ForState& state);
 
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
@@ -177,6 +215,13 @@ class Pool {
   bool stopping_ = false;      ///< guarded by sleepMutex_
 
   std::atomic<prof::Profiler*> profiler_{nullptr};
+  // Observer/oracle pointers publish with release and are read with
+  // acquire (free on x86) so the pointee's construction is visible to a
+  // worker before its first callback.
+  std::atomic<RaceObserver*> raceObserver_{nullptr};
+  std::atomic<ScheduleOracle*> oracle_{nullptr};
+  std::atomic<std::size_t> oracleUsers_{0};
+  std::atomic<std::uint64_t> nextSyncId_{1};
   std::atomic<std::size_t> pushCursor_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> executed_{0};
@@ -187,6 +232,10 @@ class Pool {
 /// Convenience wrappers over Pool::global().
 void parallelFor(std::size_t count, const std::function<void(std::size_t)>& fn,
                  ForOptions options = {});
+
+/// Attaches `observer` to the process-wide pool and artifact cache in one
+/// call (the usual way verify::RaceDetector is armed). Null detaches both.
+void setRaceChecker(RaceObserver* observer);
 
 template <typename T, typename Fn>
 [[nodiscard]] auto parallelMap(const std::vector<T>& inputs, Fn&& fn,

@@ -9,6 +9,7 @@
 #include "prof/profiler.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
+#include "verify/timeline_rules.hpp"
 
 namespace prtr::runtime {
 namespace {
@@ -174,13 +175,14 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
   }
 
   // Resolve timelines: caller-provided ones win; when a trace collector is
-  // attached without timelines, record into locals so the trace still fills.
+  // attached (or inline verification requested) without timelines, record
+  // into locals so the trace/checker still sees the run.
   sim::Timeline localFrtr;
   sim::Timeline localPrtr;
   const obs::Hooks& hooks = options.hooks;
   sim::Timeline* frtrTl = hooks.frtrTimeline;
   sim::Timeline* prtrTl = hooks.timeline;
-  if (hooks.trace != nullptr) {
+  if (hooks.trace != nullptr || options.verify) {
     if (frtrTl == nullptr && options.sides == ScenarioSides::kBoth) {
       frtrTl = &localFrtr;
     }
@@ -233,6 +235,19 @@ ScenarioResult runScenario(const tasks::FunctionRegistry& registry,
     if (prtrTl != nullptr && !prtrTl->empty()) {
       hooks.trace->add("prtr", *prtrTl);
       hooks.trace->addCounters("prtr", prof::sampleTimelineCounters(*prtrTl));
+    }
+  }
+
+  // Inline invariant verification: the captured timelines must respect the
+  // platform's physical exclusivity constraints. Same abort contract as
+  // the strict pre-run lint above.
+  if (options.verify) {
+    const prof::Scope scope{profiler, "scenario.verify"};
+    analyze::DiagnosticSink findings;
+    if (frtrTl != nullptr) verify::checkTimeline("frtr", *frtrTl, findings);
+    if (prtrTl != nullptr) verify::checkTimeline("prtr", *prtrTl, findings);
+    if (findings.hasErrors()) {
+      throw util::DomainError{"runScenario: " + findings.firstError().format()};
     }
   }
   return result;

@@ -68,6 +68,14 @@ struct ScenarioOptions {
   RecoveryPolicy recovery{};
   /// Observability: timelines, metrics sink, trace exporter.
   obs::Hooks hooks{};
+  /// Inline timeline verification: after the run, both sides' timelines
+  /// are checked against the verify::checkTimeline invariants (TL0xx —
+  /// causality, PRR single-residency, ICAP exclusion, link conservation,
+  /// recovery pairing). An error-severity finding aborts with DomainError,
+  /// same contract as the strict pre-run lint. Timelines are recorded
+  /// locally when no hook provides one, so enabling this needs no other
+  /// observability setup.
+  bool verify = false;
   /// Memoizes floorplans and bitstreams across runs (sweeps set this to
   /// share artifacts between points; see exec::ArtifactCache). Null = every
   /// run builds its own. Simulation results are identical either way — the

@@ -1,0 +1,36 @@
+#include "verify/oracle.hpp"
+
+namespace prtr::verify {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::size_t SeededOracle::choose(std::size_t choices,
+                                 std::uint64_t site) noexcept {
+  if (choices <= 1) return 0;
+  // One atomic splitmix step; concurrent callers interleave arbitrarily,
+  // which is exactly the point — the signature records what happened.
+  std::uint64_t state = state_.fetch_add(0x9E3779B97F4A7C15ull,
+                                         std::memory_order_relaxed) +
+                        0x9E3779B97F4A7C15ull;
+  std::uint64_t draw = state;
+  draw = (draw ^ (draw >> 30)) * 0xBF58476D1CE4E5B9ull;
+  draw = (draw ^ (draw >> 27)) * 0x94D049BB133111EBull;
+  draw ^= draw >> 31;
+  const std::size_t decision = static_cast<std::size_t>(draw % choices);
+
+  const std::uint64_t index =
+      decisions_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t mix = index * 0x9E3779B97F4A7C15ull;
+  mix ^= site + 0x165667B19E3779F9ull + (mix << 6) + (mix >> 2);
+  mix ^= decision + 0x27D4EB2F165667C5ull + (mix << 6) + (mix >> 2);
+  mix = (mix ^ (mix >> 30)) * 0xBF58476D1CE4E5B9ull;
+  signature_.fetch_xor(mix ^ (mix >> 27), std::memory_order_relaxed);
+  return decision;
+}
+
+}  // namespace prtr::verify

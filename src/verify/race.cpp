@@ -1,0 +1,154 @@
+#include "verify/race.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace prtr::verify {
+namespace {
+
+std::uint64_t currentThreadKey() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+std::size_t RaceDetector::threadIndexLocked() {
+  const std::uint64_t key = currentThreadKey();
+  const auto it = threadIndex_.find(key);
+  if (it != threadIndex_.end()) return it->second;
+  const std::size_t index = threadClocks_.size();
+  threadIndex_.emplace(key, index);
+  // Own epoch starts at 1 so a recorded read epoch of 0 means "no read".
+  Clock clock(index + 1, 0);
+  clock[index] = 1;
+  threadClocks_.push_back(std::move(clock));
+  ++stats_.threads;
+  return index;
+}
+
+void RaceDetector::joinInto(Clock& into, const Clock& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+void RaceDetector::recordRaceLocked(const char* code, std::uint64_t objectId,
+                                    const char* site, std::string detail) {
+  const auto duplicate = std::any_of(
+      races_.begin(), races_.end(), [&](const Race& race) {
+        return race.objectId == objectId && race.code == code;
+      });
+  if (duplicate) return;
+  races_.push_back(Race{code, objectId, site, std::move(detail)});
+}
+
+void RaceDetector::release(std::uint64_t syncId) noexcept {
+  try {
+    const std::scoped_lock lock{mutex_};
+    const std::size_t self = threadIndexLocked();
+    Clock& sync = syncs_[syncId];
+    joinInto(sync, threadClocks_[self]);
+    // Advance the epoch so later same-thread events are not confused with
+    // the causal past just published.
+    ++threadClocks_[self][self];
+    ++stats_.releases;
+  } catch (...) {
+    // noexcept seam: an allocation failure here must not kill the pool.
+  }
+}
+
+void RaceDetector::acquire(std::uint64_t syncId) noexcept {
+  try {
+    const std::scoped_lock lock{mutex_};
+    const std::size_t self = threadIndexLocked();
+    const auto it = syncs_.find(syncId);
+    if (it == syncs_.end()) {
+      recordRaceLocked("RC004", syncId, "exec.sync",
+                       "acquire of sync object " + std::to_string(syncId) +
+                           " that nothing released into");
+    } else {
+      joinInto(threadClocks_[self], it->second);
+    }
+    ++stats_.acquires;
+  } catch (...) {
+  }
+}
+
+void RaceDetector::access(std::uint64_t objectId, const char* what,
+                          bool write) noexcept {
+  try {
+    const std::scoped_lock lock{mutex_};
+    const std::size_t self = threadIndexLocked();
+    Clock& clock = threadClocks_[self];
+    SharedState& shared = shared_[objectId];
+    const auto knows = [&](std::size_t thread, std::uint64_t epoch) {
+      return thread < clock.size() && clock[thread] >= epoch;
+    };
+    if (write) {
+      if (shared.written && shared.writeThread != self &&
+          !knows(shared.writeThread, shared.writeEpoch)) {
+        recordRaceLocked("RC001", objectId, what,
+                         std::string{"unordered writes at "} +
+                             shared.writeSite + " and " + what);
+      }
+      for (std::size_t reader = 0; reader < shared.reads.size(); ++reader) {
+        if (reader == self || shared.reads[reader] == 0) continue;
+        if (!knows(reader, shared.reads[reader])) {
+          recordRaceLocked("RC002", objectId, what,
+                           std::string{"write at "} + what +
+                               " unordered with a read at " + shared.readSite);
+        }
+      }
+      shared.written = true;
+      shared.writeThread = self;
+      shared.writeEpoch = clock[self];
+      shared.writeSite = what;
+      shared.reads.clear();
+      ++stats_.writes;
+    } else {
+      if (shared.written && shared.writeThread != self &&
+          !knows(shared.writeThread, shared.writeEpoch)) {
+        recordRaceLocked("RC003", objectId, what,
+                         std::string{"read at "} + what +
+                             " unordered with the write at " +
+                             shared.writeSite);
+      }
+      if (shared.reads.size() <= self) shared.reads.resize(self + 1, 0);
+      shared.reads[self] = clock[self];
+      shared.readSite = what;
+      ++stats_.reads;
+    }
+  } catch (...) {
+  }
+}
+
+std::vector<Race> RaceDetector::races() const {
+  const std::scoped_lock lock{mutex_};
+  return races_;
+}
+
+void RaceDetector::report(analyze::DiagnosticSink& sink) const {
+  for (const Race& race : races()) {
+    sink.emit(race.code, race.site + " object " + std::to_string(race.objectId),
+              race.detail);
+  }
+}
+
+RaceDetector::Stats RaceDetector::stats() const {
+  const std::scoped_lock lock{mutex_};
+  return stats_;
+}
+
+void RaceDetector::reset() {
+  const std::scoped_lock lock{mutex_};
+  threadIndex_.clear();
+  threadClocks_.clear();
+  syncs_.clear();
+  shared_.clear();
+  races_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace prtr::verify

@@ -1,0 +1,51 @@
+#pragma once
+/// \file timeline_rules.hpp
+/// Timeline invariant analyzer: statically checks a captured sim::Timeline
+/// (or raw span list loaded back from a Chrome trace) against the physical
+/// invariants of the simulated platform and reports violations as TL0xx
+/// diagnostics. The rules encode what the hardware cannot do:
+///
+///   TL001  a span ends before it starts (causality)
+///   TL002  spans on one lane are recorded out of time order
+///   TL003  overlapping spans on a serial resource lane (CPU, recovery)
+///   TL004  two personas resident in one PRR at overlapping times
+///   TL005  overlapping configuration sessions on the ICAP
+///   TL006  overlapping transfers on a simplex HT link
+///   TL007  recovery span containing no configuration activity
+///
+/// Lane semantics follow the executors' conventions: "config" is the
+/// single configuration port, "PRR<n>"/"FPGA" are compute regions,
+/// "HT-in"/"HT-out" are dedicated simplex links, "recovery" holds PR-4
+/// recovery episodes, anything else ("CPU", ...) is a serial resource.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "sim/trace.hpp"
+
+namespace prtr::verify {
+
+/// Physical resource class a timeline lane models.
+enum class LaneKind : std::uint8_t {
+  kConfigPort,  ///< ICAP: mutual exclusion (TL005)
+  kComputeRegion,  ///< PRR / full fabric: single residency (TL004)
+  kLink,        ///< simplex HT channel: occupancy conservation (TL006)
+  kRecovery,    ///< recovery episodes: serial + must pair with config
+  kSerial,      ///< any other single resource (TL003)
+};
+
+[[nodiscard]] LaneKind classifyLane(std::string_view lane) noexcept;
+
+/// Checks one process's spans (any lane mix) and emits TL diagnostics.
+/// `process` labels diagnostic locations, e.g. a trace process name.
+void checkSpans(const std::string& process,
+                const std::vector<sim::Span>& spans,
+                analyze::DiagnosticSink& sink);
+
+/// Convenience overload for a live timeline.
+void checkTimeline(const std::string& process, const sim::Timeline& timeline,
+                   analyze::DiagnosticSink& sink);
+
+}  // namespace prtr::verify

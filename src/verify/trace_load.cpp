@@ -1,0 +1,137 @@
+#include "verify/trace_load.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "verify/timeline_rules.hpp"
+
+namespace prtr::verify {
+namespace {
+
+util::Time timeFromMicroseconds(double us) {
+  return util::Time::picoseconds(
+      static_cast<std::int64_t>(std::llround(us * 1e6)));
+}
+
+std::uint64_t idOf(const util::json::Value& event, std::string_view key) {
+  const util::json::Value* value = event.find(key);
+  return value == nullptr ? 0
+                          : static_cast<std::uint64_t>(value->asNumber());
+}
+
+}  // namespace
+
+std::vector<TraceProcess> loadChromeTrace(std::string_view jsonText) {
+  const util::json::Value document = util::json::Value::parse(jsonText);
+  const util::json::Value& events = document.at("traceEvents");
+
+  std::map<std::uint64_t, std::string> processNames;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> laneNames;
+  // First pass: metadata. The writer emits it before the X events, but a
+  // hand-edited trace need not keep that order.
+  for (const util::json::Value& event : events.asArray()) {
+    const util::json::Value* ph = event.find("ph");
+    if (ph == nullptr || ph->asString() != "M") continue;
+    const std::string& kind = event.at("name").asString();
+    if (kind == "process_name") {
+      processNames[idOf(event, "pid")] =
+          event.at("args").at("name").asString();
+    } else if (kind == "thread_name") {
+      laneNames[{idOf(event, "pid"), idOf(event, "tid")}] =
+          event.at("args").at("name").asString();
+    }
+  }
+
+  std::map<std::uint64_t, TraceProcess> processes;
+  for (const util::json::Value& event : events.asArray()) {
+    const util::json::Value* ph = event.find("ph");
+    if (ph == nullptr || ph->asString() != "X") continue;
+    const std::uint64_t pid = idOf(event, "pid");
+    TraceProcess& process = processes[pid];
+    if (process.name.empty()) {
+      const auto named = processNames.find(pid);
+      process.name = named != processNames.end()
+                         ? named->second
+                         : "pid " + std::to_string(pid);
+    }
+    sim::Span span;
+    const auto lane = laneNames.find({pid, idOf(event, "tid")});
+    if (lane != laneNames.end()) {
+      span.lane = lane->second;
+    } else if (const util::json::Value* cat = event.find("cat")) {
+      span.lane = cat->asString();
+    }
+    span.label = event.at("name").asString();
+    span.start = timeFromMicroseconds(event.at("ts").asNumber());
+    span.end = span.start + timeFromMicroseconds(event.at("dur").asNumber());
+    process.spans.push_back(std::move(span));
+  }
+
+  std::vector<TraceProcess> out;
+  out.reserve(processes.size());
+  for (auto& [pid, process] : processes) out.push_back(std::move(process));
+  return out;
+}
+
+std::vector<TraceProcess> loadChromeTraceFile(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw util::Error{"trace_load: cannot open '" + path + "'"};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return loadChromeTrace(text.str());
+}
+
+void checkTrace(const std::vector<TraceProcess>& processes,
+                analyze::DiagnosticSink& sink) {
+  for (const TraceProcess& process : processes) {
+    checkSpans(process.name, process.spans, sink);
+  }
+}
+
+void compareTraces(const std::vector<TraceProcess>& left,
+                   const std::vector<TraceProcess>& right,
+                   analyze::DiagnosticSink& sink) {
+  if (left.size() != right.size()) {
+    sink.emit("DT002", "trace",
+              "process counts differ: " + std::to_string(left.size()) +
+                  " vs " + std::to_string(right.size()));
+    return;
+  }
+  for (std::size_t p = 0; p < left.size(); ++p) {
+    const TraceProcess& a = left[p];
+    const TraceProcess& b = right[p];
+    const std::string location = "process '" + a.name + "'";
+    if (a.name != b.name) {
+      sink.emit("DT002", location, "process name differs: '" + a.name +
+                                       "' vs '" + b.name + "'");
+      continue;
+    }
+    if (a.spans.size() != b.spans.size()) {
+      sink.emit("DT002", location,
+                "span counts differ: " + std::to_string(a.spans.size()) +
+                    " vs " + std::to_string(b.spans.size()));
+      continue;
+    }
+    for (std::size_t i = 0; i < a.spans.size(); ++i) {
+      const sim::Span& x = a.spans[i];
+      const sim::Span& y = b.spans[i];
+      if (x.lane != y.lane || x.label != y.label || x.start != y.start ||
+          x.end != y.end) {
+        sink.emit("DT002", location + " span " + std::to_string(i),
+                  "'" + x.label + "'@" + x.lane + " [" + x.start.toString() +
+                      ", " + x.end.toString() + ") vs '" + y.label + "'@" +
+                      y.lane + " [" + y.start.toString() + ", " +
+                      y.end.toString() + ")");
+        break;  // first difference per process keeps the report readable
+      }
+    }
+  }
+}
+
+}  // namespace prtr::verify

@@ -1,0 +1,49 @@
+#pragma once
+/// \file trace_load.hpp
+/// Reads a Chrome trace written by obs::ChromeTrace back into raw span
+/// lists, so the timeline invariant analyzer (timeline_rules.hpp) and the
+/// prtr-verify CLI can run post-hoc over any captured --trace file. Spans
+/// are returned as plain vectors rather than sim::Timeline objects on
+/// purpose: Timeline::record rejects end < start, but the whole point of
+/// post-hoc verification is to load traces that violate causality and
+/// diagnose them (TL001) instead of refusing to look.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/diagnostic.hpp"
+#include "sim/trace.hpp"
+
+namespace prtr::verify {
+
+/// One trace process: a named span list (record order preserved).
+struct TraceProcess {
+  std::string name;
+  std::vector<sim::Span> spans;
+};
+
+/// Parses one Chrome trace JSON document ("traceEvents" with M metadata
+/// and X duration events; C counter events are ignored). Lane names come
+/// from the thread_name metadata, falling back to the event's "cat".
+/// Throws util::DomainError on malformed JSON or a missing traceEvents key.
+[[nodiscard]] std::vector<TraceProcess> loadChromeTrace(
+    std::string_view jsonText);
+
+/// Reads and parses a trace file. Throws util::Error when unreadable.
+[[nodiscard]] std::vector<TraceProcess> loadChromeTraceFile(
+    const std::string& path);
+
+/// Runs the timeline invariant rules over every process of a loaded trace.
+void checkTrace(const std::vector<TraceProcess>& processes,
+                analyze::DiagnosticSink& sink);
+
+/// Structural comparison of two captures of the same scenario: process
+/// names, span counts, and every span's lane/label/start/end must match.
+/// Differences are emitted as DT002 diagnostics (first difference per
+/// process).
+void compareTraces(const std::vector<TraceProcess>& left,
+                   const std::vector<TraceProcess>& right,
+                   analyze::DiagnosticSink& sink);
+
+}  // namespace prtr::verify

@@ -1,97 +1,14 @@
-// Tests for the analysis helpers: parallel sweeps and figure emitters.
-// The parallel shims are deprecated (they forward to exec::Pool) but must
-// keep working until external callers migrate, so we test them as-is.
+// Tests for the analysis figure emitters. (The deprecated parallel shims
+// that used to live alongside them were removed in PR 6; the sweep
+// machinery they forwarded to is covered by exec_pool_test.cpp.)
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "analysis/figures.hpp"
-#include "analysis/parallel.hpp"
-#include "util/error.hpp"
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace prtr::analysis {
 namespace {
-
-TEST(ParallelTest, ForCoversEveryIndexOnce) {
-  std::vector<std::atomic<int>> hits(1000);
-  parallelFor(1000, [&](std::size_t i) { ++hits[i]; });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ParallelTest, MapPreservesOrder) {
-  std::vector<int> inputs(100);
-  for (int i = 0; i < 100; ++i) inputs[static_cast<std::size_t>(i)] = i;
-  const auto out = parallelMap(inputs, [](int x) { return x * x; });
-  for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
-  }
-}
-
-TEST(ParallelTest, MapSupportsNonDefaultConstructibleResults) {
-  // Regression: the old implementation required R to be default-constructible
-  // because it pre-sized a std::vector<R>. The exec-backed version stores
-  // results in optional slots, so this must compile and preserve order.
-  struct Wrapped {
-    explicit Wrapped(int v) : value(v) {}
-    int value;
-  };
-  std::vector<int> inputs{3, 1, 4, 1, 5, 9, 2, 6};
-  const auto out =
-      parallelMap(inputs, [](int x) { return Wrapped{x * 10}; }, 2);
-  ASSERT_EQ(out.size(), inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    EXPECT_EQ(out[i].value, inputs[i] * 10);
-  }
-}
-
-TEST(ParallelTest, ExceptionsPropagate) {
-  EXPECT_THROW(parallelFor(64,
-                           [](std::size_t i) {
-                             if (i == 13) throw util::DomainError{"unlucky"};
-                           }),
-               util::DomainError);
-}
-
-TEST(ParallelTest, SingleThreadFallback) {
-  int sum = 0;
-  parallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
-  EXPECT_EQ(sum, 45);
-}
-
-TEST(ParallelTest, ShimsWarnOncePerCallSite) {
-  // Each deprecated shim logs one pointer at its exec:: replacement per
-  // distinct call site, then stays silent so hot sweep loops don't flood
-  // the log. Capture std::clog (the util::Log sink) around two sites.
-  std::ostringstream captured;
-  std::streambuf* const old = std::clog.rdbuf(captured.rdbuf());
-  for (int repeat = 0; repeat < 3; ++repeat) {
-    parallelFor(4, [](std::size_t) {}, 1);  // one site, called three times
-  }
-  parallelFor(4, [](std::size_t) {}, 1);  // a second, distinct site
-  const std::vector<int> inputs{1, 2, 3};
-  for (int repeat = 0; repeat < 2; ++repeat) {
-    (void)parallelMap(inputs, [](int x) { return x; }, 1);
-  }
-  std::clog.rdbuf(old);
-
-  const std::string log = captured.str();
-  std::size_t warnings = 0;
-  for (std::size_t pos = log.find(" is deprecated");
-       pos != std::string::npos; pos = log.find(" is deprecated", pos + 1)) {
-    ++warnings;
-  }
-  EXPECT_EQ(warnings, 3u);  // two parallelFor sites + one parallelMap site
-  EXPECT_NE(log.find("analysis::parallelFor"), std::string::npos);
-  EXPECT_NE(log.find("analysis::parallelMap"), std::string::npos);
-  EXPECT_NE(log.find("use exec::parallelFor instead"), std::string::npos);
-}
 
 TEST(LogGridTest, EndpointsAndMonotonicity) {
   const auto grid = logGrid(1e-3, 100.0, 26);
@@ -133,5 +50,3 @@ TEST(Fig9Test, SmallSweepProducesConsistentPoints) {
 
 }  // namespace
 }  // namespace prtr::analysis
-
-#pragma GCC diagnostic pop

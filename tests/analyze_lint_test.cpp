@@ -10,6 +10,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analyze/checks_bitstream.hpp"
@@ -29,9 +30,14 @@
 #include "runtime/cache.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/scenario.hpp"
+#include "sim/trace.hpp"
 #include "tasks/workload.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "verify/race.hpp"
+#include "verify/schedule.hpp"
+#include "verify/timeline_rules.hpp"
+#include "verify/trace_load.hpp"
 
 namespace prtr {
 namespace {
@@ -116,9 +122,13 @@ TEST(RuleCatalog, CodesAreGroupedSortedUniqueAndPrefixConsistent) {
     const Category expected = prefix == "FP"   ? Category::kFloorplan
                               : prefix == "BS" ? Category::kBitstream
                               : prefix == "MD" ? Category::kModel
-                                               : Category::kFault;
+                              : prefix == "FT" ? Category::kFault
+                              : prefix == "RC" ? Category::kRace
+                              : prefix == "TL" ? Category::kTimeline
+                                               : Category::kDeterminism;
     EXPECT_TRUE(prefix == "FP" || prefix == "BS" || prefix == "MD" ||
-                prefix == "FT")
+                prefix == "FT" || prefix == "RC" || prefix == "TL" ||
+                prefix == "DT")
         << code;
     EXPECT_EQ(rule.category, expected) << code;
     EXPECT_STRNE(rule.summary, "") << code;
@@ -144,19 +154,28 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
   std::size_t bs = 0;
   std::size_t md = 0;
   std::size_t ft = 0;
+  std::size_t rc = 0;
+  std::size_t tl = 0;
+  std::size_t dt = 0;
   for (const analyze::RuleInfo& rule : analyze::ruleCatalog()) {
     switch (rule.category) {
       case Category::kFloorplan: ++fp; break;
       case Category::kBitstream: ++bs; break;
       case Category::kModel: ++md; break;
       case Category::kFault: ++ft; break;
+      case Category::kRace: ++rc; break;
+      case Category::kTimeline: ++tl; break;
+      case Category::kDeterminism: ++dt; break;
     }
   }
   EXPECT_EQ(fp, 10u);
   EXPECT_EQ(bs, 11u);
   EXPECT_EQ(md, 12u);
   EXPECT_EQ(ft, 10u);
-  EXPECT_GE(fp + bs + md + ft, 12u);
+  EXPECT_EQ(rc, 4u);
+  EXPECT_EQ(tl, 7u);
+  EXPECT_EQ(dt, 3u);
+  EXPECT_GE(fp + bs + md + ft + rc + tl + dt, 12u);
 }
 
 TEST(RuleCatalog, UnknownCodeThrows) {
@@ -174,6 +193,9 @@ TEST(RuleCatalog, MarkdownReferenceListsEveryCode) {
   EXPECT_NE(reference.find("## bitstream rules"), std::string::npos);
   EXPECT_NE(reference.find("## model rules"), std::string::npos);
   EXPECT_NE(reference.find("## fault rules"), std::string::npos);
+  EXPECT_NE(reference.find("## race rules"), std::string::npos);
+  EXPECT_NE(reference.find("## timeline rules"), std::string::npos);
+  EXPECT_NE(reference.find("## determinism rules"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -959,6 +981,60 @@ TEST(RuleCoverage, EveryDocumentedCodeIsEmittableByAChecker) {
     std::istringstream bad{"arrival sometimes\nverify maybe\n"};
     collect(analyze::lintFaultSpec(
         analyze::parseFaultSpec(bad)));  // FT004, FT005, FT007
+  }
+  {  // Races: feed the detector an event stream with every unordered pair.
+    verify::RaceDetector detector;
+    detector.access(1, "exec.cache.entry", true);
+    detector.access(2, "exec.cache.entry", false);
+    detector.access(3, "exec.cache.entry", true);
+    std::thread other{[&detector] {
+      detector.access(1, "exec.cache.entry", true);   // RC001 write/write
+      detector.access(2, "exec.cache.entry", true);   // RC002 read -> write
+      detector.access(3, "exec.cache.entry", false);  // RC003 write -> read
+      detector.acquire(99);  // RC004: sync object never released
+    }};
+    other.join();
+    DiagnosticSink sink;
+    detector.report(sink);
+    collect(sink);
+  }
+  {  // Timelines: one span list violating every physical invariant.
+    const auto us = [](long long v) { return util::Time::microseconds(v); };
+    const std::vector<sim::Span> spans{
+        {"CPU", "late", '#', us(10), us(12)},
+        {"CPU", "early", '#', us(0), us(3)},        // TL002 out of order
+        {"CPU", "overlap", '#', us(1), us(2)},      // TL003 serial overlap
+        {"CPU", "backwards", '#', us(20), us(15)},  // TL001 ends first
+        {"PRR0", "config(sobel)", '#', us(0), us(10)},
+        {"PRR0", "config(median)", '#', us(5), us(15)},  // TL004 residency
+        {"config", "sobel", '#', us(0), us(10)},
+        {"config", "median", '#', us(5), us(15)},  // TL005 ICAP exclusion
+        {"HT-in", "in(a)", '#', us(0), us(10)},
+        {"HT-in", "in(b)", '#', us(5), us(15)},  // TL006 link occupancy
+        {"recovery", "retry", '#', us(100), us(110)},  // TL007 no config
+    };
+    DiagnosticSink sink;
+    verify::checkSpans("synthetic", spans, sink);
+    collect(sink);
+  }
+  {  // Determinism: trace diff plus a deliberately schedule-dependent
+     // workload under the explorer (DT001), asked for more schedules than
+     // one width-1 run can provide (DT003).
+    const auto us = [](long long v) { return util::Time::microseconds(v); };
+    const std::vector<verify::TraceProcess> left{
+        {"prtr", {{"CPU", "task", '#', us(0), us(1)}}}};
+    const std::vector<verify::TraceProcess> right{
+        {"prtr", {{"CPU", "task", '#', us(0), us(2)}}}};
+    DiagnosticSink sink;
+    verify::compareTraces(left, right, sink);  // DT002
+    verify::ExploreOptions explore;
+    explore.widths = {1};
+    explore.seedsPerWidth = 1;
+    explore.minDistinctSchedules = 100;  // DT003
+    int run = 0;
+    explore.sweep = [&run] { return std::to_string(run++); };  // DT001
+    (void)verify::exploreSchedules(explore, sink);
+    collect(sink);
   }
 
   for (const analyze::RuleInfo& rule : analyze::ruleCatalog()) {

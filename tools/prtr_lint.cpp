@@ -12,12 +12,19 @@
 ///   prtr-lint [--json] [--werror] fault-spec <file>...
 ///   prtr-lint codes [--markdown]
 ///   prtr-lint demo [--json]
+///   prtr-lint --help
+///
+/// Exit codes (uniform across every mode, asserted by the lint_cli_exit_*
+/// tests): 0 when clean — warning-severity findings do not fail the run
+/// unless --werror promotes them; 1 when any error-severity diagnostic
+/// fired; 2 on usage errors or unreadable inputs.
 ///
 /// The same checkers back fabric::Floorplan, bitstream::parse, and
 /// model::Params::validate, so whatever this tool accepts the library
 /// accepts, and vice versa.
 
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -52,7 +59,11 @@ int usage() {
          "  fault-spec <file>...                  lint fault-plan spec files\n"
          "  codes [--markdown]                    print the rule reference\n"
          "  demo                                  lint built-in known-bad "
-         "artifacts\n";
+         "artifacts\n"
+         "exit codes (every mode, spec files included):\n"
+         "  0  clean; warnings do not fail the run unless --werror\n"
+         "  1  at least one error-severity diagnostic\n"
+         "  2  usage error or unreadable input\n";
   return 2;
 }
 
@@ -96,8 +107,12 @@ int lintBuiltinFloorplans(const std::string& which, const CliOptions& cli) {
   return exitCode;
 }
 
-int lintFloorplanSpecs(const std::vector<std::string>& files,
-                       const CliOptions& cli) {
+/// Shared loop of every spec-file mode, so the exit-code contract cannot
+/// drift between them again: unreadable file = 2, otherwise the per-file
+/// reports fold through report() identically for all spec kinds.
+int lintSpecFiles(
+    const std::vector<std::string>& files, const CliOptions& cli,
+    const std::function<analyze::DiagnosticSink(std::istream&)>& lintOne) {
   int exitCode = 0;
   for (const std::string& file : files) {
     std::ifstream in{file};
@@ -105,41 +120,7 @@ int lintFloorplanSpecs(const std::vector<std::string>& files,
       std::cerr << "prtr-lint: cannot open '" << file << "'\n";
       return 2;
     }
-    const analyze::FloorplanSpec spec = analyze::parseFloorplanSpec(in);
-    exitCode = std::max(
-        exitCode, report(file, analyze::lintFloorplanSpec(spec), cli));
-  }
-  return exitCode;
-}
-
-int lintScenarioSpecs(const std::vector<std::string>& files,
-                      const CliOptions& cli) {
-  int exitCode = 0;
-  for (const std::string& file : files) {
-    std::ifstream in{file};
-    if (!in) {
-      std::cerr << "prtr-lint: cannot open '" << file << "'\n";
-      return 2;
-    }
-    const analyze::ScenarioSpec spec = analyze::parseScenarioSpec(in);
-    exitCode = std::max(
-        exitCode, report(file, analyze::lintScenarioSpec(spec), cli));
-  }
-  return exitCode;
-}
-
-int lintFaultSpecs(const std::vector<std::string>& files,
-                   const CliOptions& cli) {
-  int exitCode = 0;
-  for (const std::string& file : files) {
-    std::ifstream in{file};
-    if (!in) {
-      std::cerr << "prtr-lint: cannot open '" << file << "'\n";
-      return 2;
-    }
-    const analyze::FaultSpec spec = analyze::parseFaultSpec(in);
-    exitCode =
-        std::max(exitCode, report(file, analyze::lintFaultSpec(spec), cli));
+    exitCode = std::max(exitCode, report(file, lintOne(in), cli));
   }
   return exitCode;
 }
@@ -232,6 +213,10 @@ int main(int argc, char** argv) {
   args.erase(args.begin());
 
   try {
+    if (command == "--help" || command == "help") {
+      usage();
+      return 0;
+    }
     if (command == "codes") {
       if (!args.empty() && args[0] == "--markdown") {
         std::cout << analyze::renderRuleReference();
@@ -250,15 +235,21 @@ int main(int argc, char** argv) {
     }
     if (command == "floorplan-spec") {
       if (args.empty()) return usage();
-      return lintFloorplanSpecs(args, cli);
+      return lintSpecFiles(args, cli, [](std::istream& in) {
+        return analyze::lintFloorplanSpec(analyze::parseFloorplanSpec(in));
+      });
     }
     if (command == "scenario-spec") {
       if (args.empty()) return usage();
-      return lintScenarioSpecs(args, cli);
+      return lintSpecFiles(args, cli, [](std::istream& in) {
+        return analyze::lintScenarioSpec(analyze::parseScenarioSpec(in));
+      });
     }
     if (command == "fault-spec") {
       if (args.empty()) return usage();
-      return lintFaultSpecs(args, cli);
+      return lintSpecFiles(args, cli, [](std::istream& in) {
+        return analyze::lintFaultSpec(analyze::parseFaultSpec(in));
+      });
     }
     if (command == "bitstream") {
       if (args.empty()) return usage();
