@@ -25,6 +25,8 @@ namespace {
 using namespace prtr;
 
 constexpr std::uint64_t kChaosSeed = 24091;
+// The fault seed actually used: kChaosSeed unless `--seed` overrides it.
+std::uint64_t gChaosSeed = kChaosSeed;
 const std::vector<double> kRates = {0.0, 1e-6, 1e-4};
 
 runtime::ScenarioOptions chaosOptions(double rate, bool recovery) {
@@ -32,7 +34,7 @@ runtime::ScenarioOptions chaosOptions(double rate, bool recovery) {
   options.layout = xd1::Layout::kDualPrr;
   options.basis = model::ConfigTimeBasis::kMeasured;
   options.forceMiss = true;  // every call reconfigures: worst-case exposure
-  options.faults.seed = kChaosSeed;
+  options.faults.seed = gChaosSeed;
   options.faults.wordFlipRate = rate;
   options.faults.icapAbortRate = rate > 0.0 ? 0.01 : 0.0;
   options.faults.apiRejectRate = rate > 0.0 ? 0.005 : 0.0;
@@ -100,10 +102,11 @@ int main(int argc, char** argv) {
   obs::BenchReport report{"chaos", argc, argv};
   const std::size_t n = report.threads();
   exec::Pool::setGlobalThreads(n);
+  gChaosSeed = report.seedOr(kChaosSeed);
 
   std::cout << "=== Chaos: dual-PRR Figure-9 scenario under fault injection"
                " (seed "
-            << kChaosSeed << ") ===\n\n";
+            << gChaosSeed << ") ===\n\n";
 
   util::Table table{{"flip rate", "recovered", "injected", "requests",
                      "retries", "repairs", "escalations", "full-device",
@@ -192,7 +195,7 @@ int main(int argc, char** argv) {
   report.scalar("full_device_fallbacks_total", fullDeviceTotal);
   report.scalar("healthy_identical", std::uint64_t{healthyIdentical ? 1u : 0u});
   report.scalar("outputs_identical", std::uint64_t{identical ? 1u : 0u});
-  report.scalar("fault_seed", kChaosSeed);
+  report.scalar("fault_seed", gChaosSeed);
 
   // --trace re-runs the hottest recovering point (rate 1e-4) with the
   // timeline hook attached: the capture shows the recovery lane interleaved

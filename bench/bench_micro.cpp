@@ -4,9 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "bitstream/builder.hpp"
 #include "bitstream/parser.hpp"
 #include "fabric/floorplan.hpp"
@@ -105,21 +105,24 @@ BENCHMARK(BM_PrtrScenarioEndToEnd)->Arg(16)->Arg(64);
 
 }  // namespace
 
-// google-benchmark has its own flag vocabulary; translate the repo-wide
-// `--json <path>` convention into --benchmark_format/--benchmark_out so
-// every bench binary shares one CLI surface.
+// google-benchmark has its own flag vocabulary; parse the shared
+// bench::Options surface first, translate `--json <path>` into
+// --benchmark_format/--benchmark_out, and forward only what the shared
+// parser did not recognise, so every bench binary shares one CLI surface.
 int main(int argc, char** argv) {
-  std::vector<std::string> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::string_view{argv[i]} == "--json" && i + 1 < argc) {
-      args.emplace_back("--benchmark_format=console");
-      args.emplace_back(std::string{"--benchmark_out="} + argv[i + 1]);
-      args.emplace_back("--benchmark_out_format=json");
-      ++i;
-      continue;
-    }
-    args.emplace_back(argv[i]);
+  const auto options = bench::Options::parse("bench_micro", argc, argv);
+  if (options.helpRequestedAndHandled(
+          "  (unrecognised arguments are forwarded to google-benchmark)")) {
+    return 0;
   }
+  std::vector<std::string> args;
+  args.emplace_back(argv[0]);
+  if (options.jsonRequested()) {
+    args.emplace_back("--benchmark_format=console");
+    args.emplace_back("--benchmark_out=" + options.jsonPath());
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  for (const std::string& arg : options.rest()) args.push_back(arg);
   std::vector<char*> rawArgs;
   rawArgs.reserve(args.size());
   for (auto& a : args) rawArgs.push_back(a.data());

@@ -156,6 +156,16 @@ int main(int argc, char** argv) {
             << "x; outputs byte-identical: " << (identical ? "yes" : "NO")
             << '\n';
 
+  // Single-thread Fig-9 throughput plus the kernel-rewrite gate: wall-clock
+  // against the frozen pre-rewrite serial time (bench/goldens/
+  // BENCH_sweep_pr6.json, captured on the CI reference machine). CI asserts
+  // speedup_vs_pr6_wall >= 5 from the JSON files; the scalar here makes the
+  // ratio visible in every report. The "_wall" suffix keeps prtr-report
+  // treating both as wall-clock (informational unless --gate-wall).
+  constexpr double kFrozenPr6SerialMs = 987.416757;
+  const double points = 12.0;
+  report.scalar("fig9_points_per_s_wall", points / (fig9SerialMs / 1e3));
+  report.scalar("speedup_vs_pr6_wall", kFrozenPr6SerialMs / fig9SerialMs);
   report.scalar("time_serial_ms", fig9SerialMs);
   report.scalar("time_parallel_ms", fig9ParallelMs);
   report.scalar("speedup_parallel", speedup);

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "analyze/checks_scenario.hpp"
+#include "bench/options.hpp"
 #include "exec/pool.hpp"
 #include "obs/trace_export.hpp"
 #include "prof/profiler.hpp"
@@ -36,20 +37,43 @@ namespace {
 
 using namespace prtr;
 
-std::map<std::string, std::string> parseArgs(int argc, char** argv) {
+/// Domain flags on top of the shared bench::Options vocabulary, shown by
+/// `--help` below the common block.
+constexpr const char* kDomainUsage =
+    "  --layout single|dual|quad      XD1 floorplan (default dual)\n"
+    "  --basis estimated|measured     config-time basis (default measured)\n"
+    "  --calls N                      workload call count (default 100)\n"
+    "  --bytes B                      data bytes per call (default 10000000)\n"
+    "  --workload roundrobin|uniform|markov|phased\n"
+    "  --locality P                   markov locality (default 0.7)\n"
+    "  --registry paper|extended      function registry (default paper)\n"
+    "  --cache lru|lfu|fifo|random|belady\n"
+    "  --prefetch none|queue|markov|association\n"
+    "  --force-miss 0|1               defeat the configuration cache\n"
+    "  --control-us U                 control overhead per call (default 10)\n"
+    "  --decision-us U                scheduler decision latency (default 0)\n"
+    "  --timeline                     print the PRTR Gantt timeline\n"
+    "  --metrics FILE.json            write the metrics snapshot\n"
+    "  --fault-rate P                 chaos mode: word-flip rate per word\n"
+    "  --fault-seed S                 chaos mode fault RNG seed\n"
+    "  --max-retries N                recovery retries per ladder rung\n";
+
+/// Parses the prtrsim domain flags from what bench::Options left behind.
+std::map<std::string, std::string> parseArgs(
+    const std::vector<std::string>& rest) {
   std::map<std::string, std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    std::string key = argv[i];
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    std::string key = rest[i];
     if (key.rfind("--", 0) != 0) {
       throw util::DomainError{"prtrsim: options start with --, got " + key};
     }
     key = key.substr(2);
-    if (key == "timeline" || key == "help") {
+    if (key == "timeline") {
       args[key] = "1";
       continue;
     }
-    util::require(i + 1 < argc, "prtrsim: missing value for --" + key);
-    args[key] = argv[++i];
+    util::require(i + 1 < rest.size(), "prtrsim: missing value for --" + key);
+    args[key] = rest[++i];
   }
   return args;
 }
@@ -64,18 +88,16 @@ std::string get(const std::map<std::string, std::string>& args,
 
 int main(int argc, char** argv) {
   try {
-    const auto args = parseArgs(argc, argv);
-    if (args.count("help")) {
-      std::cout << "see the header comment of examples/prtrsim_cli.cpp\n";
-      return 0;
-    }
+    // The shared vocabulary (--trace/--profile/--threads/--seed/--help)
+    // comes from bench::Options; everything it leaves in rest() is a
+    // prtrsim domain flag.
+    const auto common = bench::Options::parse("prtrsim", argc, argv);
+    if (common.helpRequestedAndHandled(kDomainUsage)) return 0;
+    const auto args = parseArgs(common.rest());
 
     // Sizes the process-wide exec pool; a single scenario run is serial,
     // but library users driving sweeps through the same process inherit it.
-    const auto threads = static_cast<std::size_t>(std::stoull(
-        get(args, "threads", std::to_string(exec::hardwareConcurrency()))));
-    util::require(threads >= 1, "prtrsim: --threads must be >= 1");
-    exec::Pool::setGlobalThreads(threads);
+    exec::Pool::setGlobalThreads(common.threads());
 
     const auto registry = get(args, "registry", "paper") == "extended"
                               ? tasks::makeExtendedFunctions()
@@ -85,7 +107,7 @@ int main(int argc, char** argv) {
         std::stoull(get(args, "calls", "100")));
     const util::Bytes bytes{std::stoull(get(args, "bytes", "10000000"))};
     const double locality = std::stod(get(args, "locality", "0.7"));
-    util::Rng rng{std::stoull(get(args, "seed", "1"))};
+    util::Rng rng{common.seedOr(1)};
 
     tasks::Workload workload;
     const std::string kind = get(args, "workload", "roundrobin");
@@ -153,10 +175,10 @@ int main(int argc, char** argv) {
     sim::Timeline timeline;
     if (args.count("timeline")) options.hooks.timeline = &timeline;
     obs::ChromeTrace trace;
-    const std::string tracePath = get(args, "trace", "");
+    const std::string& tracePath = common.tracePath();
     if (!tracePath.empty()) options.hooks.trace = &trace;
     prof::Profiler profiler;
-    const std::string profilePath = get(args, "profile", "");
+    const std::string& profilePath = common.profilePath();
     if (!profilePath.empty()) options.hooks.profiler = &profiler;
     const std::string metricsPath = get(args, "metrics", "");
 

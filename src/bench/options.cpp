@@ -1,0 +1,93 @@
+#include "bench/options.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace prtr::bench {
+namespace {
+
+std::uint64_t parseUnsigned(const std::string& bench, const std::string& flag,
+                            const char* text) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end == nullptr || end == text || *end != '\0') {
+    throw util::DomainError{bench + ": " + flag +
+                            " requires an unsigned integer, got '" + text +
+                            "'"};
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Options Options::parse(std::string bench, int argc,
+                       const char* const* argv) {
+  Options options;
+  options.bench_ = std::move(bench);
+  const unsigned hw = std::thread::hardware_concurrency();
+  options.threads_ = hw == 0 ? 1 : hw;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      options.help_ = true;
+    } else if (arg == "--json" || arg == "--trace" || arg == "--profile") {
+      if (i + 1 >= argc) {
+        throw util::DomainError{options.bench_ + ": " + arg +
+                                " requires a path"};
+      }
+      (arg == "--json"    ? options.json_
+       : arg == "--trace" ? options.trace_
+                          : options.profile_) = argv[++i];
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        throw util::DomainError{options.bench_ + ": --threads requires a count"};
+      }
+      const std::uint64_t parsed =
+          parseUnsigned(options.bench_, arg, argv[++i]);
+      if (parsed == 0) {
+        throw util::DomainError{options.bench_ +
+                                ": --threads requires a positive integer"};
+      }
+      options.threads_ = static_cast<std::size_t>(parsed);
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        throw util::DomainError{options.bench_ + ": --seed requires a value"};
+      }
+      options.seed_ = parseUnsigned(options.bench_, arg, argv[++i]);
+      options.seedSet_ = true;
+    } else {
+      options.rest_.push_back(arg);
+    }
+  }
+  return options;
+}
+
+std::string Options::usage(const std::string& bench,
+                           const std::string& extra) {
+  std::string text = "usage: " + bench + " [options]\n\n";
+  text +=
+      "  --json <path>      write the machine-readable report JSON\n"
+      "  --trace <path>     export a Chrome trace of the simulated run\n"
+      "  --profile <path>   export a host-side profiler snapshot\n"
+      "  --threads <n>      worker threads for parallel sweeps (default: "
+      "hardware)\n"
+      "  --seed <n>         override the deterministic RNG seed\n"
+      "  --help             print this message and exit\n";
+  if (!extra.empty()) {
+    text += "\n";
+    text += extra;
+    if (text.back() != '\n') text += '\n';
+  }
+  return text;
+}
+
+bool Options::helpRequestedAndHandled(const std::string& extra) const {
+  if (!help_) return false;
+  std::cout << usage(bench_, extra);
+  return true;
+}
+
+}  // namespace prtr::bench

@@ -47,6 +47,30 @@ void appendCrc(std::vector<std::uint8_t>& out) {
   putU32(out, crc);
 }
 
+/// Rng::chance(0.25) without the double round-trip: uniform() compares
+/// (r >> 11) * 2^-53 against 2^-2, which holds exactly when r < 2^62.
+constexpr std::uint64_t kQuarterThreshold = std::uint64_t{1} << 62;
+
+/// framePayload appended in place: the frame's zero bytes come from the
+/// resize and only content bytes are stored. Same bytes, same Rng draw
+/// sequence as the standalone function.
+void appendFramePayload(std::vector<std::uint8_t>& out, ModuleId module,
+                        std::uint32_t regionFirstFrame,
+                        std::uint32_t framesUsed, std::uint32_t frame,
+                        std::uint32_t frameBytes) {
+  const std::size_t base = out.size();
+  out.resize(base + frameBytes, 0);
+  const bool occupied = frame - regionFirstFrame < framesUsed;
+  if (!occupied || module == 0) return;
+  util::Rng rng{module * 0x100000001b3ULL ^ frame};
+  std::uint8_t* payload = out.data() + base;
+  for (std::uint32_t i = 0; i < frameBytes; ++i) {
+    if (rng() < kQuarterThreshold) {
+      payload[i] = static_cast<std::uint8_t>(rng() | 1);  // non-zero content
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> framePayload(ModuleId module,
@@ -62,15 +86,9 @@ std::vector<std::uint8_t> framePayload(ModuleId module,
   // Occupied frames are *sparse*: real configuration frames are mostly
   // zero bits (unused routing/LUT entries), which is what makes bitstream
   // compression work. ~25% of bytes carry module-specific content.
-  const bool occupied = frame - regionFirstFrame < framesUsed;
-  std::vector<std::uint8_t> payload(frameBytes, 0);
-  if (!occupied || module == 0) return payload;
-  util::Rng rng{module * 0x100000001b3ULL ^ frame};
-  for (auto& byte : payload) {
-    if (rng.chance(0.25)) {
-      byte = static_cast<std::uint8_t>(rng() | 1);  // non-zero content byte
-    }
-  }
+  std::vector<std::uint8_t> payload;
+  appendFramePayload(payload, module, regionFirstFrame, framesUsed, frame,
+                     frameBytes);
   return payload;
 }
 
@@ -99,9 +117,8 @@ Bitstream Builder::buildFull(ModuleId designId) const {
   bytes.reserve(geometry.fullBitstreamBytes().count());
   emitHeader(bytes, header, enc.fullOverheadBytes);
   for (std::uint32_t frame = 0; frame < header.frameCount; ++frame) {
-    const auto payload =
-        framePayload(designId, 0, header.frameCount, frame, enc.frameBytes);
-    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    appendFramePayload(bytes, designId, 0, header.frameCount, frame,
+                       enc.frameBytes);
   }
   appendCrc(bytes);
   util::require(bytes.size() == geometry.fullBitstreamBytes().count(),
@@ -128,9 +145,8 @@ Bitstream Builder::buildModulePartial(const fabric::Region& region,
   emitHeader(bytes, header, enc.partialOverheadBytes);
   for (std::uint32_t frame = range.first; frame < range.end(); ++frame) {
     putU32(bytes, frame);
-    const auto payload =
-        framePayload(module, range.first, used, frame, enc.frameBytes);
-    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    appendFramePayload(bytes, module, range.first, used, frame,
+                       enc.frameBytes);
   }
   appendCrc(bytes);
   util::require(bytes.size() == region.partialBitstreamBytes(*device_).count(),
@@ -170,9 +186,8 @@ Bitstream Builder::buildDifferencePartial(const fabric::Region& region,
   emitHeader(bytes, header, enc.partialOverheadBytes);
   for (const std::uint32_t frame : changed) {
     putU32(bytes, frame);
-    const auto payload =
-        framePayload(toModule, range.first, toUsed, frame, enc.frameBytes);
-    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    appendFramePayload(bytes, toModule, range.first, toUsed, frame,
+                       enc.frameBytes);
   }
   appendCrc(bytes);
   return Bitstream{header, std::move(bytes)};

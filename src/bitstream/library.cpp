@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
+#include <tuple>
 
 #include "util/crc32.hpp"
 #include "util/error.hpp"
@@ -44,6 +46,47 @@ std::uint32_t geometryCrc(const fabric::DeviceGeometry& geometry) {
   feed(crc, enc.partialOverheadBytes);
   feed(crc, enc.frameAddressBytes);
   return crc.value();
+}
+
+/// Process-wide memoization of stream synthesis. Stream bytes are a pure
+/// function of the StreamKey fields, and Bitstream is immutable, so every
+/// library asking for the same content shares one copy instead of paying
+/// the multi-millisecond synthesis again (the FRTR and PRTR sides of one
+/// scenario, and every point of a sweep, need identical streams). Keyed by
+/// the full field tuple — not hash() — so a collision can never alias two
+/// different streams. Entries live for the process; a sweep's worth of
+/// distinct streams is a few tens of megabytes.
+class StreamMemo {
+ public:
+  std::shared_ptr<const Bitstream> getOrBuild(
+      const StreamKey& key, const std::function<Bitstream()>& build) {
+    const auto mapKey =
+        std::make_tuple(key.deviceTag, key.geometryCrc, key.flow,
+                        key.firstFrame, key.frameCount, key.fromModule,
+                        key.toModule, key.fromOccupancy, key.toOccupancy);
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      const auto it = map_.find(mapKey);
+      if (it != map_.end()) return it->second;
+    }
+    // Build outside the lock: concurrent first requests may synthesize
+    // twice, but both produce identical bytes and the first insert wins.
+    auto stream = std::make_shared<const Bitstream>(build());
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return map_.emplace(mapKey, std::move(stream)).first->second;
+  }
+
+ private:
+  using MapKey = std::tuple<std::uint32_t, std::uint32_t, StreamKey::Flow,
+                            std::uint32_t, std::uint32_t, ModuleId, ModuleId,
+                            double, double>;
+  std::mutex mutex_;
+  std::map<MapKey, std::shared_ptr<const Bitstream>> map_;
+};
+
+StreamMemo& streamMemo() {
+  static StreamMemo memo;
+  return memo;
 }
 
 }  // namespace
@@ -99,17 +142,18 @@ std::shared_ptr<const Bitstream> Library::resolve(
     const StreamKey& key, const std::function<Bitstream()>& build) {
   if (profiler_ == nullptr) {
     if (source_) return source_(key, build);
-    return std::make_shared<const Bitstream>(build());
+    return streamMemo().getOrBuild(key, build);
   }
-  // Time actual synthesis only: a memoizing source that hits its cache
-  // never invokes the builder, so no scope opens for it.
+  // Time actual synthesis only: a memoizing source (or the process-wide
+  // memo) that hits its cache never invokes the builder, so no scope opens
+  // for it.
   prof::Profiler* profiler = profiler_;
   const std::function<Bitstream()> timed = [&build, profiler] {
     const prof::Scope scope{profiler, "bitstream.build"};
     return build();
   };
   if (source_) return source_(key, timed);
-  return std::make_shared<const Bitstream>(timed());
+  return streamMemo().getOrBuild(key, timed);
 }
 
 FlowStats Library::buildModuleFlow() {

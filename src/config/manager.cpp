@@ -108,11 +108,19 @@ bool Manager::reconfiguring(std::size_t prrIndex) const {
 
 // ---- fault recovery ------------------------------------------------------
 
+void Manager::setRecoveryTimeline(sim::Timeline* timeline) {
+  recoveryTimeline_ = timeline;
+  if (timeline != nullptr) recoveryLane_ = timeline->lane("recovery");
+}
+
 void Manager::recordRecoverySpan(const char* label, char glyph,
                                  util::Time start) {
   if (recoveryTimeline_ == nullptr) return;
   const util::Time end = sim_->now();
-  if (end > start) recoveryTimeline_->record("recovery", label, glyph, start, end);
+  if (end > start) {
+    recoveryTimeline_->record(recoveryLane_, recoveryTimeline_->label(label),
+                              glyph, start, end);
+  }
 }
 
 bool Manager::shouldVerify(std::uint64_t upsetsBefore) const {

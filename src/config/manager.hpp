@@ -13,6 +13,7 @@
 #include "config/recovery.hpp"
 #include "config/vendor_api.hpp"
 #include "fabric/floorplan.hpp"
+#include "sim/symbols.hpp"
 
 namespace prtr::sim {
 class Timeline;
@@ -70,9 +71,7 @@ class Manager {
   }
   /// Optional timeline receiving "recovery" lane spans (backoff / verify /
   /// repair intervals). Null disables tracing.
-  void setRecoveryTimeline(sim::Timeline* timeline) noexcept {
-    recoveryTimeline_ = timeline;
-  }
+  void setRecoveryTimeline(sim::Timeline* timeline);
 
   /// Coroutine: fullConfigure with bounded retry/backoff over injected
   /// transient faults. With recovery disabled, identical to fullConfigure.
@@ -107,6 +106,7 @@ class Manager {
   RecoveryPolicy recovery_{};
   RecoveryStats recoveryStats_{};
   sim::Timeline* recoveryTimeline_ = nullptr;
+  sim::LaneId recoveryLane_{};
 };
 
 }  // namespace prtr::config

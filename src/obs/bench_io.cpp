@@ -2,7 +2,6 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <thread>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -10,34 +9,11 @@
 namespace prtr::obs {
 
 BenchReport::BenchReport(std::string name, int argc, const char* const* argv)
-    : name_(std::move(name)) {
-  // obs stays below exec in the layering, so the default comes straight
-  // from the standard library (exec::hardwareConcurrency applies the same
-  // ">= 1" clamp).
-  const unsigned hw = std::thread::hardware_concurrency();
-  threads_ = hw == 0 ? 1 : hw;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--trace" || arg == "--profile") {
-      if (i + 1 >= argc) {
-        throw util::DomainError{name_ + ": " + arg + " requires a path"};
-      }
-      (arg == "--json"    ? jsonPath_
-       : arg == "--trace" ? tracePath_
-                          : profilePath_) = argv[++i];
-    } else if (arg == "--threads") {
-      if (i + 1 >= argc) {
-        throw util::DomainError{name_ + ": --threads requires a count"};
-      }
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || parsed == 0) {
-        throw util::DomainError{name_ +
-                                ": --threads requires a positive integer"};
-      }
-      threads_ = static_cast<std::size_t>(parsed);
-    }
-  }
+    : name_(std::move(name)),
+      options_(bench::Options::parse(name_, argc, argv)) {
+  // Uniform --help across every bench binary: print the shared usage block
+  // and stop before the bench does any work.
+  if (options_.helpRequestedAndHandled()) std::exit(0);
 }
 
 void BenchReport::scalar(const std::string& name, double value) {
@@ -62,16 +38,16 @@ void BenchReport::metrics(const MetricsSnapshot& snapshot) {
 
 int BenchReport::finish() const {
   if (!jsonRequested()) return 0;
-  std::ofstream file{jsonPath_};
+  std::ofstream file{jsonPath()};
   if (!file) {
-    throw util::Error{"BenchReport: cannot open " + jsonPath_ +
+    throw util::Error{"BenchReport: cannot open " + jsonPath() +
                       " for writing"};
   }
   util::json::Writer w{file};
   w.beginObject();
   w.key("bench").value(name_);
   w.key("scalars").beginObject();
-  w.key("threads").value(static_cast<double>(threads_));
+  w.key("threads").value(static_cast<double>(options_.threads()));
   for (const auto& [name, value] : scalars_) w.key(name).value(value);
   w.endObject();
   w.key("notes").beginObject();

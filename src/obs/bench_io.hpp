@@ -10,14 +10,17 @@
 ///    "metrics":{"counters":{...},...}}
 ///
 /// so the CI smoke job and future perf-trajectory tooling consume the same
-/// numbers the human-readable tables show. `--trace <path>` is parsed here
-/// too for the benches that export Chrome traces (bench_profiles).
+/// numbers the human-readable tables show. Flag parsing is delegated to the
+/// shared bench::Options vocabulary (`--json/--trace/--profile/--threads/
+/// --seed/--help`), so every bench binary answers `--help` with the same
+/// usage block.
 
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "obs/metrics.hpp"
 #include "util/table.hpp"
 
@@ -25,33 +28,50 @@ namespace prtr::obs {
 
 class BenchReport {
  public:
-  /// Parses `--json <path>`, `--trace <path>`, `--profile <path>` and
-  /// `--threads <n>` from argv; other arguments are ignored (benches are
-  /// otherwise argument-free). Throws util::DomainError when a flag is
-  /// missing its value or `--threads` is not a positive integer.
+  /// Parses the shared bench::Options flags from argv; other arguments are
+  /// ignored (benches are otherwise argument-free). Throws
+  /// util::DomainError when a flag is missing its value or malformed.
+  /// `--help` prints the uniform usage block and exits the process with
+  /// status 0, so plain benches support it without touching their mains.
   BenchReport(std::string name, int argc, const char* const* argv);
 
   [[nodiscard]] bool jsonRequested() const noexcept {
-    return !jsonPath_.empty();
+    return options_.jsonRequested();
   }
   [[nodiscard]] bool traceRequested() const noexcept {
-    return !tracePath_.empty();
+    return options_.traceRequested();
   }
   [[nodiscard]] bool profileRequested() const noexcept {
-    return !profilePath_.empty();
+    return options_.profileRequested();
   }
-  [[nodiscard]] const std::string& jsonPath() const noexcept { return jsonPath_; }
+  [[nodiscard]] const std::string& jsonPath() const noexcept {
+    return options_.jsonPath();
+  }
   [[nodiscard]] const std::string& tracePath() const noexcept {
-    return tracePath_;
+    return options_.tracePath();
   }
   [[nodiscard]] const std::string& profilePath() const noexcept {
-    return profilePath_;
+    return options_.profilePath();
   }
 
   /// Worker-thread count for the bench's parallel sweeps: the `--threads`
   /// value, defaulting to the hardware concurrency. Always >= 1; recorded
   /// as the "threads" scalar in the JSON document.
-  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return options_.threads();
+  }
+
+  /// The bench's RNG seed: the `--seed` value when given, else `fallback`.
+  /// Benches with a published reference seed pass it here so default runs
+  /// stay byte-reproducible.
+  [[nodiscard]] std::uint64_t seedOr(std::uint64_t fallback) const noexcept {
+    return options_.seedOr(fallback);
+  }
+
+  /// The full parsed vocabulary, for benches that also need rest().
+  [[nodiscard]] const bench::Options& options() const noexcept {
+    return options_;
+  }
 
   /// Registers a key scalar (measured speedup, model error, ...).
   void scalar(const std::string& name, double value);
@@ -72,10 +92,7 @@ class BenchReport {
 
  private:
   std::string name_;
-  std::string jsonPath_;
-  std::string tracePath_;
-  std::string profilePath_;
-  std::size_t threads_ = 1;
+  bench::Options options_;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<std::pair<std::string, util::Table>> tables_;

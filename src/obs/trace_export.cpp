@@ -37,9 +37,9 @@ void ChromeTrace::add(const std::string& processName,
                       const sim::Timeline& timeline) {
   Process proc;
   proc.name = processName;
-  proc.spans = timeline.spans();
+  proc.spans = timeline.materialize();
   proc.spanLane.reserve(proc.spans.size());
-  for (const sim::Span& span : proc.spans) {
+  for (const sim::NamedSpan& span : proc.spans) {
     const auto it = std::find(proc.lanes.begin(), proc.lanes.end(), span.lane);
     if (it == proc.lanes.end()) {
       proc.spanLane.push_back(proc.lanes.size());
@@ -119,7 +119,7 @@ void ChromeTrace::write(std::ostream& os) const {
   for (std::size_t p = 0; p < processes_.size(); ++p) {
     const Process& proc = processes_[p];
     for (std::size_t i = 0; i < proc.spans.size(); ++i) {
-      const sim::Span& span = proc.spans[i];
+      const sim::NamedSpan& span = proc.spans[i];
       w.beginObject();
       w.key("name").value(span.label);
       w.key("cat").value(span.lane);

@@ -65,7 +65,7 @@ class ChromeTrace {
   struct Process {
     std::string name;
     std::vector<std::string> lanes;        ///< tid = index, first-seen order
-    std::vector<sim::Span> spans;
+    std::vector<sim::NamedSpan> spans;
     std::vector<std::size_t> spanLane;     ///< lane index per span
     std::vector<CounterTrack> counters;
   };

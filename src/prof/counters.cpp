@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace prtr::prof {
 namespace {
 
-bool isComputeLane(std::string_view lane) {
-  return lane == "FPGA" || lane.substr(0, 3) == "PRR";
+/// Lane roles for bucketed occupancy sampling. Classified once per lane id
+/// from the timeline's symbol table; the per-span loop is integer-only.
+enum class LaneRole : std::uint8_t { kOther, kLinkIn, kLinkOut, kIcap, kCompute };
+
+LaneRole classify(std::string_view lane) {
+  if (lane == "HT-in") return LaneRole::kLinkIn;
+  if (lane == "HT-out") return LaneRole::kLinkOut;
+  if (lane == "config") return LaneRole::kIcap;
+  if (lane == "FPGA" || lane.substr(0, 3) == "PRR") return LaneRole::kCompute;
+  return LaneRole::kOther;
 }
 
 /// Accumulates the [start, end) overlap of one span into per-bucket busy
@@ -64,23 +72,40 @@ std::vector<obs::CounterTrack> sampleTimelineCounters(
   std::vector<std::uint64_t> linkIn(bucketCount), linkOut(bucketCount),
       icap(bucketCount), compute(bucketCount);
   bool haveIn = false, haveOut = false, haveIcap = false;
-  std::set<std::string> computeLanes;
+
+  const sim::SymbolTable& symbols = timeline.symbols();
+  std::vector<LaneRole> roles(symbols.laneCount());
+  std::vector<bool> computeSeen(symbols.laneCount(), false);
+  for (std::size_t i = 0; i < roles.size(); ++i) {
+    roles[i] = classify(symbols.laneNames()[i]);
+  }
+  std::uint64_t computeLanes = 0;
 
   for (const sim::Span& span : timeline.spans()) {
     const std::int64_t start = span.start.ps();
     const std::int64_t end = span.end.ps();
-    if (span.lane == "HT-in") {
-      haveIn = true;
-      accumulate(linkIn, width, start, end);
-    } else if (span.lane == "HT-out") {
-      haveOut = true;
-      accumulate(linkOut, width, start, end);
-    } else if (span.lane == "config") {
-      haveIcap = true;
-      accumulate(icap, width, start, end);
-    } else if (isComputeLane(span.lane)) {
-      computeLanes.insert(span.lane);
-      accumulate(compute, width, start, end);
+    switch (roles[span.lane.index()]) {
+      case LaneRole::kLinkIn:
+        haveIn = true;
+        accumulate(linkIn, width, start, end);
+        break;
+      case LaneRole::kLinkOut:
+        haveOut = true;
+        accumulate(linkOut, width, start, end);
+        break;
+      case LaneRole::kIcap:
+        haveIcap = true;
+        accumulate(icap, width, start, end);
+        break;
+      case LaneRole::kCompute:
+        if (!computeSeen[span.lane.index()]) {
+          computeSeen[span.lane.index()] = true;
+          ++computeLanes;
+        }
+        accumulate(compute, width, start, end);
+        break;
+      case LaneRole::kOther:
+        break;
     }
   }
 
@@ -95,9 +120,9 @@ std::vector<obs::CounterTrack> sampleTimelineCounters(
   if (haveIcap) {
     tracks.push_back(finishTrack("icap.busy", icap, width, horizon, 1));
   }
-  if (!computeLanes.empty()) {
-    tracks.push_back(finishTrack("prr.residency", compute, width, horizon,
-                                 computeLanes.size()));
+  if (computeLanes > 0) {
+    tracks.push_back(
+        finishTrack("prr.residency", compute, width, horizon, computeLanes));
   }
   return tracks;
 }

@@ -106,7 +106,8 @@ FrtrExecutor::FrtrExecutor(xd1::Node& node,
     : node_(&node),
       registry_(&registry),
       library_(&library),
-      options_(options) {}
+      options_(options),
+      trace_(options.timeline) {}
 
 sim::Process FrtrExecutor::fullLoad() {
   auto& sim = node_->sim();
@@ -120,8 +121,8 @@ sim::Process FrtrExecutor::fullLoad() {
   }
   ++report_.configurations;
   report_.configStall += sim.now() - start;
-  if (options_.timeline) {
-    options_.timeline->record("config", "full-config", 'F', start, sim.now());
+  if (trace_.enabled()) {
+    trace_.record(trace_.config, trace_.fullConfig, 'F', start, sim.now());
   }
 }
 
@@ -139,22 +140,22 @@ sim::Process FrtrExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await node_->linkIn().transfer(call.dataBytes);
     report_.inputTime += sim.now() - mark;
-    if (options_.timeline) {
-      options_.timeline->record("HT-in", "data-in", '>', mark, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.htIn, trace_.dataIn, '>', mark, sim.now());
     }
 
     mark = sim.now();
     co_await sim.delay(fn.computeTime(call.dataBytes));
     report_.computeTime += sim.now() - mark;
-    if (options_.timeline) {
-      options_.timeline->record("FPGA", fn.name, '#', mark, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.fpga, trace_.label(fn.name), '#', mark, sim.now());
     }
 
     mark = sim.now();
     co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
     report_.outputTime += sim.now() - mark;
-    if (options_.timeline) {
-      options_.timeline->record("HT-out", "data-out", '<', mark, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.htOut, trace_.dataOut, '<', mark, sim.now());
     }
 
     ++report_.calls;
@@ -185,7 +186,8 @@ PrtrExecutor::PrtrExecutor(xd1::Node& node,
       library_(&library),
       cache_(&cache),
       prefetcher_(&prefetcher),
-      options_(options) {
+      options_(options),
+      trace_(options.timeline) {
   util::require(cache.slotCount() == node.floorplan().prrCount(),
                 "PrtrExecutor: cache slots must match the PRR count");
 }
@@ -202,9 +204,9 @@ sim::Process PrtrExecutor::fullLoad() {
   }
   cache_->invalidateAll();
   report_.initialConfig += sim.now() - start;
-  if (options_.timeline) {
-    options_.timeline->record("config", "initial-full-config", 'F', start,
-                              sim.now());
+  if (trace_.enabled()) {
+    trace_.record(trace_.config, trace_.initialFullConfig, 'F', start,
+                  sim.now());
   }
 }
 
@@ -229,9 +231,9 @@ sim::Process PrtrExecutor::partialLoad(std::size_t prr,
     co_await node_->manager().loadModule(prr, fn.id,
                                          library_->modulePartial(prr, fn.id));
   }
-  if (options_.timeline) {
-    options_.timeline->record("config", "partial(" + fn.name + ")", 'P', start,
-                              sim.now());
+  if (trace_.enabled()) {
+    trace_.record(trace_.config, trace_.label("partial(" + fn.name + ")"), 'P',
+                  start, sim.now());
   }
 }
 
@@ -382,8 +384,8 @@ sim::Process PrtrExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await node_->linkIn().transfer(call.dataBytes);
     report_.inputTime += sim.now() - mark;
-    if (options_.timeline) {
-      options_.timeline->record("HT-in", "data-in", '>', mark, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.htIn, trace_.dataIn, '>', mark, sim.now());
     }
 
     // Input channel now free: overlap the next call's configuration with
@@ -393,17 +395,16 @@ sim::Process PrtrExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await sim.delay(fn.computeTime(call.dataBytes));
     report_.computeTime += sim.now() - mark;
-    if (options_.timeline) {
-      const std::string lane =
-          "PRR" + std::to_string(executingPrr_.value_or(0));
-      options_.timeline->record(lane, fn.name, '#', mark, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.prrLane(executingPrr_.value_or(0)),
+                    trace_.label(fn.name), '#', mark, sim.now());
     }
 
     mark = sim.now();
     co_await node_->linkOut().transfer(fn.outputBytes(call.dataBytes));
     report_.outputTime += sim.now() - mark;
-    if (options_.timeline) {
-      options_.timeline->record("HT-out", "data-out", '<', mark, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.htOut, trace_.dataOut, '<', mark, sim.now());
     }
 
     executingPrr_.reset();

@@ -19,6 +19,7 @@
 #include "bitstream/library.hpp"
 #include "model/calibration.hpp"
 #include "runtime/cache.hpp"
+#include "runtime/lanes.hpp"
 #include "runtime/prefetch.hpp"
 #include "runtime/report.hpp"
 #include "sim/trace.hpp"
@@ -71,6 +72,7 @@ class FrtrExecutor {
   const tasks::FunctionRegistry* registry_;
   bitstream::Library* library_;
   ExecutorOptions options_;
+  TimelineRecorder trace_;
   ExecutionReport report_;
 };
 
@@ -107,6 +109,7 @@ class PrtrExecutor {
   ConfigCache* cache_;
   Prefetcher* prefetcher_;
   ExecutorOptions options_;
+  TimelineRecorder trace_;
   ExecutionReport report_;
   std::optional<std::size_t> executingPrr_;
   std::unique_ptr<Prep> prep_;

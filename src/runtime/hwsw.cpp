@@ -24,7 +24,8 @@ HwSwExecutor::HwSwExecutor(xd1::Node& node,
       registry_(&registry),
       library_(&library),
       cache_(&cache),
-      options_(options) {
+      options_(options),
+      trace_(options.hooks.timeline) {
   util::require(cache.slotCount() == node.floorplan().prrCount(),
                 "HwSwExecutor: cache slots must match the PRR count");
 }
@@ -93,8 +94,8 @@ sim::Process HwSwExecutor::execute(const tasks::Workload& workload) {
       const util::Time start = sim.now();
       co_await sim.delay(softwareCost(call));
       report_.softwareTime += sim.now() - start;
-      if (options_.hooks.timeline) {
-        options_.hooks.timeline->record("CPU", fn.name, 's', start, sim.now());
+      if (trace_.enabled()) {
+        trace_.record(trace_.cpu, trace_.label(fn.name), 's', start, sim.now());
       }
       ++report_.softwareCalls;
       ++report_.base.calls;
@@ -127,8 +128,8 @@ sim::Process HwSwExecutor::execute(const tasks::Workload& workload) {
     mark = sim.now();
     co_await sim.delay(fn.computeTime(call.dataBytes));
     report_.base.computeTime += sim.now() - mark;
-    if (options_.hooks.timeline) {
-      options_.hooks.timeline->record("FPGA", fn.name, '#', mark, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.fpga, trace_.label(fn.name), '#', mark, sim.now());
     }
 
     mark = sim.now();

@@ -18,6 +18,7 @@
 #include "bitstream/library.hpp"
 #include "obs/hooks.hpp"
 #include "runtime/cache.hpp"
+#include "runtime/lanes.hpp"
 #include "runtime/report.hpp"
 #include "tasks/workload.hpp"
 #include "xd1/node.hpp"
@@ -101,6 +102,7 @@ class HwSwExecutor {
   bitstream::Library* library_;
   ConfigCache* cache_;
   HwSwOptions options_;
+  TimelineRecorder trace_;
   HwSwReport report_;
 };
 

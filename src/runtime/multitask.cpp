@@ -3,6 +3,7 @@
 #include <optional>
 #include <sstream>
 
+#include "runtime/lanes.hpp"
 #include "sim/sync.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -37,6 +38,7 @@ class Scheduler {
         options_(options),
         report_(report),
         slots_(node.floorplan().prrCount()),
+        trace_(options.hooks.timeline),
         slotFreed_(node.sim()),
         ready_(node.sim()),
         done_(node.sim()) {}
@@ -105,9 +107,9 @@ class Scheduler {
     co_await node_.linkOut().transfer(fn.outputBytes(call.dataBytes));
 
     slots_[slot].busy = false;
-    if (options_.hooks.timeline) {
-      options_.hooks.timeline->record("PRR" + std::to_string(slot), fn.name,
-                                      hit ? '#' : 'c', granted, sim.now());
+    if (trace_.enabled()) {
+      trace_.record(trace_.prrLane(slot), trace_.label(fn.name),
+                    hit ? '#' : 'c', granted, sim.now());
     }
     report_.prrBusyTotal += sim.now() - granted;
     stats.latencySeconds.add((sim.now() - arrival).toSeconds());
@@ -150,6 +152,7 @@ class Scheduler {
   const MultitaskOptions& options_;
   MultitaskReport& report_;
   std::vector<Slot> slots_;
+  TimelineRecorder trace_;
   sim::Condition slotFreed_;
   sim::Condition ready_;
   sim::WaitGroup done_;

@@ -5,10 +5,10 @@
 /// `put` suspends when the buffer is full, `get` suspends when it is empty.
 
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
+#include "sim/fifo.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 
@@ -39,7 +39,7 @@ class Channel {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ch->pendingPuts_.push_back(PendingPut{h, std::move(value)});
+        ch->pendingPuts_.push(PendingPut{h, std::move(value)});
       }
       void await_resume() const noexcept {}
     };
@@ -59,7 +59,7 @@ class Channel {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ch->pendingGets_.push_back(PendingGet{h, &slot});
+        ch->pendingGets_.push(PendingGet{h, &slot});
       }
       T await_resume() {
         util::require(slot.has_value(), "Channel: get resumed without a value");
@@ -92,25 +92,22 @@ class Channel {
   /// Inserts a value; if a consumer is blocked, hands the oldest buffered
   /// value over and wakes it.
   void commitPut(T value) {
-    buffer_.push_back(std::move(value));
+    buffer_.push(std::move(value));
     drainToConsumers();
   }
 
   /// Removes the oldest value; if a producer is blocked, admits its value
   /// into the freed slot and wakes it.
   T commitGet() {
-    T value = std::move(buffer_.front());
-    buffer_.pop_front();
+    T value = buffer_.pop();
     admitBlockedProducer();
     return value;
   }
 
   void drainToConsumers() {
     while (!pendingGets_.empty() && !buffer_.empty()) {
-      PendingGet waiter = pendingGets_.front();
-      pendingGets_.pop_front();
-      *waiter.slot = std::move(buffer_.front());
-      buffer_.pop_front();
+      PendingGet waiter = pendingGets_.pop();
+      *waiter.slot = buffer_.pop();
       admitBlockedProducer();
       sim_->scheduleAfter(util::Time::zero(), waiter.handle);
     }
@@ -118,18 +115,17 @@ class Channel {
 
   void admitBlockedProducer() {
     if (!pendingPuts_.empty() && buffer_.size() < capacity_) {
-      PendingPut producer = std::move(pendingPuts_.front());
-      pendingPuts_.pop_front();
-      buffer_.push_back(std::move(producer.value));
+      PendingPut producer = pendingPuts_.pop();
+      buffer_.push(std::move(producer.value));
       sim_->scheduleAfter(util::Time::zero(), producer.handle);
     }
   }
 
   Simulator* sim_;
   std::size_t capacity_;
-  std::deque<T> buffer_;
-  std::deque<PendingPut> pendingPuts_;
-  std::deque<PendingGet> pendingGets_;
+  detail::SmallFifo<T> buffer_;
+  detail::SmallFifo<PendingPut> pendingPuts_;
+  detail::SmallFifo<PendingGet> pendingGets_;
 };
 
 }  // namespace prtr::sim

@@ -1,0 +1,140 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace prtr::sim {
+namespace {
+
+/// std::push_heap-style comparator that yields a MIN-heap on Event::before.
+struct After {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return b.before(a);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BinaryHeapQueue
+// ---------------------------------------------------------------------------
+
+void BinaryHeapQueue::push(Event event) {
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), After{});
+}
+
+Event BinaryHeapQueue::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), After{});
+  const Event event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+std::int64_t BinaryHeapQueue::peekTimePs() const { return heap_.front().timePs; }
+
+// ---------------------------------------------------------------------------
+// CalendarQueue
+// ---------------------------------------------------------------------------
+
+CalendarQueue::CalendarQueue() = default;
+
+void CalendarQueue::push(Event event) {
+  // The simulator never schedules into the past, and windowStartPs_ never
+  // passes the time of the event being executed, so event.timePs >=
+  // windowStartPs_ holds here and the ring mapping below is unique.
+  if (event.timePs < windowEndPs()) {
+    const std::size_t bucket = bucketOf(event.timePs);
+    buckets_[bucket].push_back(event);
+    if (bucket == cursor_ && cursorActive_) {
+      std::push_heap(buckets_[bucket].begin(), buckets_[bucket].end(), After{});
+    }
+    ++inRing_;
+  } else {
+    ladder_.push_back(event);
+    std::push_heap(ladder_.begin(), ladder_.end(), After{});
+  }
+  ++size_;
+}
+
+void CalendarQueue::advanceToPending() const {
+  if (inRing_ == 0) {
+    // Ring drained: jump the window to the ladder's minimum.
+    const std::int64_t minPs = ladder_.front().timePs;
+    windowStartPs_ = (minPs >> kBucketWidthShift) << kBucketWidthShift;
+    cursor_ = bucketOf(minPs);
+    cursorActive_ = false;
+    while (!ladder_.empty() && ladder_.front().timePs < windowEndPs()) {
+      std::pop_heap(ladder_.begin(), ladder_.end(), After{});
+      const Event event = ladder_.back();
+      ladder_.pop_back();
+      buckets_[bucketOf(event.timePs)].push_back(event);
+      ++inRing_;
+    }
+  }
+  while (buckets_[cursor_].empty()) {
+    // Step one bucket: the vacated slot becomes the farthest-future slot of
+    // the advanced window, so ladder events that just entered the window
+    // land exactly there (invariant: the ring covers [start, end) and the
+    // ladder everything at or past end).
+    cursor_ = (cursor_ + 1) & (kBuckets - 1);
+    windowStartPs_ += kBucketWidthPs;
+    cursorActive_ = false;
+    while (!ladder_.empty() && ladder_.front().timePs < windowEndPs()) {
+      std::pop_heap(ladder_.begin(), ladder_.end(), After{});
+      const Event event = ladder_.back();
+      ladder_.pop_back();
+      buckets_[bucketOf(event.timePs)].push_back(event);
+      ++inRing_;
+    }
+  }
+}
+
+void CalendarQueue::activateCursorBucket() const {
+  if (cursorActive_) return;
+  std::make_heap(buckets_[cursor_].begin(), buckets_[cursor_].end(), After{});
+  cursorActive_ = true;
+}
+
+Event CalendarQueue::pop() {
+  advanceToPending();
+  activateCursorBucket();
+  std::vector<Event>& bucket = buckets_[cursor_];
+  std::pop_heap(bucket.begin(), bucket.end(), After{});
+  const Event event = bucket.back();
+  bucket.pop_back();
+  --inRing_;
+  --size_;
+  return event;
+}
+
+std::int64_t CalendarQueue::peekTimePs() const {
+  advanceToPending();
+  // The cursor bucket covers the earliest alive time range and the ladder
+  // holds only later events, so its minimum is the global minimum.
+  activateCursorBucket();
+  return buckets_[cursor_].front().timePs;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+const char* toString(QueueKind kind) noexcept {
+  switch (kind) {
+    case QueueKind::kCalendar: return "calendar";
+    case QueueKind::kBinaryHeap: return "binary-heap";
+  }
+  return "?";
+}
+
+std::unique_ptr<EventQueue> makeEventQueue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kCalendar: return std::make_unique<CalendarQueue>();
+    case QueueKind::kBinaryHeap: return std::make_unique<BinaryHeapQueue>();
+  }
+  throw util::DomainError{"makeEventQueue: unknown queue kind"};
+}
+
+}  // namespace prtr::sim

@@ -1,0 +1,48 @@
+#pragma once
+/// \file fifo.hpp
+/// Small vector-backed FIFO for simulator primitives.
+///
+/// Channel and Semaphore used std::deque for buffered values and blocked
+/// waiters; a deque allocates its block map up front, and the ICAP pipeline
+/// constructs a fresh Channel per partial load, so those allocations were a
+/// measurable slice of kernel time. This FIFO keeps elements in one vector
+/// with a head cursor: a single allocation that is reused for the lifetime
+/// of the primitive, compacted opportunistically when it drains.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace prtr::sim::detail {
+
+template <typename T>
+class SmallFifo {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return head_ == items_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return items_.size() - head_;
+  }
+  [[nodiscard]] T& front() noexcept { return items_[head_]; }
+
+  void push(T value) { items_.push_back(std::move(value)); }
+
+  T pop() {
+    T value = std::move(items_[head_]);
+    ++head_;
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= items_.size()) {
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return value;
+  }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace prtr::sim::detail

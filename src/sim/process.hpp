@@ -10,8 +10,11 @@
 /// exceptions in roots are rethrown from Simulator::run().
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/arena.hpp"
 
 namespace prtr::sim {
 
@@ -45,6 +48,19 @@ class [[nodiscard]] Process {
 
     void return_void() noexcept {}
     void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+    // Frames are recycled through the thread-local arena (see arena.hpp):
+    // model code spawns ~200 short-lived coroutines per partial load, and
+    // the general allocator was the kernel's hottest path.
+    static void* operator new(std::size_t size) {
+      return detail::frameArena().allocate(size);
+    }
+    static void operator delete(void* ptr) noexcept {
+      detail::frameArena().release(ptr);
+    }
+    static void operator delete(void* ptr, std::size_t) noexcept {
+      detail::frameArena().release(ptr);
+    }
   };
 
   Process() noexcept = default;

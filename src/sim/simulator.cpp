@@ -1,12 +1,23 @@
 #include "sim/simulator.hpp"
 
-namespace prtr::sim {
+#include <atomic>
 
-void Simulator::scheduleAt(util::Time t, std::coroutine_handle<> handle) {
-  if (t < now_) {
-    throw util::SimulationError{"Simulator: event scheduled in the past"};
-  }
-  queue_.push(Entry{t.ps(), seq_++, handle});
+namespace prtr::sim {
+namespace {
+
+std::atomic<QueueKind>& defaultKind() noexcept {
+  static std::atomic<QueueKind> kind{QueueKind::kCalendar};
+  return kind;
+}
+
+}  // namespace
+
+QueueKind Simulator::defaultQueueKind() noexcept {
+  return defaultKind().load(std::memory_order_relaxed);
+}
+
+void Simulator::setDefaultQueueKind(QueueKind kind) noexcept {
+  defaultKind().store(kind, std::memory_order_relaxed);
 }
 
 void Simulator::spawn(Process process) {
@@ -17,10 +28,10 @@ void Simulator::spawn(Process process) {
   roots_.push_back(std::move(process));
 }
 
-void Simulator::step(const Entry& entry) {
-  now_ = util::Time::picoseconds(entry.timePs);
+void Simulator::step(const Event& event) {
+  now_ = util::Time::picoseconds(event.timePs);
   ++events_;
-  entry.handle.resume();
+  event.handle.resume();
 }
 
 void Simulator::rethrowRootFailures() {
@@ -38,20 +49,19 @@ void Simulator::rethrowRootFailures() {
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    queue_.pop();
-    step(entry);
+  EventQueue& queue = *queue_;
+  while (!queue.empty()) {
+    step(queue.pop());
     if ((events_ & 0xFFFu) == 0 && roots_.size() > 64) rethrowRootFailures();
   }
   rethrowRootFailures();
 }
 
 util::Time Simulator::runUntil(util::Time deadline) {
-  while (!queue_.empty() && util::Time::picoseconds(queue_.top().timePs) <= deadline) {
-    const Entry entry = queue_.top();
-    queue_.pop();
-    step(entry);
+  EventQueue& queue = *queue_;
+  while (!queue.empty() &&
+         util::Time::picoseconds(queue.peekTimePs()) <= deadline) {
+    step(queue.pop());
     if ((events_ & 0xFFFu) == 0 && roots_.size() > 64) rethrowRootFailures();
   }
   rethrowRootFailures();

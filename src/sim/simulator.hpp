@@ -2,17 +2,23 @@
 /// \file simulator.hpp
 /// Discrete-event simulation kernel.
 ///
-/// The kernel keeps a min-heap of (time, sequence) ordered events whose
-/// payloads are coroutine handles. Model code is written as C++20 coroutines
-/// (see process.hpp) that `co_await` delays, synchronization primitives, and
-/// child processes. Time is integer picoseconds (util::Time), so event order
-/// is exact and runs are bit-reproducible.
+/// The kernel keeps a pending-event set of (time, sequence) ordered events
+/// whose payloads are coroutine handles. Model code is written as C++20
+/// coroutines (see process.hpp) that `co_await` delays, synchronization
+/// primitives, and child processes. Time is integer picoseconds
+/// (util::Time), so event order is exact and runs are bit-reproducible.
+///
+/// The pending set sits behind an EventQueue seam (see event_queue.hpp):
+/// the default CalendarQueue is the throughput rewrite, and the original
+/// BinaryHeapQueue remains constructible so the schedule explorer can A/B
+/// both implementations and prove their pop sequences identical.
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/process.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -23,15 +29,38 @@ namespace prtr::sim {
 /// parameter sweeps parallelize by running independent simulators.
 class Simulator {
  public:
-  Simulator() = default;
+  /// Builds with the process-wide default queue kind (calendar unless
+  /// overridden via setDefaultQueueKind, e.g. for A/B experiments).
+  Simulator() : Simulator(defaultQueueKind()) {}
+  explicit Simulator(QueueKind kind) : queue_(makeEventQueue(kind)) {}
+  /// Takes a caller-built queue (custom implementations, instrumentation).
+  explicit Simulator(std::unique_ptr<EventQueue> queue)
+      : queue_(std::move(queue)) {
+    util::require(queue_ != nullptr, "Simulator: null event queue");
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Queue kind newly-default-constructed simulators use. Not thread-safe;
+  /// flip it only from a quiescent process (the schedule explorer does).
+  static QueueKind defaultQueueKind() noexcept;
+  static void setDefaultQueueKind(QueueKind kind) noexcept;
+
+  /// Implementation tag of this simulator's queue ("calendar", ...).
+  [[nodiscard]] const char* queueName() const noexcept {
+    return queue_->name();
+  }
 
   /// Current simulated time.
   [[nodiscard]] util::Time now() const noexcept { return now_; }
 
   /// Schedules `handle` to resume at absolute time `t` (>= now).
-  void scheduleAt(util::Time t, std::coroutine_handle<> handle);
+  void scheduleAt(util::Time t, std::coroutine_handle<> handle) {
+    if (t < now_) {
+      throw util::SimulationError{"Simulator: event scheduled in the past"};
+    }
+    queue_->push(Event{t.ps(), seq_++, handle});
+  }
 
   /// Schedules `handle` to resume after `delay`.
   void scheduleAfter(util::Time delay, std::coroutine_handle<> handle) {
@@ -68,19 +97,10 @@ class Simulator {
   [[nodiscard]] std::size_t rootCount() const noexcept { return roots_.size(); }
 
  private:
-  struct Entry {
-    std::int64_t timePs;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
-    friend bool operator>(const Entry& a, const Entry& b) noexcept {
-      return a.timePs != b.timePs ? a.timePs > b.timePs : a.seq > b.seq;
-    }
-  };
-
-  void step(const Entry& entry);
+  void step(const Event& event);
   void rethrowRootFailures();
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unique_ptr<EventQueue> queue_;
   std::vector<Process> roots_;
   util::Time now_;
   std::uint64_t seq_ = 0;

@@ -1,0 +1,42 @@
+#include "sim/symbols.hpp"
+
+#include "util/error.hpp"
+
+namespace prtr::sim {
+
+std::uint32_t SymbolTable::intern(Index& index, std::vector<std::string>& names,
+                                  std::string_view name) {
+  const auto found = index.find(name);
+  if (found != index.end()) return found->second;
+  const auto id = static_cast<std::uint32_t>(names.size());
+  names.emplace_back(name);
+  index.emplace(names.back(), id);
+  return id;
+}
+
+LaneId SymbolTable::lane(std::string_view name) {
+  return LaneId{intern(laneIndex_, laneNames_, name)};
+}
+
+LabelId SymbolTable::label(std::string_view name) {
+  return LabelId{intern(labelIndex_, labelNames_, name)};
+}
+
+LaneId SymbolTable::findLane(std::string_view name) const noexcept {
+  const auto found = laneIndex_.find(name);
+  return found == laneIndex_.end() ? LaneId{} : LaneId{found->second};
+}
+
+const std::string& SymbolTable::laneName(LaneId id) const {
+  util::require(id.valid() && id.index() < laneNames_.size(),
+                "SymbolTable: unknown lane id");
+  return laneNames_[id.index()];
+}
+
+const std::string& SymbolTable::labelName(LabelId id) const {
+  util::require(id.valid() && id.index() < labelNames_.size(),
+                "SymbolTable: unknown label id");
+  return labelNames_[id.index()];
+}
+
+}  // namespace prtr::sim

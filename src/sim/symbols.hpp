@@ -1,0 +1,90 @@
+#pragma once
+/// \file symbols.hpp
+/// Interned timeline symbols.
+///
+/// The tracing hot path records millions of spans per sweep; carrying two
+/// heap-allocated strings per span dominated the recorder's cost. Lanes and
+/// labels are therefore interned once into a per-timeline SymbolTable and
+/// spans carry 4-byte ids. Strings materialize only at render/export
+/// boundaries (Gantt renderer, Chrome-trace export, verify rules).
+///
+/// Ids are dense indices in interning order, so consumers can build
+/// per-lane side tables (`std::vector` indexed by `LaneId::index()`)
+/// instead of hashing strings per span.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace prtr::sim {
+
+/// Strong typedef for an interned lane name ("PRR0", "config", "HT-in").
+struct LaneId {
+  static constexpr std::uint32_t kInvalid = 0xFFFF'FFFFu;
+  std::uint32_t value = kInvalid;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value; }
+  friend constexpr bool operator==(LaneId, LaneId) noexcept = default;
+};
+
+/// Strong typedef for an interned span label ("compute", "partial(sobel)").
+struct LabelId {
+  static constexpr std::uint32_t kInvalid = 0xFFFF'FFFFu;
+  std::uint32_t value = kInvalid;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return value; }
+  friend constexpr bool operator==(LabelId, LabelId) noexcept = default;
+};
+
+/// Two independent intern pools (lanes and labels), densely indexed in
+/// interning order. Copyable and movable; copies re-intern nothing (the
+/// index map is rebuilt over the copied names). Not thread-safe, like the
+/// Timeline that owns it.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it on first sight.
+  LaneId lane(std::string_view name);
+  LabelId label(std::string_view name);
+
+  /// Lookup without interning; invalid id if `name` was never interned.
+  [[nodiscard]] LaneId findLane(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::string& laneName(LaneId id) const;
+  [[nodiscard]] const std::string& labelName(LabelId id) const;
+
+  /// Lane/label names in interning order (index == id value).
+  [[nodiscard]] const std::vector<std::string>& laneNames() const noexcept {
+    return laneNames_;
+  }
+  [[nodiscard]] const std::vector<std::string>& labelNames() const noexcept {
+    return labelNames_;
+  }
+
+  [[nodiscard]] std::size_t laneCount() const noexcept { return laneNames_.size(); }
+  [[nodiscard]] std::size_t labelCount() const noexcept { return labelNames_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using Index =
+      std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>>;
+
+  static std::uint32_t intern(Index& index, std::vector<std::string>& names,
+                              std::string_view name);
+
+  Index laneIndex_;
+  Index labelIndex_;
+  std::vector<std::string> laneNames_;
+  std::vector<std::string> labelNames_;
+};
+
+}  // namespace prtr::sim

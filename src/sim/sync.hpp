@@ -7,9 +7,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "sim/fifo.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 
@@ -68,7 +68,7 @@ class Semaphore {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push(h); }
       void await_resume() const noexcept {}
     };
     return Awaiter{this};
@@ -76,9 +76,7 @@ class Semaphore {
 
   void release() {
     if (!waiters_.empty()) {
-      const auto handle = waiters_.front();
-      waiters_.pop_front();
-      sim_->scheduleAfter(util::Time::zero(), handle);
+      sim_->scheduleAfter(util::Time::zero(), waiters_.pop());
     } else {
       ++count_;
     }
@@ -90,7 +88,7 @@ class Semaphore {
  private:
   Simulator* sim_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::SmallFifo<std::coroutine_handle<>> waiters_;
 };
 
 /// RAII permit holder for Semaphore within one coroutine scope.

@@ -5,46 +5,78 @@
 #include <set>
 #include <sstream>
 
+#include "util/deprecation.hpp"
 #include "util/error.hpp"
 
 namespace prtr::sim {
 
-void Timeline::record(Span span) {
-  util::require(span.end >= span.start, "Timeline: span ends before it starts");
-  spans_.push_back(std::move(span));
-}
-
-void Timeline::record(const std::string& lane, const std::string& label,
-                      char glyph, util::Time start, util::Time end) {
-  record(Span{lane, label, glyph, start, end});
-}
-
-util::Time Timeline::laneBusy(const std::string& lane) const noexcept {
-  util::Time total;
-  for (const Span& s : spans_) {
-    if (s.lane == lane) total += s.end - s.start;
+LaneId Timeline::lane(std::string_view name) {
+  const LaneId id = symbols_.lane(name);
+  if (laneBusyPs_.size() < symbols_.laneCount()) {
+    laneBusyPs_.resize(symbols_.laneCount(), 0);
   }
-  return total;
+  return id;
 }
 
-util::Time Timeline::horizon() const noexcept {
-  util::Time latest;
-  for (const Span& s : spans_) latest = std::max(latest, s.end);
-  return latest;
+LabelId Timeline::label(std::string_view name) { return symbols_.label(name); }
+
+void Timeline::record(LaneId lane, LabelId label, char glyph, util::Time start,
+                      util::Time end) {
+  util::require(end >= start, "Timeline: span ends before it starts");
+  util::require(lane.index() < laneBusyPs_.size() &&
+                    label.index() < symbols_.labelCount(),
+                "Timeline: id from a foreign symbol table");
+  if (spans_.size() == spans_.capacity()) {
+    spans_.reserve(std::max(kGrowthBatch, spans_.capacity() * 2));
+  }
+  spans_.push_back(Span{lane, label, glyph, start, end});
+  laneBusyPs_[lane.index()] += (end - start).ps();
+  horizonPs_ = std::max(horizonPs_, end.ps());
+}
+
+void Timeline::clear() noexcept {
+  spans_.clear();
+  std::fill(laneBusyPs_.begin(), laneBusyPs_.end(), 0);
+  horizonPs_ = 0;
+}
+
+util::Time Timeline::laneBusy(LaneId lane) const noexcept {
+  if (!lane.valid() || lane.index() >= laneBusyPs_.size()) {
+    return util::Time::zero();
+  }
+  return util::Time::picoseconds(laneBusyPs_[lane.index()]);
+}
+
+util::Time Timeline::laneBusy(std::string_view lane) const noexcept {
+  return laneBusy(symbols_.findLane(lane));
+}
+
+std::vector<NamedSpan> Timeline::materialize() const {
+  std::vector<NamedSpan> out;
+  out.reserve(spans_.size());
+  for (const Span& s : spans_) {
+    out.push_back(NamedSpan{symbols_.laneName(s.lane),
+                            symbols_.labelName(s.label), s.glyph, s.start,
+                            s.end});
+  }
+  return out;
 }
 
 std::string Timeline::renderGantt(int width) const {
   util::require(width >= 20, "Timeline: Gantt width too small");
   if (spans_.empty()) return "(empty timeline)\n";
 
-  std::vector<std::string> laneOrder;
+  std::vector<LaneId> laneOrder;
   for (const Span& s : spans_) {
-    if (std::find(laneOrder.begin(), laneOrder.end(), s.lane) == laneOrder.end()) {
+    if (std::find(laneOrder.begin(), laneOrder.end(), s.lane) ==
+        laneOrder.end()) {
       laneOrder.push_back(s.lane);
     }
   }
   std::size_t laneWidth = 0;
-  for (const auto& lane : laneOrder) laneWidth = std::max(laneWidth, lane.size());
+  for (const LaneId lane : laneOrder) {
+    laneWidth = std::max(laneWidth, symbols_.laneName(lane).size());
+  }
 
   const util::Time end = horizon();
   const double endSec = std::max(end.toSeconds(), 1e-15);
@@ -57,16 +89,18 @@ std::string Timeline::renderGantt(int width) const {
 
   std::ostringstream os;
   std::map<char, std::set<std::string>> legend;
-  for (const auto& lane : laneOrder) {
+  for (const LaneId lane : laneOrder) {
+    const std::string& laneName = symbols_.laneName(lane);
     std::string row(cols, '.');
     for (const Span& s : spans_) {
-      if (s.lane != lane) continue;
+      if (!(s.lane == lane)) continue;
       const std::size_t a = column(s.start);
       const std::size_t b = std::max(a, column(s.end));
       for (std::size_t c = a; c <= b && c < cols; ++c) row[c] = s.glyph;
-      legend[s.glyph].insert(s.label);
+      legend[s.glyph].insert(symbols_.labelName(s.label));
     }
-    os << lane << std::string(laneWidth - lane.size(), ' ') << " |" << row << "|\n";
+    os << laneName << std::string(laneWidth - laneName.size(), ' ') << " |"
+       << row << "|\n";
   }
   os << std::string(laneWidth, ' ') << " 0" << std::string(cols - 1, ' ')
      << end.toString() << '\n';
@@ -77,5 +111,20 @@ std::string Timeline::renderGantt(int width) const {
   }
   return os.str();
 }
+
+// Deprecated shim. Defining it here must not warn under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+void Timeline::record(std::string_view laneName, std::string_view labelName,
+                      char glyph, util::Time start, util::Time end,
+                      const std::source_location& where) {
+  util::detail::warnDeprecatedOnce(
+      "sim::Timeline::record(lane, label, ...)",
+      "Timeline::lane()/label() ids with record(LaneId, LabelId, ...)", where);
+  record(lane(laneName), label(labelName), glyph, start, end);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace prtr::sim

@@ -1,0 +1,25 @@
+#include "util/deprecation.hpp"
+
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace prtr::util::detail {
+
+void warnDeprecatedOnce(const char* shim, const char* replacement,
+                        const std::source_location& where) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::string site = std::string(where.file_name()) + ":" +
+                           std::to_string(where.line()) + ":" + shim;
+  {
+    const std::lock_guard<std::mutex> lock{mutex};
+    if (!warned.insert(site).second) return;
+  }
+  util::logWarn(shim, " is deprecated (called from ", where.file_name(), ":",
+                where.line(), "); use ", replacement, " instead");
+}
+
+}  // namespace prtr::util::detail

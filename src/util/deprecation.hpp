@@ -1,0 +1,20 @@
+#pragma once
+/// \file deprecation.hpp
+/// Shared warn-once machinery for deprecated API shims.
+///
+/// Shims kept for source compatibility call warnDeprecatedOnce with the
+/// caller's source_location; the first call from each distinct call site
+/// logs one migration hint and later calls from the same site are free.
+/// This is the PR 4 shim pattern, hoisted into util so every layer's
+/// deprecated surface reports the same way.
+
+#include <source_location>
+
+namespace prtr::util::detail {
+
+/// Logs "<shim> is deprecated (called from file:line); use <replacement>"
+/// once per distinct (file, line, shim) triple. Thread-safe.
+void warnDeprecatedOnce(const char* shim, const char* replacement,
+                        const std::source_location& where);
+
+}  // namespace prtr::util::detail

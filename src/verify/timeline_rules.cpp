@@ -22,11 +22,11 @@ std::string where(const std::string& process, const std::string& lane) {
   return "process '" + process + "' lane '" + lane + "'";
 }
 
-std::string timesOf(const sim::Span& span) {
+std::string timesOf(const sim::NamedSpan& span) {
   return "[" + span.start.toString() + ", " + span.end.toString() + ")";
 }
 
-bool overlaps(const sim::Span& a, const sim::Span& b) noexcept {
+bool overlaps(const sim::NamedSpan& a, const sim::NamedSpan& b) noexcept {
   // Half-open intervals: touching endpoints are not an overlap.
   return a.start < b.end && b.start < a.end;
 }
@@ -44,12 +44,12 @@ LaneKind classifyLane(std::string_view lane) noexcept {
 }
 
 void checkSpans(const std::string& process,
-                const std::vector<sim::Span>& spans,
+                const std::vector<sim::NamedSpan>& spans,
                 analyze::DiagnosticSink& sink) {
   // Bucket per lane in record order (std::map: deterministic lane order in
   // the report regardless of recording interleavings).
-  std::map<std::string, std::vector<const sim::Span*>> lanes;
-  for (const sim::Span& span : spans) {
+  std::map<std::string, std::vector<const sim::NamedSpan*>> lanes;
+  for (const sim::NamedSpan& span : spans) {
     if (span.end < span.start) {
       sink.emit("TL001", where(process, span.lane) + " span '" + span.label + "'",
                 "span " + timesOf(span) + " ends " +
@@ -78,13 +78,13 @@ void checkSpans(const std::string& process,
 
     // Overlap check on start-sorted spans; the running max-end span is the
     // only candidate an in-order span can still overlap.
-    std::vector<const sim::Span*> sorted = laneSpans;
+    std::vector<const sim::NamedSpan*> sorted = laneSpans;
     std::stable_sort(sorted.begin(), sorted.end(),
-                     [](const sim::Span* a, const sim::Span* b) {
+                     [](const sim::NamedSpan* a, const sim::NamedSpan* b) {
                        return a->start < b->start;
                      });
-    const sim::Span* busiest = nullptr;
-    for (const sim::Span* span : sorted) {
+    const sim::NamedSpan* busiest = nullptr;
+    for (const sim::NamedSpan* span : sorted) {
       if (span->end < span->start) continue;  // already reported as TL001
       if (busiest != nullptr && overlaps(*busiest, *span)) {
         sink.emit(overlapCode(kind),
@@ -102,10 +102,10 @@ void checkSpans(const std::string& process,
   const auto recovery = lanes.find("recovery");
   const auto config = lanes.find("config");
   if (recovery != lanes.end() && config != lanes.end()) {
-    for (const sim::Span* episode : recovery->second) {
+    for (const sim::NamedSpan* episode : recovery->second) {
       const bool paired = std::any_of(
           config->second.begin(), config->second.end(),
-          [&](const sim::Span* load) { return overlaps(*episode, *load); });
+          [&](const sim::NamedSpan* load) { return overlaps(*episode, *load); });
       if (!paired) {
         sink.emit("TL007",
                   where(process, "recovery") + " span '" + episode->label + "'",
@@ -118,7 +118,7 @@ void checkSpans(const std::string& process,
 
 void checkTimeline(const std::string& process, const sim::Timeline& timeline,
                    analyze::DiagnosticSink& sink) {
-  checkSpans(process, timeline.spans(), sink);
+  checkSpans(process, timeline.materialize(), sink);
 }
 
 }  // namespace prtr::verify

@@ -40,8 +40,10 @@ enum class LaneKind : std::uint8_t {
 
 /// Checks one process's spans (any lane mix) and emits TL diagnostics.
 /// `process` labels diagnostic locations, e.g. a trace process name.
+/// Spans carry materialized names (sim::NamedSpan) because post-hoc traces
+/// arrive without a symbol table.
 void checkSpans(const std::string& process,
-                const std::vector<sim::Span>& spans,
+                const std::vector<sim::NamedSpan>& spans,
                 analyze::DiagnosticSink& sink);
 
 /// Convenience overload for a live timeline.

@@ -60,7 +60,7 @@ std::vector<TraceProcess> loadChromeTrace(std::string_view jsonText) {
                          ? named->second
                          : "pid " + std::to_string(pid);
     }
-    sim::Span span;
+    sim::NamedSpan span;
     const auto lane = laneNames.find({pid, idOf(event, "tid")});
     if (lane != laneNames.end()) {
       span.lane = lane->second;
@@ -119,8 +119,8 @@ void compareTraces(const std::vector<TraceProcess>& left,
       continue;
     }
     for (std::size_t i = 0; i < a.spans.size(); ++i) {
-      const sim::Span& x = a.spans[i];
-      const sim::Span& y = b.spans[i];
+      const sim::NamedSpan& x = a.spans[i];
+      const sim::NamedSpan& y = b.spans[i];
       if (x.lane != y.lane || x.label != y.label || x.start != y.start ||
           x.end != y.end) {
         sink.emit("DT002", location + " span " + std::to_string(i),

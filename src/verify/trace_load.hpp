@@ -20,7 +20,7 @@ namespace prtr::verify {
 /// One trace process: a named span list (record order preserved).
 struct TraceProcess {
   std::string name;
-  std::vector<sim::Span> spans;
+  std::vector<sim::NamedSpan> spans;
 };
 
 /// Parses one Chrome trace JSON document ("traceEvents" with M metadata

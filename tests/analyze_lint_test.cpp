@@ -174,7 +174,7 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
   EXPECT_EQ(ft, 10u);
   EXPECT_EQ(rc, 4u);
   EXPECT_EQ(tl, 7u);
-  EXPECT_EQ(dt, 3u);
+  EXPECT_EQ(dt, 4u);
   EXPECT_GE(fp + bs + md + ft + rc + tl + dt, 12u);
 }
 
@@ -1000,7 +1000,7 @@ TEST(RuleCoverage, EveryDocumentedCodeIsEmittableByAChecker) {
   }
   {  // Timelines: one span list violating every physical invariant.
     const auto us = [](long long v) { return util::Time::microseconds(v); };
-    const std::vector<sim::Span> spans{
+    const std::vector<sim::NamedSpan> spans{
         {"CPU", "late", '#', us(10), us(12)},
         {"CPU", "early", '#', us(0), us(3)},        // TL002 out of order
         {"CPU", "overlap", '#', us(1), us(2)},      // TL003 serial overlap

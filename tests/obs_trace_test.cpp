@@ -27,11 +27,14 @@ TEST(TraceTime, MicrosecondsFromPicosecondsIsExact) {
 
 sim::Timeline demoTimeline() {
   sim::Timeline tl;
-  tl.record("PRR0", "config(a)", 'c', util::Time::zero(),
+  const sim::LaneId prr0 = tl.lane("PRR0");
+  const sim::LaneId prr1 = tl.lane("PRR1");
+  const sim::LabelId compute = tl.label("compute");
+  tl.record(prr0, tl.label("config(a)"), 'c', util::Time::zero(),
             util::Time::nanoseconds(1'500));
-  tl.record("PRR1", "compute", '#', util::Time::microseconds(2),
+  tl.record(prr1, compute, '#', util::Time::microseconds(2),
             util::Time::microseconds(2) + util::Time::nanoseconds(250));
-  tl.record("PRR0", "compute", '#', util::Time::microseconds(3),
+  tl.record(prr0, compute, '#', util::Time::microseconds(3),
             util::Time::microseconds(4));
   return tl;
 }

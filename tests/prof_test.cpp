@@ -136,13 +136,14 @@ sim::Timeline syntheticTimeline() {
   //   PRR0   busy [4, 8) ns          \  averaged over 2 lanes:
   //   PRR1   busy [6, 8) ns          /  0, 0, 0.5, 1
   sim::Timeline tl;
-  tl.record("HT-in", "data-in", '>', util::Time::zero(),
+  const sim::LabelId compute = tl.label("compute");
+  tl.record(tl.lane("HT-in"), tl.label("data-in"), '>', util::Time::zero(),
             util::Time::nanoseconds(2));
-  tl.record("config", "partial", 'P', util::Time::nanoseconds(2),
-            util::Time::nanoseconds(4));
-  tl.record("PRR0", "compute", '#', util::Time::nanoseconds(4),
+  tl.record(tl.lane("config"), tl.label("partial"), 'P',
+            util::Time::nanoseconds(2), util::Time::nanoseconds(4));
+  tl.record(tl.lane("PRR0"), compute, '#', util::Time::nanoseconds(4),
             util::Time::nanoseconds(8));
-  tl.record("PRR1", "compute", '#', util::Time::nanoseconds(6),
+  tl.record(tl.lane("PRR1"), compute, '#', util::Time::nanoseconds(6),
             util::Time::nanoseconds(8));
   return tl;
 }

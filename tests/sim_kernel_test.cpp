@@ -300,8 +300,9 @@ TEST(LinkTest, LatencyAddsPerTransfer) {
 
 TEST(TimelineTest, RecordsAndRenders) {
   Timeline tl;
-  tl.record("PRR0", "median", '#', Time::zero(), Time::milliseconds(5));
-  tl.record("config", "partial", 'P', Time::milliseconds(1),
+  tl.record(tl.lane("PRR0"), tl.label("median"), '#', Time::zero(),
+            Time::milliseconds(5));
+  tl.record(tl.lane("config"), tl.label("partial"), 'P', Time::milliseconds(1),
             Time::milliseconds(3));
   EXPECT_EQ(tl.spans().size(), 2u);
   EXPECT_EQ(tl.laneBusy("PRR0"), Time::milliseconds(5));
@@ -315,9 +316,26 @@ TEST(TimelineTest, RecordsAndRenders) {
 
 TEST(TimelineTest, RejectsNegativeSpan) {
   Timeline tl;
-  EXPECT_THROW(
-      tl.record("x", "y", '#', Time::milliseconds(2), Time::milliseconds(1)),
-      util::DomainError);
+  EXPECT_THROW(tl.record(tl.lane("x"), tl.label("y"), '#',
+                         Time::milliseconds(2), Time::milliseconds(1)),
+               util::DomainError);
+}
+
+TEST(TimelineTest, DeprecatedStringRecordMatchesTheIdPath) {
+  // The string shim survives for source compatibility; it must intern into
+  // the same symbols and record the same span as the id-based hot path.
+  Timeline byId;
+  byId.record(byId.lane("PRR0"), byId.label("median"), '#', Time::zero(),
+              Time::milliseconds(5));
+  Timeline byName;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  byName.record("PRR0", "median", '#', Time::zero(), Time::milliseconds(5));
+#pragma GCC diagnostic pop
+  ASSERT_EQ(byName.spans().size(), 1u);
+  EXPECT_EQ(byName.spans()[0].lane, byId.spans()[0].lane);
+  EXPECT_EQ(byName.spans()[0].label, byId.spans()[0].label);
+  EXPECT_EQ(byName.renderGantt(60), byId.renderGantt(60));
 }
 
 }  // namespace

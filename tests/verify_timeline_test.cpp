@@ -25,13 +25,13 @@ using verify::LaneKind;
 
 util::Time us(long long v) { return util::Time::microseconds(v); }
 
-sim::Span span(std::string lane, std::string label, long long startUs,
-               long long endUs) {
-  return sim::Span{std::move(lane), std::move(label), '#', us(startUs),
-                   us(endUs)};
+sim::NamedSpan span(std::string lane, std::string label, long long startUs,
+                    long long endUs) {
+  return sim::NamedSpan{std::move(lane), std::move(label), '#', us(startUs),
+                        us(endUs)};
 }
 
-DiagnosticSink check(const std::vector<sim::Span>& spans) {
+DiagnosticSink check(const std::vector<sim::NamedSpan>& spans) {
   DiagnosticSink sink;
   verify::checkSpans("test", spans, sink);
   return sink;
@@ -147,8 +147,9 @@ TEST(TimelineRules, RecoveryRuleNeedsAConfigLane) {
 
 TEST(TimelineRules, TimelineOverloadMatchesSpanOverload) {
   sim::Timeline timeline;
-  timeline.record("config", "sobel", '#', us(0), us(10));
-  timeline.record("config", "median", '#', us(5), us(15));
+  const sim::LaneId config = timeline.lane("config");
+  timeline.record(config, timeline.label("sobel"), '#', us(0), us(10));
+  timeline.record(config, timeline.label("median"), '#', us(5), us(15));
   DiagnosticSink sink;
   verify::checkTimeline("live", timeline, sink);
   EXPECT_TRUE(has(sink, "TL005"));
@@ -160,8 +161,10 @@ TEST(TimelineRules, TimelineOverloadMatchesSpanOverload) {
 
 TEST(TraceLoad, RoundTripsAnExportedTimeline) {
   sim::Timeline timeline;
-  timeline.record("CPU", "call(0)", '#', us(0), us(10));
-  timeline.record("config", "sobel", '#', us(2), us(6));
+  timeline.record(timeline.lane("CPU"), timeline.label("call(0)"), '#', us(0),
+                  us(10));
+  timeline.record(timeline.lane("config"), timeline.label("sobel"), '#', us(2),
+                  us(6));
   obs::ChromeTrace trace;
   trace.add("prtr", timeline);
 
