@@ -10,6 +10,7 @@
 #include "bitstream/builder.hpp"
 #include "bitstream/parser.hpp"
 #include "fabric/floorplan.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "tasks/kernels.hpp"
@@ -86,6 +87,105 @@ void BM_SobelFilter(benchmark::State& state) {
                           static_cast<std::int64_t>(img.pixelCount()));
 }
 BENCHMARK(BM_SobelFilter);
+
+// ---- Metrics registry hot path: interned ids vs the deprecated string
+// shims. The id path is the contract the sweeps rely on (a bounds check
+// plus one increment); CI asserts the by-name/by-id time ratio is >= 5x.
+
+void BM_MetricsAddById(benchmark::State& state) {
+  obs::MetricTable& t = obs::MetricTable::global();
+  const std::array<obs::CounterId, 4> ids{
+      t.counter("micro.metrics.a"), t.counter("micro.metrics.b"),
+      t.counter("micro.metrics.c"), t.counter("micro.metrics.d")};
+  obs::Registry reg;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    reg.add(ids[i & 3]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(reg.snapshot().counterOr("micro.metrics.a"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsAddById);
+
+void BM_MetricsAddByName(benchmark::State& state) {
+  static constexpr std::array<std::string_view, 4> kNames{
+      "micro.metrics.a", "micro.metrics.b", "micro.metrics.c",
+      "micro.metrics.d"};
+  obs::Registry reg;
+  std::size_t i = 0;
+  for (auto _ : state) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    reg.add(kNames[i & 3]);
+#pragma GCC diagnostic pop
+    ++i;
+  }
+  benchmark::DoNotOptimize(reg.snapshot().counterOr("micro.metrics.a"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsAddByName);
+
+void BM_MetricsObserveById(benchmark::State& state) {
+  const obs::HistogramId id =
+      obs::MetricTable::global().histogram("micro.metrics.lat_ps");
+  obs::Registry reg;
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    reg.observe(id, v);
+    v = (v * 33) % 100'000 + 1;
+  }
+  benchmark::DoNotOptimize(reg.snapshot().histograms.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsObserveById);
+
+void BM_MetricsObserveByName(benchmark::State& state) {
+  obs::Registry reg;
+  std::int64_t v = 1;
+  for (auto _ : state) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    reg.observe("micro.metrics.lat_ps", v);
+#pragma GCC diagnostic pop
+    v = (v * 33) % 100'000 + 1;
+  }
+  benchmark::DoNotOptimize(reg.snapshot().histograms.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsObserveByName);
+
+/// One synthetic sweep-point snapshot (~40 counters + 2 histograms), the
+/// shape runScenario absorbs per Fig-9 point.
+obs::MetricsSnapshot microPointSnapshot() {
+  obs::MetricTable& t = obs::MetricTable::global();
+  obs::Registry reg;
+  for (int c = 0; c < 40; ++c) {
+    reg.add(t.counter("micro.sweep.counter_" + std::to_string(c)),
+            static_cast<std::uint64_t>(c) * 17 + 1);
+  }
+  reg.observe(t.histogram("micro.sweep.lat_ps"), 1'234);
+  reg.observe(t.histogram("micro.sweep.stall_ps"), 56'789);
+  return reg.takeSnapshot();
+}
+
+/// Sharded vs single-registry sweep merge: Arg(0) is the shard width.
+/// Width 1 is the old single-sink shape (every absorb hits one registry);
+/// width 8 spreads the same 64 point-absorbs over 8 shards and pays one
+/// ordered tree reduction at the end.
+void BM_MetricsSweepMerge(benchmark::State& state) {
+  const obs::MetricsSnapshot point = microPointSnapshot();
+  const auto width = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    obs::ShardedRegistry sharded{width};
+    for (std::size_t p = 0; p < 64; ++p) {
+      sharded.shard(p % width).absorbAdditive(point);
+    }
+    benchmark::DoNotOptimize(sharded.takeMerged().counters.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MetricsSweepMerge)->Arg(1)->Arg(8);
 
 void BM_PrtrScenarioEndToEnd(benchmark::State& state) {
   const auto registry = tasks::makePaperFunctions();

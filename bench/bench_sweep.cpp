@@ -5,10 +5,17 @@
 // prtr::exec subsystem: CI runs it with --json and validates that the
 // pooled sweeps are no slower than serial and produce identical bytes.
 //
-// Usage: bench_sweep [--threads N] [--json FILE] [--profile FILE]
+// The Fig-9 runs record through a sharded metrics sink (one obs::Registry
+// shard per pool worker), so the byte-identity check covers the merged
+// metrics snapshot too, and the four-participant run feeds the
+// parallel-efficiency scalars CI gates on multi-core runners.
+//
+// Usage: bench_sweep [--threads N] [--json FILE] [--trace FILE]
+//                    [--profile FILE]
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "analysis/figures.hpp"
@@ -16,6 +23,7 @@
 #include "exec/pool.hpp"
 #include "hprc/chassis.hpp"
 #include "obs/bench_io.hpp"
+#include "obs/trace_export.hpp"
 #include "prof/profiler.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -35,7 +43,9 @@ double timedMs(Fn&& fn) {
 
 /// The Figure-9 sweep this bench times (smaller than bench_fig9b's grid so
 /// the CI smoke run stays fast, but large enough to amortize pool startup).
-std::string runFig9(std::size_t threads, exec::ArtifactCache* artifacts) {
+std::string runFig9(std::size_t threads, exec::ArtifactCache* artifacts,
+                    obs::ShardedRegistry* metrics = nullptr,
+                    obs::ChromeTrace* trace = nullptr) {
   analysis::Fig9Options opts;
   opts.basis = model::ConfigTimeBasis::kMeasured;
   opts.points = 12;
@@ -44,6 +54,8 @@ std::string runFig9(std::size_t threads, exec::ArtifactCache* artifacts) {
   opts.nCalls = 120;
   opts.threads = threads;
   opts.artifacts = artifacts;
+  opts.metrics = metrics;
+  opts.trace = trace;
   return analysis::fig9Table(analysis::makeFig9(opts)).toString();
 }
 
@@ -100,9 +112,14 @@ int main(int argc, char** argv) {
 
   // --- Figure 9, serial reference, then the ladder. Every run must render
   // byte-identical tables: parallelism only reorders the work, not results.
+  // The serial run also records through a sharded sink; its merged snapshot
+  // is the reference the pooled runs must reproduce byte for byte.
   bool identical = true;
   std::string fig9Ref;
-  const double fig9SerialMs = timedMs([&] { fig9Ref = runFig9(1, nullptr); });
+  obs::ShardedRegistry fig9SerialMetrics;
+  const double fig9SerialMs =
+      timedMs([&] { fig9Ref = runFig9(1, nullptr, &fig9SerialMetrics); });
+  const std::string fig9MetricsRef = fig9SerialMetrics.takeMerged().toJson();
   double fig9ParallelMs = fig9SerialMs;
   util::Table fig9Times{{"threads", "fig9 (ms)", "speedup"}};
   fig9Times.row().cell(std::uint64_t{1}).cell(util::formatDouble(fig9SerialMs, 2))
@@ -121,6 +138,35 @@ int main(int argc, char** argv) {
   if (ladder.size() == 1) fig9ParallelMs = fig9SerialMs;
   fig9Times.print(std::cout);
   report.table("fig9_times", fig9Times);
+
+  // --- Four-participant Fig-9 run, always measured: feeds the
+  // parallel-efficiency scalars CI gates on >=4-core runners, and checks
+  // that the sharded metrics merge is byte-identical to the serial
+  // reference. The pool caps participants at its worker count, so on
+  // smaller machines this stays a correctness run (efficiency is then
+  // informational — the "_wall" suffix keeps prtr-report treating it as
+  // wall-clock).
+  obs::ShardedRegistry fig9T4Metrics;
+  std::string fig9T4Out;
+  const double fig9T4Ms =
+      timedMs([&] { fig9T4Out = runFig9(4, nullptr, &fig9T4Metrics); });
+  identical = identical && fig9T4Out == fig9Ref;
+  obs::MetricsSnapshot fig9T4Merged = fig9T4Metrics.takeMerged();
+  identical = identical && fig9T4Merged.toJson() == fig9MetricsRef;
+  const double speedupT4 = fig9SerialMs / fig9T4Ms;
+  std::cout << "\nfig9 sweep at 4 participants: "
+            << util::formatDouble(fig9T4Ms, 2) << " ms ("
+            << util::formatDouble(speedupT4, 3) << "x serial, efficiency "
+            << util::formatDouble(speedupT4 / 4.0, 3) << ")\n";
+
+  // --- With --trace, one more run at the requested width writes the merged
+  // Chrome trace: CI compares the --threads 1 and --threads 4 trace files
+  // byte for byte (simulated time is schedule-independent).
+  if (report.traceRequested()) {
+    obs::ChromeTrace trace;
+    identical = identical && runFig9(n, nullptr, nullptr, &trace) == fig9Ref;
+    trace.writeFile(report.tracePath());
+  }
 
   // --- Figure 5 and chassis: serial vs N threads, byte identity.
   const std::string fig5Ref = runFig5(1);
@@ -169,11 +215,15 @@ int main(int argc, char** argv) {
   report.scalar("time_serial_ms", fig9SerialMs);
   report.scalar("time_parallel_ms", fig9ParallelMs);
   report.scalar("speedup_parallel", speedup);
+  report.scalar("time_t4_ms", fig9T4Ms);
+  report.scalar("fig9_speedup_t4_wall", speedupT4);
+  report.scalar("parallel_efficiency_t4_wall", speedupT4 / 4.0);
   report.scalar("chassis_serial_ms", chassisSerialMs);
   report.scalar("chassis_parallel_ms", chassisParallelMs);
   report.scalar("time_cached_ms", cachedMs);
   report.scalar("cache_hit_rate", stats.hitRate());
   report.scalar("outputs_identical", std::uint64_t{identical ? 1u : 0u});
+  report.metrics(std::move(fig9T4Merged));
   report.metrics(exec::Pool::global().metricsSnapshot());
   report.metrics(cache.metricsSnapshot());
 

@@ -170,6 +170,7 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
         so.prepare = runtime::PrepareSource::kQueue;
         so.artifacts = options.artifacts;
         so.hooks.profiler = options.profiler;
+        so.hooks.shardedMetrics = options.metrics;
         if (options.trace != nullptr) {
           so.hooks.timeline = &pointTimelines[index];
         }
@@ -177,6 +178,11 @@ std::vector<Fig9Point> makeFig9(const Fig9Options& options) {
             registry, options.nCalls, point.dataBytes);
         const runtime::ScenarioResult result =
             runtime::runScenario(registry, workload, so);
+        if (options.metrics != nullptr) {
+          static const obs::CounterId kPoints =
+              obs::MetricTable::global().counter("fig9.points_computed");
+          options.metrics->local().add(kPoints);
+        }
 
         point.simSpeedup = result.speedup;
         point.modelSpeedup = result.modelSpeedup;
@@ -239,7 +245,8 @@ std::string fig9Plot(const std::vector<Fig9Point>& points,
 std::vector<util::Series> makeFig5Series(double xPrtr,
                                          const std::vector<double>& hitRatios,
                                          std::size_t points, double xTaskLo,
-                                         double xTaskHi, std::size_t threads) {
+                                         double xTaskHi, std::size_t threads,
+                                         obs::ShardedRegistry* metrics) {
   const auto grid = logGrid(xTaskLo, xTaskHi, points);
   return exec::parallelMap(
       hitRatios,
@@ -248,6 +255,15 @@ std::vector<util::Series> makeFig5Series(double xPrtr,
         for (const double xTask : grid) {
           s.x.push_back(xTask);
           s.y.push_back(model::idealAsymptote(xTask, xPrtr, h));
+        }
+        if (metrics != nullptr) {
+          static const struct {
+            obs::CounterId series, points;
+          } kIds{obs::MetricTable::global().counter("fig5.series_computed"),
+                 obs::MetricTable::global().counter("fig5.points_computed")};
+          obs::Registry& shard = metrics->local();
+          shard.add(kIds.series);
+          shard.add(kIds.points, s.y.size());
         }
         return s;
       },

@@ -61,6 +61,12 @@ struct Fig9Options {
   /// process ("fig9[i] x=...") with sampled counter tracks (link occupancy,
   /// ICAP busy, PRR residency) attached. Null = no trace capture.
   obs::ChromeTrace* trace = nullptr;
+  /// Per-worker metric shards: every sweep point records its scenario's
+  /// additive metrics (and a fig9.points_computed counter) into the
+  /// recording thread's shard, contention-free; the caller tree-merges at
+  /// the barrier (ShardedRegistry::takeMerged) — byte-identical at any
+  /// --threads width. Null = off.
+  obs::ShardedRegistry* metrics = nullptr;
 };
 [[nodiscard]] std::vector<Fig9Point> makeFig9(const Fig9Options& options);
 
@@ -75,7 +81,8 @@ struct Fig9Options {
 /// deterministic regardless).
 [[nodiscard]] std::vector<util::Series> makeFig5Series(
     double xPrtr, const std::vector<double>& hitRatios, std::size_t points = 121,
-    double xTaskLo = 1e-3, double xTaskHi = 100.0, std::size_t threads = 0);
+    double xTaskLo = 1e-3, double xTaskHi = 100.0, std::size_t threads = 0,
+    obs::ShardedRegistry* metrics = nullptr);
 
 /// Logarithmically spaced grid in [lo, hi].
 [[nodiscard]] std::vector<double> logGrid(double lo, double hi,

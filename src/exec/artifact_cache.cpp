@@ -230,15 +230,25 @@ ArtifactCache::Stats ArtifactCache::stats() const {
 }
 
 obs::MetricsSnapshot ArtifactCache::metricsSnapshot() const {
+  struct Ids {
+    obs::CounterId hits, misses, evictions, bytes, entries;
+    obs::GaugeId hitRate;
+  };
+  static const Ids kIds = [] {
+    obs::MetricTable& t = obs::MetricTable::global();
+    return Ids{t.counter("exec.cache.hits"),    t.counter("exec.cache.misses"),
+               t.counter("exec.cache.evictions"), t.counter("exec.cache.bytes"),
+               t.counter("exec.cache.entries"),  t.gauge("exec.cache.hit_rate")};
+  }();
   const Stats stats = this->stats();
-  obs::MetricsSnapshot snapshot;
-  snapshot.counters["exec.cache.hits"] = stats.hits;
-  snapshot.counters["exec.cache.misses"] = stats.misses;
-  snapshot.counters["exec.cache.evictions"] = stats.evictions;
-  snapshot.counters["exec.cache.bytes"] = stats.bytes;
-  snapshot.counters["exec.cache.entries"] = stats.entries;
-  snapshot.gauges["exec.cache.hit_rate"] = stats.hitRate();
-  return snapshot;
+  obs::Registry reg;
+  reg.add(kIds.hits, stats.hits);
+  reg.add(kIds.misses, stats.misses);
+  reg.add(kIds.evictions, stats.evictions);
+  reg.add(kIds.bytes, stats.bytes);
+  reg.add(kIds.entries, stats.entries);
+  reg.set(kIds.hitRate, stats.hitRate());
+  return reg.takeSnapshot();
 }
 
 ArtifactCache& ArtifactCache::global() {

@@ -14,6 +14,19 @@ namespace {
 thread_local Pool* tlsPool = nullptr;
 thread_local std::size_t tlsWorker = 0;
 
+/// obs thread-slot provider: pool workers map to workerIndex + 1, every
+/// other thread (the caller participating in a parallelFor included) to
+/// slot 0 — so ShardedRegistry::local() never shares a shard between two
+/// recording threads.
+std::size_t poolThreadSlot() noexcept {
+  return tlsPool != nullptr ? tlsWorker + 1 : 0;
+}
+
+const bool threadSlotRegistered = [] {  // NOLINT(cert-err58-cpp)
+  obs::setThreadSlotProvider(&poolThreadSlot);
+  return true;
+}();
+
 /// Distinguishes a task's completion sync object from its submission one,
 /// so "submitted happens-before run" and "ran happens-before joined" are
 /// separate edges.
@@ -284,17 +297,24 @@ void Pool::parallelFor(std::size_t count,
 }
 
 obs::MetricsSnapshot Pool::metricsSnapshot() const {
-  obs::MetricsSnapshot snapshot;
-  snapshot.counters["exec.pool.threads"] = threadCount();
-  snapshot.counters["exec.pool.submitted"] =
-      submitted_.load(std::memory_order_relaxed);
-  snapshot.counters["exec.pool.executed"] =
-      executed_.load(std::memory_order_relaxed);
-  snapshot.counters["exec.pool.steals"] =
-      steals_.load(std::memory_order_relaxed);
-  snapshot.counters["exec.pool.parallel_fors"] =
-      parallelFors_.load(std::memory_order_relaxed);
-  return snapshot;
+  struct Ids {
+    obs::CounterId threads, submitted, executed, steals, parallelFors;
+  };
+  static const Ids kIds = [] {
+    obs::MetricTable& t = obs::MetricTable::global();
+    return Ids{t.counter("exec.pool.threads"),
+               t.counter("exec.pool.submitted"),
+               t.counter("exec.pool.executed"),
+               t.counter("exec.pool.steals"),
+               t.counter("exec.pool.parallel_fors")};
+  }();
+  obs::Registry reg;
+  reg.add(kIds.threads, threadCount());
+  reg.add(kIds.submitted, submitted_.load(std::memory_order_relaxed));
+  reg.add(kIds.executed, executed_.load(std::memory_order_relaxed));
+  reg.add(kIds.steals, steals_.load(std::memory_order_relaxed));
+  reg.add(kIds.parallelFors, parallelFors_.load(std::memory_order_relaxed));
+  return reg.takeSnapshot();
 }
 
 Pool& Pool::global() {

@@ -36,6 +36,10 @@ void BenchReport::metrics(const MetricsSnapshot& snapshot) {
   metrics_.merge(snapshot);
 }
 
+void BenchReport::metrics(MetricsSnapshot&& snapshot) {
+  metrics_.merge(std::move(snapshot));
+}
+
 int BenchReport::finish() const {
   if (!jsonRequested()) return 0;
   std::ofstream file{jsonPath()};

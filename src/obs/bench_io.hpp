@@ -85,6 +85,9 @@ class BenchReport {
 
   /// Registers the run's metrics snapshot (merged into any prior one).
   void metrics(const MetricsSnapshot& snapshot);
+  /// Move overload for temporaries (Pool::metricsSnapshot(), takeMerged()):
+  /// splices the maps instead of copying every key.
+  void metrics(MetricsSnapshot&& snapshot);
 
   /// Writes the JSON document when --json was requested. Returns the
   /// process exit code for main (0; file errors propagate as exceptions).

@@ -25,6 +25,12 @@ struct Hooks {
   sim::Timeline* frtrTimeline = nullptr;
   /// Receives the run's merged MetricsSnapshot via Registry::absorb.
   Registry* metrics = nullptr;
+  /// Per-worker metric shards: runs absorb their additive series (counters,
+  /// histograms) into the calling thread's shard contention-free, and the
+  /// sweep merges every shard at the barrier with a deterministic tree
+  /// reduction (ShardedRegistry::takeMerged). Unlike `metrics`, safe to
+  /// share across parallel sweep points at any --threads width.
+  ShardedRegistry* shardedMetrics = nullptr;
   /// Receives the run's timelines as trace processes. When set while the
   /// timeline pointers above are null, the run records into internal
   /// timelines so the trace is still populated.
@@ -35,7 +41,8 @@ struct Hooks {
 
   [[nodiscard]] bool any() const noexcept {
     return timeline != nullptr || frtrTimeline != nullptr ||
-           metrics != nullptr || trace != nullptr || profiler != nullptr;
+           metrics != nullptr || shardedMetrics != nullptr ||
+           trace != nullptr || profiler != nullptr;
   }
 };
 

@@ -1,29 +1,44 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <deque>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "util/deprecation.hpp"
 
 namespace prtr::obs {
 namespace {
 
 void foldHistogram(HistogramSummary& into, const HistogramSummary& from) {
-  if (from.count == 0) return;
-  if (into.count == 0) {
-    into = from;
-    return;
-  }
-  into.count += from.count;
-  into.sum += from.sum;
-  into.min = std::min(into.min, from.min);
-  into.max = std::max(into.max, from.max);
-  for (std::size_t b = 0; b < HistogramSummary::kBucketCount; ++b) {
-    into.buckets[b] += from.buckets[b];
-  }
+  into.fold(from);
 }
 
+std::size_t defaultThreadSlot() noexcept { return 0; }
+
+std::atomic<ThreadSlotFn> gThreadSlot{&defaultThreadSlot};
+
 }  // namespace
+
+void HistogramSummary::fold(const HistogramSummary& from) noexcept {
+  if (from.count == 0) return;
+  if (count == 0) {
+    *this = from;
+    return;
+  }
+  count += from.count;
+  sum += from.sum;
+  min = std::min(min, from.min);
+  max = std::max(max, from.max);
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    buckets[b] += from.buckets[b];
+  }
+}
 
 std::size_t HistogramSummary::bucketIndex(std::int64_t value) noexcept {
   if (value <= 0) return 0;
@@ -60,27 +75,254 @@ double HistogramSummary::quantile(double q) const noexcept {
   return static_cast<double>(max);
 }
 
+// ---------------------------------------------------------------------------
+// MetricTable
+
+/// One kind's intern pool: names in a deque (stable references across
+/// growth) indexed by a transparent-hash map, the SymbolTable layout.
+struct MetricTable::Pool {
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::deque<std::string> names;
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>> index;
+
+  std::uint32_t intern(std::string_view name) {
+    if (const auto it = index.find(name); it != index.end()) {
+      return it->second;
+    }
+    const auto id = static_cast<std::uint32_t>(names.size());
+    names.emplace_back(name);
+    index.emplace(names.back(), id);
+    return id;
+  }
+
+  [[nodiscard]] std::uint32_t find(std::string_view name) const noexcept {
+    const auto it = index.find(name);
+    return it != index.end() ? it->second : 0xFFFF'FFFF;
+  }
+};
+
+MetricTable::MetricTable()
+    : counters_(std::make_unique<Pool>()),
+      gauges_(std::make_unique<Pool>()),
+      histograms_(std::make_unique<Pool>()) {}
+
+MetricTable::~MetricTable() = default;
+
+MetricTable& MetricTable::global() {
+  // Leaked on purpose: registries snapshot during static destruction in
+  // some tests, and ids must outlive every Registry.
+  static MetricTable* table = new MetricTable;
+  return *table;
+}
+
+CounterId MetricTable::counter(std::string_view name) {
+  {
+    std::shared_lock lock{mutex_};
+    if (const std::uint32_t id = counters_->find(name); id != 0xFFFF'FFFF) {
+      return CounterId{id};
+    }
+  }
+  std::unique_lock lock{mutex_};
+  return CounterId{counters_->intern(name)};
+}
+
+GaugeId MetricTable::gauge(std::string_view name) {
+  {
+    std::shared_lock lock{mutex_};
+    if (const std::uint32_t id = gauges_->find(name); id != 0xFFFF'FFFF) {
+      return GaugeId{id};
+    }
+  }
+  std::unique_lock lock{mutex_};
+  return GaugeId{gauges_->intern(name)};
+}
+
+HistogramId MetricTable::histogram(std::string_view name) {
+  {
+    std::shared_lock lock{mutex_};
+    if (const std::uint32_t id = histograms_->find(name); id != 0xFFFF'FFFF) {
+      return HistogramId{id};
+    }
+  }
+  std::unique_lock lock{mutex_};
+  return HistogramId{histograms_->intern(name)};
+}
+
+CounterId MetricTable::findCounter(std::string_view name) const {
+  std::shared_lock lock{mutex_};
+  return CounterId{counters_->find(name)};
+}
+
+GaugeId MetricTable::findGauge(std::string_view name) const {
+  std::shared_lock lock{mutex_};
+  return GaugeId{gauges_->find(name)};
+}
+
+HistogramId MetricTable::findHistogram(std::string_view name) const {
+  std::shared_lock lock{mutex_};
+  return HistogramId{histograms_->find(name)};
+}
+
+const std::string& MetricTable::counterName(CounterId id) const {
+  std::shared_lock lock{mutex_};
+  return counters_->names[id.index()];
+}
+
+const std::string& MetricTable::gaugeName(GaugeId id) const {
+  std::shared_lock lock{mutex_};
+  return gauges_->names[id.index()];
+}
+
+const std::string& MetricTable::histogramName(HistogramId id) const {
+  std::shared_lock lock{mutex_};
+  return histograms_->names[id.index()];
+}
+
+std::size_t MetricTable::counterCount() const {
+  std::shared_lock lock{mutex_};
+  return counters_->names.size();
+}
+
+std::size_t MetricTable::gaugeCount() const {
+  std::shared_lock lock{mutex_};
+  return gauges_->names.size();
+}
+
+std::size_t MetricTable::histogramCount() const {
+  std::shared_lock lock{mutex_};
+  return histograms_->names.size();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
 std::uint64_t MetricsSnapshot::counterOr(std::string_view name,
                                          std::uint64_t fallback) const {
-  const auto it = counters.find(std::string{name});
+  const auto it = counters.find(name);
   return it != counters.end() ? it->second : fallback;
 }
 
 std::optional<double> MetricsSnapshot::gauge(std::string_view name) const {
-  const auto it = gauges.find(std::string{name});
+  const auto it = gauges.find(name);
   return it != gauges.end() ? std::optional<double>{it->second} : std::nullopt;
 }
 
+namespace {
+
+/// Reusable prefixed-key scratch: one string whose prefix is written once,
+/// with each metric's name appended and truncated in turn.
+class PrefixedKey {
+ public:
+  explicit PrefixedKey(const std::string& prefix) : scratch_{prefix} {}
+
+  std::string_view operator()(const std::string& name) {
+    scratch_.resize(prefixLength_);
+    scratch_ += name;
+    return scratch_;
+  }
+
+ private:
+  std::string scratch_;
+  std::size_t prefixLength_ = scratch_.size();
+};
+
+}  // namespace
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other,
                             const std::string& prefix) {
+  PrefixedKey key{prefix};
   for (const auto& [name, value] : other.counters) {
-    counters[prefix + name] += value;
+    const std::string_view k = key(name);
+    if (const auto it = counters.find(k); it != counters.end()) {
+      it->second += value;
+    } else {
+      counters.emplace(k, value);
+    }
   }
   for (const auto& [name, value] : other.gauges) {
-    gauges[prefix + name] = value;
+    const std::string_view k = key(name);
+    if (const auto it = gauges.find(k); it != gauges.end()) {
+      it->second = value;
+    } else {
+      gauges.emplace(k, value);
+    }
   }
   for (const auto& [name, value] : other.histograms) {
-    foldHistogram(histograms[prefix + name], value);
+    const std::string_view k = key(name);
+    if (const auto it = histograms.find(k); it != histograms.end()) {
+      foldHistogram(it->second, value);
+    } else {
+      histograms.emplace(k, value);
+    }
+  }
+}
+
+void MetricsSnapshot::merge(MetricsSnapshot&& other,
+                            const std::string& prefix) {
+  if (!prefix.empty()) {
+    // Prefixing rewrites every key anyway; histogram payloads still move.
+    PrefixedKey key{prefix};
+    for (const auto& [name, value] : other.counters) {
+      const std::string_view k = key(name);
+      if (const auto it = counters.find(k); it != counters.end()) {
+        it->second += value;
+      } else {
+        counters.emplace(k, value);
+      }
+    }
+    for (const auto& [name, value] : other.gauges) {
+      const std::string_view k = key(name);
+      if (const auto it = gauges.find(k); it != gauges.end()) {
+        it->second = value;
+      } else {
+        gauges.emplace(k, value);
+      }
+    }
+    for (auto& [name, value] : other.histograms) {
+      const std::string_view k = key(name);
+      if (const auto it = histograms.find(k); it != histograms.end()) {
+        foldHistogram(it->second, value);
+      } else {
+        histograms.emplace(k, std::move(value));
+      }
+    }
+    other = MetricsSnapshot{};
+    return;
+  }
+  if (empty()) {
+    *this = std::move(other);
+    other = MetricsSnapshot{};
+    return;
+  }
+  // Splice nodes: keys (and histogram payloads) move, never reallocate.
+  while (!other.counters.empty()) {
+    auto node = other.counters.extract(other.counters.begin());
+    if (const auto it = counters.find(node.key()); it != counters.end()) {
+      it->second += node.mapped();
+    } else {
+      counters.insert(std::move(node));
+    }
+  }
+  while (!other.gauges.empty()) {
+    auto node = other.gauges.extract(other.gauges.begin());
+    if (const auto it = gauges.find(node.key()); it != gauges.end()) {
+      it->second = node.mapped();
+    } else {
+      gauges.insert(std::move(node));
+    }
+  }
+  while (!other.histograms.empty()) {
+    auto node = other.histograms.extract(other.histograms.begin());
+    if (const auto it = histograms.find(node.key()); it != histograms.end()) {
+      foldHistogram(it->second, node.mapped());
+    } else {
+      histograms.insert(std::move(node));
+    }
   }
 }
 
@@ -152,31 +394,203 @@ std::string MetricsSnapshot::toJson() const {
   return os.str();
 }
 
-void Registry::add(std::string_view name, std::uint64_t delta) {
-  state_.counters[std::string{name}] += delta;
+// ---------------------------------------------------------------------------
+// Registry
+
+void Registry::growCounters(CounterId id) {
+  counters_.resize(id.index() + 1);
 }
 
-void Registry::set(std::string_view name, double value) {
-  state_.gauges[std::string{name}] = value;
+void Registry::growGauges(GaugeId id) { gauges_.resize(id.index() + 1); }
+
+void Registry::growHistograms(HistogramId id) {
+  histograms_.resize(id.index() + 1);
 }
 
-void Registry::observe(std::string_view name, std::int64_t value) {
-  HistogramSummary& h = state_.histograms[std::string{name}];
-  if (h.count == 0) {
-    h.min = value;
-    h.max = value;
-  } else {
-    h.min = std::min(h.min, value);
-    h.max = std::max(h.max, value);
-  }
-  ++h.count;
-  h.sum += value;
-  ++h.buckets[HistogramSummary::bucketIndex(value)];
+// The deprecated string shims forward into the id path; the pragma silences
+// the self-referential deprecation warning on their own definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+void Registry::add(std::string_view name, std::uint64_t delta,
+                   const std::source_location& where) {
+  util::detail::warnDeprecatedOnce(
+      "obs::Registry::add(string)",
+      "MetricTable::global().counter() once, then add(CounterId)", where);
+  add(MetricTable::global().counter(name), delta);
 }
+
+void Registry::set(std::string_view name, double value,
+                   const std::source_location& where) {
+  util::detail::warnDeprecatedOnce(
+      "obs::Registry::set(string)",
+      "MetricTable::global().gauge() once, then set(GaugeId)", where);
+  set(MetricTable::global().gauge(name), value);
+}
+
+void Registry::observe(std::string_view name, std::int64_t value,
+                       const std::source_location& where) {
+  util::detail::warnDeprecatedOnce(
+      "obs::Registry::observe(string)",
+      "MetricTable::global().histogram() once, then observe(HistogramId)",
+      where);
+  observe(MetricTable::global().histogram(name), value);
+}
+
+#pragma GCC diagnostic pop
 
 void Registry::absorb(const MetricsSnapshot& snapshot,
                       const std::string& prefix) {
-  state_.merge(snapshot, prefix);
+  MetricTable& table = MetricTable::global();
+  PrefixedKey key{prefix};
+  for (const auto& [name, value] : snapshot.counters) {
+    add(table.counter(key(name)), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    set(table.gauge(key(name)), value);
+  }
+  for (const auto& [name, value] : snapshot.histograms) {
+    const HistogramId id = table.histogram(key(name));
+    if (id.index() >= histograms_.size()) growHistograms(id);
+    HistogramSlot& slot = histograms_[id.index()];
+    touchedHistograms_ += !slot.touched;
+    slot.touched = true;
+    foldHistogram(slot.summary, value);
+  }
+}
+
+void Registry::absorbAdditive(const MetricsSnapshot& snapshot,
+                              const std::string& prefix) {
+  MetricTable& table = MetricTable::global();
+  PrefixedKey key{prefix};
+  for (const auto& [name, value] : snapshot.counters) {
+    add(table.counter(key(name)), value);
+  }
+  for (const auto& [name, value] : snapshot.histograms) {
+    const HistogramId id = table.histogram(key(name));
+    if (id.index() >= histograms_.size()) growHistograms(id);
+    HistogramSlot& slot = histograms_[id.index()];
+    touchedHistograms_ += !slot.touched;
+    slot.touched = true;
+    foldHistogram(slot.summary, value);
+  }
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const MetricTable& table = MetricTable::global();
+  MetricsSnapshot out;
+  for (std::uint32_t i = 0; i < counters_.size(); ++i) {
+    if (!counters_[i].touched) continue;
+    out.counters.emplace(table.counterName(CounterId{i}), counters_[i].value);
+  }
+  for (std::uint32_t i = 0; i < gauges_.size(); ++i) {
+    if (!gauges_[i].touched) continue;
+    out.gauges.emplace(table.gaugeName(GaugeId{i}), gauges_[i].value);
+  }
+  for (std::uint32_t i = 0; i < histograms_.size(); ++i) {
+    if (!histograms_[i].touched) continue;
+    out.histograms.emplace(table.histogramName(HistogramId{i}),
+                           histograms_[i].summary);
+  }
+  return out;
+}
+
+MetricsSnapshot Registry::takeSnapshot() {
+  MetricsSnapshot out = snapshot();
+  clear();
+  return out;
+}
+
+void Registry::clear() {
+  for (CounterSlot& slot : counters_) slot = CounterSlot{};
+  for (GaugeSlot& slot : gauges_) slot = GaugeSlot{};
+  for (HistogramSlot& slot : histograms_) slot = HistogramSlot{};
+  touchedCounters_ = 0;
+  touchedGauges_ = 0;
+  touchedHistograms_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRegistry
+
+void setThreadSlotProvider(ThreadSlotFn fn) noexcept {
+  gThreadSlot.store(fn != nullptr ? fn : &defaultThreadSlot,
+                    std::memory_order_release);
+}
+
+std::size_t currentThreadSlot() noexcept {
+  return gThreadSlot.load(std::memory_order_acquire)();
+}
+
+ShardedRegistry::ShardedRegistry(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(shards, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(shards, 1); ++i) {
+    shards_.push_back(std::make_unique<Registry>());
+  }
+}
+
+Registry& ShardedRegistry::local() { return shard(currentThreadSlot()); }
+
+Registry& ShardedRegistry::shard(std::size_t index) {
+  {
+    std::shared_lock lock{mutex_};
+    if (index < shards_.size()) return *shards_[index];
+  }
+  std::unique_lock lock{mutex_};
+  while (shards_.size() <= index) {
+    shards_.push_back(std::make_unique<Registry>());
+  }
+  return *shards_[index];
+}
+
+std::size_t ShardedRegistry::shardCount() const {
+  std::shared_lock lock{mutex_};
+  return shards_.size();
+}
+
+bool ShardedRegistry::empty() const {
+  std::shared_lock lock{mutex_};
+  for (const auto& shard : shards_) {
+    if (!shard->empty()) return false;
+  }
+  return true;
+}
+
+void ShardedRegistry::clear() {
+  std::unique_lock lock{mutex_};
+  for (const auto& shard : shards_) shard->clear();
+}
+
+MetricsSnapshot ShardedRegistry::mergedSnapshot() const {
+  std::vector<MetricsSnapshot> leaves;
+  {
+    std::shared_lock lock{mutex_};
+    leaves.reserve(shards_.size());
+    for (const auto& shard : shards_) leaves.push_back(shard->snapshot());
+  }
+  return reduceSnapshots(std::move(leaves));
+}
+
+MetricsSnapshot ShardedRegistry::takeMerged() {
+  std::vector<MetricsSnapshot> leaves;
+  {
+    std::unique_lock lock{mutex_};
+    leaves.reserve(shards_.size());
+    for (const auto& shard : shards_) leaves.push_back(shard->takeSnapshot());
+  }
+  return reduceSnapshots(std::move(leaves));
+}
+
+MetricsSnapshot reduceSnapshots(std::vector<MetricsSnapshot> leaves) {
+  if (leaves.empty()) return MetricsSnapshot{};
+  // Pairwise rounds: (0,1) (2,3) ... then (0,2) (4,6) ... — the shape is a
+  // pure function of leaves.size(), and every merge moves its right operand.
+  for (std::size_t step = 1; step < leaves.size(); step *= 2) {
+    for (std::size_t i = 0; i + step < leaves.size(); i += 2 * step) {
+      leaves[i].merge(std::move(leaves[i + step]));
+    }
+  }
+  return std::move(leaves.front());
 }
 
 }  // namespace prtr::obs

@@ -1,7 +1,10 @@
 #include "runtime/executor.hpp"
 
+#include <array>
 #include <cctype>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "config/port.hpp"
 #include "obs/metrics.hpp"
@@ -25,77 +28,185 @@ std::uint64_t asCount(util::Time t) noexcept {
   return t.ps() > 0 ? static_cast<std::uint64_t>(t.ps()) : 0;
 }
 
+/// Fixed scrape names, interned once per process (the scrape runs once per
+/// executor per scenario — on a pool worker during chassis/sweep fan-out —
+/// so the bundle is shared, not re-looked-up per run).
+struct ScrapeIds {
+  obs::CounterId simEvents, simTimePs;
+  obs::CounterId icapLoads, icapBytes, icapContentionPs;
+  obs::CounterId apiLoads, apiBytes, apiRejects;
+  obs::CounterId fullConfigs, partialConfigs;
+  std::array<obs::CounterId, fault::kFaultKindCount> faultInjected;
+  obs::CounterId faultTotal;
+  obs::CounterId recRequests, recAttempts, recRetries, recFaultsAbsorbed,
+      recVerifications, recVerifyFailures, recFrameRepairs, recEscalations,
+      recFullDeviceFallbacks, recDegradedTo, recBackoffPs, recVerifyPs,
+      recRepairPs;
+};
+
+const ScrapeIds& scrapeIds() {
+  static const ScrapeIds ids = [] {
+    obs::MetricTable& t = obs::MetricTable::global();
+    ScrapeIds out;
+    out.simEvents = t.counter("sim.events_processed");
+    out.simTimePs = t.counter("sim.time_ps");
+    out.icapLoads = t.counter("config.icap.loads");
+    out.icapBytes = t.counter("config.icap.bytes_written");
+    out.icapContentionPs = t.counter("config.icap.contention_ps");
+    out.apiLoads = t.counter("config.vendor_api.loads");
+    out.apiBytes = t.counter("config.vendor_api.bytes_written");
+    out.apiRejects = t.counter("config.vendor_api.rejects");
+    out.fullConfigs = t.counter("config.full_configs");
+    out.partialConfigs = t.counter("config.partial_configs");
+    for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+      const auto kind = static_cast<fault::FaultKind>(k);
+      out.faultInjected[k] = t.counter(std::string("fault.injected.") +
+                                       fault::metricSuffix(kind));
+    }
+    out.faultTotal = t.counter("fault.injected.total");
+    out.recRequests = t.counter("recovery.requests");
+    out.recAttempts = t.counter("recovery.attempts");
+    out.recRetries = t.counter("recovery.retries");
+    out.recFaultsAbsorbed = t.counter("recovery.faults_absorbed");
+    out.recVerifications = t.counter("recovery.verifications");
+    out.recVerifyFailures = t.counter("recovery.verify_failures");
+    out.recFrameRepairs = t.counter("recovery.frame_repairs");
+    out.recEscalations = t.counter("recovery.escalations");
+    out.recFullDeviceFallbacks = t.counter("recovery.full_device_fallbacks");
+    out.recDegradedTo = t.counter("recovery.degraded_to");
+    out.recBackoffPs = t.counter("recovery.backoff_ps");
+    out.recVerifyPs = t.counter("recovery.verify_ps");
+    out.recRepairPs = t.counter("recovery.repair_ps");
+    return out;
+  }();
+  return ids;
+}
+
+/// Per-cache-policy counter bundle ("cache.lru.hits", ...), interned once
+/// per distinct policy name.
+struct CacheIds {
+  obs::CounterId hits, misses, evictions;
+};
+
+const CacheIds& cacheIds(const std::string& policyName) {
+  static std::mutex mutex;
+  static std::unordered_map<std::string, CacheIds> byPolicy;
+  std::scoped_lock lock{mutex};
+  if (const auto it = byPolicy.find(policyName); it != byPolicy.end()) {
+    return it->second;
+  }
+  std::string policy = policyName;
+  for (char& c : policy) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  obs::MetricTable& t = obs::MetricTable::global();
+  const std::string base = "cache." + policy + ".";
+  return byPolicy
+      .emplace(policyName, CacheIds{t.counter(base + "hits"),
+                                    t.counter(base + "misses"),
+                                    t.counter(base + "evictions")})
+      .first->second;
+}
+
+/// Per-executor counter bundle ("executor.prtr.calls", ...), interned once
+/// per distinct executor name ("frtr", "prtr", "hwsw", "dynamic").
+struct ExecutorIds {
+  obs::CounterId calls, configurations, prefetchIssued, prefetchWrong;
+  obs::CounterId totalPs, initialConfigPs, stallPs, decisionPs, controlPs,
+      inputPs, computePs, outputPs;
+};
+
+const ExecutorIds& executorIds(const std::string& executorName) {
+  static std::mutex mutex;
+  static std::unordered_map<std::string, ExecutorIds> byExecutor;
+  std::scoped_lock lock{mutex};
+  if (const auto it = byExecutor.find(executorName); it != byExecutor.end()) {
+    return it->second;
+  }
+  obs::MetricTable& t = obs::MetricTable::global();
+  const std::string ex = "executor." + executorName + ".";
+  ExecutorIds ids;
+  ids.calls = t.counter(ex + "calls");
+  ids.configurations = t.counter(ex + "configurations");
+  ids.prefetchIssued = t.counter(ex + "prefetch_issued");
+  ids.prefetchWrong = t.counter(ex + "prefetch_wrong");
+  ids.totalPs = t.counter(ex + "total_ps");
+  ids.initialConfigPs = t.counter(ex + "initial_config_ps");
+  ids.stallPs = t.counter(ex + "stall_ps");
+  ids.decisionPs = t.counter(ex + "decision_ps");
+  ids.controlPs = t.counter(ex + "control_ps");
+  ids.inputPs = t.counter(ex + "input_ps");
+  ids.computePs = t.counter(ex + "compute_ps");
+  ids.outputPs = t.counter(ex + "output_ps");
+  return byExecutor.emplace(executorName, ids).first->second;
+}
+
 }  // namespace
 
 void scrapeExecutionMetrics(ExecutionReport& report, xd1::Node& node,
                             const std::string& executorName,
                             const ConfigCache* cache) {
+  const ScrapeIds& m = scrapeIds();
   obs::Registry reg;
-  reg.add("sim.events_processed", node.sim().eventsProcessed());
-  reg.add("sim.time_ps", asCount(node.sim().now()));
-  reg.add("config.icap.loads", node.icap().loadsPerformed());
-  reg.add("config.icap.bytes_written", node.icap().bytesWritten());
-  reg.add("config.icap.contention_ps", asCount(node.icap().contentionTime()));
-  reg.add("config.vendor_api.loads", node.vendorApi().loadsPerformed());
-  reg.add("config.vendor_api.bytes_written", node.vendorApi().bytesWritten());
-  reg.add("config.vendor_api.rejects", node.vendorApi().rejectedLoads());
-  reg.add("config.full_configs", node.manager().fullConfigCount());
-  reg.add("config.partial_configs", node.manager().partialConfigCount());
+  reg.add(m.simEvents, node.sim().eventsProcessed());
+  reg.add(m.simTimePs, asCount(node.sim().now()));
+  reg.add(m.icapLoads, node.icap().loadsPerformed());
+  reg.add(m.icapBytes, node.icap().bytesWritten());
+  reg.add(m.icapContentionPs, asCount(node.icap().contentionTime()));
+  reg.add(m.apiLoads, node.vendorApi().loadsPerformed());
+  reg.add(m.apiBytes, node.vendorApi().bytesWritten());
+  reg.add(m.apiRejects, node.vendorApi().rejectedLoads());
+  reg.add(m.fullConfigs, node.manager().fullConfigCount());
+  reg.add(m.partialConfigs, node.manager().partialConfigCount());
 
-  // Fault/recovery gauges only appear when the fault layer is in play, so
+  // Fault/recovery counters only appear when the fault layer is in play, so
   // healthy baselines keep their pre-existing snapshot byte-for-byte.
   if (node.injector() != nullptr) {
     const fault::Injector& injector = *node.injector();
     for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
-      const auto kind = static_cast<fault::FaultKind>(k);
-      reg.add(std::string("fault.injected.") + fault::metricSuffix(kind),
-              injector.injected(kind));
+      reg.add(m.faultInjected[k],
+              injector.injected(static_cast<fault::FaultKind>(k)));
     }
-    reg.add("fault.injected.total", injector.totalInjected());
+    reg.add(m.faultTotal, injector.totalInjected());
   }
   if (node.manager().recoveryPolicy().enabled) {
     const config::RecoveryStats& rs = node.manager().recoveryStats();
-    reg.add("recovery.requests", rs.requests);
-    reg.add("recovery.attempts", rs.attempts);
-    reg.add("recovery.retries", rs.retries);
-    reg.add("recovery.faults_absorbed", rs.faultsAbsorbed);
-    reg.add("recovery.verifications", rs.verifications);
-    reg.add("recovery.verify_failures", rs.verifyFailures);
-    reg.add("recovery.frame_repairs", rs.frameRepairs);
-    reg.add("recovery.escalations", rs.escalations);
-    reg.add("recovery.full_device_fallbacks", rs.fullDeviceFallbacks);
-    reg.add("recovery.degraded_to",
-            static_cast<std::uint64_t>(rs.degradedTo));
-    reg.add("recovery.backoff_ps", asCount(rs.backoffTime));
-    reg.add("recovery.verify_ps", asCount(rs.verifyTime));
-    reg.add("recovery.repair_ps", asCount(rs.repairTime));
+    reg.add(m.recRequests, rs.requests);
+    reg.add(m.recAttempts, rs.attempts);
+    reg.add(m.recRetries, rs.retries);
+    reg.add(m.recFaultsAbsorbed, rs.faultsAbsorbed);
+    reg.add(m.recVerifications, rs.verifications);
+    reg.add(m.recVerifyFailures, rs.verifyFailures);
+    reg.add(m.recFrameRepairs, rs.frameRepairs);
+    reg.add(m.recEscalations, rs.escalations);
+    reg.add(m.recFullDeviceFallbacks, rs.fullDeviceFallbacks);
+    reg.add(m.recDegradedTo, static_cast<std::uint64_t>(rs.degradedTo));
+    reg.add(m.recBackoffPs, asCount(rs.backoffTime));
+    reg.add(m.recVerifyPs, asCount(rs.verifyTime));
+    reg.add(m.recRepairPs, asCount(rs.repairTime));
   }
 
   if (cache != nullptr) {
-    std::string policy = cache->policyName();
-    for (char& c : policy) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    const std::string base = "cache." + policy + ".";
-    reg.add(base + "hits", cache->stats().hits);
-    reg.add(base + "misses", cache->stats().misses);
-    reg.add(base + "evictions", cache->stats().evictions);
+    const CacheIds& c = cacheIds(cache->policyName());
+    reg.add(c.hits, cache->stats().hits);
+    reg.add(c.misses, cache->stats().misses);
+    reg.add(c.evictions, cache->stats().evictions);
   }
 
-  const std::string ex = "executor." + executorName + ".";
-  reg.add(ex + "calls", report.calls);
-  reg.add(ex + "configurations", report.configurations);
-  reg.add(ex + "prefetch_issued", report.prefetchIssued);
-  reg.add(ex + "prefetch_wrong", report.prefetchWrong);
-  reg.add(ex + "total_ps", asCount(report.total));
-  reg.add(ex + "initial_config_ps", asCount(report.initialConfig));
-  reg.add(ex + "stall_ps", asCount(report.configStall));
-  reg.add(ex + "decision_ps", asCount(report.decisionTime));
-  reg.add(ex + "control_ps", asCount(report.controlTime));
-  reg.add(ex + "input_ps", asCount(report.inputTime));
-  reg.add(ex + "compute_ps", asCount(report.computeTime));
-  reg.add(ex + "output_ps", asCount(report.outputTime));
-  report.metrics = reg.snapshot();
+  const ExecutorIds& e = executorIds(executorName);
+  reg.add(e.calls, report.calls);
+  reg.add(e.configurations, report.configurations);
+  reg.add(e.prefetchIssued, report.prefetchIssued);
+  reg.add(e.prefetchWrong, report.prefetchWrong);
+  reg.add(e.totalPs, asCount(report.total));
+  reg.add(e.initialConfigPs, asCount(report.initialConfig));
+  reg.add(e.stallPs, asCount(report.configStall));
+  reg.add(e.decisionPs, asCount(report.decisionTime));
+  reg.add(e.controlPs, asCount(report.controlTime));
+  reg.add(e.inputPs, asCount(report.inputTime));
+  reg.add(e.computePs, asCount(report.computeTime));
+  reg.add(e.outputPs, asCount(report.outputTime));
+  report.metrics = reg.takeSnapshot();
 }
 
 // ---------------------------------------------------------------- FRTR --

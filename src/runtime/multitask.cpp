@@ -188,29 +188,55 @@ MultitaskReport runMultitask(const tasks::FunctionRegistry& registry,
   sim.run();
   report.makespan = sim.now();
 
+  // Fixed scrape names interned once per process; the per-app names are
+  // interned per distinct app name (idempotent, and the app set is tiny).
+  struct Ids {
+    obs::CounterId simEvents, simTimePs, icapLoads, icapBytes,
+        icapContentionPs, apiLoads, apiBytes;
+    obs::CounterId calls, hits, configurations, makespanPs, prrBusyPs;
+    obs::GaugeId hitRatio;
+  };
+  static const Ids kIds = [] {
+    obs::MetricTable& t = obs::MetricTable::global();
+    return Ids{t.counter("sim.events_processed"),
+               t.counter("sim.time_ps"),
+               t.counter("config.icap.loads"),
+               t.counter("config.icap.bytes_written"),
+               t.counter("config.icap.contention_ps"),
+               t.counter("config.vendor_api.loads"),
+               t.counter("config.vendor_api.bytes_written"),
+               t.counter("multitask.calls"),
+               t.counter("multitask.hits"),
+               t.counter("multitask.configurations"),
+               t.counter("multitask.makespan_ps"),
+               t.counter("multitask.prr_busy_ps"),
+               t.gauge("multitask.hit_ratio")};
+  }();
+
+  obs::MetricTable& table = obs::MetricTable::global();
   obs::Registry reg;
-  reg.add("sim.events_processed", sim.eventsProcessed());
-  reg.add("sim.time_ps", static_cast<std::uint64_t>(sim.now().ps()));
-  reg.add("config.icap.loads", node.icap().loadsPerformed());
-  reg.add("config.icap.bytes_written", node.icap().bytesWritten());
-  reg.add("config.icap.contention_ps",
+  reg.add(kIds.simEvents, sim.eventsProcessed());
+  reg.add(kIds.simTimePs, static_cast<std::uint64_t>(sim.now().ps()));
+  reg.add(kIds.icapLoads, node.icap().loadsPerformed());
+  reg.add(kIds.icapBytes, node.icap().bytesWritten());
+  reg.add(kIds.icapContentionPs,
           static_cast<std::uint64_t>(node.icap().contentionTime().ps()));
-  reg.add("config.vendor_api.loads", node.vendorApi().loadsPerformed());
-  reg.add("config.vendor_api.bytes_written", node.vendorApi().bytesWritten());
-  reg.add("multitask.calls", report.calls);
-  reg.add("multitask.hits", report.hits);
-  reg.add("multitask.configurations", report.configurations);
-  reg.add("multitask.makespan_ps",
-          static_cast<std::uint64_t>(report.makespan.ps()));
-  reg.add("multitask.prr_busy_ps",
+  reg.add(kIds.apiLoads, node.vendorApi().loadsPerformed());
+  reg.add(kIds.apiBytes, node.vendorApi().bytesWritten());
+  reg.add(kIds.calls, report.calls);
+  reg.add(kIds.hits, report.hits);
+  reg.add(kIds.configurations, report.configurations);
+  reg.add(kIds.makespanPs, static_cast<std::uint64_t>(report.makespan.ps()));
+  reg.add(kIds.prrBusyPs,
           static_cast<std::uint64_t>(report.prrBusyTotal.ps()));
-  reg.set("multitask.hit_ratio", report.hitRatio());
+  reg.set(kIds.hitRatio, report.hitRatio());
   for (const AppStats& app : report.apps) {
-    reg.add("multitask.app." + app.name + ".completed", app.completed);
-    reg.set("multitask.app." + app.name + ".latency_mean_s",
+    const std::string base = "multitask.app." + app.name;
+    reg.add(table.counter(base + ".completed"), app.completed);
+    reg.set(table.gauge(base + ".latency_mean_s"),
             app.latencySeconds.mean());
   }
-  report.metrics = reg.snapshot();
+  report.metrics = reg.takeSnapshot();
   if (options.hooks.metrics) options.hooks.metrics->absorb(report.metrics);
   if (options.hooks.trace && options.hooks.timeline &&
       !options.hooks.timeline->empty()) {

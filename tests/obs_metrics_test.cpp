@@ -1,8 +1,12 @@
-// Tests for the obs metrics registry/snapshot layer and its integration
-// with the scenario runner: registry operations, merge/diff semantics,
-// JSON emission, hook delivery, and the determinism guarantee that two
-// bit-identical runs produce equal snapshots.
+// Tests for the obs metrics layer and its integration with the scenario
+// runner: MetricTable interning, id-indexed registry operations, slot
+// layout, merge/diff semantics, JSON emission, the deprecated string shims,
+// hook delivery, and the determinism guarantee that two bit-identical runs
+// produce equal snapshots.
 #include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
 
 #include "obs/metrics.hpp"
 #include "runtime/scenario.hpp"
@@ -12,11 +16,60 @@ namespace {
 
 using namespace prtr;
 
-TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+obs::MetricTable& table() { return obs::MetricTable::global(); }
+
+// The hot slots are cache-line-aligned and cache-line-granular, so two
+// adjacent slots never share a line (the property that makes per-worker
+// shards contention-free).
+static_assert(alignof(obs::CounterSlot) == 64);
+static_assert(sizeof(obs::CounterSlot) == 64);
+static_assert(alignof(obs::GaugeSlot) == 64);
+static_assert(sizeof(obs::GaugeSlot) == 64);
+static_assert(alignof(obs::HistogramSlot) == 64);
+static_assert(sizeof(obs::HistogramSlot) % 64 == 0);
+
+TEST(MetricTable, InternLookupRoundTrip) {
+  const obs::CounterId c = table().counter("test.table.roundtrip.counter");
+  const obs::GaugeId g = table().gauge("test.table.roundtrip.gauge");
+  const obs::HistogramId h = table().histogram("test.table.roundtrip.hist");
+  ASSERT_TRUE(c.valid());
+  ASSERT_TRUE(g.valid());
+  ASSERT_TRUE(h.valid());
+  // Idempotent: the same name always interns to the same id.
+  EXPECT_EQ(table().counter("test.table.roundtrip.counter"), c);
+  EXPECT_EQ(table().gauge("test.table.roundtrip.gauge"), g);
+  EXPECT_EQ(table().histogram("test.table.roundtrip.hist"), h);
+  // Names round-trip through the id.
+  EXPECT_EQ(table().counterName(c), "test.table.roundtrip.counter");
+  EXPECT_EQ(table().gaugeName(g), "test.table.roundtrip.gauge");
+  EXPECT_EQ(table().histogramName(h), "test.table.roundtrip.hist");
+  // find* locates interned names without interning new ones.
+  EXPECT_EQ(table().findCounter("test.table.roundtrip.counter"), c);
+  EXPECT_FALSE(table().findCounter("test.table.never-interned").valid());
+  EXPECT_FALSE(table().findGauge("test.table.never-interned").valid());
+  EXPECT_FALSE(table().findHistogram("test.table.never-interned").valid());
+}
+
+TEST(MetricTable, KindsHaveIndependentIdSpaces) {
+  // A counter and a gauge may share a dotted name; their ids are unrelated
+  // and the registries keep the series separate.
+  const obs::CounterId c = table().counter("test.table.shared_name");
+  const obs::GaugeId g = table().gauge("test.table.shared_name");
   obs::Registry reg;
-  reg.add("icap.loads");
-  reg.add("icap.loads", 4);
-  reg.add("icap.bytes_written", 1'000);
+  reg.add(c, 2);
+  reg.set(g, 0.5);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counterOr("test.table.shared_name"), 2u);
+  EXPECT_DOUBLE_EQ(*snap.gauge("test.table.shared_name"), 0.5);
+}
+
+TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  const obs::CounterId loads = table().counter("icap.loads");
+  const obs::CounterId bytes = table().counter("icap.bytes_written");
+  obs::Registry reg;
+  reg.add(loads);
+  reg.add(loads, 4);
+  reg.add(bytes, 1'000);
   const obs::MetricsSnapshot snap = reg.snapshot();
   EXPECT_EQ(snap.counterOr("icap.loads"), 5u);
   EXPECT_EQ(snap.counterOr("icap.bytes_written"), 1'000u);
@@ -25,9 +78,10 @@ TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
 }
 
 TEST(MetricsRegistry, GaugesOverwrite) {
+  const obs::GaugeId ratio = table().gauge("cache.hit_ratio");
   obs::Registry reg;
-  reg.set("cache.hit_ratio", 0.25);
-  reg.set("cache.hit_ratio", 0.75);
+  reg.set(ratio, 0.25);
+  reg.set(ratio, 0.75);
   const obs::MetricsSnapshot snap = reg.snapshot();
   ASSERT_TRUE(snap.gauge("cache.hit_ratio").has_value());
   EXPECT_DOUBLE_EQ(*snap.gauge("cache.hit_ratio"), 0.75);
@@ -35,10 +89,11 @@ TEST(MetricsRegistry, GaugesOverwrite) {
 }
 
 TEST(MetricsRegistry, HistogramsSummarize) {
+  const obs::HistogramId stall = table().histogram("executor.prtr.stall_ps");
   obs::Registry reg;
-  reg.observe("executor.prtr.stall_ps", 10);
-  reg.observe("executor.prtr.stall_ps", 30);
-  reg.observe("executor.prtr.stall_ps", 20);
+  reg.observe(stall, 10);
+  reg.observe(stall, 30);
+  reg.observe(stall, 20);
   const obs::MetricsSnapshot snap = reg.snapshot();
   const auto it = snap.histograms.find("executor.prtr.stall_ps");
   ASSERT_NE(it, snap.histograms.end());
@@ -49,9 +104,42 @@ TEST(MetricsRegistry, HistogramsSummarize) {
   EXPECT_DOUBLE_EQ(it->second.mean(), 20.0);
 }
 
-TEST(MetricsHistogram, QuantilesAreDeterministicAndClampedToTheRange) {
+TEST(MetricsRegistry, OnlyTouchedSlotsMaterialize) {
+  // Interning a name process-wide must not make it appear in every
+  // registry's snapshot: untouched slots stay out.
+  const obs::CounterId touched = table().counter("test.touched.yes");
+  [[maybe_unused]] const obs::CounterId untouched =
+      table().counter("test.touched.no");
   obs::Registry reg;
-  for (int i = 1; i <= 100; ++i) reg.observe("latency_ps", i);
+  EXPECT_TRUE(reg.empty());
+  reg.add(touched, 0);  // a zero-delta add still marks the slot recorded
+  EXPECT_FALSE(reg.empty());
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.contains("test.touched.yes"));
+  EXPECT_FALSE(snap.counters.contains("test.touched.no"));
+}
+
+TEST(MetricsRegistry, TakeSnapshotMovesOutAndResets) {
+  const obs::CounterId calls = table().counter("test.take.calls");
+  const obs::GaugeId ratio = table().gauge("test.take.ratio");
+  const obs::HistogramId lat = table().histogram("test.take.lat");
+  obs::Registry reg;
+  reg.add(calls, 3);
+  reg.set(ratio, 0.5);
+  reg.observe(lat, 7);
+  const obs::MetricsSnapshot first = reg.takeSnapshot();
+  EXPECT_EQ(first.counterOr("test.take.calls"), 3u);
+  EXPECT_TRUE(reg.empty());
+  EXPECT_TRUE(reg.snapshot().empty());
+  // The registry is reusable after the move-out, from clean state.
+  reg.add(calls, 2);
+  EXPECT_EQ(reg.takeSnapshot().counterOr("test.take.calls"), 2u);
+}
+
+TEST(MetricsHistogram, QuantilesAreDeterministicAndClampedToTheRange) {
+  const obs::HistogramId latency = table().histogram("latency_ps");
+  obs::Registry reg;
+  for (int i = 1; i <= 100; ++i) reg.observe(latency, i);
   const obs::HistogramSummary h =
       reg.snapshot().histograms.at("latency_ps");
   // Log2-bucketed nearest-rank quantiles: deterministic, monotone, and
@@ -63,7 +151,7 @@ TEST(MetricsHistogram, QuantilesAreDeterministicAndClampedToTheRange) {
   EXPECT_LE(h.p99(), static_cast<double>(h.max));
   // A single observation collapses every quantile onto that value.
   obs::Registry one;
-  one.observe("x", 42);
+  one.observe(table().histogram("x"), 42);
   const obs::HistogramSummary single = one.snapshot().histograms.at("x");
   EXPECT_DOUBLE_EQ(single.p50(), 42.0);
   EXPECT_DOUBLE_EQ(single.p99(), 42.0);
@@ -77,14 +165,17 @@ TEST(MetricsHistogram, QuantilesAreDeterministicAndClampedToTheRange) {
 }
 
 TEST(MetricsSnapshot, MergePrefixesAndCombines) {
+  const obs::CounterId loads = table().counter("icap.loads");
+  const obs::GaugeId ratio = table().gauge("hit_ratio");
+  const obs::HistogramId latency = table().histogram("latency_ps");
   obs::Registry a;
-  a.add("icap.loads", 3);
-  a.set("hit_ratio", 0.5);
-  a.observe("latency_ps", 100);
+  a.add(loads, 3);
+  a.set(ratio, 0.5);
+  a.observe(latency, 100);
   obs::Registry b;
-  b.add("icap.loads", 2);
-  b.set("hit_ratio", 0.9);
-  b.observe("latency_ps", 300);
+  b.add(loads, 2);
+  b.set(ratio, 0.9);
+  b.observe(latency, 300);
 
   obs::MetricsSnapshot merged = a.snapshot();
   merged.merge(b.snapshot());  // same names: counters add, gauges overwrite
@@ -101,14 +192,48 @@ TEST(MetricsSnapshot, MergePrefixesAndCombines) {
   EXPECT_TRUE(prefixed.gauge("blade0.hit_ratio").has_value());
 }
 
+TEST(MetricsSnapshot, MoveMergeMatchesCopyMerge) {
+  const obs::CounterId loads = table().counter("icap.loads");
+  const obs::GaugeId ratio = table().gauge("hit_ratio");
+  const obs::HistogramId latency = table().histogram("latency_ps");
+  obs::Registry a;
+  a.add(loads, 3);
+  a.set(ratio, 0.5);
+  a.observe(latency, 100);
+  obs::Registry b;
+  b.add(loads, 2);
+  b.set(ratio, 0.9);
+  b.observe(latency, 300);
+
+  for (const std::string prefix : {std::string{}, std::string{"blade1."}}) {
+    obs::MetricsSnapshot viaCopy = a.snapshot();
+    viaCopy.merge(b.snapshot(), prefix);
+    obs::MetricsSnapshot viaMove = a.snapshot();
+    viaMove.merge(b.takeSnapshot(), prefix);
+    EXPECT_EQ(viaCopy, viaMove) << "prefix=" << prefix;
+    EXPECT_EQ(viaCopy.toJson(), viaMove.toJson());
+    // Restock b for the next prefix.
+    b.add(loads, 2);
+    b.set(ratio, 0.9);
+    b.observe(latency, 300);
+  }
+  // Moving into an empty snapshot is the wholesale-move fast path.
+  obs::MetricsSnapshot empty;
+  empty.merge(a.takeSnapshot());
+  EXPECT_EQ(empty.counterOr("icap.loads"), 3u);
+}
+
 TEST(MetricsSnapshot, DiffSubtractsCountersAndKeepsGauges) {
+  const obs::CounterId calls = table().counter("calls");
+  const obs::CounterId fresh = table().counter("new_counter");
+  const obs::GaugeId speedup = table().gauge("speedup");
   obs::Registry reg;
-  reg.add("calls", 10);
-  reg.set("speedup", 2.0);
+  reg.add(calls, 10);
+  reg.set(speedup, 2.0);
   const obs::MetricsSnapshot earlier = reg.snapshot();
-  reg.add("calls", 5);
-  reg.add("new_counter", 1);
-  reg.set("speedup", 3.0);
+  reg.add(calls, 5);
+  reg.add(fresh, 1);
+  reg.set(speedup, 3.0);
   const obs::MetricsSnapshot later = reg.snapshot();
 
   const obs::MetricsSnapshot delta = later.diff(earlier);
@@ -119,22 +244,73 @@ TEST(MetricsSnapshot, DiffSubtractsCountersAndKeepsGauges) {
 
 TEST(MetricsSnapshot, AbsorbFoldsIntoRegistry) {
   obs::Registry source;
-  source.add("icap.loads", 2);
+  source.add(table().counter("icap.loads"), 2);
   obs::Registry sink;
-  sink.add("prtr.icap.loads", 1);
+  sink.add(table().counter("prtr.icap.loads"), 1);
   sink.absorb(source.snapshot(), "prtr.");
   EXPECT_EQ(sink.snapshot().counterOr("prtr.icap.loads"), 3u);
 }
 
+TEST(MetricsSnapshot, AbsorbAdditiveSkipsGauges) {
+  obs::Registry source;
+  source.add(table().counter("test.additive.calls"), 2);
+  source.set(table().gauge("test.additive.ratio"), 0.5);
+  source.observe(table().histogram("test.additive.lat"), 10);
+  obs::Registry sink;
+  sink.absorbAdditive(source.snapshot(), "pfx.");
+  const obs::MetricsSnapshot snap = sink.snapshot();
+  EXPECT_EQ(snap.counterOr("pfx.test.additive.calls"), 2u);
+  EXPECT_EQ(snap.histograms.at("pfx.test.additive.lat").count, 1u);
+  EXPECT_FALSE(snap.gauge("pfx.test.additive.ratio").has_value());
+}
+
 TEST(MetricsSnapshot, JsonHasTheThreeSections) {
   obs::Registry reg;
-  reg.add("calls", 1);
-  reg.set("ratio", 0.5);
-  reg.observe("lat", 10);
+  reg.add(table().counter("calls"), 1);
+  reg.set(table().gauge("ratio"), 0.5);
+  reg.observe(table().histogram("lat"), 10);
   const std::string json = reg.snapshot().toJson();
   EXPECT_NE(json.find("\"counters\":{\"calls\":1}"), std::string::npos) << json;
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// The string overloads still work (every record lands exactly as the id
+// path would) and warn once per call site through the shared deprecation
+// machinery — the PR 7 Timeline::record shim contract.
+TEST(MetricsRegistry, DeprecatedStringShimsMatchTheIdPathAndWarnOnce) {
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+
+  obs::Registry viaString;
+  for (int i = 0; i < 3; ++i) {
+    // One call site, looped: exactly one warning per shim below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    viaString.add("test.shim.calls", 2);
+    viaString.set("test.shim.ratio", 0.25 * i);
+    viaString.observe("test.shim.lat_ps", 10 * (i + 1));
+#pragma GCC diagnostic pop
+  }
+  std::clog.rdbuf(old);
+
+  obs::Registry viaId;
+  for (int i = 0; i < 3; ++i) {
+    viaId.add(table().counter("test.shim.calls"), 2);
+    viaId.set(table().gauge("test.shim.ratio"), 0.25 * i);
+    viaId.observe(table().histogram("test.shim.lat_ps"), 10 * (i + 1));
+  }
+  EXPECT_EQ(viaString.snapshot(), viaId.snapshot());
+
+  const std::string log = captured.str();
+  std::size_t warnings = 0;
+  for (std::size_t pos = 0; (pos = log.find("deprecated", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++warnings;
+  }
+  EXPECT_EQ(warnings, 3u) << log;  // one per shim call site, not per call
+  EXPECT_NE(log.find("obs::Registry::add(string)"), std::string::npos) << log;
 }
 
 runtime::ScenarioOptions smallScenario() {
@@ -205,6 +381,22 @@ TEST(ScenarioMetrics, HooksSinkReceivesTheRunSnapshot) {
   so.hooks.metrics = &sink;
   const auto result = runtime::runScenario(registry, workload, so);
   EXPECT_EQ(sink.snapshot(), result.metrics);
+}
+
+TEST(ScenarioMetrics, ShardedSinkReceivesTheAdditiveSeries) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 4, util::Bytes{1'000'000});
+  obs::ShardedRegistry sharded;
+  runtime::ScenarioOptions so = smallScenario();
+  so.hooks.shardedMetrics = &sharded;
+  const auto result = runtime::runScenario(registry, workload, so);
+  const obs::MetricsSnapshot merged = sharded.mergedSnapshot();
+  // Counters and histograms land; gauges (schedule-dependent under
+  // sharding) are deliberately dropped.
+  EXPECT_EQ(merged.counters, result.metrics.counters);
+  EXPECT_EQ(merged.histograms, result.metrics.histograms);
+  EXPECT_TRUE(merged.gauges.empty());
 }
 
 TEST(ScenarioMetrics, TwoIdenticalRunsProduceEqualSnapshots) {
