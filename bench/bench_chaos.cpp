@@ -7,11 +7,14 @@
 // serial one — chaos must not cost determinism.
 //
 // Usage: bench_chaos [--threads N] [--json FILE]
+#include <array>
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "config/recovery.hpp"
 #include "exec/pool.hpp"
 #include "obs/bench_io.hpp"
 #include "obs/trace_export.hpp"
@@ -79,6 +82,21 @@ std::uint64_t counterSum(const runtime::ScenarioResult& result,
   return total;
 }
 
+/// Folds every `recovery.ladder_depth` histogram in the snapshot (one per
+/// scenario side) into one distribution of rung indices.
+obs::HistogramSummary ladderDepth(const runtime::ScenarioResult& result) {
+  constexpr std::string_view kSuffix = "recovery.ladder_depth";
+  obs::HistogramSummary depth;
+  for (const auto& [name, histogram] : result.metrics.histograms) {
+    if (name.size() >= kSuffix.size() &&
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+            0) {
+      depth.fold(histogram);
+    }
+  }
+  return depth;
+}
+
 /// Renders every rate through the exec pool at the given width; pooled
 /// chaos must reproduce the serial bytes exactly.
 std::string sweepRender(std::size_t threads) {
@@ -119,6 +137,8 @@ int main(int argc, char** argv) {
   std::uint64_t escalationsTotal = 0;
   std::uint64_t fullDeviceTotal = 0;
   const std::uint32_t maxRetries = runtime::RecoveryPolicy{}.maxRetries;
+  std::array<std::uint64_t, config::kRecoveryRungCount> landedTotals{};
+  obs::HistogramSummary depthTotal;
   for (const double rate : kRates) {
     const ChaosPoint point = runPoint(rate, /*recovery=*/true);
     if (!point.recovered) ++unrecovered;
@@ -138,6 +158,13 @@ int main(int argc, char** argv) {
     repairsTotal += repairs;
     escalationsTotal += escalations;
     fullDeviceTotal += fullDevice;
+    for (std::size_t r = 0; r < config::kRecoveryRungCount; ++r) {
+      landedTotals[r] += counterSum(
+          point.result,
+          std::string("recovery.landed.") +
+              config::metricSuffix(static_cast<config::RecoveryRung>(r)));
+    }
+    depthTotal.fold(ladderDepth(point.result));
     table.row()
         .cell(util::formatDouble(rate, 6))
         .cell(point.recovered ? "yes" : "NO")
@@ -152,6 +179,46 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   report.table("chaos_ladder", table);
+
+  // --- Recovery-ladder depth distribution: where every recovering load
+  // actually landed, rung by rung, pooled across the rate ladder. The
+  // per-rung counters and the ladder_depth histogram are two views of the
+  // same events, so their totals must agree — CI gates on that, and on the
+  // depth quantiles staying shallow (healthy chaos recovers at the first
+  // rungs; p95 at full-device would mean the ladder is not absorbing).
+  std::uint64_t landedSum = 0;
+  util::Table depthTable{{"rung", "landed", "share"}};
+  for (std::size_t r = 0; r < config::kRecoveryRungCount; ++r) {
+    landedSum += landedTotals[r];
+  }
+  for (std::size_t r = 0; r < config::kRecoveryRungCount; ++r) {
+    const double share =
+        landedSum == 0 ? 0.0
+                       : static_cast<double>(landedTotals[r]) /
+                             static_cast<double>(landedSum);
+    depthTable.row()
+        .cell(config::metricSuffix(static_cast<config::RecoveryRung>(r)))
+        .cell(landedTotals[r])
+        .cell(util::formatDouble(share, 4));
+    report.scalar(std::string("ladder_landed_") +
+                      config::metricSuffix(static_cast<config::RecoveryRung>(r)),
+                  landedTotals[r]);
+  }
+  std::cout << "\nrecovery-ladder depth distribution (all rates pooled):\n";
+  depthTable.print(std::cout);
+  report.table("ladder_depth", depthTable);
+  const bool ladderConsistent = depthTotal.count == landedSum;
+  std::cout << "ladder histogram agrees with per-rung counters: "
+            << (ladderConsistent ? "yes" : "NO") << '\n';
+  report.scalar("ladder_depth_count", depthTotal.count);
+  report.scalar("ladder_depth_p50", depthTotal.quantile(0.50));
+  report.scalar("ladder_depth_p95", depthTotal.quantile(0.95));
+  report.scalar("ladder_depth_max",
+                depthTotal.count == 0
+                    ? std::uint64_t{0}
+                    : static_cast<std::uint64_t>(depthTotal.max));
+  report.scalar("ladder_depth_consistent",
+                std::uint64_t{ladderConsistent ? 1u : 0u});
 
   // --- Zero-overhead-when-healthy: rate 0 with recovery enabled must match
   // the recovery-disabled baseline on every report byte (the recovery.*
@@ -215,6 +282,7 @@ int main(int argc, char** argv) {
     report.scalar("traced_speedup", traced.speedup);
     std::cout << "trace written to " << report.tracePath() << '\n';
   }
-  const bool ok = identical && healthyIdentical && unrecovered == 0;
+  const bool ok =
+      identical && healthyIdentical && unrecovered == 0 && ladderConsistent;
   return ok ? report.finish() : 1;
 }

@@ -1,0 +1,204 @@
+// Fleet benchmark: the prtr::fleet serving simulation at one million
+// requests, healthy and under chaos (20% of blades running a hostile
+// fault plan), with the full resilience stack engaged. This is the
+// robustness gate for the fleet subsystem: CI runs it at 1 and N threads
+// and validates that the merged snapshots are byte-identical, that the
+// retry budget holds under chaos (no retry storm), that breakers open and
+// recover, and that tail latency stays inside the committed baseline band
+// via prtr-report (the run is fully deterministic, so every simulated
+// scalar reproduces exactly).
+//
+// Usage: bench_fleet [--requests N] [--spec FILE] [--threads N] [--seed N]
+//                    [--json FILE]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/checks_fleet.hpp"
+#include "exec/pool.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/bench_io.hpp"
+#include "tasks/hwfunction.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace prtr;
+
+constexpr std::uint64_t kFleetSeed = 61927;  // matches examples/fleet/*.fleet
+constexpr std::uint64_t kDefaultRequests = 1'000'000;
+
+/// The committed-baseline configuration: examples/fleet/steady.fleet.
+fleet::FleetOptions baseOptions() {
+  fleet::FleetOptions options;
+  options.cells = 4;
+  options.bladesPerCell = 6;
+  options.requests = kDefaultRequests;
+  options.seed = kFleetSeed;
+  options.offeredLoad = 0.7;
+  return options;
+}
+
+/// The chaos variant: 20% of blades (rounded per cell) run a hostile
+/// plan — ICAP aborts, transfer timeouts, and link stalls — while the
+/// healthy majority carries the traffic around the open breakers.
+fleet::FleetOptions chaosOptions(const fleet::FleetOptions& base) {
+  fleet::FleetOptions options = base;
+  options.degradedFraction = 0.2;
+  options.degradedFaults.seed = base.seed ^ 0xC4A05u;
+  options.degradedFaults.icapAbortRate = 0.30;
+  options.degradedFaults.transferTimeoutRate = 0.10;
+  options.degradedFaults.linkStallRate = 0.05;
+  return options;
+}
+
+/// One fleet point rendered for the byte-identity gate: the report body
+/// plus every merged metric line.
+std::string render(const fleet::FleetReport& report) {
+  return report.toString() + report.metrics.toString();
+}
+
+double quantileUs(const obs::HistogramSummary& h, double q) {
+  return h.quantile(q) / 1e6;
+}
+
+void pointScalars(obs::BenchReport& report, const std::string& prefix,
+                  const fleet::FleetReport& r) {
+  report.scalar(prefix + "_p50_us", quantileUs(r.latency, 0.50));
+  report.scalar(prefix + "_p95_us", quantileUs(r.latency, 0.95));
+  report.scalar(prefix + "_p99_us", quantileUs(r.latency, 0.99));
+  report.scalar(prefix + "_completed", r.completed);
+  report.scalar(prefix + "_failed", r.failed);
+  report.scalar(prefix + "_shed_rate", r.shedRate());
+  report.scalar(prefix + "_retries", r.retries);
+  report.scalar(prefix + "_retries_denied", r.retriesDenied);
+  report.scalar(prefix + "_retry_budget_consumption",
+                r.retryBudgetConsumption());
+  report.scalar(prefix + "_breaker_opens", r.breakerOpens);
+  report.scalar(prefix + "_breaker_closes", r.breakerCloses);
+  report.scalar(prefix + "_utilization_mean", r.utilizationMean);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReport report{"fleet", argc, argv};
+  const std::size_t n = report.threads();
+  exec::Pool::setGlobalThreads(n);
+
+  fleet::FleetOptions options = baseOptions();
+  std::uint64_t requests = kDefaultRequests;
+  const auto& rest = report.options().rest();
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--requests" && i + 1 < rest.size()) {
+      requests = std::stoull(rest[++i]);
+    } else if (rest[i] == "--spec" && i + 1 < rest.size()) {
+      std::ifstream in{rest[++i]};
+      if (!in) {
+        std::cerr << "bench_fleet: cannot open spec '" << rest[i] << "'\n";
+        return 2;
+      }
+      options = analyze::fleetSpecToOptions(analyze::parseFleetSpec(in));
+      requests = options.requests;
+    }
+  }
+  options.requests = requests;
+  options.seed = report.seedOr(options.seed);
+
+  // Refuse configurations the linter rejects before a million-request run.
+  analyze::DiagnosticSink sink;
+  analyze::checkFleetOptions(options, sink);
+  if (sink.hasErrors()) {
+    std::cerr << sink.toText();
+    return 2;
+  }
+
+  std::cout << "=== Fleet: " << options.cells << " cells x "
+            << options.bladesPerCell << " blades, " << options.requests
+            << " requests (seed " << options.seed << ") ===\n\n";
+
+  // Calibrate once; both points and both thread widths share the profile,
+  // so the identity gate measures the fleet simulation alone.
+  const auto registry = tasks::makePaperFunctions();
+  const fleet::BladeProfile profile = fleet::calibrateBladeProfile(
+      registry, runtime::ScenarioOptions{}, options.payloadBytes);
+
+  const fleet::FleetOptions chaos = chaosOptions(options);
+
+  // --- Byte-identity at 1 vs N threads, healthy and chaos.
+  fleet::FleetOptions serialOpts = options;
+  serialOpts.threads = 1;
+  fleet::FleetOptions pooledOpts = options;
+  pooledOpts.threads = n;
+  const fleet::FleetReport healthy = runFleet(registry, profile, pooledOpts);
+  const bool healthyIdentical =
+      render(runFleet(registry, profile, serialOpts)) == render(healthy);
+
+  fleet::FleetOptions chaosSerial = chaos;
+  chaosSerial.threads = 1;
+  fleet::FleetOptions chaosPooled = chaos;
+  chaosPooled.threads = n;
+  const fleet::FleetReport degraded =
+      runFleet(registry, profile, chaosPooled);
+  const bool chaosIdentical =
+      render(runFleet(registry, profile, chaosSerial)) == render(degraded);
+  const bool identical = healthyIdentical && chaosIdentical;
+
+  util::Table table{{"point", "completed", "failed", "shed", "retries",
+                     "denied", "opens", "closes", "p50 us", "p95 us",
+                     "p99 us", "util"}};
+  for (const auto& [name, r] :
+       {std::pair<const char*, const fleet::FleetReport&>{"healthy", healthy},
+        {"chaos", degraded}}) {
+    table.row()
+        .cell(name)
+        .cell(r.completed)
+        .cell(r.failed)
+        .cell(r.shed)
+        .cell(r.retries)
+        .cell(r.retriesDenied)
+        .cell(r.breakerOpens)
+        .cell(r.breakerCloses)
+        .cell(static_cast<std::uint64_t>(quantileUs(r.latency, 0.50)))
+        .cell(static_cast<std::uint64_t>(quantileUs(r.latency, 0.95)))
+        .cell(static_cast<std::uint64_t>(quantileUs(r.latency, 0.99)))
+        .cell(util::formatDouble(r.utilizationMean, 3));
+  }
+  table.print(std::cout);
+  report.table("fleet_points", table);
+
+  std::cout << "\nfleet byte-identical at 1 vs " << n
+            << " threads (healthy and chaos): " << (identical ? "yes" : "NO")
+            << '\n';
+
+  // Graceful degradation: chaos inflates the tail but must not blow it up,
+  // and the retry budget must hold (no retry storm). Both are gated by the
+  // committed baseline through prtr-report; the ratio is printed for
+  // humans.
+  const double p99Ratio =
+      quantileUs(healthy.latency, 0.99) <= 0.0
+          ? 0.0
+          : quantileUs(degraded.latency, 0.99) /
+                quantileUs(healthy.latency, 0.99);
+  std::cout << "chaos p99 / healthy p99: " << util::formatDouble(p99Ratio, 3)
+            << "\nchaos retry-budget consumption: "
+            << util::formatDouble(degraded.retryBudgetConsumption(), 4)
+            << " (budget " << chaos.retry.budgetFraction << ")\n";
+
+  pointScalars(report, "healthy", healthy);
+  pointScalars(report, "chaos", degraded);
+  report.scalar("chaos_p99_over_healthy", p99Ratio);
+  report.scalar("requests", options.requests);
+  report.scalar("outputs_identical", std::uint64_t{identical ? 1u : 0u});
+  report.scalar("fleet_seed", options.seed);
+  report.metrics(degraded.metrics);
+
+  const bool ok =
+      identical && healthy.failed == 0 && degraded.breakerOpens > 0 &&
+      degraded.retryBudgetConsumption() <=
+          chaos.retry.budgetFraction + 0.01;
+  return ok ? report.finish() : 1;
+}

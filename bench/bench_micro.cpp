@@ -108,6 +108,10 @@ void BM_MetricsAddById(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsAddById);
 
+/// The by-name baseline the interned-id gate compares against: re-intern
+/// on every record, paying the MetricTable lock + hash probe the id path
+/// skips. (The string Registry::add shim that used to package this pattern
+/// is gone; this spells it out.)
 void BM_MetricsAddByName(benchmark::State& state) {
   static constexpr std::array<std::string_view, 4> kNames{
       "micro.metrics.a", "micro.metrics.b", "micro.metrics.c",
@@ -115,10 +119,7 @@ void BM_MetricsAddByName(benchmark::State& state) {
   obs::Registry reg;
   std::size_t i = 0;
   for (auto _ : state) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    reg.add(kNames[i & 3]);
-#pragma GCC diagnostic pop
+    reg.add(obs::MetricTable::global().counter(kNames[i & 3]));
     ++i;
   }
   benchmark::DoNotOptimize(reg.snapshot().counterOr("micro.metrics.a"));
@@ -144,10 +145,8 @@ void BM_MetricsObserveByName(benchmark::State& state) {
   obs::Registry reg;
   std::int64_t v = 1;
   for (auto _ : state) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    reg.observe("micro.metrics.lat_ps", v);
-#pragma GCC diagnostic pop
+    reg.observe(obs::MetricTable::global().histogram("micro.metrics.lat_ps"),
+                v);
     v = (v * 33) % 100'000 + 1;
   }
   benchmark::DoNotOptimize(reg.snapshot().histograms.size());

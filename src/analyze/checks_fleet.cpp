@@ -1,0 +1,247 @@
+#include "analyze/checks_fleet.hpp"
+
+#include <cmath>
+
+#include "analyze/spec_util.hpp"
+
+namespace prtr::analyze {
+
+FleetSpec parseFleetSpec(std::istream& in) {
+  using namespace specdetail;
+  FleetSpec spec;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2) fail(lineNo, "expected '<key> <value>'");
+    const std::string& key = tokens[0];
+    const std::string& value = tokens[1];
+    if (key == "cells") {
+      spec.cells = parseU64(value, lineNo);
+    } else if (key == "blades") {
+      spec.blades = parseU64(value, lineNo);
+    } else if (key == "requests") {
+      spec.requests = parseU64(value, lineNo);
+    } else if (key == "seed") {
+      spec.seed = parseU64(value, lineNo);
+    } else if (key == "arrival") {
+      spec.arrival = value;
+    } else if (key == "offered-load") {
+      spec.offeredLoad = parseDouble(value, lineNo);
+    } else if (key == "users") {
+      spec.users = parseU64(value, lineNo);
+    } else if (key == "task-affinity") {
+      spec.taskAffinity = parseDouble(value, lineNo);
+    } else if (key == "payload-kib") {
+      spec.payloadKib = parseU64(value, lineNo);
+    } else if (key == "payload-spread") {
+      spec.payloadSpread = parseDouble(value, lineNo);
+    } else if (key == "routing") {
+      spec.routing = value;
+    } else if (key == "max-attempts") {
+      spec.maxAttempts = parseU64(value, lineNo);
+    } else if (key == "retry-budget") {
+      spec.retryBudget = parseDouble(value, lineNo);
+    } else if (key == "retry-burst") {
+      spec.retryBurst = parseDouble(value, lineNo);
+    } else if (key == "retry-backoff-us") {
+      spec.retryBackoffUs = parseDouble(value, lineNo);
+    } else if (key == "retry-backoff-factor") {
+      spec.retryBackoffFactor = parseDouble(value, lineNo);
+    } else if (key == "breaker") {
+      spec.breaker = parseBool(value, lineNo);
+    } else if (key == "breaker-failures") {
+      spec.breakerFailures = parseU64(value, lineNo);
+    } else if (key == "breaker-open-us") {
+      spec.breakerOpenUs = parseDouble(value, lineNo);
+    } else if (key == "breaker-probes") {
+      spec.breakerProbes = parseU64(value, lineNo);
+    } else if (key == "breaker-probe-successes") {
+      spec.breakerProbeSuccesses = parseU64(value, lineNo);
+    } else if (key == "slo-factor") {
+      spec.sloFactor = parseDouble(value, lineNo);
+    } else if (key == "max-queue-depth") {
+      spec.maxQueueDepth = parseU64(value, lineNo);
+    } else if (key == "hedge") {
+      spec.hedge = parseBool(value, lineNo);
+    } else if (key == "hedge-quantile") {
+      spec.hedgeQuantile = parseDouble(value, lineNo);
+    } else if (key == "hedge-min-samples") {
+      spec.hedgeMinSamples = parseU64(value, lineNo);
+    } else if (key == "hedge-budget") {
+      spec.hedgeBudget = parseDouble(value, lineNo);
+    } else if (key == "degraded-fraction") {
+      spec.degradedFraction = parseDouble(value, lineNo);
+    } else if (key == "escalate-after") {
+      spec.escalateAfter = parseU64(value, lineNo);
+    } else if (key == "recover-after") {
+      spec.recoverAfter = parseU64(value, lineNo);
+    } else {
+      fail(lineNo, "unrecognized key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+void checkFleetOptions(const fleet::FleetOptions& options,
+                       DiagnosticSink& sink) {
+  if (options.cells < 1 || options.bladesPerCell < 1 ||
+      options.bladesPerCell > 6) {
+    sink.emit("FL001", "fleet.topology",
+              std::to_string(options.cells) + " cell(s) of " +
+                  std::to_string(options.bladesPerCell) + " blade(s)");
+  }
+  if (options.requests < 1) {
+    sink.emit("FL002", "fleet.requests", "requests = 0");
+  }
+  if (!(options.offeredLoad > 0.0) || !std::isfinite(options.offeredLoad)) {
+    sink.emit("FL003", "fleet.offered-load",
+              "offered-load = " + std::to_string(options.offeredLoad));
+  }
+  if (options.arrival == fleet::ArrivalProcess::kTrace &&
+      options.trace.empty()) {
+    sink.emit("FL006", "fleet.arrival",
+              "arrival is 'trace' but the trace is empty");
+  }
+  if (options.retry.maxAttempts < 1 || options.retry.budgetFraction < 0.0) {
+    sink.emit("FL007", "fleet.retry",
+              "max-attempts = " + std::to_string(options.retry.maxAttempts) +
+                  ", retry-budget = " +
+                  std::to_string(options.retry.budgetFraction));
+  }
+  if (options.breaker.enabled &&
+      (options.breaker.consecutiveFailures < 1 ||
+       options.breaker.halfOpenProbes < 1 ||
+       options.breaker.probeSuccesses < 1 ||
+       options.breaker.probeSuccesses > options.breaker.halfOpenProbes ||
+       options.breaker.openDuration <= util::Time::zero())) {
+    sink.emit("FL008", "fleet.breaker",
+              "failures = " +
+                  std::to_string(options.breaker.consecutiveFailures) +
+                  ", probes = " +
+                  std::to_string(options.breaker.halfOpenProbes) + "/" +
+                  std::to_string(options.breaker.probeSuccesses) +
+                  ", open = " + options.breaker.openDuration.toString());
+  }
+  if (options.hedge.enabled &&
+      (options.hedge.quantile <= 0.0 || options.hedge.quantile >= 1.0 ||
+       options.hedge.budgetFraction < 0.0)) {
+    sink.emit("FL009", "fleet.hedge",
+              "quantile = " + std::to_string(options.hedge.quantile) +
+                  ", hedge-budget = " +
+                  std::to_string(options.hedge.budgetFraction));
+  }
+  if (options.users < 1 || options.taskAffinity < 0.0 ||
+      options.taskAffinity > 1.0 || options.payloadSpread < 0.0 ||
+      options.payloadSpread >= 1.0 || options.degradedFraction < 0.0 ||
+      options.degradedFraction > 1.0 || options.payloadBytes.count() < 2) {
+    sink.emit("FL010", "fleet.mix",
+              "users = " + std::to_string(options.users) +
+                  ", task-affinity = " +
+                  std::to_string(options.taskAffinity) +
+                  ", payload-spread = " +
+                  std::to_string(options.payloadSpread) +
+                  ", degraded-fraction = " +
+                  std::to_string(options.degradedFraction) + ", payload = " +
+                  std::to_string(options.payloadBytes.count()) + " B");
+  }
+  if (options.admission.maxQueueDepth < 1 ||
+      !(options.admission.sloFactor > 0.0)) {
+    sink.emit("FL011", "fleet.admission",
+              "max-queue-depth = " +
+                  std::to_string(options.admission.maxQueueDepth) +
+                  ", slo-factor = " +
+                  std::to_string(options.admission.sloFactor));
+  }
+  if (options.offeredLoad >= 1.0 && std::isfinite(options.offeredLoad)) {
+    sink.emit("FL012", "fleet.offered-load",
+              "offered-load = " + std::to_string(options.offeredLoad) +
+                  " saturates every blade");
+  }
+  if (options.retry.budgetFraction > 0.5) {
+    sink.emit("FL013", "fleet.retry-budget",
+              "retry-budget = " +
+                  std::to_string(options.retry.budgetFraction));
+  }
+  if (options.degradedFraction > 0.0 && !options.degradedFaults.active()) {
+    sink.emit("FL014", "fleet.degraded",
+              "degraded-fraction = " +
+                  std::to_string(options.degradedFraction) +
+                  " but the degraded plan injects nothing");
+  }
+  if (options.degradedFraction > 0.0 && options.degradedFaults.active() &&
+      !options.breaker.enabled) {
+    sink.emit("FL015", "fleet.breaker",
+              "degraded blades configured with the breaker disabled");
+  }
+}
+
+fleet::FleetOptions fleetSpecToOptions(const FleetSpec& spec) {
+  fleet::FleetOptions options;
+  options.cells = static_cast<std::size_t>(spec.cells);
+  options.bladesPerCell = static_cast<std::size_t>(spec.blades);
+  options.requests = spec.requests;
+  options.seed = spec.seed;
+  options.arrival = spec.arrival == "fixed-rate"
+                        ? fleet::ArrivalProcess::kFixedRate
+                    : spec.arrival == "trace"
+                        ? fleet::ArrivalProcess::kTrace
+                        : fleet::ArrivalProcess::kPoisson;
+  options.offeredLoad = spec.offeredLoad;
+  options.users = spec.users;
+  options.taskAffinity = spec.taskAffinity;
+  options.payloadBytes = util::Bytes::kibi(spec.payloadKib);
+  options.payloadSpread = spec.payloadSpread;
+  options.routing = spec.routing == "least-loaded"
+                        ? fleet::RoutingPolicy::kLeastLoaded
+                    : spec.routing == "round-robin"
+                        ? fleet::RoutingPolicy::kRoundRobin
+                        : fleet::RoutingPolicy::kPowerOfTwoChoices;
+  options.retry.maxAttempts = static_cast<std::uint32_t>(spec.maxAttempts);
+  options.retry.budgetFraction = spec.retryBudget;
+  options.retry.burstTokens = spec.retryBurst;
+  options.retry.backoffBase = util::Time::picoseconds(
+      static_cast<std::int64_t>(spec.retryBackoffUs * 1e6));
+  options.retry.backoffFactor = spec.retryBackoffFactor;
+  options.breaker.enabled = spec.breaker;
+  options.breaker.consecutiveFailures =
+      static_cast<std::uint32_t>(spec.breakerFailures);
+  options.breaker.openDuration = util::Time::picoseconds(
+      static_cast<std::int64_t>(spec.breakerOpenUs * 1e6));
+  options.breaker.halfOpenProbes =
+      static_cast<std::uint32_t>(spec.breakerProbes);
+  options.breaker.probeSuccesses =
+      static_cast<std::uint32_t>(spec.breakerProbeSuccesses);
+  options.admission.sloFactor = spec.sloFactor;
+  options.admission.maxQueueDepth =
+      static_cast<std::uint32_t>(spec.maxQueueDepth);
+  options.hedge.enabled = spec.hedge;
+  options.hedge.quantile = spec.hedgeQuantile;
+  options.hedge.minSamples = spec.hedgeMinSamples;
+  options.hedge.budgetFraction = spec.hedgeBudget;
+  options.degradedFraction = spec.degradedFraction;
+  options.escalateAfter = static_cast<std::uint32_t>(spec.escalateAfter);
+  options.recoverAfter = static_cast<std::uint32_t>(spec.recoverAfter);
+  return options;
+}
+
+DiagnosticSink lintFleetSpec(const FleetSpec& spec) {
+  DiagnosticSink sink;
+  // String-boundary rules first, mirroring MD011/MD012 and FT004/FT005:
+  // the typed options below fall back to defaults so the remaining rules
+  // still run.
+  if (spec.routing != "least-loaded" && spec.routing != "p2c" &&
+      spec.routing != "round-robin") {
+    sink.emit("FL004", "routing", "unknown routing '" + spec.routing + "'");
+  }
+  if (spec.arrival != "poisson" && spec.arrival != "fixed-rate" &&
+      spec.arrival != "trace") {
+    sink.emit("FL005", "arrival", "unknown arrival '" + spec.arrival + "'");
+  }
+  checkFleetOptions(fleetSpecToOptions(spec), sink);
+  return sink;
+}
+
+}  // namespace prtr::analyze

@@ -23,6 +23,7 @@ const char* toString(Category category) noexcept {
     case Category::kBitstream: return "bitstream";
     case Category::kModel: return "model";
     case Category::kFault: return "fault";
+    case Category::kFleet: return "fleet";
     case Category::kRace: return "race";
     case Category::kTimeline: return "timeline";
     case Category::kDeterminism: return "determinism";
@@ -190,6 +191,70 @@ constexpr std::array kCatalog{
              "word-flip rate above 1e-2 per word corrupts nearly every "
              "load; repair rounds will thrash",
              "lower word-flip-rate (the chaos sweeps use 1e-6..1e-4)"},
+    // Fleet-configuration rules (checks_fleet.hpp; prtr-lint fleet-spec).
+    RuleInfo{"FL001", Category::kFleet, Severity::kError,
+             "fleet topology invalid (no cells, or blades per cell outside "
+             "the XD1 chassis bound of 1..6)",
+             "use at least one cell and 1..6 blades per cell"},
+    RuleInfo{"FL002", Category::kFleet, Severity::kError,
+             "fleet run needs at least one request",
+             "set requests to 1 or more"},
+    RuleInfo{"FL003", Category::kFleet, Severity::kError,
+             "offered-load must be positive and finite",
+             "target a per-blade utilization like 0.7"},
+    RuleInfo{"FL004", Category::kFleet, Severity::kError,
+             "unknown routing policy name",
+             "use 'least-loaded', 'p2c', or 'round-robin'"},
+    RuleInfo{"FL005", Category::kFleet, Severity::kError,
+             "unknown arrival process name",
+             "use 'poisson', 'fixed-rate', or 'trace'"},
+    RuleInfo{"FL006", Category::kFleet, Severity::kError,
+             "trace-driven arrivals configured without a trace",
+             "supply TraceArrival entries programmatically, or use a "
+             "synthetic arrival process"},
+    RuleInfo{"FL007", Category::kFleet, Severity::kError,
+             "retry policy degenerate (zero attempts or negative budget)",
+             "allow at least one attempt and a non-negative retry-budget"},
+    RuleInfo{"FL008", Category::kFleet, Severity::kError,
+             "breaker thresholds degenerate (zero failure threshold, zero "
+             "probes, more required probe successes than probes, or a "
+             "non-positive open duration)",
+             "keep failures >= 1, probes >= successes >= 1, open-us > 0"},
+    RuleInfo{"FL009", Category::kFleet, Severity::kError,
+             "hedge configuration invalid (quantile outside (0, 1) or "
+             "negative hedge budget)",
+             "hedge at a tail quantile like 0.95 with a small budget"},
+    RuleInfo{"FL010", Category::kFleet, Severity::kError,
+             "request-mix parameter out of range (no users, task-affinity "
+             "or payload-spread or degraded-fraction outside bounds, or a "
+             "payload under 2 bytes)",
+             "keep fractions within [0, 1] (spread below 1) and size the "
+             "payload in bytes"},
+    RuleInfo{"FL011", Category::kFleet, Severity::kError,
+             "admission policy can never admit (zero queue depth or a "
+             "non-positive SLO factor)",
+             "allow at least depth 1 and a positive slo-factor"},
+    RuleInfo{"FL012", Category::kFleet, Severity::kWarning,
+             "offered-load at or above 1 saturates every blade; the open "
+             "loop will shed heavily and the queue-wait tail is unbounded "
+             "by design",
+             "stay below 1.0 per blade, or accept the overload study"},
+    RuleInfo{"FL013", Category::kFleet, Severity::kWarning,
+             "retry budget above 0.5 lets retries add more than half of "
+             "fresh traffic again — a retry-storm risk under correlated "
+             "failure",
+             "keep retry-budget at or below 0.5 (production proxies "
+             "default to ~0.2)"},
+    RuleInfo{"FL014", Category::kFleet, Severity::kWarning,
+             "chaos no-op: degraded-fraction marks blades hostile but the "
+             "degraded fault plan injects nothing",
+             "give the degraded plan at least one positive rate, or drop "
+             "degraded-fraction"},
+    RuleInfo{"FL015", Category::kFleet, Severity::kWarning,
+             "degraded blades configured with the circuit breaker "
+             "disabled: nothing isolates a failing blade from traffic",
+             "enable the breaker for chaos runs, or accept sustained "
+             "failures deliberately"},
     // Happens-before race rules (verify::RaceDetector; exec instrumentation).
     RuleInfo{"RC001", Category::kRace, Severity::kError,
              "write/write race: two threads wrote the same shared object "

@@ -3,11 +3,12 @@
 /// Core of the `prtr::analyze` static-diagnostics subsystem.
 ///
 /// Every rule the checkers (checks_floorplan.hpp, checks_bitstream.hpp,
-/// checks_model.hpp, checks_fault.hpp, verify/timeline_rules.hpp,
-/// verify/race.hpp) can raise has a stable
+/// checks_model.hpp, checks_fault.hpp, checks_fleet.hpp,
+/// verify/timeline_rules.hpp, verify/race.hpp) can raise has a stable
 /// machine-readable code — `FPxxx` for floorplan rules, `BSxxx` for
 /// bitstream rules, `MDxxx` for model and scenario rules, `FTxxx` for
-/// fault-plan and recovery rules, `RCxxx` for happens-before races,
+/// fault-plan and recovery rules, `FLxxx` for fleet-configuration rules,
+/// `RCxxx` for happens-before races,
 /// `TLxxx` for timeline invariants, `DTxxx` for determinism rules —
 /// registered once in the rule catalog together with its
 /// severity, one-line summary, and a generic fix hint. Checkers emit by
@@ -36,6 +37,7 @@ enum class Category : std::uint8_t {
   kBitstream,
   kModel,
   kFault,
+  kFleet,
   kRace,
   kTimeline,
   kDeterminism,

@@ -22,4 +22,15 @@ const char* toString(RecoveryRung rung) noexcept {
   return "?";
 }
 
+const char* metricSuffix(RecoveryRung rung) noexcept {
+  switch (rung) {
+    case RecoveryRung::kNone: return "none";
+    case RecoveryRung::kDifferencePartial: return "difference";
+    case RecoveryRung::kModulePartial: return "module";
+    case RecoveryRung::kFullPrrReload: return "full_prr";
+    case RecoveryRung::kFullDevice: return "full_device";
+  }
+  return "?";
+}
+
 }  // namespace prtr::config

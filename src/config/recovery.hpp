@@ -47,6 +47,9 @@ inline constexpr std::size_t kRecoveryRungCount = 5;
 
 [[nodiscard]] const char* toString(RecoveryRung rung) noexcept;
 
+/// Suffix used for the recovery.landed.<suffix> obs metric of `rung`.
+[[nodiscard]] const char* metricSuffix(RecoveryRung rung) noexcept;
+
 /// Knobs consumed by config::Manager and the runtime executors.
 struct RecoveryPolicy {
   bool enabled = false;

@@ -32,4 +32,17 @@ const char* toString(Arrival arrival) noexcept {
   return "?";
 }
 
+Plan Plan::forNode(std::uint64_t node) const noexcept {
+  Plan derived = *this;
+  if (node != 0) {
+    // splitmix64 finalizer over (seed, node): statistically independent
+    // streams for nearby node indices, and stable across platforms.
+    std::uint64_t z = seed + node * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    derived.seed = z ^ (z >> 31);
+  }
+  return derived;
+}
+
 }  // namespace prtr::fault

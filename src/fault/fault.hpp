@@ -64,6 +64,13 @@ struct Plan {
            transferTimeoutRate > 0.0 || icapAbortRate > 0.0 ||
            apiRejectRate > 0.0;
   }
+
+  /// The same plan re-seeded for one node of a multi-node deployment
+  /// (chassis blade, fleet blade): rates are shared, but each node draws
+  /// from its own independent RNG stream, so changing one node's stream
+  /// (or adding nodes) never perturbs another node's injection trace.
+  /// node 0 keeps the plan's own seed, preserving single-node traces.
+  [[nodiscard]] Plan forNode(std::uint64_t node) const noexcept;
 };
 
 }  // namespace prtr::fault

@@ -1,0 +1,106 @@
+#include "fleet/calibrate.hpp"
+
+#include <algorithm>
+
+#include "hprc/chassis.hpp"
+#include "util/error.hpp"
+
+namespace prtr::fleet {
+namespace {
+
+/// One calibration run: `calls` invocations of function `fn` at `payload`.
+runtime::ExecutionReport calibrationRun(const tasks::FunctionRegistry& registry,
+                                        const runtime::ScenarioOptions& blade,
+                                        std::size_t fn, util::Bytes payload,
+                                        std::size_t calls, bool forceMiss) {
+  tasks::Workload workload;
+  workload.name = "calibrate/" + registry.at(fn).name;
+  workload.calls.assign(calls, tasks::TaskCall{fn, payload});
+  runtime::ScenarioOptions options = blade;
+  options.forceMiss = forceMiss;
+  return runtime::runScenario(registry, workload, options).prtr;
+}
+
+/// Per-call service time once the leading full configuration is excluded.
+/// `resident` additionally excludes configuration stalls (the single warmup
+/// partial load), leaving the pure hit-path service time; forced-miss runs
+/// keep the stall — pricing the reload is their entire point.
+std::int64_t perCallPs(const runtime::ExecutionReport& report, bool resident) {
+  util::require(report.calls > 0, "calibrateBladeProfile: empty report");
+  std::int64_t steady = (report.total - report.initialConfig).ps();
+  if (resident) steady -= report.configStall.ps();
+  return std::max<std::int64_t>(0, steady) /
+         static_cast<std::int64_t>(report.calls);
+}
+
+std::uint64_t icapBytes(const runtime::ExecutionReport& report) {
+  return report.metrics.counterOr("config.icap.bytes_written");
+}
+
+}  // namespace
+
+std::int64_t BladeProfile::meanExecPs(std::uint64_t bytes) const noexcept {
+  if (tasks.empty()) return 0;
+  std::int64_t sum = 0;
+  for (const TaskProfile& t : tasks) sum += t.execPs(bytes);
+  return sum / static_cast<std::int64_t>(tasks.size());
+}
+
+std::int64_t BladeProfile::meanConfigPs() const noexcept {
+  if (tasks.empty()) return 0;
+  std::int64_t sum = 0;
+  for (const TaskProfile& t : tasks) sum += t.configPs;
+  return sum / static_cast<std::int64_t>(tasks.size());
+}
+
+BladeProfile calibrateBladeProfile(const tasks::FunctionRegistry& registry,
+                                   const runtime::ScenarioOptions& scenario,
+                                   util::Bytes payload) {
+  util::require(payload.count() >= 2, "calibrateBladeProfile: payload too small");
+  constexpr std::size_t kCalls = 8;
+  runtime::ScenarioOptions blade =
+      hprc::bladeScenarioOptions(scenario, /*blade=*/0);
+  // Calibration measures the healthy platform: fault injection and recovery
+  // belong to the fleet's own blade model, not to the service baseline.
+  blade.faults = fault::Plan{};
+  blade.recovery = runtime::RecoveryPolicy{};
+  const util::Bytes half{payload.count() / 2};
+
+  BladeProfile profile;
+  profile.calibrationPayload = payload;
+  profile.tasks.reserve(registry.size());
+  for (std::size_t fn = 0; fn < registry.size(); ++fn) {
+    // Resident runs at two payloads split the fixed per-call overhead from
+    // the per-byte slope; the forced-miss run prices the persona reload.
+    const auto resident =
+        calibrationRun(registry, blade, fn, payload, kCalls, /*forceMiss=*/false);
+    const auto residentHalf =
+        calibrationRun(registry, blade, fn, half, kCalls, /*forceMiss=*/false);
+    const auto miss =
+        calibrationRun(registry, blade, fn, payload, kCalls, /*forceMiss=*/true);
+
+    const std::int64_t execFull = perCallPs(resident, /*resident=*/true);
+    const std::int64_t execHalf = perCallPs(residentHalf, /*resident=*/true);
+    TaskProfile t;
+    t.execPsPerByte = std::max(
+        0.0, static_cast<double>(execFull - execHalf) /
+                 static_cast<double>(payload.count() - half.count()));
+    t.execFixedPs = std::max<std::int64_t>(
+        0, execFull - static_cast<std::int64_t>(
+                          t.execPsPerByte * static_cast<double>(payload.count())));
+    t.configPs = std::max<std::int64_t>(
+        0, perCallPs(miss, /*resident=*/false) - execFull);
+    // The forced-miss run reloads the persona once per call on top of the
+    // resident run's single leading load; the byte delta over kCalls loads
+    // is the per-load ICAP word count.
+    const std::uint64_t deltaBytes =
+        icapBytes(miss) > icapBytes(resident)
+            ? icapBytes(miss) - icapBytes(resident)
+            : 0;
+    t.configWords = deltaBytes / 4 / kCalls;
+    profile.tasks.push_back(t);
+  }
+  return profile;
+}
+
+}  // namespace prtr::fleet

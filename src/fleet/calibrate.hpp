@@ -1,0 +1,65 @@
+#pragma once
+/// \file calibrate.hpp
+/// Blade service-model calibration for the fleet simulator.
+///
+/// The fleet layer serves millions of requests, so it cannot afford a full
+/// DES node per request; instead it runs the real blade simulator once per
+/// hardware function — through runtime::runScenario with the same
+/// hook-free, PRTR-only options hprc::runChassis hands its blades — and
+/// distils each function into a TaskProfile: persona reconfiguration cost,
+/// per-call fixed overhead, and the payload-proportional service slope.
+/// Every fleet latency therefore traces back to the paper-calibrated
+/// XD1 timing model, not to invented constants.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/scenario.hpp"
+#include "tasks/hwfunction.hpp"
+#include "util/units.hpp"
+
+namespace prtr::fleet {
+
+/// Calibrated service model of one hardware function on one blade.
+struct TaskProfile {
+  /// Partial-reconfiguration cost of making this persona resident (the
+  /// forced-miss per-call cost minus the resident per-call cost).
+  std::int64_t configPs = 0;
+  /// Payload-independent per-call overhead (control transfer, decision).
+  std::int64_t execFixedPs = 0;
+  /// Payload-proportional service slope (input + compute + output).
+  double execPsPerByte = 0.0;
+  /// Configuration words one persona load writes (repair-round pricing).
+  std::uint64_t configWords = 0;
+
+  /// Resident (hit) service time for a `bytes`-byte request.
+  [[nodiscard]] std::int64_t execPs(std::uint64_t bytes) const noexcept {
+    return execFixedPs +
+           static_cast<std::int64_t>(execPsPerByte * static_cast<double>(bytes));
+  }
+};
+
+/// The per-function profiles one blade exposes to the fleet front end.
+struct BladeProfile {
+  std::vector<TaskProfile> tasks;
+  util::Bytes calibrationPayload{};
+
+  [[nodiscard]] std::size_t taskCount() const noexcept { return tasks.size(); }
+
+  /// Mean resident service time across tasks at `bytes` per request.
+  [[nodiscard]] std::int64_t meanExecPs(std::uint64_t bytes) const noexcept;
+  /// Mean persona-reconfiguration cost across tasks.
+  [[nodiscard]] std::int64_t meanConfigPs() const noexcept;
+};
+
+/// Calibrates every function of `registry` under `scenario` blade semantics
+/// (layout, basis, compression — hooks are stripped and sides forced to
+/// PRTR-only exactly as hprc::runChassis does). Three scenario runs per
+/// function: a resident run at `payload`, a resident run at half payload
+/// (splitting fixed overhead from the per-byte slope), and a forced-miss
+/// run pricing the persona reload and its ICAP word count.
+[[nodiscard]] BladeProfile calibrateBladeProfile(
+    const tasks::FunctionRegistry& registry,
+    const runtime::ScenarioOptions& scenario, util::Bytes payload);
+
+}  // namespace prtr::fleet

@@ -1,0 +1,803 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <sstream>
+
+#include "exec/pool.hpp"
+#include "prof/profiler.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace prtr::fleet {
+
+const char* toString(ArrivalProcess arrival) noexcept {
+  switch (arrival) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kFixedRate: return "fixed-rate";
+    case ArrivalProcess::kTrace: return "trace";
+  }
+  return "?";
+}
+
+const char* toString(RoutingPolicy routing) noexcept {
+  switch (routing) {
+    case RoutingPolicy::kLeastLoaded: return "least-loaded";
+    case RoutingPolicy::kPowerOfTwoChoices: return "p2c";
+    case RoutingPolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Interned ids for every fleet.* series. One bundle per run, shared
+/// read-only by all cells (ids are just indices).
+struct Ids {
+  obs::CounterId offered, admitted, shedBreaker, shedDeadline, shedQueue;
+  obs::CounterId completedOk, completedFailed, retries, retriesDenied;
+  obs::CounterId hedges, hedgeWins, hedgeCancelled;
+  obs::CounterId breakerOpens, breakerCloses, breakerHalfOpens;
+  obs::CounterId configLoads, configFaults, linkStalls;
+  obs::CounterId escalations, deescalations, bladeBusyPs;
+  obs::HistogramId latencyPs, queueWaitPs, servicePs, attempts;
+};
+
+Ids internIds() {
+  auto& t = obs::MetricTable::global();
+  Ids ids;
+  ids.offered = t.counter("fleet.offered");
+  ids.admitted = t.counter("fleet.admitted");
+  ids.shedBreaker = t.counter("fleet.shed.breaker");
+  ids.shedDeadline = t.counter("fleet.shed.deadline");
+  ids.shedQueue = t.counter("fleet.shed.queue");
+  ids.completedOk = t.counter("fleet.completed.ok");
+  ids.completedFailed = t.counter("fleet.completed.failed");
+  ids.retries = t.counter("fleet.retries");
+  ids.retriesDenied = t.counter("fleet.retries_denied");
+  ids.hedges = t.counter("fleet.hedges");
+  ids.hedgeWins = t.counter("fleet.hedge_wins");
+  ids.hedgeCancelled = t.counter("fleet.hedge_cancelled");
+  ids.breakerOpens = t.counter("fleet.breaker.opens");
+  ids.breakerCloses = t.counter("fleet.breaker.closes");
+  ids.breakerHalfOpens = t.counter("fleet.breaker.half_opens");
+  ids.configLoads = t.counter("fleet.config.loads");
+  ids.configFaults = t.counter("fleet.config.faults");
+  ids.linkStalls = t.counter("fleet.link.stalls");
+  ids.escalations = t.counter("fleet.blade.escalations");
+  ids.deescalations = t.counter("fleet.blade.deescalations");
+  ids.bladeBusyPs = t.counter("fleet.blade.busy_ps");
+  ids.latencyPs = t.histogram("fleet.latency_ps");
+  ids.queueWaitPs = t.histogram("fleet.queue_wait_ps");
+  ids.servicePs = t.histogram("fleet.service_ps");
+  ids.attempts = t.histogram("fleet.attempts");
+  return ids;
+}
+
+enum class EventKind : std::uint8_t { kArrival, kCompletion, kRetry, kHedge };
+
+struct Event {
+  std::int64_t timePs = 0;
+  std::uint64_t seq = 0;  ///< tie-break: events at equal times fire in
+                          ///< schedule order, making the heap a total order
+  EventKind kind = EventKind::kArrival;
+  std::uint32_t arg = 0;  ///< blade index (completion) or request index
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.timePs != b.timePs) return a.timePs > b.timePs;
+    return a.seq > b.seq;
+  }
+};
+
+struct Request {
+  std::int64_t arrivalPs = 0;
+  std::uint32_t task = 0;
+  std::uint64_t bytes = 0;
+  std::uint8_t attempts = 0;  ///< dispatches so far (fresh + retries)
+  bool done = false;
+  bool failed = false;
+  bool hedged = false;
+  std::int32_t primaryBlade = -1;
+  std::uint32_t inFlight = 0;  ///< copies currently queued or in service
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+struct Job {
+  std::uint32_t req = 0;
+  std::int64_t enqueuePs = 0;
+  bool probe = false;  ///< dispatched while the blade was half-open
+  bool hedge = false;  ///< the hedged copy, not the primary dispatch
+};
+
+/// Degradation multiplier on the calibrated persona-reload cost, indexed
+/// by RecoveryRung: heavier rungs re-verify and rewrite more frames
+/// (difference retry, module partial, occupancy-1.0 PRR rewrite, full
+/// device), mirroring the stream-size ratios of the PR-4 recovery ladder.
+constexpr double kRungConfigFactor[config::kRecoveryRungCount] = {
+    1.0, 1.25, 1.6, 2.5, 8.0};
+
+struct Blade {
+  std::deque<Job> queue;
+  Job current{};
+  bool busy = false;
+  bool currentFails = false;  ///< decided at service start
+  std::int32_t resident = -1;
+  std::size_t rung = 0;  ///< index into config::RecoveryRung
+  std::uint32_t consecFail = 0;
+  std::uint32_t consecOk = 0;
+  BreakerState state = BreakerState::kClosed;
+  std::int64_t reopenAtPs = 0;
+  std::uint32_t probesInFlight = 0;
+  std::uint32_t probeOk = 0;
+  fault::Plan plan{};
+  util::Rng rng{0};
+  std::uint64_t loadTick = 0;   ///< kFixedPeriod schedule over persona loads
+  std::uint64_t stallTick = 0;  ///< kFixedPeriod schedule over transfers
+  std::int64_t busyPs = 0;
+};
+
+struct CellResult {
+  obs::MetricsSnapshot metrics;
+  std::vector<double> utilization;
+  std::int64_t endPs = 0;
+};
+
+/// Registry::observe's bucket logic for a cell-local summary (the hedge
+/// delay reads its own cell's latency quantile without a snapshot).
+void observeLocal(obs::HistogramSummary& h, std::int64_t value) {
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[obs::HistogramSummary::bucketIndex(value)];
+}
+
+/// One fault draw: Poisson plans draw a Bernoulli from the blade's RNG;
+/// kFixedPeriod plans fire deterministically every fixedPeriod-th
+/// eligible event, with `rate` only gating eligibility.
+bool drawFault(Blade& blade, double rate, std::uint64_t& tick) {
+  if (rate <= 0.0) return false;
+  if (blade.plan.arrival == fault::Arrival::kFixedPeriod) {
+    return ++tick % std::max<std::uint64_t>(1, blade.plan.fixedPeriod) == 0;
+  }
+  return blade.rng.chance(std::min(rate, 0.95));
+}
+
+/// The whole state of one cell's simulation.
+struct Cell {
+  const FleetOptions& options;
+  const BladeProfile& profile;
+  const Ids& ids;
+  obs::Registry reg;
+  std::vector<Blade> blades;
+  std::vector<Request> requests;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
+  util::Rng rng;
+  std::uint64_t seq = 0;
+  std::uint64_t quota = 0;      ///< fresh requests this cell generates
+  std::uint64_t generated = 0;
+  std::uint64_t traceIdx = 0;
+  std::uint64_t rrCounter = 0;
+  double retryTokens = 0.0;
+  double hedgeTokens = 0.0;
+  std::int64_t meanServicePs = 1;
+  std::int64_t deadlineWaitPs = 0;
+  std::int64_t interarrivalPs = 1;
+  std::int64_t nowPs = 0;
+  std::int64_t endPs = 0;
+  obs::HistogramSummary localLatency;
+  std::vector<std::uint32_t> eligible;  ///< routing scratch
+
+  Cell(const FleetOptions& opt, const BladeProfile& prof, const Ids& i,
+       std::size_t cellIdx)
+      : options(opt),
+        profile(prof),
+        ids(i),
+        rng(opt.seed ^ (0x9e3779b97f4a7c15ULL * (cellIdx + 1))) {}
+
+  void schedule(std::int64_t atPs, EventKind kind, std::uint32_t arg) {
+    heap.push(Event{atPs, seq++, kind, arg});
+  }
+
+  std::size_t taskCount() const { return profile.tasks.size(); }
+
+  /// Lazy time-based breaker transition: Open cools down into HalfOpen
+  /// the first time routing looks at the blade past its reopen time.
+  void refreshBreaker(Blade& blade) {
+    if (blade.state == BreakerState::kOpen && nowPs >= blade.reopenAtPs) {
+      blade.state = BreakerState::kHalfOpen;
+      blade.probesInFlight = 0;
+      blade.probeOk = 0;
+      reg.add(ids.breakerHalfOpens);
+    }
+  }
+
+  bool bladeEligible(Blade& blade) {
+    if (!options.breaker.enabled) return true;
+    refreshBreaker(blade);
+    if (blade.state == BreakerState::kClosed) return true;
+    return blade.state == BreakerState::kHalfOpen &&
+           blade.probesInFlight < options.breaker.halfOpenProbes;
+  }
+
+  std::size_t depth(const Blade& blade) const {
+    return blade.queue.size() + (blade.busy ? 1u : 0u);
+  }
+
+  /// Routes among currently eligible blades, optionally excluding one
+  /// (retries avoid the blade that just failed; hedges avoid the
+  /// primary). Returns -1 when no blade is eligible.
+  std::int32_t route(std::int32_t exclude) {
+    eligible.clear();
+    for (std::uint32_t b = 0; b < blades.size(); ++b) {
+      if (static_cast<std::int32_t>(b) == exclude) continue;
+      if (bladeEligible(blades[b])) eligible.push_back(b);
+    }
+    if (eligible.empty() && exclude >= 0 &&
+        bladeEligible(blades[static_cast<std::size_t>(exclude)])) {
+      eligible.push_back(static_cast<std::uint32_t>(exclude));
+    }
+    if (eligible.empty()) return -1;
+    switch (options.routing) {
+      case RoutingPolicy::kRoundRobin:
+        return static_cast<std::int32_t>(
+            eligible[rrCounter++ % eligible.size()]);
+      case RoutingPolicy::kLeastLoaded: {
+        std::uint32_t best = eligible[0];
+        for (std::uint32_t b : eligible) {
+          if (depth(blades[b]) < depth(blades[best])) best = b;
+        }
+        return static_cast<std::int32_t>(best);
+      }
+      case RoutingPolicy::kPowerOfTwoChoices: {
+        const std::uint32_t a = eligible[rng.below(eligible.size())];
+        const std::uint32_t b = eligible[rng.below(eligible.size())];
+        const std::uint32_t lo = std::min(a, b);
+        const std::uint32_t hi = std::max(a, b);
+        return static_cast<std::int32_t>(
+            depth(blades[hi]) < depth(blades[lo]) ? hi : lo);
+      }
+    }
+    return -1;
+  }
+
+  void startService(std::uint32_t bladeIdx, Job job) {
+    Blade& blade = blades[bladeIdx];
+    Request& r = requests[job.req];
+    const TaskProfile& t = profile.tasks[r.task];
+    reg.observe(ids.queueWaitPs, nowPs - job.enqueuePs);
+
+    std::int64_t servicePs = 0;
+    bool willFail = false;
+    if (drawFault(blade, blade.plan.linkStallRate, blade.stallTick)) {
+      servicePs += blade.plan.stallDuration.ps();
+      reg.add(ids.linkStalls);
+    }
+    // A blade degraded to the full-PRR rung or beyond has lost confidence
+    // in its resident persona: it reloads on every dispatch.
+    const bool needsConfig =
+        blade.resident != static_cast<std::int32_t>(r.task) ||
+        blade.rung >= static_cast<std::size_t>(
+                          config::RecoveryRung::kFullPrrReload);
+    if (needsConfig) {
+      reg.add(ids.configLoads);
+      const std::int64_t configPs = static_cast<std::int64_t>(
+          static_cast<double>(t.configPs) * kRungConfigFactor[blade.rung]);
+      servicePs += configPs;
+      const double loadRate =
+          blade.plan.transferTimeoutRate + blade.plan.icapAbortRate +
+          blade.plan.apiRejectRate +
+          blade.plan.wordFlipRate * static_cast<double>(t.configWords);
+      if (drawFault(blade, loadRate, blade.loadTick)) {
+        // The load aborts: the config attempt is wasted and the request
+        // never reaches the fabric.
+        willFail = true;
+        reg.add(ids.configFaults);
+      }
+    }
+    if (!willFail) servicePs += t.execPs(r.bytes);
+    servicePs = std::max<std::int64_t>(1, servicePs);
+
+    blade.busy = true;
+    blade.current = job;
+    blade.currentFails = willFail;
+    blade.busyPs += servicePs;
+    reg.observe(ids.servicePs, servicePs);
+    schedule(nowPs + servicePs, EventKind::kCompletion, bladeIdx);
+  }
+
+  void dispatch(std::uint32_t bladeIdx, std::uint32_t reqIdx, bool hedge) {
+    Blade& blade = blades[bladeIdx];
+    Request& r = requests[reqIdx];
+    Job job;
+    job.req = reqIdx;
+    job.enqueuePs = nowPs;
+    job.hedge = hedge;
+    if (options.breaker.enabled && blade.state == BreakerState::kHalfOpen) {
+      job.probe = true;
+      ++blade.probesInFlight;
+    }
+    ++r.attempts;
+    ++r.inFlight;
+    if (!hedge) r.primaryBlade = static_cast<std::int32_t>(bladeIdx);
+    if (blade.busy) {
+      blade.queue.push_back(job);
+    } else {
+      startService(bladeIdx, job);
+    }
+  }
+
+  /// Admission -> routing -> dispatch for one fresh arrival. Sheds (and
+  /// returns) when no breaker admits traffic, the queue is over depth,
+  /// or the estimated wait blows the SLO-derived deadline.
+  void admitFresh(std::uint32_t reqIdx) {
+    Request& r = requests[reqIdx];
+    reg.add(ids.offered);
+    const std::int32_t choice = route(/*exclude=*/-1);
+    if (choice < 0) {
+      reg.add(ids.shedBreaker);
+      r.failed = true;
+      return;
+    }
+    const auto bladeIdx = static_cast<std::uint32_t>(choice);
+    const std::size_t d = depth(blades[bladeIdx]);
+    if (d >= options.admission.maxQueueDepth) {
+      reg.add(ids.shedQueue);
+      r.failed = true;
+      return;
+    }
+    if (static_cast<std::int64_t>(d) * meanServicePs > deadlineWaitPs) {
+      reg.add(ids.shedDeadline);
+      r.failed = true;
+      return;
+    }
+    reg.add(ids.admitted);
+    retryTokens = std::min(options.retry.burstTokens,
+                           retryTokens + options.retry.budgetFraction);
+    if (options.hedge.enabled) {
+      hedgeTokens = std::min(options.hedge.burstTokens,
+                             hedgeTokens + options.hedge.budgetFraction);
+    }
+    dispatch(bladeIdx, reqIdx, /*hedge=*/false);
+    if (options.hedge.enabled &&
+        localLatency.count >= options.hedge.minSamples) {
+      const auto delayPs = static_cast<std::int64_t>(
+          localLatency.quantile(options.hedge.quantile));
+      schedule(nowPs + std::max<std::int64_t>(1, delayPs), EventKind::kHedge,
+               reqIdx);
+    }
+  }
+
+  void generateArrival() {
+    Request r;
+    r.arrivalPs = nowPs;
+    if (options.arrival == ArrivalProcess::kTrace) {
+      const TraceArrival& ta =
+          options.trace[traceIdx++ % options.trace.size()];
+      r.task = ta.task >= 0 ? static_cast<std::uint32_t>(ta.task) %
+                                  static_cast<std::uint32_t>(taskCount())
+                            : drawTask();
+      r.bytes = ta.bytes > 0 ? ta.bytes : drawBytes();
+    } else {
+      r.task = drawTask();
+      r.bytes = drawBytes();
+    }
+    const auto reqIdx = static_cast<std::uint32_t>(requests.size());
+    requests.push_back(r);
+    admitFresh(reqIdx);
+    ++generated;
+    if (generated < quota) scheduleNextArrival();
+  }
+
+  std::uint32_t drawTask() {
+    const std::uint64_t user = rng.below(options.users);
+    if (rng.chance(options.taskAffinity)) {
+      return static_cast<std::uint32_t>(user % taskCount());
+    }
+    return static_cast<std::uint32_t>(rng.below(taskCount()));
+  }
+
+  std::uint64_t drawBytes() {
+    const double base = static_cast<double>(options.payloadBytes.count());
+    const double lo = base * (1.0 - options.payloadSpread);
+    const double hi = base * (1.0 + options.payloadSpread);
+    return static_cast<std::uint64_t>(
+        std::max(1.0, options.payloadSpread > 0.0 ? rng.uniform(lo, hi)
+                                                  : base));
+  }
+
+  void scheduleNextArrival() {
+    std::int64_t gapPs = interarrivalPs;
+    switch (options.arrival) {
+      case ArrivalProcess::kPoisson:
+        gapPs = static_cast<std::int64_t>(
+            rng.exponential(static_cast<double>(interarrivalPs)));
+        break;
+      case ArrivalProcess::kFixedRate:
+        break;
+      case ArrivalProcess::kTrace:
+        gapPs = options.trace[traceIdx % options.trace.size()].deltaPs;
+        break;
+    }
+    schedule(nowPs + std::max<std::int64_t>(1, gapPs), EventKind::kArrival, 0);
+  }
+
+  /// A request reached a terminal failure (attempts exhausted or retry
+  /// budget empty) with no copy left in flight.
+  void finishFailed(Request& r) {
+    r.failed = true;
+    reg.add(ids.completedFailed);
+    reg.observe(ids.attempts, r.attempts);
+  }
+
+  void onCompletion(std::uint32_t bladeIdx) {
+    Blade& blade = blades[bladeIdx];
+    const Job job = blade.current;
+    const bool fail = blade.currentFails;
+    blade.busy = false;
+    Request& r = requests[job.req];
+    --r.inFlight;
+
+    // Blade health: the recovery ladder slides on failure streaks and
+    // climbs back on success streaks.
+    if (fail) {
+      blade.consecOk = 0;
+      ++blade.consecFail;
+      if (blade.consecFail % options.escalateAfter == 0 &&
+          blade.rung + 1 < config::kRecoveryRungCount) {
+        ++blade.rung;
+        reg.add(ids.escalations);
+      }
+    } else {
+      blade.consecFail = 0;
+      ++blade.consecOk;
+      blade.resident = static_cast<std::int32_t>(r.task);
+      if (blade.consecOk >= options.recoverAfter && blade.rung > 0) {
+        --blade.rung;
+        blade.consecOk = 0;
+        reg.add(ids.deescalations);
+      }
+    }
+
+    // Breaker transitions. Probe jobs settle the half-open state; closed
+    // blades open on failure streaks or a degraded-enough ladder rung.
+    if (options.breaker.enabled) {
+      if (job.probe && blade.state == BreakerState::kHalfOpen) {
+        if (blade.probesInFlight > 0) --blade.probesInFlight;
+        if (fail) {
+          blade.state = BreakerState::kOpen;
+          blade.reopenAtPs = nowPs + options.breaker.openDuration.ps();
+          reg.add(ids.breakerOpens);
+        } else {
+          ++blade.probeOk;
+          if (blade.probeOk >= options.breaker.probeSuccesses) {
+            blade.state = BreakerState::kClosed;
+            blade.consecFail = 0;
+            reg.add(ids.breakerCloses);
+          }
+        }
+      } else if (blade.state == BreakerState::kClosed && fail &&
+                 (blade.consecFail >= options.breaker.consecutiveFailures ||
+                  blade.rung >= static_cast<std::size_t>(
+                                    options.breaker.openRung))) {
+        blade.state = BreakerState::kOpen;
+        blade.reopenAtPs = nowPs + options.breaker.openDuration.ps();
+        reg.add(ids.breakerOpens);
+      }
+    }
+
+    // Request outcome. A copy finishing after the request is already done
+    // is the losing side of a hedge; it only updated blade health.
+    if (!r.done) {
+      if (!fail) {
+        r.done = true;
+        reg.add(ids.completedOk);
+        const std::int64_t latencyPs = nowPs - r.arrivalPs;
+        reg.observe(ids.latencyPs, latencyPs);
+        observeLocal(localLatency, latencyPs);
+        reg.observe(ids.attempts, r.attempts);
+        if (job.hedge) reg.add(ids.hedgeWins);
+      } else if (r.inFlight == 0) {
+        if (r.attempts < options.retry.maxAttempts) {
+          if (retryTokens >= 1.0) {
+            retryTokens -= 1.0;
+            reg.add(ids.retries);
+            const double backoff =
+                static_cast<double>(options.retry.backoffBase.ps()) *
+                std::pow(options.retry.backoffFactor, r.attempts - 1);
+            schedule(nowPs + std::max<std::int64_t>(
+                                 1, static_cast<std::int64_t>(backoff)),
+                     EventKind::kRetry, job.req);
+          } else {
+            reg.add(ids.retriesDenied);
+            finishFailed(r);
+          }
+        } else {
+          finishFailed(r);
+        }
+      }
+    }
+
+    pumpQueue(bladeIdx);
+  }
+
+  /// Starts the next queued job, discarding copies whose request already
+  /// finished (hedge losers cancelled at dequeue — they cost nothing).
+  void pumpQueue(std::uint32_t bladeIdx) {
+    Blade& blade = blades[bladeIdx];
+    while (!blade.busy && !blade.queue.empty()) {
+      const Job job = blade.queue.front();
+      blade.queue.pop_front();
+      Request& r = requests[job.req];
+      if (r.done) {
+        --r.inFlight;
+        reg.add(ids.hedgeCancelled);
+        if (job.probe && blade.state == BreakerState::kHalfOpen &&
+            blade.probesInFlight > 0) {
+          --blade.probesInFlight;
+        }
+        continue;
+      }
+      startService(bladeIdx, job);
+    }
+  }
+
+  void onRetry(std::uint32_t reqIdx) {
+    Request& r = requests[reqIdx];
+    if (r.done || r.failed) return;
+    const std::int32_t choice = route(r.primaryBlade);
+    if (choice < 0) {
+      finishFailed(r);
+      return;
+    }
+    dispatch(static_cast<std::uint32_t>(choice), reqIdx, /*hedge=*/false);
+  }
+
+  void onHedge(std::uint32_t reqIdx) {
+    Request& r = requests[reqIdx];
+    // Hedge only a request whose primary is still grinding: not done, not
+    // already hedged, not sitting between retries.
+    if (r.done || r.failed || r.hedged || r.inFlight == 0) return;
+    if (hedgeTokens < 1.0) return;
+    const std::int32_t choice = route(r.primaryBlade);
+    if (choice < 0 ||
+        choice == r.primaryBlade) {
+      return;
+    }
+    hedgeTokens -= 1.0;
+    r.hedged = true;
+    reg.add(ids.hedges);
+    dispatch(static_cast<std::uint32_t>(choice), reqIdx, /*hedge=*/true);
+  }
+
+  CellResult run(std::size_t cellIdx) {
+    const std::size_t totalBlades = options.cells * options.bladesPerCell;
+    const std::uint64_t degradedCount = static_cast<std::uint64_t>(
+        std::llround(options.degradedFraction *
+                     static_cast<double>(totalBlades)));
+    blades.resize(options.bladesPerCell);
+    for (std::size_t b = 0; b < blades.size(); ++b) {
+      const std::uint64_t g = cellIdx * options.bladesPerCell + b;
+      // Bresenham spread: blade g is degraded iff the running quota
+      // (g+1)*count/total advances past g*count/total — every cell gets
+      // its proportional share of hostile blades.
+      const bool degraded =
+          ((g + 1) * degradedCount) / totalBlades >
+          (g * degradedCount) / totalBlades;
+      blades[b].plan =
+          (degraded ? options.degradedFaults : options.faults).forNode(g);
+      blades[b].rng = util::Rng{blades[b].plan.seed};
+    }
+
+    const std::uint64_t base = options.requests / options.cells;
+    const std::uint64_t rem = options.requests % options.cells;
+    quota = base + (cellIdx < rem ? 1 : 0);
+
+    // Arrival rate from the calibrated service model: a uniform task mix
+    // misses the resident persona with probability (1 - 1/tasks), so the
+    // expected service is exec plus that fraction of a persona reload.
+    const double missFraction =
+        taskCount() > 1
+            ? 1.0 - 1.0 / static_cast<double>(taskCount())
+            : 0.0;
+    meanServicePs = std::max<std::int64_t>(
+        1, profile.meanExecPs(options.payloadBytes.count()) +
+               static_cast<std::int64_t>(
+                   missFraction *
+                   static_cast<double>(profile.meanConfigPs())));
+    deadlineWaitPs = static_cast<std::int64_t>(
+        options.admission.sloFactor * static_cast<double>(meanServicePs));
+    interarrivalPs = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               static_cast<double>(meanServicePs) /
+               (options.offeredLoad *
+                static_cast<double>(options.bladesPerCell))));
+
+    requests.reserve(quota);
+    if (quota > 0) scheduleNextArrival();
+    while (!heap.empty()) {
+      const Event e = heap.top();
+      heap.pop();
+      nowPs = e.timePs;
+      endPs = std::max(endPs, nowPs);
+      switch (e.kind) {
+        case EventKind::kArrival: generateArrival(); break;
+        case EventKind::kCompletion: onCompletion(e.arg); break;
+        case EventKind::kRetry: onRetry(e.arg); break;
+        case EventKind::kHedge: onHedge(e.arg); break;
+      }
+    }
+
+    CellResult result;
+    result.endPs = endPs;
+    result.utilization.reserve(blades.size());
+    for (const Blade& blade : blades) {
+      reg.add(ids.bladeBusyPs, static_cast<std::uint64_t>(blade.busyPs));
+      result.utilization.push_back(
+          endPs > 0 ? static_cast<double>(blade.busyPs) /
+                          static_cast<double>(endPs)
+                    : 0.0);
+    }
+    result.metrics = reg.snapshot();
+    return result;
+  }
+};
+
+void validate(const FleetOptions& options) {
+  util::require(options.cells >= 1, "runFleet: need at least one cell");
+  util::require(options.bladesPerCell >= 1 && options.bladesPerCell <= 6,
+                "runFleet: an XD1 chassis holds 1..6 blades");
+  util::require(options.requests >= 1, "runFleet: need at least one request");
+  util::require(options.offeredLoad > 0.0,
+                "runFleet: offeredLoad must be positive");
+  util::require(options.users >= 1, "runFleet: need at least one user");
+  util::require(options.taskAffinity >= 0.0 && options.taskAffinity <= 1.0,
+                "runFleet: taskAffinity must be within [0, 1]");
+  util::require(options.payloadSpread >= 0.0 && options.payloadSpread < 1.0,
+                "runFleet: payloadSpread must be within [0, 1)");
+  util::require(options.payloadBytes.count() >= 2,
+                "runFleet: payload too small");
+  util::require(options.retry.maxAttempts >= 1,
+                "runFleet: retry.maxAttempts must be at least 1");
+  util::require(options.retry.budgetFraction >= 0.0,
+                "runFleet: retry.budgetFraction must be non-negative");
+  util::require(!options.hedge.enabled ||
+                    (options.hedge.quantile > 0.0 &&
+                     options.hedge.quantile < 1.0),
+                "runFleet: hedge.quantile must be within (0, 1)");
+  util::require(options.arrival != ArrivalProcess::kTrace ||
+                    !options.trace.empty(),
+                "runFleet: trace arrivals need a non-empty trace");
+  util::require(
+      options.degradedFraction >= 0.0 && options.degradedFraction <= 1.0,
+      "runFleet: degradedFraction must be within [0, 1]");
+  util::require(options.escalateAfter >= 1 && options.recoverAfter >= 1,
+                "runFleet: escalate/recover streaks must be at least 1");
+}
+
+}  // namespace
+
+std::string FleetReport::toString() const {
+  std::ostringstream os;
+  os << "fleet: " << offered << " offered, " << admitted << " admitted, "
+     << shed << " shed (" << shedRate() << "), " << completed << " ok, "
+     << failed << " failed\n";
+  os << "  latency p50/p95/p99 " << latency.p50() << '/' << latency.p95()
+     << '/' << latency.p99() << " ps over " << latency.count << " requests\n";
+  os << "  retries " << retries << " (budget consumption "
+     << retryBudgetConsumption() << ", denied " << retriesDenied
+     << "), hedges " << hedges << " (won " << hedgeWins << ")\n";
+  os << "  breaker opens " << breakerOpens << ", closes " << breakerCloses
+     << "; utilization " << utilizationMin << '/' << utilizationMean << '/'
+     << utilizationMax << " over makespan " << makespan.toString() << '\n';
+  return os.str();
+}
+
+FleetReport runFleet(const tasks::FunctionRegistry& registry,
+                     const BladeProfile& profile,
+                     const FleetOptions& options) {
+  validate(options);
+  util::require(profile.tasks.size() == registry.size(),
+                "runFleet: profile does not match the function registry");
+  util::require(!profile.tasks.empty(), "runFleet: empty blade profile");
+  const prof::Scope runScope{options.hooks.profiler, "fleet.run"};
+  const Ids ids = internIds();
+
+  std::vector<std::size_t> cellIndices(options.cells);
+  for (std::size_t c = 0; c < cellIndices.size(); ++c) cellIndices[c] = c;
+  std::vector<CellResult> cells = exec::parallelMap(
+      cellIndices,
+      [&](const std::size_t cell) {
+        Cell state{options, profile, ids, cell};
+        return state.run(cell);
+      },
+      exec::ForOptions{.threads = options.threads});
+
+  // Per-cell snapshots are additive (counters and histograms only), so the
+  // ordered tree reduction folds them without prefixes — byte-identical to
+  // a left-to-right merge at any thread count.
+  FleetReport report;
+  std::vector<obs::MetricsSnapshot> leaves;
+  leaves.reserve(cells.size());
+  for (CellResult& cell : cells) {
+    report.makespan =
+        std::max(report.makespan, util::Time::picoseconds(cell.endPs));
+    leaves.push_back(std::move(cell.metrics));
+  }
+  report.metrics = obs::reduceSnapshots(std::move(leaves));
+
+  const obs::MetricsSnapshot& m = report.metrics;
+  report.offered = m.counterOr("fleet.offered");
+  report.admitted = m.counterOr("fleet.admitted");
+  report.shed = m.counterOr("fleet.shed.breaker") +
+                m.counterOr("fleet.shed.deadline") +
+                m.counterOr("fleet.shed.queue");
+  report.completed = m.counterOr("fleet.completed.ok");
+  report.failed = m.counterOr("fleet.completed.failed");
+  report.retries = m.counterOr("fleet.retries");
+  report.retriesDenied = m.counterOr("fleet.retries_denied");
+  report.hedges = m.counterOr("fleet.hedges");
+  report.hedgeWins = m.counterOr("fleet.hedge_wins");
+  report.breakerOpens = m.counterOr("fleet.breaker.opens");
+  report.breakerCloses = m.counterOr("fleet.breaker.closes");
+  if (const auto it = m.histograms.find("fleet.latency_ps");
+      it != m.histograms.end()) {
+    report.latency = it->second;
+  }
+
+  double utilSum = 0.0;
+  std::size_t utilCount = 0;
+  for (const CellResult& cell : cells) {
+    for (const double u : cell.utilization) {
+      if (utilCount == 0) {
+        report.utilizationMin = u;
+        report.utilizationMax = u;
+      } else {
+        report.utilizationMin = std::min(report.utilizationMin, u);
+        report.utilizationMax = std::max(report.utilizationMax, u);
+      }
+      utilSum += u;
+      ++utilCount;
+    }
+  }
+  report.utilizationMean =
+      utilCount ? utilSum / static_cast<double>(utilCount) : 0.0;
+
+  report.metrics.counters["fleet.cells"] = options.cells;
+  report.metrics.counters["fleet.blades"] =
+      options.cells * options.bladesPerCell;
+  report.metrics.counters["fleet.makespan_ps"] =
+      static_cast<std::uint64_t>(report.makespan.ps());
+  report.metrics.gauges["fleet.utilization.min"] = report.utilizationMin;
+  report.metrics.gauges["fleet.utilization.mean"] = report.utilizationMean;
+  report.metrics.gauges["fleet.utilization.max"] = report.utilizationMax;
+  report.metrics.gauges["fleet.retry.budget_consumption"] =
+      report.retryBudgetConsumption();
+  report.metrics.gauges["fleet.shed.rate"] = report.shedRate();
+
+  if (options.hooks.metrics) options.hooks.metrics->absorb(report.metrics);
+  if (options.hooks.shardedMetrics) {
+    options.hooks.shardedMetrics->local().absorbAdditive(report.metrics);
+  }
+  return report;
+}
+
+FleetReport runFleet(const tasks::FunctionRegistry& registry,
+                     const FleetOptions& options) {
+  const BladeProfile profile =
+      calibrateBladeProfile(registry, options.calibration,
+                            options.payloadBytes);
+  return runFleet(registry, profile, options);
+}
+
+}  // namespace prtr::fleet

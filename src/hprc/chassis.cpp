@@ -60,6 +60,16 @@ std::vector<tasks::Workload> partitionWorkload(const tasks::Workload& workload,
   return shares;
 }
 
+runtime::ScenarioOptions bladeScenarioOptions(
+    const runtime::ScenarioOptions& scenario, std::uint64_t blade) {
+  runtime::ScenarioOptions bladeOptions = scenario;
+  bladeOptions.sides = runtime::ScenarioSides::kPrtrOnly;
+  bladeOptions.hooks = obs::Hooks{};
+  bladeOptions.hooks.profiler = scenario.hooks.profiler;
+  bladeOptions.faults = scenario.faults.forNode(blade);
+  return bladeOptions;
+}
+
 ChassisReport runChassis(const tasks::FunctionRegistry& registry,
                          const tasks::Workload& workload,
                          const ChassisOptions& options) {
@@ -68,25 +78,20 @@ ChassisReport runChassis(const tasks::FunctionRegistry& registry,
   const auto shares =
       partitionWorkload(workload, options.blades, options.partition);
 
-  // Blades run on host threads: each gets a hook-free options copy so no
-  // caller-owned timeline/registry is shared across threads. Metrics are
-  // merged (and handed to the caller's hooks) after the parallel region.
-  // The profiler is the one hook that survives: it aggregates under its own
-  // lock, so the blades share it safely.
   const prof::Scope runScope{options.scenario.hooks.profiler, "chassis.run"};
-  runtime::ScenarioOptions bladeOptions = options.scenario;
-  bladeOptions.sides = runtime::ScenarioSides::kPrtrOnly;
-  bladeOptions.hooks = obs::Hooks{};
-  bladeOptions.hooks.profiler = options.scenario.hooks.profiler;
 
   ChassisReport report;
+  std::vector<std::size_t> bladeIndices(shares.size());
+  for (std::size_t b = 0; b < bladeIndices.size(); ++b) bladeIndices[b] = b;
   report.blades = exec::parallelMap(
-      shares,
-      [&](const tasks::Workload& share) {
+      bladeIndices,
+      [&](const std::size_t blade) {
+        const runtime::ScenarioOptions bladeOptions =
+            bladeScenarioOptions(options.scenario, blade);
         const prof::Scope bladeScope{bladeOptions.hooks.profiler,
                                      "chassis.blade"};
-        if (share.calls.empty()) return runtime::ExecutionReport{};
-        return runtime::runScenario(registry, share, bladeOptions).prtr;
+        if (shares[blade].calls.empty()) return runtime::ExecutionReport{};
+        return runtime::runScenario(registry, shares[blade], bladeOptions).prtr;
       },
       exec::ForOptions{.threads = options.threads});
 

@@ -9,6 +9,7 @@
 /// to any of the available HPRC systems" at system scale.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,15 @@ struct ChassisOptions {
 /// Splits `workload` per the partitioning strategy.
 [[nodiscard]] std::vector<tasks::Workload> partitionWorkload(
     const tasks::Workload& workload, std::size_t blades, Partition partition);
+
+/// One blade's ScenarioOptions: a hook-free, PRTR-only copy of `scenario`
+/// so no caller-owned timeline/registry is shared across blade threads (the
+/// profiler survives — it aggregates under its own lock). Fault plans are
+/// re-seeded per blade via fault::Plan::forNode, so multi-blade chaos runs
+/// draw independent injection streams per node. Shared by runChassis and
+/// the fleet layer's blade calibration.
+[[nodiscard]] runtime::ScenarioOptions bladeScenarioOptions(
+    const runtime::ScenarioOptions& scenario, std::uint64_t blade);
 
 /// Runs `workload` across the chassis under PRTR and returns the aggregate.
 [[nodiscard]] ChassisReport runChassis(const tasks::FunctionRegistry& registry,

@@ -10,8 +10,6 @@
 #include <unordered_map>
 #include <utility>
 
-#include "util/deprecation.hpp"
-
 namespace prtr::obs {
 namespace {
 
@@ -406,38 +404,6 @@ void Registry::growGauges(GaugeId id) { gauges_.resize(id.index() + 1); }
 void Registry::growHistograms(HistogramId id) {
   histograms_.resize(id.index() + 1);
 }
-
-// The deprecated string shims forward into the id path; the pragma silences
-// the self-referential deprecation warning on their own definitions.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-void Registry::add(std::string_view name, std::uint64_t delta,
-                   const std::source_location& where) {
-  util::detail::warnDeprecatedOnce(
-      "obs::Registry::add(string)",
-      "MetricTable::global().counter() once, then add(CounterId)", where);
-  add(MetricTable::global().counter(name), delta);
-}
-
-void Registry::set(std::string_view name, double value,
-                   const std::source_location& where) {
-  util::detail::warnDeprecatedOnce(
-      "obs::Registry::set(string)",
-      "MetricTable::global().gauge() once, then set(GaugeId)", where);
-  set(MetricTable::global().gauge(name), value);
-}
-
-void Registry::observe(std::string_view name, std::int64_t value,
-                       const std::source_location& where) {
-  util::detail::warnDeprecatedOnce(
-      "obs::Registry::observe(string)",
-      "MetricTable::global().histogram() once, then observe(HistogramId)",
-      where);
-  observe(MetricTable::global().histogram(name), value);
-}
-
-#pragma GCC diagnostic pop
 
 void Registry::absorb(const MetricsSnapshot& snapshot,
                       const std::string& prefix) {

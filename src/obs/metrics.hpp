@@ -29,7 +29,6 @@
 #include <memory>
 #include <optional>
 #include <shared_mutex>
-#include <source_location>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -270,19 +269,9 @@ class Registry {
     ++h.buckets[HistogramSummary::bucketIndex(value)];
   }
 
-  /// Deprecated string shims: intern on every call (a lock plus a hash
-  /// probe the id path never pays) and warn once per call site.
-  [[deprecated("intern once via MetricTable::counter and add by CounterId")]]
-  void add(std::string_view name, std::uint64_t delta = 1,
-           const std::source_location& where = std::source_location::current());
-  [[deprecated("intern once via MetricTable::gauge and set by GaugeId")]]
-  void set(std::string_view name, double value,
-           const std::source_location& where = std::source_location::current());
-  [[deprecated(
-      "intern once via MetricTable::histogram and observe by HistogramId")]]
-  void observe(
-      std::string_view name, std::int64_t value,
-      const std::source_location& where = std::source_location::current());
+  // The PR 4/7 string shims (add/set/observe by name) are gone: intern
+  // once via MetricTable and record by id. obs_metrics_test.cpp pins the
+  // removal with a negative-compile check.
 
   /// Folds a finished snapshot into this registry (prefixing as in
   /// MetricsSnapshot::merge). This is how per-run snapshots reach a

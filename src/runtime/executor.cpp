@@ -42,6 +42,8 @@ struct ScrapeIds {
       recVerifications, recVerifyFailures, recFrameRepairs, recEscalations,
       recFullDeviceFallbacks, recDegradedTo, recBackoffPs, recVerifyPs,
       recRepairPs;
+  std::array<obs::CounterId, config::kRecoveryRungCount> recLanded;
+  obs::HistogramId recLadderDepth;
 };
 
 const ScrapeIds& scrapeIds() {
@@ -77,6 +79,12 @@ const ScrapeIds& scrapeIds() {
     out.recBackoffPs = t.counter("recovery.backoff_ps");
     out.recVerifyPs = t.counter("recovery.verify_ps");
     out.recRepairPs = t.counter("recovery.repair_ps");
+    for (std::size_t r = 0; r < config::kRecoveryRungCount; ++r) {
+      const auto rung = static_cast<config::RecoveryRung>(r);
+      out.recLanded[r] = t.counter(std::string("recovery.landed.") +
+                                   config::metricSuffix(rung));
+    }
+    out.recLadderDepth = t.histogram("recovery.ladder_depth");
     return out;
   }();
   return ids;
@@ -184,6 +192,17 @@ void scrapeExecutionMetrics(ExecutionReport& report, xd1::Node& node,
     reg.add(m.recBackoffPs, asCount(rs.backoffTime));
     reg.add(m.recVerifyPs, asCount(rs.verifyTime));
     reg.add(m.recRepairPs, asCount(rs.repairTime));
+    // Full ladder-depth distribution: one counter per rung, plus a histogram
+    // whose observations are the rung indices every recovering load landed
+    // on — so merged snapshots expose p50/p95 degradation depth, not just
+    // the worst-rung scalar above.
+    for (std::size_t r = 0; r < config::kRecoveryRungCount; ++r) {
+      if (rs.landedOnRung[r] == 0) continue;
+      reg.add(m.recLanded[r], rs.landedOnRung[r]);
+      for (std::uint64_t n = 0; n < rs.landedOnRung[r]; ++n) {
+        reg.observe(m.recLadderDepth, static_cast<std::int64_t>(r));
+      }
+    }
   }
 
   if (cache != nullptr) {

@@ -5,7 +5,6 @@
 #include <set>
 #include <sstream>
 
-#include "util/deprecation.hpp"
 #include "util/error.hpp"
 
 namespace prtr::sim {
@@ -111,20 +110,5 @@ std::string Timeline::renderGantt(int width) const {
   }
   return os.str();
 }
-
-// Deprecated shim. Defining it here must not warn under -Werror.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-void Timeline::record(std::string_view laneName, std::string_view labelName,
-                      char glyph, util::Time start, util::Time end,
-                      const std::source_location& where) {
-  util::detail::warnDeprecatedOnce(
-      "sim::Timeline::record(lane, label, ...)",
-      "Timeline::lane()/label() ids with record(LaneId, LabelId, ...)", where);
-  record(lane(laneName), label(labelName), glyph, start, end);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace prtr::sim

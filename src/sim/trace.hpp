@@ -14,7 +14,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <source_location>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,13 +58,8 @@ class Timeline {
   void record(LaneId lane, LabelId label, char glyph, util::Time start,
               util::Time end);
 
-  /// Deprecated string convenience: interns both names on every call. Warns
-  /// once per call site; use cached ids from lane()/label() instead.
-  [[deprecated(
-      "intern once via Timeline::lane()/label() and record by id")]] void
-  record(std::string_view lane, std::string_view label, char glyph,
-         util::Time start, util::Time end,
-         const std::source_location& where = std::source_location::current());
+  // The PR 7 string-name record() shim is gone: intern via lane()/label()
+  // and record by id. sim_kernel_test.cpp pins the removal.
 
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;

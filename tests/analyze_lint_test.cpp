@@ -15,6 +15,7 @@
 
 #include "analyze/checks_bitstream.hpp"
 #include "analyze/checks_fault.hpp"
+#include "analyze/checks_fleet.hpp"
 #include "analyze/checks_floorplan.hpp"
 #include "analyze/checks_model.hpp"
 #include "analyze/checks_scenario.hpp"
@@ -123,12 +124,13 @@ TEST(RuleCatalog, CodesAreGroupedSortedUniqueAndPrefixConsistent) {
                               : prefix == "BS" ? Category::kBitstream
                               : prefix == "MD" ? Category::kModel
                               : prefix == "FT" ? Category::kFault
+                              : prefix == "FL" ? Category::kFleet
                               : prefix == "RC" ? Category::kRace
                               : prefix == "TL" ? Category::kTimeline
                                                : Category::kDeterminism;
     EXPECT_TRUE(prefix == "FP" || prefix == "BS" || prefix == "MD" ||
-                prefix == "FT" || prefix == "RC" || prefix == "TL" ||
-                prefix == "DT")
+                prefix == "FT" || prefix == "FL" || prefix == "RC" ||
+                prefix == "TL" || prefix == "DT")
         << code;
     EXPECT_EQ(rule.category, expected) << code;
     EXPECT_STRNE(rule.summary, "") << code;
@@ -154,6 +156,7 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
   std::size_t bs = 0;
   std::size_t md = 0;
   std::size_t ft = 0;
+  std::size_t fl = 0;
   std::size_t rc = 0;
   std::size_t tl = 0;
   std::size_t dt = 0;
@@ -163,6 +166,7 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
       case Category::kBitstream: ++bs; break;
       case Category::kModel: ++md; break;
       case Category::kFault: ++ft; break;
+      case Category::kFleet: ++fl; break;
       case Category::kRace: ++rc; break;
       case Category::kTimeline: ++tl; break;
       case Category::kDeterminism: ++dt; break;
@@ -172,10 +176,11 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
   EXPECT_EQ(bs, 11u);
   EXPECT_EQ(md, 12u);
   EXPECT_EQ(ft, 10u);
+  EXPECT_EQ(fl, 15u);
   EXPECT_EQ(rc, 4u);
   EXPECT_EQ(tl, 7u);
   EXPECT_EQ(dt, 4u);
-  EXPECT_GE(fp + bs + md + ft + rc + tl + dt, 12u);
+  EXPECT_GE(fp + bs + md + ft + fl + rc + tl + dt, 12u);
 }
 
 TEST(RuleCatalog, UnknownCodeThrows) {
@@ -193,6 +198,7 @@ TEST(RuleCatalog, MarkdownReferenceListsEveryCode) {
   EXPECT_NE(reference.find("## bitstream rules"), std::string::npos);
   EXPECT_NE(reference.find("## model rules"), std::string::npos);
   EXPECT_NE(reference.find("## fault rules"), std::string::npos);
+  EXPECT_NE(reference.find("## fleet rules"), std::string::npos);
   EXPECT_NE(reference.find("## race rules"), std::string::npos);
   EXPECT_NE(reference.find("## timeline rules"), std::string::npos);
   EXPECT_NE(reference.find("## determinism rules"), std::string::npos);
@@ -981,6 +987,39 @@ TEST(RuleCoverage, EveryDocumentedCodeIsEmittableByAChecker) {
     std::istringstream bad{"arrival sometimes\nverify maybe\n"};
     collect(analyze::lintFaultSpec(
         analyze::parseFaultSpec(bad)));  // FT004, FT005, FT007
+  }
+  {  // Fleet: one options object violating most FL rules at once, a second
+     // for the rules the first masks, and an unparseable-name spec pass.
+    fleet::FleetOptions bad;
+    bad.cells = 0;                                // FL001
+    bad.requests = 0;                             // FL002
+    bad.offeredLoad = 0.0;                        // FL003 (masks FL012)
+    bad.arrival = fleet::ArrivalProcess::kTrace;  // FL006: trace is empty
+    bad.retry.maxAttempts = 0;                    // FL007
+    bad.retry.budgetFraction = 0.6;               // FL013
+    bad.breaker.consecutiveFailures = 0;          // FL008
+    bad.hedge.enabled = true;
+    bad.hedge.quantile = 1.5;                     // FL009
+    bad.users = 0;                                // FL010
+    bad.admission.maxQueueDepth = 0;              // FL011
+    bad.degradedFraction = 0.5;                   // FL014: plan inactive
+    DiagnosticSink sink;
+    analyze::checkFleetOptions(bad, sink);
+    collect(sink);
+
+    fleet::FleetOptions saturated;
+    saturated.offeredLoad = 1.5;  // FL012
+    saturated.degradedFraction = 0.5;
+    saturated.degradedFaults.icapAbortRate = 0.3;
+    saturated.breaker.enabled = false;  // FL015
+    DiagnosticSink sink2;
+    analyze::checkFleetOptions(saturated, sink2);
+    collect(sink2);
+
+    analyze::FleetSpec spec;
+    spec.routing = "psychic";    // FL004
+    spec.arrival = "sometimes";  // FL005
+    collect(analyze::lintFleetSpec(spec));
   }
   {  // Races: feed the detector an event stream with every unordered pair.
     verify::RaceDetector detector;

@@ -1,0 +1,137 @@
+// fault::Injector edge cases: plans that inject nothing must perturb
+// nothing (zero rates; fixed-period schedules whose first arrival lies
+// beyond the scenario horizon), and per-node plan derivation
+// (fault::Plan::forNode) must give every node its own independent,
+// reproducible injection stream.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault.hpp"
+#include "hprc/chassis.hpp"
+#include "runtime/scenario.hpp"
+#include "tasks/hwfunction.hpp"
+#include "tasks/workload.hpp"
+
+namespace prtr {
+namespace {
+
+std::string renderChaos(const fault::Plan& plan) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 12, util::Bytes{500'000});
+  runtime::ScenarioOptions options;
+  options.sides = runtime::ScenarioSides::kPrtrOnly;
+  options.forceMiss = true;
+  options.faults = plan;
+  options.recovery.enabled = plan.active();
+  const auto result = runtime::runScenario(registry, workload, options);
+  return result.toString() + result.metrics.toString();
+}
+
+std::uint64_t injectedTotal(const obs::MetricsSnapshot& metrics,
+                            const std::string& prefix = {}) {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+    total += metrics.counterOr(prefix + "fault.injected." +
+                               fault::metricSuffix(
+                                   static_cast<fault::FaultKind>(k)));
+  }
+  return total;
+}
+
+TEST(FaultInjectorEdgeTest, ZeroRatePlanInjectsNothingAndIgnoresItsSeed) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 12, util::Bytes{500'000});
+  runtime::ScenarioOptions options;
+  options.sides = runtime::ScenarioSides::kPrtrOnly;
+  options.faults.seed = 1;
+  options.recovery.enabled = true;
+  const auto a = runtime::runScenario(registry, workload, options);
+  EXPECT_EQ(injectedTotal(a.metrics), 0u);
+  EXPECT_EQ(a.metrics.counterOr("prtr.fault.injected.total"), 0u);
+
+  // An inactive plan installs no hooks, so its seed cannot matter.
+  options.faults.seed = 0xDEADBEEF;
+  const auto b = runtime::runScenario(registry, workload, options);
+  EXPECT_EQ(a.toString() + a.metrics.toString(),
+            b.toString() + b.metrics.toString());
+}
+
+TEST(FaultInjectorEdgeTest, FixedPeriodBeyondHorizonIsANoOp) {
+  fault::Plan plan;
+  plan.arrival = fault::Arrival::kFixedPeriod;
+  // The scenario performs tens of eligible events; the trillion-th never
+  // arrives, so an aggressive rate still injects nothing.
+  plan.fixedPeriod = 1'000'000'000'000ULL;
+  plan.icapAbortRate = 0.9;
+  plan.transferTimeoutRate = 0.9;
+  plan.apiRejectRate = 0.9;
+  plan.linkStallRate = 0.9;
+
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 12, util::Bytes{500'000});
+  runtime::ScenarioOptions options;
+  options.sides = runtime::ScenarioSides::kPrtrOnly;
+  options.forceMiss = true;
+  options.faults = plan;
+  options.recovery.enabled = true;
+  const auto result = runtime::runScenario(registry, workload, options);
+  EXPECT_EQ(injectedTotal(result.metrics), 0u);
+  EXPECT_EQ(result.metrics.counterOr("prtr.recovery.faults_absorbed"), 0u);
+  EXPECT_GT(result.prtr.calls, 0u);
+}
+
+TEST(FaultInjectorEdgeTest, ForNodeDerivesIndependentReproducibleStreams) {
+  fault::Plan base;
+  base.seed = 4242;
+  base.icapAbortRate = 0.2;
+  base.wordFlipRate = 1e-5;
+
+  // Node 0 keeps the plan's own seed (single-node traces unchanged);
+  // other nodes get distinct derived seeds, stable across calls.
+  EXPECT_EQ(base.forNode(0).seed, base.seed);
+  EXPECT_NE(base.forNode(1).seed, base.seed);
+  EXPECT_NE(base.forNode(1).seed, base.forNode(2).seed);
+  EXPECT_EQ(base.forNode(1).seed, base.forNode(1).seed);
+  // Rates are shared verbatim.
+  EXPECT_DOUBLE_EQ(base.forNode(3).icapAbortRate, base.icapAbortRate);
+
+  // Each node's stream is reproducible on its own...
+  const std::string node1a = renderChaos(base.forNode(1));
+  const std::string node1b = renderChaos(base.forNode(1));
+  EXPECT_EQ(node1a, node1b);
+  // ...and distinct nodes actually draw different faults.
+  EXPECT_NE(node1a, renderChaos(base.forNode(2)));
+}
+
+TEST(FaultInjectorEdgeTest, ChassisBladesDrawIndependentInjectionStreams) {
+  const auto registry = tasks::makePaperFunctions();
+  const auto workload =
+      tasks::makeRoundRobinWorkload(registry, 24, util::Bytes{500'000});
+  hprc::ChassisOptions options;
+  options.blades = 2;
+  options.partition = hprc::Partition::kRoundRobin;
+  options.scenario.forceMiss = true;
+  options.scenario.faults.seed = 99;
+  options.scenario.faults.icapAbortRate = 0.25;
+  options.scenario.recovery.enabled = true;
+
+  const auto a = hprc::runChassis(registry, workload, options);
+  const auto b = hprc::runChassis(registry, workload, options);
+  EXPECT_EQ(a.metrics.toString(), b.metrics.toString());
+
+  // Both blades saw faults, but from independent per-node streams: the
+  // same symmetric workload yields different injection traces per blade.
+  const std::uint64_t blade0 = injectedTotal(a.metrics, "blade0.");
+  const std::uint64_t blade1 = injectedTotal(a.metrics, "blade1.");
+  EXPECT_GT(blade0, 0u);
+  EXPECT_GT(blade1, 0u);
+  EXPECT_NE(a.metrics.toString().find("blade0.fault.injected"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace prtr

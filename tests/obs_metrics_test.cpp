@@ -5,8 +5,7 @@
 // produce equal snapshots.
 #include <gtest/gtest.h>
 
-#include <iostream>
-#include <sstream>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 #include "runtime/scenario.hpp"
@@ -275,42 +274,29 @@ TEST(MetricsSnapshot, JsonHasTheThreeSections) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
-// The string overloads still work (every record lands exactly as the id
-// path would) and warn once per call site through the shared deprecation
-// machinery — the PR 7 Timeline::record shim contract.
-TEST(MetricsRegistry, DeprecatedStringShimsMatchTheIdPathAndWarnOnce) {
-  std::ostringstream captured;
-  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+// The PR 4 string shims (add/set/observe by name, deprecated since PR 7)
+// are removed: recording now requires an interned id. These static_asserts
+// pin the removal — if a string overload reappears, this test fails to
+// document it before any caller can depend on it again.
+// Dependent forms so the negative checks SFINAE instead of hard-erroring.
+template <typename R>
+concept AddsByStringName =
+    requires(R r, std::string_view name) { r.add(name, std::uint64_t{2}); };
+template <typename R>
+concept SetsByStringName =
+    requires(R r, std::string_view name) { r.set(name, 0.25); };
+template <typename R>
+concept ObservesByStringName =
+    requires(R r, std::string_view name) { r.observe(name, std::int64_t{10}); };
 
-  obs::Registry viaString;
-  for (int i = 0; i < 3; ++i) {
-    // One call site, looped: exactly one warning per shim below.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    viaString.add("test.shim.calls", 2);
-    viaString.set("test.shim.ratio", 0.25 * i);
-    viaString.observe("test.shim.lat_ps", 10 * (i + 1));
-#pragma GCC diagnostic pop
-  }
-  std::clog.rdbuf(old);
-
-  obs::Registry viaId;
-  for (int i = 0; i < 3; ++i) {
-    viaId.add(table().counter("test.shim.calls"), 2);
-    viaId.set(table().gauge("test.shim.ratio"), 0.25 * i);
-    viaId.observe(table().histogram("test.shim.lat_ps"), 10 * (i + 1));
-  }
-  EXPECT_EQ(viaString.snapshot(), viaId.snapshot());
-
-  const std::string log = captured.str();
-  std::size_t warnings = 0;
-  for (std::size_t pos = 0; (pos = log.find("deprecated", pos)) !=
-                            std::string::npos;
-       ++pos) {
-    ++warnings;
-  }
-  EXPECT_EQ(warnings, 3u) << log;  // one per shim call site, not per call
-  EXPECT_NE(log.find("obs::Registry::add(string)"), std::string::npos) << log;
+TEST(MetricsRegistry, StringRecordingShimsAreGone) {
+  static_assert(!AddsByStringName<obs::Registry>);
+  static_assert(!SetsByStringName<obs::Registry>);
+  static_assert(!ObservesByStringName<obs::Registry>);
+  // The replacement stays: intern once, record by id.
+  obs::Registry reg;
+  reg.add(table().counter("test.shim.calls"), 2);
+  EXPECT_EQ(reg.snapshot().counterOr("test.shim.calls"), 2u);
 }
 
 runtime::ScenarioOptions smallScenario() {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "sim/channel.hpp"
@@ -321,21 +322,22 @@ TEST(TimelineTest, RejectsNegativeSpan) {
                util::DomainError);
 }
 
-TEST(TimelineTest, DeprecatedStringRecordMatchesTheIdPath) {
-  // The string shim survives for source compatibility; it must intern into
-  // the same symbols and record the same span as the id-based hot path.
-  Timeline byId;
-  byId.record(byId.lane("PRR0"), byId.label("median"), '#', Time::zero(),
-              Time::milliseconds(5));
-  Timeline byName;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  byName.record("PRR0", "median", '#', Time::zero(), Time::milliseconds(5));
-#pragma GCC diagnostic pop
-  ASSERT_EQ(byName.spans().size(), 1u);
-  EXPECT_EQ(byName.spans()[0].lane, byId.spans()[0].lane);
-  EXPECT_EQ(byName.spans()[0].label, byId.spans()[0].label);
-  EXPECT_EQ(byName.renderGantt(60), byId.renderGantt(60));
+// Dependent form so the negative check SFINAEs instead of hard-erroring.
+template <typename T>
+concept RecordsByStringName = requires(T t, std::string_view name) {
+  t.record(name, name, '#', Time::zero(), Time::milliseconds(5));
+};
+
+TEST(TimelineTest, StringRecordShimIsGone) {
+  // The PR 7 string-name record() shim is removed: record() takes interned
+  // ids only. The static_assert pins the removal; the id path below is the
+  // one way to write a span.
+  static_assert(!RecordsByStringName<Timeline>);
+  Timeline tl;
+  tl.record(tl.lane("PRR0"), tl.label("median"), '#', Time::zero(),
+            Time::milliseconds(5));
+  ASSERT_EQ(tl.spans().size(), 1u);
+  EXPECT_EQ(tl.laneName(tl.spans()[0].lane), "PRR0");
 }
 
 }  // namespace

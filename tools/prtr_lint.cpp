@@ -10,6 +10,7 @@
 ///             [--layout single|dual|quad]
 ///   prtr-lint [--json] [--werror] scenario-spec <file>...
 ///   prtr-lint [--json] [--werror] fault-spec <file>...
+///   prtr-lint [--json] [--werror] fleet-spec <file>...
 ///   prtr-lint codes [--markdown]
 ///   prtr-lint demo [--json]
 ///   prtr-lint --help
@@ -32,6 +33,7 @@
 
 #include "analyze/checks_bitstream.hpp"
 #include "analyze/checks_fault.hpp"
+#include "analyze/checks_fleet.hpp"
 #include "analyze/checks_floorplan.hpp"
 #include "analyze/diagnostic.hpp"
 #include "analyze/lint.hpp"
@@ -57,6 +59,7 @@ int usage() {
          "  bitstream <file> [--device NAME] [--layout single|dual|quad]\n"
          "  scenario-spec <file>...               lint scenario spec files\n"
          "  fault-spec <file>...                  lint fault-plan spec files\n"
+         "  fleet-spec <file>...                  lint fleet spec files\n"
          "  codes [--markdown]                    print the rule reference\n"
          "  demo                                  lint built-in known-bad "
          "artifacts\n"
@@ -194,6 +197,14 @@ int demo(const CliOptions& cli) {
   chaos.recoveryEnabled = false; // …recovery: FT008)
   exitCode = std::max(
       exitCode, report("demo:fault", analyze::lintFaultSpec(chaos), cli));
+
+  analyze::FleetSpec fleet;
+  fleet.blades = 9;            // FL001: a chassis tops out at 6 blades
+  fleet.offeredLoad = 1.5;     // FL012: saturating every blade
+  fleet.routing = "psychic";   // FL004
+  fleet.retryBudget = 0.9;     // FL013: retry-storm territory
+  exitCode = std::max(
+      exitCode, report("demo:fleet", analyze::lintFleetSpec(fleet), cli));
   return exitCode;
 }
 
@@ -249,6 +260,12 @@ int main(int argc, char** argv) {
       if (args.empty()) return usage();
       return lintSpecFiles(args, cli, [](std::istream& in) {
         return analyze::lintFaultSpec(analyze::parseFaultSpec(in));
+      });
+    }
+    if (command == "fleet-spec") {
+      if (args.empty()) return usage();
+      return lintSpecFiles(args, cli, [](std::istream& in) {
+        return analyze::lintFleetSpec(analyze::parseFleetSpec(in));
       });
     }
     if (command == "bitstream") {
