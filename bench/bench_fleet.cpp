@@ -1,15 +1,20 @@
 // Fleet benchmark: the prtr::fleet serving simulation at one million
-// requests, healthy and under chaos (20% of blades running a hostile
-// fault plan), with the full resilience stack engaged. This is the
-// robustness gate for the fleet subsystem: CI runs it at 1 and N threads
-// and validates that the merged snapshots are byte-identical, that the
-// retry budget holds under chaos (no retry storm), that breakers open and
-// recover, and that tail latency stays inside the committed baseline band
-// via prtr-report (the run is fully deterministic, so every simulated
-// scalar reproduces exactly).
+// requests — healthy, under chaos (20% of blades running a hostile fault
+// plan), and under surge (the rate limiter, request tracing, and the SLO
+// burn-rate gate engaged). This is the robustness gate for the fleet
+// subsystem: CI runs it at 1 and N threads and validates that the merged
+// snapshots are byte-identical for all three points, that the retry
+// budget holds under chaos (no retry storm), that breakers open and
+// recover, that the admission rate limiter engages under surge, that
+// tail-based trace sampling retains 100% of its tail, and that tail
+// latency stays inside the committed baseline band via prtr-report (the
+// run is fully deterministic, so every simulated scalar reproduces
+// exactly). With --trace, a reduced surge run exports its kept request
+// traces as Chrome/Perfetto JSON for prtr-verify and prtr-trace.
 //
 // Usage: bench_fleet [--requests N] [--spec FILE] [--threads N] [--seed N]
-//                    [--json FILE]
+//                    [--json FILE] [--trace FILE]
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -20,6 +25,7 @@
 #include "exec/pool.hpp"
 #include "fleet/fleet.hpp"
 #include "obs/bench_io.hpp"
+#include "obs/trace_export.hpp"
 #include "tasks/hwfunction.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -52,6 +58,27 @@ fleet::FleetOptions chaosOptions(const fleet::FleetOptions& base) {
   options.degradedFaults.icapAbortRate = 0.30;
   options.degradedFaults.transferTimeoutRate = 0.10;
   options.degradedFaults.linkStallRate = 0.05;
+  return options;
+}
+
+/// The surge variant: the same fleet pushed to 95% offered load with the
+/// full observability stack on — per-user admission rate limiting,
+/// tail-based request tracing, and the multi-window SLO burn-rate gate.
+/// Buckets are per cell (each cell admits its shard of a user's traffic
+/// independently), so the 4.5 rps quota sits below the ~5.4 rps per-user
+/// per-cell offered rate: the buckets drain within seconds and the
+/// limiter sheds the sustained excess. The shed fraction makes the SLO
+/// breach by design — surge is the point that demonstrates the gates
+/// fire, healthy is the point that demonstrates they stay quiet.
+fleet::FleetOptions surgeOptions(const fleet::FleetOptions& base) {
+  fleet::FleetOptions options = base;
+  options.offeredLoad = 0.95;
+  options.rateLimit.enabled = true;
+  options.rateLimit.ratePerSecond = 4.5;
+  options.rateLimit.burst = 10.0;
+  options.tracing.enabled = true;
+  options.tracing.sampleRate = 0.01;
+  options.slo.enabled = true;
   return options;
 }
 
@@ -145,14 +172,24 @@ int main(int argc, char** argv) {
       runFleet(registry, profile, chaosPooled);
   const bool chaosIdentical =
       render(runFleet(registry, profile, chaosSerial)) == render(degraded);
-  const bool identical = healthyIdentical && chaosIdentical;
+
+  const fleet::FleetOptions surge = surgeOptions(options);
+  fleet::FleetOptions surgeSerial = surge;
+  surgeSerial.threads = 1;
+  fleet::FleetOptions surgePooled = surge;
+  surgePooled.threads = n;
+  const fleet::FleetReport surged = runFleet(registry, profile, surgePooled);
+  const bool surgeIdentical =
+      render(runFleet(registry, profile, surgeSerial)) == render(surged);
+  const bool identical = healthyIdentical && chaosIdentical && surgeIdentical;
 
   util::Table table{{"point", "completed", "failed", "shed", "retries",
                      "denied", "opens", "closes", "p50 us", "p95 us",
                      "p99 us", "util"}};
   for (const auto& [name, r] :
        {std::pair<const char*, const fleet::FleetReport&>{"healthy", healthy},
-        {"chaos", degraded}}) {
+        {"chaos", degraded},
+        {"surge", surged}}) {
     table.row()
         .cell(name)
         .cell(r.completed)
@@ -171,8 +208,8 @@ int main(int argc, char** argv) {
   report.table("fleet_points", table);
 
   std::cout << "\nfleet byte-identical at 1 vs " << n
-            << " threads (healthy and chaos): " << (identical ? "yes" : "NO")
-            << '\n';
+            << " threads (healthy, chaos, surge): "
+            << (identical ? "yes" : "NO") << '\n';
 
   // Graceful degradation: chaos inflates the tail but must not blow it up,
   // and the retry budget must hold (no retry storm). Both are gated by the
@@ -188,9 +225,60 @@ int main(int argc, char** argv) {
             << util::formatDouble(degraded.retryBudgetConsumption(), 4)
             << " (budget " << chaos.retry.budgetFraction << ")\n";
 
+  // Surge observability: the limiter must engage, tail sampling must keep
+  // its whole tail, and the SLO burn-rate verdict is printed and gated
+  // against the committed baseline.
+  std::cout << "surge shed by rate limiter: " << surged.shedRateLimited
+            << " of " << surged.offered << " offered\n"
+            << "surge traces: " << surged.tracesKept << " kept of "
+            << surged.tracesRecorded << " recorded (tail "
+            << surged.tracesKeptTail << "/" << surged.tailEligible
+            << ", retention "
+            << util::formatDouble(surged.tailRetention(), 3)
+            << "), dropped by cap " << surged.tracesDroppedCap << '\n'
+            << "surge SLO: " << (surged.slo.pass ? "pass" : "BREACH")
+            << " (good fraction "
+            << util::formatDouble(surged.slo.goodFraction, 6)
+            << ", burn max fast/slow "
+            << util::formatDouble(surged.slo.fastBurnMax, 2) << "/"
+            << util::formatDouble(surged.slo.slowBurnMax, 2) << ", "
+            << surged.slo.breachWindows << " breach window(s))\n";
+
+  // With --trace, a reduced surge run exports its kept request traces
+  // (full-length surge keeps every rate-limited shed — far too many
+  // spans for a reviewable artifact).
+  if (report.traceRequested()) {
+    obs::ChromeTrace trace;
+    fleet::FleetOptions exportOpts = surge;
+    exportOpts.threads = n;
+    exportOpts.requests = std::min<std::uint64_t>(surge.requests, 50'000);
+    exportOpts.hooks.trace = &trace;
+    const fleet::FleetReport exported =
+        runFleet(registry, profile, exportOpts);
+    trace.writeFile(report.tracePath());
+    report.scalar("trace_export_kept", exported.tracesKept);
+    std::cout << "trace: " << exported.tracesKept
+              << " kept request(s) written to " << report.tracePath()
+              << '\n';
+  }
+
   pointScalars(report, "healthy", healthy);
   pointScalars(report, "chaos", degraded);
+  pointScalars(report, "surge", surged);
   report.scalar("chaos_p99_over_healthy", p99Ratio);
+  report.scalar("surge_shed_ratelimited", surged.shedRateLimited);
+  report.scalar("surge_traces_recorded", surged.tracesRecorded);
+  report.scalar("surge_traces_kept", surged.tracesKept);
+  report.scalar("surge_traces_kept_tail", surged.tracesKeptTail);
+  report.scalar("surge_traces_kept_sampled", surged.tracesKeptSampled);
+  report.scalar("surge_traces_dropped_cap", surged.tracesDroppedCap);
+  report.scalar("surge_trace_tail_retention", surged.tailRetention());
+  report.scalar("surge_slo_pass",
+                std::uint64_t{surged.slo.pass ? 1u : 0u});
+  report.scalar("surge_slo_good_fraction", surged.slo.goodFraction);
+  report.scalar("surge_slo_fast_burn_max", surged.slo.fastBurnMax);
+  report.scalar("surge_slo_slow_burn_max", surged.slo.slowBurnMax);
+  report.scalar("surge_slo_breach_windows", surged.slo.breachWindows);
   report.scalar("requests", options.requests);
   report.scalar("outputs_identical", std::uint64_t{identical ? 1u : 0u});
   report.scalar("fleet_seed", options.seed);
@@ -199,6 +287,7 @@ int main(int argc, char** argv) {
   const bool ok =
       identical && healthy.failed == 0 && degraded.breakerOpens > 0 &&
       degraded.retryBudgetConsumption() <=
-          chaos.retry.budgetFraction + 0.01;
+          chaos.retry.budgetFraction + 0.01 &&
+      surged.shedRateLimited > 0 && surged.tailRetention() == 1.0;
   return ok ? report.finish() : 1;
 }

@@ -78,6 +78,38 @@ FleetSpec parseFleetSpec(std::istream& in) {
       spec.escalateAfter = parseU64(value, lineNo);
     } else if (key == "recover-after") {
       spec.recoverAfter = parseU64(value, lineNo);
+    } else if (key == "rate-limit") {
+      spec.rateLimit = parseBool(value, lineNo);
+    } else if (key == "rate-limit-rps") {
+      spec.rateLimitRps = parseDouble(value, lineNo);
+    } else if (key == "rate-limit-burst") {
+      spec.rateLimitBurst = parseDouble(value, lineNo);
+    } else if (key == "trace") {
+      spec.trace = parseBool(value, lineNo);
+    } else if (key == "trace-sample-rate") {
+      spec.traceSampleRate = parseDouble(value, lineNo);
+    } else if (key == "trace-slow-quantile") {
+      spec.traceSlowQuantile = parseDouble(value, lineNo);
+    } else if (key == "trace-slow-min-samples") {
+      spec.traceSlowMinSamples = parseU64(value, lineNo);
+    } else if (key == "trace-max-per-cell") {
+      spec.traceMaxPerCell = parseU64(value, lineNo);
+    } else if (key == "slo") {
+      spec.slo = parseBool(value, lineNo);
+    } else if (key == "slo-objective") {
+      spec.sloObjective = parseDouble(value, lineNo);
+    } else if (key == "slo-latency-us") {
+      spec.sloLatencyUs = parseDouble(value, lineNo);
+    } else if (key == "slo-window-us") {
+      spec.sloWindowUs = parseDouble(value, lineNo);
+    } else if (key == "slo-fast-windows") {
+      spec.sloFastWindows = parseU64(value, lineNo);
+    } else if (key == "slo-slow-windows") {
+      spec.sloSlowWindows = parseU64(value, lineNo);
+    } else if (key == "slo-fast-burn") {
+      spec.sloFastBurn = parseDouble(value, lineNo);
+    } else if (key == "slo-slow-burn") {
+      spec.sloSlowBurn = parseDouble(value, lineNo);
     } else {
       fail(lineNo, "unrecognized key '" + key + "'");
     }
@@ -176,6 +208,100 @@ void checkFleetOptions(const fleet::FleetOptions& options,
     sink.emit("FL015", "fleet.breaker",
               "degraded blades configured with the breaker disabled");
   }
+  if (options.rateLimit.enabled &&
+      (!(options.rateLimit.ratePerSecond > 0.0) ||
+       !(options.rateLimit.burst > 0.0) ||
+       !std::isfinite(options.rateLimit.ratePerSecond) ||
+       !std::isfinite(options.rateLimit.burst))) {
+    sink.emit("FL016", "fleet.rate-limit",
+              "rate-limit-rps = " +
+                  std::to_string(options.rateLimit.ratePerSecond) +
+                  ", rate-limit-burst = " +
+                  std::to_string(options.rateLimit.burst));
+  }
+  if (options.tracing.enabled) {
+    if (options.tracing.sampleRate < 0.0 ||
+        options.tracing.sampleRate > 1.0 ||
+        !std::isfinite(options.tracing.sampleRate)) {
+      sink.emit("TR001", "fleet.trace",
+                "trace-sample-rate = " +
+                    std::to_string(options.tracing.sampleRate));
+    }
+    if (options.tracing.slowQuantile <= 0.0 ||
+        options.tracing.slowQuantile >= 1.0) {
+      sink.emit("TR002", "fleet.trace",
+                "trace-slow-quantile = " +
+                    std::to_string(options.tracing.slowQuantile));
+    }
+    if (options.tracing.sampleRate > 0.0 &&
+        options.tracing.maxSampledPerCell == 0) {
+      sink.emit("TR003", "fleet.trace",
+                "trace-sample-rate = " +
+                    std::to_string(options.tracing.sampleRate) +
+                    " with trace-max-per-cell = 0");
+    }
+    if (options.tracing.sampleRate >= 0.5 && options.requests >= 1'000'000) {
+      sink.emit("TR004", "fleet.trace",
+                "trace-sample-rate = " +
+                    std::to_string(options.tracing.sampleRate) + " over " +
+                    std::to_string(options.requests) + " requests");
+    }
+  }
+  if (options.slo.enabled) {
+    if (options.slo.objective <= 0.0 || options.slo.objective >= 1.0 ||
+        !std::isfinite(options.slo.objective)) {
+      sink.emit("SL001", "fleet.slo",
+                "slo-objective = " + std::to_string(options.slo.objective));
+    }
+    if (options.slo.windowPs <= 0 || options.slo.latencyTargetPs < 0) {
+      sink.emit("SL002", "fleet.slo",
+                "slo-window = " + std::to_string(options.slo.windowPs) +
+                    " ps, slo-latency-target = " +
+                    std::to_string(options.slo.latencyTargetPs) + " ps");
+    }
+    if (options.slo.fastWindows < 1 ||
+        options.slo.slowWindows < options.slo.fastWindows) {
+      sink.emit("SL003", "fleet.slo",
+                "slo-fast-windows = " +
+                    std::to_string(options.slo.fastWindows) +
+                    ", slo-slow-windows = " +
+                    std::to_string(options.slo.slowWindows));
+    }
+    if (!(options.slo.fastBurn > 0.0) || !(options.slo.slowBurn > 0.0) ||
+        options.slo.fastBurn < options.slo.slowBurn) {
+      sink.emit("SL004", "fleet.slo",
+                "slo-fast-burn = " + std::to_string(options.slo.fastBurn) +
+                    ", slo-slow-burn = " +
+                    std::to_string(options.slo.slowBurn));
+    }
+    if (options.slo.objective > 0.0 && options.slo.objective < 1.0 &&
+        (1.0 - options.slo.objective) *
+                static_cast<double>(options.requests) <
+            10.0) {
+      sink.emit("SL005", "fleet.slo",
+                "error budget is " +
+                    std::to_string((1.0 - options.slo.objective) *
+                                   static_cast<double>(options.requests)) +
+                    " requests over the whole run");
+    }
+  }
+}
+
+void checkBladeProfile(const fleet::BladeProfile& profile,
+                       DiagnosticSink& sink) {
+  for (std::size_t fn = 0; fn < profile.tasks.size(); ++fn) {
+    const fleet::TaskProfile& t = profile.tasks[fn];
+    const bool freeExec = t.execFixedPs <= 0 && t.execPsPerByte <= 0.0;
+    if (freeExec || t.configPs <= 0) {
+      sink.emit("FL017", "task " + std::to_string(fn),
+                std::string(freeExec ? "zero execution cost"
+                                     : "zero reconfiguration cost") +
+                    " (configPs = " + std::to_string(t.configPs) +
+                    ", execFixedPs = " + std::to_string(t.execFixedPs) +
+                    ", execPsPerByte = " + std::to_string(t.execPsPerByte) +
+                    ")");
+    }
+  }
 }
 
 fleet::FleetOptions fleetSpecToOptions(const FleetSpec& spec) {
@@ -224,6 +350,23 @@ fleet::FleetOptions fleetSpecToOptions(const FleetSpec& spec) {
   options.degradedFraction = spec.degradedFraction;
   options.escalateAfter = static_cast<std::uint32_t>(spec.escalateAfter);
   options.recoverAfter = static_cast<std::uint32_t>(spec.recoverAfter);
+  options.rateLimit.enabled = spec.rateLimit;
+  options.rateLimit.ratePerSecond = spec.rateLimitRps;
+  options.rateLimit.burst = spec.rateLimitBurst;
+  options.tracing.enabled = spec.trace;
+  options.tracing.sampleRate = spec.traceSampleRate;
+  options.tracing.slowQuantile = spec.traceSlowQuantile;
+  options.tracing.slowMinSamples = spec.traceSlowMinSamples;
+  options.tracing.maxSampledPerCell = spec.traceMaxPerCell;
+  options.slo.enabled = spec.slo;
+  options.slo.objective = spec.sloObjective;
+  options.slo.latencyTargetPs =
+      static_cast<std::int64_t>(spec.sloLatencyUs * 1e6);
+  options.slo.windowPs = static_cast<std::int64_t>(spec.sloWindowUs * 1e6);
+  options.slo.fastWindows = static_cast<std::uint32_t>(spec.sloFastWindows);
+  options.slo.slowWindows = static_cast<std::uint32_t>(spec.sloSlowWindows);
+  options.slo.fastBurn = spec.sloFastBurn;
+  options.slo.slowBurn = spec.sloSlowBurn;
   return options;
 }
 

@@ -17,6 +17,12 @@
 ///     hedge true|false      hedge-quantile <x>     hedge-min-samples <n>
 ///     hedge-budget <x>
 ///     degraded-fraction <x> escalate-after <n>     recover-after <n>
+///     rate-limit true|false rate-limit-rps <x>     rate-limit-burst <x>
+///     trace true|false      trace-sample-rate <x>  trace-slow-quantile <x>
+///     trace-slow-min-samples <n>                   trace-max-per-cell <n>
+///     slo true|false        slo-objective <x>      slo-latency-us <t>
+///     slo-window-us <t>     slo-fast-windows <n>   slo-slow-windows <n>
+///     slo-fast-burn <x>     slo-slow-burn <x>
 ///
 /// Fault plans stay out of the spec deliberately: bench_fleet composes a
 /// `.fleet` spec with `.flt` fault specs (checks_fault.hpp), one for the
@@ -65,6 +71,22 @@ struct FleetSpec {
   double degradedFraction = 0.0;
   std::uint64_t escalateAfter = 3;
   std::uint64_t recoverAfter = 16;
+  bool rateLimit = false;
+  double rateLimitRps = 50.0;
+  double rateLimitBurst = 10.0;
+  bool trace = false;
+  double traceSampleRate = 0.01;
+  double traceSlowQuantile = 0.99;
+  std::uint64_t traceSlowMinSamples = 1000;
+  std::uint64_t traceMaxPerCell = 10'000;
+  bool slo = false;
+  double sloObjective = 0.999;
+  double sloLatencyUs = 0.0;   ///< 0 = derive from the admission deadline
+  double sloWindowUs = 50'000.0;
+  std::uint64_t sloFastWindows = 3;
+  std::uint64_t sloSlowWindows = 12;
+  double sloFastBurn = 14.0;
+  double sloSlowBurn = 6.0;
 };
 
 /// Parses a fleet spec; throws DomainError (with the line number) on
@@ -80,6 +102,13 @@ struct FleetSpec {
 /// callers use before committing to a million-request run. Checks the
 /// fault plans too (degraded-plan interplay: FL014, FL015).
 void checkFleetOptions(const fleet::FleetOptions& options,
+                       DiagnosticSink& sink);
+
+/// FL017 over a calibrated blade profile: a task whose every cost
+/// component collapsed to zero means the calibration scenarios never
+/// exercised it (zero-byte payloads, a single degenerate scenario) — the
+/// fleet would simulate free requests instead of failing loudly.
+void checkBladeProfile(const fleet::BladeProfile& profile,
                        DiagnosticSink& sink);
 
 /// Converts a (lint-clean) spec into typed options. Unknown routing and

@@ -24,8 +24,11 @@ const char* toString(Category category) noexcept {
     case Category::kModel: return "model";
     case Category::kFault: return "fault";
     case Category::kFleet: return "fleet";
+    case Category::kTracing: return "tracing";
+    case Category::kSlo: return "slo";
     case Category::kRace: return "race";
     case Category::kTimeline: return "timeline";
+    case Category::kRequest: return "request";
     case Category::kDeterminism: return "determinism";
   }
   return "?";
@@ -255,6 +258,59 @@ constexpr std::array kCatalog{
              "disabled: nothing isolates a failing blade from traffic",
              "enable the breaker for chaos runs, or accept sustained "
              "failures deliberately"},
+    RuleInfo{"FL016", Category::kFleet, Severity::kError,
+             "rate limiter enabled with a non-positive refill rate or "
+             "burst",
+             "give rate-limit-rps and rate-limit-burst positive values, or "
+             "disable the limiter"},
+    RuleInfo{"FL017", Category::kFleet, Severity::kWarning,
+             "degenerate calibration: a task profile carries a zero cost "
+             "component (flat execute slope, free persona reload, or zero "
+             "configuration words)",
+             "calibrate against scenarios whose payloads actually differ, "
+             "and check the hardware function registry"},
+    // Trace-sampling rules (trace::TracePolicy via checks_fleet.hpp).
+    RuleInfo{"TR001", Category::kTracing, Severity::kError,
+             "trace sample rate outside [0, 1]",
+             "the rate is a keep probability for non-tail requests"},
+    RuleInfo{"TR002", Category::kTracing, Severity::kError,
+             "trace slow quantile outside (0, 1)",
+             "use a tail quantile like 0.99; 1.0 would never classify a "
+             "completion as slow"},
+    RuleInfo{"TR003", Category::kTracing, Severity::kError,
+             "positive sample rate with a zero per-cell sample cap keeps "
+             "no rate-sampled trace at all",
+             "raise trace-max-per-cell, or set the sample rate to 0 to "
+             "keep only tail traces"},
+    RuleInfo{"TR004", Category::kTracing, Severity::kWarning,
+             "sample rate at or above 0.5 on a large run will retain "
+             "most requests; the trace file will be huge",
+             "sample at 1% or below on runs beyond 100k requests; tail "
+             "requests are always kept regardless"},
+    // SLO burn-rate rules (obs::SloSpec via checks_fleet.hpp).
+    RuleInfo{"SL001", Category::kSlo, Severity::kError,
+             "SLO objective outside (0, 1)",
+             "state the objective as a good fraction like 0.999"},
+    RuleInfo{"SL002", Category::kSlo, Severity::kError,
+             "SLO window or latency target invalid (non-positive window, "
+             "or a negative latency target)",
+             "use a positive slo-window-us; latency target 0 derives the "
+             "admission deadline"},
+    RuleInfo{"SL003", Category::kSlo, Severity::kError,
+             "burn-rate windows degenerate (zero windows, or the fast "
+             "window wider than the slow window)",
+             "keep 1 <= fast windows <= slow windows (the classic pair is "
+             "3 and 12)"},
+    RuleInfo{"SL004", Category::kSlo, Severity::kError,
+             "burn-rate thresholds degenerate (non-positive, or the fast "
+             "threshold below the slow threshold)",
+             "use fast-burn >= slow-burn > 0 (the classic pair is 14 and "
+             "6)"},
+    RuleInfo{"SL005", Category::kSlo, Severity::kWarning,
+             "error budget smaller than ~10 requests over the whole run: "
+             "burn rates will be all-or-nothing noise",
+             "loosen the objective or run more requests so the budget is "
+             "statistically meaningful"},
     // Happens-before race rules (verify::RaceDetector; exec instrumentation).
     RuleInfo{"RC001", Category::kRace, Severity::kError,
              "write/write race: two threads wrote the same shared object "
@@ -309,6 +365,36 @@ constexpr std::array kCatalog{
              "recovery span with no configuration activity inside it",
              "a recovery episode must contain at least one retry or "
              "degraded reload on the config lane"},
+    // Request-lane rules (verify::checkRequestLanes; prtr-verify trace).
+    RuleInfo{"RQ001", Category::kRequest, Severity::kError,
+             "span outlives its request: a child span extends outside the "
+             "root 'request ...' span",
+             "the root must cover every attempt, including losing hedge "
+             "copies; check the recorder's finalize clipping"},
+    RuleInfo{"RQ002", Category::kRequest, Severity::kError,
+             "request lane without exactly one root 'request ...' span",
+             "every rq: lane carries one request; check the exporter's "
+             "lane naming"},
+    RuleInfo{"RQ003", Category::kRequest, Severity::kError,
+             "attempt nesting broken: a queue/service/stall/reload/execute "
+             "span escapes its attempt's bounds",
+             "component spans of attempt N must lie inside attempt#N; "
+             "check the service-breakdown arithmetic"},
+    RuleInfo{"RQ004", Category::kRequest, Severity::kError,
+             "component span references an attempt number with no attempt "
+             "span on the lane",
+             "every dispatch must open an attempt span before queue/"
+             "service spans reference it"},
+    RuleInfo{"RQ005", Category::kRequest, Severity::kError,
+             "hedge winner not unique (multiple 'hedge:win' marks, or a "
+             "win with no hedged attempt)",
+             "exactly one copy may win; check the completion handler's "
+             "first-completion-wins logic"},
+    RuleInfo{"RQ006", Category::kRequest, Severity::kWarning,
+             "request shed at admission but the lane records dispatch "
+             "activity",
+             "a shed request never reaches a blade; check the admission "
+             "path's early-exit ordering"},
     // Determinism rules (verify::exploreSchedules; prtr-verify explore).
     RuleInfo{"DT001", Category::kDeterminism, Severity::kError,
              "schedule-dependent result: a perturbed pool interleaving "

@@ -8,8 +8,10 @@
 /// machine-readable code — `FPxxx` for floorplan rules, `BSxxx` for
 /// bitstream rules, `MDxxx` for model and scenario rules, `FTxxx` for
 /// fault-plan and recovery rules, `FLxxx` for fleet-configuration rules,
+/// `TRxxx` for trace-sampling policies, `SLxxx` for SLO burn-rate specs,
 /// `RCxxx` for happens-before races,
-/// `TLxxx` for timeline invariants, `DTxxx` for determinism rules —
+/// `TLxxx` for timeline invariants, `RQxxx` for request-lane span trees,
+/// `DTxxx` for determinism rules —
 /// registered once in the rule catalog together with its
 /// severity, one-line summary, and a generic fix hint. Checkers emit by
 /// code, so a code's severity can never disagree between call sites, and
@@ -38,8 +40,11 @@ enum class Category : std::uint8_t {
   kModel,
   kFault,
   kFleet,
+  kTracing,
+  kSlo,
   kRace,
   kTimeline,
+  kRequest,
   kDeterminism,
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analyze/checks_fleet.hpp"
 #include "hprc/chassis.hpp"
 #include "util/error.hpp"
 
@@ -57,6 +58,8 @@ BladeProfile calibrateBladeProfile(const tasks::FunctionRegistry& registry,
                                    const runtime::ScenarioOptions& scenario,
                                    util::Bytes payload) {
   util::require(payload.count() >= 2, "calibrateBladeProfile: payload too small");
+  util::require(registry.size() > 0,
+                "calibrateBladeProfile: empty function registry");
   constexpr std::size_t kCalls = 8;
   runtime::ScenarioOptions blade =
       hprc::bladeScenarioOptions(scenario, /*blade=*/0);
@@ -100,6 +103,15 @@ BladeProfile calibrateBladeProfile(const tasks::FunctionRegistry& registry,
     t.configWords = deltaBytes / 4 / kCalls;
     profile.tasks.push_back(t);
   }
+  return profile;
+}
+
+BladeProfile calibrateBladeProfile(const tasks::FunctionRegistry& registry,
+                                   const runtime::ScenarioOptions& scenario,
+                                   util::Bytes payload,
+                                   analyze::DiagnosticSink& sink) {
+  BladeProfile profile = calibrateBladeProfile(registry, scenario, payload);
+  analyze::checkBladeProfile(profile, sink);
   return profile;
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analyze/diagnostic.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/hwfunction.hpp"
 #include "util/units.hpp"
@@ -61,5 +62,14 @@ struct BladeProfile {
 [[nodiscard]] BladeProfile calibrateBladeProfile(
     const tasks::FunctionRegistry& registry,
     const runtime::ScenarioOptions& scenario, util::Bytes payload);
+
+/// Same calibration, with analyze::checkBladeProfile run over the result:
+/// a task whose costs all collapsed to zero (degenerate scenario, payload
+/// too small to split the slope) lands in `sink` as FL017 instead of
+/// silently simulating free requests.
+[[nodiscard]] BladeProfile calibrateBladeProfile(
+    const tasks::FunctionRegistry& registry,
+    const runtime::ScenarioOptions& scenario, util::Bytes payload,
+    analyze::DiagnosticSink& sink);
 
 }  // namespace prtr::fleet

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <sstream>
 
 #include "exec/pool.hpp"
 #include "prof/profiler.hpp"
+#include "trace/recorder.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -37,11 +39,15 @@ namespace {
 /// read-only by all cells (ids are just indices).
 struct Ids {
   obs::CounterId offered, admitted, shedBreaker, shedDeadline, shedQueue;
+  obs::CounterId shedRateLimit;
   obs::CounterId completedOk, completedFailed, retries, retriesDenied;
   obs::CounterId hedges, hedgeWins, hedgeCancelled;
   obs::CounterId breakerOpens, breakerCloses, breakerHalfOpens;
   obs::CounterId configLoads, configFaults, linkStalls;
   obs::CounterId escalations, deescalations, bladeBusyPs;
+  obs::CounterId traceRecorded, traceTailEligible, traceKeptTail;
+  obs::CounterId traceKeptSampled, traceDroppedCap;
+  obs::CounterId sloGood, sloBad;
   obs::HistogramId latencyPs, queueWaitPs, servicePs, attempts;
 };
 
@@ -53,6 +59,7 @@ Ids internIds() {
   ids.shedBreaker = t.counter("fleet.shed.breaker");
   ids.shedDeadline = t.counter("fleet.shed.deadline");
   ids.shedQueue = t.counter("fleet.shed.queue");
+  ids.shedRateLimit = t.counter("fleet.shed.ratelimit");
   ids.completedOk = t.counter("fleet.completed.ok");
   ids.completedFailed = t.counter("fleet.completed.failed");
   ids.retries = t.counter("fleet.retries");
@@ -69,6 +76,13 @@ Ids internIds() {
   ids.escalations = t.counter("fleet.blade.escalations");
   ids.deescalations = t.counter("fleet.blade.deescalations");
   ids.bladeBusyPs = t.counter("fleet.blade.busy_ps");
+  ids.traceRecorded = t.counter("fleet.trace.recorded");
+  ids.traceTailEligible = t.counter("fleet.trace.tail_eligible");
+  ids.traceKeptTail = t.counter("fleet.trace.kept_tail");
+  ids.traceKeptSampled = t.counter("fleet.trace.kept_sampled");
+  ids.traceDroppedCap = t.counter("fleet.trace.dropped_cap");
+  ids.sloGood = t.counter("fleet.slo.good");
+  ids.sloBad = t.counter("fleet.slo.bad");
   ids.latencyPs = t.histogram("fleet.latency_ps");
   ids.queueWaitPs = t.histogram("fleet.queue_wait_ps");
   ids.servicePs = t.histogram("fleet.service_ps");
@@ -96,6 +110,7 @@ struct EventAfter {
 struct Request {
   std::int64_t arrivalPs = 0;
   std::uint32_t task = 0;
+  std::uint32_t user = 0;  ///< owning simulated user (rate-limit bucket)
   std::uint64_t bytes = 0;
   std::uint8_t attempts = 0;  ///< dispatches so far (fresh + retries)
   bool done = false;
@@ -110,6 +125,7 @@ enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 struct Job {
   std::uint32_t req = 0;
   std::int64_t enqueuePs = 0;
+  std::uint8_t attempt = 0;  ///< the request's attempt number at dispatch
   bool probe = false;  ///< dispatched while the blade was half-open
   bool hedge = false;  ///< the hedged copy, not the primary dispatch
 };
@@ -145,6 +161,8 @@ struct CellResult {
   obs::MetricsSnapshot metrics;
   std::vector<double> utilization;
   std::int64_t endPs = 0;
+  trace::CellTrace trace{};   ///< kept request traces (tracing enabled)
+  obs::TimeSeries series{};   ///< windowed series (tracing or SLO enabled)
 };
 
 /// Registry::observe's bucket logic for a cell-local summary (the hedge
@@ -198,6 +216,18 @@ struct Cell {
   obs::HistogramSummary localLatency;
   std::vector<std::uint32_t> eligible;  ///< routing scratch
 
+  // Observers. The recorder and series are driven from the same event
+  // callbacks the counters come from; neither consumes an RNG draw, so
+  // the simulated bytes are identical with them on or off.
+  std::unique_ptr<trace::CellRecorder> recorder;
+  trace::CellRecorder* rec = nullptr;  ///< nullptr when tracing is off
+  bool recordSeries = false;
+  obs::TimeSeries series;
+  std::int64_t sloTargetPs = 0;
+  // Per-user token buckets (rate limiter); refilled lazily in sim time.
+  std::vector<double> rlTokens;
+  std::vector<std::int64_t> rlLastPs;
+
   Cell(const FleetOptions& opt, const BladeProfile& prof, const Ids& i,
        std::size_t cellIdx)
       : options(opt),
@@ -213,18 +243,24 @@ struct Cell {
 
   /// Lazy time-based breaker transition: Open cools down into HalfOpen
   /// the first time routing looks at the blade past its reopen time.
-  void refreshBreaker(Blade& blade) {
+  void refreshBreaker(std::uint32_t bladeIdx) {
+    Blade& blade = blades[bladeIdx];
     if (blade.state == BreakerState::kOpen && nowPs >= blade.reopenAtPs) {
       blade.state = BreakerState::kHalfOpen;
       blade.probesInFlight = 0;
       blade.probeOk = 0;
       reg.add(ids.breakerHalfOpens);
+      if (rec) {
+        rec->bladeMark(bladeIdx, trace::BladeMarkKind::kBreakerHalfOpen,
+                       nowPs);
+      }
     }
   }
 
-  bool bladeEligible(Blade& blade) {
+  bool bladeEligible(std::uint32_t bladeIdx) {
     if (!options.breaker.enabled) return true;
-    refreshBreaker(blade);
+    refreshBreaker(bladeIdx);
+    const Blade& blade = blades[bladeIdx];
     if (blade.state == BreakerState::kClosed) return true;
     return blade.state == BreakerState::kHalfOpen &&
            blade.probesInFlight < options.breaker.halfOpenProbes;
@@ -241,10 +277,10 @@ struct Cell {
     eligible.clear();
     for (std::uint32_t b = 0; b < blades.size(); ++b) {
       if (static_cast<std::int32_t>(b) == exclude) continue;
-      if (bladeEligible(blades[b])) eligible.push_back(b);
+      if (bladeEligible(b)) eligible.push_back(b);
     }
     if (eligible.empty() && exclude >= 0 &&
-        bladeEligible(blades[static_cast<std::size_t>(exclude)])) {
+        bladeEligible(static_cast<std::uint32_t>(exclude))) {
       eligible.push_back(static_cast<std::uint32_t>(exclude));
     }
     if (eligible.empty()) return -1;
@@ -277,10 +313,12 @@ struct Cell {
     const TaskProfile& t = profile.tasks[r.task];
     reg.observe(ids.queueWaitPs, nowPs - job.enqueuePs);
 
-    std::int64_t servicePs = 0;
+    std::int64_t stallPs = 0;
+    std::int64_t configPs = 0;
+    std::int64_t execPs = 0;
     bool willFail = false;
     if (drawFault(blade, blade.plan.linkStallRate, blade.stallTick)) {
-      servicePs += blade.plan.stallDuration.ps();
+      stallPs = blade.plan.stallDuration.ps();
       reg.add(ids.linkStalls);
     }
     // A blade degraded to the full-PRR rung or beyond has lost confidence
@@ -291,9 +329,8 @@ struct Cell {
                           config::RecoveryRung::kFullPrrReload);
     if (needsConfig) {
       reg.add(ids.configLoads);
-      const std::int64_t configPs = static_cast<std::int64_t>(
+      configPs = static_cast<std::int64_t>(
           static_cast<double>(t.configPs) * kRungConfigFactor[blade.rung]);
-      servicePs += configPs;
       const double loadRate =
           blade.plan.transferTimeoutRate + blade.plan.icapAbortRate +
           blade.plan.apiRejectRate +
@@ -305,8 +342,9 @@ struct Cell {
         reg.add(ids.configFaults);
       }
     }
-    if (!willFail) servicePs += t.execPs(r.bytes);
-    servicePs = std::max<std::int64_t>(1, servicePs);
+    if (!willFail) execPs = t.execPs(r.bytes);
+    const std::int64_t servicePs =
+        std::max<std::int64_t>(1, stallPs + configPs + execPs);
 
     blade.busy = true;
     blade.current = job;
@@ -314,6 +352,10 @@ struct Cell {
     blade.busyPs += servicePs;
     reg.observe(ids.servicePs, servicePs);
     schedule(nowPs + servicePs, EventKind::kCompletion, bladeIdx);
+    if (rec) {
+      rec->onServiceStart(job.req, job.attempt, bladeIdx, nowPs, stallPs,
+                          configPs, execPs, nowPs + servicePs);
+    }
   }
 
   void dispatch(std::uint32_t bladeIdx, std::uint32_t reqIdx, bool hedge) {
@@ -329,7 +371,9 @@ struct Cell {
     }
     ++r.attempts;
     ++r.inFlight;
+    job.attempt = r.attempts;
     if (!hedge) r.primaryBlade = static_cast<std::int32_t>(bladeIdx);
+    if (rec) rec->onDispatch(reqIdx, job.attempt, hedge, bladeIdx, nowPs);
     if (blade.busy) {
       blade.queue.push_back(job);
     } else {
@@ -340,25 +384,52 @@ struct Cell {
   /// Admission -> routing -> dispatch for one fresh arrival. Sheds (and
   /// returns) when no breaker admits traffic, the queue is over depth,
   /// or the estimated wait blows the SLO-derived deadline.
+  /// Sheds one fresh request: counter, terminal trace, series window.
+  void shedFresh(std::uint32_t reqIdx, obs::CounterId counter,
+                 trace::Outcome outcome) {
+    reg.add(counter);
+    requests[reqIdx].failed = true;
+    if (recordSeries) {
+      obs::TimeSeries::Window& w = series.at(nowPs);
+      ++w.shed;
+      ++w.bad;
+    }
+    if (rec) rec->onShed(reqIdx, outcome, nowPs);
+  }
+
   void admitFresh(std::uint32_t reqIdx) {
     Request& r = requests[reqIdx];
     reg.add(ids.offered);
+    if (rec) rec->onArrival(reqIdx, nowPs);
+    // Per-user token bucket ahead of routing: a rate-limited user's
+    // request never consumes a routing decision or queue estimate.
+    if (options.rateLimit.enabled) {
+      double& tokens = rlTokens[r.user];
+      std::int64_t& lastPs = rlLastPs[r.user];
+      tokens = std::min(options.rateLimit.burst,
+                        tokens + options.rateLimit.ratePerSecond *
+                                     static_cast<double>(nowPs - lastPs) *
+                                     1e-12);
+      lastPs = nowPs;
+      if (tokens < 1.0) {
+        shedFresh(reqIdx, ids.shedRateLimit, trace::Outcome::kShedRateLimit);
+        return;
+      }
+      tokens -= 1.0;
+    }
     const std::int32_t choice = route(/*exclude=*/-1);
     if (choice < 0) {
-      reg.add(ids.shedBreaker);
-      r.failed = true;
+      shedFresh(reqIdx, ids.shedBreaker, trace::Outcome::kShedBreaker);
       return;
     }
     const auto bladeIdx = static_cast<std::uint32_t>(choice);
     const std::size_t d = depth(blades[bladeIdx]);
     if (d >= options.admission.maxQueueDepth) {
-      reg.add(ids.shedQueue);
-      r.failed = true;
+      shedFresh(reqIdx, ids.shedQueue, trace::Outcome::kShedQueue);
       return;
     }
     if (static_cast<std::int64_t>(d) * meanServicePs > deadlineWaitPs) {
-      reg.add(ids.shedDeadline);
-      r.failed = true;
+      shedFresh(reqIdx, ids.shedDeadline, trace::Outcome::kShedDeadline);
       return;
     }
     reg.add(ids.admitted);
@@ -384,12 +455,18 @@ struct Cell {
     if (options.arrival == ArrivalProcess::kTrace) {
       const TraceArrival& ta =
           options.trace[traceIdx++ % options.trace.size()];
-      r.task = ta.task >= 0 ? static_cast<std::uint32_t>(ta.task) %
-                                  static_cast<std::uint32_t>(taskCount())
-                            : drawTask();
+      if (ta.task >= 0) {
+        r.task = static_cast<std::uint32_t>(ta.task) %
+                 static_cast<std::uint32_t>(taskCount());
+        // No RNG draw for an explicit task: attribute it to the user the
+        // affinity mapping would prefer it.
+        r.user = static_cast<std::uint32_t>(r.task % options.users);
+      } else {
+        r.task = drawTask(r.user);
+      }
       r.bytes = ta.bytes > 0 ? ta.bytes : drawBytes();
     } else {
-      r.task = drawTask();
+      r.task = drawTask(r.user);
       r.bytes = drawBytes();
     }
     const auto reqIdx = static_cast<std::uint32_t>(requests.size());
@@ -399,10 +476,13 @@ struct Cell {
     if (generated < quota) scheduleNextArrival();
   }
 
-  std::uint32_t drawTask() {
-    const std::uint64_t user = rng.below(options.users);
+  /// Draws the owning user and the task; the draw order (user, affinity,
+  /// optional uniform task) is part of the determinism contract.
+  std::uint32_t drawTask(std::uint32_t& user) {
+    const std::uint64_t drawn = rng.below(options.users);
+    user = static_cast<std::uint32_t>(drawn);
     if (rng.chance(options.taskAffinity)) {
-      return static_cast<std::uint32_t>(user % taskCount());
+      return static_cast<std::uint32_t>(drawn % taskCount());
     }
     return static_cast<std::uint32_t>(rng.below(taskCount()));
   }
@@ -434,10 +514,17 @@ struct Cell {
 
   /// A request reached a terminal failure (attempts exhausted or retry
   /// budget empty) with no copy left in flight.
-  void finishFailed(Request& r) {
+  void finishFailed(std::uint32_t reqIdx) {
+    Request& r = requests[reqIdx];
     r.failed = true;
     reg.add(ids.completedFailed);
     reg.observe(ids.attempts, r.attempts);
+    if (recordSeries) {
+      obs::TimeSeries::Window& w = series.at(nowPs);
+      ++w.failed;
+      ++w.bad;
+    }
+    if (rec) rec->onFailed(reqIdx, nowPs);
   }
 
   void onCompletion(std::uint32_t bladeIdx) {
@@ -457,6 +544,10 @@ struct Cell {
           blade.rung + 1 < config::kRecoveryRungCount) {
         ++blade.rung;
         reg.add(ids.escalations);
+        if (rec) {
+          rec->bladeMark(bladeIdx, trace::BladeMarkKind::kLadderEscalate,
+                         nowPs);
+        }
       }
     } else {
       blade.consecFail = 0;
@@ -466,6 +557,10 @@ struct Cell {
         --blade.rung;
         blade.consecOk = 0;
         reg.add(ids.deescalations);
+        if (rec) {
+          rec->bladeMark(bladeIdx, trace::BladeMarkKind::kLadderDeescalate,
+                         nowPs);
+        }
       }
     }
 
@@ -478,12 +573,21 @@ struct Cell {
           blade.state = BreakerState::kOpen;
           blade.reopenAtPs = nowPs + options.breaker.openDuration.ps();
           reg.add(ids.breakerOpens);
+          if (recordSeries) ++series.at(nowPs).breakerOpens;
+          if (rec) {
+            rec->bladeMark(bladeIdx, trace::BladeMarkKind::kBreakerOpen,
+                           nowPs);
+          }
         } else {
           ++blade.probeOk;
           if (blade.probeOk >= options.breaker.probeSuccesses) {
             blade.state = BreakerState::kClosed;
             blade.consecFail = 0;
             reg.add(ids.breakerCloses);
+            if (rec) {
+              rec->bladeMark(bladeIdx, trace::BladeMarkKind::kBreakerClose,
+                             nowPs);
+            }
           }
         }
       } else if (blade.state == BreakerState::kClosed && fail &&
@@ -493,6 +597,10 @@ struct Cell {
         blade.state = BreakerState::kOpen;
         blade.reopenAtPs = nowPs + options.breaker.openDuration.ps();
         reg.add(ids.breakerOpens);
+        if (recordSeries) ++series.at(nowPs).breakerOpens;
+        if (rec) {
+          rec->bladeMark(bladeIdx, trace::BladeMarkKind::kBreakerOpen, nowPs);
+        }
       }
     }
 
@@ -504,14 +612,38 @@ struct Cell {
         reg.add(ids.completedOk);
         const std::int64_t latencyPs = nowPs - r.arrivalPs;
         reg.observe(ids.latencyPs, latencyPs);
+        // The slow-tail threshold is the quantile *before* this sample:
+        // a request cannot make itself look fast by shifting the bar.
+        std::int64_t slowThresholdPs = -1;
+        if (rec && localLatency.count >=
+                       static_cast<std::uint64_t>(
+                           options.tracing.slowMinSamples)) {
+          slowThresholdPs = static_cast<std::int64_t>(
+              localLatency.quantile(options.tracing.slowQuantile));
+        }
         observeLocal(localLatency, latencyPs);
         reg.observe(ids.attempts, r.attempts);
         if (job.hedge) reg.add(ids.hedgeWins);
+        if (recordSeries) {
+          obs::TimeSeries::Window& w = series.at(nowPs);
+          ++w.completed;
+          observeLocal(w.latency, latencyPs);
+          if (latencyPs <= sloTargetPs) {
+            ++w.good;
+          } else {
+            ++w.bad;
+          }
+        }
+        if (rec) {
+          rec->onDone(job.req, job.hedge, nowPs, slowThresholdPs,
+                      sloTargetPs);
+        }
       } else if (r.inFlight == 0) {
         if (r.attempts < options.retry.maxAttempts) {
           if (retryTokens >= 1.0) {
             retryTokens -= 1.0;
             reg.add(ids.retries);
+            if (recordSeries) ++series.at(nowPs).retries;
             const double backoff =
                 static_cast<double>(options.retry.backoffBase.ps()) *
                 std::pow(options.retry.backoffFactor, r.attempts - 1);
@@ -520,10 +652,11 @@ struct Cell {
                      EventKind::kRetry, job.req);
           } else {
             reg.add(ids.retriesDenied);
-            finishFailed(r);
+            if (rec) rec->onRetryDenied(job.req, nowPs);
+            finishFailed(job.req);
           }
         } else {
-          finishFailed(r);
+          finishFailed(job.req);
         }
       }
     }
@@ -542,6 +675,7 @@ struct Cell {
       if (r.done) {
         --r.inFlight;
         reg.add(ids.hedgeCancelled);
+        if (rec) rec->onCancelled(job.req, job.attempt, nowPs);
         if (job.probe && blade.state == BreakerState::kHalfOpen &&
             blade.probesInFlight > 0) {
           --blade.probesInFlight;
@@ -557,7 +691,7 @@ struct Cell {
     if (r.done || r.failed) return;
     const std::int32_t choice = route(r.primaryBlade);
     if (choice < 0) {
-      finishFailed(r);
+      finishFailed(reqIdx);
       return;
     }
     dispatch(static_cast<std::uint32_t>(choice), reqIdx, /*hedge=*/false);
@@ -577,10 +711,24 @@ struct Cell {
     hedgeTokens -= 1.0;
     r.hedged = true;
     reg.add(ids.hedges);
+    if (rec) rec->onHedgeLaunch(reqIdx, nowPs);
     dispatch(static_cast<std::uint32_t>(choice), reqIdx, /*hedge=*/true);
   }
 
   CellResult run(std::size_t cellIdx) {
+    if (options.tracing.enabled) {
+      recorder = std::make_unique<trace::CellRecorder>(options.tracing,
+                                                       options.seed, cellIdx);
+      rec = recorder.get();
+    }
+    recordSeries = options.slo.enabled || rec != nullptr;
+    series = obs::TimeSeries{options.slo.windowPs > 0
+                                 ? options.slo.windowPs
+                                 : obs::SloSpec{}.windowPs};
+    if (options.rateLimit.enabled) {
+      rlTokens.assign(options.users, options.rateLimit.burst);
+      rlLastPs.assign(options.users, 0);
+    }
     const std::size_t totalBlades = options.cells * options.bladesPerCell;
     const std::uint64_t degradedCount = static_cast<std::uint64_t>(
         std::llround(options.degradedFraction *
@@ -617,6 +765,8 @@ struct Cell {
                    static_cast<double>(profile.meanConfigPs())));
     deadlineWaitPs = static_cast<std::int64_t>(
         options.admission.sloFactor * static_cast<double>(meanServicePs));
+    sloTargetPs = options.slo.latencyTargetPs > 0 ? options.slo.latencyTargetPs
+                                                  : deadlineWaitPs;
     interarrivalPs = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(
                static_cast<double>(meanServicePs) /
@@ -647,6 +797,19 @@ struct Cell {
           endPs > 0 ? static_cast<double>(blade.busyPs) /
                           static_cast<double>(endPs)
                     : 0.0);
+    }
+    if (rec) {
+      result.trace = rec->take();
+      reg.add(ids.traceRecorded, result.trace.recorded);
+      reg.add(ids.traceTailEligible, result.trace.tailEligible);
+      reg.add(ids.traceKeptTail, result.trace.keptTail);
+      reg.add(ids.traceKeptSampled, result.trace.keptSampled);
+      reg.add(ids.traceDroppedCap, result.trace.droppedCap);
+    }
+    if (recordSeries) {
+      reg.add(ids.sloGood, series.totalGood());
+      reg.add(ids.sloBad, series.totalBad());
+      result.series = std::move(series);
     }
     result.metrics = reg.snapshot();
     return result;
@@ -683,6 +846,24 @@ void validate(const FleetOptions& options) {
       "runFleet: degradedFraction must be within [0, 1]");
   util::require(options.escalateAfter >= 1 && options.recoverAfter >= 1,
                 "runFleet: escalate/recover streaks must be at least 1");
+  util::require(!options.rateLimit.enabled ||
+                    (options.rateLimit.ratePerSecond > 0.0 &&
+                     options.rateLimit.burst > 0.0),
+                "runFleet: rate limiter needs positive rate and burst");
+  util::require(!options.tracing.enabled ||
+                    (options.tracing.sampleRate >= 0.0 &&
+                     options.tracing.sampleRate <= 1.0),
+                "runFleet: tracing.sampleRate must be within [0, 1]");
+  util::require(!options.tracing.enabled ||
+                    (options.tracing.slowQuantile > 0.0 &&
+                     options.tracing.slowQuantile < 1.0),
+                "runFleet: tracing.slowQuantile must be within (0, 1)");
+  util::require(!options.slo.enabled ||
+                    (options.slo.objective > 0.0 &&
+                     options.slo.objective < 1.0),
+                "runFleet: slo.objective must be within (0, 1)");
+  util::require(!options.slo.enabled || options.slo.windowPs > 0,
+                "runFleet: slo.windowPs must be positive");
 }
 
 }  // namespace
@@ -739,9 +920,10 @@ FleetReport runFleet(const tasks::FunctionRegistry& registry,
   const obs::MetricsSnapshot& m = report.metrics;
   report.offered = m.counterOr("fleet.offered");
   report.admitted = m.counterOr("fleet.admitted");
+  report.shedRateLimited = m.counterOr("fleet.shed.ratelimit");
   report.shed = m.counterOr("fleet.shed.breaker") +
                 m.counterOr("fleet.shed.deadline") +
-                m.counterOr("fleet.shed.queue");
+                m.counterOr("fleet.shed.queue") + report.shedRateLimited;
   report.completed = m.counterOr("fleet.completed.ok");
   report.failed = m.counterOr("fleet.completed.failed");
   report.retries = m.counterOr("fleet.retries");
@@ -750,6 +932,12 @@ FleetReport runFleet(const tasks::FunctionRegistry& registry,
   report.hedgeWins = m.counterOr("fleet.hedge_wins");
   report.breakerOpens = m.counterOr("fleet.breaker.opens");
   report.breakerCloses = m.counterOr("fleet.breaker.closes");
+  report.tracesRecorded = m.counterOr("fleet.trace.recorded");
+  report.tailEligible = m.counterOr("fleet.trace.tail_eligible");
+  report.tracesKeptTail = m.counterOr("fleet.trace.kept_tail");
+  report.tracesKeptSampled = m.counterOr("fleet.trace.kept_sampled");
+  report.tracesDroppedCap = m.counterOr("fleet.trace.dropped_cap");
+  report.tracesKept = report.tracesKeptTail + report.tracesKeptSampled;
   if (const auto it = m.histograms.find("fleet.latency_ps");
       it != m.histograms.end()) {
     report.latency = it->second;
@@ -784,6 +972,36 @@ FleetReport runFleet(const tasks::FunctionRegistry& registry,
   report.metrics.gauges["fleet.retry.budget_consumption"] =
       report.retryBudgetConsumption();
   report.metrics.gauges["fleet.shed.rate"] = report.shedRate();
+
+  // Fold the windowed series across cells (window widths match: every
+  // cell derives the width from the same SLO spec), then gate on it.
+  if (options.slo.enabled || options.tracing.enabled) {
+    report.series = obs::TimeSeries{options.slo.windowPs > 0
+                                        ? options.slo.windowPs
+                                        : obs::SloSpec{}.windowPs};
+    for (const CellResult& cell : cells) report.series.fold(cell.series);
+  }
+  if (options.tracing.enabled) {
+    report.traces.cells.reserve(cells.size());
+    for (CellResult& cell : cells) {
+      report.traces.cells.push_back(std::move(cell.trace));
+    }
+  }
+  if (options.slo.enabled) {
+    report.slo = obs::evaluateSlo(report.series, options.slo);
+    report.metrics.gauges["fleet.slo.good_fraction"] =
+        report.slo.goodFraction;
+    report.metrics.gauges["fleet.slo.fast_burn_max"] = report.slo.fastBurnMax;
+    report.metrics.gauges["fleet.slo.slow_burn_max"] = report.slo.slowBurnMax;
+    report.metrics.counters["fleet.slo.breach_windows"] =
+        report.slo.breachWindows;
+    report.metrics.counters["fleet.slo.pass"] = report.slo.pass ? 1 : 0;
+  }
+  if (options.hooks.trace && options.tracing.enabled) {
+    trace::exportFleetTrace(report.traces, *options.hooks.trace);
+    options.hooks.trace->addCounters("fleet/series",
+                                     report.series.counterTracks("fleet"));
+  }
 
   if (options.hooks.metrics) options.hooks.metrics->absorb(report.metrics);
   if (options.hooks.shardedMetrics) {

@@ -50,8 +50,11 @@
 #include "fault/fault.hpp"
 #include "fleet/calibrate.hpp"
 #include "obs/hooks.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/scenario.hpp"
 #include "tasks/hwfunction.hpp"
+#include "trace/policy.hpp"
+#include "trace/request.hpp"
 
 namespace prtr::fleet {
 
@@ -116,6 +119,16 @@ struct AdmissionPolicy {
   std::uint32_t maxQueueDepth = 64;
 };
 
+/// Per-user token-bucket rate limiting at admission. Each simulated user
+/// owns a bucket that refills at `ratePerSecond` tokens per simulated
+/// second up to `burst`; a fresh arrival whose bucket is empty is shed
+/// before routing (it never consumes queue space or a routing decision).
+struct RateLimitPolicy {
+  bool enabled = false;
+  double ratePerSecond = 0.0;
+  double burst = 10.0;
+};
+
 /// Hedged requests: once a cell has observed `minSamples` completions, a
 /// fresh request still unfinished after the cell-local `quantile` latency
 /// gets a second copy on another blade. Hedges draw from their own token
@@ -157,7 +170,15 @@ struct FleetOptions {
   RetryPolicy retry{};
   BreakerPolicy breaker{};
   AdmissionPolicy admission{};
+  RateLimitPolicy rateLimit{};
   HedgePolicy hedge{};
+
+  /// Request-scoped tracing (tail-based sampling; see trace/policy.hpp).
+  /// A pure observer: enabling it changes no simulated byte.
+  trace::TracePolicy tracing{};
+  /// SLO objective + burn-rate windows evaluated over the run's
+  /// time-series; slo.enabled also turns the series on.
+  obs::SloSpec slo{};
 
   /// Fault plan for healthy blades (re-seeded per blade via forNode).
   fault::Plan faults{};
@@ -194,6 +215,15 @@ struct FleetReport {
   std::uint64_t hedgeWins = 0;      ///< requests completed by the hedge copy
   std::uint64_t breakerOpens = 0;
   std::uint64_t breakerCloses = 0;
+  std::uint64_t shedRateLimited = 0;  ///< subset of `shed` (token bucket)
+
+  /// Tracing tallies (all zero when FleetOptions::tracing is disabled).
+  std::uint64_t tracesRecorded = 0;     ///< requests reaching terminal state
+  std::uint64_t tracesKept = 0;         ///< kept by the tail-based sampler
+  std::uint64_t tracesKeptTail = 0;     ///< kept because tail (never capped)
+  std::uint64_t tracesKeptSampled = 0;  ///< kept by the hash sampler
+  std::uint64_t tracesDroppedCap = 0;   ///< rate-sampled keeps over the cap
+  std::uint64_t tailEligible = 0;       ///< requests classified as tail
 
   /// End-to-end latency of successful requests (arrival -> completion).
   obs::HistogramSummary latency;
@@ -205,6 +235,22 @@ struct FleetReport {
 
   /// fleet.* counters/histograms merged across cells (reduceSnapshots).
   obs::MetricsSnapshot metrics;
+
+  /// Windowed time-series folded across cells in cell order. Populated
+  /// when tracing or the SLO gate is enabled; empty otherwise.
+  obs::TimeSeries series{};
+  /// Burn-rate verdict; `slo.pass` stays true when the gate is disabled.
+  obs::SloResult slo{};
+  /// Kept request traces per cell (empty unless tracing is enabled).
+  trace::FleetTrace traces{};
+
+  /// Fraction of tail-eligible requests the sampler kept — 1.0 by
+  /// construction whenever any request qualified as tail.
+  [[nodiscard]] double tailRetention() const noexcept {
+    return tailEligible ? static_cast<double>(tracesKeptTail) /
+                              static_cast<double>(tailEligible)
+                        : 1.0;
+  }
 
   /// Retry dispatches as a fraction of admitted fresh traffic — bounded
   /// by RetryPolicy::budgetFraction (plus the burst allowance) by

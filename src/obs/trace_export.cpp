@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -48,6 +49,41 @@ void ChromeTrace::add(const std::string& processName,
       proc.spanLane.push_back(
           static_cast<std::size_t>(it - proc.lanes.begin()));
     }
+  }
+  processes_.push_back(std::move(proc));
+}
+
+void ChromeTrace::addProcess(ProcessTrace process) {
+  Process proc;
+  proc.name = std::move(process.name);
+  proc.lanes = std::move(process.lanes);
+  std::unordered_map<std::string, std::size_t> laneIndex;
+  laneIndex.reserve(proc.lanes.size());
+  for (std::size_t t = 0; t < proc.lanes.size(); ++t) {
+    laneIndex.emplace(proc.lanes[t], t);
+  }
+  const auto resolve = [&](const std::string& lane) {
+    const auto it = laneIndex.find(lane);
+    if (it != laneIndex.end()) return it->second;
+    const std::size_t idx = proc.lanes.size();
+    proc.lanes.push_back(lane);
+    laneIndex.emplace(lane, idx);
+    return idx;
+  };
+  proc.spans = std::move(process.spans);
+  proc.spanLane.reserve(proc.spans.size());
+  for (const sim::NamedSpan& span : proc.spans) {
+    proc.spanLane.push_back(resolve(span.lane));
+  }
+  proc.instants = std::move(process.instants);
+  proc.instantLane.reserve(proc.instants.size());
+  for (const TraceInstant& instant : proc.instants) {
+    proc.instantLane.push_back(resolve(instant.lane));
+  }
+  proc.flows = std::move(process.flows);
+  proc.flowLane.reserve(proc.flows.size());
+  for (const TraceFlow& flow : proc.flows) {
+    proc.flowLane.push_back(resolve(flow.lane));
   }
   processes_.push_back(std::move(proc));
 }
@@ -128,6 +164,37 @@ void ChromeTrace::write(std::ostream& os) const {
       w.key("tid").value(static_cast<std::uint64_t>(proc.spanLane[i] + 1));
       w.key("ts").raw(microsecondsFromPicoseconds(span.start.ps()));
       w.key("dur").raw(microsecondsFromPicoseconds((span.end - span.start).ps()));
+      w.endObject();
+    }
+  }
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    const Process& proc = processes_[p];
+    for (std::size_t i = 0; i < proc.instants.size(); ++i) {
+      const TraceInstant& instant = proc.instants[i];
+      w.beginObject();
+      w.key("name").value(instant.label);
+      w.key("cat").value(proc.lanes[proc.instantLane[i]]);
+      w.key("ph").value("i");
+      w.key("s").value("t");
+      w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+      w.key("tid").value(static_cast<std::uint64_t>(proc.instantLane[i] + 1));
+      w.key("ts").raw(microsecondsFromPicoseconds(instant.atPs));
+      w.endObject();
+    }
+  }
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    const Process& proc = processes_[p];
+    for (std::size_t i = 0; i < proc.flows.size(); ++i) {
+      const TraceFlow& flow = proc.flows[i];
+      w.beginObject();
+      w.key("name").value(flow.label);
+      w.key("cat").value("flow");
+      w.key("ph").value(flow.begin ? "s" : "f");
+      if (!flow.begin) w.key("bp").value("e");
+      w.key("id").value(flow.id);
+      w.key("pid").value(static_cast<std::uint64_t>(p + 1));
+      w.key("tid").value(static_cast<std::uint64_t>(proc.flowLane[i] + 1));
+      w.key("ts").raw(microsecondsFromPicoseconds(flow.atPs));
       w.endObject();
     }
   }

@@ -34,12 +34,47 @@ struct CounterTrack {
   std::vector<CounterSample> samples;
 };
 
+/// One instant ("i") event on a lane — a zero-duration annotation such as
+/// "breaker:open" or "hedge:win".
+struct TraceInstant {
+  std::string lane;
+  std::string label;
+  std::int64_t atPs = 0;
+};
+
+/// One half of a flow arrow ("s"/"f" event pair). Events sharing an id form
+/// one arrow; `begin` distinguishes the start from the finish.
+struct TraceFlow {
+  std::string lane;
+  std::string label;
+  std::string id;
+  std::int64_t atPs = 0;
+  bool begin = true;
+};
+
+/// A pre-grouped process: lane order is declared up front and every span
+/// names its lane, so ingestion is a hash lookup per span instead of the
+/// O(lanes) scan add() performs — the difference matters when a fleet trace
+/// carries thousands of request lanes.
+struct ProcessTrace {
+  std::string name;
+  std::vector<std::string> lanes;  ///< declared order; tid = index + 1
+  std::vector<sim::NamedSpan> spans;
+  std::vector<TraceInstant> instants;
+  std::vector<TraceFlow> flows;
+};
+
 /// Collects timelines and writes one Chrome-trace JSON document.
 class ChromeTrace {
  public:
   /// Adds every span of `timeline` under a process named `processName`.
   /// Lanes map to thread ids in first-seen order; span order is preserved.
   void add(const std::string& processName, const sim::Timeline& timeline);
+
+  /// Adds a pre-grouped process (lanes declared up front; spans, instants
+  /// and flows name their lanes). Lanes not declared are appended in
+  /// first-seen order.
+  void addProcess(ProcessTrace process);
 
   /// Attaches counter tracks to the process named `processName` (sharing its
   /// pid so the curves render above that process's lanes). When no process
@@ -54,7 +89,8 @@ class ChromeTrace {
 
   /// Writes {"traceEvents":[...]} — metadata first (process/thread names
   /// plus explicit sort indexes in insertion order, so Perfetto lane order
-  /// is stable across loads), then span events, then counter samples.
+  /// is stable across loads), then span events, then instants, then flow
+  /// arrows, then counter samples.
   void write(std::ostream& os) const;
   [[nodiscard]] std::string toJson() const;
 
@@ -67,6 +103,10 @@ class ChromeTrace {
     std::vector<std::string> lanes;        ///< tid = index, first-seen order
     std::vector<sim::NamedSpan> spans;
     std::vector<std::size_t> spanLane;     ///< lane index per span
+    std::vector<TraceInstant> instants;
+    std::vector<std::size_t> instantLane;  ///< lane index per instant
+    std::vector<TraceFlow> flows;
+    std::vector<std::size_t> flowLane;     ///< lane index per flow event
     std::vector<CounterTrack> counters;
   };
 

@@ -1,0 +1,33 @@
+#pragma once
+/// \file policy.hpp
+/// Tail-based sampling policy for request-scoped fleet tracing.
+///
+/// Every request is recorded while in flight; at its terminal decision the
+/// sampler keeps it or drops it. "Tail" requests — shed, failed,
+/// deadline-missed, hedge-won, or slower than the cell-local slow
+/// quantile — are always kept (they are the requests a trace exists to
+/// explain). The rest are kept with probability `sampleRate` by hashing
+/// the deterministic trace id, never by drawing from the simulation RNG,
+/// so enabling tracing cannot perturb a single simulated byte and the
+/// kept set is identical at any --threads.
+
+#include <cstdint>
+
+namespace prtr::trace {
+
+struct TracePolicy {
+  bool enabled = false;
+  /// Keep probability for non-tail requests, in [0, 1]. Decided by hashing
+  /// the trace id — no RNG stream is consumed.
+  double sampleRate = 0.01;
+  /// A completed request at or above this cell-local latency quantile
+  /// counts as tail (always kept).
+  double slowQuantile = 0.99;
+  /// Completions a cell must observe before the slow quantile is trusted.
+  std::uint64_t slowMinSamples = 1000;
+  /// Cap on rate-sampled keeps per cell. Tail keeps are never capped —
+  /// tail retention is 100% by construction.
+  std::uint64_t maxSampledPerCell = 10000;
+};
+
+}  // namespace prtr::trace

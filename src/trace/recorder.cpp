@@ -1,0 +1,302 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+namespace prtr::trace {
+namespace {
+
+/// Salt separating the sampler's hash stream from the trace-id stream.
+constexpr std::uint64_t kSampleSalt = 0x5ca1ab1e0ddba11ULL;
+
+/// Canonical export order: start time, then longer spans first (parents
+/// before children at equal starts), then nesting rank (the enum order).
+bool spanBefore(const SpanRec& a, const SpanRec& b) noexcept {
+  if (a.startPs != b.startPs) return a.startPs < b.startPs;
+  const std::int64_t durA = a.endPs - a.startPs;
+  const std::int64_t durB = b.endPs - b.startPs;
+  if (durA != durB) return durA > durB;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+}  // namespace
+
+CellRecorder::CellRecorder(const TracePolicy& policy, std::uint64_t seed,
+                           std::size_t cellIndex)
+    : policy_(policy), seed_(seed) {
+  out_.cell = cellIndex;
+  if (policy_.sampleRate >= 1.0) {
+    sampleAll_ = true;
+  } else if (policy_.sampleRate > 0.0) {
+    // rate < 1 keeps the product below 2^64, so the cast is exact enough
+    // and well-defined.
+    sampleThreshold_ = static_cast<std::uint64_t>(
+        policy_.sampleRate * 18446744073709551616.0);
+  }
+}
+
+RequestTrace& CellRecorder::live(std::uint32_t req, std::int64_t nowPs) {
+  RequestTrace& rt = live_[req];
+  if (rt.traceId == 0) {
+    rt.traceId = requestTraceId(seed_, out_.cell, req);
+    rt.index = req;
+    rt.arrivalPs = nowPs;
+  }
+  return rt;
+}
+
+SpanRec* CellRecorder::findSpan(RequestTrace& rt, SpanKind kind,
+                                std::uint8_t attempt) {
+  for (SpanRec& s : rt.spans) {
+    if (s.kind == kind && s.attempt == attempt) return &s;
+  }
+  return nullptr;
+}
+
+void CellRecorder::onArrival(std::uint32_t req, std::int64_t nowPs) {
+  live(req, nowPs);
+}
+
+void CellRecorder::onShed(std::uint32_t req, Outcome outcome,
+                          std::int64_t nowPs) {
+  const auto it = live_.find(req);
+  if (it == live_.end()) return;
+  MarkKind mark = MarkKind::kShedBreaker;
+  switch (outcome) {
+    case Outcome::kShedQueue: mark = MarkKind::kShedQueue; break;
+    case Outcome::kShedDeadline: mark = MarkKind::kShedDeadline; break;
+    case Outcome::kShedRateLimit: mark = MarkKind::kShedRateLimit; break;
+    default: break;
+  }
+  it->second.marks.push_back(MarkRec{mark, 0, nowPs});
+  finalize(req, outcome, nowPs, KeepReason::kShed);
+}
+
+void CellRecorder::onDispatch(std::uint32_t req, std::uint8_t attempt,
+                              bool hedge, std::uint32_t blade,
+                              std::int64_t nowPs) {
+  const auto it = live_.find(req);
+  if (it == live_.end()) return;
+  // Open spans carry endPs = -1 until service start closes them (or the
+  // terminal decision clips a losing hedge copy).
+  it->second.spans.push_back(SpanRec{SpanKind::kAttempt, attempt, hedge,
+                                     static_cast<std::int32_t>(blade), nowPs,
+                                     -1});
+  it->second.spans.push_back(
+      SpanRec{SpanKind::kQueue, attempt, hedge, -1, nowPs, -1});
+}
+
+void CellRecorder::onServiceStart(std::uint32_t req, std::uint8_t attempt,
+                                  std::uint32_t blade, std::int64_t startPs,
+                                  std::int64_t stallPs, std::int64_t reloadPs,
+                                  std::int64_t execPs,
+                                  std::int64_t completionPs) {
+  const auto it = live_.find(req);
+  if (it == live_.end()) return;
+  RequestTrace& rt = it->second;
+  if (SpanRec* queue = findSpan(rt, SpanKind::kQueue, attempt)) {
+    queue->endPs = startPs;
+  }
+  if (SpanRec* att = findSpan(rt, SpanKind::kAttempt, attempt)) {
+    att->endPs = completionPs;
+  }
+  rt.spans.push_back(SpanRec{SpanKind::kService, attempt, false,
+                             static_cast<std::int32_t>(blade), startPs,
+                             completionPs});
+  std::int64_t cursor = startPs;
+  if (stallPs > 0) {
+    rt.spans.push_back(SpanRec{SpanKind::kStall, attempt, false, -1, cursor,
+                               cursor + stallPs});
+    cursor += stallPs;
+  }
+  if (reloadPs > 0) {
+    rt.spans.push_back(SpanRec{SpanKind::kReload, attempt, false, -1, cursor,
+                               cursor + reloadPs});
+    cursor += reloadPs;
+  }
+  if (execPs > 0) {
+    rt.spans.push_back(SpanRec{SpanKind::kExecute, attempt, false, -1,
+                               completionPs - execPs, completionPs});
+  }
+}
+
+void CellRecorder::onCancelled(std::uint32_t req, std::uint8_t attempt,
+                               std::int64_t nowPs) {
+  // A copy is only discarded at dequeue after its request resolved, at
+  // which point the trace is already finalized (the losing copy's spans
+  // were clipped at the terminal decision). Kept for API completeness.
+  const auto it = live_.find(req);
+  if (it == live_.end()) return;
+  RequestTrace& rt = it->second;
+  if (SpanRec* queue = findSpan(rt, SpanKind::kQueue, attempt)) {
+    queue->endPs = nowPs;
+  }
+  if (SpanRec* att = findSpan(rt, SpanKind::kAttempt, attempt)) {
+    att->endPs = nowPs;
+  }
+  rt.marks.push_back(MarkRec{MarkKind::kHedgeCancel, attempt, nowPs});
+}
+
+void CellRecorder::onRetryDenied(std::uint32_t req, std::int64_t nowPs) {
+  const auto it = live_.find(req);
+  if (it == live_.end()) return;
+  it->second.marks.push_back(MarkRec{MarkKind::kRetryDenied, 0, nowPs});
+}
+
+void CellRecorder::onHedgeLaunch(std::uint32_t req, std::int64_t nowPs) {
+  const auto it = live_.find(req);
+  if (it == live_.end()) return;
+  it->second.marks.push_back(MarkRec{MarkKind::kHedgeLaunch, 0, nowPs});
+}
+
+void CellRecorder::onDone(std::uint32_t req, bool hedgeWin, std::int64_t nowPs,
+                          std::int64_t slowThresholdPs,
+                          std::int64_t deadlinePs) {
+  const auto it = live_.find(req);
+  if (it == live_.end()) return;
+  const std::int64_t latencyPs = nowPs - it->second.arrivalPs;
+  if (hedgeWin) {
+    it->second.marks.push_back(MarkRec{MarkKind::kHedgeWin, 0, nowPs});
+  }
+  KeepReason tail = KeepReason::kNone;
+  if (deadlinePs > 0 && latencyPs > deadlinePs) {
+    tail = KeepReason::kDeadlineMiss;
+  } else if (hedgeWin) {
+    tail = KeepReason::kHedgeWon;
+  } else if (slowThresholdPs >= 0 && latencyPs >= slowThresholdPs) {
+    tail = KeepReason::kSlow;
+  }
+  finalize(req, Outcome::kOk, nowPs, tail);
+}
+
+void CellRecorder::onFailed(std::uint32_t req, std::int64_t nowPs) {
+  if (live_.find(req) == live_.end()) return;
+  finalize(req, Outcome::kFailed, nowPs, KeepReason::kFailed);
+}
+
+void CellRecorder::bladeMark(std::uint32_t blade, BladeMarkKind kind,
+                             std::int64_t nowPs) {
+  out_.bladeMarks.push_back(BladeMark{blade, kind, nowPs});
+}
+
+void CellRecorder::finalize(std::uint32_t req, Outcome outcome,
+                            std::int64_t nowPs, KeepReason tailReason) {
+  const auto it = live_.find(req);
+  RequestTrace rt = std::move(it->second);
+  live_.erase(it);
+  rt.outcome = outcome;
+  rt.endPs = nowPs;
+  // Clip copies still open at the terminal decision (a queued hedge loser:
+  // it will be discarded at dequeue, costing the blade nothing further).
+  std::int64_t resolvedPs = nowPs;
+  for (SpanRec& s : rt.spans) {
+    if (s.endPs < 0) {
+      s.endPs = nowPs;
+      if (s.kind == SpanKind::kAttempt) {
+        rt.marks.push_back(MarkRec{MarkKind::kHedgeCancel, s.attempt, nowPs});
+      }
+    }
+    resolvedPs = std::max(resolvedPs, s.endPs);
+  }
+  // The root spans the full resolution window: a losing hedge copy already
+  // in service runs past the terminal decision, and no child span may
+  // outlive its request (RQ001).
+  rt.spans.push_back(SpanRec{SpanKind::kRequest, 0, false, -1, rt.arrivalPs,
+                             resolvedPs});
+  ++out_.recorded;
+  if (tailReason != KeepReason::kNone) {
+    ++out_.tailEligible;
+    ++out_.keptTail;
+    rt.keep = tailReason;
+    out_.kept.push_back(std::move(rt));
+    return;
+  }
+  const bool sampled =
+      sampleAll_ || (sampleThreshold_ > 0 &&
+                     mix64(rt.traceId ^ kSampleSalt) < sampleThreshold_);
+  if (!sampled) return;
+  if (out_.keptSampled >= policy_.maxSampledPerCell) {
+    ++out_.droppedCap;
+    return;
+  }
+  ++out_.keptSampled;
+  rt.keep = KeepReason::kSampled;
+  out_.kept.push_back(std::move(rt));
+}
+
+CellTrace CellRecorder::take() {
+  live_.clear();
+  CellTrace out = std::move(out_);
+  out_ = CellTrace{};
+  out_.cell = out.cell;
+  return out;
+}
+
+void exportFleetTrace(const FleetTrace& fleet, obs::ChromeTrace& chrome) {
+  for (const CellTrace& cell : fleet.cells) {
+    obs::ProcessTrace proc;
+    proc.name = "fleet/cell" + std::to_string(cell.cell);
+
+    // Blade-mark lanes first, in blade order, so breaker/ladder context
+    // sits above the request lanes.
+    std::vector<std::uint32_t> bladesWithMarks;
+    for (const BladeMark& mark : cell.bladeMarks) {
+      bladesWithMarks.push_back(mark.blade);
+    }
+    std::sort(bladesWithMarks.begin(), bladesWithMarks.end());
+    bladesWithMarks.erase(
+        std::unique(bladesWithMarks.begin(), bladesWithMarks.end()),
+        bladesWithMarks.end());
+    for (const std::uint32_t blade : bladesWithMarks) {
+      proc.lanes.push_back("blade" + std::to_string(blade));
+    }
+    for (const BladeMark& mark : cell.bladeMarks) {
+      proc.instants.push_back(
+          obs::TraceInstant{"blade" + std::to_string(mark.blade),
+                            toString(mark.kind), mark.atPs});
+    }
+
+    for (const RequestTrace& rt : cell.kept) {
+      const std::string lane = requestLaneName(rt.traceId);
+      proc.lanes.push_back(lane);
+
+      std::vector<SpanRec> spans = rt.spans;
+      std::stable_sort(spans.begin(), spans.end(), spanBefore);
+      for (const SpanRec& span : spans) {
+        proc.spans.push_back(
+            sim::NamedSpan{lane, spanLabel(span, rt.outcome), '#',
+                           util::Time::picoseconds(span.startPs),
+                           util::Time::picoseconds(span.endPs)});
+      }
+      for (const MarkRec& mark : rt.marks) {
+        proc.instants.push_back(
+            obs::TraceInstant{lane, toString(mark.kind), mark.atPs});
+      }
+
+      // Flow arrows: attempt N -> N+1. A hedge copy links from its launch;
+      // a retry links from the end of the failed attempt.
+      std::vector<const SpanRec*> attempts;
+      for (const SpanRec& span : spans) {
+        if (span.kind == SpanKind::kAttempt) attempts.push_back(&span);
+      }
+      std::sort(attempts.begin(), attempts.end(),
+                [](const SpanRec* a, const SpanRec* b) {
+                  return a->attempt < b->attempt;
+                });
+      for (std::size_t i = 1; i < attempts.size(); ++i) {
+        const SpanRec& prev = *attempts[i - 1];
+        const SpanRec& next = *attempts[i];
+        const std::string id =
+            traceIdHex(rt.traceId) + "." + std::to_string(next.attempt);
+        const char* label = next.hedge ? "hedge" : "retry";
+        const std::int64_t fromPs =
+            next.hedge ? next.startPs : std::min(prev.endPs, next.startPs);
+        proc.flows.push_back(obs::TraceFlow{lane, label, id, fromPs, true});
+        proc.flows.push_back(
+            obs::TraceFlow{lane, label, id, next.startPs, false});
+      }
+    }
+    chrome.addProcess(std::move(proc));
+  }
+}
+
+}  // namespace prtr::trace

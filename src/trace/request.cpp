@@ -1,0 +1,126 @@
+#include "trace/request.hpp"
+
+namespace prtr::trace {
+
+const char* toString(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kInFlight: return "in-flight";
+    case Outcome::kOk: return "ok";
+    case Outcome::kFailed: return "failed";
+    case Outcome::kShedBreaker: return "shed:breaker";
+    case Outcome::kShedQueue: return "shed:queue";
+    case Outcome::kShedDeadline: return "shed:deadline";
+    case Outcome::kShedRateLimit: return "shed:ratelimit";
+  }
+  return "?";
+}
+
+const char* toString(KeepReason reason) noexcept {
+  switch (reason) {
+    case KeepReason::kNone: return "none";
+    case KeepReason::kShed: return "shed";
+    case KeepReason::kFailed: return "failed";
+    case KeepReason::kDeadlineMiss: return "deadline-miss";
+    case KeepReason::kHedgeWon: return "hedge-won";
+    case KeepReason::kSlow: return "slow";
+    case KeepReason::kSampled: return "sampled";
+  }
+  return "?";
+}
+
+const char* toString(MarkKind kind) noexcept {
+  switch (kind) {
+    case MarkKind::kShedBreaker: return "shed:breaker";
+    case MarkKind::kShedQueue: return "shed:queue";
+    case MarkKind::kShedDeadline: return "shed:deadline";
+    case MarkKind::kShedRateLimit: return "shed:ratelimit";
+    case MarkKind::kRetryDenied: return "retry:denied";
+    case MarkKind::kHedgeLaunch: return "hedge:launch";
+    case MarkKind::kHedgeWin: return "hedge:win";
+    case MarkKind::kHedgeCancel: return "hedge:cancel";
+  }
+  return "?";
+}
+
+const char* toString(BladeMarkKind kind) noexcept {
+  switch (kind) {
+    case BladeMarkKind::kBreakerOpen: return "breaker:open";
+    case BladeMarkKind::kBreakerHalfOpen: return "breaker:half-open";
+    case BladeMarkKind::kBreakerClose: return "breaker:close";
+    case BladeMarkKind::kLadderEscalate: return "ladder:escalate";
+    case BladeMarkKind::kLadderDeescalate: return "ladder:deescalate";
+  }
+  return "?";
+}
+
+std::uint64_t FleetTrace::keptTotal() const noexcept {
+  std::uint64_t total = 0;
+  for (const CellTrace& cell : cells) total += cell.kept.size();
+  return total;
+}
+
+std::uint64_t FleetTrace::tailEligibleTotal() const noexcept {
+  std::uint64_t total = 0;
+  for (const CellTrace& cell : cells) total += cell.tailEligible;
+  return total;
+}
+
+std::uint64_t FleetTrace::keptTailTotal() const noexcept {
+  std::uint64_t total = 0;
+  for (const CellTrace& cell : cells) total += cell.keptTail;
+  return total;
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t requestTraceId(std::uint64_t seed, std::uint64_t cell,
+                             std::uint64_t index) noexcept {
+  const std::uint64_t id =
+      mix64(mix64(seed ^ (0x9e3779b97f4a7c15ULL * (cell + 1))) ^ index);
+  return id == 0 ? 1 : id;
+}
+
+std::string traceIdHex(std::uint64_t traceId) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[traceId & 0xF];
+    traceId >>= 4;
+  }
+  return out;
+}
+
+std::string requestLaneName(std::uint64_t traceId) {
+  return "rq:" + traceIdHex(traceId);
+}
+
+std::string spanLabel(const SpanRec& span, Outcome outcome) {
+  switch (span.kind) {
+    case SpanKind::kRequest:
+      return std::string{"request "} + toString(outcome);
+    case SpanKind::kAttempt: {
+      std::string out = "attempt#" + std::to_string(span.attempt);
+      if (span.hedge) out += ":hedge";
+      return out;
+    }
+    case SpanKind::kQueue:
+      return "queue#" + std::to_string(span.attempt);
+    case SpanKind::kService:
+      return "service#" + std::to_string(span.attempt) + "@b" +
+             std::to_string(span.blade);
+    case SpanKind::kStall:
+      return "stall#" + std::to_string(span.attempt);
+    case SpanKind::kReload:
+      return "reload#" + std::to_string(span.attempt);
+    case SpanKind::kExecute:
+      return "execute#" + std::to_string(span.attempt);
+  }
+  return "?";
+}
+
+}  // namespace prtr::trace

@@ -1,0 +1,57 @@
+#pragma once
+/// \file request_rules.hpp
+/// Request-lane invariant analyzer: checks the "rq:<id>" span trees a
+/// fleet trace carries (see trace/request.hpp for the label grammar) and
+/// reports violations as RQ0xx diagnostics:
+///
+///   RQ001  a child span extends outside its request's root span
+///   RQ002  a request lane without exactly one root "request ..." span
+///   RQ003  an attempt's component span escapes the attempt's bounds
+///   RQ004  a component span whose attempt number has no attempt span
+///   RQ005  hedge-winner uniqueness: multiple "hedge:win" marks, or a win
+///          on a lane with no hedged attempt
+///   RQ006  a shed request with dispatch activity (shed means the request
+///          never reached a blade)
+///
+/// The analyzer parses the exported labels back, so it runs over any
+/// captured --trace file with no access to the recorder's state.
+
+#include <string_view>
+
+#include "analyze/diagnostic.hpp"
+#include "verify/trace_load.hpp"
+
+namespace prtr::verify {
+
+/// A parsed request-lane span label.
+struct RequestLabel {
+  enum class Kind : std::uint8_t {
+    kUnknown,
+    kRequest,
+    kAttempt,
+    kQueue,
+    kService,
+    kStall,
+    kReload,
+    kExecute,
+  };
+  Kind kind = Kind::kUnknown;
+  int attempt = 0;          ///< 1-based; 0 for the root
+  int blade = -1;           ///< service spans only
+  bool hedge = false;       ///< "attempt#N:hedge"
+  std::string_view outcome; ///< root spans: "ok", "failed", "shed:queue", ...
+};
+
+/// Parses "request ok", "attempt#2:hedge", "service#1@b3", ... Unparseable
+/// labels return Kind::kUnknown.
+[[nodiscard]] RequestLabel parseRequestLabel(std::string_view label) noexcept;
+
+/// True for "rq:<id>" request lanes.
+[[nodiscard]] bool isRequestLane(std::string_view lane) noexcept;
+
+/// Checks every request lane of one loaded trace process and emits RQ
+/// diagnostics.
+void checkRequestLanes(const TraceProcess& process,
+                       analyze::DiagnosticSink& sink);
+
+}  // namespace prtr::verify

@@ -13,6 +13,7 @@ const char* overlapCode(LaneKind kind) noexcept {
     case LaneKind::kComputeRegion: return "TL004";
     case LaneKind::kLink: return "TL006";
     case LaneKind::kRecovery:
+    case LaneKind::kRequest:
     case LaneKind::kSerial: return "TL003";
   }
   return "TL003";
@@ -40,6 +41,7 @@ LaneKind classifyLane(std::string_view lane) noexcept {
   }
   if (lane.starts_with("HT")) return LaneKind::kLink;
   if (lane == "recovery") return LaneKind::kRecovery;
+  if (lane.starts_with("rq:")) return LaneKind::kRequest;
   return LaneKind::kSerial;
 }
 
@@ -75,6 +77,11 @@ void checkSpans(const std::string& process,
         break;  // one report per lane: later pairs are usually the same bug
       }
     }
+
+    // Request lanes hold one nested span tree: the root contains every
+    // attempt, so overlap is the design, not a violation. The RQ rules
+    // (request_rules.hpp) check the nesting instead.
+    if (kind == LaneKind::kRequest) continue;
 
     // Overlap check on start-sorted spans; the running max-end span is the
     // only candidate an in-order span can still overlap.

@@ -16,7 +16,10 @@
 /// Lane semantics follow the executors' conventions: "config" is the
 /// single configuration port, "PRR<n>"/"FPGA" are compute regions,
 /// "HT-in"/"HT-out" are dedicated simplex links, "recovery" holds PR-4
-/// recovery episodes, anything else ("CPU", ...) is a serial resource.
+/// recovery episodes, "rq:<id>" lanes carry one fleet request's nested
+/// span tree (checked by the RQ rules in request_rules.hpp, exempt from
+/// the serial-overlap rule), anything else ("CPU", ...) is a serial
+/// resource.
 
 #include <string>
 #include <string_view>
@@ -33,6 +36,7 @@ enum class LaneKind : std::uint8_t {
   kComputeRegion,  ///< PRR / full fabric: single residency (TL004)
   kLink,        ///< simplex HT channel: occupancy conservation (TL006)
   kRecovery,    ///< recovery episodes: serial + must pair with config
+  kRequest,     ///< "rq:" request lane: spans nest, overlap is expected
   kSerial,      ///< any other single resource (TL003)
 };
 

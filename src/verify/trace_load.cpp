@@ -9,6 +9,7 @@
 
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "verify/request_rules.hpp"
 #include "verify/timeline_rules.hpp"
 
 namespace prtr::verify {
@@ -49,10 +50,7 @@ std::vector<TraceProcess> loadChromeTrace(std::string_view jsonText) {
   }
 
   std::map<std::uint64_t, TraceProcess> processes;
-  for (const util::json::Value& event : events.asArray()) {
-    const util::json::Value* ph = event.find("ph");
-    if (ph == nullptr || ph->asString() != "X") continue;
-    const std::uint64_t pid = idOf(event, "pid");
+  const auto processOf = [&](std::uint64_t pid) -> TraceProcess& {
     TraceProcess& process = processes[pid];
     if (process.name.empty()) {
       const auto named = processNames.find(pid);
@@ -60,17 +58,46 @@ std::vector<TraceProcess> loadChromeTrace(std::string_view jsonText) {
                          ? named->second
                          : "pid " + std::to_string(pid);
     }
-    sim::NamedSpan span;
+    return process;
+  };
+  const auto laneOf = [&](const util::json::Value& event, std::uint64_t pid) {
     const auto lane = laneNames.find({pid, idOf(event, "tid")});
-    if (lane != laneNames.end()) {
-      span.lane = lane->second;
-    } else if (const util::json::Value* cat = event.find("cat")) {
-      span.lane = cat->asString();
+    if (lane != laneNames.end()) return lane->second;
+    if (const util::json::Value* cat = event.find("cat")) {
+      return cat->asString();
     }
-    span.label = event.at("name").asString();
-    span.start = timeFromMicroseconds(event.at("ts").asNumber());
-    span.end = span.start + timeFromMicroseconds(event.at("dur").asNumber());
-    process.spans.push_back(std::move(span));
+    return std::string{};
+  };
+  for (const util::json::Value& event : events.asArray()) {
+    const util::json::Value* ph = event.find("ph");
+    if (ph == nullptr) continue;
+    const std::string& kind = ph->asString();
+    const std::uint64_t pid = idOf(event, "pid");
+    if (kind == "X") {
+      TraceProcess& process = processOf(pid);
+      sim::NamedSpan span;
+      span.lane = laneOf(event, pid);
+      span.label = event.at("name").asString();
+      span.start = timeFromMicroseconds(event.at("ts").asNumber());
+      span.end = span.start + timeFromMicroseconds(event.at("dur").asNumber());
+      process.spans.push_back(std::move(span));
+    } else if (kind == "i") {
+      TraceProcess& process = processOf(pid);
+      InstantEvent instant;
+      instant.lane = laneOf(event, pid);
+      instant.label = event.at("name").asString();
+      instant.at = timeFromMicroseconds(event.at("ts").asNumber());
+      process.instants.push_back(std::move(instant));
+    } else if (kind == "s" || kind == "f") {
+      TraceProcess& process = processOf(pid);
+      FlowEvent flow;
+      flow.lane = laneOf(event, pid);
+      flow.label = event.at("name").asString();
+      flow.id = event.at("id").asString();
+      flow.at = timeFromMicroseconds(event.at("ts").asNumber());
+      flow.begin = kind == "s";
+      process.flows.push_back(std::move(flow));
+    }
   }
 
   std::vector<TraceProcess> out;
@@ -91,6 +118,7 @@ void checkTrace(const std::vector<TraceProcess>& processes,
                 analyze::DiagnosticSink& sink) {
   for (const TraceProcess& process : processes) {
     checkSpans(process.name, process.spans, sink);
+    checkRequestLanes(process, sink);
   }
 }
 
@@ -118,6 +146,19 @@ void compareTraces(const std::vector<TraceProcess>& left,
                     " vs " + std::to_string(b.spans.size()));
       continue;
     }
+    if (a.instants.size() != b.instants.size()) {
+      sink.emit("DT002", location,
+                "instant counts differ: " + std::to_string(a.instants.size()) +
+                    " vs " + std::to_string(b.instants.size()));
+      continue;
+    }
+    if (a.flows.size() != b.flows.size()) {
+      sink.emit("DT002", location,
+                "flow counts differ: " + std::to_string(a.flows.size()) +
+                    " vs " + std::to_string(b.flows.size()));
+      continue;
+    }
+    bool differs = false;
     for (std::size_t i = 0; i < a.spans.size(); ++i) {
       const sim::NamedSpan& x = a.spans[i];
       const sim::NamedSpan& y = b.spans[i];
@@ -128,7 +169,34 @@ void compareTraces(const std::vector<TraceProcess>& left,
                       ", " + x.end.toString() + ") vs '" + y.label + "'@" +
                       y.lane + " [" + y.start.toString() + ", " +
                       y.end.toString() + ")");
+        differs = true;
         break;  // first difference per process keeps the report readable
+      }
+    }
+    if (differs) continue;
+    for (std::size_t i = 0; i < a.instants.size(); ++i) {
+      const InstantEvent& x = a.instants[i];
+      const InstantEvent& y = b.instants[i];
+      if (x.lane != y.lane || x.label != y.label || x.at != y.at) {
+        sink.emit("DT002", location + " instant " + std::to_string(i),
+                  "'" + x.label + "'@" + x.lane + " " + x.at.toString() +
+                      " vs '" + y.label + "'@" + y.lane + " " +
+                      y.at.toString());
+        differs = true;
+        break;
+      }
+    }
+    if (differs) continue;
+    for (std::size_t i = 0; i < a.flows.size(); ++i) {
+      const FlowEvent& x = a.flows[i];
+      const FlowEvent& y = b.flows[i];
+      if (x.lane != y.lane || x.label != y.label || x.id != y.id ||
+          x.at != y.at || x.begin != y.begin) {
+        sink.emit("DT002", location + " flow " + std::to_string(i),
+                  "'" + x.label + "' id " + x.id + "@" + x.lane + " " +
+                      x.at.toString() + " vs '" + y.label + "' id " + y.id +
+                      "@" + y.lane + " " + y.at.toString());
+        break;
       }
     }
   }

@@ -17,15 +17,36 @@
 
 namespace prtr::verify {
 
-/// One trace process: a named span list (record order preserved).
+/// One instant ("i") annotation loaded back from a trace.
+struct InstantEvent {
+  std::string lane;
+  std::string label;
+  util::Time at;
+};
+
+/// One flow half ("s"/"f") loaded back from a trace. Events sharing an id
+/// form one arrow; `begin` marks the start half.
+struct FlowEvent {
+  std::string lane;
+  std::string label;
+  std::string id;
+  util::Time at;
+  bool begin = true;
+};
+
+/// One trace process: named span/instant/flow lists (record order
+/// preserved).
 struct TraceProcess {
   std::string name;
   std::vector<sim::NamedSpan> spans;
+  std::vector<InstantEvent> instants;
+  std::vector<FlowEvent> flows;
 };
 
-/// Parses one Chrome trace JSON document ("traceEvents" with M metadata
-/// and X duration events; C counter events are ignored). Lane names come
-/// from the thread_name metadata, falling back to the event's "cat".
+/// Parses one Chrome trace JSON document ("traceEvents" with M metadata,
+/// X duration events, i instants, and s/f flow arrows; C counter events
+/// are ignored). Lane names come from the thread_name metadata, falling
+/// back to the event's "cat".
 /// Throws util::DomainError on malformed JSON or a missing traceEvents key.
 [[nodiscard]] std::vector<TraceProcess> loadChromeTrace(
     std::string_view jsonText);
@@ -34,12 +55,13 @@ struct TraceProcess {
 [[nodiscard]] std::vector<TraceProcess> loadChromeTraceFile(
     const std::string& path);
 
-/// Runs the timeline invariant rules over every process of a loaded trace.
+/// Runs the timeline invariant rules (TL) and the request-lane rules (RQ)
+/// over every process of a loaded trace.
 void checkTrace(const std::vector<TraceProcess>& processes,
                 analyze::DiagnosticSink& sink);
 
 /// Structural comparison of two captures of the same scenario: process
-/// names, span counts, and every span's lane/label/start/end must match.
+/// names, span/instant/flow counts, and every event's fields must match.
 /// Differences are emitted as DT002 diagnostics (first difference per
 /// process).
 void compareTraces(const std::vector<TraceProcess>& left,

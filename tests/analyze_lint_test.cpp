@@ -36,6 +36,7 @@
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "verify/race.hpp"
+#include "verify/request_rules.hpp"
 #include "verify/schedule.hpp"
 #include "verify/timeline_rules.hpp"
 #include "verify/trace_load.hpp"
@@ -125,12 +126,16 @@ TEST(RuleCatalog, CodesAreGroupedSortedUniqueAndPrefixConsistent) {
                               : prefix == "MD" ? Category::kModel
                               : prefix == "FT" ? Category::kFault
                               : prefix == "FL" ? Category::kFleet
+                              : prefix == "TR" ? Category::kTracing
+                              : prefix == "SL" ? Category::kSlo
                               : prefix == "RC" ? Category::kRace
                               : prefix == "TL" ? Category::kTimeline
+                              : prefix == "RQ" ? Category::kRequest
                                                : Category::kDeterminism;
     EXPECT_TRUE(prefix == "FP" || prefix == "BS" || prefix == "MD" ||
-                prefix == "FT" || prefix == "FL" || prefix == "RC" ||
-                prefix == "TL" || prefix == "DT")
+                prefix == "FT" || prefix == "FL" || prefix == "TR" ||
+                prefix == "SL" || prefix == "RC" || prefix == "TL" ||
+                prefix == "RQ" || prefix == "DT")
         << code;
     EXPECT_EQ(rule.category, expected) << code;
     EXPECT_STRNE(rule.summary, "") << code;
@@ -157,8 +162,11 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
   std::size_t md = 0;
   std::size_t ft = 0;
   std::size_t fl = 0;
+  std::size_t tr = 0;
+  std::size_t sl = 0;
   std::size_t rc = 0;
   std::size_t tl = 0;
+  std::size_t rq = 0;
   std::size_t dt = 0;
   for (const analyze::RuleInfo& rule : analyze::ruleCatalog()) {
     switch (rule.category) {
@@ -167,8 +175,11 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
       case Category::kModel: ++md; break;
       case Category::kFault: ++ft; break;
       case Category::kFleet: ++fl; break;
+      case Category::kTracing: ++tr; break;
+      case Category::kSlo: ++sl; break;
       case Category::kRace: ++rc; break;
       case Category::kTimeline: ++tl; break;
+      case Category::kRequest: ++rq; break;
       case Category::kDeterminism: ++dt; break;
     }
   }
@@ -176,11 +187,14 @@ TEST(RuleCatalog, HasAtLeastTwelveCodesSpanningAllThreeCategories) {
   EXPECT_EQ(bs, 11u);
   EXPECT_EQ(md, 12u);
   EXPECT_EQ(ft, 10u);
-  EXPECT_EQ(fl, 15u);
+  EXPECT_EQ(fl, 17u);
+  EXPECT_EQ(tr, 4u);
+  EXPECT_EQ(sl, 5u);
   EXPECT_EQ(rc, 4u);
   EXPECT_EQ(tl, 7u);
+  EXPECT_EQ(rq, 6u);
   EXPECT_EQ(dt, 4u);
-  EXPECT_GE(fp + bs + md + ft + fl + rc + tl + dt, 12u);
+  EXPECT_GE(fp + bs + md + ft + fl + tr + sl + rc + tl + rq + dt, 12u);
 }
 
 TEST(RuleCatalog, UnknownCodeThrows) {
@@ -1003,23 +1017,63 @@ TEST(RuleCoverage, EveryDocumentedCodeIsEmittableByAChecker) {
     bad.users = 0;                                // FL010
     bad.admission.maxQueueDepth = 0;              // FL011
     bad.degradedFraction = 0.5;                   // FL014: plan inactive
+    bad.rateLimit.enabled = true;                 // FL016: rate left at 0
+    bad.tracing.enabled = true;
+    bad.tracing.sampleRate = -0.5;                // TR001
+    bad.tracing.slowQuantile = 1.5;               // TR002
+    bad.slo.enabled = true;
+    bad.slo.objective = 1.5;                      // SL001
+    bad.slo.windowPs = 0;                         // SL002
+    bad.slo.fastWindows = 0;                      // SL003
+    bad.slo.fastBurn = 0.0;                       // SL004
     DiagnosticSink sink;
     analyze::checkFleetOptions(bad, sink);
     collect(sink);
 
     fleet::FleetOptions saturated;
     saturated.offeredLoad = 1.5;  // FL012
+    saturated.requests = 1'000'000;
     saturated.degradedFraction = 0.5;
     saturated.degradedFaults.icapAbortRate = 0.3;
     saturated.breaker.enabled = false;  // FL015
+    saturated.tracing.enabled = true;
+    saturated.tracing.sampleRate = 0.6;      // TR004 at 1M requests
+    saturated.tracing.maxSampledPerCell = 0;  // TR003
+    saturated.slo.enabled = true;
+    saturated.slo.objective = 0.9999999;  // SL005: budget < 10 requests
     DiagnosticSink sink2;
     analyze::checkFleetOptions(saturated, sink2);
     collect(sink2);
+
+    fleet::BladeProfile degenerate;
+    degenerate.tasks.emplace_back();  // all-zero costs
+    DiagnosticSink sink3;
+    analyze::checkBladeProfile(degenerate, sink3);  // FL017
+    collect(sink3);
 
     analyze::FleetSpec spec;
     spec.routing = "psychic";    // FL004
     spec.arrival = "sometimes";  // FL005
     collect(analyze::lintFleetSpec(spec));
+  }
+  {  // Request lanes: one synthetic process violating every RQ rule.
+    const auto ps = [](long long v) { return util::Time::picoseconds(v); };
+    verify::TraceProcess process;
+    process.name = "fleet/cell0";
+    process.spans = {
+        {"rq:a", "request ok", '#', ps(0), ps(100)},
+        {"rq:a", "attempt#1", '#', ps(10), ps(120)},  // RQ001 escapes root
+        {"rq:a", "execute#1", '#', ps(5), ps(60)},    // RQ003 escapes attempt
+        {"rq:a", "queue#2", '#', ps(20), ps(30)},     // RQ004 no attempt#2
+        {"rq:b", "attempt#1", '#', ps(0), ps(10)},    // RQ002 no root
+        {"rq:c", "request shed:queue", '#', ps(0), ps(5)},
+        {"rq:c", "attempt#1", '#', ps(0), ps(5)},     // RQ006 shed dispatched
+    };
+    process.instants = {{"rq:a", "hedge:win", ps(50)},
+                        {"rq:a", "hedge:win", ps(60)}};  // RQ005 two winners
+    DiagnosticSink sink;
+    verify::checkRequestLanes(process, sink);
+    collect(sink);
   }
   {  // Races: feed the detector an event stream with every unordered pair.
     verify::RaceDetector detector;

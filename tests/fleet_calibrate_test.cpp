@@ -1,0 +1,109 @@
+// fleet calibration edge-case tests: degenerate payloads and registries
+// are rejected up front with a diagnosable message instead of dividing by
+// zero downstream, empty profiles report zero (never NaN) means, the
+// FL017 profile check flags zero-cost calibrations, and runFleet refuses
+// a profile that does not match its function registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analyze/checks_fleet.hpp"
+#include "fleet/fleet.hpp"
+#include "tasks/hwfunction.hpp"
+#include "util/error.hpp"
+
+namespace prtr {
+namespace {
+
+const tasks::FunctionRegistry& paperRegistry() {
+  static const tasks::FunctionRegistry registry = tasks::makePaperFunctions();
+  return registry;
+}
+
+TEST(FleetCalibrateEdgeTest, RejectsDegeneratePayloads) {
+  // A zero-byte payload has no half-payload point to fit the slope; one
+  // byte degenerates the same way after the halving.
+  EXPECT_THROW(fleet::calibrateBladeProfile(paperRegistry(),
+                                            runtime::ScenarioOptions{},
+                                            util::Bytes{0}),
+               util::DomainError);
+  EXPECT_THROW(fleet::calibrateBladeProfile(paperRegistry(),
+                                            runtime::ScenarioOptions{},
+                                            util::Bytes{1}),
+               util::DomainError);
+}
+
+TEST(FleetCalibrateEdgeTest, RejectsEmptyFunctionRegistry) {
+  // The registry constructor already refuses an empty library, so an
+  // unknown-function profile can never reach calibration through the
+  // public API; the calibrate-level guard is defense in depth.
+  try {
+    const tasks::FunctionRegistry empty{std::vector<tasks::HwFunction>{}};
+    FAIL() << "an empty registry must be rejected";
+  } catch (const util::DomainError& e) {
+    EXPECT_NE(std::string{e.what()}.find("empty"), std::string::npos);
+  }
+}
+
+TEST(FleetCalibrateEdgeTest, EmptyProfileMeansAreZeroNotNaN) {
+  const fleet::BladeProfile profile;
+  EXPECT_EQ(profile.meanExecPs(1024), 0);
+  EXPECT_EQ(profile.meanConfigPs(), 0);
+  EXPECT_FALSE(std::isnan(static_cast<double>(profile.meanExecPs(0))));
+}
+
+TEST(FleetCalibrateEdgeTest, CheckBladeProfileFlagsZeroCostTasks) {
+  fleet::BladeProfile degenerate;
+  fleet::TaskProfile freeExec;  // all-zero: execution costs nothing
+  freeExec.configPs = 1'000;
+  freeExec.execFixedPs = 0;
+  freeExec.execPsPerByte = 0.0;
+  fleet::TaskProfile freeConfig;
+  freeConfig.configPs = 0;  // persona reload costs nothing
+  freeConfig.execFixedPs = 5'000;
+  freeConfig.execPsPerByte = 1.5;
+  degenerate.tasks = {freeExec, freeConfig};
+
+  analyze::DiagnosticSink sink;
+  analyze::checkBladeProfile(degenerate, sink);
+  ASSERT_EQ(sink.diagnostics().size(), 2u) << sink.toText();
+  EXPECT_TRUE(sink.has("FL017"));
+  EXPECT_NE(sink.diagnostics()[0].message.find("zero execution cost"),
+            std::string::npos);
+  EXPECT_NE(sink.diagnostics()[1].message.find("zero reconfiguration cost"),
+            std::string::npos);
+  EXPECT_FALSE(sink.hasErrors()) << "FL017 is a warning, not an error";
+}
+
+TEST(FleetCalibrateEdgeTest, RealCalibrationPassesTheProfileCheck) {
+  analyze::DiagnosticSink sink;
+  const fleet::BladeProfile profile = fleet::calibrateBladeProfile(
+      paperRegistry(), runtime::ScenarioOptions{}, util::Bytes::kibi(4), sink);
+  EXPECT_TRUE(sink.empty()) << sink.toText();
+  ASSERT_EQ(profile.tasks.size(), paperRegistry().size());
+  for (const fleet::TaskProfile& t : profile.tasks) {
+    EXPECT_GT(t.configPs, 0);
+    EXPECT_GT(t.execPs(4 * 1024), 0);
+  }
+}
+
+TEST(FleetCalibrateEdgeTest, RunFleetRejectsMismatchedProfile) {
+  // A profile for an unknown hardware-function set (wrong cardinality)
+  // must be refused before any request is simulated.
+  fleet::BladeProfile wrong;
+  wrong.tasks.resize(paperRegistry().size() + 1);
+  fleet::FleetOptions options;
+  options.requests = 10;
+  try {
+    (void)runFleet(paperRegistry(), wrong, options);
+    FAIL() << "a mismatched profile must be rejected";
+  } catch (const util::DomainError& e) {
+    EXPECT_NE(std::string{e.what()}.find("does not match"), std::string::npos);
+  }
+  const fleet::BladeProfile empty;
+  EXPECT_THROW((void)runFleet(paperRegistry(), empty, options),
+               util::DomainError);
+}
+
+}  // namespace
+}  // namespace prtr

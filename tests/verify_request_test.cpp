@@ -1,0 +1,197 @@
+// verify request-lane analyzer tests: the label grammar parses back
+// exactly (and rejects trailing garbage), and each RQ0xx invariant fires
+// on a synthetic lane built to violate it — without touching any other
+// rule — while a well-formed lane stays clean.
+#include <gtest/gtest.h>
+
+#include "verify/request_rules.hpp"
+#include "verify/trace_load.hpp"
+
+namespace prtr {
+namespace {
+
+using verify::RequestLabel;
+
+sim::NamedSpan span(std::string lane, std::string label, std::int64_t startPs,
+                    std::int64_t endPs) {
+  return sim::NamedSpan{std::move(lane), std::move(label), '#',
+                        util::Time::picoseconds(startPs),
+                        util::Time::picoseconds(endPs)};
+}
+
+verify::InstantEvent mark(std::string lane, std::string label,
+                          std::int64_t atPs) {
+  return verify::InstantEvent{std::move(lane), std::move(label),
+                              util::Time::picoseconds(atPs)};
+}
+
+analyze::DiagnosticSink check(const verify::TraceProcess& process) {
+  analyze::DiagnosticSink sink;
+  verify::checkRequestLanes(process, sink);
+  return sink;
+}
+
+TEST(RequestLabelTest, ParsesEveryKindOfTheGrammar) {
+  RequestLabel root = verify::parseRequestLabel("request ok");
+  EXPECT_EQ(root.kind, RequestLabel::Kind::kRequest);
+  EXPECT_EQ(root.outcome, "ok");
+
+  root = verify::parseRequestLabel("request shed:ratelimit");
+  EXPECT_EQ(root.kind, RequestLabel::Kind::kRequest);
+  EXPECT_EQ(root.outcome, "shed:ratelimit");
+
+  const RequestLabel attempt = verify::parseRequestLabel("attempt#2:hedge");
+  EXPECT_EQ(attempt.kind, RequestLabel::Kind::kAttempt);
+  EXPECT_EQ(attempt.attempt, 2);
+  EXPECT_TRUE(attempt.hedge);
+
+  const RequestLabel plain = verify::parseRequestLabel("attempt#1");
+  EXPECT_EQ(plain.kind, RequestLabel::Kind::kAttempt);
+  EXPECT_FALSE(plain.hedge);
+
+  const RequestLabel service = verify::parseRequestLabel("service#1@b3");
+  EXPECT_EQ(service.kind, RequestLabel::Kind::kService);
+  EXPECT_EQ(service.attempt, 1);
+  EXPECT_EQ(service.blade, 3);
+
+  EXPECT_EQ(verify::parseRequestLabel("queue#1").kind,
+            RequestLabel::Kind::kQueue);
+  EXPECT_EQ(verify::parseRequestLabel("stall#2").kind,
+            RequestLabel::Kind::kStall);
+  EXPECT_EQ(verify::parseRequestLabel("reload#1").kind,
+            RequestLabel::Kind::kReload);
+  EXPECT_EQ(verify::parseRequestLabel("execute#4").kind,
+            RequestLabel::Kind::kExecute);
+}
+
+TEST(RequestLabelTest, RejectsMalformedLabels) {
+  EXPECT_EQ(verify::parseRequestLabel("attempt#").kind,
+            RequestLabel::Kind::kUnknown);
+  EXPECT_EQ(verify::parseRequestLabel("attempt#1:hedgex").kind,
+            RequestLabel::Kind::kUnknown);
+  EXPECT_EQ(verify::parseRequestLabel("service#1@bx").kind,
+            RequestLabel::Kind::kUnknown);
+  EXPECT_EQ(verify::parseRequestLabel("service#1@b2tail").kind,
+            RequestLabel::Kind::kUnknown);
+  EXPECT_EQ(verify::parseRequestLabel("queue#2b").kind,
+            RequestLabel::Kind::kUnknown);
+  EXPECT_EQ(verify::parseRequestLabel("dispatch#1").kind,
+            RequestLabel::Kind::kUnknown);
+  EXPECT_EQ(verify::parseRequestLabel("").kind, RequestLabel::Kind::kUnknown);
+}
+
+TEST(RequestLabelTest, LaneClassification) {
+  EXPECT_TRUE(verify::isRequestLane("rq:00000001deadbeef"));
+  EXPECT_FALSE(verify::isRequestLane("blade3"));
+  EXPECT_FALSE(verify::isRequestLane("prr0"));
+}
+
+TEST(RequestRulesTest, WellFormedLaneIsClean) {
+  verify::TraceProcess process;
+  process.name = "fleet/cell0";
+  process.spans = {
+      span("rq:a", "request ok", 0, 100),
+      span("rq:a", "attempt#1", 10, 90),
+      span("rq:a", "queue#1", 10, 20),
+      span("rq:a", "service#1@b2", 20, 90),
+      span("rq:a", "reload#1", 20, 40),
+      span("rq:a", "execute#1", 40, 90),
+      span("blade2", "ignored non-request span", 0, 1000),
+  };
+  const auto sink = check(process);
+  EXPECT_TRUE(sink.empty()) << sink.toText();
+}
+
+TEST(RequestRulesTest, Rq001ChildEscapingRootSpan) {
+  verify::TraceProcess process;
+  process.spans = {
+      span("rq:a", "request ok", 0, 100),
+      span("rq:a", "attempt#1", 10, 120),  // ends after the root
+  };
+  const auto sink = check(process);
+  EXPECT_EQ(sink.codes(), std::vector<std::string>{"RQ001"}) << sink.toText();
+}
+
+TEST(RequestRulesTest, Rq002MissingOrDuplicateRoot) {
+  verify::TraceProcess process;
+  process.spans = {span("rq:a", "attempt#1", 0, 10)};
+  EXPECT_EQ(check(process).codes(), std::vector<std::string>{"RQ002"});
+
+  process.spans = {
+      span("rq:a", "request ok", 0, 100),
+      span("rq:a", "request failed", 0, 100),
+  };
+  const auto sink = check(process);
+  EXPECT_EQ(sink.codes(), std::vector<std::string>{"RQ002"});
+  EXPECT_NE(sink.diagnostics()[0].message.find("2 root spans"),
+            std::string::npos);
+}
+
+TEST(RequestRulesTest, Rq003ComponentEscapingItsAttempt) {
+  verify::TraceProcess process;
+  process.spans = {
+      span("rq:a", "request ok", 0, 100),
+      span("rq:a", "attempt#1", 10, 50),
+      span("rq:a", "execute#1", 40, 80),  // inside root, outside attempt#1
+  };
+  EXPECT_EQ(check(process).codes(), std::vector<std::string>{"RQ003"});
+}
+
+TEST(RequestRulesTest, Rq004ComponentWithoutItsAttempt) {
+  verify::TraceProcess process;
+  process.spans = {
+      span("rq:a", "request ok", 0, 100),
+      span("rq:a", "attempt#1", 10, 90),
+      span("rq:a", "queue#2", 20, 30),  // attempt#2 never happened
+  };
+  EXPECT_EQ(check(process).codes(), std::vector<std::string>{"RQ004"});
+}
+
+TEST(RequestRulesTest, Rq005HedgeWinnerUniqueness) {
+  verify::TraceProcess process;
+  process.spans = {
+      span("rq:a", "request ok", 0, 100),
+      span("rq:a", "attempt#1", 10, 90),
+      span("rq:a", "attempt#2:hedge", 20, 80),
+  };
+  process.instants = {mark("rq:a", "hedge:win", 80),
+                      mark("rq:a", "hedge:win", 90)};
+  EXPECT_EQ(check(process).codes(), std::vector<std::string>{"RQ005"});
+
+  // A win without any hedged attempt is the other face of the same rule.
+  process.spans = {
+      span("rq:b", "request ok", 0, 100),
+      span("rq:b", "attempt#1", 10, 90),
+  };
+  process.instants = {mark("rq:b", "hedge:win", 90)};
+  EXPECT_EQ(check(process).codes(), std::vector<std::string>{"RQ005"});
+}
+
+TEST(RequestRulesTest, Rq006ShedRequestWithDispatchActivity) {
+  verify::TraceProcess process;
+  process.spans = {
+      span("rq:a", "request shed:queue", 0, 5),
+      span("rq:a", "attempt#1", 0, 5),
+  };
+  EXPECT_EQ(check(process).codes(), std::vector<std::string>{"RQ006"});
+}
+
+TEST(RequestRulesTest, CheckTraceSkipsOverlapRulesOnRequestLanes) {
+  // Request lanes nest spans by design (root ⊃ attempt ⊃ service ⊃
+  // execute); the full-trace entry point must route them to the RQ rules,
+  // not flag the nesting as a TL003 overlap.
+  verify::TraceProcess process;
+  process.name = "fleet/cell0";
+  process.spans = {
+      span("rq:a", "request ok", 0, 100),
+      span("rq:a", "attempt#1", 10, 90),
+      span("rq:a", "service#1@b0", 20, 90),
+      span("rq:a", "execute#1", 30, 90),
+  };
+  analyze::DiagnosticSink sink;
+  verify::checkTrace({process}, sink);
+  EXPECT_TRUE(sink.empty()) << sink.toText();
+}
+
+}  // namespace
+}  // namespace prtr

@@ -45,7 +45,7 @@ int usage() {
   std::cerr
       << "usage: prtr-verify [--json] [--werror] <command> [args]\n"
          "  trace <file>...          check Chrome traces against the TL0xx\n"
-         "                           timeline invariants\n"
+         "                           timeline and RQ0xx request invariants\n"
          "  diff <left> <right>      compare two captures of one scenario\n"
          "                           (differences are DT002)\n"
          "  explore [--widths W,..] [--seeds N] [--points N] [--ncalls N]\n"
@@ -55,7 +55,7 @@ int usage() {
          "                           byte-identity (DT001/DT003)\n"
          "  race-demo                run an instrumented pooled sweep under\n"
          "                           the happens-before race detector\n"
-         "  codes                    list the RC/TL/DT rule families\n"
+         "  codes                    list the RC/TL/RQ/DT rule families\n"
          "exit codes: 0 clean (warnings allowed unless --werror),\n"
          "            1 error-severity findings, 2 usage or I/O problems\n";
   return 2;
@@ -171,6 +171,7 @@ int listCodes() {
   for (const analyze::RuleInfo& rule : analyze::ruleCatalog()) {
     const bool verifyFamily = rule.category == analyze::Category::kRace ||
                               rule.category == analyze::Category::kTimeline ||
+                              rule.category == analyze::Category::kRequest ||
                               rule.category == analyze::Category::kDeterminism;
     if (!verifyFamily) continue;
     std::cout << rule.code << "  " << toString(rule.severity) << "  "
